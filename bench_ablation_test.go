@@ -1,0 +1,223 @@
+package approxcode
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// Even vs Uneven structure, the (r, g) parity split, the h tier ratio,
+// placement interleaving, and encode-pool parallelism.
+// Run with: go test -bench=Ablation -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"approxcode/internal/bench"
+	"approxcode/internal/core"
+	"approxcode/internal/costmodel"
+	"approxcode/internal/erasure"
+	"approxcode/internal/reliability"
+	"approxcode/internal/store"
+)
+
+// AblationStructure: Even vs Uneven — throughput is expected to be
+// equal (same codewords, different placement); the difference is
+// reliability, reported as extra metrics.
+func BenchmarkAblationStructure(b *testing.B) {
+	for _, s := range []core.Structure{core.Even, core.Uneven} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			c, err := core.New(core.Params{
+				Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 4, Structure: s,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+			stripe, err := erasure.RandomStripe(c, size, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(c.DataShards() * size))
+			for i := 0; i < b.N; i++ {
+				if err := c.Encode(stripe); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := reliability.Formula(5, 1, 2, 4, s)
+			b.ReportMetric(100*p.PU, "P_U_%")
+			b.ReportMetric(100*p.PI, "P_I_%")
+		})
+	}
+}
+
+// AblationSplit: (r=1,g=2) vs (r=2,g=1) — r=1 maximizes the encode and
+// multi-failure decode savings; r=2 maximizes P_U.
+func BenchmarkAblationSplit(b *testing.B) {
+	for _, cfg := range []struct{ r, g int }{{1, 2}, {2, 1}} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("r=%d_g=%d", cfg.r, cfg.g), func(b *testing.B) {
+			c, err := core.New(core.Params{
+				Family: core.FamilyRS, K: 5, R: cfg.r, G: cfg.g, H: 4, Structure: core.Uneven,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+			stripe, err := erasure.RandomStripe(c, size, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			failed := bench.FailureNodes(c, 2)
+			b.SetBytes(int64(2 * size))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work := erasure.CloneShards(stripe)
+				for _, f := range failed {
+					work[f] = nil
+				}
+				b.StartTimer()
+				if _, err := c.ReconstructReport(work, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(c.StorageOverhead(), "overhead_x")
+			b.ReportMetric(c.AverageUpdateCost(), "write_ios")
+			p := reliability.Formula(5, cfg.r, cfg.g, 4, core.Uneven)
+			b.ReportMetric(100*p.PU, "P_U_%")
+		})
+	}
+}
+
+// AblationH: tier ratio sweep — storage overhead falls with h; decode
+// under double failures gets cheaper as the important tier shrinks.
+func BenchmarkAblationH(b *testing.B) {
+	for _, h := range []int{2, 4, 6, 8} {
+		h := h
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			c, err := core.New(core.Params{
+				Family: core.FamilyRS, K: 5, R: 1, G: 2, H: h, Structure: core.Even,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+			stripe, err := erasure.RandomStripe(c, size, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			failed := bench.FailureNodes(c, 2)
+			b.SetBytes(int64(2 * size))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work := erasure.CloneShards(stripe)
+				for _, f := range failed {
+					work[f] = nil
+				}
+				b.StartTimer()
+				if _, err := c.ReconstructReport(work, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(costmodel.ApprOverhead(5, 1, 2, h), "overhead_x")
+		})
+	}
+}
+
+// AblationPlacement: interleaved vs contiguous segment placement —
+// equal ingest throughput; the difference (loss scattering) is
+// functional, covered in internal/store tests.
+func BenchmarkAblationPlacement(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	segs := make([]store.Segment, 120)
+	for i := range segs {
+		data := make([]byte, 512)
+		rng.Read(data)
+		segs[i] = store.Segment{ID: i, Important: i%8 == 0, Data: data}
+	}
+	for _, contiguous := range []bool{false, true} {
+		contiguous := contiguous
+		name := "interleaved"
+		if contiguous {
+			name = "contiguous"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := store.Open(store.Config{
+					Code: core.Params{
+						Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 4, Structure: core.Even,
+					},
+					NodeSize:            4 * 4096,
+					ContiguousPlacement: contiguous,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Put("clip", segs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// AblationEncodeWorkers: parallel stripe-encode pool scaling.
+func BenchmarkAblationEncodeWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	segs := make([]store.Segment, 600)
+	for i := range segs {
+		data := make([]byte, 2048)
+		rng.Read(data)
+		segs[i] = store.Segment{ID: i, Important: i%8 == 0, Data: data}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := store.Open(store.Config{
+					Code: core.Params{
+						Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 4, Structure: core.Even,
+					},
+					NodeSize:      4 * 2048,
+					EncodeWorkers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Put("clip", segs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// AblationFamily: the same framework over all five input families —
+// the flexibility claim (paper §3.5) quantified.
+func BenchmarkAblationFamily(b *testing.B) {
+	params := []core.Params{
+		{Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 4, Structure: core.Uneven},
+		{Family: core.FamilyLRC, K: 5, R: 1, G: 2, H: 4, Structure: core.Uneven},
+		{Family: core.FamilySTAR, K: 5, R: 1, G: 2, H: 4, Structure: core.Uneven},
+		{Family: core.FamilyTIP, K: 5, R: 1, G: 2, H: 4, Structure: core.Uneven},
+		{Family: core.FamilyCRS, K: 5, R: 1, G: 2, H: 4, Structure: core.Uneven},
+	}
+	for _, p := range params {
+		p := p
+		b.Run(string(p.Family), func(b *testing.B) {
+			c, err := core.New(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+			stripe, err := erasure.RandomStripe(c, size, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(c.DataShards() * size))
+			for i := 0; i < b.N; i++ {
+				if err := c.Encode(stripe); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

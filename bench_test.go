@@ -1,0 +1,266 @@
+package approxcode
+
+// testing.B benchmarks, one family per table/figure of the paper's
+// evaluation. `go test -bench=. -benchmem` regenerates measured numbers;
+// cmd/apprbench prints the same experiments as formatted reports.
+
+import (
+	"fmt"
+	"testing"
+
+	"approxcode/internal/bench"
+	"approxcode/internal/cluster"
+	"approxcode/internal/core"
+	"approxcode/internal/erasure"
+	"approxcode/internal/reliability"
+	"approxcode/internal/video"
+)
+
+const benchShard = 64 * 1024
+
+// --- Table 2 / Table 3 / Fig 7 / Fig 8: analytic models -------------------
+
+func BenchmarkTable2Properties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(bench.Table2(5, 4)); got != 8 {
+			b.Fatalf("table2 rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkTable3StorageImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(bench.Table3()); got != 4 {
+			b.Fatalf("table3 rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkFig7StorageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, h := range bench.PaperHs {
+			if fig := bench.Fig7(h); len(fig.Series) != 3 {
+				b.Fatal("bad fig7")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8SingleWriteCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, h := range bench.PaperHs {
+			if fig := bench.Fig8(h); len(fig.Series) != 4 {
+				b.Fatal("bad fig8")
+			}
+		}
+	}
+}
+
+// --- Fig 9: encoding time --------------------------------------------------
+
+func benchEncode(b *testing.B, c erasure.Coder) {
+	b.Helper()
+	size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+	stripe, err := erasure.RandomStripe(c, size, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(c.DataShards() * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(stripe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncoding(b *testing.B) {
+	for _, fam := range bench.Families {
+		fam := fam
+		b.Run(fmt.Sprintf("baseline/%s/k=5", fam), func(b *testing.B) {
+			c, err := bench.BuildBaseline(fam, 5, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchEncode(b, c)
+		})
+		for _, h := range bench.PaperHs {
+			h := h
+			b.Run(fmt.Sprintf("appr/%s/k=5/h=%d", fam, h), func(b *testing.B) {
+				c, err := bench.BuildAppr(fam, 5, h, core.Uneven)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchEncode(b, c)
+			})
+		}
+	}
+}
+
+// --- Table 4 row 2 + Figs 10, 11: decoding time ----------------------------
+
+func benchDecode(b *testing.B, c erasure.Coder, failures int) {
+	b.Helper()
+	size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+	stripe, err := erasure.RandomStripe(c, size, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	failed := bench.FailureNodes(c, failures)
+	appr, isAppr := c.(*core.Code)
+	b.SetBytes(int64(failures * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := erasure.CloneShards(stripe)
+		for _, f := range failed {
+			work[f] = nil
+		}
+		b.StartTimer()
+		if isAppr {
+			if _, err := appr.ReconstructReport(work, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		} else if err := c.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeAll(b *testing.B, failures int) {
+	for _, fam := range bench.Families {
+		fam := fam
+		b.Run(fmt.Sprintf("baseline/%s/k=5", fam), func(b *testing.B) {
+			c, err := bench.BuildBaseline(fam, 5, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchDecode(b, c, failures)
+		})
+		b.Run(fmt.Sprintf("appr/%s/k=5/h=4", fam), func(b *testing.B) {
+			c, err := bench.BuildAppr(fam, 5, 4, core.Uneven)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchDecode(b, c, failures)
+		})
+	}
+}
+
+func BenchmarkDecodeSingle(b *testing.B) { benchDecodeAll(b, 1) }
+func BenchmarkDecodeDouble(b *testing.B) { benchDecodeAll(b, 2) }
+func BenchmarkDecodeTriple(b *testing.B) { benchDecodeAll(b, 3) }
+
+// --- Fig 12: combined comparison at k=5 ------------------------------------
+
+func BenchmarkFig12Combined(b *testing.B) {
+	tc := bench.TimingConfig{ShardSize: 16 * 1024, Iters: 1}
+	for i := 0; i < b.N; i++ {
+		bars, err := bench.Fig12(tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bars) != 8 {
+			b.Fatalf("fig12 bars = %d", len(bars))
+		}
+	}
+}
+
+// --- Fig 13: recovery time on the cluster simulator ------------------------
+
+func BenchmarkClusterRecovery(b *testing.B) {
+	for _, fails := range []int{2, 3} {
+		fails := fails
+		b.Run(fmt.Sprintf("f=%d", fails), func(b *testing.B) {
+			appr, err := bench.BuildAppr(core.FamilyRS, 5, 4, core.Uneven)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := bench.AlignSize(256<<20, appr.ShardSizeMultiple())
+			failed := bench.FailureNodes(appr, fails)
+			for i := 0; i < b.N; i++ {
+				plan, err := cluster.PlanApproximate(appr, size, failed, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cluster.Simulate(cluster.DefaultConfig(), plan, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §3.4 reliability analysis ---------------------------------------------
+
+func BenchmarkReliabilityEnumeration(b *testing.B) {
+	c, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := reliability.Enumerate(c)
+		if p.PU < 0.86 || p.PI < 0.98 {
+			b.Fatalf("unexpected probabilities %+v", p)
+		}
+	}
+}
+
+// --- §4.1 video recovery ----------------------------------------------------
+
+func BenchmarkVideoInterpolation(b *testing.B) {
+	s, err := video.Generate(video.DefaultConfig(), 600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lost := s.LoseFraction(0.01, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RecoverLost(lost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanPSNR < 35 {
+			b.Fatalf("PSNR %.1f", res.MeanPSNR)
+		}
+	}
+}
+
+// --- Degraded reads (storage-layer latency under failures) -----------------
+
+func BenchmarkDegradedRead(b *testing.B) {
+	c, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 4, Structure: core.Uneven,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := bench.AlignSize(benchShard, c.ShardSizeMultiple())
+	stripe, err := erasure.RandomStripe(c, size, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := c.DataNodeIndexes()[0]
+	b.Run("healthy", func(b *testing.B) {
+		b.SetBytes(int64(size / 4))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReadSubBlock(stripe, victim, i%4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("degraded", func(b *testing.B) {
+		work := erasure.CloneShards(stripe)
+		work[victim] = nil
+		b.SetBytes(int64(size / 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReadSubBlock(work, victim, i%4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,283 @@
+// Command apprbench regenerates every table and figure of the paper's
+// evaluation (ICPP'19 "Approximate Code", §4). Each experiment prints
+// the same rows/series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	apprbench -exp all
+//	apprbench -exp fig13 -size 268435456
+//	apprbench -exp table4 -shard 262144 -iters 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"approxcode/internal/bench"
+)
+
+var (
+	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline")
+	shardFlag   = flag.Int("shard", 256*1024, "approximate per-node shard bytes for timing experiments")
+	itersFlag   = flag.Int("iters", 3, "timed iterations per measurement")
+	sizeFlag    = flag.Int("size", 256<<20, "simulated node bytes for the recovery experiment")
+	stripesFlag = flag.Int("stripes", 4, "simulated stripes per node for the recovery experiment")
+	kFlag       = flag.Int("k", 5, "data nodes for single-k experiments (table2, fig12, fig13)")
+)
+
+func main() {
+	flag.Parse()
+	tc := bench.TimingConfig{ShardSize: *shardFlag, Iters: *itersFlag}
+	runners := map[string]func(bench.TimingConfig) error{
+		"table2":      func(bench.TimingConfig) error { return runTable2() },
+		"table3":      func(bench.TimingConfig) error { return runTable3() },
+		"fig7":        func(bench.TimingConfig) error { return runFig7() },
+		"fig8":        func(bench.TimingConfig) error { return runFig8() },
+		"fig9":        runFig9,
+		"table4":      runTable4,
+		"fig10":       func(tc bench.TimingConfig) error { return runFigDecoding(2, tc) },
+		"fig11":       func(tc bench.TimingConfig) error { return runFigDecoding(3, tc) },
+		"fig12":       runFig12,
+		"fig13":       func(bench.TimingConfig) error { return runFig13() },
+		"fig13des":    func(bench.TimingConfig) error { return runFig13DES() },
+		"reliability": func(bench.TimingConfig) error { return runReliability() },
+		"video":       func(bench.TimingConfig) error { return runVideo() },
+		"headline":    func(bench.TimingConfig) error { return runHeadline() },
+	}
+	order := []string{"table2", "table3", "fig7", "fig8", "fig9", "table4",
+		"fig10", "fig11", "fig12", "fig13", "fig13des", "reliability", "video", "headline"}
+	if *expFlag == "all" {
+		for _, name := range order {
+			if err := runners[name](tc); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*expFlag]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
+	}
+	if err := run(tc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apprbench:", err)
+	os.Exit(1)
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func runTable2() error {
+	section(fmt.Sprintf("Table 2: storage overhead / fault tolerance / single-write cost (k=%d, h=4)", *kFlag))
+	w := newTab()
+	fmt.Fprintln(w, "code\toverhead\ttolerance\twrite cost")
+	for _, m := range bench.Table2(*kFlag, 4) {
+		fmt.Fprintf(w, "%s\t%.3f\t%d\t%.3f\n", m.Name, m.StorageOverhead, m.FaultTolerance, m.SingleWriteCost)
+	}
+	return w.Flush()
+}
+
+func runTable3() error {
+	section("Table 3: storage-overhead improvement of APPR.RS over RS(k,3)")
+	w := newTab()
+	fmt.Fprintln(w, "coding method\tk=4\tk=5\tk=6\tk=7\tk=8\tk=9")
+	for _, row := range bench.Table3() {
+		fmt.Fprintf(w, "%s", row.Name)
+		for _, k := range []int{4, 5, 6, 7, 8, 9} {
+			fmt.Fprintf(w, "\t%.1f%%", 100*row.Values[k])
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func printFigure(fig bench.Figure) error {
+	section(fig.Title + " (" + fig.YLabel + ")")
+	w := newTab()
+	fmt.Fprint(w, "k")
+	for _, s := range fig.Series {
+		fmt.Fprintf(w, "\t%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i := range fig.Series[0].Points {
+		fmt.Fprintf(w, "%d", fig.Series[0].Points[i].K)
+		for _, s := range fig.Series {
+			p := s.Points[i]
+			if !p.Valid {
+				fmt.Fprint(w, "\t/")
+			} else {
+				fmt.Fprintf(w, "\t%.4g", p.Value)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func runFig7() error {
+	for _, h := range bench.PaperHs {
+		if err := printFigure(bench.Fig7(h)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig8() error {
+	for _, h := range bench.PaperHs {
+		if err := printFigure(bench.Fig8(h)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig9(tc bench.TimingConfig) error {
+	for _, f := range bench.Families {
+		fig, err := bench.FigEncoding(f, tc)
+		if err != nil {
+			return err
+		}
+		if err := printFigure(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigDecoding(failures int, tc bench.TimingConfig) error {
+	for _, f := range bench.Families {
+		fig, err := bench.FigDecoding(f, failures, tc)
+		if err != nil {
+			return err
+		}
+		if err := printFigure(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runTable4(tc bench.TimingConfig) error {
+	section("Table 4: improvement of Approximate Codes (k,·,·,4) over their originals")
+	rows, err := bench.Table4(tc)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "scenario\tcode\tk=5\tk=7\tk=9\tk=11\tk=13")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%s", row.Scenario, row.Family)
+		for _, k := range []int{5, 7, 9, 11, 13} {
+			if v, ok := row.Values[k]; ok {
+				fmt.Fprintf(w, "\t%.2f%%", 100*v)
+			} else {
+				fmt.Fprint(w, "\t/")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func runFig12(tc bench.TimingConfig) error {
+	section("Fig 12: combined comparison at k=5 (s/GiB)")
+	bars, err := bench.Fig12(tc)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "code\tencode\tdecode f=1\tdecode f=2\tdecode f=3")
+	for _, b := range bars {
+		fmt.Fprintf(w, "%s\t%.4g\t%.4g\t%.4g\t%.4g\n", b.Name, b.Encode, b.Decode1, b.Decode2, b.Decode3)
+	}
+	return w.Flush()
+}
+
+func runFig13() error {
+	section(fmt.Sprintf("Fig 13: simulated recovery time (k=%d, %d MiB/node, %d stripes, random failures)",
+		*kFlag, *sizeFlag>>20, *stripesFlag))
+	results, err := bench.Fig13(*kFlag, *sizeFlag, *stripesFlag)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].H != results[j].H {
+			return results[i].H < results[j].H
+		}
+		return results[i].Failures < results[j].Failures
+	})
+	w := newTab()
+	fmt.Fprintln(w, "h\tfailures\tcode\trecovery time (s)\tspeedup")
+	for _, r := range results {
+		fmt.Fprintf(w, "%d\t%d\t%s\t%.3f\t%.2fx\n", r.H, r.Failures, r.Name, r.Seconds, r.Speedup)
+	}
+	return w.Flush()
+}
+
+func runFig13DES() error {
+	section(fmt.Sprintf("Fig 13 (control plane): recovery incl. heartbeat detection (k=%d, h=4, %d MiB/node)",
+		*kFlag, *sizeFlag>>20))
+	results, err := bench.Fig13DES(*kFlag, 4, *sizeFlag, *stripesFlag)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "failures\tcode\tdetection (s)\trepair (s)\ttotal (s)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%d\t%s\t%.2f\t%.2f\t%.2f\n", r.Failures, r.Name, r.Detection, r.Repair, r.Total)
+	}
+	return w.Flush()
+}
+
+func runReliability() error {
+	section("Reliability (paper §3.4): P_U under r+1 failures, P_I under r+g+1 failures")
+	rows, err := bench.ReliabilityReport()
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "code\tP_U formula\tP_U exact\tP_I formula\tP_I exact")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			r.Name, 100*r.Formula.PU, 100*r.Enumerated.PU, 100*r.Formula.PI, 100*r.Enumerated.PI)
+	}
+	return w.Flush()
+}
+
+func runVideo() error {
+	section("Video recovery (paper §4.1): 1% unimportant-frame loss, temporal interpolation")
+	rep, err := bench.RunVideo(3600)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("frames: %d  lost: %d  important byte ratio: %.3f\n", rep.Frames, rep.Lost, rep.Important)
+	fmt.Printf("mean PSNR: %.2f dB  min PSNR: %.2f dB  (paper: commonly above 35 dB)\n",
+		rep.MeanPSNR, rep.MinPSNR)
+	return nil
+}
+
+func runHeadline() error {
+	section("Headline claims (abstract)")
+	rep, err := bench.RunHeadline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parity reduction:  %.1f%%  (paper: up to 55%%)\n", 100*rep.ParityReduction)
+	fmt.Printf("storage saving:    %.1f%%  (paper: up to 20.8%%)\n", 100*rep.StorageSaving)
+	fmt.Printf("recovery speedup:  %.2fx (paper: up to 4.7x)\n", rep.RecoverySpeedup)
+	return nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"approxcode/internal/video"
+)
+
+// The subcommand entry points are plain functions over argv slices, so
+// the whole CLI is integration-tested against temp directories.
+
+func writeTempFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEncodeDecodeVerifyInfoCycle(t *testing.T) {
+	data := make([]byte, 150_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	in := writeTempFile(t, "input.bin", data)
+	dir := t.TempDir()
+	if err := cmdEncode([]string{"-in", in, "-dir", dir, "-k", "4", "-r", "1", "-g", "2", "-h", "3", "-node", "16384"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.bin")
+	// Decode with a triple failure that spares the unimportant tier's
+	// tolerance per stripe (nodes 0 and 4 are stripe 0; 15 is global).
+	if err := cmdDecode([]string{"-dir", dir, "-out", out, "-fail", "0,4,15"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode round trip differs")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if err := cmdEncode([]string{"-in", "", "-dir", ""}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := cmdEncode([]string{"-in", "/nonexistent", "-dir", t.TempDir()}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	empty := writeTempFile(t, "empty.bin", nil)
+	if err := cmdEncode([]string{"-in", empty, "-dir", t.TempDir()}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeMissingManifest(t *testing.T) {
+	if err := cmdDecode([]string{"-dir", t.TempDir(), "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	if err := cmdDecode([]string{"-dir", "", "-out", ""}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}
+
+func TestParseFail(t *testing.T) {
+	m, err := parseFail("1, 2,9")
+	if err != nil || len(m) != 3 || !m[9] {
+		t.Fatalf("parseFail: %v %v", m, err)
+	}
+	if _, err := parseFail("1,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if m, err := parseFail(""); err != nil || len(m) != 0 {
+		t.Fatal("empty list should parse to nothing")
+	}
+}
+
+func makeContainer(t *testing.T, frames int) string {
+	t.Helper()
+	s, err := video.Generate(video.DefaultConfig(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := video.WriteStream(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return writeTempFile(t, "stream.agop", buf.Bytes())
+}
+
+func TestIngestRestoreRepairCycle(t *testing.T) {
+	in := makeContainer(t, 120)
+	dir := t.TempDir()
+	if err := cmdIngest([]string{"-in", in, "-dir", dir, "-k", "3", "-r", "1", "-g", "2", "-h", "4", "-node", "16384"}); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy restore is byte-exact.
+	out := filepath.Join(t.TempDir(), "back.agop")
+	if err := cmdRestore([]string{"-dir", dir, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := os.ReadFile(in)
+	got, _ := os.ReadFile(out)
+	if !bytes.Equal(orig, got) {
+		t.Fatal("container round trip differs")
+	}
+	// The restored container parses cleanly.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := video.ParseStream(f); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded restore with failures, then repair, then clean restore.
+	out2 := filepath.Join(t.TempDir(), "back2.agop")
+	if err := cmdRestore([]string{"-dir", dir, "-out", out2, "-fail", "0,1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRepair([]string{"-dir", dir, "-fail", "0,1"}); err != nil {
+		t.Fatal(err)
+	}
+	out3 := filepath.Join(t.TempDir(), "back3.agop")
+	if err := cmdRestore([]string{"-dir", dir, "-out", out3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	if err := cmdIngest([]string{"-in", "", "-dir", ""}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	bogus := writeTempFile(t, "bogus.agop", []byte("not a container"))
+	if err := cmdIngest([]string{"-in", bogus, "-dir", t.TempDir()}); err == nil {
+		t.Fatal("bogus container accepted")
+	}
+	in := makeContainer(t, 30)
+	if err := cmdIngest([]string{"-in", in, "-dir", t.TempDir(), "-structure", "diagonal"}); err == nil {
+		t.Fatal("bad structure accepted")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	if err := cmdRestore([]string{"-dir", "", "-out", ""}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := cmdRestore([]string{"-dir", t.TempDir(), "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestBuildCodeRejectsUnknownStructure(t *testing.T) {
+	if _, err := buildCode(manifest{Family: "RS", K: 3, R: 1, G: 2, H: 2, Structure: "spiral"}); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+	if _, err := buildCode(manifest{Family: "NOPE", K: 3, R: 1, G: 2, H: 2, Structure: "even"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"approxcode/internal/core"
+	"approxcode/internal/store"
+	"approxcode/internal/video"
+)
+
+// Video-aware subcommands: ingest an AGOP container into a tiered store
+// directory, restore it (optionally with injected node failures), and
+// repair the store in place.
+//
+//	apprstore ingest  -in stream.agop -dir storedir -k 5 -r 1 -g 2 -h 6
+//	apprstore restore -dir storedir -out restored.agop [-fail 0,7]
+//	apprstore repair  -dir storedir
+
+// sidecar carries the container metadata the store does not model.
+type sidecar struct {
+	FPS, Width, Height int
+	Frames             []sidecarFrame
+}
+
+type sidecarFrame struct {
+	Index int
+	Kind  int
+}
+
+const sidecarFileName = "video.json"
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	in := fs.String("in", "", "input AGOP container")
+	dir := fs.String("dir", "", "store directory")
+	family := fs.String("family", "RS", "code family: RS|LRC|STAR|TIP|CRS")
+	k := fs.Int("k", 5, "data nodes per local stripe")
+	r := fs.Int("r", 1, "local parities")
+	g := fs.Int("g", 2, "global parities")
+	h := fs.Int("h", 6, "local stripes per global stripe")
+	structure := fs.String("structure", "even", "even|uneven")
+	nodeSize := fs.Int("node", 64*1024, "approximate node size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *dir == "" {
+		return errors.New("ingest needs -in and -dir")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, frames, err := video.ParseStream(f)
+	if err != nil {
+		return err
+	}
+	var s core.Structure
+	switch strings.ToLower(*structure) {
+	case "even":
+		s = core.Even
+	case "uneven":
+		s = core.Uneven
+	default:
+		return fmt.Errorf("unknown structure %q", *structure)
+	}
+	st, err := store.Open(store.Config{
+		Code: core.Params{
+			Family: core.Family(strings.ToUpper(*family)),
+			K:      *k, R: *r, G: *g, H: *h, Structure: s,
+		},
+		NodeSize: *nodeSize,
+	})
+	if err != nil {
+		return err
+	}
+	segs := make([]store.Segment, len(frames))
+	sc := sidecar{FPS: info.FPS, Width: info.Width, Height: info.Height}
+	important := 0
+	for i, fr := range frames {
+		segs[i] = store.Segment{ID: fr.Index, Important: fr.Important(), Data: fr.Payload}
+		if fr.Important() {
+			important++
+		}
+		sc.Frames = append(sc.Frames, sidecarFrame{Index: fr.Index, Kind: int(fr.Kind)})
+	}
+	if err := st.Put("video", segs); err != nil {
+		return err
+	}
+	if err := st.Save(*dir); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(sc, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, sidecarFileName), raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d frames (%d important I frames) as %s, overhead %.3fx\n",
+		len(frames), important, st.Code().Name(), st.Code().StorageOverhead())
+	return nil
+}
+
+func loadSidecar(dir string) (*sidecar, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, sidecarFileName))
+	if err != nil {
+		return nil, err
+	}
+	var sc sidecar
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return nil, fmt.Errorf("corrupt sidecar: %w", err)
+	}
+	return &sc, nil
+}
+
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	out := fs.String("out", "", "output AGOP container")
+	fail := fs.String("fail", "", "comma-separated node indexes to fail before reading")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *out == "" {
+		return errors.New("restore needs -dir and -out")
+	}
+	st, err := store.Load(*dir)
+	if err != nil {
+		return err
+	}
+	sc, err := loadSidecar(*dir)
+	if err != nil {
+		return err
+	}
+	failed, err := parseFail(*fail)
+	if err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		ids := make([]int, 0, len(failed))
+		for id := range failed {
+			ids = append(ids, id)
+		}
+		if err := st.FailNodes(ids...); err != nil {
+			return err
+		}
+	}
+	segs, rep, err := st.Get("video")
+	if err != nil {
+		return err
+	}
+	byID := make(map[int][]byte, len(segs))
+	for _, seg := range segs {
+		byID[seg.ID] = seg.Data
+	}
+	// Rebuild the container from the sidecar metadata + stored payloads.
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	hdr := make([]byte, 20)
+	copy(hdr, "AGOP")
+	binary.LittleEndian.PutUint16(hdr[4:], 1)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(sc.FPS))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(sc.Width))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(sc.Height))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(sc.Frames)))
+	if _, err := of.Write(hdr); err != nil {
+		return err
+	}
+	for _, fr := range sc.Frames {
+		payload := byID[fr.Index]
+		fh := make([]byte, 9)
+		fh[0] = byte(fr.Kind)
+		binary.LittleEndian.PutUint32(fh[1:], uint32(fr.Index))
+		binary.LittleEndian.PutUint32(fh[5:], uint32(len(payload)))
+		if _, err := of.Write(fh); err != nil {
+			return err
+		}
+		if _, err := of.Write(payload); err != nil {
+			return err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		if _, err := of.Write(crc[:]); err != nil {
+			return err
+		}
+	}
+	if len(rep.LostSegments) > 0 {
+		fmt.Printf("restored with %d unrecoverable P/B frames (zero-filled): %v\n",
+			len(rep.LostSegments), rep.LostSegments)
+		fmt.Println("route these frames to the video recovery module (frame interpolation)")
+	} else {
+		fmt.Printf("restored %d frames, fully recovered\n", len(sc.Frames))
+	}
+	return nil
+}
+
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	fail := fs.String("fail", "", "comma-separated node indexes to fail before repairing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("repair needs -dir")
+	}
+	st, err := store.Load(*dir)
+	if err != nil {
+		return err
+	}
+	failed, err := parseFail(*fail)
+	if err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		ids := make([]int, 0, len(failed))
+		for id := range failed {
+			ids = append(ids, id)
+		}
+		if err := st.FailNodes(ids...); err != nil {
+			return err
+		}
+	}
+	rep, err := st.RepairAll()
+	if err != nil {
+		return err
+	}
+	if err := st.Save(*dir); err != nil {
+		return err
+	}
+	fmt.Printf("repaired %d stripes, %d bytes rebuilt\n", rep.StripesRepaired, rep.BytesRebuilt)
+	for obj, segs := range rep.LostSegments {
+		fmt.Printf("object %s: %d segments unrecoverable (fuzzy recovery needed): %v\n",
+			obj, len(segs), segs)
+	}
+	return nil
+}

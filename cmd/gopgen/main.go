@@ -1,0 +1,67 @@
+// Command gopgen generates a synthetic H.264-like GOP stream (the
+// reproduction's stand-in for the paper's YouTube-8M dataset) and
+// reports its tiering statistics, optionally writing the simulated
+// bitstream to a file for use with apprstore.
+//
+// Usage:
+//
+//	gopgen -frames 600 -gop IBBPBBPBB -out stream.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"approxcode/internal/video"
+)
+
+func main() {
+	frames := flag.Int("frames", 600, "number of frames to generate")
+	gop := flag.String("gop", "IBBPBBPBBPBBPBBPBBPBBPBBPBBPBB", "GOP pattern (starts with I)")
+	width := flag.Int("width", 64, "frame width in pixels")
+	height := flag.Int("height", 48, "frame height in pixels")
+	fps := flag.Int("fps", 60, "frames per second")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "optional output file for the simulated bitstream")
+	flag.Parse()
+
+	cfg := video.Config{
+		Width: *width, Height: *height, FPS: *fps,
+		GOP: *gop, NoiseAmp: 3, Seed: *seed,
+	}
+	s, err := video.Generate(cfg, *frames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopgen:", err)
+		os.Exit(1)
+	}
+	imp, unimp := s.ImportantBytes(), s.UnimportantBytes()
+	fmt.Printf("frames:            %d (%d GOPs, pattern %s, %d fps)\n",
+		len(s.Frames), len(s.GOPs()), *gop, *fps)
+	fmt.Printf("encoded bytes:     %d (I: %d, P/B: %d)\n", imp+unimp, imp, unimp)
+	fmt.Printf("important ratio:   %.3f\n", s.ImportantRatio())
+	fmt.Printf("suggested h:       %d (largest h with important tier <= 1/h)\n", s.SuggestH())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gopgen:", err)
+			os.Exit(1)
+		}
+		// Write the AGOP container (header + framed payloads + CRCs) so
+		// apprstore's ingest path can re-identify the frames.
+		if err := video.WriteStream(f, s); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "gopgen:", err)
+			os.Exit(1)
+		}
+		st, err := f.Stat()
+		if err == nil {
+			fmt.Printf("wrote %d bytes to %s (AGOP container)\n", st.Size(), *out)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gopgen:", err)
+			os.Exit(1)
+		}
+	}
+}

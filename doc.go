@@ -1,0 +1,27 @@
+// Package approxcode is a production-quality Go reproduction of
+// "Approximate Code: A Cost-Effective Erasure Coding Framework for
+// Tiered Video Storage in Cloud Systems" (Jin, Wu, Xie, Li, Guo, Lin,
+// Zhang — ICPP 2019).
+//
+// The implementation lives in internal/ packages:
+//
+//   - internal/gf256, internal/matrix — GF(2^8) arithmetic and matrix
+//     algebra;
+//   - internal/erasure — the Coder contract and shard utilities;
+//   - internal/rs, internal/lrc — Reed-Solomon and Azure-style LRC;
+//   - internal/xorcode, internal/evenodd, internal/star, internal/tip —
+//     XOR array codes on a generic parity-chain engine;
+//   - internal/core — the Approximate Code framework (segmentation,
+//     Even/Uneven structures, tiered encode/decode/repair);
+//   - internal/reliability, internal/costmodel — the paper's analyses;
+//   - internal/video — synthetic H.264-like GOP substrate and fuzzy
+//     frame recovery;
+//   - internal/cluster — HDFS-like recovery-time simulator;
+//   - internal/bench — the experiment harness regenerating every table
+//     and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each table and
+// figure as testing.B benchmarks; cmd/apprbench prints them as reports.
+package approxcode

@@ -1,0 +1,63 @@
+// Quickstart: generate an Approximate Code, encode a stripe, fail r+g
+// nodes, and watch important data survive while unimportant data beyond
+// tolerance is reported for fuzzy recovery.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"approxcode/internal/core"
+)
+
+func main() {
+	// APPR.RS(4,1,2,3): 3 local stripes of 4 data + 1 local parity, plus
+	// 2 global parity nodes. Unimportant data tolerates 1 failure;
+	// important data tolerates 3.
+	code, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 4, R: 1, G: 2, H: 3, Structure: core.Uneven,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("code: %s, %d nodes, storage overhead %.3fx\n",
+		code.Name(), code.TotalShards(), code.StorageOverhead())
+
+	// Fill the 12 data nodes (first local stripe = the important tier).
+	const nodeSize = 3 * 1024
+	rng := rand.New(rand.NewSource(42))
+	shards := make([][]byte, code.TotalShards())
+	for _, dn := range code.DataNodeIndexes() {
+		shards[dn] = make([]byte, nodeSize)
+		rng.Read(shards[dn])
+	}
+	if err := code.Encode(shards); err != nil {
+		log.Fatal(err)
+	}
+	original := make([][]byte, len(shards))
+	for i, s := range shards {
+		original[i] = append([]byte(nil), s...)
+	}
+
+	// Fail 3 nodes: two important-stripe nodes and one unimportant node.
+	shards[0], shards[1], shards[5] = nil, nil, nil
+	fmt.Println("failed nodes 0, 1 (important stripe) and 5 (unimportant stripe)")
+
+	rep, err := code.ReconstructReport(shards, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("important data recovered: %v\n", rep.ImportantOK)
+	fmt.Printf("unrecoverable sub-blocks: %d (handed to the video recovery module)\n", len(rep.Lost))
+	fmt.Printf("bytes rebuilt: %d, survivor bytes read: %d\n", rep.BytesRebuilt, rep.BytesRead)
+
+	// Every important byte is back, bit for bit.
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(shards[i], original[i]) {
+			log.Fatalf("node %d differs after reconstruction", i)
+		}
+	}
+	fmt.Println("important nodes byte-identical after triple failure: OK")
+}

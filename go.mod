@@ -1,0 +1,3 @@
+module approxcode
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package bench is the experiment harness: it builds the paper's
+// evaluation sweep (erasure codes and their Approximate forms for
+// k = 5, 7, 9, 11, 13, 15, 17 and h = 4, 6), measures encoding and
+// decoding times, runs the recovery-time cluster simulation, and emits
+// the rows/series of every table and figure in the paper's §4 (see the
+// per-experiment index in DESIGN.md §4).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"approxcode/internal/core"
+	"approxcode/internal/erasure"
+	"approxcode/internal/evenodd"
+	"approxcode/internal/lrc"
+	"approxcode/internal/rs"
+	"approxcode/internal/star"
+	"approxcode/internal/tip"
+)
+
+// PaperKs is the data-node sweep of the paper's evaluation (§4.1.1).
+var PaperKs = []int{5, 7, 9, 11, 13, 15, 17}
+
+// PaperHs is the stripe-count sweep (§4.1.3: h = 4, 6).
+var PaperHs = []int{4, 6}
+
+// Families is the evaluation's code-family list.
+var Families = []core.Family{core.FamilyRS, core.FamilyLRC, core.FamilySTAR, core.FamilyTIP}
+
+// ValidK reports whether a family supports k data nodes: STAR requires
+// k prime, TIP requires k+2 prime (the "/" cells in the paper's tables).
+func ValidK(f core.Family, k int) bool {
+	switch f {
+	case core.FamilySTAR:
+		return evenodd.IsPrime(k) && k >= 3
+	case core.FamilyTIP:
+		return evenodd.IsPrime(k+2) && k >= 3
+	default:
+		return k >= 1 && k+3 <= 256
+	}
+}
+
+// ApprParams returns the segmentation parameters the paper's evaluation
+// uses for every family: r=1, g=2 (§4.1.1 lists APPR.RS/LRC/TIP/STAR
+// (k,1,2,h)). For STAR this segments the horizontal parity as local and
+// the diagonal + anti-diagonal parities as global; the alternative
+// (r=2, g=1) segmentation of §3.3.1 is also supported by core.New.
+func ApprParams(f core.Family) (r, g int) {
+	return 1, 2
+}
+
+// BuildBaseline constructs the paper's baseline coder for a family:
+// RS(k,3), LRC(k,4,2) or LRC(k,6,2) (l = h), STAR(k), TIP(k).
+func BuildBaseline(f core.Family, k, h int) (erasure.Coder, error) {
+	switch f {
+	case core.FamilyRS:
+		return rs.New(k, 3)
+	case core.FamilyLRC:
+		l := h
+		if l > k {
+			l = k
+		}
+		return lrc.New(k, l, 2)
+	case core.FamilySTAR:
+		return star.New(k)
+	case core.FamilyTIP:
+		return tip.New(k + 2)
+	default:
+		return nil, fmt.Errorf("bench: unknown family %q", f)
+	}
+}
+
+// BuildAppr constructs APPR.Family(k, r, g, h, structure).
+func BuildAppr(f core.Family, k, h int, s core.Structure) (*core.Code, error) {
+	r, g := ApprParams(f)
+	return core.New(core.Params{Family: f, K: k, R: r, G: g, H: h, Structure: s})
+}
+
+// AlignSize rounds target down to a positive multiple of mult.
+func AlignSize(target, mult int) int {
+	if target < mult {
+		return mult
+	}
+	return target - target%mult
+}
+
+// Timing options.
+type TimingConfig struct {
+	// ShardSize is the approximate per-node byte size (aligned per code).
+	ShardSize int
+	// Iters is the number of timed repetitions; the average is reported.
+	Iters int
+}
+
+// DefaultTiming keeps the full sweep fast enough for CI while large
+// enough to be bandwidth-dominated.
+func DefaultTiming() TimingConfig { return TimingConfig{ShardSize: 96 * 1024, Iters: 3} }
+
+// MeasureEncode returns the average seconds to encode one stripe and the
+// encoded data bytes per iteration, so callers can normalize to
+// seconds/GB across codes with different stripe widths.
+func MeasureEncode(c erasure.Coder, tc TimingConfig) (secs float64, dataBytes int, err error) {
+	size := AlignSize(tc.ShardSize, c.ShardSizeMultiple())
+	stripe, err := erasure.RandomStripe(c, size, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for i := 0; i < tc.Iters; i++ {
+		if err := c.Encode(stripe); err != nil {
+			return 0, 0, err
+		}
+	}
+	el := time.Since(start).Seconds() / float64(tc.Iters)
+	return el, c.DataShards() * size, nil
+}
+
+// MeasureDecode returns the average seconds to reconstruct the stripe
+// after erasing the given node indexes, and the failed bytes per
+// iteration. For a *core.Code the reconstruction is best-effort (the
+// paper's protocol: unimportant sub-blocks beyond tolerance are left to
+// fuzzy recovery, so they cost no decode time).
+func MeasureDecode(c erasure.Coder, failed []int, tc TimingConfig) (secs float64, failedBytes int, err error) {
+	size := AlignSize(tc.ShardSize, c.ShardSizeMultiple())
+	stripe, err := erasure.RandomStripe(c, size, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	appr, isAppr := c.(*core.Code)
+	var total time.Duration
+	for i := 0; i < tc.Iters; i++ {
+		work := erasure.CloneShards(stripe)
+		for _, f := range failed {
+			work[f] = nil
+		}
+		start := time.Now()
+		if isAppr {
+			if _, err := appr.ReconstructReport(work, core.Options{}); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			if err := c.Reconstruct(work); err != nil {
+				return 0, 0, err
+			}
+		}
+		total += time.Since(start)
+	}
+	return total.Seconds() / float64(tc.Iters), len(failed) * size, nil
+}
+
+// FailureNodes picks the evaluation's failure pattern: the first f data
+// nodes of an unimportant local stripe for the Approximate Code (the
+// case the paper's recovery optimization targets), or simply the first
+// f nodes for a baseline coder.
+func FailureNodes(c erasure.Coder, f int) []int {
+	if appr, ok := c.(*core.Code); ok {
+		data := appr.DataNodeIndexes()
+		k := appr.Params().K
+		// Stripe 1 is unimportant in the Uneven structure and carries
+		// only sub-block row 0 important data in the Even structure.
+		stripe := 1
+		if appr.Params().H == 1 {
+			stripe = 0
+		}
+		out := make([]int, f)
+		for i := 0; i < f; i++ {
+			out[i] = data[stripe*k+i%k]
+		}
+		return out
+	}
+	out := make([]int, f)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,606 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxcode/internal/cluster"
+	"approxcode/internal/core"
+	"approxcode/internal/costmodel"
+	"approxcode/internal/erasure"
+	"approxcode/internal/hdfssim"
+	"approxcode/internal/reliability"
+	"approxcode/internal/rs"
+	"approxcode/internal/video"
+)
+
+// Point is one (k, value) sample of a series; Valid is false for the
+// paper's "/" cells (unsupported k for a family).
+type Point struct {
+	K     int
+	Valid bool
+	Value float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced figure: a set of series over the k sweep.
+type Figure struct {
+	ID, Title, YLabel string
+	Series            []Series
+}
+
+// Table2 reproduces the paper's Table 2 evaluated at a concrete k and h
+// (the paper's table is symbolic; these are its formulas applied).
+func Table2(k, h int) []costmodel.Model {
+	models := []costmodel.Model{
+		costmodel.RS(k, 3),
+		costmodel.LRC(k, 4, 2),
+	}
+	if ValidK(core.FamilySTAR, k) {
+		models = append(models, costmodel.STAR(k))
+	}
+	if ValidK(core.FamilyTIP, k) {
+		models = append(models, costmodel.TIP(k+2))
+	}
+	models = append(models,
+		costmodel.ApprLRC(k, 1, 2, h),
+		costmodel.ApprRS(k, 1, 2, h),
+		costmodel.ApprSTAR(k, h),
+		costmodel.ApprTIP(k, h),
+	)
+	return models
+}
+
+// Table3Row is one row of the storage-improvement table.
+type Table3Row struct {
+	Name   string
+	Values map[int]float64 // k -> relative improvement over RS(k,3)
+}
+
+// Table3 reproduces the paper's Table 3 exactly (arithmetic identities).
+func Table3() []Table3Row {
+	ks := []int{4, 5, 6, 7, 8, 9}
+	var rows []Table3Row
+	for _, cfg := range []struct{ r, g, h int }{{1, 2, 4}, {2, 1, 4}, {1, 2, 6}, {2, 1, 6}} {
+		row := Table3Row{
+			Name:   fmt.Sprintf("APPR.RS(k,%d,%d,%d)", cfg.r, cfg.g, cfg.h),
+			Values: make(map[int]float64),
+		}
+		for _, k := range ks {
+			row.Values[k] = costmodel.StorageImprovement(k, cfg.r, cfg.g, cfg.h)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig7 reproduces the storage-overhead comparison (RS vs APPR.RS) for a
+// given h, over k = 4..17.
+func Fig7(h int) Figure {
+	fig := Figure{ID: "fig7", Title: fmt.Sprintf("Storage overhead, h=%d", h), YLabel: "overhead (x)"}
+	var rsS, a12, a21 Series
+	rsS.Name = "RS(k,3)"
+	a12.Name = fmt.Sprintf("APPR.RS(k,1,2,%d)", h)
+	a21.Name = fmt.Sprintf("APPR.RS(k,2,1,%d)", h)
+	for k := 4; k <= 17; k++ {
+		rsS.Points = append(rsS.Points, Point{K: k, Valid: true, Value: costmodel.RS(k, 3).StorageOverhead})
+		a12.Points = append(a12.Points, Point{K: k, Valid: true, Value: costmodel.ApprOverhead(k, 1, 2, h)})
+		a21.Points = append(a21.Points, Point{K: k, Valid: true, Value: costmodel.ApprOverhead(k, 2, 1, h)})
+	}
+	fig.Series = []Series{rsS, a12, a21}
+	return fig
+}
+
+// Fig8 reproduces the single-write cost comparison (RS, STAR, APPR.RS,
+// APPR.STAR) for a given h.
+func Fig8(h int) Figure {
+	fig := Figure{ID: "fig8", Title: fmt.Sprintf("Single write cost, h=%d", h), YLabel: "avg I/Os per write"}
+	mk := func(name string, f func(k int) (float64, bool)) Series {
+		s := Series{Name: name}
+		for _, k := range PaperKs {
+			v, ok := f(k)
+			s.Points = append(s.Points, Point{K: k, Valid: ok, Value: v})
+		}
+		return s
+	}
+	fig.Series = []Series{
+		mk("RS(k,3)", func(k int) (float64, bool) { return costmodel.RS(k, 3).SingleWriteCost, true }),
+		mk("STAR(k)", func(k int) (float64, bool) {
+			if !ValidK(core.FamilySTAR, k) {
+				return 0, false
+			}
+			return costmodel.STAR(k).SingleWriteCost, true
+		}),
+		mk(fmt.Sprintf("APPR.RS(k,1,2,%d)", h), func(k int) (float64, bool) {
+			return costmodel.ApprRS(k, 1, 2, h).SingleWriteCost, true
+		}),
+		mk(fmt.Sprintf("APPR.STAR(k,2,1,%d)", h), func(k int) (float64, bool) {
+			if !ValidK(core.FamilySTAR, k) {
+				return 0, false
+			}
+			return costmodel.ApprSTAR(k, h).SingleWriteCost, true
+		}),
+	}
+	return fig
+}
+
+// normalizeGB converts (seconds, bytes) into seconds per GiB.
+func normalizeGB(secs float64, bytes int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	return secs * float64(1<<30) / float64(bytes)
+}
+
+// measureApprAveraged measures fn over both structures and averages —
+// the paper's protocol when a code has two structures (§4.1.1).
+func measureApprAveraged(f core.Family, k, h int, fn func(*core.Code) (float64, error)) (float64, error) {
+	var sum float64
+	for _, s := range []core.Structure{core.Even, core.Uneven} {
+		c, err := BuildAppr(f, k, h, s)
+		if err != nil {
+			return 0, err
+		}
+		v, err := fn(c)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / 2, nil
+}
+
+// FigEncoding reproduces one panel of Fig. 9: encoding time (seconds per
+// GiB of data) for a family's baseline vs its Approximate forms at
+// h = 4 and h = 6.
+func FigEncoding(f core.Family, tc TimingConfig) (Figure, error) {
+	fig := Figure{ID: "fig9-" + string(f), Title: fmt.Sprintf("Encoding time, %s", f), YLabel: "s/GiB"}
+	base := Series{Name: string(f) + " baseline"}
+	for _, k := range PaperKs {
+		if !ValidK(f, k) {
+			base.Points = append(base.Points, Point{K: k})
+			continue
+		}
+		c, err := BuildBaseline(f, k, 4)
+		if err != nil {
+			return fig, err
+		}
+		secs, bytes, err := MeasureEncode(c, tc)
+		if err != nil {
+			return fig, err
+		}
+		base.Points = append(base.Points, Point{K: k, Valid: true, Value: normalizeGB(secs, bytes)})
+	}
+	fig.Series = append(fig.Series, base)
+	for _, h := range PaperHs {
+		r, g := ApprParams(f)
+		s := Series{Name: fmt.Sprintf("APPR.%s(k,%d,%d,%d)", f, r, g, h)}
+		for _, k := range PaperKs {
+			if !ValidK(f, k) {
+				s.Points = append(s.Points, Point{K: k})
+				continue
+			}
+			v, err := measureApprAveraged(f, k, h, func(c *core.Code) (float64, error) {
+				secs, bytes, err := MeasureEncode(c, tc)
+				if err != nil {
+					return 0, err
+				}
+				return normalizeGB(secs, bytes), nil
+			})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{K: k, Valid: true, Value: v})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// FigDecoding reproduces one panel of Fig. 10 (f = 2) or Fig. 11 (f = 3)
+// — and, with f = 1, the decoding rows of Table 4: decoding time in
+// seconds per GiB of failed data.
+func FigDecoding(f core.Family, failures int, tc TimingConfig) (Figure, error) {
+	fig := Figure{
+		ID:     fmt.Sprintf("fig-dec%d-%s", failures, f),
+		Title:  fmt.Sprintf("Decoding time under %d failures, %s", failures, f),
+		YLabel: "s/GiB failed",
+	}
+	base := Series{Name: string(f) + " baseline"}
+	for _, k := range PaperKs {
+		if !ValidK(f, k) {
+			base.Points = append(base.Points, Point{K: k})
+			continue
+		}
+		c, err := BuildBaseline(f, k, 4)
+		if err != nil {
+			return fig, err
+		}
+		secs, bytes, err := MeasureDecode(c, FailureNodes(c, failures), tc)
+		if err != nil {
+			return fig, err
+		}
+		base.Points = append(base.Points, Point{K: k, Valid: true, Value: normalizeGB(secs, bytes)})
+	}
+	fig.Series = append(fig.Series, base)
+	for _, h := range PaperHs {
+		r, g := ApprParams(f)
+		s := Series{Name: fmt.Sprintf("APPR.%s(k,%d,%d,%d)", f, r, g, h)}
+		for _, k := range PaperKs {
+			if !ValidK(f, k) {
+				s.Points = append(s.Points, Point{K: k})
+				continue
+			}
+			v, err := measureApprAveraged(f, k, h, func(c *core.Code) (float64, error) {
+				secs, bytes, err := MeasureDecode(c, FailureNodes(c, failures), tc)
+				if err != nil {
+					return 0, err
+				}
+				return normalizeGB(secs, bytes), nil
+			})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{K: k, Valid: true, Value: v})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table4Row is one (scenario, family) row of the improvement table.
+type Table4Row struct {
+	Scenario string
+	Family   core.Family
+	// Values maps k -> relative improvement of APPR(k,·,·,4) over the
+	// baseline (negative = worse). Missing k = unsupported.
+	Values map[int]float64
+}
+
+// Table4 reproduces the paper's Table 4: improvement of the Approximate
+// Codes (h = 4) over their corresponding erasure codes, for encoding and
+// decoding under 1, 2 and 3 node failures, k = 5..13.
+func Table4(tc TimingConfig) ([]Table4Row, error) {
+	ks := []int{5, 7, 9, 11, 13}
+	var rows []Table4Row
+	type scenario struct {
+		name    string
+		measure func(c erasure.Coder) (float64, error)
+	}
+	scenarios := []scenario{
+		{"Encoding", func(c erasure.Coder) (float64, error) {
+			secs, bytes, err := MeasureEncode(c, tc)
+			return normalizeGB(secs, bytes), err
+		}},
+	}
+	for f := 1; f <= 3; f++ {
+		ff := f
+		scenarios = append(scenarios, scenario{
+			fmt.Sprintf("Decoding under %d-node failure", ff),
+			func(c erasure.Coder) (float64, error) {
+				secs, bytes, err := MeasureDecode(c, FailureNodes(c, ff), tc)
+				return normalizeGB(secs, bytes), err
+			}})
+	}
+	for _, sc := range scenarios {
+		for _, fam := range Families {
+			row := Table4Row{Scenario: sc.name, Family: fam, Values: make(map[int]float64)}
+			for _, k := range ks {
+				if !ValidK(fam, k) {
+					continue
+				}
+				baseC, err := BuildBaseline(fam, k, 4)
+				if err != nil {
+					return nil, err
+				}
+				baseV, err := sc.measure(baseC)
+				if err != nil {
+					return nil, err
+				}
+				apprV, err := measureApprAveraged(fam, k, 4, func(c *core.Code) (float64, error) {
+					return sc.measure(c)
+				})
+				if err != nil {
+					return nil, err
+				}
+				if baseV > 0 {
+					row.Values[k] = 1 - apprV/baseV
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig12Bar is one bar of the k=5 combined comparison.
+type Fig12Bar struct {
+	Name    string
+	Encode  float64 // s/GiB data
+	Decode1 float64 // s/GiB failed, single failure
+	Decode2 float64
+	Decode3 float64
+}
+
+// Fig12 reproduces the combined encode/decode comparison at k = 5
+// across every code (paper Fig. 12).
+func Fig12(tc TimingConfig) ([]Fig12Bar, error) {
+	const k = 5
+	var bars []Fig12Bar
+	measure := func(name string, build func() (erasure.Coder, error)) error {
+		c, err := build()
+		if err != nil {
+			return err
+		}
+		b := Fig12Bar{Name: name}
+		secs, bytes, err := MeasureEncode(c, tc)
+		if err != nil {
+			return err
+		}
+		b.Encode = normalizeGB(secs, bytes)
+		for f := 1; f <= 3; f++ {
+			secs, fb, err := MeasureDecode(c, FailureNodes(c, f), tc)
+			if err != nil {
+				return err
+			}
+			v := normalizeGB(secs, fb)
+			switch f {
+			case 1:
+				b.Decode1 = v
+			case 2:
+				b.Decode2 = v
+			default:
+				b.Decode3 = v
+			}
+		}
+		bars = append(bars, b)
+		return nil
+	}
+	for _, fam := range Families {
+		fam := fam
+		c, err := BuildBaseline(fam, k, 4)
+		if err != nil {
+			return nil, err
+		}
+		if err := measure(c.Name(), func() (erasure.Coder, error) { return BuildBaseline(fam, k, 4) }); err != nil {
+			return nil, err
+		}
+		r, g := ApprParams(fam)
+		name := fmt.Sprintf("APPR.%s(%d,%d,%d,4)", fam, k, r, g)
+		if err := measure(name, func() (erasure.Coder, error) { return BuildAppr(fam, k, 4, core.Uneven) }); err != nil {
+			return nil, err
+		}
+	}
+	return bars, nil
+}
+
+// RecoveryResult is one bar of Fig. 13.
+type RecoveryResult struct {
+	Name     string
+	Failures int
+	H        int
+	// Seconds of simulated recovery time.
+	Seconds float64
+	// Speedup vs the family baseline (baselines report 1.0).
+	Speedup float64
+}
+
+// recoverySamples is the number of seeded random failure placements
+// averaged per configuration: node failures in a real cluster strike
+// uniformly at random, which is exactly where the Approximate Code's
+// advantage comes from (most failed bytes are unimportant and are not
+// rebuilt at all).
+const recoverySamples = 30
+
+// randomSubset picks f distinct node indexes of n.
+func randomSubset(rng *rand.Rand, n, f int) []int {
+	return append([]int(nil), rng.Perm(n)[:f]...)
+}
+
+// Fig13 reproduces the recovery-time experiment on the cluster
+// simulator: double and triple node failures placed uniformly at random
+// (averaged over recoverySamples placements), every family, baseline vs
+// Approximate with important-only recovery — the paper's protocol of
+// only rebuilding important data under multi-node failures.
+func Fig13(k, nodeBytes, stripes int) ([]RecoveryResult, error) {
+	cfg := cluster.DefaultConfig()
+	var out []RecoveryResult
+	for _, h := range PaperHs {
+		for _, fails := range []int{2, 3} {
+			for _, fam := range Families {
+				if !ValidK(fam, k) {
+					continue
+				}
+				rng := rand.New(rand.NewSource(int64(1000*h + 100*fails + k)))
+				baseC, err := BuildBaseline(fam, k, h)
+				if err != nil {
+					return nil, err
+				}
+				appr, err := BuildAppr(fam, k, h, core.Uneven)
+				if err != nil {
+					return nil, err
+				}
+				size := AlignSize(nodeBytes, appr.ShardSizeMultiple())
+				var baseSum, apprSum float64
+				for s := 0; s < recoverySamples; s++ {
+					baseFail := randomSubset(rng, baseC.TotalShards(), fails)
+					basePlan, err := cluster.PlanBaseline(baseC, size, baseFail)
+					if err != nil {
+						return nil, err
+					}
+					baseRes, err := cluster.Simulate(cfg, basePlan, stripes)
+					if err != nil {
+						return nil, err
+					}
+					baseSum += baseRes.Time
+					apprFail := randomSubset(rng, appr.TotalShards(), fails)
+					plan, err := cluster.PlanApproximate(appr, size, apprFail, true)
+					if err != nil {
+						return nil, err
+					}
+					res, err := cluster.Simulate(cfg, plan, stripes)
+					if err != nil {
+						return nil, err
+					}
+					apprSum += res.Time
+				}
+				baseAvg := baseSum / recoverySamples
+				apprAvg := apprSum / recoverySamples
+				out = append(out, RecoveryResult{
+					Name: baseC.Name(), Failures: fails, H: h,
+					Seconds: baseAvg, Speedup: 1,
+				})
+				speedup := 0.0
+				if apprAvg > 0 {
+					speedup = baseAvg / apprAvg
+				}
+				out = append(out, RecoveryResult{
+					Name: appr.Name(), Failures: fails, H: h,
+					Seconds: apprAvg, Speedup: speedup,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReliabilityReport reproduces §3.4's P_U / P_I analysis.
+func ReliabilityReport() ([]reliability.Row, error) {
+	return reliability.Analyze(core.FamilyRS, 3, 1, 2, 3)
+}
+
+// VideoReport reproduces §4.1's interpolation experiment: a 60 fps
+// synthetic stream with 1% unimportant-frame loss, recovered by
+// temporal interpolation.
+type VideoReport struct {
+	Frames    int
+	Lost      int
+	MeanPSNR  float64
+	MinPSNR   float64
+	Important float64 // fraction of bytes that is important
+}
+
+// RunVideo executes the video-recovery experiment.
+func RunVideo(frames int) (*VideoReport, error) {
+	s, err := video.Generate(video.DefaultConfig(), frames)
+	if err != nil {
+		return nil, err
+	}
+	lost := s.LoseFraction(0.01, 7)
+	res, err := s.RecoverLost(lost)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VideoReport{
+		Frames:    frames,
+		Lost:      len(lost),
+		MeanPSNR:  res.MeanPSNR,
+		MinPSNR:   res.MeanPSNR,
+		Important: s.ImportantRatio(),
+	}
+	for _, fr := range res.Frames {
+		if fr.PSNR < rep.MinPSNR {
+			rep.MinPSNR = fr.PSNR
+		}
+	}
+	return rep, nil
+}
+
+// Headline reproduces the abstract's three claims from first principles.
+type HeadlineReport struct {
+	ParityReduction float64 // up to 55%
+	StorageSaving   float64 // up to 20.8%
+	RecoverySpeedup float64 // up to 4.7x
+}
+
+// RunHeadline computes the headline numbers: parity and storage from the
+// closed forms at their maximizing configurations, the recovery speedup
+// from the cluster simulation at k=5, h=6, double failures.
+func RunHeadline() (*HeadlineReport, error) {
+	rep := &HeadlineReport{
+		ParityReduction: costmodel.ParityReduction(1, 2, 6),
+		StorageSaving:   costmodel.StorageImprovement(5, 1, 2, 6),
+	}
+	results, err := Fig13(5, 256<<20, 4)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Speedup > rep.RecoverySpeedup {
+			rep.RecoverySpeedup = r.Speedup
+		}
+	}
+	return rep, nil
+}
+
+// DESRecoveryResult is one row of the control-plane recovery experiment
+// (hdfssim): recovery time including failure detection and queueing.
+type DESRecoveryResult struct {
+	Name      string
+	Failures  int
+	Detection float64
+	Repair    float64
+	Total     float64
+}
+
+// Fig13DES extends the recovery experiment with the HDFS control plane:
+// heartbeat detection latency plus throttled repair, for the baseline
+// RS(k,3) and APPR.RS(k,1,2,h) under double and triple failures on an
+// unimportant stripe (important-only recovery).
+func Fig13DES(k, h, nodeBytes, stripes int) ([]DESRecoveryResult, error) {
+	cfg := hdfssim.DefaultConfig()
+	var out []DESRecoveryResult
+	for _, fails := range []int{2, 3} {
+		base, err := rs.New(k, 3)
+		if err != nil {
+			return nil, err
+		}
+		baseFail := make([]int, fails)
+		for i := range baseFail {
+			baseFail[i] = i
+		}
+		basePlan, err := cluster.PlanBaseline(base, nodeBytes, baseFail)
+		if err != nil {
+			return nil, err
+		}
+		appr, err := BuildAppr(core.FamilyRS, k, h, core.Even)
+		if err != nil {
+			return nil, err
+		}
+		size := AlignSize(nodeBytes, appr.ShardSizeMultiple())
+		apprFail := FailureNodes(appr, fails)
+		apprPlan, err := cluster.PlanApproximate(appr, size, apprFail, true)
+		if err != nil {
+			return nil, err
+		}
+		run := func(name string, nodes int, failed []int, tasks []hdfssim.Task) error {
+			c, err := hdfssim.NewCluster(cfg, nodes)
+			if err != nil {
+				return err
+			}
+			res, err := c.RunFailure(10, failed, func([]int) []hdfssim.Task { return tasks }, 20_000)
+			if err != nil {
+				return err
+			}
+			out = append(out, DESRecoveryResult{
+				Name: name, Failures: fails,
+				Detection: res.DetectionLatency(), Repair: res.RepairTime(), Total: res.Total(),
+			})
+			return nil
+		}
+		if err := run(base.Name(), base.TotalShards(), baseFail,
+			hdfssim.TasksFromPlan(basePlan, stripes)); err != nil {
+			return nil, err
+		}
+		if err := run(appr.Name(), appr.TotalShards(), apprFail,
+			hdfssim.TasksFromPlan(apprPlan, stripes)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

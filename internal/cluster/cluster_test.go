@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"approxcode/internal/core"
+	"approxcode/internal/rs"
+)
+
+func apprCode(t *testing.T, h int) *core.Code {
+	t.Helper()
+	c, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 5, R: 1, G: 2, H: h, Structure: core.Uneven,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.NetBW = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero NetBW accepted")
+	}
+	bad = DefaultConfig()
+	bad.SeekLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+}
+
+func TestPlanBaseline(t *testing.T) {
+	c, err := rs.New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanBaseline(c, 1024, []int{1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 1 {
+		t.Fatalf("want 1 task, got %d", len(plan.Tasks))
+	}
+	task := plan.Tasks[0]
+	if len(task.ReadNodes) != 5 || len(task.WriteNodes) != 2 || task.Bytes != 1024 {
+		t.Fatalf("bad task %+v", task)
+	}
+	for _, r := range task.ReadNodes {
+		if r == 1 || r == 6 {
+			t.Fatal("reading from a failed node")
+		}
+	}
+	// No failures -> empty plan.
+	empty, err := PlanBaseline(c, 1024, nil)
+	if err != nil || len(empty.Tasks) != 0 {
+		t.Fatal("empty failure set should plan nothing")
+	}
+	// Beyond tolerance -> everything unrecoverable.
+	dead, err := PlanBaseline(c, 1024, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead.Tasks) != 0 || dead.UnrecoverableBytes != 4*1024 {
+		t.Fatalf("bad dead plan %+v", dead)
+	}
+	if _, err := PlanBaseline(c, 0, []int{0}); err == nil {
+		t.Fatal("zero node size accepted")
+	}
+	if _, err := PlanBaseline(c, 1024, []int{99}); err == nil {
+		t.Fatal("bad node index accepted")
+	}
+}
+
+func TestPlanApproximateCheaperThanBaseline(t *testing.T) {
+	// The core of Fig. 13: under double failures, the Approximate Code
+	// repairs only important codewords fully and therefore moves far
+	// fewer bytes than a same-k baseline.
+	h := 4
+	appr := apprCode(t, h)
+	nodeSize := 4 * appr.ShardSizeMultiple() * 1024
+	base, err := rs.New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail two data nodes of an unimportant stripe.
+	failed := []int{appr.DataNodeIndexes()[5], appr.DataNodeIndexes()[6]}
+	apprPlan, err := PlanApproximate(appr, nodeSize, failed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePlan, err := PlanBaseline(base, nodeSize, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apprBytes, baseBytes int64
+	for _, task := range apprPlan.Tasks {
+		apprBytes += int64(len(task.ReadNodes)) * task.Bytes
+	}
+	for _, task := range basePlan.Tasks {
+		baseBytes += int64(len(task.ReadNodes)) * task.Bytes
+	}
+	if apprBytes*2 >= baseBytes {
+		t.Fatalf("approximate reads %d not far below baseline %d", apprBytes, baseBytes)
+	}
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := rs.New(5, 3)
+	plan, _ := PlanBaseline(c, 1<<20, []int{0})
+	res, err := Simulate(cfg, plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("zero recovery time")
+	}
+	if res.BytesRead != 4*5*(1<<20) || res.BytesWritten != 4*(1<<20) {
+		t.Fatalf("byte accounting wrong: %+v", res)
+	}
+	if res.Tasks != 4 {
+		t.Fatalf("want 4 tasks, got %d", res.Tasks)
+	}
+	// Determinism.
+	res2, _ := Simulate(cfg, plan, 4)
+	if res2.Time != res.Time {
+		t.Fatal("simulation not deterministic")
+	}
+	if _, err := Simulate(cfg, plan, 0); err == nil {
+		t.Fatal("zero stripes accepted")
+	}
+	bad := cfg
+	bad.ComputeBW = -1
+	if _, err := Simulate(bad, plan, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSimulateScalesWithStripes(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := rs.New(5, 3)
+	plan, _ := PlanBaseline(c, 1<<20, []int{0, 1})
+	r1, _ := Simulate(cfg, plan, 1)
+	r8, _ := Simulate(cfg, plan, 8)
+	if r8.Time <= r1.Time {
+		t.Fatal("more stripes must take longer")
+	}
+	// Roughly linear: within a factor [4, 12] of the single stripe.
+	ratio := r8.Time / r1.Time
+	if ratio < 3 || ratio > 16 {
+		t.Fatalf("scaling ratio %.2f implausible", ratio)
+	}
+}
+
+func TestApproximateRecoveryFasterThanBaseline(t *testing.T) {
+	// Fig. 13's headline: recovery speed up to ~4.7x under double/triple
+	// failures. Require at least 2x in the simulation.
+	cfg := DefaultConfig()
+	h := 4
+	appr := apprCode(t, h)
+	nodeSize := 1 << 20
+	nodeSize -= nodeSize % appr.ShardSizeMultiple()
+	base, _ := rs.New(5, 3)
+	failed := []int{appr.DataNodeIndexes()[5], appr.DataNodeIndexes()[6]}
+	apprPlan, err := PlanApproximate(appr, nodeSize, failed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePlan, _ := PlanBaseline(base, nodeSize, []int{0, 1})
+	ra, err := Simulate(cfg, apprPlan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(cfg, basePlan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := rb.Time / ra.Time; speedup < 2 {
+		t.Fatalf("speedup %.2f < 2x (appr %.4fs, base %.4fs)", speedup, ra.Time, rb.Time)
+	}
+}
+
+func TestSimulateContentionMatters(t *testing.T) {
+	// Two tasks reading from the same survivor must take longer than two
+	// tasks reading from disjoint survivors.
+	cfg := DefaultConfig()
+	mk := func(reads1, reads2 []int) *Plan {
+		return &Plan{Tasks: []core.RepairTask{
+			{ReadNodes: reads1, WriteNodes: []int{10}, Bytes: 1 << 22},
+			{ReadNodes: reads2, WriteNodes: []int{11}, Bytes: 1 << 22},
+		}}
+	}
+	hot, err := Simulate(cfg, mk([]int{0, 1}, []int{0, 1}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Simulate(cfg, mk([]int{0, 1}, []int{2, 3}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Time <= cold.Time {
+		t.Fatalf("contention not modeled: hot %.4f <= cold %.4f", hot.Time, cold.Time)
+	}
+}
+
+func TestRemoteWriteCostsMore(t *testing.T) {
+	cfg := DefaultConfig()
+	local := &Plan{Tasks: []core.RepairTask{{ReadNodes: []int{0}, WriteNodes: []int{9}, Bytes: 1 << 22}}}
+	remote := &Plan{Tasks: []core.RepairTask{{ReadNodes: []int{0}, WriteNodes: []int{9, 8}, Bytes: 1 << 22}}}
+	rl, _ := Simulate(cfg, local, 1)
+	rr, _ := Simulate(cfg, remote, 1)
+	if rr.Time <= rl.Time {
+		t.Fatal("extra remote write did not add time")
+	}
+	if rr.BytesWritten != 2*rl.BytesWritten {
+		t.Fatal("write accounting wrong")
+	}
+}
+
+func TestUnrecoverableBytesScale(t *testing.T) {
+	appr := apprCode(t, 4)
+	nodeSize := 4 * appr.ShardSizeMultiple()
+	// Two failures in one unimportant stripe with r=1: losses expected.
+	failed := []int{appr.DataNodeIndexes()[5], appr.DataNodeIndexes()[6]}
+	plan, err := PlanApproximate(appr, nodeSize, failed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UnrecoverableBytes == 0 {
+		t.Fatal("expected unrecoverable bytes")
+	}
+	res, err := Simulate(DefaultConfig(), plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnrecoverableBytes != 3*plan.UnrecoverableBytes {
+		t.Fatal("unrecoverable bytes must scale with stripes")
+	}
+	if math.IsNaN(res.Time) {
+		t.Fatal("NaN time")
+	}
+}

@@ -1,0 +1,619 @@
+// Package core implements the Approximate Code framework (paper §3): an
+// erasure coding framework for tiered video storage that protects
+// important data (I frames) with r+g parities and unimportant data (P/B
+// frames) with only r parities.
+//
+// The framework follows the paper's four steps:
+//
+//  1. Code input — an erasure code family (RS, LRC, STAR, TIP) and its
+//     parameters.
+//  2. Code segmentation — the input code's parities are split into r
+//     local parities (applied to all data) and g global parities
+//     (applied to the important data only), with r+g = 3 for 3DFTs.
+//  3. Structure selection — Even (important data spread uniformly over
+//     every data node) or Uneven (important data aggregated on one
+//     dedicated local stripe).
+//  4. Code generation — APPR.CodeName(k, r, g, h, Structure): h local
+//     stripes of k data + r local-parity nodes, plus g global parity
+//     nodes; N = h*(k+r) + g.
+//
+// Geometry. Every node column is divided into h equal sub-blocks. Each
+// (stripe, sub-block) pair is an independent codeword across the
+// stripe's k data nodes: important sub-stripes are (k, r+g) codewords of
+// the full input code whose last g parities live on the global nodes;
+// unimportant sub-stripes are (k, r) codewords of the input code's local
+// prefix. The ratio of important data is exactly 1/h in both structures.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"approxcode/internal/crs"
+	"approxcode/internal/erasure"
+	"approxcode/internal/evenodd"
+	"approxcode/internal/rs"
+	"approxcode/internal/star"
+	"approxcode/internal/tip"
+)
+
+// Structure selects how important data is distributed (paper Fig. 4).
+type Structure int
+
+const (
+	// Even spreads important data uniformly: sub-block 0 of every data
+	// node is important. Balanced workload.
+	Even Structure = iota
+	// Uneven aggregates important data on local stripe 0: every
+	// sub-block of stripe 0's data nodes is important. Better
+	// reliability (higher P_U and P_I, paper §3.4).
+	Uneven
+)
+
+// String implements fmt.Stringer.
+func (s Structure) String() string {
+	switch s {
+	case Even:
+		return "Even"
+	case Uneven:
+		return "Uneven"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// Family identifies the input erasure code handed to the framework.
+type Family string
+
+// The four input-code families evaluated in the paper, plus CRS (cited
+// by the paper as an accepted 3DFT input; implemented as a demonstration
+// of the framework's flexibility claim).
+const (
+	FamilyRS   Family = "RS"
+	FamilyLRC  Family = "LRC"
+	FamilySTAR Family = "STAR"
+	FamilyTIP  Family = "TIP"
+	FamilyCRS  Family = "CRS"
+)
+
+// Params configures the generated Approximate Code (paper §3.1.4:
+// APPR.CodeName(k, r, g, h, Structure)).
+type Params struct {
+	Family    Family
+	K         int // data nodes per local stripe
+	R         int // local parity nodes per local stripe
+	G         int // global parity nodes per global stripe
+	H         int // local stripes per global stripe; important ratio = 1/h
+	Structure Structure
+}
+
+// Name renders the paper's APPR.CodeName(k,r,g,h,Structure) notation.
+func (p Params) Name() string {
+	return fmt.Sprintf("APPR.%s(%d,%d,%d,%d,%s)", p.Family, p.K, p.R, p.G, p.H, p.Structure)
+}
+
+// ErrUnrecoverable wraps erasure.ErrTooManyErasures for sub-blocks that
+// exceed their codeword's fault tolerance; callers route such data to the
+// video recovery module (fuzzy reconstruction).
+var ErrUnrecoverable = erasure.ErrTooManyErasures
+
+// SubBlock identifies one sub-block of one node: local stripe, node index
+// (global numbering), and sub-block row m in [0, h).
+type SubBlock struct {
+	Node int
+	Row  int
+}
+
+// Report describes the outcome of a best-effort reconstruction.
+type Report struct {
+	// ImportantOK is true when every important sub-stripe decoded.
+	ImportantOK bool
+	// Lost lists sub-blocks that could not be reconstructed (their
+	// codeword had more erasures than parities). Empty on full recovery.
+	Lost []SubBlock
+	// BytesRebuilt counts reconstructed bytes written to failed nodes.
+	BytesRebuilt int64
+	// BytesRead counts survivor bytes consumed by the decoder.
+	BytesRead int64
+}
+
+// Code is a generated Approximate Code. It implements erasure.Coder over
+// the N = h*(k+r)+g node columns of a global stripe and adds
+// tiered-recovery entry points. Immutable after New; safe for concurrent
+// use.
+type Code struct {
+	p     Params
+	local erasure.Coder // (k, r) prefix code for unimportant sub-stripes
+	full  erasure.Coder // (k, r+g) input code for important sub-stripes
+}
+
+var _ erasure.Coder = (*Code)(nil)
+
+// New runs code input, segmentation and generation for the requested
+// parameters and returns the resulting Approximate Code.
+//
+// Family constraints:
+//   - RS, LRC: any k >= 1 with k+r+g <= 256; r >= 1, g >= 1.
+//   - STAR: k must be prime; segmentation fixes r=2 (horizontal+diagonal
+//     -> EVENODD local parities), g=1 (anti-diagonal -> global parity).
+//   - TIP: k+2 must be prime; segmentation fixes r=1 (horizontal local
+//     parity), g=2 (diagonal+anti-diagonal global parities).
+func New(p Params) (*Code, error) {
+	if p.K < 1 || p.R < 1 || p.G < 1 || p.H < 1 {
+		return nil, fmt.Errorf("core: invalid params %+v", p)
+	}
+	if p.Structure != Even && p.Structure != Uneven {
+		return nil, fmt.Errorf("core: invalid structure %d", int(p.Structure))
+	}
+	var (
+		local, full erasure.Coder
+		err         error
+	)
+	switch p.Family {
+	case FamilyRS:
+		if local, err = rs.New(p.K, p.R); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if full, err = rs.New(p.K, p.R+p.G); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	case FamilyLRC:
+		if local, err = rs.NewXORPrefix(p.K, p.R); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if full, err = rs.NewXORPrefix(p.K, p.R+p.G); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	case FamilyCRS:
+		if local, err = crs.New(p.K, p.R); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if full, err = crs.New(p.K, p.R+p.G); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	case FamilySTAR:
+		switch {
+		case p.R == 2 && p.G == 1:
+			// Horizontal + diagonal local (EVENODD), anti-diagonal global
+			// (paper §3.3.1).
+			if local, err = evenodd.New(p.K); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		case p.R == 1 && p.G == 2:
+			// Horizontal local, diagonal + anti-diagonal global (the
+			// APPR.STAR(k,1,2,h) configuration of the paper's §4 sweep).
+			if local, err = star.NewHorizontal(p.K); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("core: APPR.STAR requires (r,g) in {(2,1),(1,2)}, got r=%d g=%d", p.R, p.G)
+		}
+		if full, err = star.New(p.K); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	case FamilyTIP:
+		if p.R != 1 || p.G != 2 {
+			return nil, fmt.Errorf("core: APPR.TIP requires r=1 g=2, got r=%d g=%d", p.R, p.G)
+		}
+		if local, err = tip.NewLocal(p.K + 2); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if full, err = tip.New(p.K + 2); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown family %q", p.Family)
+	}
+	return &Code{p: p, local: local, full: full}, nil
+}
+
+// Params returns the configuration the code was generated from.
+func (c *Code) Params() Params { return c.p }
+
+// Name implements erasure.Coder.
+func (c *Code) Name() string { return c.p.Name() }
+
+// DataShards implements erasure.Coder: h*k data nodes per global stripe.
+func (c *Code) DataShards() int { return c.p.H * c.p.K }
+
+// ParityShards implements erasure.Coder: h*r local + g global nodes.
+func (c *Code) ParityShards() int { return c.p.H*c.p.R + c.p.G }
+
+// TotalShards implements erasure.Coder: N = h*(k+r) + g.
+func (c *Code) TotalShards() int { return c.p.H*(c.p.K+c.p.R) + c.p.G }
+
+// FaultTolerance implements erasure.Coder: the whole-stripe guarantee is
+// r (unimportant data bounds it). Important data tolerates
+// ImportantFaultTolerance failures.
+func (c *Code) FaultTolerance() int { return c.p.R }
+
+// ImportantFaultTolerance is r+g: any r+g node failures leave every
+// important sub-stripe decodable when the input code is MDS (paper
+// §3.1.4).
+func (c *Code) ImportantFaultTolerance() int { return c.p.R + c.p.G }
+
+// ShardSizeMultiple implements erasure.Coder: node size must divide into
+// h sub-blocks, each a multiple of the input code's granularity.
+func (c *Code) ShardSizeMultiple() int { return c.p.H * c.full.ShardSizeMultiple() }
+
+// Node-role helpers ---------------------------------------------------------
+
+// NodeRole classifies a node index within the global stripe.
+type NodeRole int
+
+// Node roles within a global stripe.
+const (
+	RoleData NodeRole = iota
+	RoleLocalParity
+	RoleGlobalParity
+)
+
+// Role returns the role of node index i.
+func (c *Code) Role(i int) NodeRole {
+	per := c.p.K + c.p.R
+	if i >= c.p.H*per {
+		return RoleGlobalParity
+	}
+	if i%per < c.p.K {
+		return RoleData
+	}
+	return RoleLocalParity
+}
+
+// StripeOf returns the local stripe that owns node i, or -1 for global
+// parity nodes.
+func (c *Code) StripeOf(i int) int {
+	per := c.p.K + c.p.R
+	if i >= c.p.H*per {
+		return -1
+	}
+	return i / per
+}
+
+// dataNode returns the global node index of data column j of stripe l.
+func (c *Code) dataNode(l, j int) int { return l*(c.p.K+c.p.R) + j }
+
+// parityNode returns the global node index of local parity i of stripe l.
+func (c *Code) parityNode(l, i int) int { return l*(c.p.K+c.p.R) + c.p.K + i }
+
+// globalNode returns the global node index of global parity i.
+func (c *Code) globalNode(i int) int { return c.p.H*(c.p.K+c.p.R) + i }
+
+// DataNodeIndexes implements erasure.DataLayout: data nodes are
+// interleaved with local parity nodes stripe by stripe.
+func (c *Code) DataNodeIndexes() []int {
+	idx := make([]int, 0, c.DataShards())
+	for l := 0; l < c.p.H; l++ {
+		for j := 0; j < c.p.K; j++ {
+			idx = append(idx, c.dataNode(l, j))
+		}
+	}
+	return idx
+}
+
+// Important reports whether sub-block row m of local stripe l holds
+// important data: Even -> m == 0 in every stripe; Uneven -> every row of
+// stripe 0.
+func (c *Code) Important(l, m int) bool {
+	if c.p.Structure == Even {
+		return m == 0
+	}
+	return l == 0
+}
+
+// globalRow returns the sub-block row on the global parity nodes storing
+// the g extra parities of important sub-stripe (l, m): Even packs one
+// row per stripe, Uneven packs stripe 0's rows in order.
+func (c *Code) globalRow(l, m int) int {
+	if c.p.Structure == Even {
+		return l
+	}
+	return m
+}
+
+// sub returns the m-th sub-block view of a node column.
+func sub(col []byte, m, h int) []byte {
+	s := len(col) / h
+	return col[m*s : (m+1)*s]
+}
+
+// codewordNodes lists the global node indexes of the codeword covering
+// sub-stripe (l, m): k data, r local parities, and — when important — the
+// g global nodes.
+func (c *Code) codewordNodes(l, m int) []int {
+	imp := c.Important(l, m)
+	n := c.p.K + c.p.R
+	if imp {
+		n += c.p.G
+	}
+	nodes := make([]int, 0, n)
+	for j := 0; j < c.p.K; j++ {
+		nodes = append(nodes, c.dataNode(l, j))
+	}
+	for i := 0; i < c.p.R; i++ {
+		nodes = append(nodes, c.parityNode(l, i))
+	}
+	if imp {
+		for i := 0; i < c.p.G; i++ {
+			nodes = append(nodes, c.globalNode(i))
+		}
+	}
+	return nodes
+}
+
+// subRowOnNode returns which sub-block row of the given codeword node
+// carries sub-stripe (l, m): global parity nodes use globalRow, all
+// stripe-local nodes use m itself.
+func (c *Code) subRowOnNode(node, l, m int) int {
+	if c.Role(node) == RoleGlobalParity {
+		return c.globalRow(l, m)
+	}
+	return m
+}
+
+// Encode implements erasure.Coder: fills the h*r local parity nodes and
+// g global parity nodes from the h*k data nodes.
+func (c *Code) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	// Validate all data nodes present and equal sized.
+	size := -1
+	for l := 0; l < c.p.H; l++ {
+		for j := 0; j < c.p.K; j++ {
+			s := shards[c.dataNode(l, j)]
+			if s == nil {
+				return fmt.Errorf("%s encode: %w: data node missing", c.Name(), erasure.ErrShardSize)
+			}
+			if size == -1 {
+				size = len(s)
+			} else if len(s) != size {
+				return fmt.Errorf("%s encode: %w: unequal data nodes", c.Name(), erasure.ErrShardSize)
+			}
+		}
+	}
+	if size == 0 || size%c.ShardSizeMultiple() != 0 {
+		return fmt.Errorf("%s encode: %w: size %d not a positive multiple of %d",
+			c.Name(), erasure.ErrShardSize, size, c.ShardSizeMultiple())
+	}
+	for i := range shards {
+		if c.Role(i) != RoleData {
+			if shards[i] == nil {
+				shards[i] = make([]byte, size)
+			} else if len(shards[i]) != size {
+				return fmt.Errorf("%s encode: %w: parity node %d", c.Name(), erasure.ErrShardSize, i)
+			}
+		}
+	}
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			if err := c.encodeSubStripe(shards, l, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// encodeSubStripe encodes codeword (l, m) into the parity sub-blocks.
+func (c *Code) encodeSubStripe(shards [][]byte, l, m int) error {
+	coder := c.local
+	if c.Important(l, m) {
+		coder = c.full
+	}
+	nodes := c.codewordNodes(l, m)
+	cw := make([][]byte, len(nodes))
+	for i, node := range nodes {
+		cw[i] = sub(shards[node], c.subRowOnNode(node, l, m), c.p.H)
+	}
+	return coder.Encode(cw)
+}
+
+// Reconstruct implements erasure.Coder: best-effort repair of every
+// erased node. If any sub-block is unrecoverable the stripe is left with
+// every recoverable sub-block repaired (unrecoverable ones zeroed) and
+// an error wrapping erasure.ErrTooManyErasures is returned; use
+// ReconstructReport for tiered-recovery details.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	rep, err := c.ReconstructReport(shards, Options{})
+	if err != nil {
+		return err
+	}
+	if len(rep.Lost) > 0 {
+		return fmt.Errorf("%s reconstruct: %w: %d sub-blocks lost",
+			c.Name(), ErrUnrecoverable, len(rep.Lost))
+	}
+	return nil
+}
+
+// Options tunes ReconstructReport.
+type Options struct {
+	// ImportantOnly repairs only important sub-stripes (and the parity
+	// sub-blocks of those codewords). This is the paper's fast recovery
+	// mode under multi-node failures: unimportant losses are left to the
+	// video recovery module.
+	ImportantOnly bool
+}
+
+// ReconstructReport repairs erased nodes (nil entries) in place and
+// reports what was recovered. Sub-blocks whose codeword exceeds its
+// fault tolerance are zero-filled and listed in Report.Lost. An error is
+// returned only for malformed input, never for unrecoverable data.
+func (c *Code) ReconstructReport(shards [][]byte, opts Options) (*Report, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), true)
+	if err != nil {
+		return nil, fmt.Errorf("%s reconstruct: %w", c.Name(), err)
+	}
+	erased := erasure.Erased(shards)
+	rep := &Report{ImportantOK: true}
+	if len(erased) == 0 {
+		return rep, nil
+	}
+	failed := make(map[int]bool, len(erased))
+	for _, e := range erased {
+		failed[e] = true
+		shards[e] = make([]byte, size)
+	}
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			local, err := c.repairSubStripe(shards, failed, l, m, opts, size)
+			if err != nil {
+				return nil, err
+			}
+			rep.Lost = append(rep.Lost, local.Lost...)
+			rep.BytesRebuilt += local.BytesRebuilt
+			rep.BytesRead += local.BytesRead
+			if !local.ImportantOK {
+				rep.ImportantOK = false
+			}
+		}
+	}
+	// Global-parity sub-blocks not referenced by any codeword (Uneven
+	// uses all h rows; Even uses rows 0..h-1 — all rows in both cases),
+	// so nothing else to repair.
+	return rep, nil
+}
+
+// repairSubStripe repairs one codeword (l, m), writing recovered
+// sub-blocks into the (pre-allocated) failed node columns, and returns
+// a per-codeword mini report. Codewords touch disjoint sub-blocks, so
+// concurrent calls for different (l, m) are safe.
+func (c *Code) repairSubStripe(shards [][]byte, failed map[int]bool, l, m int, opts Options, size int) (Report, error) {
+	rep := Report{ImportantOK: true}
+	subSize := size / c.p.H
+	imp := c.Important(l, m)
+	if opts.ImportantOnly && !imp {
+		// Still must report losses on failed nodes.
+		for _, node := range c.codewordNodes(l, m) {
+			if failed[node] {
+				rep.Lost = append(rep.Lost, SubBlock{Node: node, Row: c.subRowOnNode(node, l, m)})
+			}
+		}
+		return rep, nil
+	}
+	coder := c.local
+	if imp {
+		coder = c.full
+	}
+	nodes := c.codewordNodes(l, m)
+	cw := make([][]byte, len(nodes))
+	nErased := 0
+	for i, node := range nodes {
+		if failed[node] {
+			nErased++
+			continue // leave nil: erased
+		}
+		cw[i] = sub(shards[node], c.subRowOnNode(node, l, m), c.p.H)
+	}
+	if nErased == 0 {
+		return rep, nil
+	}
+	if nErased == len(nodes) {
+		// The whole codeword is gone; nothing to decode from.
+		for _, node := range nodes {
+			rep.Lost = append(rep.Lost, SubBlock{Node: node, Row: c.subRowOnNode(node, l, m)})
+		}
+		if imp {
+			rep.ImportantOK = false
+		}
+		return rep, nil
+	}
+	if err := coder.Reconstruct(cw); err != nil {
+		if errors.Is(err, erasure.ErrTooManyErasures) {
+			for i, node := range nodes {
+				if cw[i] == nil || failed[node] {
+					rep.Lost = append(rep.Lost, SubBlock{Node: node, Row: c.subRowOnNode(node, l, m)})
+				}
+			}
+			if imp {
+				rep.ImportantOK = false
+			}
+			return rep, nil
+		}
+		return rep, err
+	}
+	// Copy recovered sub-blocks back and account I/O.
+	for i, node := range nodes {
+		if failed[node] {
+			copy(sub(shards[node], c.subRowOnNode(node, l, m), c.p.H), cw[i])
+			rep.BytesRebuilt += int64(subSize)
+		} else {
+			rep.BytesRead += int64(subSize)
+		}
+	}
+	return rep, nil
+}
+
+// Verify implements erasure.Coder.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if _, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), false); err != nil {
+		return false, fmt.Errorf("%s verify: %w", c.Name(), err)
+	}
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			coder := c.local
+			if c.Important(l, m) {
+				coder = c.full
+			}
+			nodes := c.codewordNodes(l, m)
+			cw := make([][]byte, len(nodes))
+			for i, node := range nodes {
+				s := sub(shards[node], c.subRowOnNode(node, l, m), c.p.H)
+				cw[i] = append([]byte(nil), s...)
+			}
+			ok, err := coder.Verify(cw)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// UpdateCost returns the number of whole-block I/O writes needed to
+// update sub-block (node=data node index, row m): 1 for the data block
+// itself, r for the local parities, plus g when the sub-block is
+// important. Averaged over all data sub-blocks this equals the paper's
+// Table 2 entry 1 + r + g/h.
+func (c *Code) UpdateCost(node, m int) (int, error) {
+	if c.Role(node) != RoleData {
+		return 0, fmt.Errorf("core: node %d is not a data node", node)
+	}
+	if m < 0 || m >= c.p.H {
+		return 0, fmt.Errorf("core: sub-block row %d out of range", m)
+	}
+	l := c.StripeOf(node)
+	cost := 1 + c.p.R
+	if c.Important(l, m) {
+		cost += c.p.G
+	}
+	return cost, nil
+}
+
+// AverageUpdateCost returns the exact average of UpdateCost over every
+// data sub-block: 1 + r + g/h.
+func (c *Code) AverageUpdateCost() float64 {
+	total, count := 0, 0
+	for l := 0; l < c.p.H; l++ {
+		for j := 0; j < c.p.K; j++ {
+			for m := 0; m < c.p.H; m++ {
+				cost, _ := c.UpdateCost(c.dataNode(l, j), m)
+				total += cost
+				count++
+			}
+		}
+	}
+	return float64(total) / float64(count)
+}
+
+// StorageOverhead returns the measured ratio of total stored bytes to
+// data bytes: ((k+r)h+g) / (kh), paper Table 2.
+func (c *Code) StorageOverhead() float64 {
+	return float64(c.TotalShards()) / float64(c.DataShards())
+}
+
+// ImportantRatio returns the fraction of data that is important (1/h).
+func (c *Code) ImportantRatio() float64 { return 1 / float64(c.p.H) }

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// testParams are small-but-representative configurations covering every
+// family and both structures.
+func testParams() []Params {
+	var out []Params
+	base := []Params{
+		{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3},
+		{Family: FamilyRS, K: 4, R: 2, G: 1, H: 2},
+		{Family: FamilyLRC, K: 3, R: 1, G: 2, H: 2},
+		{Family: FamilySTAR, K: 5, R: 2, G: 1, H: 2},
+		{Family: FamilySTAR, K: 5, R: 1, G: 2, H: 2},
+		{Family: FamilyTIP, K: 3, R: 1, G: 2, H: 2},
+		{Family: FamilyTIP, K: 5, R: 1, G: 2, H: 2},
+		{Family: FamilyCRS, K: 3, R: 1, G: 2, H: 2},
+	}
+	for _, p := range base {
+		pe, pu := p, p
+		pe.Structure, pu.Structure = Even, Uneven
+		out = append(out, pe, pu)
+	}
+	return out
+}
+
+func mustNew(t *testing.T, p Params) *Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", p, err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Params{
+		{Family: FamilyRS, K: 0, R: 1, G: 2, H: 2},
+		{Family: FamilyRS, K: 3, R: 0, G: 2, H: 2},
+		{Family: FamilyRS, K: 3, R: 1, G: 0, H: 2},
+		{Family: FamilyRS, K: 3, R: 1, G: 2, H: 0},
+		{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Structure(9)},
+		{Family: FamilySTAR, K: 5, R: 3, G: 1, H: 2}, // STAR needs (r,g) in {(2,1),(1,2)}
+		{Family: FamilySTAR, K: 6, R: 2, G: 1, H: 2}, // k not prime
+		{Family: FamilyTIP, K: 5, R: 2, G: 1, H: 2},  // TIP needs r=1 g=2
+		{Family: FamilyTIP, K: 4, R: 1, G: 2, H: 2},  // k+2 not prime
+		{Family: Family("XYZ"), K: 3, R: 1, G: 2, H: 2},
+	}
+	for _, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 4, R: 1, G: 2, H: 3, Structure: Uneven})
+	if c.TotalShards() != 3*5+2 {
+		t.Fatalf("N=%d want 17", c.TotalShards())
+	}
+	if c.DataShards() != 12 || c.ParityShards() != 5 {
+		t.Fatal("shard counts wrong")
+	}
+	if c.FaultTolerance() != 1 || c.ImportantFaultTolerance() != 3 {
+		t.Fatal("tolerances wrong")
+	}
+	if c.Name() != "APPR.RS(4,1,2,3,Uneven)" {
+		t.Fatalf("name %q", c.Name())
+	}
+	// Roles: nodes 0-3 data, 4 local parity, ..., 15-16 global.
+	if c.Role(0) != RoleData || c.Role(4) != RoleLocalParity || c.Role(15) != RoleGlobalParity {
+		t.Fatal("roles wrong")
+	}
+	if c.StripeOf(7) != 1 || c.StripeOf(16) != -1 {
+		t.Fatal("StripeOf wrong")
+	}
+	if math.Abs(c.ImportantRatio()-1.0/3) > 1e-12 {
+		t.Fatal("important ratio wrong")
+	}
+}
+
+func TestImportantMap(t *testing.T) {
+	even := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: Even})
+	uneven := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: Uneven})
+	impCount := func(c *Code) int {
+		n := 0
+		for l := 0; l < 3; l++ {
+			for m := 0; m < 3; m++ {
+				if c.Important(l, m) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// Both structures must mark exactly h sub-stripes (ratio 1/h).
+	if impCount(even) != 3 || impCount(uneven) != 3 {
+		t.Fatal("important sub-stripe count != h")
+	}
+	if !even.Important(2, 0) || even.Important(0, 1) {
+		t.Fatal("Even: important must be row 0 of every stripe")
+	}
+	if !uneven.Important(0, 2) || uneven.Important(1, 0) {
+		t.Fatal("Uneven: important must be all rows of stripe 0")
+	}
+}
+
+func stripeSize(c *Code) int { return 4 * c.ShardSizeMultiple() }
+
+// importantData extracts (copy) every important data sub-block.
+func importantData(c *Code, shards [][]byte) [][]byte {
+	p := c.Params()
+	var out [][]byte
+	for l := 0; l < p.H; l++ {
+		for m := 0; m < p.H; m++ {
+			if !c.Important(l, m) {
+				continue
+			}
+			for j := 0; j < p.K; j++ {
+				s := sub(shards[c.dataNode(l, j)], m, p.H)
+				out = append(out, append([]byte(nil), s...))
+			}
+		}
+	}
+	return out
+}
+
+func TestEncodeVerifyRoundTrip(t *testing.T) {
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			stripe, err := erasure.RandomStripe(c, stripeSize(c), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := c.Verify(stripe)
+			if err != nil || !ok {
+				t.Fatalf("verify ok=%v err=%v", ok, err)
+			}
+			// Corrupt one byte of a global parity node: Verify must fail.
+			stripe[c.TotalShards()-1][0] ^= 0x5A
+			if ok, _ := c.Verify(stripe); ok {
+				t.Fatal("corrupted global parity passed verify")
+			}
+		})
+	}
+}
+
+func TestExhaustiveWholeStripeTolerance(t *testing.T) {
+	// As an erasure.Coder, the whole-stripe guarantee is r failures.
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			if err := erasure.CheckExhaustive(c, stripeSize(c), 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestImportantSurvivesRPlusGFailures(t *testing.T) {
+	// The paper's central reliability claim: important data tolerates any
+	// r+g node failures. Exhaustive over every pattern of size r+1..r+g.
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			stripe, err := erasure.RandomStripe(c, stripeSize(c), 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantImp := importantData(c, stripe)
+			n := c.TotalShards()
+			for f := p.R + 1; f <= p.R+p.G; f++ {
+				erasure.Combinations(n, f, func(idx []int) bool {
+					work := erasure.CloneShards(stripe)
+					for _, e := range idx {
+						work[e] = nil
+					}
+					rep, err := c.ReconstructReport(work, Options{})
+					if err != nil {
+						t.Fatalf("pattern %v: %v", idx, err)
+					}
+					if !rep.ImportantOK {
+						t.Fatalf("pattern %v: important data lost", idx)
+					}
+					got := importantData(c, work)
+					for i := range wantImp {
+						if !bytes.Equal(got[i], wantImp[i]) {
+							t.Fatalf("pattern %v: important sub-block %d differs", idx, i)
+						}
+					}
+					return true
+				})
+			}
+		})
+	}
+}
+
+func TestUnimportantLossIsReported(t *testing.T) {
+	p := Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: Uneven}
+	c := mustNew(t, p)
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail two data nodes of unimportant stripe 1: exceeds r=1.
+	work := erasure.CloneShards(stripe)
+	work[c.dataNode(1, 0)] = nil
+	work[c.dataNode(1, 1)] = nil
+	rep, err := c.ReconstructReport(work, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportantOK {
+		t.Fatal("important data must survive (stripe 0 intact)")
+	}
+	if len(rep.Lost) != 2*p.H {
+		t.Fatalf("lost %d sub-blocks, want %d", len(rep.Lost), 2*p.H)
+	}
+	// Reconstruct (the strict erasure.Coder entry point) must error.
+	work2 := erasure.CloneShards(stripe)
+	work2[c.dataNode(1, 0)] = nil
+	work2[c.dataNode(1, 1)] = nil
+	if err := c.Reconstruct(work2); !errors.Is(err, erasure.ErrTooManyErasures) {
+		t.Fatalf("want ErrTooManyErasures, got %v", err)
+	}
+}
+
+func TestImportantOnlyMode(t *testing.T) {
+	p := Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: Even}
+	c := mustNew(t, p)
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantImp := importantData(c, stripe)
+	work := erasure.CloneShards(stripe)
+	f1, f2 := c.dataNode(0, 0), c.dataNode(1, 1)
+	work[f1], work[f2] = nil, nil
+	rep, err := c.ReconstructReport(work, Options{ImportantOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportantOK {
+		t.Fatal("important data must be recovered")
+	}
+	got := importantData(c, work)
+	for i := range wantImp {
+		if !bytes.Equal(got[i], wantImp[i]) {
+			t.Fatalf("important sub-block %d differs", i)
+		}
+	}
+	// Unimportant rows of the failed nodes are reported lost.
+	if len(rep.Lost) != 2*(p.H-1) {
+		t.Fatalf("lost %d, want %d", len(rep.Lost), 2*(p.H-1))
+	}
+	// ImportantOnly must rebuild strictly less than a full repair.
+	workFull := erasure.CloneShards(stripe)
+	workFull[f1], workFull[f2] = nil, nil
+	repFull, err := c.ReconstructReport(workFull, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesRebuilt >= repFull.BytesRebuilt {
+		t.Fatalf("important-only rebuilt %d >= full %d", rep.BytesRebuilt, repFull.BytesRebuilt)
+	}
+}
+
+func TestUpdateCostAverageMatchesFormula(t *testing.T) {
+	// Paper Table 2: avg single write overhead = 1 + r + g/h.
+	for _, p := range testParams() {
+		c := mustNew(t, p)
+		want := 1 + float64(p.R) + float64(p.G)/float64(p.H)
+		if got := c.AverageUpdateCost(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: avg update cost %v want %v", p.Name(), got, want)
+		}
+	}
+}
+
+func TestUpdateCostErrors(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Even})
+	if _, err := c.UpdateCost(c.parityNode(0, 0), 0); err == nil {
+		t.Fatal("parity node accepted")
+	}
+	if _, err := c.UpdateCost(0, 5); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+}
+
+func TestStorageOverheadFormula(t *testing.T) {
+	// Paper Table 2: ((k+r)h+g)/(kh).
+	for _, p := range testParams() {
+		c := mustNew(t, p)
+		want := float64((p.K+p.R)*p.H+p.G) / float64(p.K*p.H)
+		if got := c.StorageOverhead(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: overhead %v want %v", p.Name(), got, want)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Even})
+	if err := c.Encode(make([][]byte, 3)); !errors.Is(err, erasure.ErrShardCount) {
+		t.Fatalf("want ErrShardCount, got %v", err)
+	}
+	shards := make([][]byte, c.TotalShards())
+	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+		t.Fatalf("missing data: want ErrShardSize, got %v", err)
+	}
+	for i := range shards {
+		shards[i] = make([]byte, 3) // not a multiple of h*mult=2
+	}
+	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+		t.Fatalf("bad multiple: want ErrShardSize, got %v", err)
+	}
+}
+
+func TestPlanRepairMatchesReconstruct(t *testing.T) {
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			size := stripeSize(c)
+			stripe, err := erasure.RandomStripe(c, size, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := c.TotalShards()
+			for f := 1; f <= p.R+p.G; f++ {
+				count := 0
+				erasure.Combinations(n, f, func(idx []int) bool {
+					count++
+					if count > 40 { // sample: full sweep done in tolerance tests
+						return false
+					}
+					plan, err := c.PlanRepair(size, idx, Options{})
+					if err != nil {
+						t.Fatalf("plan %v: %v", idx, err)
+					}
+					work := erasure.CloneShards(stripe)
+					for _, e := range idx {
+						work[e] = nil
+					}
+					rep, err := c.ReconstructReport(work, Options{})
+					if err != nil {
+						t.Fatalf("reconstruct %v: %v", idx, err)
+					}
+					if len(plan.Unrecoverable) != len(rep.Lost) {
+						t.Fatalf("pattern %v: plan says %d unrecoverable, reconstruct lost %d",
+							idx, len(plan.Unrecoverable), len(rep.Lost))
+					}
+					if plan.TotalWrite() != rep.BytesRebuilt {
+						t.Fatalf("pattern %v: plan writes %d, rebuilt %d",
+							idx, plan.TotalWrite(), rep.BytesRebuilt)
+					}
+					return true
+				})
+			}
+		})
+	}
+}
+
+func TestPlanRepairValidation(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Even})
+	if _, err := c.PlanRepair(3, []int{0}, Options{}); err == nil {
+		t.Fatal("bad node size accepted")
+	}
+	if _, err := c.PlanRepair(stripeSize(c), []int{-1}, Options{}); err == nil {
+		t.Fatal("bad node index accepted")
+	}
+}
+
+func TestReconstructNoErasuresNoop(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Uneven})
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.ReconstructReport(stripe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportantOK || rep.BytesRebuilt != 0 || len(rep.Lost) != 0 {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+}
+
+func TestParityReductionHeadline(t *testing.T) {
+	// Abstract: "reduces the number of parities by up to 55%".
+	// RS(k,3) uses 3 parity nodes per k data nodes; APPR.RS(k,1,2,6) uses
+	// (6*1+2)/6 = 1.33 parity nodes per k data. Reduction = 1 - 8/18.
+	p := Params{Family: FamilyRS, K: 6, R: 1, G: 2, H: 6, Structure: Even}
+	c := mustNew(t, p)
+	orig := 3 * p.H // RS(k,3) over the same h stripes
+	got := c.ParityShards()
+	reduction := 1 - float64(got)/float64(orig)
+	if math.Abs(reduction-(1-8.0/18)) > 1e-12 {
+		t.Fatalf("parity reduction %.4f", reduction)
+	}
+	if reduction < 0.55 {
+		t.Fatalf("headline parity reduction %.2f < 0.55", reduction)
+	}
+}
+
+func ExampleNew() {
+	c, err := New(Params{Family: FamilyRS, K: 4, R: 1, G: 2, H: 3, Structure: Uneven})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Name(), c.TotalShards(), c.StorageOverhead())
+	// Output: APPR.RS(4,1,2,3,Uneven) 17 1.4166666666666667
+}

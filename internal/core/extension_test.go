@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// The paper fixes r+g = 3 (3DFTs) but the framework itself is generic
+// (§3.5 "High Flexibility ... various parameters can be set"). These
+// tests exercise 4DFT and higher configurations for the GF-matrix
+// families, an extension beyond the paper's evaluation.
+
+func TestFourDFTConfigurations(t *testing.T) {
+	for _, p := range []Params{
+		{Family: FamilyRS, K: 4, R: 2, G: 2, H: 2, Structure: Even},
+		{Family: FamilyRS, K: 4, R: 1, G: 3, H: 3, Structure: Uneven},
+		{Family: FamilyLRC, K: 3, R: 2, G: 2, H: 2, Structure: Uneven},
+		{Family: FamilyCRS, K: 3, R: 1, G: 3, H: 2, Structure: Even},
+	} {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			if c.ImportantFaultTolerance() != 4 {
+				t.Fatalf("important tolerance %d want 4", c.ImportantFaultTolerance())
+			}
+			// Whole-stripe guarantee (r failures) holds exhaustively.
+			if err := erasure.CheckExhaustive(c, stripeSize(c), 51); err != nil {
+				t.Fatal(err)
+			}
+			// Important data survives every quadruple failure.
+			stripe, err := erasure.RandomStripe(c, stripeSize(c), 52)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantImp := importantData(c, stripe)
+			n := c.TotalShards()
+			checked := 0
+			erasure.Combinations(n, 4, func(idx []int) bool {
+				checked++
+				if checked > 400 { // sample; full sweep is O(N^4)
+					return false
+				}
+				work := erasure.CloneShards(stripe)
+				for _, e := range idx {
+					work[e] = nil
+				}
+				rep, err := c.ReconstructReport(work, Options{})
+				if err != nil {
+					t.Fatalf("pattern %v: %v", idx, err)
+				}
+				if !rep.ImportantOK {
+					t.Fatalf("pattern %v: important data lost in 4DFT config", idx)
+				}
+				got := importantData(c, work)
+				for i := range wantImp {
+					if !bytes.Equal(got[i], wantImp[i]) {
+						t.Fatalf("pattern %v: important sub-block %d differs", idx, i)
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+func TestFiveParityImportantTier(t *testing.T) {
+	// r=2, g=3: important data tolerates any 5 failures.
+	p := Params{Family: FamilyRS, K: 3, R: 2, G: 3, H: 2, Structure: Uneven}
+	c := mustNew(t, p)
+	if c.ImportantFaultTolerance() != 5 {
+		t.Fatalf("important tolerance %d", c.ImportantFaultTolerance())
+	}
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantImp := importantData(c, stripe)
+	// Worst case: all five failures hit the important codeword's nodes.
+	work := erasure.CloneShards(stripe)
+	work[c.dataNode(0, 0)] = nil
+	work[c.dataNode(0, 1)] = nil
+	work[c.parityNode(0, 0)] = nil
+	work[c.globalNode(0)] = nil
+	work[c.globalNode(2)] = nil
+	rep, err := c.ReconstructReport(work, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportantOK {
+		t.Fatal("important data lost under 5 failures with r+g=5")
+	}
+	got := importantData(c, work)
+	for i := range wantImp {
+		if !bytes.Equal(got[i], wantImp[i]) {
+			t.Fatalf("important sub-block %d differs", i)
+		}
+	}
+}
+
+func TestReliabilityFormulaGeneralizesPU(t *testing.T) {
+	// The P_U closed form is r+g agnostic; enumeration must agree for a
+	// 4DFT configuration too.
+	p := Params{Family: FamilyRS, K: 3, R: 2, G: 2, H: 2, Structure: Even}
+	c := mustNew(t, p)
+	// P_U at f = r+1 = 3: bad patterns are 3 failures within one local
+	// stripe's k+r = 5 nodes.
+	n := c.TotalShards()
+	bad := 0
+	total := 0
+	erasure.Combinations(n, 3, func(idx []int) bool {
+		total++
+		if _, uOK := c.Survival(idx); !uOK {
+			bad++
+		}
+		return true
+	})
+	wantBad := int(float64(p.H) * erasure.Binomial(p.K+p.R, p.R+1))
+	if bad != wantBad {
+		t.Fatalf("bad patterns %d want %d", bad, wantBad)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestEncodeParallelMatchesSequential(t *testing.T) {
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			seq, err := erasure.RandomStripe(c, stripeSize(c), 41)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := make([][]byte, c.TotalShards())
+			for _, dn := range c.DataNodeIndexes() {
+				par[dn] = append([]byte(nil), seq[dn]...)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				work := erasure.CloneShards(par)
+				if err := c.EncodeParallel(work, workers); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				for i := range seq {
+					if !bytes.Equal(work[i], seq[i]) {
+						t.Fatalf("workers=%d: shard %d differs", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeParallelValidation(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Even})
+	if err := c.EncodeParallel(make([][]byte, 2), 4); err == nil {
+		t.Fatal("short stripe accepted")
+	}
+	shards := make([][]byte, c.TotalShards())
+	if err := c.EncodeParallel(shards, 4); err == nil {
+		t.Fatal("missing data accepted")
+	}
+}
+
+func TestReconstructParallelMatchesSequential(t *testing.T) {
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			stripe, err := erasure.RandomStripe(c, stripeSize(c), 43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := c.TotalShards()
+			count := 0
+			erasure.Combinations(n, p.R+p.G, func(idx []int) bool {
+				count++
+				if count > 25 {
+					return false
+				}
+				seqWork := erasure.CloneShards(stripe)
+				parWork := erasure.CloneShards(stripe)
+				for _, e := range idx {
+					seqWork[e], parWork[e] = nil, nil
+				}
+				seqRep, err := c.ReconstructReport(seqWork, Options{})
+				if err != nil {
+					t.Fatalf("seq %v: %v", idx, err)
+				}
+				parRep, err := c.ReconstructReportParallel(parWork, Options{}, 4)
+				if err != nil {
+					t.Fatalf("par %v: %v", idx, err)
+				}
+				for i := range seqWork {
+					if !bytes.Equal(seqWork[i], parWork[i]) {
+						t.Fatalf("pattern %v: shard %d differs", idx, i)
+					}
+				}
+				if seqRep.ImportantOK != parRep.ImportantOK ||
+					seqRep.BytesRebuilt != parRep.BytesRebuilt ||
+					seqRep.BytesRead != parRep.BytesRead {
+					t.Fatalf("pattern %v: reports differ: %+v vs %+v", idx, seqRep, parRep)
+				}
+				sortSubBlocks(seqRep.Lost)
+				sortSubBlocks(parRep.Lost)
+				if len(seqRep.Lost) != len(parRep.Lost) {
+					t.Fatalf("pattern %v: lost lists differ", idx)
+				}
+				for i := range seqRep.Lost {
+					if seqRep.Lost[i] != parRep.Lost[i] {
+						t.Fatalf("pattern %v: lost[%d] differs", idx, i)
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+func sortSubBlocks(s []SubBlock) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Node != s[j].Node {
+			return s[i].Node < s[j].Node
+		}
+		return s[i].Row < s[j].Row
+	})
+}
+
+func TestParallelWorkerFallback(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Uneven})
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// workers <= 1 falls back to the sequential code path.
+	data := make([][]byte, c.TotalShards())
+	for _, dn := range c.DataNodeIndexes() {
+		data[dn] = append([]byte(nil), stripe[dn]...)
+	}
+	if err := c.EncodeParallel(data, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stripe {
+		if !bytes.Equal(data[i], stripe[i]) {
+			t.Fatalf("fallback encode differs at %d", i)
+		}
+	}
+	work := erasure.CloneShards(stripe)
+	work[0] = nil
+	if _, err := c.ReconstructReportParallel(work, Options{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[0], stripe[0]) {
+		t.Fatal("fallback reconstruct differs")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+)
+
+// RepairTask is the repair of one damaged codeword: read Bytes from each
+// node in ReadNodes, decode, and write Bytes to each node in WriteNodes.
+// The cluster simulator schedules these tasks over simulated disks and
+// NICs to reproduce the paper's recovery-time experiment (Fig. 13).
+type RepairTask struct {
+	ReadNodes  []int
+	WriteNodes []int
+	Bytes      int64
+}
+
+// RepairPlan describes, without moving any data, the I/O a repair of the
+// given failed nodes requires.
+type RepairPlan struct {
+	// Tasks lists one entry per damaged codeword.
+	Tasks []RepairTask
+	// ReadBytes maps surviving node index -> bytes read from it.
+	ReadBytes map[int]int64
+	// WriteBytes maps replacement node index -> bytes written to it.
+	WriteBytes map[int]int64
+	// Unrecoverable lists sub-blocks that no codeword can rebuild.
+	Unrecoverable []SubBlock
+}
+
+// CodewordsRepaired counts sub-stripes that needed decoding.
+func (p *RepairPlan) CodewordsRepaired() int { return len(p.Tasks) }
+
+// TotalRead sums bytes read across all survivors.
+func (p *RepairPlan) TotalRead() int64 {
+	var t int64
+	for _, v := range p.ReadBytes {
+		t += v
+	}
+	return t
+}
+
+// TotalWrite sums bytes written across all replacements.
+func (p *RepairPlan) TotalWrite() int64 {
+	var t int64
+	for _, v := range p.WriteBytes {
+		t += v
+	}
+	return t
+}
+
+// PlanRepair computes the repair I/O plan for the given failed node set
+// and node size. Reads are modeled as k surviving sub-blocks per damaged
+// codeword (the information-theoretic minimum for an MDS decode),
+// preferring data nodes over parities, matching how the recovery
+// pipeline in internal/cluster issues requests.
+func (c *Code) PlanRepair(nodeSize int, failed []int, opts Options) (*RepairPlan, error) {
+	if nodeSize <= 0 || nodeSize%c.ShardSizeMultiple() != 0 {
+		return nil, fmt.Errorf("core: node size %d not a positive multiple of %d",
+			nodeSize, c.ShardSizeMultiple())
+	}
+	isFailed := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		if f < 0 || f >= c.TotalShards() {
+			return nil, fmt.Errorf("core: failed node %d out of range", f)
+		}
+		isFailed[f] = true
+	}
+	plan := &RepairPlan{
+		ReadBytes:  make(map[int]int64),
+		WriteBytes: make(map[int]int64),
+	}
+	subSize := int64(nodeSize / c.p.H)
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			nodes := c.codewordNodes(l, m)
+			var erasedHere []int
+			var survivors []int
+			for _, node := range nodes {
+				if isFailed[node] {
+					erasedHere = append(erasedHere, node)
+				} else {
+					survivors = append(survivors, node)
+				}
+			}
+			if len(erasedHere) == 0 {
+				continue
+			}
+			imp := c.Important(l, m)
+			coder := c.local
+			if imp {
+				coder = c.full
+			}
+			if (opts.ImportantOnly && !imp) || len(erasedHere) > coder.FaultTolerance() {
+				for _, node := range erasedHere {
+					plan.Unrecoverable = append(plan.Unrecoverable,
+						SubBlock{Node: node, Row: c.subRowOnNode(node, l, m)})
+				}
+				continue
+			}
+			// Read the k cheapest survivors (data first — survivors are
+			// already ordered data, local parity, global parity by
+			// codewordNodes).
+			need := c.p.K
+			if need > len(survivors) {
+				need = len(survivors)
+			}
+			task := RepairTask{
+				ReadNodes:  append([]int(nil), survivors[:need]...),
+				WriteNodes: append([]int(nil), erasedHere...),
+				Bytes:      subSize,
+			}
+			plan.Tasks = append(plan.Tasks, task)
+			for _, node := range task.ReadNodes {
+				plan.ReadBytes[node] += subSize
+			}
+			for _, node := range task.WriteNodes {
+				plan.WriteBytes[node] += subSize
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Survival reports, for a set of failed nodes, whether every important
+// sub-stripe and every unimportant sub-stripe remains decodable under
+// the codes' guaranteed fault tolerance. It is the predicate behind the
+// paper's P_I / P_U reliability analysis (§3.4) and moves no data.
+func (c *Code) Survival(failed []int) (importantOK, unimportantOK bool) {
+	isFailed := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		isFailed[f] = true
+	}
+	importantOK, unimportantOK = true, true
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			erased := 0
+			for _, node := range c.codewordNodes(l, m) {
+				if isFailed[node] {
+					erased++
+				}
+			}
+			if c.Important(l, m) {
+				if erased > c.p.R+c.p.G {
+					importantOK = false
+				}
+			} else if erased > c.p.R {
+				unimportantOK = false
+			}
+		}
+	}
+	return importantOK, unimportantOK
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxcode/internal/erasure"
+)
+
+// randomParams decodes a seed into a valid Params for the GF-matrix
+// families (any k), keeping sizes small.
+func randomParams(rng *rand.Rand) Params {
+	families := []Family{FamilyRS, FamilyLRC, FamilyCRS}
+	p := Params{
+		Family: families[rng.Intn(len(families))],
+		K:      2 + rng.Intn(5),
+		H:      1 + rng.Intn(4),
+	}
+	p.R = 1 + rng.Intn(2)
+	p.G = 3 - p.R
+	if rng.Intn(2) == 0 {
+		p.Structure = Even
+	} else {
+		p.Structure = Uneven
+	}
+	return p
+}
+
+func TestQuickEncodeReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func(seed int64) bool {
+		p := randomParams(rng)
+		c, err := New(p)
+		if err != nil {
+			t.Logf("New(%+v): %v", p, err)
+			return false
+		}
+		size := (1 + rng.Intn(3)) * c.ShardSizeMultiple()
+		stripe, err := erasure.RandomStripe(c, size, seed)
+		if err != nil {
+			t.Logf("stripe: %v", err)
+			return false
+		}
+		// Erase up to r random nodes: full recovery is guaranteed.
+		fcount := 1 + rng.Intn(p.R)
+		perm := rng.Perm(c.TotalShards())[:fcount]
+		return erasure.CheckPattern(c, stripe, perm) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickImportantAlwaysSurvivesRPlusG(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	f := func(seed int64) bool {
+		p := randomParams(rng)
+		c, err := New(p)
+		if err != nil {
+			return false
+		}
+		size := c.ShardSizeMultiple()
+		stripe, err := erasure.RandomStripe(c, size, seed)
+		if err != nil {
+			return false
+		}
+		want := importantData(c, stripe)
+		perm := rng.Perm(c.TotalShards())[:p.R+p.G]
+		work := erasure.CloneShards(stripe)
+		for _, e := range perm {
+			work[e] = nil
+		}
+		rep, err := c.ReconstructReport(work, Options{})
+		if err != nil || !rep.ImportantOK {
+			t.Logf("%s pattern %v: err=%v rep=%+v", c.Name(), perm, err, rep)
+			return false
+		}
+		got := importantData(c, work)
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVerifyCatchesSingleBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	f := func(seed int64) bool {
+		p := randomParams(rng)
+		c, err := New(p)
+		if err != nil {
+			return false
+		}
+		size := c.ShardSizeMultiple() * 2
+		stripe, err := erasure.RandomStripe(c, size, seed)
+		if err != nil {
+			return false
+		}
+		node := rng.Intn(c.TotalShards())
+		off := rng.Intn(size)
+		bit := byte(1) << uint(rng.Intn(8))
+		stripe[node][off] ^= bit
+		ok, err := c.Verify(stripe)
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSurvivalMonotone(t *testing.T) {
+	// Property: adding a failure can never turn an unrecoverable state
+	// recoverable.
+	rng := rand.New(rand.NewSource(74))
+	f := func(seed int64) bool {
+		p := randomParams(rng)
+		c, err := New(p)
+		if err != nil {
+			return false
+		}
+		n := c.TotalShards()
+		fcount := 1 + rng.Intn(n-1)
+		perm := rng.Perm(n)
+		small := perm[:fcount]
+		large := perm[:fcount+min(n-fcount, 1+rng.Intn(2))]
+		iS, uS := c.Survival(small)
+		iL, uL := c.Survival(large)
+		if !iS && iL {
+			return false
+		}
+		if !uS && uL {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestQuickUpdateEquivalentToReencode(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	f := func(seed int64) bool {
+		p := randomParams(rng)
+		c, err := New(p)
+		if err != nil {
+			return false
+		}
+		size := c.ShardSizeMultiple()
+		stripe, err := erasure.RandomStripe(c, size, seed)
+		if err != nil {
+			return false
+		}
+		data := c.DataNodeIndexes()
+		node := data[rng.Intn(len(data))]
+		row := rng.Intn(p.H)
+		newData := make([]byte, size/p.H)
+		rng.Read(newData)
+		if _, err := c.Update(stripe, node, row, newData); err != nil {
+			return false
+		}
+		ok, err := c.Verify(stripe)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestReadSubBlockDirectAndDegraded(t *testing.T) {
+	for _, p := range testParams() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := mustNew(t, p)
+			stripe, err := erasure.RandomStripe(c, stripeSize(c), 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Direct reads match the stored sub-blocks on every node/row.
+			for node := 0; node < c.TotalShards(); node++ {
+				for m := 0; m < p.H; m++ {
+					got, err := c.ReadSubBlock(stripe, node, m)
+					if err != nil {
+						t.Fatalf("direct read (%d,%d): %v", node, m, err)
+					}
+					if !bytes.Equal(got, sub(stripe[node], m, p.H)) {
+						t.Fatalf("direct read (%d,%d) differs", node, m)
+					}
+				}
+			}
+			// Degraded reads: erase each node in turn, read all its
+			// sub-blocks through decoding.
+			for node := 0; node < c.TotalShards(); node++ {
+				work := erasure.CloneShards(stripe)
+				work[node] = nil
+				for m := 0; m < p.H; m++ {
+					got, err := c.ReadSubBlock(work, node, m)
+					if err != nil {
+						t.Fatalf("degraded read (%d,%d): %v", node, m, err)
+					}
+					if !bytes.Equal(got, sub(stripe[node], m, p.H)) {
+						t.Fatalf("degraded read (%d,%d) differs", node, m)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReadSubBlockImportantUnderTripleFailure(t *testing.T) {
+	p := Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: Uneven}
+	c := mustNew(t, p)
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := erasure.CloneShards(stripe)
+	// Fail all of stripe 0's data nodes except one, plus its parity:
+	// 3 failures, important rows still decodable via globals.
+	work[c.dataNode(0, 0)] = nil
+	work[c.dataNode(0, 1)] = nil
+	work[c.parityNode(0, 0)] = nil
+	for m := 0; m < p.H; m++ {
+		got, err := c.ReadSubBlock(work, c.dataNode(0, 0), m)
+		if err != nil {
+			t.Fatalf("row %d: %v", m, err)
+		}
+		if !bytes.Equal(got, sub(stripe[c.dataNode(0, 0)], m, p.H)) {
+			t.Fatalf("row %d differs", m)
+		}
+	}
+}
+
+func TestReadSubBlockBeyondToleranceFails(t *testing.T) {
+	p := Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: Uneven}
+	c := mustNew(t, p)
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := erasure.CloneShards(stripe)
+	// Two failures in unimportant stripe 1: its rows are gone (r = 1).
+	work[c.dataNode(1, 0)] = nil
+	work[c.dataNode(1, 1)] = nil
+	if _, err := c.ReadSubBlock(work, c.dataNode(1, 0), 0); err == nil {
+		t.Fatal("unreadable sub-block returned data")
+	}
+	// Important stripe 0 is still fully readable.
+	if _, err := c.ReadSubBlock(work, c.dataNode(0, 0), 0); err != nil {
+		t.Fatalf("healthy read failed: %v", err)
+	}
+}
+
+func TestReadSubBlockValidation(t *testing.T) {
+	c := mustNew(t, Params{Family: FamilyRS, K: 3, R: 1, G: 2, H: 2, Structure: Even})
+	stripe, err := erasure.RandomStripe(c, stripeSize(c), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadSubBlock(stripe[:3], 0, 0); err == nil {
+		t.Fatal("short stripe accepted")
+	}
+	if _, err := c.ReadSubBlock(stripe, -1, 0); err == nil {
+		t.Fatal("bad node accepted")
+	}
+	if _, err := c.ReadSubBlock(stripe, 0, 9); err == nil {
+		t.Fatal("bad row accepted")
+	}
+}

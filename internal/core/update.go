@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+)
+
+// UpdateResult reports a single-write update.
+type UpdateResult struct {
+	// IOWrites is the number of whole-block writes performed: 1 (the
+	// data sub-block) + touched local parities (+ touched global
+	// parities for important sub-blocks). Averaged over all sub-blocks
+	// this reproduces the paper's Table 2 single-write cost.
+	IOWrites int
+	// TouchedNodes lists every node written (including the data node).
+	TouchedNodes []int
+}
+
+// Update overwrites data sub-block (node, row) with newData and patches
+// every affected parity incrementally (delta-based), without re-encoding
+// the stripe. The stripe must be complete (no erasures).
+func (c *Code) Update(shards [][]byte, node, row int, newData []byte) (*UpdateResult, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), false)
+	if err != nil {
+		return nil, fmt.Errorf("%s update: %w", c.Name(), err)
+	}
+	if c.Role(node) != RoleData {
+		return nil, fmt.Errorf("%s update: node %d is not a data node", c.Name(), node)
+	}
+	if row < 0 || row >= c.p.H {
+		return nil, fmt.Errorf("%s update: row %d out of range", c.Name(), row)
+	}
+	subSize := size / c.p.H
+	if len(newData) != subSize {
+		return nil, fmt.Errorf("%s update: %w: new data %d bytes, want %d",
+			c.Name(), erasure.ErrShardSize, len(newData), subSize)
+	}
+	l := c.StripeOf(node)
+	m := row
+	imp := c.Important(l, m)
+	coder := c.local
+	if imp {
+		coder = c.full
+	}
+	updater, ok := coder.(erasure.Updater)
+	if !ok {
+		return nil, fmt.Errorf("%s update: input code %s does not support incremental updates",
+			c.Name(), coder.Name())
+	}
+	// Delta of the changed sub-block.
+	old := sub(shards[node], row, c.p.H)
+	delta := make([]byte, subSize)
+	copy(delta, old)
+	gf256.XorSlice(newData, delta)
+	// Assemble the codeword views and find the changed column's index.
+	nodes := c.codewordNodes(l, m)
+	cw := make([][]byte, len(nodes))
+	dataIdx := -1
+	for i, n := range nodes {
+		cw[i] = sub(shards[n], c.subRowOnNode(n, l, m), c.p.H)
+		if n == node {
+			dataIdx = i
+		}
+	}
+	touched, err := updater.ApplyDelta(cw, dataIdx, delta)
+	if err != nil {
+		return nil, fmt.Errorf("%s update: %w", c.Name(), err)
+	}
+	copy(old, newData)
+	res := &UpdateResult{IOWrites: 1 + len(touched), TouchedNodes: []int{node}}
+	for _, t := range touched {
+		res.TouchedNodes = append(res.TouchedNodes, nodes[t])
+	}
+	return res, nil
+}

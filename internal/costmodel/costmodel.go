@@ -1,0 +1,131 @@
+// Package costmodel implements the paper's analytic comparisons: storage
+// overhead, fault tolerance and average single-write overhead for every
+// erasure code and its Approximate form (paper Table 2), the
+// storage-overhead improvement table (Table 3), and the storage /
+// single-write sweep figures (Figs. 7-8).
+package costmodel
+
+import "fmt"
+
+// Model is one row of the paper's Table 2.
+type Model struct {
+	Name            string
+	StorageOverhead float64
+	FaultTolerance  int
+	SingleWriteCost float64
+}
+
+// RS models RS(k, r): overhead (k+r)/k, tolerance r, write cost r+1.
+func RS(k, r int) Model {
+	return Model{
+		Name:            fmt.Sprintf("RS(%d,%d)", k, r),
+		StorageOverhead: float64(k+r) / float64(k),
+		FaultTolerance:  r,
+		SingleWriteCost: float64(r + 1),
+	}
+}
+
+// LRC models LRC(k, l, r): overhead 1+(l+r)/k, tolerance r+1, write cost
+// r+2 (data block + its local parity + r globals).
+func LRC(k, l, r int) Model {
+	return Model{
+		Name:            fmt.Sprintf("LRC(%d,%d,%d)", k, l, r),
+		StorageOverhead: 1 + float64(l+r)/float64(k),
+		FaultTolerance:  r + 1,
+		SingleWriteCost: float64(r + 2),
+	}
+}
+
+// STAR models STAR(p): overhead (p+3)/p, tolerance 3, write cost 6-4/p
+// (elements on the adjuster diagonals belong to every diagonal /
+// anti-diagonal parity chain, which amplifies the average).
+func STAR(p int) Model {
+	return Model{
+		Name:            fmt.Sprintf("STAR(%d)", p),
+		StorageOverhead: float64(p+3) / float64(p),
+		FaultTolerance:  3,
+		SingleWriteCost: 6 - 4/float64(p),
+	}
+}
+
+// TIP models TIP-code(p): k = p-2 data nodes, overhead (p+1)/(p-2),
+// tolerance 3, write cost 4 (three independent parities, one each).
+func TIP(p int) Model {
+	return Model{
+		Name:            fmt.Sprintf("TIP(%d)", p),
+		StorageOverhead: float64(p+1) / float64(p-2),
+		FaultTolerance:  3,
+		SingleWriteCost: 4,
+	}
+}
+
+// ApprOverhead is the storage overhead shared by every Approximate Code:
+// ((k+r)h + g) / (kh).
+func ApprOverhead(k, r, g, h int) float64 {
+	return float64((k+r)*h+g) / float64(k*h)
+}
+
+// ApprRS models APPR.RS(k, r, g, h): tolerance r+g, write cost 1+r+g/h.
+func ApprRS(k, r, g, h int) Model {
+	return Model{
+		Name:            fmt.Sprintf("APPR.RS(%d,%d,%d,%d)", k, r, g, h),
+		StorageOverhead: ApprOverhead(k, r, g, h),
+		FaultTolerance:  r + g,
+		SingleWriteCost: 1 + float64(r) + float64(g)/float64(h),
+	}
+}
+
+// ApprLRC models APPR.LRC(k, r, g, h): tolerance 1+g (the input LRC is
+// not MDS), write cost 2+g/h.
+func ApprLRC(k, r, g, h int) Model {
+	return Model{
+		Name:            fmt.Sprintf("APPR.LRC(%d,%d,%d,%d)", k, r, g, h),
+		StorageOverhead: ApprOverhead(k, r, g, h),
+		FaultTolerance:  1 + g,
+		SingleWriteCost: 2 + float64(g)/float64(h),
+	}
+}
+
+// ApprSTAR models APPR.STAR(k, 2, 1, h): tolerance 3, write cost
+// 2(k-h-1)/(kh) + 4 — the h-weighted mix of STAR (important rows,
+// 6-4/k) and EVENODD (unimportant rows, 4-2/k).
+func ApprSTAR(k, h int) Model {
+	return Model{
+		Name:            fmt.Sprintf("APPR.STAR(%d,2,1,%d)", k, h),
+		StorageOverhead: ApprOverhead(k, 2, 1, h),
+		FaultTolerance:  3,
+		SingleWriteCost: 2*float64(k-h-1)/float64(k*h) + 4,
+	}
+}
+
+// ApprTIP models APPR.TIP(k, 1, 2, h): tolerance 3, write cost 2+2/h.
+func ApprTIP(k, h int) Model {
+	return Model{
+		Name:            fmt.Sprintf("APPR.TIP(%d,1,2,%d)", k, h),
+		StorageOverhead: ApprOverhead(k, 1, 2, h),
+		FaultTolerance:  3,
+		SingleWriteCost: 2 + 2/float64(h),
+	}
+}
+
+// StorageImprovement returns the relative storage-overhead reduction of
+// APPR.RS(k, r, g, h) over RS(k, 3): the entries of the paper's Table 3.
+func StorageImprovement(k, r, g, h int) float64 {
+	return 1 - ApprOverhead(k, r, g, h)/RS(k, 3).StorageOverhead
+}
+
+// ParityReduction returns the relative reduction in the number of parity
+// nodes of APPR.X(k, r, g, h) vs. a 3-parity code over the same h
+// stripes: 1 - (h*r+g)/(3h). The abstract's "up to 55%" is (r=1, g=2,
+// h=6).
+func ParityReduction(r, g, h int) float64 {
+	return 1 - float64(h*r+g)/float64(3*h)
+}
+
+// AverageParityNodes returns the average number of parity nodes per
+// local stripe of an Approximate Code: r + g/h. (The paper's §4.2 quotes
+// 1.33 for APPR.RS(6,1,2,4); r+g/h gives 1.50 for h=4 and 1.33 for h=6 —
+// the quoted number matches the h=6 configuration.)
+func AverageParityNodes(r, g, h int) float64 {
+	return float64(r) + float64(g)/float64(h)
+}

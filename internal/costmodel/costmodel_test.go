@@ -1,0 +1,152 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"approxcode/internal/evenodd"
+	"approxcode/internal/star"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable3PaperValues(t *testing.T) {
+	// Paper Table 3: improvement of APPR.RS over RS(k,3) on storage
+	// overhead, every cell.
+	cases := []struct {
+		r, g, h int
+		want    map[int]float64 // k -> improvement
+	}{
+		{1, 2, 4, map[int]float64{4: .214, 5: .188, 6: .167, 7: .150, 8: .136, 9: .125}},
+		{2, 1, 4, map[int]float64{4: .107, 5: .094, 6: .083, 7: .075, 8: .068, 9: .062}},
+		{1, 2, 6, map[int]float64{4: .238, 5: .208, 6: .185, 7: .167, 8: .152, 9: .139}},
+		{2, 1, 6, map[int]float64{4: .119, 5: .104, 6: .093, 7: .083, 8: .076, 9: .069}},
+	}
+	for _, tc := range cases {
+		for k, want := range tc.want {
+			got := StorageImprovement(k, tc.r, tc.g, tc.h)
+			if !approxEq(got, want, 1e-3) {
+				t.Errorf("APPR.RS(%d,%d,%d,%d): improvement %.4f want %.3f",
+					k, tc.r, tc.g, tc.h, got, want)
+			}
+		}
+	}
+}
+
+func TestHeadlineNumbers(t *testing.T) {
+	// Abstract: parities reduced by up to 55% (r=1, g=2, h=6)...
+	if got := ParityReduction(1, 2, 6); !approxEq(got, 0.5555, 1e-3) {
+		t.Errorf("parity reduction %.4f", got)
+	}
+	// ...storage cost saved by up to 20.8% (k=5, r=1, g=2, h=6).
+	if got := StorageImprovement(5, 1, 2, 6); !approxEq(got, 0.208, 5e-4) {
+		t.Errorf("storage saving %.4f", got)
+	}
+}
+
+func TestTable2Formulas(t *testing.T) {
+	if m := RS(4, 3); m.StorageOverhead != 1.75 || m.FaultTolerance != 3 || m.SingleWriteCost != 4 {
+		t.Errorf("RS(4,3): %+v", m)
+	}
+	if m := LRC(8, 4, 2); !approxEq(m.StorageOverhead, 1.75, 1e-12) || m.FaultTolerance != 3 || m.SingleWriteCost != 4 {
+		t.Errorf("LRC(8,4,2): %+v", m)
+	}
+	if m := STAR(5); !approxEq(m.StorageOverhead, 1.6, 1e-12) || !approxEq(m.SingleWriteCost, 5.2, 1e-12) {
+		t.Errorf("STAR(5): %+v", m)
+	}
+	if m := TIP(7); !approxEq(m.StorageOverhead, 8.0/5, 1e-12) || m.SingleWriteCost != 4 {
+		t.Errorf("TIP(7): %+v", m)
+	}
+	if m := ApprRS(4, 1, 2, 3); !approxEq(m.StorageOverhead, 17.0/12, 1e-12) ||
+		m.FaultTolerance != 3 || !approxEq(m.SingleWriteCost, 1+1+2.0/3, 1e-12) {
+		t.Errorf("ApprRS: %+v", m)
+	}
+	if m := ApprLRC(4, 1, 2, 3); m.FaultTolerance != 3 || !approxEq(m.SingleWriteCost, 2+2.0/3, 1e-12) {
+		t.Errorf("ApprLRC: %+v", m)
+	}
+	if m := ApprSTAR(5, 4); !approxEq(m.SingleWriteCost, 2*0.0/20+4, 1e-12) {
+		t.Errorf("ApprSTAR(5,4): %+v", m)
+	}
+	if m := ApprTIP(5, 4); !approxEq(m.SingleWriteCost, 2.5, 1e-12) {
+		t.Errorf("ApprTIP(5,4): %+v", m)
+	}
+}
+
+func TestSTARWriteCostMatchesMeasured(t *testing.T) {
+	// The 6-4/p formula must match the write amplification measured from
+	// the actual STAR encode plans.
+	for _, p := range []int{3, 5, 7, 11} {
+		c, err := star.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := STAR(p).SingleWriteCost
+		if got := c.AverageWriteCost(); !approxEq(got, want, 1e-9) {
+			t.Errorf("STAR(%d): measured %.4f formula %.4f", p, got, want)
+		}
+	}
+}
+
+func TestEVENODDWriteCostMeasured(t *testing.T) {
+	// EVENODD's analogue of the STAR formula: 1 + 1 + 2(p-1)/p = 4-2/p.
+	for _, p := range []int{3, 5, 7} {
+		c, err := evenodd.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 4 - 2/float64(p)
+		if got := c.AverageWriteCost(); !approxEq(got, want, 1e-9) {
+			t.Errorf("EVENODD(%d): measured %.4f want %.4f", p, got, want)
+		}
+	}
+}
+
+func TestApprOverheadMonotonicInH(t *testing.T) {
+	// More stripes per global stripe amortize the globals: overhead must
+	// decrease with h and stay above the r-parity floor.
+	prev := math.Inf(1)
+	for h := 1; h <= 12; h++ {
+		o := ApprOverhead(6, 1, 2, h)
+		if o >= prev {
+			t.Fatalf("h=%d: overhead %.4f not decreasing", h, o)
+		}
+		if o <= float64(6+1)/6 {
+			t.Fatalf("h=%d: overhead %.4f below local floor", h, o)
+		}
+		prev = o
+	}
+}
+
+func TestApprBeatsOriginalEverywhere(t *testing.T) {
+	// Fig. 7's shape: APPR.RS overhead < RS(k,3) overhead for every k,
+	// and (r=1,g=2) < (r=2,g=1).
+	for _, h := range []int{4, 6} {
+		for k := 4; k <= 17; k++ {
+			rs3 := RS(k, 3).StorageOverhead
+			a12 := ApprOverhead(k, 1, 2, h)
+			a21 := ApprOverhead(k, 2, 1, h)
+			if !(a12 < a21 && a21 < rs3) {
+				t.Fatalf("h=%d k=%d: ordering broken (%.3f, %.3f, %.3f)", h, k, a12, a21, rs3)
+			}
+		}
+	}
+}
+
+func TestWriteCostOrderingFig8(t *testing.T) {
+	// Fig. 8's shape: APPR.RS(k,1,2,h) has the lowest single-write cost,
+	// below RS(k,3), STAR(k) and APPR.STAR(k,h).
+	for _, h := range []int{4, 6} {
+		for _, k := range []int{5, 7, 11, 13, 17} {
+			apprRS := ApprRS(k, 1, 2, h).SingleWriteCost
+			if apprRS >= RS(k, 3).SingleWriteCost {
+				t.Fatalf("APPR.RS not below RS at k=%d", k)
+			}
+			if apprRS >= ApprSTAR(k, h).SingleWriteCost {
+				t.Fatalf("APPR.RS not below APPR.STAR at k=%d", k)
+			}
+			if ApprSTAR(k, h).SingleWriteCost >= STAR(k).SingleWriteCost {
+				t.Fatalf("APPR.STAR not below STAR at k=%d", k)
+			}
+		}
+	}
+}

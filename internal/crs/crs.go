@@ -1,0 +1,61 @@
+// Package crs implements Cauchy Reed-Solomon codes (Blömer et al. 1995),
+// the XOR-only formulation of Reed-Solomon coding: every GF(2^8)
+// coefficient of a Cauchy generator matrix is expanded into an 8x8
+// binary matrix, turning Galois multiplications into pure XORs of
+// bit-plane packets. The paper cites CRS among the 3DFT codes the
+// Approximate Code framework accepts (§1, §2.2); this package provides
+// it as a fifth input family, built on the same generic XOR engine as
+// EVENODD/STAR/TIP.
+//
+// Layout: each node column divides into w = 8 packets (bit planes). Data
+// column j's packets are cells (j, 0..7); parity p's packet b is the XOR
+// of every data packet (j, b') for which bit b of C[p][j]*x^b' is set.
+package crs
+
+import (
+	"fmt"
+
+	"approxcode/internal/gf256"
+	"approxcode/internal/matrix"
+	"approxcode/internal/xorcode"
+)
+
+// W is the bit-matrix word size (GF(2^8) => 8 bit planes).
+const W = 8
+
+// Chains returns the CRS parity chains for a systematic Cauchy generator
+// with k data and r parity columns.
+func Chains(k, r int) []xorcode.Chain {
+	cauchy := matrix.Cauchy(r, k)
+	var chains []xorcode.Chain
+	for p := 0; p < r; p++ {
+		for b := 0; b < W; b++ {
+			ch := xorcode.Chain{{Col: k + p, Row: b}}
+			for j := 0; j < k; j++ {
+				coeff := cauchy.At(p, j)
+				for bp := 0; bp < W; bp++ {
+					// Bit b of coeff * x^bp: does data packet (j, bp)
+					// feed parity packet (k+p, b)?
+					prod := gf256.Mul(coeff, byte(1)<<bp)
+					if prod&(1<<b) != 0 {
+						ch = append(ch, xorcode.Cell{Col: j, Row: bp})
+					}
+				}
+			}
+			chains = append(chains, ch)
+		}
+	}
+	return chains
+}
+
+// New returns a CRS(k, r) coder: systematic, MDS (tolerance r), XOR-only.
+// Shard sizes must be multiples of 8 (one byte per bit-plane row).
+func New(k, r int) (*xorcode.Code, error) {
+	if k < 1 || r < 1 {
+		return nil, fmt.Errorf("crs: invalid shape k=%d r=%d", k, r)
+	}
+	if k+r > 256 {
+		return nil, fmt.Errorf("crs: k+r=%d exceeds GF(256) limit", k+r)
+	}
+	return xorcode.New(fmt.Sprintf("CRS(%d,%d)", k, r), k, r, W, r, Chains(k, r))
+}

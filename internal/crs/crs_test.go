@@ -1,0 +1,104 @@
+package crs
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{{0, 2}, {3, 0}, {200, 100}} {
+		if _, err := New(tc.k, tc.r); err == nil {
+			t.Errorf("New(%d,%d) accepted", tc.k, tc.r)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataShards() != 5 || c.ParityShards() != 3 || c.FaultTolerance() != 3 ||
+		c.Rows() != W || c.ShardSizeMultiple() != 8 {
+		t.Fatalf("shape mismatch: %s", c.Name())
+	}
+}
+
+func TestMDSExhaustive(t *testing.T) {
+	// Cauchy bit-matrices are MDS: every erasure pattern up to r must
+	// repair byte-exactly, and the rank verifier must agree.
+	for _, tc := range []struct{ k, r int }{{3, 2}, {4, 3}, {5, 3}, {7, 3}, {6, 2}} {
+		c, err := New(tc.k, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyTolerance(tc.r); err != nil {
+			t.Fatal(err)
+		}
+		if err := erasure.CheckExhaustive(c, 64, int64(tc.k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestXOROnlyChains(t *testing.T) {
+	// CRS's defining property: parities are generated independently
+	// (exactly one parity cell per chain) and by XOR alone.
+	c, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range c.Chains() {
+		parityCells := 0
+		for _, cell := range ch {
+			if cell.Col >= c.DataShards() {
+				parityCells++
+			}
+		}
+		if parityCells != 1 {
+			t.Fatalf("chain %d references %d parity cells", i, parityCells)
+		}
+	}
+}
+
+func TestPrefixProperty(t *testing.T) {
+	// CRS(k,1)'s parity column must byte-match the first parity column
+	// of CRS(k,3) on identical data — required by the framework's
+	// local/global segmentation.
+	full, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := erasure.RandomStripe(full, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := make([][]byte, 5)
+	copy(ls, fs[:4])
+	if err := local.Encode(ls); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ls[4], fs[4]) {
+		t.Fatal("prefix property violated")
+	}
+}
+
+func TestChainsDensity(t *testing.T) {
+	// Sanity: each chain should reference roughly k*W/2 data cells (half
+	// the bits of a random-ish Cauchy product are set), never zero.
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range c.Chains() {
+		if len(ch) < 2 {
+			t.Fatalf("chain %d has no data cells", i)
+		}
+	}
+}

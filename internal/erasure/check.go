@@ -1,0 +1,93 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// DataLayout is an optional interface for coders whose data shards are
+// not the first DataShards() entries of the stripe (e.g. the Approximate
+// Code framework interleaves data and local-parity nodes per stripe).
+type DataLayout interface {
+	// DataNodeIndexes lists the stripe positions holding data shards.
+	DataNodeIndexes() []int
+}
+
+// DataIndexes returns the stripe positions of the coder's data shards:
+// the coder's DataLayout if implemented, else 0..DataShards()-1.
+func DataIndexes(c Coder) []int {
+	if dl, ok := c.(DataLayout); ok {
+		return dl.DataNodeIndexes()
+	}
+	idx := make([]int, c.DataShards())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// RandomStripe builds a stripe for the coder with pseudo-random data
+// shards of the given size and freshly encoded parity. The same seed
+// always yields the same stripe.
+func RandomStripe(c Coder, shardSize int, seed int64) ([][]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.TotalShards())
+	for _, i := range DataIndexes(c) {
+		shards[i] = make([]byte, shardSize)
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// CheckPattern erases the listed shard indexes from a copy of the stripe,
+// reconstructs, and verifies byte-exact recovery of every erased shard.
+func CheckPattern(c Coder, stripe [][]byte, erased []int) error {
+	work := CloneShards(stripe)
+	for _, e := range erased {
+		work[e] = nil
+	}
+	if err := c.Reconstruct(work); err != nil {
+		return fmt.Errorf("reconstruct %v: %w", erased, err)
+	}
+	for i := range stripe {
+		if work[i] == nil {
+			return fmt.Errorf("shard %d still nil after reconstruct %v", i, erased)
+		}
+		if !bytes.Equal(work[i], stripe[i]) {
+			return fmt.Errorf("shard %d mismatch after reconstruct %v", i, erased)
+		}
+	}
+	return nil
+}
+
+// CheckExhaustive verifies that the coder repairs every erasure pattern
+// of up to its declared fault tolerance, byte-exactly. shardSize should be
+// a multiple of c.ShardSizeMultiple().
+func CheckExhaustive(c Coder, shardSize int, seed int64) error {
+	stripe, err := RandomStripe(c, shardSize, seed)
+	if err != nil {
+		return fmt.Errorf("%s: encode: %w", c.Name(), err)
+	}
+	if ok, err := c.Verify(stripe); err != nil || !ok {
+		return fmt.Errorf("%s: fresh stripe fails Verify (ok=%v err=%v)", c.Name(), ok, err)
+	}
+	n := c.TotalShards()
+	for f := 1; f <= c.FaultTolerance(); f++ {
+		var failure error
+		Combinations(n, f, func(idx []int) bool {
+			if err := CheckPattern(c, stripe, idx); err != nil {
+				failure = fmt.Errorf("%s: %w", c.Name(), err)
+				return false
+			}
+			return true
+		})
+		if failure != nil {
+			return failure
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package erasure defines the common contract shared by every erasure
+// coder in the repository (RS, LRC, EVENODD, STAR, TIP and the
+// Approximate Code framework built on top of them), along with shard
+// utilities and erasure-pattern enumeration used by tests and by the
+// reliability analysis.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common error values. Coders wrap these with context via fmt.Errorf and
+// %w so callers can test with errors.Is.
+var (
+	// ErrShardCount indicates the caller passed the wrong number of shards.
+	ErrShardCount = errors.New("erasure: wrong shard count")
+	// ErrShardSize indicates shards of unequal or invalid size.
+	ErrShardSize = errors.New("erasure: invalid shard size")
+	// ErrTooManyErasures indicates the erasure pattern exceeds what the
+	// code can repair.
+	ErrTooManyErasures = errors.New("erasure: too many erasures")
+)
+
+// Coder is the uniform interface implemented by every erasure code in
+// this repository. A "shard" is the contents of one storage node-column
+// in the array; all shards in a stripe have equal length.
+type Coder interface {
+	// Name identifies the code, e.g. "RS(4,3)" or "APPR.STAR(5,2,1,4,Uneven)".
+	Name() string
+	// DataShards is the number of data node-columns (k).
+	DataShards() int
+	// ParityShards is the number of parity node-columns.
+	ParityShards() int
+	// TotalShards is DataShards()+ParityShards().
+	TotalShards() int
+	// FaultTolerance is the number of arbitrary node failures the code
+	// guarantees to repair.
+	FaultTolerance() int
+	// ShardSizeMultiple is the required granularity of shard lengths
+	// (e.g. an XOR array code with p-1 rows requires len%*(p-1) == 0).
+	ShardSizeMultiple() int
+	// Encode computes all parity shards from the data shards. The slice
+	// must contain TotalShards() entries; data shards [0,k) must be
+	// non-nil and equal length; parity shards are allocated when nil.
+	Encode(shards [][]byte) error
+	// Reconstruct recovers erased shards in place. Erased shards are
+	// marked by nil entries; survivors must be intact. On success every
+	// entry is non-nil and byte-identical to the original stripe.
+	Reconstruct(shards [][]byte) error
+	// Verify re-computes parity from data and reports whether the stripe
+	// is consistent.
+	Verify(shards [][]byte) (bool, error)
+}
+
+// CheckShards validates the shard slice shape for a coder with the given
+// total shard count and size-multiple. allowNil controls whether nil
+// entries (erasures / to-be-filled parities) are tolerated. It returns
+// the common shard length, which is 0 only if every shard is nil.
+func CheckShards(shards [][]byte, total, sizeMultiple int, allowNil bool) (int, error) {
+	if len(shards) != total {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), total)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("%w: shard %d is nil", ErrShardSize, i)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, others %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size == -1 {
+		return 0, fmt.Errorf("%w: all shards nil", ErrShardSize)
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("%w: zero-length shards", ErrShardSize)
+	}
+	if sizeMultiple > 1 && size%sizeMultiple != 0 {
+		return 0, fmt.Errorf("%w: length %d not a multiple of %d", ErrShardSize, size, sizeMultiple)
+	}
+	return size, nil
+}
+
+// AllocParity allocates any nil shard in shards[k:] to the given size.
+func AllocParity(shards [][]byte, k, size int) {
+	for i := k; i < len(shards); i++ {
+		if shards[i] == nil {
+			shards[i] = make([]byte, size)
+		} else {
+			for j := range shards[i] {
+				shards[i][j] = 0
+			}
+		}
+	}
+}
+
+// Erased lists the indexes of nil shards.
+func Erased(shards [][]byte) []int {
+	var out []int
+	for i, s := range shards {
+		if s == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Combinations calls fn with every size-r subset of {0..n-1}, in
+// lexicographic order. The slice passed to fn is reused; fn must not
+// retain it. If fn returns false, enumeration stops early.
+func Combinations(n, r int, fn func([]int) bool) {
+	if r < 0 || r > n {
+		return
+	}
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance.
+		i := r - 1
+		for i >= 0 && idx[i] == n-r+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < r; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// Binomial returns C(n, k) as a float64 (exact for the small n used in
+// reliability analysis).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// CloneShards deep-copies a stripe (nil entries stay nil). Used heavily
+// by tests and the cluster simulator.
+func CloneShards(shards [][]byte) [][]byte {
+	out := make([][]byte, len(shards))
+	for i, s := range shards {
+		if s != nil {
+			out[i] = append([]byte(nil), s...)
+		}
+	}
+	return out
+}
+
+// Updater is an optional interface for coders that support incremental
+// parity updates: when one data shard changes, the parities are patched
+// from the shard's delta (old XOR new) without re-reading the stripe.
+// This is the operation behind the paper's single-write cost analysis
+// (Table 2): the number of touched parity shards plus one data write is
+// the write cost.
+type Updater interface {
+	// ApplyDelta patches the parity shards in place given that data
+	// shard idx changed by delta. It returns the indexes of the parity
+	// shards it modified. The data shard itself is NOT written — callers
+	// update it separately (they hold the new contents).
+	ApplyDelta(shards [][]byte, idx int, delta []byte) ([]int, error)
+}

@@ -1,0 +1,166 @@
+package erasure
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckShards(t *testing.T) {
+	mk := func(sizes ...int) [][]byte {
+		out := make([][]byte, len(sizes))
+		for i, s := range sizes {
+			if s >= 0 {
+				out[i] = make([]byte, s)
+			}
+		}
+		return out
+	}
+	t.Run("happy", func(t *testing.T) {
+		size, err := CheckShards(mk(8, 8, 8), 3, 4, false)
+		if err != nil || size != 8 {
+			t.Fatalf("got size=%d err=%v", size, err)
+		}
+	})
+	t.Run("wrong count", func(t *testing.T) {
+		if _, err := CheckShards(mk(8, 8), 3, 1, false); !errors.Is(err, ErrShardCount) {
+			t.Fatalf("want ErrShardCount, got %v", err)
+		}
+	})
+	t.Run("unequal", func(t *testing.T) {
+		if _, err := CheckShards(mk(8, 9, 8), 3, 1, false); !errors.Is(err, ErrShardSize) {
+			t.Fatalf("want ErrShardSize, got %v", err)
+		}
+	})
+	t.Run("nil disallowed", func(t *testing.T) {
+		if _, err := CheckShards(mk(8, -1, 8), 3, 1, false); !errors.Is(err, ErrShardSize) {
+			t.Fatalf("want ErrShardSize, got %v", err)
+		}
+	})
+	t.Run("nil allowed", func(t *testing.T) {
+		size, err := CheckShards(mk(8, -1, 8), 3, 1, true)
+		if err != nil || size != 8 {
+			t.Fatalf("got size=%d err=%v", size, err)
+		}
+	})
+	t.Run("all nil", func(t *testing.T) {
+		if _, err := CheckShards(mk(-1, -1), 2, 1, true); !errors.Is(err, ErrShardSize) {
+			t.Fatalf("want ErrShardSize, got %v", err)
+		}
+	})
+	t.Run("zero length", func(t *testing.T) {
+		if _, err := CheckShards(mk(0, 0), 2, 1, false); !errors.Is(err, ErrShardSize) {
+			t.Fatalf("want ErrShardSize, got %v", err)
+		}
+	})
+	t.Run("bad multiple", func(t *testing.T) {
+		if _, err := CheckShards(mk(10, 10), 2, 4, false); !errors.Is(err, ErrShardSize) {
+			t.Fatalf("want ErrShardSize, got %v", err)
+		}
+	})
+}
+
+func TestAllocParity(t *testing.T) {
+	shards := [][]byte{{1, 2}, nil, {9, 9}}
+	AllocParity(shards, 1, 2)
+	if shards[1] == nil || len(shards[1]) != 2 {
+		t.Fatal("parity not allocated")
+	}
+	if shards[2][0] != 0 || shards[2][1] != 0 {
+		t.Fatal("existing parity not zeroed")
+	}
+	if shards[0][0] != 1 {
+		t.Fatal("data shard touched")
+	}
+}
+
+func TestErased(t *testing.T) {
+	shards := [][]byte{{1}, nil, {2}, nil}
+	got := Erased(shards)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Erased=%v", got)
+	}
+	if Erased([][]byte{{1}}) != nil {
+		t.Fatal("no erasures should return nil")
+	}
+}
+
+func TestCombinationsCountsMatchBinomial(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for r := 0; r <= n; r++ {
+			count := 0
+			Combinations(n, r, func(idx []int) bool {
+				if len(idx) != r {
+					t.Fatalf("wrong subset size %d", len(idx))
+				}
+				for i := 1; i < len(idx); i++ {
+					if idx[i] <= idx[i-1] {
+						t.Fatalf("not strictly increasing: %v", idx)
+					}
+				}
+				count++
+				return true
+			})
+			if want := int(Binomial(n, r)); count != want {
+				t.Fatalf("C(%d,%d): counted %d want %d", n, r, count, want)
+			}
+		}
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	Combinations(6, 2, func([]int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop: %d calls", count)
+	}
+}
+
+func TestCombinationsDegenerate(t *testing.T) {
+	calls := 0
+	Combinations(3, 0, func(idx []int) bool { calls++; return true })
+	if calls != 1 {
+		t.Fatalf("C(3,0) should yield the empty set once, got %d", calls)
+	}
+	Combinations(3, 5, func([]int) bool { t.Fatal("C(3,5) must not yield"); return true })
+	Combinations(3, -1, func([]int) bool { t.Fatal("negative r must not yield"); return true })
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{14, 2, 91}, {14, 4, 1001}, {4, 2, 6}, {6, 4, 15},
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("C(%d,%d)=%v want %v", c.n, c.k, got, c.want)
+		}
+	}
+	// Pascal's rule as a property.
+	if err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		k := int(kRaw) % n
+		return Binomial(n, k) == Binomial(n-1, k)+Binomial(n-1, k-1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneShards(t *testing.T) {
+	orig := [][]byte{{1, 2}, nil, {3}}
+	c := CloneShards(orig)
+	if c[1] != nil {
+		t.Fatal("nil must stay nil")
+	}
+	c[0][0] = 99
+	if orig[0][0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}

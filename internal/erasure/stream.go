@@ -1,0 +1,139 @@
+package erasure
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// StripePipeline encodes a stream of stripes with a bounded worker pool
+// while emitting results strictly in stripe order — the ingestion path
+// of a storage daemon. Safe for one EncodeStream call at a time per
+// pipeline; create one pipeline per concurrent stream.
+type StripePipeline struct {
+	coder   Coder
+	workers int
+}
+
+// NewStripePipeline returns a pipeline over the coder with the given
+// worker count (minimum 1).
+func NewStripePipeline(c Coder, workers int) *StripePipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	return &StripePipeline{coder: c, workers: workers}
+}
+
+type stripeJob struct {
+	idx    int
+	shards [][]byte
+	err    error
+}
+
+// EncodeStream reads r to EOF, packs the bytes into the coder's data
+// shards (shardSize bytes per node-column, zero-padding the tail),
+// encodes the stripes concurrently, and calls emit once per stripe in
+// ascending stripe order. emit receives the full shard set (data +
+// parity) and may retain it. Returns the number of data bytes consumed.
+func (p *StripePipeline) EncodeStream(r io.Reader, shardSize int, emit func(stripe int, shards [][]byte) error) (int64, error) {
+	if shardSize <= 0 || shardSize%p.coder.ShardSizeMultiple() != 0 {
+		return 0, fmt.Errorf("%w: shard size %d not a positive multiple of %d",
+			ErrShardSize, shardSize, p.coder.ShardSizeMultiple())
+	}
+	dataIdx := DataIndexes(p.coder)
+
+	jobs := make(chan stripeJob, p.workers)
+	done := make(chan stripeJob, p.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := p.coder.Encode(j.shards); err != nil {
+					j.err = fmt.Errorf("stripe %d: %w", j.idx, err)
+				}
+				done <- j
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Reader: pack stripes and feed the pool.
+	var (
+		total    int64
+		readErr  error
+		produced int
+	)
+	go func() {
+		defer close(jobs)
+		for idx := 0; ; idx++ {
+			shards := make([][]byte, p.coder.TotalShards())
+			filled := 0
+			for _, di := range dataIdx {
+				col := make([]byte, shardSize)
+				n, err := io.ReadFull(r, col)
+				filled += n
+				shards[di] = col
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					// Zero-pad the remaining columns.
+					for _, dj := range dataIdx {
+						if shards[dj] == nil {
+							shards[dj] = make([]byte, shardSize)
+						}
+					}
+					if filled > 0 {
+						produced++
+						jobs <- stripeJob{idx: idx, shards: shards}
+					}
+					total += int64(filled)
+					return
+				}
+				if err != nil {
+					readErr = fmt.Errorf("stripe %d: %w", idx, err)
+					return
+				}
+			}
+			total += int64(filled)
+			produced++
+			jobs <- stripeJob{idx: idx, shards: shards}
+		}
+	}()
+
+	// Emitter: reorder by stripe index.
+	pending := make(map[int]stripeJob)
+	next := 0
+	var emitErr error
+	for j := range done {
+		pending[j.idx] = j
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if cur.err != nil && emitErr == nil {
+				emitErr = cur.err
+			}
+			if emitErr == nil {
+				if err := emit(cur.idx, cur.shards); err != nil {
+					emitErr = fmt.Errorf("emit stripe %d: %w", cur.idx, err)
+				}
+			}
+			next++
+		}
+	}
+	if readErr != nil {
+		return total, readErr
+	}
+	if emitErr != nil {
+		return total, emitErr
+	}
+	if next != produced {
+		return total, fmt.Errorf("erasure: pipeline emitted %d of %d stripes", next, produced)
+	}
+	return total, nil
+}

@@ -1,0 +1,208 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// xorCoder is a minimal Coder for pipeline tests: one XOR parity shard.
+type xorCoder struct{ k int }
+
+func (c *xorCoder) Name() string           { return fmt.Sprintf("XOR(%d,1)", c.k) }
+func (c *xorCoder) DataShards() int        { return c.k }
+func (c *xorCoder) ParityShards() int      { return 1 }
+func (c *xorCoder) TotalShards() int       { return c.k + 1 }
+func (c *xorCoder) FaultTolerance() int    { return 1 }
+func (c *xorCoder) ShardSizeMultiple() int { return 1 }
+
+func (c *xorCoder) Encode(shards [][]byte) error {
+	size, err := CheckShards(shards[:c.k], c.k, 1, false)
+	if err != nil {
+		return err
+	}
+	AllocParity(shards, c.k, size)
+	for i := 0; i < c.k; i++ {
+		for j, b := range shards[i] {
+			shards[c.k][j] ^= b
+		}
+	}
+	return nil
+}
+
+func (c *xorCoder) Reconstruct(shards [][]byte) error {
+	erased := Erased(shards)
+	if len(erased) > 1 {
+		return ErrTooManyErasures
+	}
+	if len(erased) == 0 {
+		return nil
+	}
+	size := 0
+	for _, s := range shards {
+		if s != nil {
+			size = len(s)
+		}
+	}
+	out := make([]byte, size)
+	for i, s := range shards {
+		if i == erased[0] {
+			continue
+		}
+		for j, b := range s {
+			out[j] ^= b
+		}
+	}
+	shards[erased[0]] = out
+	return nil
+}
+
+func (c *xorCoder) Verify(shards [][]byte) (bool, error) {
+	size, err := CheckShards(shards, c.TotalShards(), 1, false)
+	if err != nil {
+		return false, err
+	}
+	for j := 0; j < size; j++ {
+		var x byte
+		for i := range shards {
+			x ^= shards[i][j]
+		}
+		if x != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func TestEncodeStreamOrderAndContent(t *testing.T) {
+	coder := &xorCoder{k: 3}
+	const shardSize = 16
+	data := make([]byte, 3*shardSize*7+5) // 7 full stripes + padded tail
+	rand.New(rand.NewSource(1)).Read(data)
+	for _, workers := range []int{1, 2, 8} {
+		p := NewStripePipeline(coder, workers)
+		var stripes [][][]byte
+		lastIdx := -1
+		total, err := p.EncodeStream(bytes.NewReader(data), shardSize, func(idx int, shards [][]byte) error {
+			if idx != lastIdx+1 {
+				t.Fatalf("out of order: %d after %d", idx, lastIdx)
+			}
+			lastIdx = idx
+			stripes = append(stripes, shards)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if total != int64(len(data)) {
+			t.Fatalf("workers=%d: consumed %d of %d", workers, total, len(data))
+		}
+		if len(stripes) != 8 {
+			t.Fatalf("workers=%d: %d stripes, want 8", workers, len(stripes))
+		}
+		// Content round-trip: concatenated data shards == input + padding.
+		var got []byte
+		for _, s := range stripes {
+			for i := 0; i < coder.DataShards(); i++ {
+				got = append(got, s[i]...)
+			}
+			if ok, err := coder.Verify(s); err != nil || !ok {
+				t.Fatalf("workers=%d: stripe fails verify", workers)
+			}
+		}
+		if !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("workers=%d: data mangled", workers)
+		}
+		for _, b := range got[len(data):] {
+			if b != 0 {
+				t.Fatalf("workers=%d: padding not zero", workers)
+			}
+		}
+	}
+}
+
+func TestEncodeStreamEmptyInput(t *testing.T) {
+	p := NewStripePipeline(&xorCoder{k: 2}, 2)
+	calls := 0
+	total, err := p.EncodeStream(bytes.NewReader(nil), 8, func(int, [][]byte) error {
+		calls++
+		return nil
+	})
+	if err != nil || total != 0 || calls != 0 {
+		t.Fatalf("empty input: total=%d calls=%d err=%v", total, calls, err)
+	}
+}
+
+func TestEncodeStreamBadShardSize(t *testing.T) {
+	p := NewStripePipeline(&xorCoder{k: 2}, 1)
+	if _, err := p.EncodeStream(bytes.NewReader([]byte{1}), 0, nil); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+}
+
+func TestEncodeStreamEmitErrorPropagates(t *testing.T) {
+	p := NewStripePipeline(&xorCoder{k: 2}, 4)
+	data := make([]byte, 2*8*5)
+	boom := errors.New("boom")
+	_, err := p.EncodeStream(bytes.NewReader(data), 8, func(idx int, _ [][]byte) error {
+		if idx == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+type flakyReader struct{ n int }
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk on fire")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	for i := range p {
+		p[i] = 0xAB
+	}
+	return len(p), nil
+}
+
+func TestEncodeStreamReadErrorPropagates(t *testing.T) {
+	p := NewStripePipeline(&xorCoder{k: 2}, 2)
+	_, err := p.EncodeStream(&flakyReader{n: 20}, 8, func(int, [][]byte) error { return nil })
+	if err == nil {
+		t.Fatal("read error swallowed")
+	}
+}
+
+func TestEncodeStreamLargeRandomRoundTrip(t *testing.T) {
+	coder := &xorCoder{k: 4}
+	p := NewStripePipeline(coder, 8)
+	data := make([]byte, 4*32*50+11)
+	rand.New(rand.NewSource(2)).Read(data)
+	var reassembled []byte
+	if _, err := p.EncodeStream(io.LimitReader(bytes.NewReader(data), int64(len(data))), 32,
+		func(_ int, shards [][]byte) error {
+			// Erase a random shard, reconstruct, then take the data.
+			shards[len(shards)-1] = nil
+			if err := coder.Reconstruct(shards); err != nil {
+				return err
+			}
+			for i := 0; i < coder.DataShards(); i++ {
+				reassembled = append(reassembled, shards[i]...)
+			}
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reassembled[:len(data)], data) {
+		t.Fatal("round trip through pipeline + reconstruct failed")
+	}
+}

@@ -1,0 +1,75 @@
+// Package evenodd implements the EVENODD code (Blaum, Brady, Bruck &
+// Menon 1995): a RAID-6 XOR array code over p data columns (p prime) with
+// two parity columns — horizontal parity and S-adjusted diagonal parity —
+// on a (p-1)-row array. EVENODD is both a baseline in the paper's
+// evaluation and the local-parity part of APPR.STAR (paper §3.3.1).
+package evenodd
+
+import (
+	"fmt"
+
+	"approxcode/internal/xorcode"
+)
+
+// IsPrime reports whether n is prime (trial division; n is tiny here).
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Chains returns the EVENODD parity chains for prime p on a
+// (p-1) x (p+2) array: data columns 0..p-1, horizontal parity column p,
+// diagonal parity column p+1.
+//
+// Horizontal: P0[i] = XOR_j C[i][j].
+// Diagonal:   P1[l] = S ^ XOR{C[i][j] : (i+j) mod p == l, i < p-1}
+// with adjuster S = XOR{C[i][j] : (i+j) mod p == p-1, i < p-1}. Expressed
+// as chains, S's members are folded into every diagonal chain.
+func Chains(p int) []xorcode.Chain {
+	rows := p - 1
+	var chains []xorcode.Chain
+	// Horizontal chains.
+	for i := 0; i < rows; i++ {
+		ch := xorcode.Chain{{Col: p, Row: i}}
+		for j := 0; j < p; j++ {
+			ch = append(ch, xorcode.Cell{Col: j, Row: i})
+		}
+		chains = append(chains, ch)
+	}
+	// Diagonal chains with the S adjuster folded in.
+	var sCells []xorcode.Cell
+	for j := 0; j < p; j++ {
+		i := (p - 1 - j) % p
+		if i < rows {
+			sCells = append(sCells, xorcode.Cell{Col: j, Row: i})
+		}
+	}
+	for l := 0; l < rows; l++ {
+		ch := xorcode.Chain{{Col: p + 1, Row: l}}
+		for j := 0; j < p; j++ {
+			i := ((l-j)%p + p) % p
+			if i < rows {
+				ch = append(ch, xorcode.Cell{Col: j, Row: i})
+			}
+		}
+		ch = append(ch, sCells...)
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// New returns the EVENODD(p) coder: k = p data shards, 2 parity shards,
+// tolerance 2. p must be prime and at least 3.
+func New(p int) (*xorcode.Code, error) {
+	if !IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("evenodd: p=%d must be a prime >= 3", p)
+	}
+	return xorcode.New(fmt.Sprintf("EVENODD(%d)", p), p, 2, p-1, 2, Chains(p))
+}

@@ -1,0 +1,81 @@
+package evenodd
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 17: true,
+		1: false, 0: false, -3: false, 4: false, 9: false, 15: false, 21: false,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestNewRejectsNonPrime(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 9} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataShards() != 5 || c.ParityShards() != 2 || c.FaultTolerance() != 2 ||
+		c.Rows() != 4 || c.ShardSizeMultiple() != 4 {
+		t.Fatalf("shape mismatch: %s", c.Name())
+	}
+}
+
+func TestExhaustiveDoubleFailures(t *testing.T) {
+	// EVENODD must repair every single and double column erasure.
+	for _, p := range []int{3, 5, 7, 11, 13} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyTolerance(2); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := erasure.CheckExhaustive(c, (p-1)*8, int64(p)); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestKnownSmallEncoding(t *testing.T) {
+	// p=3: 2 rows, data cols 0..2, horizontal col 3, diagonal col 4.
+	// One byte per element. Data (col-major): d0=[a0,a1] d1=[b0,b1] d2=[c0,c1].
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{{1, 2}, {4, 8}, {16, 32}, nil, nil}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal: P0[i] = a_i ^ b_i ^ c_i.
+	if shards[3][0] != 1^4^16 || shards[3][1] != 2^8^32 {
+		t.Fatalf("horizontal parity wrong: %v", shards[3])
+	}
+	// Diagonal for p=3: S = cells with (i+j)%3==2, i<2: (i=2? no) ->
+	// j=1,i=1 and j=2,i=0 => S = b1 ^ c0.
+	s := shards[1][1] ^ shards[2][0]
+	// P1[0] = S ^ {(i+j)%3==0}: (0,0),(2,1)->imaginary skip,(1,2)? j=2,i=1 => a0 ^ c1.
+	want0 := s ^ shards[0][0] ^ shards[2][1]
+	// P1[1] = S ^ {(i+j)%3==1}: (1,0)? j=0,i=1; (0,1) j=1,i=0 => a1 ^ b0.
+	want1 := s ^ shards[0][1] ^ shards[1][0]
+	if shards[4][0] != want0 || shards[4][1] != want1 {
+		t.Fatalf("diagonal parity wrong: got %v want [%d %d]", shards[4], want0, want1)
+	}
+}

@@ -1,0 +1,204 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by most
+// storage-oriented Reed-Solomon implementations. Multiplication and
+// division use exp/log tables generated at init time; bulk slice kernels
+// (MulSlice, MulAddSlice, XorSlice) operate on whole shards and are the
+// hot path for erasure encoding and decoding.
+package gf256
+
+import "fmt"
+
+// Polynomial is the primitive polynomial used to construct the field
+// (with the implicit x^8 term removed: 0x11D & 0xFF = 0x1D kept plus the
+// high bit handling below).
+const Polynomial = 0x11D
+
+var (
+	expTable [512]byte // exp[i] = alpha^i, doubled to avoid mod 255 in Mul
+	logTable [256]byte // log[a] = i such that alpha^i == a; log[0] unused
+	// mulTable[a] is the 256-entry row of products a*b, used by the slice
+	// kernels so that the inner loop is a single table lookup.
+	mulTable [256][256]byte
+	// invTable[a] = multiplicative inverse of a (invTable[0] unused).
+	invTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		la := int(logTable[a])
+		for b := 1; b < 256; b++ {
+			mulTable[a][b] = expTable[la+int(logTable[b])]
+		}
+		invTable[a] = expTable[255-la]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so
+// Sub is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8) (identical to Add).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a/b in GF(2^8). It panics if b == 0; division by zero is a
+// programming error, not an input condition.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return invTable[a]
+}
+
+// Exp returns alpha^n for the field generator alpha (n may be any
+// non-negative integer).
+func Exp(n int) byte {
+	if n < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", n))
+	}
+	return expTable[n%255]
+}
+
+// Pow returns a^n in GF(2^8).
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*n)%255]
+}
+
+// MulSlice sets dst[i] = c * src[i] for every i. dst and src must have the
+// same length (dst may alias src).
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] = row[src[i]]
+		dst[i+1] = row[src[i+1]]
+		dst[i+2] = row[src[i+2]]
+		dst[i+3] = row[src[i+3]]
+		dst[i+4] = row[src[i+4]]
+		dst[i+5] = row[src[i+5]]
+		dst[i+6] = row[src[i+6]]
+		dst[i+7] = row[src[i+7]]
+	}
+	for ; i < n; i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for every i: a fused
+// multiply-accumulate in GF(2^8), the inner kernel of matrix encoding.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSlice(src, dst)
+		return
+	}
+	row := &mulTable[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+		dst[i+4] ^= row[src[i+4]]
+		dst[i+5] ^= row[src[i+5]]
+		dst[i+6] ^= row[src[i+6]]
+		dst[i+7] ^= row[src[i+7]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for every i. It widens to 64-bit words
+// where both slices are long enough; this is the inner kernel of every
+// XOR-based code in the repository.
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: XorSlice length mismatch")
+	}
+	n := len(src)
+	i := 0
+	// Word-at-a-time XOR. Go's compiler recognises this pattern and emits
+	// wide loads/stores; encoding throughput is memory-bound.
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// DotProduct computes the GF(2^8) inner product of coeffs with the rows of
+// srcs, accumulating into dst: dst = sum_i coeffs[i] * srcs[i].
+// dst is overwritten.
+func DotProduct(coeffs []byte, srcs [][]byte, dst []byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf256: DotProduct shape mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, c := range coeffs {
+		MulAddSlice(c, srcs[i], dst)
+	}
+}

@@ -1,0 +1,290 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Add(byte(a), byte(b)) != byte(a)^byte(b) {
+				t.Fatalf("Add(%d,%d) != xor", a, b)
+			}
+		}
+	}
+}
+
+func TestMulTableMatchesSlowMul(t *testing.T) {
+	// Slow carry-less multiplication reduced by the field polynomial.
+	slow := func(a, b byte) byte {
+		var p uint16
+		aa, bb := uint16(a), uint16(b)
+		for i := 0; i < 8; i++ {
+			if bb&1 != 0 {
+				p ^= aa
+			}
+			bb >>= 1
+			aa <<= 1
+			if aa&0x100 != 0 {
+				aa ^= Polynomial
+			}
+		}
+		return byte(p)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d)=%d want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Associativity, commutativity, distributivity checked exhaustively on
+	// a pseudo-random sample and by testing/quick.
+	assoc := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	dist := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	if err := quick.Check(dist, nil); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for a=%d", a)
+		}
+		if Mul(byte(a), 0) != 0 {
+			t.Fatalf("a*0 != 0 for a=%d", a)
+		}
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("a*Inv(a) != 1 for a=%d", a)
+		}
+		if Div(byte(a), byte(a)) != 1 {
+			t.Fatalf("a/a != 1 for a=%d", a)
+		}
+	}
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			q := Div(byte(a), byte(b))
+			if Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("(a/b)*b != a for a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpPowConsistency(t *testing.T) {
+	alpha := Exp(1)
+	x := byte(1)
+	for n := 0; n < 512; n++ {
+		if Exp(n) != x {
+			t.Fatalf("Exp(%d)=%d want %d", n, Exp(n), x)
+		}
+		x = Mul(x, alpha)
+	}
+	if err := quick.Check(func(a byte, n uint8) bool {
+		want := byte(1)
+		for i := 0; i < int(n); i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, int(n)) == want
+	}, nil); err != nil {
+		t.Errorf("Pow: %v", err)
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// alpha must generate the full multiplicative group (order 255).
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("generator repeats at %d", i)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator order %d, want 255", len(seen))
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1000} {
+		src := make([]byte, n)
+		rng.Read(src)
+		for _, c := range []byte{0, 1, 2, 137, 255} {
+			dst := make([]byte, n)
+			MulSlice(c, src, dst)
+			for i := range src {
+				if dst[i] != Mul(c, src[i]) {
+					t.Fatalf("MulSlice c=%d n=%d idx=%d", c, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want := make([]byte, len(src))
+	MulSlice(29, src, want)
+	MulSlice(29, src, src) // in-place
+	if !bytes.Equal(src, want) {
+		t.Fatal("in-place MulSlice differs")
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 8, 13, 256} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		orig := append([]byte(nil), dst...)
+		for _, c := range []byte{0, 1, 3, 200} {
+			d := append([]byte(nil), orig...)
+			MulAddSlice(c, src, d)
+			for i := range d {
+				if d[i] != orig[i]^Mul(c, src[i]) {
+					t.Fatalf("MulAddSlice c=%d n=%d idx=%d", c, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 8, 9, 17, 4096} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		got := append([]byte(nil), b...)
+		XorSlice(a, got)
+		for i := range got {
+			if got[i] != a[i]^b[i] {
+				t.Fatalf("XorSlice n=%d idx=%d", n, i)
+			}
+		}
+		// XOR twice restores.
+		XorSlice(a, got)
+		if !bytes.Equal(got, b) {
+			t.Fatalf("double XOR not identity, n=%d", n)
+		}
+	}
+}
+
+func TestSliceKernelLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSlice": func() { MulAddSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"XorSlice":    func() { XorSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: length mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 100
+	srcs := make([][]byte, 5)
+	coeffs := make([]byte, 5)
+	for i := range srcs {
+		srcs[i] = make([]byte, n)
+		rng.Read(srcs[i])
+		coeffs[i] = byte(rng.Intn(256))
+	}
+	dst := make([]byte, n)
+	rng.Read(dst) // must be overwritten, not accumulated
+	DotProduct(coeffs, srcs, dst)
+	for i := 0; i < n; i++ {
+		var want byte
+		for j := range srcs {
+			want ^= Mul(coeffs[j], srcs[j][i])
+		}
+		if dst[i] != want {
+			t.Fatalf("DotProduct idx=%d", i)
+		}
+	}
+}
+
+func TestDotProductShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	DotProduct(make([]byte, 2), make([][]byte, 3), make([]byte, 4))
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(5)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(137, src, dst)
+	}
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(6)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}

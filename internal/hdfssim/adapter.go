@@ -1,0 +1,26 @@
+package hdfssim
+
+import (
+	"approxcode/internal/cluster"
+)
+
+// TasksFromPlan converts a repair plan from internal/cluster into
+// recovery tasks, replicated for the given number of stripes per node.
+// The worker of each task is the replacement of the task's first lost
+// block (it inherits the failed node's index).
+func TasksFromPlan(p *cluster.Plan, stripes int) []Task {
+	var out []Task
+	for s := 0; s < stripes; s++ {
+		for _, t := range p.Tasks {
+			if len(t.WriteNodes) == 0 || t.Bytes <= 0 {
+				continue
+			}
+			out = append(out, Task{
+				Readers: append([]int(nil), t.ReadNodes...),
+				Worker:  t.WriteNodes[0],
+				Bytes:   t.Bytes,
+			})
+		}
+	}
+	return out
+}

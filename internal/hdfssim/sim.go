@@ -1,0 +1,312 @@
+// Package hdfssim is a discrete-event simulation of an HDFS-like
+// cluster, the substrate of the paper's evaluation platform (§4.1.3:
+// Hadoop HDFS 3.0.3, one NameNode + h DataNodes). Where
+// internal/cluster answers "how long do the repair bytes take to move"
+// with a deterministic list schedule, hdfssim models the *control
+// plane* around it: DataNode heartbeats, NameNode failure detection
+// after a missed-heartbeat timeout, a re-replication queue, and
+// throttled per-node recovery work — so recovery time includes
+// detection latency and queueing, as it does on a real cluster.
+//
+// The engine is a classic event-heap simulator with virtual time;
+// everything is deterministic given the configuration.
+package hdfssim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int // tie-breaker: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with virtual time in seconds.
+type Sim struct {
+	now float64
+	seq int
+	pq  eventHeap
+}
+
+// NewSim returns an empty simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t (>= Now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("hdfssim: scheduling in the past (%f < %f)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// Run processes events with timestamps up to the horizon, advances the
+// virtual clock to the horizon, and returns it. Events beyond the
+// horizon stay queued for a later Run.
+func (s *Sim) Run(horizon float64) float64 {
+	for len(s.pq) > 0 {
+		e := s.pq[0]
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&s.pq)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// Config models the platform and the HDFS control plane.
+type Config struct {
+	// HeartbeatInterval is how often DataNodes report in (HDFS: 3 s).
+	HeartbeatInterval float64
+	// HeartbeatTimeout is how long the NameNode waits before declaring a
+	// node dead (HDFS default is 10.5 min; clusters tune it down).
+	HeartbeatTimeout float64
+	// RecoverySlotsPerNode caps concurrent recovery tasks a node works
+	// on (dfs.namenode.replication.max-streams analogue).
+	RecoverySlotsPerNode int
+	// DiskBW, NetBW are bytes/s; SeekLatency seconds per request;
+	// ComputeBW bytes/s of decode throughput.
+	DiskBW, NetBW, ComputeBW, SeekLatency float64
+}
+
+// DefaultConfig mirrors the paper's platform with an aggressive
+// (storage-cluster style) 30 s detection timeout.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval:    3,
+		HeartbeatTimeout:     30,
+		RecoverySlotsPerNode: 2,
+		DiskBW:               160e6,
+		NetBW:                1.25e9,
+		ComputeBW:            1.0e9,
+		SeekLatency:          0.008,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.HeartbeatInterval <= 0 || c.HeartbeatTimeout <= c.HeartbeatInterval {
+		return fmt.Errorf("hdfssim: heartbeat interval/timeout invalid: %+v", c)
+	}
+	if c.RecoverySlotsPerNode < 1 {
+		return fmt.Errorf("hdfssim: need at least one recovery slot")
+	}
+	if c.DiskBW <= 0 || c.NetBW <= 0 || c.ComputeBW <= 0 || c.SeekLatency < 0 {
+		return fmt.Errorf("hdfssim: invalid bandwidth model: %+v", c)
+	}
+	return nil
+}
+
+// Task is one codeword repair: read Bytes from each reader, decode, and
+// write Bytes to the worker (the replacement node).
+type Task struct {
+	Readers []int
+	Worker  int
+	Bytes   int64
+}
+
+// duration is the service time of a task once dispatched: survivors are
+// read in parallel (the slowest gates), then decode, then write.
+func (c Config) duration(t Task) float64 {
+	read := c.SeekLatency + float64(t.Bytes)/c.DiskBW + 2*float64(t.Bytes)/c.NetBW
+	compute := float64(len(t.Readers)) * float64(t.Bytes) / c.ComputeBW
+	write := c.SeekLatency + float64(t.Bytes)/c.DiskBW
+	return read + compute + write
+}
+
+// Result reports a simulated failure-and-recovery episode.
+type Result struct {
+	// FailureAt is when the nodes crashed.
+	FailureAt float64
+	// DetectedAt is when the NameNode declared them dead.
+	DetectedAt float64
+	// RecoveredAt is when the last recovery task finished.
+	RecoveredAt float64
+	// TasksRun counts dispatched recovery tasks.
+	TasksRun int
+}
+
+// DetectionLatency is DetectedAt - FailureAt.
+func (r Result) DetectionLatency() float64 { return r.DetectedAt - r.FailureAt }
+
+// RepairTime is RecoveredAt - DetectedAt (the data-plane portion).
+func (r Result) RepairTime() float64 { return r.RecoveredAt - r.DetectedAt }
+
+// Total is RecoveredAt - FailureAt.
+func (r Result) Total() float64 { return r.RecoveredAt - r.FailureAt }
+
+// Cluster is the simulated HDFS cluster.
+type Cluster struct {
+	cfg   Config
+	sim   *Sim
+	nodes int
+
+	lastHeartbeat []float64
+	dead          map[int]bool
+	detected      map[int]bool
+
+	queue   []Task // pending recovery tasks, FIFO
+	busy    map[int]int
+	result  Result
+	pending int
+}
+
+// NewCluster creates a cluster of n live DataNodes.
+func NewCluster(cfg Config, n int) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("hdfssim: need at least one node")
+	}
+	c := &Cluster{
+		cfg:           cfg,
+		sim:           NewSim(),
+		nodes:         n,
+		lastHeartbeat: make([]float64, n),
+		dead:          make(map[int]bool),
+		detected:      make(map[int]bool),
+		busy:          make(map[int]int),
+	}
+	return c, nil
+}
+
+// Sim exposes the underlying simulator (for composing experiments).
+func (c *Cluster) Sim() *Sim { return c.sim }
+
+// heartbeat records node i reporting in and schedules the next beat.
+func (c *Cluster) heartbeat(i int) {
+	if c.dead[i] {
+		return
+	}
+	c.lastHeartbeat[i] = c.sim.Now()
+	c.sim.After(c.cfg.HeartbeatInterval, func() { c.heartbeat(i) })
+}
+
+// nameNodeScan runs the periodic liveness check.
+func (c *Cluster) nameNodeScan(tasks func(failed []int) []Task) {
+	now := c.sim.Now()
+	var newlyDead []int
+	for i := 0; i < c.nodes; i++ {
+		if c.dead[i] && !c.detected[i] && now-c.lastHeartbeat[i] >= c.cfg.HeartbeatTimeout {
+			c.detected[i] = true
+			newlyDead = append(newlyDead, i)
+		}
+	}
+	if len(newlyDead) > 0 {
+		sort.Ints(newlyDead)
+		if c.result.DetectedAt == 0 {
+			c.result.DetectedAt = now
+		}
+		ts := tasks(newlyDead)
+		c.queue = append(c.queue, ts...)
+		c.pending += len(ts)
+		if c.pending == 0 {
+			// Nothing to rebuild (e.g. important-only recovery with no
+			// important data on the dead nodes): recovered immediately.
+			c.result.RecoveredAt = now
+		}
+		c.dispatch()
+	}
+	allDetected := true
+	for i := range c.lastHeartbeat {
+		if c.dead[i] && !c.detected[i] {
+			allDetected = false
+		}
+	}
+	if !allDetected || c.pending > 0 {
+		c.sim.After(c.cfg.HeartbeatInterval, func() { c.nameNodeScan(tasks) })
+	}
+}
+
+// dispatch starts queued tasks whose worker has a free recovery slot.
+func (c *Cluster) dispatch() {
+	remaining := c.queue[:0]
+	for _, t := range c.queue {
+		if c.busy[t.Worker] < c.cfg.RecoverySlotsPerNode {
+			c.busy[t.Worker]++
+			c.result.TasksRun++
+			task := t
+			c.sim.After(c.cfg.duration(task), func() {
+				c.busy[task.Worker]--
+				c.pending--
+				if c.pending == 0 {
+					c.result.RecoveredAt = c.sim.Now()
+				}
+				c.dispatch()
+			})
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	c.queue = append([]Task(nil), remaining...)
+}
+
+// RunFailure boots the cluster, crashes the given nodes at failAt, and
+// runs until recovery completes (or the horizon passes). tasks is called
+// once per detected failure batch to produce the recovery work.
+func (c *Cluster) RunFailure(failAt float64, failed []int, tasks func(failed []int) []Task, horizon float64) (Result, error) {
+	for _, f := range failed {
+		if f < 0 || f >= c.nodes {
+			return Result{}, fmt.Errorf("hdfssim: node %d out of range", f)
+		}
+	}
+	for i := 0; i < c.nodes; i++ {
+		i := i
+		c.sim.At(0, func() { c.heartbeat(i) })
+	}
+	c.result = Result{FailureAt: failAt}
+	c.sim.At(failAt, func() {
+		for _, f := range failed {
+			c.dead[f] = true
+		}
+	})
+	c.sim.At(failAt, func() { c.nameNodeScan(tasks) })
+	c.sim.Run(horizon)
+	if c.pending > 0 || (len(failed) > 0 && c.result.RecoveredAt == 0) {
+		return c.result, fmt.Errorf("hdfssim: recovery incomplete at horizon %.1fs", horizon)
+	}
+	if c.result.RecoveredAt == 0 {
+		c.result.RecoveredAt = c.result.FailureAt
+		c.result.DetectedAt = c.result.FailureAt
+	}
+	if math.IsNaN(c.result.RecoveredAt) {
+		return c.result, fmt.Errorf("hdfssim: NaN recovery time")
+	}
+	return c.result, nil
+}

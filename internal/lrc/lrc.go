@@ -1,0 +1,261 @@
+// Package lrc implements Azure-style Local Reconstruction Codes
+// LRC(k, l, r): k data shards split into l local groups, each protected
+// by one XOR local parity, plus r global parities over all data (Huang et
+// al. 2012; paper §2.2, Fig. 2b). LRC(k,4,2) and LRC(k,6,2) are baselines
+// in the paper's evaluation.
+//
+// Decoding is maximally recoverable: the decoder assembles every
+// surviving parity equation and solves the full linear system over
+// GF(2^8), so any information-theoretically recoverable pattern (in
+// particular any r+1 arbitrary failures) is repaired. Single-data-shard
+// failures take the cheap local path, reading only the failed shard's
+// group — LRC's raison d'être.
+package lrc
+
+import (
+	"fmt"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+	"approxcode/internal/matrix"
+)
+
+// Coder is an LRC(k, l, r) erasure coder. Immutable after New; safe for
+// concurrent use.
+type Coder struct {
+	k, l, r int
+	groups  [][]int        // data shard indexes per local group
+	groupOf []int          // data shard -> group
+	coef    *matrix.Matrix // (k+l+r) x k: every shard as a combination of data
+}
+
+var _ erasure.Coder = (*Coder)(nil)
+
+// New returns an LRC(k, l, r) coder. Data shards are distributed over the
+// l groups as evenly as possible (sizes differ by at most one). Shard
+// order is [d_0..d_{k-1}, L_0..L_{l-1}, G_0..G_{r-1}].
+func New(k, l, r int) (*Coder, error) {
+	if k < 1 || l < 1 || r < 0 || l > k {
+		return nil, fmt.Errorf("lrc: invalid shape k=%d l=%d r=%d", k, l, r)
+	}
+	if k+r > 256 {
+		return nil, fmt.Errorf("lrc: k+r=%d exceeds GF(256) limit", k+r)
+	}
+	c := &Coder{k: k, l: l, r: r, groupOf: make([]int, k)}
+	c.groups = make([][]int, l)
+	for i := 0; i < k; i++ {
+		g := i * l / k
+		c.groups[g] = append(c.groups[g], i)
+		c.groupOf[i] = g
+	}
+	// Coefficient matrix: identity for data, group-indicator rows for
+	// locals, Cauchy rows for globals.
+	c.coef = matrix.New(k+l+r, k)
+	for i := 0; i < k; i++ {
+		c.coef.Set(i, i, 1)
+	}
+	for g, members := range c.groups {
+		for _, m := range members {
+			c.coef.Set(k+g, m, 1)
+		}
+	}
+	if r > 0 {
+		glob := matrix.Cauchy(r, k)
+		for i := 0; i < r; i++ {
+			copy(c.coef.Row(k+l+i), glob.Row(i))
+		}
+	}
+	return c, nil
+}
+
+// Name implements erasure.Coder.
+func (c *Coder) Name() string { return fmt.Sprintf("LRC(%d,%d,%d)", c.k, c.l, c.r) }
+
+// DataShards implements erasure.Coder.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards implements erasure.Coder.
+func (c *Coder) ParityShards() int { return c.l + c.r }
+
+// TotalShards implements erasure.Coder.
+func (c *Coder) TotalShards() int { return c.k + c.l + c.r }
+
+// FaultTolerance implements erasure.Coder. LRC guarantees any r+1
+// arbitrary failures (paper Table 2); many larger patterns also decode.
+func (c *Coder) FaultTolerance() int { return c.r + 1 }
+
+// ShardSizeMultiple implements erasure.Coder.
+func (c *Coder) ShardSizeMultiple() int { return 1 }
+
+// LocalGroups returns a copy of the data-shard indexes of each local
+// group; group g's parity is shard k+g.
+func (c *Coder) LocalGroups() [][]int {
+	out := make([][]int, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = append([]int(nil), g...)
+	}
+	return out
+}
+
+// Encode implements erasure.Coder.
+func (c *Coder) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	size, err := erasure.CheckShards(shards[:c.k], c.k, 1, false)
+	if err != nil {
+		return fmt.Errorf("lrc encode: %w", err)
+	}
+	erasure.AllocParity(shards, c.k, size)
+	for i := c.k; i < c.TotalShards(); i++ {
+		if len(shards[i]) != size {
+			return fmt.Errorf("lrc encode: %w: parity %d", erasure.ErrShardSize, i)
+		}
+		gf256.DotProduct(c.coef.Row(i), shards[:c.k], shards[i])
+	}
+	return nil
+}
+
+// Reconstruct implements erasure.Coder. Single data-shard failures use
+// the local-group path; everything else goes through the maximally
+// recoverable global solve.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), 1, true)
+	if err != nil {
+		return fmt.Errorf("lrc reconstruct: %w", err)
+	}
+	erased := erasure.Erased(shards)
+	if len(erased) == 0 {
+		return nil
+	}
+	if len(erased) == 1 && erased[0] < c.k {
+		if c.reconstructLocal(shards, erased[0], size) {
+			return nil
+		}
+	}
+	return c.reconstructGlobal(shards, erased, size)
+}
+
+// reconstructLocal repairs a single data shard from its group parity,
+// reading only the group. Returns false if a group member is unavailable
+// (cannot happen when only this shard is erased, but kept defensive).
+func (c *Coder) reconstructLocal(shards [][]byte, target, size int) bool {
+	g := c.groupOf[target]
+	parity := shards[c.k+g]
+	if parity == nil {
+		return false
+	}
+	out := append([]byte(nil), parity...)
+	for _, m := range c.groups[g] {
+		if m == target {
+			continue
+		}
+		if shards[m] == nil {
+			return false
+		}
+		gf256.XorSlice(shards[m], out)
+	}
+	shards[target] = out
+	return true
+}
+
+// reconstructGlobal solves the full surviving system for the data shards
+// and re-derives erased parities.
+func (c *Coder) reconstructGlobal(shards [][]byte, erased []int, size int) error {
+	var rows []int
+	var rhs [][]byte
+	for i := 0; i < c.TotalShards(); i++ {
+		if shards[i] != nil {
+			rows = append(rows, i)
+			rhs = append(rhs, shards[i])
+		}
+	}
+	sub := c.coef.SelectRows(rows)
+	data := make([][]byte, c.k)
+	for i := range data {
+		data[i] = make([]byte, size)
+	}
+	if err := matrix.GaussianSolveShards(sub, rhs, data); err != nil {
+		return fmt.Errorf("lrc reconstruct: %w: pattern %v not recoverable",
+			erasure.ErrTooManyErasures, erased)
+	}
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			shards[i] = data[i]
+		}
+	}
+	for i := c.k; i < c.TotalShards(); i++ {
+		if shards[i] == nil {
+			shards[i] = make([]byte, size)
+			gf256.DotProduct(c.coef.Row(i), data, shards[i])
+		}
+	}
+	return nil
+}
+
+// Recoverable reports whether an erasure pattern is information-
+// theoretically decodable (rank test, no data movement). Used by the
+// reliability analysis.
+func (c *Coder) Recoverable(erased []int) bool {
+	isErased := make(map[int]bool, len(erased))
+	for _, e := range erased {
+		if e < 0 || e >= c.TotalShards() {
+			return false
+		}
+		isErased[e] = true
+	}
+	var rows []int
+	for i := 0; i < c.TotalShards(); i++ {
+		if !isErased[i] {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) < c.k {
+		return false
+	}
+	return c.coef.SelectRows(rows).Rank() == c.k
+}
+
+// Verify implements erasure.Coder.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), 1, false)
+	if err != nil {
+		return false, fmt.Errorf("lrc verify: %w", err)
+	}
+	buf := make([]byte, size)
+	for i := c.k; i < c.TotalShards(); i++ {
+		gf256.DotProduct(c.coef.Row(i), shards[:c.k], buf)
+		for j := range buf {
+			if buf[j] != shards[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// ApplyDelta implements erasure.Updater: a data-shard delta touches its
+// group's local parity plus every global parity — write cost r+2
+// (paper Table 2).
+func (c *Coder) ApplyDelta(shards [][]byte, idx int, delta []byte) ([]int, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), 1, false)
+	if err != nil {
+		return nil, fmt.Errorf("lrc update: %w", err)
+	}
+	if idx < 0 || idx >= c.k {
+		return nil, fmt.Errorf("lrc update: shard %d is not a data shard", idx)
+	}
+	if len(delta) != size {
+		return nil, fmt.Errorf("lrc update: %w: delta length %d", erasure.ErrShardSize, len(delta))
+	}
+	var touched []int
+	for i := c.k; i < c.TotalShards(); i++ {
+		coeff := c.coef.At(i, idx)
+		if coeff == 0 {
+			continue
+		}
+		gf256.MulAddSlice(coeff, delta, shards[i])
+		touched = append(touched, i)
+	}
+	return touched, nil
+}

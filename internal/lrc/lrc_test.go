@@ -1,0 +1,145 @@
+package lrc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ k, l, r int }{{0, 1, 2}, {4, 0, 2}, {4, 5, 2}, {4, 2, -1}, {255, 1, 2}} {
+		if _, err := New(tc.k, tc.l, tc.r); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted", tc.k, tc.l, tc.r)
+		}
+	}
+}
+
+func TestGroupsBalanced(t *testing.T) {
+	c, err := New(7, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := c.LocalGroups()
+	total := 0
+	for _, g := range groups {
+		if len(g) < 2 || len(g) > 3 {
+			t.Fatalf("unbalanced group %v", g)
+		}
+		total += len(g)
+	}
+	if total != 7 {
+		t.Fatalf("groups cover %d shards", total)
+	}
+}
+
+func TestExhaustiveRPlusOne(t *testing.T) {
+	// Paper Table 2: LRC(k,l,r) tolerates any r+1 failures. Verify
+	// byte-exact repair for every pattern up to r+1, for the evaluation's
+	// configurations (scaled-down k).
+	for _, tc := range []struct{ k, l, r int }{
+		{4, 2, 2}, {5, 4, 2}, {7, 4, 2}, {6, 3, 2}, {9, 6, 2}, {6, 2, 1},
+	} {
+		c, err := New(tc.k, tc.l, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := erasure.CheckExhaustive(c, 48, int64(tc.k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestManyPatternsBeyondGuarantee(t *testing.T) {
+	// LRC recovers many (not all) r+2 patterns; the decoder must repair
+	// exactly those that are information-theoretically recoverable.
+	c, err := New(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe, err := erasure.RandomStripe(c, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recoverable, unrecoverable := 0, 0
+	erasure.Combinations(c.TotalShards(), 4, func(idx []int) bool {
+		if c.Recoverable(idx) {
+			recoverable++
+			if err := erasure.CheckPattern(c, stripe, idx); err != nil {
+				t.Fatalf("declared recoverable but failed: %v", err)
+			}
+		} else {
+			unrecoverable++
+			work := erasure.CloneShards(stripe)
+			for _, e := range idx {
+				work[e] = nil
+			}
+			if err := c.Reconstruct(work); !errors.Is(err, erasure.ErrTooManyErasures) {
+				t.Fatalf("pattern %v: want ErrTooManyErasures, got %v", idx, err)
+			}
+		}
+		return true
+	})
+	if recoverable == 0 || unrecoverable == 0 {
+		t.Fatalf("expected a mix at f=4: recoverable=%d unrecoverable=%d", recoverable, unrecoverable)
+	}
+}
+
+func TestLocalRepairPath(t *testing.T) {
+	c, err := New(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe, err := erasure.RandomStripe(c, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < 8; target++ {
+		work := erasure.CloneShards(stripe)
+		want := append([]byte(nil), work[target]...)
+		work[target] = nil
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(work[target], want) {
+			t.Fatalf("local repair of %d wrong", target)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, _ := New(5, 2, 2)
+	stripe, err := erasure.RandomStripe(c, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Verify(stripe); !ok {
+		t.Fatal("fresh stripe fails verify")
+	}
+	stripe[6][0] ^= 1 // corrupt a local parity
+	if ok, _ := c.Verify(stripe); ok {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestRecoverableBounds(t *testing.T) {
+	c, _ := New(4, 2, 2)
+	if c.Recoverable([]int{-1}) || c.Recoverable([]int{99}) {
+		t.Fatal("out-of-range indexes must be unrecoverable")
+	}
+	if !c.Recoverable(nil) {
+		t.Fatal("empty pattern must be recoverable")
+	}
+	// Erasing more than l+r shards can never work.
+	if c.Recoverable([]int{0, 1, 2, 3, 4}) {
+		t.Fatal("5 erasures with 4 parities recoverable?")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	c, _ := New(12, 4, 2)
+	if c.TotalShards() != 18 || c.ParityShards() != 6 || c.FaultTolerance() != 3 {
+		t.Fatal("accounting mismatch")
+	}
+}

@@ -1,0 +1,357 @@
+// Package matrix provides dense matrix algebra over GF(2^8) for erasure
+// coding: construction of Cauchy and extended-Vandermonde encoding
+// matrices, Gaussian inversion, and linear-system solving with
+// shard-valued right-hand sides.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"approxcode/internal/gf256"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	data       []byte
+}
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("matrix: singular")
+
+// New returns a zero Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]byte, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must be equal length.
+func FromRows(rows [][]byte) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: empty rows")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.Cols+c] = v }
+
+// Row returns a mutable view of row r.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for r := 0; r < m.Rows; r++ {
+		s += fmt.Sprintf("%v\n", m.Row(r))
+	}
+	return s
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("matrix: mul shape mismatch %dx%d * %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := New(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			gf256.MulAddSlice(a, other.Row(k), oi)
+		}
+	}
+	return out
+}
+
+// SubMatrix returns a copy of rows [r0,r1) and cols [c0,c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := New(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.Row(r-r0), m.Row(r)[c0:c1])
+	}
+	return out
+}
+
+// SelectRows returns a copy of the listed rows, in order.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	out := New(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Invert returns the inverse of a square matrix, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: cannot invert %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	// Augment [m | I] and reduce.
+	work := New(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work.Row(i), m.Row(i))
+		work.Set(i, n+i, 1)
+	}
+	if err := work.gaussJordan(n); err != nil {
+		return nil, err
+	}
+	return work.SubMatrix(0, n, n, 2*n), nil
+}
+
+// gaussJordan reduces the left ncols columns of the augmented matrix to
+// the identity, applying the same row operations to the remainder.
+func (m *Matrix) gaussJordan(ncols int) error {
+	for col := 0; col < ncols; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < m.Rows; r++ {
+			if m.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return ErrSingular
+		}
+		if pivot != col {
+			pr, cr := m.Row(pivot), m.Row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// Scale pivot row to 1.
+		if v := m.At(col, col); v != 1 {
+			inv := gf256.Inv(v)
+			gf256.MulSlice(inv, m.Row(col), m.Row(col))
+		}
+		// Eliminate all other rows.
+		for r := 0; r < m.Rows; r++ {
+			if r == col {
+				continue
+			}
+			f := m.At(r, col)
+			if f != 0 {
+				gf256.MulAddSlice(f, m.Row(col), m.Row(r))
+			}
+		}
+	}
+	return nil
+}
+
+// Cauchy returns an r x k Cauchy matrix C[i][j] = 1/(x_i + y_j) with
+// x_i = k+i and y_j = j. Every square submatrix of a Cauchy matrix is
+// invertible, so [I ; Cauchy] is a systematic MDS generator as long as
+// k + r <= 256.
+func Cauchy(r, k int) *Matrix {
+	if k+r > 256 {
+		panic(fmt.Sprintf("matrix: Cauchy k+r=%d exceeds field size", k+r))
+	}
+	m := New(r, k)
+	for i := 0; i < r; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, gf256.Inv(byte(k+i)^byte(j)))
+		}
+	}
+	return m
+}
+
+// SystematicMDS returns the (k+r) x k generator matrix [I ; C] with C an
+// r x k Cauchy block. Any k rows of the result are linearly independent.
+// r == 0 yields the bare identity (a code with no redundancy).
+func SystematicMDS(k, r int) *Matrix {
+	g := New(k+r, k)
+	for i := 0; i < k; i++ {
+		g.Set(i, i, 1)
+	}
+	if r == 0 {
+		return g
+	}
+	c := Cauchy(r, k)
+	for i := 0; i < r; i++ {
+		copy(g.Row(k+i), c.Row(i))
+	}
+	return g
+}
+
+// CauchyXOR returns an r x k matrix whose first row is all ones (a plain
+// XOR parity) and whose remaining rows are column-scaled Cauchy rows.
+// Column scaling by non-zero constants preserves the Cauchy property that
+// every square submatrix is invertible, so [I ; CauchyXOR] remains a
+// systematic MDS generator. Because the scale factors depend only on
+// row 0 of the underlying Cauchy matrix (which is independent of r),
+// CauchyXOR(r1, k) is a row-prefix of CauchyXOR(r2, k) for r1 < r2 — the
+// property the Approximate Code framework relies on when splitting
+// parities into local and global groups.
+func CauchyXOR(r, k int) *Matrix {
+	c := Cauchy(r, k)
+	for j := 0; j < k; j++ {
+		s := gf256.Inv(c.At(0, j))
+		for i := 0; i < r; i++ {
+			c.Set(i, j, gf256.Mul(s, c.At(i, j)))
+		}
+	}
+	return c
+}
+
+// Vandermonde returns the r x k matrix V[i][j] = alpha^(i*j) over the
+// field generator alpha. Used for tests and for LRC global parities.
+func Vandermonde(r, k int) *Matrix {
+	m := New(r, k)
+	for i := 0; i < r; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, gf256.Pow(gf256.Exp(1), i*j))
+		}
+	}
+	return m
+}
+
+// SolveShards solves A * x = b where each unknown x[i] and each RHS b[i]
+// is a byte shard (all the same length). A must be square and invertible.
+// The solution overwrites x (which must be pre-allocated by the caller).
+func SolveShards(a *Matrix, b [][]byte, x [][]byte) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("matrix: SolveShards needs square A, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows || len(x) != a.Cols {
+		return fmt.Errorf("matrix: SolveShards shape mismatch")
+	}
+	inv, err := a.Invert()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < inv.Rows; i++ {
+		gf256.DotProduct(inv.Row(i), b, x[i])
+	}
+	return nil
+}
+
+// GaussianSolveShards solves a possibly over-determined system A*x = b
+// (A is rows x cols with rows >= cols) with shard-valued RHS, using
+// Gaussian elimination with partial pivoting. It is used by the LRC
+// maximally-recoverable decoder where more equations than unknowns are
+// available. Returns ErrSingular if rank < cols.
+func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte) error {
+	if len(b) != a.Rows || len(x) != a.Cols {
+		return fmt.Errorf("matrix: GaussianSolveShards shape mismatch")
+	}
+	if a.Rows < a.Cols {
+		return ErrSingular
+	}
+	work := a.Clone()
+	// Deep-copy RHS shards so the caller's survivors are not clobbered.
+	rhs := make([][]byte, len(b))
+	for i := range b {
+		rhs[i] = append([]byte(nil), b[i]...)
+	}
+	n := work.Cols
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < work.Rows; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return ErrSingular
+		}
+		if pivot != col {
+			pr, cr := work.Row(pivot), work.Row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+			rhs[pivot], rhs[col] = rhs[col], rhs[pivot]
+		}
+		if v := work.At(col, col); v != 1 {
+			inv := gf256.Inv(v)
+			gf256.MulSlice(inv, work.Row(col), work.Row(col))
+			gf256.MulSlice(inv, rhs[col], rhs[col])
+		}
+		for r := 0; r < work.Rows; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f != 0 {
+				gf256.MulAddSlice(f, work.Row(col), work.Row(r))
+				gf256.MulAddSlice(f, rhs[col], rhs[r])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		copy(x[i], rhs[i])
+	}
+	return nil
+}
+
+// Rank returns the rank of the matrix over GF(2^8).
+func (m *Matrix) Rank() int {
+	work := m.Clone()
+	rank := 0
+	for col := 0; col < work.Cols && rank < work.Rows; col++ {
+		pivot := -1
+		for r := rank; r < work.Rows; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != rank {
+			pr, rr := work.Row(pivot), work.Row(rank)
+			for i := range pr {
+				pr[i], rr[i] = rr[i], pr[i]
+			}
+		}
+		inv := gf256.Inv(work.At(rank, col))
+		gf256.MulSlice(inv, work.Row(rank), work.Row(rank))
+		for r := 0; r < work.Rows; r++ {
+			if r == rank {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				gf256.MulAddSlice(f, work.Row(rank), work.Row(r))
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,320 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxcode/internal/gf256"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		rng.Read(m.Row(r))
+	}
+	return m
+}
+
+func matricesEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for r := 0; r < a.Rows; r++ {
+		if !bytes.Equal(a.Row(r), b.Row(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 16} {
+		m := randomMatrix(rng, n, n)
+		if !matricesEqual(Identity(n).Mul(m), m) {
+			t.Fatalf("I*m != m for n=%d", n)
+		}
+		if !matricesEqual(m.Mul(Identity(n)), m) {
+			t.Fatalf("m*I != m for n=%d", n)
+		}
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 5)
+	b := randomMatrix(rng, 5, 3)
+	c := randomMatrix(rng, 3, 6)
+	if !matricesEqual(a.Mul(b).Mul(c), a.Mul(b.Mul(c))) {
+		t.Fatal("(ab)c != a(bc)")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		// Random matrices over GF(256) are invertible with high
+		// probability; retry until invertible.
+		for tries := 0; ; tries++ {
+			m := randomMatrix(rng, n, n)
+			inv, err := m.Invert()
+			if err != nil {
+				if tries > 20 {
+					t.Fatalf("no invertible %dx%d found", n, n)
+				}
+				continue
+			}
+			if !matricesEqual(m.Mul(inv), Identity(n)) {
+				t.Fatalf("m*inv != I for n=%d", n)
+			}
+			if !matricesEqual(inv.Mul(m), Identity(n)) {
+				t.Fatalf("inv*m != I for n=%d", n)
+			}
+			break
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := New(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 1) // rank 1
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	if _, err := New(2, 3).Invert(); err == nil {
+		t.Fatal("non-square invert must fail")
+	}
+}
+
+func TestCauchyAllSubmatricesInvertible(t *testing.T) {
+	// The defining property: every square submatrix of a Cauchy matrix is
+	// invertible. Check all 1x1..3x3 submatrices of a 4x6 Cauchy matrix.
+	c := Cauchy(4, 6)
+	var rowsets [][]int
+	for i := 0; i < 4; i++ {
+		rowsets = append(rowsets, []int{i})
+		for j := i + 1; j < 4; j++ {
+			rowsets = append(rowsets, []int{i, j})
+			for l := j + 1; l < 4; l++ {
+				rowsets = append(rowsets, []int{i, j, l})
+			}
+		}
+	}
+	var colsets [][]int
+	for i := 0; i < 6; i++ {
+		colsets = append(colsets, []int{i})
+		for j := i + 1; j < 6; j++ {
+			colsets = append(colsets, []int{i, j})
+			for l := j + 1; l < 6; l++ {
+				colsets = append(colsets, []int{i, j, l})
+			}
+		}
+	}
+	for _, rs := range rowsets {
+		for _, cs := range colsets {
+			if len(rs) != len(cs) {
+				continue
+			}
+			sub := New(len(rs), len(cs))
+			for a, r := range rs {
+				for b, col := range cs {
+					sub.Set(a, b, c.At(r, col))
+				}
+			}
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("Cauchy submatrix rows=%v cols=%v singular", rs, cs)
+			}
+		}
+	}
+}
+
+func TestSystematicMDSAnyKRowsInvertible(t *testing.T) {
+	const k, r = 4, 3
+	g := SystematicMDS(k, r)
+	if g.Rows != k+r || g.Cols != k {
+		t.Fatalf("bad shape %dx%d", g.Rows, g.Cols)
+	}
+	// Enumerate all C(7,4) row subsets; each must be invertible (the MDS
+	// property that makes any-k-of-n reconstruction possible).
+	n := k + r
+	var rec func(start int, sel []int)
+	count := 0
+	rec = func(start int, sel []int) {
+		if len(sel) == k {
+			sub := g.SelectRows(sel)
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("rows %v singular", sel)
+			}
+			count++
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(sel, i))
+		}
+	}
+	rec(0, nil)
+	if count != 35 {
+		t.Fatalf("enumerated %d subsets, want 35", count)
+	}
+}
+
+func TestSolveShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, shardLen = 5, 64
+	// Build invertible A.
+	var a *Matrix
+	for {
+		a = randomMatrix(rng, n, n)
+		if _, err := a.Invert(); err == nil {
+			break
+		}
+	}
+	x := make([][]byte, n)
+	for i := range x {
+		x[i] = make([]byte, shardLen)
+		rng.Read(x[i])
+	}
+	// b = A*x computed per shard position.
+	b := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		b[i] = make([]byte, shardLen)
+		gf256.DotProduct(a.Row(i), x, b[i])
+	}
+	got := make([][]byte, n)
+	for i := range got {
+		got[i] = make([]byte, shardLen)
+	}
+	if err := SolveShards(a, b, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !bytes.Equal(got[i], x[i]) {
+			t.Fatalf("solution shard %d differs", i)
+		}
+	}
+}
+
+func TestGaussianSolveShardsOverdetermined(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const cols, rows, shardLen = 3, 6, 32
+	a := randomMatrix(rng, rows, cols)
+	// Ensure full column rank.
+	if a.Rank() < cols {
+		t.Skip("random matrix unexpectedly rank-deficient")
+	}
+	x := make([][]byte, cols)
+	for i := range x {
+		x[i] = make([]byte, shardLen)
+		rng.Read(x[i])
+	}
+	b := make([][]byte, rows)
+	for i := 0; i < rows; i++ {
+		b[i] = make([]byte, shardLen)
+		gf256.DotProduct(a.Row(i), x, b[i])
+	}
+	bCopy := make([][]byte, rows)
+	for i := range b {
+		bCopy[i] = append([]byte(nil), b[i]...)
+	}
+	got := make([][]byte, cols)
+	for i := range got {
+		got[i] = make([]byte, shardLen)
+	}
+	if err := GaussianSolveShards(a, b, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !bytes.Equal(got[i], x[i]) {
+			t.Fatalf("solution shard %d differs", i)
+		}
+	}
+	// RHS must not be clobbered.
+	for i := range b {
+		if !bytes.Equal(b[i], bCopy[i]) {
+			t.Fatalf("GaussianSolveShards mutated rhs %d", i)
+		}
+	}
+}
+
+func TestGaussianSolveShardsSingular(t *testing.T) {
+	a := New(3, 2) // rank deficient: all zeros
+	b := [][]byte{make([]byte, 4), make([]byte, 4), make([]byte, 4)}
+	x := [][]byte{make([]byte, 4), make([]byte, 4)}
+	if err := GaussianSolveShards(a, b, x); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	// Under-determined is also rejected.
+	if err := GaussianSolveShards(New(2, 3), b[:2], [][]byte{nil, nil, nil}); err != ErrSingular {
+		t.Fatalf("want ErrSingular for rows<cols, got %v", err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	if got := Identity(5).Rank(); got != 5 {
+		t.Fatalf("rank(I5)=%d", got)
+	}
+	z := New(4, 4)
+	if got := z.Rank(); got != 0 {
+		t.Fatalf("rank(0)=%d", got)
+	}
+	m := New(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 2)
+	copy(m.Row(2), m.Row(0)) // duplicate row
+	if got := m.Rank(); got != 2 {
+		t.Fatalf("rank=%d want 2", got)
+	}
+	if got := Cauchy(3, 7).Rank(); got != 3 {
+		t.Fatalf("Cauchy rank=%d want 3", got)
+	}
+}
+
+func TestVandermonde(t *testing.T) {
+	v := Vandermonde(3, 4)
+	for j := 0; j < 4; j++ {
+		if v.At(0, j) != 1 {
+			t.Fatal("first Vandermonde row must be ones")
+		}
+	}
+	alpha := gf256.Exp(1)
+	for j := 0; j < 4; j++ {
+		if v.At(1, j) != gf256.Pow(alpha, j) {
+			t.Fatal("second row must be alpha^j")
+		}
+	}
+}
+
+func TestQuickInvertProperty(t *testing.T) {
+	// Property: for random invertible 4x4 matrices, (m^-1)^-1 == m.
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		m := randomMatrix(rng, 4, 4)
+		inv, err := m.Invert()
+		if err != nil {
+			return true // skip singulars
+		}
+		back, err := inv.Invert()
+		if err != nil {
+			return false
+		}
+		return matricesEqual(back, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRowsAndSubMatrix(t *testing.T) {
+	m := FromRows([][]byte{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SelectRows([]int{2, 0})
+	if s.At(0, 0) != 7 || s.At(1, 2) != 3 {
+		t.Fatal("SelectRows wrong content")
+	}
+	sub := m.SubMatrix(1, 3, 1, 3)
+	if sub.At(0, 0) != 5 || sub.At(1, 1) != 9 {
+		t.Fatal("SubMatrix wrong content")
+	}
+}

@@ -1,0 +1,60 @@
+// Package rdp implements the Row-Diagonal Parity code (Corbett et al.,
+// FAST 2004), the classic RAID-6 array code listed in the paper's
+// related work (§2.2). RDP(p) has p-1 data columns, a row-parity column
+// and a diagonal-parity column on a (p-1)-row array, p prime.
+//
+// Its distinguishing feature vs EVENODD is that the diagonal parity
+// chains include cells of the row-parity column, which removes the
+// shared adjuster symbol: P diagonal l is the XOR of the cells (data or
+// row parity) on diagonal l, where diagonals are (i + j) mod p over
+// columns j = 0..p-1 (data plus row parity), and diagonal p-1 is not
+// stored.
+package rdp
+
+import (
+	"fmt"
+
+	"approxcode/internal/evenodd"
+	"approxcode/internal/xorcode"
+)
+
+// Chains returns the RDP parity chains for prime p on a (p-1) x (p+1)
+// array: data columns 0..p-2, row parity column p-1, diagonal parity
+// column p.
+func Chains(p int) []xorcode.Chain {
+	rows := p - 1
+	k := p - 1
+	var chains []xorcode.Chain
+	// Row parity: column k covers each row of the data columns.
+	for i := 0; i < rows; i++ {
+		ch := xorcode.Chain{{Col: k, Row: i}}
+		for j := 0; j < k; j++ {
+			ch = append(ch, xorcode.Cell{Col: j, Row: i})
+		}
+		chains = append(chains, ch)
+	}
+	// Diagonal parity: diagonal l collects cells (i, j) with
+	// (i + j) mod p == l over columns 0..p-1 (data + row parity).
+	// Diagonal p-1 is the missing diagonal (never stored).
+	for l := 0; l < rows; l++ {
+		ch := xorcode.Chain{{Col: p, Row: l}}
+		for j := 0; j < p; j++ {
+			i := ((l-j)%p + p) % p
+			if i < rows {
+				ch = append(ch, xorcode.Cell{Col: j, Row: i})
+			}
+		}
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// New returns the RDP(p) coder: k = p-1 data shards, 2 parity shards,
+// tolerance 2. p must be prime and at least 3 (the prime restriction is
+// what guarantees double-erasure decodability).
+func New(p int) (*xorcode.Code, error) {
+	if !evenodd.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("rdp: p=%d must be a prime >= 3", p)
+	}
+	return xorcode.New(fmt.Sprintf("RDP(%d)", p), p-1, 2, p-1, 2, Chains(p))
+}

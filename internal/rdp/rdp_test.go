@@ -1,0 +1,87 @@
+package rdp
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestNewRejectsNonPrime(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 9, 15} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RDP(p): p-1 data disks, row + diagonal parity.
+	if c.DataShards() != 4 || c.ParityShards() != 2 || c.TotalShards() != 6 ||
+		c.FaultTolerance() != 2 || c.Rows() != 4 {
+		t.Fatalf("shape mismatch: %s", c.Name())
+	}
+}
+
+func TestDoubleToleranceExhaustive(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11, 13} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyTolerance(2); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := erasure.CheckExhaustive(c, (p-1)*8, int64(p)); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestDiagonalIncludesRowParity(t *testing.T) {
+	// RDP's signature property: diagonal chains reference the row-parity
+	// column (no shared adjuster like EVENODD's S).
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := c.DataShards()
+	found := false
+	for _, ch := range c.Chains() {
+		isDiagonal := false
+		touchesRowParity := false
+		for _, cell := range ch {
+			if cell.Col == k+1 {
+				isDiagonal = true
+			}
+			if cell.Col == k {
+				touchesRowParity = true
+			}
+		}
+		if isDiagonal && touchesRowParity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no diagonal chain references the row-parity column")
+	}
+}
+
+func TestWriteCostReasonable(t *testing.T) {
+	// Every data element sits in exactly one row chain; diagonal
+	// membership averages slightly above one because updating a row
+	// parity cell cascades into its diagonal (captured by the encode
+	// plan). Cost must be strictly above plain RAID-5 (2) and below
+	// EVENODD's 4-2/p worst case envelope + 1.
+	c, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.AverageWriteCost()
+	if w <= 2 || w >= 5 {
+		t.Fatalf("write cost %v implausible", w)
+	}
+}

@@ -1,0 +1,134 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"approxcode/internal/core"
+)
+
+func TestPaperNumbersAPPRRS3123(t *testing.T) {
+	// Paper §3.4: APPR.RS(3,1,2,3,Even): P_U = 80.21%, P_I = 95.50%;
+	// APPR.RS(3,1,2,3,Uneven): P_U = 86.81%, P_I = 98.50%.
+	even := Formula(3, 1, 2, 3, core.Even)
+	if math.Abs(even.PU-0.8022) > 5e-4 {
+		t.Errorf("P_U-Even = %.4f want ~0.8021", even.PU)
+	}
+	if math.Abs(even.PI-0.9550) > 5e-4 {
+		t.Errorf("P_I-Even = %.4f want ~0.9550", even.PI)
+	}
+	uneven := Formula(3, 1, 2, 3, core.Uneven)
+	if math.Abs(uneven.PU-0.8681) > 5e-4 {
+		t.Errorf("P_U-Uneven = %.4f want ~0.8681", uneven.PU)
+	}
+	if math.Abs(uneven.PI-0.9850) > 5e-4 {
+		t.Errorf("P_I-Uneven = %.4f want ~0.9850", uneven.PI)
+	}
+}
+
+func TestExactFractions(t *testing.T) {
+	// N = 3*4+2 = 14. P_U-Even = 1 - 3*C(4,2)/C(14,2) = 1 - 18/91.
+	got := Formula(3, 1, 2, 3, core.Even)
+	if math.Abs(got.PU-(1-18.0/91)) > 1e-12 {
+		t.Errorf("P_U-Even = %v", got.PU)
+	}
+	// P_I-Uneven = 1 - C(6,4)/C(14,4) = 1 - 15/1001.
+	gotU := Formula(3, 1, 2, 3, core.Uneven)
+	if math.Abs(gotU.PI-(1-15.0/1001)) > 1e-12 {
+		t.Errorf("P_I-Uneven = %v", gotU.PI)
+	}
+	// P_I-Even = 1 - 3*(C(4,4)C(2,0)+C(4,3)C(2,1)+C(4,2)C(2,2))/C(14,4)
+	//          = 1 - 3*15/1001.
+	if math.Abs(got.PI-(1-45.0/1001)) > 1e-12 {
+		t.Errorf("P_I-Even = %v", got.PI)
+	}
+}
+
+func TestFormulaMatchesEnumeration(t *testing.T) {
+	// The closed forms must agree exactly with brute-force enumeration of
+	// the framework's survival predicate, for several configurations.
+	cases := []struct {
+		family     core.Family
+		k, r, g, h int
+	}{
+		{core.FamilyRS, 3, 1, 2, 3},
+		{core.FamilyRS, 4, 1, 2, 2},
+		{core.FamilyRS, 3, 2, 1, 2},
+		{core.FamilyLRC, 4, 1, 2, 3},
+	}
+	for _, tc := range cases {
+		for _, s := range []core.Structure{core.Even, core.Uneven} {
+			c, err := core.New(core.Params{Family: tc.family, K: tc.k, R: tc.r, G: tc.g, H: tc.h, Structure: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := Formula(tc.k, tc.r, tc.g, tc.h, s)
+			e := Enumerate(c)
+			if math.Abs(f.PU-e.PU) > 1e-9 {
+				t.Errorf("%s: P_U formula %.6f enum %.6f", c.Name(), f.PU, e.PU)
+			}
+			if math.Abs(f.PI-e.PI) > 1e-9 {
+				t.Errorf("%s: P_I formula %.6f enum %.6f", c.Name(), f.PI, e.PI)
+			}
+		}
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	c, err := core.New(core.Params{Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Enumerate(c)
+	mc := MonteCarlo(c, 20000, 1)
+	if math.Abs(mc.PU-exact.PU) > 0.02 {
+		t.Errorf("MC P_U %.4f vs exact %.4f", mc.PU, exact.PU)
+	}
+	if math.Abs(mc.PI-exact.PI) > 0.02 {
+		t.Errorf("MC P_I %.4f vs exact %.4f", mc.PI, exact.PI)
+	}
+}
+
+func TestUnevenBeatsEven(t *testing.T) {
+	// Paper §3.2.3: the Uneven structure provides better reliability.
+	for _, k := range []int{3, 5, 8} {
+		e := Formula(k, 1, 2, 4, core.Even)
+		u := Formula(k, 1, 2, 4, core.Uneven)
+		if u.PU <= e.PU {
+			t.Errorf("k=%d: P_U Uneven %.4f <= Even %.4f", k, u.PU, e.PU)
+		}
+		if u.PI <= e.PI {
+			t.Errorf("k=%d: P_I Uneven %.4f <= Even %.4f", k, u.PI, e.PI)
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	rows, err := Analyze(core.FamilyRS, 3, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Formula.PU-r.Enumerated.PU) > 1e-9 ||
+			math.Abs(r.Formula.PI-r.Enumerated.PI) > 1e-9 {
+			t.Errorf("%s: formula/enumeration disagree", r.Name)
+		}
+	}
+	if _, err := Analyze(core.FamilySTAR, 6, 2, 1, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestProbabilitiesInRange(t *testing.T) {
+	for _, h := range []int{2, 4, 6} {
+		for _, s := range []core.Structure{core.Even, core.Uneven} {
+			p := Formula(5, 1, 2, h, s)
+			if p.PU < 0 || p.PU > 1 || p.PI < 0 || p.PI > 1 {
+				t.Errorf("h=%d %v: out of range %+v", h, s, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package rs implements a systematic Reed-Solomon erasure code RS(k, r)
+// over GF(2^8), the classic MDS code used as both a baseline and a
+// building block by the Approximate Code framework (paper §2.2, Fig. 2a).
+//
+// The generator matrix is [I ; C] with C an r x k Cauchy block, so any k
+// of the k+r shards suffice to reconstruct the stripe.
+package rs
+
+import (
+	"fmt"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+	"approxcode/internal/matrix"
+)
+
+// Coder is a systematic RS(k, r) erasure coder. It is safe for concurrent
+// use: all state is immutable after New.
+type Coder struct {
+	k, r int
+	gen  *matrix.Matrix // (k+r) x k generator, top k rows identity
+	name string         // optional override (NewXORPrefix)
+}
+
+var _ erasure.Coder = (*Coder)(nil)
+
+// New returns an RS(k, r) coder. k >= 1, r >= 0, k+r <= 256.
+func New(k, r int) (*Coder, error) {
+	if k < 1 || r < 0 {
+		return nil, fmt.Errorf("rs: invalid shape k=%d r=%d", k, r)
+	}
+	if k+r > 256 {
+		return nil, fmt.Errorf("rs: k+r=%d exceeds GF(256) limit", k+r)
+	}
+	return &Coder{k: k, r: r, gen: matrix.SystematicMDS(k, r)}, nil
+}
+
+// NewXORPrefix returns an RS-like MDS coder whose first parity row is all
+// ones — a plain XOR parity, computable without Galois multiplications —
+// and whose remaining rows are column-scaled Cauchy rows (still MDS, see
+// matrix.CauchyXOR). The Approximate Code framework uses it for the
+// APPR.LRC family, where the local parity is LRC-style XOR. Because the
+// column scaling is independent of r, NewXORPrefix(k, r1) parities are a
+// prefix of NewXORPrefix(k, r2) parities for r1 < r2.
+func NewXORPrefix(k, r int) (*Coder, error) {
+	if k < 1 || r < 1 {
+		return nil, fmt.Errorf("rs: invalid shape k=%d r=%d", k, r)
+	}
+	if k+r > 256 {
+		return nil, fmt.Errorf("rs: k+r=%d exceeds GF(256) limit", k+r)
+	}
+	g := matrix.New(k+r, k)
+	for i := 0; i < k; i++ {
+		g.Set(i, i, 1)
+	}
+	cx := matrix.CauchyXOR(r, k)
+	for i := 0; i < r; i++ {
+		copy(g.Row(k+i), cx.Row(i))
+	}
+	return &Coder{k: k, r: r, gen: g, name: fmt.Sprintf("RSX(%d,%d)", k, r)}, nil
+}
+
+// Name implements erasure.Coder.
+func (c *Coder) Name() string {
+	if c.name != "" {
+		return c.name
+	}
+	return fmt.Sprintf("RS(%d,%d)", c.k, c.r)
+}
+
+// DataShards implements erasure.Coder.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards implements erasure.Coder.
+func (c *Coder) ParityShards() int { return c.r }
+
+// TotalShards implements erasure.Coder.
+func (c *Coder) TotalShards() int { return c.k + c.r }
+
+// FaultTolerance implements erasure.Coder. RS is MDS: tolerance is r.
+func (c *Coder) FaultTolerance() int { return c.r }
+
+// ShardSizeMultiple implements erasure.Coder.
+func (c *Coder) ShardSizeMultiple() int { return 1 }
+
+// ParityRow exposes row i of the parity block of the generator matrix
+// (coefficients of parity i over the k data shards). The Approximate Code
+// framework uses this to split parities into local and global groups.
+func (c *Coder) ParityRow(i int) []byte {
+	return append([]byte(nil), c.gen.Row(c.k+i)...)
+}
+
+// Encode implements erasure.Coder.
+func (c *Coder) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	size, err := erasure.CheckShards(shards[:c.k], c.k, 1, false)
+	if err != nil {
+		return fmt.Errorf("rs encode: %w", err)
+	}
+	erasure.AllocParity(shards, c.k, size)
+	for i := c.k; i < c.TotalShards(); i++ {
+		if len(shards[i]) != size {
+			return fmt.Errorf("rs encode: %w: parity %d", erasure.ErrShardSize, i)
+		}
+		gf256.DotProduct(c.gen.Row(i), shards[:c.k], shards[i])
+	}
+	return nil
+}
+
+// Reconstruct implements erasure.Coder.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), 1, true)
+	if err != nil {
+		return fmt.Errorf("rs reconstruct: %w", err)
+	}
+	erased := erasure.Erased(shards)
+	if len(erased) == 0 {
+		return nil
+	}
+	if len(erased) > c.r {
+		return fmt.Errorf("rs reconstruct: %w: %d erased, tolerance %d",
+			erasure.ErrTooManyErasures, len(erased), c.r)
+	}
+	// Gather k surviving rows.
+	var rows []int
+	var survivors [][]byte
+	for i := 0; i < c.TotalShards() && len(rows) < c.k; i++ {
+		if shards[i] != nil {
+			rows = append(rows, i)
+			survivors = append(survivors, shards[i])
+		}
+	}
+	sub := c.gen.SelectRows(rows)
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("rs reconstruct: %w", err)
+	}
+	// Recover the data shards that are erased.
+	data := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			data[i] = shards[i]
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		if data[i] == nil {
+			data[i] = make([]byte, size)
+			gf256.DotProduct(inv.Row(i), survivors, data[i])
+			shards[i] = data[i]
+		}
+	}
+	// Re-encode missing parities from (now complete) data.
+	for i := c.k; i < c.TotalShards(); i++ {
+		if shards[i] == nil {
+			shards[i] = make([]byte, size)
+			gf256.DotProduct(c.gen.Row(i), data, shards[i])
+		}
+	}
+	return nil
+}
+
+// Verify implements erasure.Coder.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), 1, false)
+	if err != nil {
+		return false, fmt.Errorf("rs verify: %w", err)
+	}
+	buf := make([]byte, size)
+	for i := c.k; i < c.TotalShards(); i++ {
+		gf256.DotProduct(c.gen.Row(i), shards[:c.k], buf)
+		for j := range buf {
+			if buf[j] != shards[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// ApplyDelta implements erasure.Updater: parity i changes by
+// coeff(i, idx) * delta. Every parity row with a non-zero coefficient at
+// idx is touched — all r of them for a Cauchy generator (write cost
+// r+1, paper Table 2).
+func (c *Coder) ApplyDelta(shards [][]byte, idx int, delta []byte) ([]int, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), 1, false)
+	if err != nil {
+		return nil, fmt.Errorf("rs update: %w", err)
+	}
+	if idx < 0 || idx >= c.k {
+		return nil, fmt.Errorf("rs update: shard %d is not a data shard", idx)
+	}
+	if len(delta) != size {
+		return nil, fmt.Errorf("rs update: %w: delta length %d", erasure.ErrShardSize, len(delta))
+	}
+	var touched []int
+	for i := c.k; i < c.TotalShards(); i++ {
+		coeff := c.gen.At(i, idx)
+		if coeff == 0 {
+			continue
+		}
+		gf256.MulAddSlice(coeff, delta, shards[i])
+		touched = append(touched, i)
+	}
+	return touched, nil
+}

@@ -1,0 +1,192 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxcode/internal/erasure"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{{0, 3}, {-1, 2}, {4, -1}, {200, 100}} {
+		if _, err := New(tc.k, tc.r); err == nil {
+			t.Errorf("New(%d,%d) should fail", tc.k, tc.r)
+		}
+	}
+	c, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "RS(4,3)" || c.DataShards() != 4 || c.ParityShards() != 3 ||
+		c.TotalShards() != 7 || c.FaultTolerance() != 3 || c.ShardSizeMultiple() != 1 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestExhaustivePatterns(t *testing.T) {
+	// Every erasure pattern up to r must repair byte-exactly, for the
+	// parameter sweep used in the paper's evaluation.
+	for _, tc := range []struct{ k, r int }{
+		{2, 1}, {3, 2}, {4, 3}, {5, 3}, {7, 3}, {9, 3}, {4, 1}, {6, 2}, {11, 3},
+	} {
+		c, err := New(tc.k, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := erasure.CheckExhaustive(c, 64, int64(tc.k*100+tc.r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	c, _ := New(4, 2)
+	stripe, err := erasure.RandomStripe(c, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe[0], stripe[1], stripe[2] = nil, nil, nil
+	if err := c.Reconstruct(stripe); !errors.Is(err, erasure.ErrTooManyErasures) {
+		t.Fatalf("want ErrTooManyErasures, got %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, _ := New(3, 2)
+	if err := c.Encode(make([][]byte, 4)); !errors.Is(err, erasure.ErrShardCount) {
+		t.Fatalf("want ErrShardCount, got %v", err)
+	}
+	shards := [][]byte{make([]byte, 8), make([]byte, 9), make([]byte, 8), nil, nil}
+	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+	shards = [][]byte{make([]byte, 8), nil, make([]byte, 8), nil, nil}
+	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+		t.Fatalf("nil data shard: want ErrShardSize, got %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, _ := New(5, 3)
+	stripe, err := erasure.RandomStripe(c, 128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(stripe)
+	if err != nil || !ok {
+		t.Fatalf("fresh stripe verify ok=%v err=%v", ok, err)
+	}
+	stripe[2][10] ^= 0xFF
+	ok, err = c.Verify(stripe)
+	if err != nil || ok {
+		t.Fatalf("corrupted stripe verify ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReconstructNoErasuresIsNoop(t *testing.T) {
+	c, _ := New(4, 2)
+	stripe, _ := erasure.RandomStripe(c, 16, 3)
+	clone := erasure.CloneShards(stripe)
+	if err := c.Reconstruct(stripe); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stripe {
+		if !bytes.Equal(stripe[i], clone[i]) {
+			t.Fatal("no-op reconstruct changed data")
+		}
+	}
+}
+
+func TestParityOnlyErasure(t *testing.T) {
+	c, _ := New(4, 3)
+	stripe, _ := erasure.RandomStripe(c, 48, 4)
+	want := erasure.CloneShards(stripe)
+	stripe[4], stripe[6] = nil, nil // two parity shards
+	if err := c.Reconstruct(stripe); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stripe {
+		if !bytes.Equal(stripe[i], want[i]) {
+			t.Fatalf("shard %d differs", i)
+		}
+	}
+}
+
+func TestParityRowIsCopy(t *testing.T) {
+	c, _ := New(4, 3)
+	row := c.ParityRow(0)
+	row[0] ^= 0xFF
+	if bytes.Equal(row, c.ParityRow(0)) {
+		t.Fatal("ParityRow must return a copy")
+	}
+}
+
+func TestZeroParityCode(t *testing.T) {
+	// r=0 is a degenerate but legal configuration (no redundancy).
+	c, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe, err := erasure.RandomStripe(c, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Verify(stripe); !ok {
+		t.Fatal("verify failed with r=0")
+	}
+	stripe[1] = nil
+	if err := c.Reconstruct(stripe); !errors.Is(err, erasure.ErrTooManyErasures) {
+		t.Fatalf("want ErrTooManyErasures, got %v", err)
+	}
+}
+
+func TestQuickRoundTripRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(kRaw, rRaw, sizeRaw uint8, seed int64) bool {
+		k := int(kRaw%10) + 1
+		r := int(rRaw%4) + 1
+		size := int(sizeRaw%100) + 1
+		c, err := New(k, r)
+		if err != nil {
+			return false
+		}
+		stripe, err := erasure.RandomStripe(c, size, seed)
+		if err != nil {
+			return false
+		}
+		// Erase up to r random shards.
+		f := rng.Intn(r) + 1
+		perm := rng.Perm(k + r)[:f]
+		return erasure.CheckPattern(c, stripe, perm) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeRS_5_3(b *testing.B) { benchEncode(b, 5, 3) }
+func BenchmarkEncodeRS_9_3(b *testing.B) { benchEncode(b, 9, 3) }
+
+func benchEncode(b *testing.B, k, r int) {
+	c, err := New(k, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const shardSize = 1 << 16
+	stripe := make([][]byte, c.TotalShards())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < k; i++ {
+		stripe[i] = make([]byte, shardSize)
+		rng.Read(stripe[i])
+	}
+	b.SetBytes(int64(k * shardSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(stripe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package star implements the STAR code (Huang & Xu 2008): the
+// triple-fault-tolerant extension of EVENODD that adds an S2-adjusted
+// anti-diagonal parity column. STAR(p) has k = p data columns (p prime),
+// three parity columns (horizontal, diagonal, anti-diagonal) on a
+// (p-1)-row array.
+//
+// In the Approximate Code framework (paper §3.3.1) the horizontal and
+// diagonal parities are segmented as local parities (forming EVENODD) and
+// the anti-diagonal parity as the global parity.
+package star
+
+import (
+	"fmt"
+
+	"approxcode/internal/evenodd"
+	"approxcode/internal/xorcode"
+)
+
+// Chains returns the STAR parity chains for prime p on a
+// (p-1) x (p+3) array: data columns 0..p-1, horizontal parity column p,
+// diagonal parity column p+1, anti-diagonal parity column p+2.
+//
+// The horizontal and diagonal chains are exactly EVENODD's (so the first
+// two parity columns of STAR(p) byte-match EVENODD(p) on the same data).
+// The anti-diagonal parity is the mirror of the diagonal one:
+//
+//	P2[l] = S2 ^ XOR{C[i][j] : (i-j) mod p == l, i < p-1}
+//	S2    =      XOR{C[i][j] : (i-j) mod p == p-1, i < p-1}
+func Chains(p int) []xorcode.Chain {
+	rows := p - 1
+	// EVENODD chains reference parity cols p (horizontal) and p+1
+	// (diagonal); those coordinates are unchanged in STAR's layout.
+	chains := evenodd.Chains(p)
+	var s2Cells []xorcode.Cell
+	for j := 0; j < p; j++ {
+		i := (p - 1 + j) % p
+		if i < rows {
+			s2Cells = append(s2Cells, xorcode.Cell{Col: j, Row: i})
+		}
+	}
+	for l := 0; l < rows; l++ {
+		ch := xorcode.Chain{{Col: p + 2, Row: l}}
+		for j := 0; j < p; j++ {
+			i := (l + j) % p
+			if i < rows {
+				ch = append(ch, xorcode.Cell{Col: j, Row: i})
+			}
+		}
+		ch = append(ch, s2Cells...)
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// NewHorizontal returns the horizontal-parity-only prefix of STAR(p):
+// the (p, 1) code formed by the horizontal chains alone. Its parity
+// column byte-matches the first parity column of New(p) on the same
+// data, which lets the Approximate Code framework segment STAR as
+// 1 local (horizontal) + 2 global (diagonal, anti-diagonal) parities —
+// the APPR.STAR(k,1,2,h) configuration of the paper's evaluation.
+func NewHorizontal(p int) (*xorcode.Code, error) {
+	if !evenodd.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("star: p=%d must be a prime >= 3", p)
+	}
+	rows := p - 1
+	var chains []xorcode.Chain
+	for i := 0; i < rows; i++ {
+		ch := xorcode.Chain{{Col: p, Row: i}}
+		for j := 0; j < p; j++ {
+			ch = append(ch, xorcode.Cell{Col: j, Row: i})
+		}
+		chains = append(chains, ch)
+	}
+	return xorcode.New(fmt.Sprintf("STAR-horizontal(%d)", p), p, 1, rows, 1, chains)
+}
+
+// New returns the STAR(p) coder: k = p data shards, 3 parity shards,
+// tolerance 3. p must be prime and at least 3.
+func New(p int) (*xorcode.Code, error) {
+	if !evenodd.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("star: p=%d must be a prime >= 3", p)
+	}
+	return xorcode.New(fmt.Sprintf("STAR(%d)", p), p, 3, p-1, 3, Chains(p))
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"approxcode/internal/core"
+)
+
+// Snapshot is the serializable image of a Store, written with
+// encoding/gob. Node contents are stored per node so a deployment can
+// place each node file on a different device.
+type snapshot struct {
+	Params              core.Params
+	NodeSize            int
+	EncodeWorkers       int
+	RepairWorkers       int
+	ContiguousPlacement bool
+	Objects             []snapObject
+	FailedNodes         []int
+}
+
+type snapObject struct {
+	Name     string
+	Segments []Segment // metadata only
+	Extents  []extentRecord
+	Stripes  int
+}
+
+// extentRecord mirrors extent with exported fields for gob.
+type extentRecord struct {
+	Seg, Stripe, Node, Row, Off, Length int
+}
+
+type nodeSnapshot struct {
+	// Columns[object][stripe]
+	Columns map[string][][]byte
+}
+
+const manifestFile = "store.manifest"
+
+func nodeFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("node%03d.gob", i))
+}
+
+// Save persists the store into dir: a manifest plus one file per node.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	s.mu.RLock()
+	snap := snapshot{
+		Params:              s.cfg.Code,
+		NodeSize:            s.cfg.NodeSize,
+		EncodeWorkers:       s.cfg.EncodeWorkers,
+		RepairWorkers:       s.cfg.RepairWorkers,
+		ContiguousPlacement: s.cfg.ContiguousPlacement,
+	}
+	for _, obj := range s.objects {
+		if obj == nil {
+			continue
+		}
+		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes}
+		for _, e := range obj.extents {
+			so.Extents = append(so.Extents, extentRecord{
+				Seg: e.seg, Stripe: e.stripe, Node: e.node, Row: e.row, Off: e.off, Length: e.length,
+			})
+		}
+		snap.Objects = append(snap.Objects, so)
+	}
+	s.mu.RUnlock()
+	snap.FailedNodes = s.FailedNodes()
+
+	mf, err := os.Create(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	if err := gob.NewEncoder(mf).Encode(&snap); err != nil {
+		mf.Close()
+		return fmt.Errorf("store save: manifest: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	for i, nd := range s.nodes {
+		nd.mu.RLock()
+		ns := nodeSnapshot{Columns: nd.columns}
+		f, err := os.Create(nodeFile(dir, i))
+		if err != nil {
+			nd.mu.RUnlock()
+			return fmt.Errorf("store save: %w", err)
+		}
+		err = gob.NewEncoder(f).Encode(&ns)
+		nd.mu.RUnlock()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("store save: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load restores a store saved with Save. Node files that are missing or
+// unreadable are treated as failed nodes (crash-equivalent), which the
+// repair pipeline can then rebuild.
+func Load(dir string) (*Store, error) {
+	mf, err := os.Open(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store load: %w", err)
+	}
+	defer mf.Close()
+	var snap snapshot
+	if err := gob.NewDecoder(mf).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store load: manifest: %w", err)
+	}
+	s, err := Open(Config{
+		Code:                snap.Params,
+		NodeSize:            snap.NodeSize,
+		EncodeWorkers:       snap.EncodeWorkers,
+		RepairWorkers:       snap.RepairWorkers,
+		ContiguousPlacement: snap.ContiguousPlacement,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store load: %w", err)
+	}
+	for _, so := range snap.Objects {
+		obj := &object{name: so.Name, segments: so.Segments, stripes: so.Stripes}
+		for _, e := range so.Extents {
+			obj.extents = append(obj.extents, extent{
+				seg: e.Seg, stripe: e.Stripe, node: e.Node, row: e.Row, off: e.Off, length: e.Length,
+			})
+		}
+		s.objects[so.Name] = obj
+	}
+	var failed []int
+	failedSet := make(map[int]bool)
+	for _, f := range snap.FailedNodes {
+		failedSet[f] = true
+	}
+	for i := range s.nodes {
+		if failedSet[i] {
+			failed = append(failed, i)
+			continue
+		}
+		f, err := os.Open(nodeFile(dir, i))
+		if err != nil {
+			failed = append(failed, i)
+			continue
+		}
+		var ns nodeSnapshot
+		err = gob.NewDecoder(f).Decode(&ns)
+		f.Close()
+		if err != nil {
+			failed = append(failed, i)
+			continue
+		}
+		if ns.Columns != nil {
+			s.nodes[i].columns = ns.Columns
+		}
+	}
+	if len(failed) > 0 {
+		if err := s.FailNodes(failed...); err != nil {
+			return nil, fmt.Errorf("store load: %w", err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 30, 6, 21)
+	s := openWith(t, segs)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Objects(); len(got) != 1 || got[0] != "video" {
+		t.Fatalf("objects %v", got)
+	}
+	segs2, rep, err := loaded.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("get after load: %v %+v", err, rep)
+	}
+	checkSegments(t, segs2, segs, nil)
+	scrub, err := loaded.Scrub()
+	if err != nil || len(scrub.Corrupt) != 0 {
+		t.Fatalf("scrub after load: %v %+v", err, scrub)
+	}
+}
+
+func TestLoadTreatsMissingNodeFileAsFailure(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 30, 6, 22)
+	s := openWith(t, segs)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one node file: a crashed disk.
+	victim := s.Code().DataNodeIndexes()[1]
+	if err := os.Remove(nodeFile(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedNodes := loaded.FailedNodes()
+	if len(failedNodes) != 1 || failedNodes[0] != victim {
+		t.Fatalf("failed nodes %v, want [%d]", failedNodes, victim)
+	}
+	// Degraded reads still serve everything (single failure <= r+g).
+	got, rep, err := loaded.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("degraded get: %v %+v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+	// Repair and re-save: the store is whole again.
+	if _, err := loaded.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := loaded.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.FailedNodes()) != 0 {
+		t.Fatal("repaired store reloaded with failures")
+	}
+}
+
+func TestLoadCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestSaveLoadPreservesFailureState(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 12, 4, 23)
+	s := openWith(t, segs)
+	victim := s.Code().DataNodeIndexes()[0]
+	if err := s.FailNodes(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedNodes := loaded.FailedNodes()
+	if len(failedNodes) != 1 || failedNodes[0] != victim {
+		t.Fatalf("failure state lost: %v", failedNodes)
+	}
+}

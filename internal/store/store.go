@@ -1,0 +1,792 @@
+// Package store implements the Approximate Storage Layer of the paper
+// (§3.6, Fig. 6) as a concurrent in-memory storage service: segment
+// ingestion with importance tiering (the data identification and
+// distribution module), parallel stripe encoding onto simulated
+// DataNodes, degraded reads through on-the-fly codeword decoding,
+// failure injection, a parallel repair pipeline, and a background-style
+// scrubber. Segments that the code cannot recover are reported back so
+// the caller can route them to the video recovery module
+// (internal/video's interpolation).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"approxcode/internal/core"
+)
+
+// Segment is the unit of ingestion: an opaque payload tagged important
+// (I frame) or unimportant (P/B frame) by the identification module.
+type Segment struct {
+	ID        int
+	Important bool
+	Data      []byte
+}
+
+// Config configures a Store.
+type Config struct {
+	// Code is the Approximate Code generated for this store.
+	Code core.Params
+	// NodeSize is the per-node column size per global stripe; it is
+	// aligned down to the code's ShardSizeMultiple.
+	NodeSize int
+	// EncodeWorkers / RepairWorkers bound the parallelism of the encode
+	// and repair pipelines (default: GOMAXPROCS).
+	EncodeWorkers, RepairWorkers int
+	// ContiguousPlacement disables the default failure-domain
+	// interleaving. By default consecutive segments are placed on
+	// different nodes so that a node failure loses scattered frames
+	// (cheap to interpolate) rather than long runs; contiguous placement
+	// packs segments in stream order instead (slightly better locality
+	// for sequential reads).
+	ContiguousPlacement bool
+}
+
+// Store is a concurrent approximate storage layer. All exported methods
+// are safe for concurrent use.
+type Store struct {
+	cfg  Config
+	code *core.Code
+
+	mu      sync.RWMutex
+	nodes   []*node
+	objects map[string]*object
+}
+
+type node struct {
+	mu     sync.RWMutex
+	failed bool
+	// columns[object][stripe] is this node's column of that stripe.
+	columns map[string][][]byte
+}
+
+type extent struct {
+	seg, stripe, node, row, off, length int
+}
+
+type object struct {
+	name     string
+	segments []Segment // metadata only: Data stripped after ingest
+	extents  []extent
+	stripes  int
+}
+
+// Errors returned by the store.
+var (
+	ErrExists      = errors.New("store: object already exists")
+	ErrNotFound    = errors.New("store: object not found")
+	ErrUnavailable = errors.New("store: data unavailable")
+)
+
+// Open creates a store with healthy nodes.
+func Open(cfg Config) (*Store, error) {
+	code, err := core.New(cfg.Code)
+	if err != nil {
+		return nil, err
+	}
+	mult := code.ShardSizeMultiple()
+	if cfg.NodeSize < mult {
+		return nil, fmt.Errorf("store: node size %d below code granularity %d", cfg.NodeSize, mult)
+	}
+	cfg.NodeSize -= cfg.NodeSize % mult
+	if cfg.EncodeWorkers <= 0 {
+		cfg.EncodeWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RepairWorkers <= 0 {
+		cfg.RepairWorkers = runtime.GOMAXPROCS(0)
+	}
+	s := &Store{cfg: cfg, code: code, objects: make(map[string]*object)}
+	for i := 0; i < code.TotalShards(); i++ {
+		s.nodes = append(s.nodes, &node{columns: make(map[string][][]byte)})
+	}
+	return s, nil
+}
+
+// Code returns the store's generated Approximate Code.
+func (s *Store) Code() *core.Code { return s.code }
+
+// placement plans extents for the segments using the same two-cursor
+// first-fit scheme as the video distribution module, generalized to
+// opaque segments.
+func (s *Store) placement(segs []Segment) ([]extent, int) {
+	p := s.code.Params()
+	data := s.code.DataNodeIndexes()
+	mkSlots := func(important bool) []slotCursor {
+		var slots []slotCursor
+		for l := 0; l < p.H; l++ {
+			for m := 0; m < p.H; m++ {
+				if s.code.Important(l, m) != important {
+					continue
+				}
+				for j := 0; j < p.K; j++ {
+					slots = append(slots, slotCursor{node: data[l*p.K+j], row: m})
+				}
+			}
+		}
+		return slots
+	}
+	sub := s.cfg.NodeSize / p.H
+	if s.cfg.ContiguousPlacement {
+		return contiguousPlacement(segs, mkSlots, sub)
+	}
+	return interleavedPlacement(segs, mkSlots, sub)
+}
+
+type slotCursor struct{ node, row int }
+
+// contiguousPlacement packs segments in stream order, filling each slot
+// column fully before moving to the next (the video module's scheme).
+func contiguousPlacement(segs []Segment, mkSlots func(bool) []slotCursor, sub int) ([]extent, int) {
+	type cursor struct {
+		slots           []slotCursor
+		stripe, si, off int
+	}
+	cursors := map[bool]*cursor{
+		true:  {slots: mkSlots(true)},
+		false: {slots: mkSlots(false)},
+	}
+	var extents []extent
+	for _, seg := range segs {
+		cur := cursors[seg.Important]
+		remaining := len(seg.Data)
+		for remaining > 0 {
+			room := sub - cur.off
+			n := remaining
+			if n > room {
+				n = room
+			}
+			sl := cur.slots[cur.si]
+			extents = append(extents, extent{
+				seg: seg.ID, stripe: cur.stripe, node: sl.node, row: sl.row,
+				off: cur.off, length: n,
+			})
+			cur.off += n
+			remaining -= n
+			if cur.off == sub {
+				cur.off = 0
+				cur.si++
+				if cur.si == len(cur.slots) {
+					cur.si = 0
+					cur.stripe++
+				}
+			}
+		}
+	}
+	stripes := 0
+	for _, cur := range cursors {
+		used := cur.stripe
+		if cur.si != 0 || cur.off != 0 {
+			used++
+		}
+		if used > stripes {
+			stripes = used
+		}
+	}
+	if stripes == 0 {
+		stripes = 1
+	}
+	return extents, stripes
+}
+
+// interleavedPlacement assigns consecutive segments of a tier to
+// consecutive slots round-robin, so neighbouring frames live in
+// different failure domains: a lost node costs scattered frames, which
+// temporal interpolation handles far better than runs. Each slot keeps
+// its own (stripe, offset) cursor; a segment stays within its slot,
+// spilling into the same slot of the next global stripe when the
+// sub-block fills.
+func interleavedPlacement(segs []Segment, mkSlots func(bool) []slotCursor, sub int) ([]extent, int) {
+	type slotState struct {
+		slotCursor
+		stripe, off int
+	}
+	mk := func(important bool) []*slotState {
+		slots := mkSlots(important)
+		out := make([]*slotState, len(slots))
+		for i, sl := range slots {
+			out[i] = &slotState{slotCursor: sl}
+		}
+		return out
+	}
+	states := map[bool][]*slotState{true: mk(true), false: mk(false)}
+	next := map[bool]int{}
+	var extents []extent
+	for _, seg := range segs {
+		tier := states[seg.Important]
+		st := tier[next[seg.Important]%len(tier)]
+		next[seg.Important]++
+		remaining := len(seg.Data)
+		for remaining > 0 {
+			room := sub - st.off
+			n := remaining
+			if n > room {
+				n = room
+			}
+			extents = append(extents, extent{
+				seg: seg.ID, stripe: st.stripe, node: st.node, row: st.row,
+				off: st.off, length: n,
+			})
+			st.off += n
+			remaining -= n
+			if st.off == sub {
+				st.off = 0
+				st.stripe++
+			}
+		}
+	}
+	stripes := 1
+	for _, tier := range states {
+		for _, st := range tier {
+			used := st.stripe
+			if st.off != 0 {
+				used++
+			}
+			if used > stripes {
+				stripes = used
+			}
+		}
+	}
+	return extents, stripes
+}
+
+// Put ingests the segments as a new object: plans placement, packs the
+// data node columns, encodes every global stripe on the parallel encode
+// pool, and stores the columns on the (healthy) nodes.
+func (s *Store) Put(name string, segs []Segment) error {
+	if name == "" {
+		return fmt.Errorf("store: empty object name")
+	}
+	ids := make(map[int]bool, len(segs))
+	for _, seg := range segs {
+		if len(seg.Data) == 0 {
+			return fmt.Errorf("store: segment %d is empty", seg.ID)
+		}
+		if ids[seg.ID] {
+			return fmt.Errorf("store: duplicate segment id %d", seg.ID)
+		}
+		ids[seg.ID] = true
+	}
+	s.mu.Lock()
+	if _, ok := s.objects[name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	// Reserve the name while encoding happens outside the lock.
+	s.objects[name] = nil
+	s.mu.Unlock()
+
+	extents, stripes := s.placement(segs)
+	// Pack data columns.
+	cols := make([][][]byte, stripes)
+	for st := range cols {
+		cols[st] = make([][]byte, s.code.TotalShards())
+		for _, dn := range s.code.DataNodeIndexes() {
+			cols[st][dn] = make([]byte, s.cfg.NodeSize)
+		}
+	}
+	sub := s.cfg.NodeSize / s.cfg.Code.H
+	segByID := make(map[int][]byte, len(segs))
+	offsets := make(map[int]int, len(segs))
+	for _, seg := range segs {
+		segByID[seg.ID] = seg.Data
+	}
+	for _, e := range extents {
+		src := segByID[e.seg][offsets[e.seg] : offsets[e.seg]+e.length]
+		copy(cols[e.stripe][e.node][e.row*sub+e.off:], src)
+		offsets[e.seg] += e.length
+	}
+	// Parallel encode.
+	if err := s.encodeStripes(cols); err != nil {
+		s.mu.Lock()
+		delete(s.objects, name)
+		s.mu.Unlock()
+		return err
+	}
+	// Store columns on healthy nodes.
+	for st, stripe := range cols {
+		for ni, col := range stripe {
+			nd := s.nodes[ni]
+			nd.mu.Lock()
+			if !nd.failed {
+				if nd.columns[name] == nil {
+					nd.columns[name] = make([][]byte, stripes)
+				}
+				nd.columns[name][st] = col
+			}
+			nd.mu.Unlock()
+		}
+	}
+	// Keep segment metadata only; payload bytes live on the nodes and
+	// segment sizes are implied by the extents.
+	meta := make([]Segment, len(segs))
+	for i, seg := range segs {
+		meta[i] = Segment{ID: seg.ID, Important: seg.Important}
+	}
+	obj := &object{name: name, segments: meta, extents: extents, stripes: stripes}
+	s.mu.Lock()
+	s.objects[name] = obj
+	s.mu.Unlock()
+	return nil
+}
+
+// encodeStripes runs Encode over every stripe with a bounded worker
+// pool.
+func (s *Store) encodeStripes(cols [][][]byte) error {
+	workers := s.cfg.EncodeWorkers
+	if workers > len(cols) {
+		workers = len(cols)
+	}
+	jobs := make(chan int)
+	errs := make(chan error, len(cols))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range jobs {
+				if err := s.code.Encode(cols[st]); err != nil {
+					errs <- fmt.Errorf("stripe %d: %w", st, err)
+				}
+			}
+		}()
+	}
+	for st := range cols {
+		jobs <- st
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// stripeColumns assembles the column set of one stripe of an object;
+// failed or missing nodes contribute nil.
+func (s *Store) stripeColumns(name string, stripe int) [][]byte {
+	out := make([][]byte, len(s.nodes))
+	for ni, nd := range s.nodes {
+		nd.mu.RLock()
+		if !nd.failed {
+			if cols := nd.columns[name]; cols != nil && stripe < len(cols) {
+				out[ni] = cols[stripe]
+			}
+		}
+		nd.mu.RUnlock()
+	}
+	return out
+}
+
+// GetReport describes losses encountered by a Get.
+type GetReport struct {
+	// LostSegments lists segment IDs whose bytes were unrecoverable
+	// (returned zero-filled); route these to the video recovery module.
+	LostSegments []int
+}
+
+// Get returns every segment of the object, decoding around failed nodes
+// (degraded reads). Unrecoverable segments are returned zero-filled and
+// listed in the report.
+func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
+	s.mu.RLock()
+	obj, ok := s.objects[name]
+	s.mu.RUnlock()
+	if !ok || obj == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	buf := make(map[int][]byte, len(obj.segments))
+	lost := make(map[int]bool)
+	// Cache assembled stripes and decoded sub-blocks.
+	stripeCache := make(map[int][][]byte)
+	blockCache := make(map[[3]int][]byte)
+	for _, e := range obj.extents {
+		cols, ok := stripeCache[e.stripe]
+		if !ok {
+			cols = s.stripeColumns(name, e.stripe)
+			stripeCache[e.stripe] = cols
+		}
+		key := [3]int{e.stripe, e.node, e.row}
+		block, ok := blockCache[key]
+		if !ok {
+			var err error
+			block, err = s.code.ReadSubBlock(cols, e.node, e.row)
+			if err != nil {
+				block = nil
+			}
+			blockCache[key] = block
+		}
+		if block == nil {
+			lost[e.seg] = true
+			buf[e.seg] = append(buf[e.seg], make([]byte, e.length)...)
+			continue
+		}
+		buf[e.seg] = append(buf[e.seg], block[e.off:e.off+e.length]...)
+	}
+	out := make([]Segment, len(obj.segments))
+	rep := &GetReport{}
+	for i, meta := range obj.segments {
+		out[i] = Segment{ID: meta.ID, Important: meta.Important, Data: buf[meta.ID]}
+	}
+	for id := range lost {
+		rep.LostSegments = append(rep.LostSegments, id)
+	}
+	sort.Ints(rep.LostSegments)
+	return out, rep, nil
+}
+
+// GetSegment returns a single segment, decoding around failures. It
+// returns ErrUnavailable when the segment's data cannot be recovered.
+func (s *Store) GetSegment(name string, id int) (Segment, error) {
+	segs, rep, err := s.Get(name)
+	if err != nil {
+		return Segment{}, err
+	}
+	for _, l := range rep.LostSegments {
+		if l == id {
+			return Segment{}, fmt.Errorf("%w: segment %d", ErrUnavailable, id)
+		}
+	}
+	for _, seg := range segs {
+		if seg.ID == id {
+			return seg, nil
+		}
+	}
+	return Segment{}, fmt.Errorf("%w: segment %d", ErrNotFound, id)
+}
+
+// FailNodes marks nodes as failed, dropping their contents (a crash).
+func (s *Store) FailNodes(ids ...int) error {
+	for _, id := range ids {
+		if id < 0 || id >= len(s.nodes) {
+			return fmt.Errorf("store: node %d out of range", id)
+		}
+	}
+	for _, id := range ids {
+		nd := s.nodes[id]
+		nd.mu.Lock()
+		nd.failed = true
+		nd.columns = make(map[string][][]byte)
+		nd.mu.Unlock()
+	}
+	return nil
+}
+
+// FailedNodes lists the currently failed node indexes.
+func (s *Store) FailedNodes() []int {
+	var out []int
+	for i, nd := range s.nodes {
+		nd.mu.RLock()
+		if nd.failed {
+			out = append(out, i)
+		}
+		nd.mu.RUnlock()
+	}
+	return out
+}
+
+// RepairReport summarizes a repair pass.
+type RepairReport struct {
+	// StripesRepaired counts (object, stripe) pairs processed.
+	StripesRepaired int
+	// BytesRebuilt counts bytes written to replacement nodes.
+	BytesRebuilt int64
+	// LostSegments maps object name -> segment IDs with unrecoverable
+	// bytes (zero-filled on the replacement).
+	LostSegments map[string][]int
+}
+
+// RepairAll rebuilds every failed node's contents onto fresh replacement
+// nodes (same indexes) using the parallel repair pool, then marks the
+// nodes healthy. Unimportant data beyond the code's tolerance is
+// zero-filled and reported per segment.
+func (s *Store) RepairAll() (*RepairReport, error) {
+	failed := s.FailedNodes()
+	rep := &RepairReport{LostSegments: make(map[string][]int)}
+	if len(failed) == 0 {
+		return rep, nil
+	}
+	s.mu.RLock()
+	type job struct {
+		obj    *object
+		stripe int
+	}
+	var jobs []job
+	for _, obj := range s.objects {
+		if obj == nil {
+			continue
+		}
+		for st := 0; st < obj.stripes; st++ {
+			jobs = append(jobs, job{obj: obj, stripe: st})
+		}
+	}
+	s.mu.RUnlock()
+
+	var mu sync.Mutex // guards rep
+	workers := s.cfg.RepairWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan job)
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cols := s.stripeColumns(j.obj.name, j.stripe)
+				r, err := s.code.ReconstructReport(cols, core.Options{})
+				if err != nil {
+					errCh <- fmt.Errorf("repair %s/%d: %w", j.obj.name, j.stripe, err)
+					continue
+				}
+				// When unimportant data is abandoned (zero-filled), the
+				// surviving parity still encodes the lost bytes. Accept
+				// the loss by recomputing every parity column against the
+				// post-loss data so the stripe is self-consistent. Fresh
+				// buffers are used so concurrent readers of the old
+				// columns stay consistent; the swap below is per-node
+				// atomic under its lock.
+				reencoded := map[int][]byte{}
+				if len(r.Lost) > 0 {
+					fresh := make([][]byte, len(cols))
+					for ni, c := range cols {
+						if s.code.Role(ni) == core.RoleData {
+							fresh[ni] = c
+						}
+					}
+					if err := s.code.Encode(fresh); err != nil {
+						errCh <- fmt.Errorf("repair re-encode %s/%d: %w", j.obj.name, j.stripe, err)
+						continue
+					}
+					for ni := range cols {
+						if s.code.Role(ni) != core.RoleData {
+							reencoded[ni] = fresh[ni]
+						}
+					}
+				}
+				// Write rebuilt (and re-encoded) columns back.
+				for ni, nd := range s.nodes {
+					col := cols[ni]
+					if p, ok := reencoded[ni]; ok {
+						col = p
+					} else if !isFailedIdx(failed, ni) {
+						continue // surviving data column, untouched
+					}
+					nd.mu.Lock()
+					if nd.columns[j.obj.name] == nil {
+						nd.columns[j.obj.name] = make([][]byte, j.obj.stripes)
+					}
+					nd.columns[j.obj.name][j.stripe] = col
+					nd.mu.Unlock()
+				}
+				mu.Lock()
+				rep.StripesRepaired++
+				rep.BytesRebuilt += r.BytesRebuilt
+				if len(r.Lost) > 0 {
+					lostSegs := segmentsTouching(j.obj, j.stripe, r.Lost)
+					rep.LostSegments[j.obj.name] = mergeSorted(rep.LostSegments[j.obj.name], lostSegs)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	for _, ni := range failed {
+		nd := s.nodes[ni]
+		nd.mu.Lock()
+		nd.failed = false
+		nd.mu.Unlock()
+	}
+	return rep, nil
+}
+
+func isFailedIdx(failed []int, ni int) bool {
+	for _, f := range failed {
+		if f == ni {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentsTouching maps lost sub-blocks to the segment IDs with bytes in
+// them.
+func segmentsTouching(obj *object, stripe int, lost []core.SubBlock) []int {
+	seen := make(map[int]bool)
+	for _, sb := range lost {
+		for _, e := range obj.extents {
+			if e.stripe == stripe && e.node == sb.Node && e.row == sb.Row {
+				seen[e.seg] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mergeSorted(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ScrubReport summarizes a scrub pass.
+type ScrubReport struct {
+	StripesChecked int
+	Corrupt        []string // "object/stripe" identifiers
+}
+
+// Scrub verifies parity consistency of every stored stripe in parallel.
+// Stripes with failed or missing columns are skipped (they are repair's
+// business, not scrub's).
+func (s *Store) Scrub() (*ScrubReport, error) {
+	s.mu.RLock()
+	type job struct {
+		name   string
+		stripe int
+	}
+	var jobs []job
+	for name, obj := range s.objects {
+		if obj == nil {
+			continue
+		}
+		for st := 0; st < obj.stripes; st++ {
+			jobs = append(jobs, job{name, st})
+		}
+	}
+	s.mu.RUnlock()
+	rep := &ScrubReport{}
+	var mu sync.Mutex
+	workers := s.cfg.RepairWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 0 {
+		return rep, nil
+	}
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cols := s.stripeColumns(j.name, j.stripe)
+				complete := true
+				for _, c := range cols {
+					if c == nil {
+						complete = false
+						break
+					}
+				}
+				if !complete {
+					continue
+				}
+				ok, err := s.code.Verify(cols)
+				mu.Lock()
+				rep.StripesChecked++
+				if err != nil || !ok {
+					rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.name, j.stripe))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	sort.Strings(rep.Corrupt)
+	return rep, nil
+}
+
+// CorruptByte flips one byte of an object's stored column — test and
+// demo hook for the scrubber.
+func (s *Store) CorruptByte(name string, stripe, nodeIdx, offset int) error {
+	if nodeIdx < 0 || nodeIdx >= len(s.nodes) {
+		return fmt.Errorf("store: node %d out of range", nodeIdx)
+	}
+	nd := s.nodes[nodeIdx]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	cols := nd.columns[name]
+	if cols == nil || stripe >= len(cols) || cols[stripe] == nil {
+		return fmt.Errorf("%w: %s/%d on node %d", ErrNotFound, name, stripe, nodeIdx)
+	}
+	if offset < 0 || offset >= len(cols[stripe]) {
+		return fmt.Errorf("store: offset %d out of range", offset)
+	}
+	cols[stripe][offset] ^= 0xFF
+	return nil
+}
+
+// Objects lists stored object names.
+func (s *Store) Objects() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name, obj := range s.objects {
+		if obj != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports store-wide counters.
+type Stats struct {
+	Objects, Nodes, FailedNodes int
+	StoredBytes                 int64
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{Nodes: len(s.nodes)}
+	s.mu.RLock()
+	for _, obj := range s.objects {
+		if obj != nil {
+			st.Objects++
+		}
+	}
+	s.mu.RUnlock()
+	for _, nd := range s.nodes {
+		nd.mu.RLock()
+		if nd.failed {
+			st.FailedNodes++
+		}
+		for _, cols := range nd.columns {
+			for _, c := range cols {
+				st.StoredBytes += int64(len(c))
+			}
+		}
+		nd.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,546 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"approxcode/internal/core"
+)
+
+func testConfig() Config {
+	return Config{
+		Code: core.Params{
+			Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven,
+		},
+		NodeSize: 3 * 512,
+	}
+}
+
+func makeSegments(t *testing.T, n int, importantEvery int, seed int64) []Segment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	segs := make([]Segment, n)
+	for i := range segs {
+		data := make([]byte, 100+rng.Intn(400))
+		rng.Read(data)
+		segs[i] = Segment{ID: i, Important: i%importantEvery == 0, Data: data}
+	}
+	return segs
+}
+
+func openWith(t *testing.T, segs []Segment) *Store {
+	t.Helper()
+	s, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("video", segs); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func checkSegments(t *testing.T, got []Segment, want []Segment, skip map[int]bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d segments want %d", len(got), len(want))
+	}
+	byID := make(map[int]Segment, len(got))
+	for _, g := range got {
+		byID[g.ID] = g
+	}
+	for _, w := range want {
+		g, ok := byID[w.ID]
+		if !ok {
+			t.Fatalf("segment %d missing", w.ID)
+		}
+		if skip[w.ID] {
+			continue
+		}
+		if !bytes.Equal(g.Data, w.Data) {
+			t.Fatalf("segment %d data differs", w.ID)
+		}
+		if g.Important != w.Important {
+			t.Fatalf("segment %d importance differs", w.ID)
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.NodeSize = 1
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("tiny node size accepted")
+	}
+	cfg = testConfig()
+	cfg.Code.K = 0
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("bad code params accepted")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	segs := makeSegments(t, 20, 10, 1)
+	s := openWith(t, segs)
+	got, rep, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LostSegments) != 0 {
+		t.Fatalf("healthy store lost segments %v", rep.LostSegments)
+	}
+	checkSegments(t, got, segs, nil)
+}
+
+func TestPutValidation(t *testing.T) {
+	s, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Put("x", []Segment{{ID: 1}}); err == nil {
+		t.Fatal("empty segment accepted")
+	}
+	if err := s.Put("x", []Segment{{ID: 1, Data: []byte{1}}, {ID: 1, Data: []byte{2}}}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+	if err := s.Put("v", []Segment{{ID: 1, Data: []byte{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("v", []Segment{{ID: 1, Data: []byte{1}}}); !errors.Is(err, ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDegradedReadsUnderFailures(t *testing.T) {
+	segs := makeSegments(t, 30, 5, 2)
+	s := openWith(t, segs)
+	// Fail one data node: everything still readable via decode.
+	dn := s.Code().DataNodeIndexes()
+	if err := s.FailNodes(dn[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LostSegments) != 0 {
+		t.Fatalf("single failure lost segments %v", rep.LostSegments)
+	}
+	checkSegments(t, got, segs, nil)
+}
+
+func TestImportantSurvivesTripleFailure(t *testing.T) {
+	segs := makeSegments(t, 30, 5, 3)
+	s := openWith(t, segs)
+	dn := s.Code().DataNodeIndexes()
+	// Three failures: two on the important stripe (Uneven stripe 0), one
+	// on stripe 1.
+	if err := s.FailNodes(dn[0], dn[1], dn[3]); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make(map[int]bool)
+	for _, id := range rep.LostSegments {
+		lost[id] = true
+	}
+	for _, seg := range segs {
+		if seg.Important && lost[seg.ID] {
+			t.Fatalf("important segment %d lost", seg.ID)
+		}
+	}
+	checkSegments(t, got, segs, lost)
+	// Lost segments are zero-filled at the right length.
+	for _, g := range got {
+		if lost[g.ID] && len(g.Data) != len(segs[g.ID].Data) {
+			t.Fatalf("lost segment %d has wrong length", g.ID)
+		}
+	}
+	// GetSegment surfaces the loss explicitly.
+	if len(rep.LostSegments) > 0 {
+		if _, err := s.GetSegment("video", rep.LostSegments[0]); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("want ErrUnavailable, got %v", err)
+		}
+	}
+	var anyImportant int = -1
+	for _, seg := range segs {
+		if seg.Important {
+			anyImportant = seg.ID
+			break
+		}
+	}
+	if got, err := s.GetSegment("video", anyImportant); err != nil || !bytes.Equal(got.Data, segs[anyImportant].Data) {
+		t.Fatalf("important GetSegment failed: %v", err)
+	}
+}
+
+func TestRepairRestoresRedundancy(t *testing.T) {
+	segs := makeSegments(t, 24, 6, 4)
+	s := openWith(t, segs)
+	dn := s.Code().DataNodeIndexes()
+	if err := s.FailNodes(dn[0], s.Code().TotalShards()-1); err != nil { // data + global parity
+		t.Fatal(err)
+	}
+	rep, err := s.RepairAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StripesRepaired == 0 || rep.BytesRebuilt == 0 {
+		t.Fatalf("repair did nothing: %+v", rep)
+	}
+	if len(s.FailedNodes()) != 0 {
+		t.Fatal("nodes still failed after repair")
+	}
+	// Everything readable without degradation; scrub is clean.
+	got, getRep, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(getRep.LostSegments) != 0 {
+		t.Fatalf("lost segments after repair: %v", getRep.LostSegments)
+	}
+	checkSegments(t, got, segs, nil)
+	scrub, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scrub.Corrupt) != 0 || scrub.StripesChecked == 0 {
+		t.Fatalf("scrub after repair: %+v", scrub)
+	}
+}
+
+func TestRepairReportsUnrecoverableSegments(t *testing.T) {
+	segs := makeSegments(t, 24, 6, 5)
+	s := openWith(t, segs)
+	dn := s.Code().DataNodeIndexes()
+	// Two failures in unimportant stripe 1 (k=3): r=1 exceeded.
+	if err := s.FailNodes(dn[3], dn[4]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RepairAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := rep.LostSegments["video"]
+	if len(lost) == 0 {
+		t.Fatal("expected lost segments")
+	}
+	for _, id := range lost {
+		if segs[id].Important {
+			t.Fatalf("important segment %d reported lost", id)
+		}
+	}
+	// After repair the lost bytes are zero-filled but the object is
+	// still fully readable (no failed nodes).
+	_, getRep, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(getRep.LostSegments) != 0 {
+		t.Fatal("zero-filled stripes must read without degradation flags")
+	}
+}
+
+func TestScrubDetectsCorruption(t *testing.T) {
+	segs := makeSegments(t, 12, 4, 6)
+	s := openWith(t, segs)
+	if err := s.CorruptByte("video", 0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != "video/0" {
+		t.Fatalf("scrub missed corruption: %+v", rep)
+	}
+	if err := s.CorruptByte("video", 0, 99, 0); err == nil {
+		t.Fatal("bad node accepted")
+	}
+	if err := s.CorruptByte("nope", 0, 1, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestFailNodesValidation(t *testing.T) {
+	s, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNodes(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if err := s.FailNodes(999); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestStatsAndObjects(t *testing.T) {
+	segs := makeSegments(t, 8, 4, 7)
+	s := openWith(t, segs)
+	if err := s.Put("second", makeSegments(t, 4, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	objs := s.Objects()
+	if len(objs) != 2 || objs[0] != "second" || objs[1] != "video" {
+		t.Fatalf("objects %v", objs)
+	}
+	st := s.Stats()
+	if st.Objects != 2 || st.Nodes != s.Code().TotalShards() || st.FailedNodes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.StoredBytes == 0 {
+		t.Fatal("no stored bytes")
+	}
+	if err := s.FailNodes(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().FailedNodes != 1 {
+		t.Fatal("failed node not counted")
+	}
+}
+
+func TestConcurrentReadersAndRepair(t *testing.T) {
+	segs := makeSegments(t, 40, 8, 9)
+	s := openWith(t, segs)
+	dn := s.Code().DataNodeIndexes()
+	if err := s.FailNodes(dn[0]); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, _, err := s.Get("video"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.RepairAll(); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("post-repair get: %v %v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+}
+
+func TestMultiStripeObjects(t *testing.T) {
+	// Enough data to span several global stripes.
+	cfg := testConfig()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	var segs []Segment
+	for i := 0; i < 200; i++ {
+		data := make([]byte, 300+rng.Intn(200))
+		rng.Read(data)
+		segs = append(segs, Segment{ID: i, Important: i%8 == 0, Data: data})
+	}
+	if err := s.Put("big", segs); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("big")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("get: %v %+v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+	scrub, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub.StripesChecked < 2 {
+		t.Fatalf("expected multiple stripes, checked %d", scrub.StripesChecked)
+	}
+}
+
+func TestPutWhileNodeFailedThenRepair(t *testing.T) {
+	segs := makeSegments(t, 16, 4, 11)
+	s, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn := s.Code().DataNodeIndexes()
+	if err := s.FailNodes(dn[2]); err != nil {
+		t.Fatal(err)
+	}
+	// Writing into a degraded stripe set: the failed node's column is
+	// simply not stored.
+	if err := s.Put("video", segs); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("degraded write unreadable: %v %+v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+	if _, err := s.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	scrub, err := s.Scrub()
+	if err != nil || len(scrub.Corrupt) != 0 {
+		t.Fatalf("scrub after degraded-write repair: %v %+v", err, scrub)
+	}
+}
+
+func ExampleStore() {
+	s, err := Open(Config{
+		Code: core.Params{
+			Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven,
+		},
+		NodeSize: 3 * 256,
+	})
+	if err != nil {
+		panic(err)
+	}
+	_ = s.Put("clip", []Segment{
+		{ID: 0, Important: true, Data: []byte("i-frame")},
+		{ID: 1, Important: false, Data: []byte("p-frame")},
+	})
+	seg, _ := s.GetSegment("clip", 0)
+	fmt.Println(string(seg.Data))
+	// Output: i-frame
+}
+
+func TestScrubCleanAfterLossyRepair(t *testing.T) {
+	// After a repair that abandons unimportant data, parity must be
+	// re-encoded so the stripe verifies clean and surviving segments
+	// still read back byte-exactly.
+	segs := makeSegments(t, 24, 6, 12)
+	s := openWith(t, segs)
+	dn := s.Code().DataNodeIndexes()
+	if err := s.FailNodes(dn[3], dn[4]); err != nil { // stripe 1, r=1 exceeded
+		t.Fatal(err)
+	}
+	rep, err := s.RepairAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make(map[int]bool)
+	for _, id := range rep.LostSegments["video"] {
+		lost[id] = true
+	}
+	if len(lost) == 0 {
+		t.Fatal("expected losses")
+	}
+	scrub, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scrub.Corrupt) != 0 {
+		t.Fatalf("stripe inconsistent after lossy repair: %v", scrub.Corrupt)
+	}
+	got, gRep, err := s.Get("video")
+	if err != nil || len(gRep.LostSegments) != 0 {
+		t.Fatalf("get after repair: %v %+v", err, gRep)
+	}
+	checkSegments(t, got, segs, lost)
+	// A later failure must still be repairable from the re-encoded
+	// parity (redundancy was actually restored).
+	if err := s.FailNodes(dn[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, gRep, err = s.Get("video")
+	if err != nil || len(gRep.LostSegments) != 0 {
+		t.Fatalf("get after second repair: %v %+v", err, gRep)
+	}
+	checkSegments(t, got, segs, lost)
+}
+
+func TestInterleavedPlacementScattersLoss(t *testing.T) {
+	// With default interleaving, a failed node loses non-adjacent
+	// segments; with contiguous placement it loses runs. Compare the
+	// longest run of consecutive lost segment IDs.
+	longestRun := func(contiguous bool) int {
+		cfg := testConfig()
+		cfg.ContiguousPlacement = contiguous
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := makeSegments(t, 120, 10, 13)
+		if err := s.Put("video", segs); err != nil {
+			t.Fatal(err)
+		}
+		dn := s.Code().DataNodeIndexes()
+		if err := s.FailNodes(dn[3], dn[4]); err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := s.Get("video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.LostSegments) == 0 {
+			t.Fatal("expected losses")
+		}
+		run, best := 1, 1
+		for i := 1; i < len(rep.LostSegments); i++ {
+			if rep.LostSegments[i] == rep.LostSegments[i-1]+1 {
+				run++
+			} else {
+				run = 1
+			}
+			if run > best {
+				best = run
+			}
+		}
+		return best
+	}
+	inter := longestRun(false)
+	contig := longestRun(true)
+	if inter >= contig {
+		t.Fatalf("interleaving run %d not shorter than contiguous %d", inter, contig)
+	}
+}
+
+func TestPlacementCoversAllBytesBothStrategies(t *testing.T) {
+	for _, contiguous := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.ContiguousPlacement = contiguous
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := makeSegments(t, 60, 7, 14)
+		if err := s.Put("video", segs); err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := s.Get("video")
+		if err != nil || len(rep.LostSegments) != 0 {
+			t.Fatalf("contiguous=%v: %v %+v", contiguous, err, rep)
+		}
+		checkSegments(t, got, segs, nil)
+	}
+}

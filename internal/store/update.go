@@ -1,0 +1,123 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"approxcode/internal/core"
+)
+
+// UpdateSegment overwrites a stored segment's bytes in place (same
+// length) using the framework's incremental parity update — the
+// single-write path of the paper's Table 2. Affected columns are
+// updated copy-on-write and swapped in atomically per node, so
+// concurrent readers always observe a consistent stripe (either the old
+// or the new version).
+//
+// Updates require a fully healthy stripe set; repair first if nodes are
+// failed.
+func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
+	s.mu.RLock()
+	obj, ok := s.objects[name]
+	s.mu.RUnlock()
+	if !ok || obj == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if len(s.FailedNodes()) > 0 {
+		return fmt.Errorf("%w: cannot update with failed nodes (repair first)", ErrUnavailable)
+	}
+	var extents []extent
+	total := 0
+	for _, e := range obj.extents {
+		if e.seg == id {
+			extents = append(extents, e)
+			total += e.length
+		}
+	}
+	if len(extents) == 0 {
+		return fmt.Errorf("%w: segment %d", ErrNotFound, id)
+	}
+	if len(newData) != total {
+		return fmt.Errorf("store: segment %d is %d bytes, got %d (resizing unsupported)",
+			id, total, len(newData))
+	}
+	// Group extents by stripe, preserving stream order within each.
+	byStripe := make(map[int][]extent)
+	var stripes []int
+	for _, e := range extents {
+		if _, ok := byStripe[e.stripe]; !ok {
+			stripes = append(stripes, e.stripe)
+		}
+		byStripe[e.stripe] = append(byStripe[e.stripe], e)
+	}
+	sort.Ints(stripes)
+	sub := s.cfg.NodeSize / s.cfg.Code.H
+
+	// The extent list is in placement order; map each extent to its
+	// byte range within newData.
+	cursor := 0
+	offsetOf := make(map[[4]int]int) // (stripe,node,row,off) -> newData offset
+	for _, e := range extents {
+		offsetOf[[4]int{e.stripe, e.node, e.row, e.off}] = cursor
+		cursor += e.length
+	}
+
+	for _, st := range stripes {
+		cols := s.stripeColumns(name, st)
+		for i, c := range cols {
+			if c == nil {
+				return fmt.Errorf("%w: stripe %d column %d missing", ErrUnavailable, st, i)
+			}
+		}
+		// Copy-on-write: clone every column the update may mutate (the
+		// touched data nodes and every parity node).
+		mutated := make(map[int]bool)
+		for _, e := range byStripe[st] {
+			mutated[e.node] = true
+		}
+		for i := range cols {
+			if s.code.Role(i) != core.RoleData {
+				mutated[i] = true
+			}
+		}
+		for i := range cols {
+			if mutated[i] {
+				cols[i] = append([]byte(nil), cols[i]...)
+			}
+		}
+		// Apply per (node, row) sub-block: patch the changed byte ranges
+		// and run the incremental update.
+		type key struct{ node, row int }
+		patches := make(map[key][]extent)
+		var order []key
+		for _, e := range byStripe[st] {
+			k := key{e.node, e.row}
+			if _, ok := patches[k]; !ok {
+				order = append(order, k)
+			}
+			patches[k] = append(patches[k], e)
+		}
+		for _, k := range order {
+			old := cols[k.node][k.row*sub : (k.row+1)*sub]
+			blk := append([]byte(nil), old...)
+			for _, e := range patches[k] {
+				off := offsetOf[[4]int{e.stripe, e.node, e.row, e.off}]
+				copy(blk[e.off:e.off+e.length], newData[off:off+e.length])
+			}
+			if _, err := s.code.Update(cols, k.node, k.row, blk); err != nil {
+				return fmt.Errorf("store update: %w", err)
+			}
+		}
+		// Swap the mutated clones in.
+		for i := range cols {
+			if !mutated[i] {
+				continue
+			}
+			nd := s.nodes[i]
+			nd.mu.Lock()
+			nd.columns[name][st] = cols[i]
+			nd.mu.Unlock()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package tip implements a TIP-style code: a triple-fault-tolerant XOR
+// array code whose three parity columns are generated *independently*
+// (no shared adjuster symbol), the property the paper relies on for
+// TIP-Code's short parity chains and low partial-stripe-write I/O
+// (paper §2.2, Fig. 3b).
+//
+// The construction follows the Blaum-Roth polynomial-ring technique: each
+// column is a polynomial of degree < p-1 over GF(2)[x]/M_p(x) with
+// M_p(x) = 1 + x + ... + x^(p-1), and parity column t (t = 0, 1, 2) is
+//
+//	P_t(x) = sum_j x^(t*j) * d_j(x)  (mod M_p(x)).
+//
+// Reduction mod M_p(x) folds the x^(p-1) coefficient of the cyclic sum
+// into every lower coefficient, which keeps each parity a pure XOR of
+// data cells — three independent parities. Geometry matches the paper's
+// TIP-Code: k = p - 2 data columns, 3 parity columns, n = p + 1 nodes,
+// p prime, on a (p-1)-row array. Triple-erasure tolerance is verified
+// exhaustively in the test suite for every supported p (see DESIGN.md §5
+// for the substitution rationale).
+package tip
+
+import (
+	"fmt"
+
+	"approxcode/internal/evenodd"
+	"approxcode/internal/xorcode"
+)
+
+// MaxSlopes is the number of independent parity slopes generated (the
+// code is 3DFT, one parity per slope).
+const MaxSlopes = 3
+
+// Chains returns the TIP-style parity chains for prime p on a
+// (p-1) x (p+1) array: data columns 0..p-3, parity columns p-2, p-1, p
+// holding slopes 0 (horizontal), 1 (diagonal) and 2 respectively.
+//
+// Parity cell P_t[s] is the XOR of data cells d_j[(s - t*j) mod p] plus
+// the mod-M_p fold term d_j[(p-1 - t*j) mod p] (rows >= p-1 do not exist
+// and contribute nothing). For t = 0 the fold term indexes the imaginary
+// row p-1 and vanishes, so slope 0 is plain horizontal parity.
+func Chains(p int) []xorcode.Chain {
+	k := p - 2
+	rows := p - 1
+	var chains []xorcode.Chain
+	for t := 0; t < MaxSlopes; t++ {
+		for s := 0; s < rows; s++ {
+			ch := xorcode.Chain{{Col: k + t, Row: s}}
+			for j := 0; j < k; j++ {
+				// Cyclic term.
+				i := ((s-t*j)%p + p*p) % p
+				if i < rows {
+					ch = append(ch, xorcode.Cell{Col: j, Row: i})
+				}
+				// mod-M_p fold of the x^(p-1) coefficient.
+				i = ((p-1-t*j)%p + p*p) % p
+				if i < rows {
+					ch = append(ch, xorcode.Cell{Col: j, Row: i})
+				}
+			}
+			chains = append(chains, dedupe(ch))
+		}
+	}
+	return chains
+}
+
+// dedupe removes cells that appear an even number of times (XOR cancels
+// them); a cell appearing twice in a chain would otherwise corrupt the
+// GF(2) elimination, which assumes set semantics.
+func dedupe(ch xorcode.Chain) xorcode.Chain {
+	count := make(map[xorcode.Cell]int, len(ch))
+	for _, c := range ch {
+		count[c]++
+	}
+	out := ch[:0]
+	seen := make(map[xorcode.Cell]bool, len(ch))
+	for _, c := range ch {
+		if count[c]%2 == 1 && !seen[c] {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	return out
+}
+
+// New returns the TIP-style coder for prime p >= 5: k = p-2 data shards,
+// 3 parity shards, tolerance 3.
+func New(p int) (*xorcode.Code, error) {
+	if !evenodd.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("tip: p=%d must be a prime >= 5", p)
+	}
+	return xorcode.New(fmt.Sprintf("TIP(%d)", p), p-2, 3, p-1, 3, Chains(p))
+}
+
+// NewLocal returns the horizontal-parity-only prefix of TIP(p): the
+// (p-2, 1) code formed by slope-0 chains alone. Its parity column equals
+// the first parity column of New(p) on the same data, which is the
+// prefix property the Approximate Code framework requires when it
+// segments TIP into 1 local + 2 global parities.
+func NewLocal(p int) (*xorcode.Code, error) {
+	if !evenodd.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("tip: p=%d must be a prime >= 5", p)
+	}
+	k := p - 2
+	rows := p - 1
+	var chains []xorcode.Chain
+	for s := 0; s < rows; s++ {
+		ch := xorcode.Chain{{Col: k, Row: s}}
+		for j := 0; j < k; j++ {
+			ch = append(ch, xorcode.Cell{Col: j, Row: s})
+		}
+		chains = append(chains, ch)
+	}
+	return xorcode.New(fmt.Sprintf("TIP-local(%d)", p), k, 1, rows, 1, chains)
+}

@@ -1,0 +1,139 @@
+package tip
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestNewRejectsBadP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 9, 15} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	c, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = p-2, n = p+1 (paper: "TIP requires the number of data nodes to
+	// be p-2").
+	if c.DataShards() != 5 || c.ParityShards() != 3 || c.TotalShards() != 8 ||
+		c.FaultTolerance() != 3 || c.Rows() != 6 {
+		t.Fatalf("shape mismatch: %s", c.Name())
+	}
+}
+
+func TestTripleToleranceExhaustive(t *testing.T) {
+	// Substitution validation (DESIGN.md §5): the Blaum-Roth-style
+	// independent-parity construction must repair every pattern of up to
+	// three column erasures for all supported p.
+	for _, p := range []int{5, 7, 11} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyTolerance(3); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := erasure.CheckExhaustive(c, (p-1)*4, int64(p)); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestTripleToleranceLargeP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range []int{13, 17, 19} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyTolerance(3); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestHorizontalParityIsSlopeZero(t *testing.T) {
+	// Parity column 0 must be plain horizontal XOR (the mod-M_p fold term
+	// vanishes for t=0), matching TIP's horizontal parity in the paper.
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe, err := erasure.RandomStripe(c, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, rows := c.DataShards(), c.Rows()
+	chunk := len(stripe[0]) / rows
+	for r := 0; r < rows; r++ {
+		want := make([]byte, chunk)
+		for j := 0; j < k; j++ {
+			for b := 0; b < chunk; b++ {
+				want[b] ^= stripe[j][r*chunk+b]
+			}
+		}
+		if !bytes.Equal(want, stripe[k][r*chunk:(r+1)*chunk]) {
+			t.Fatalf("row %d: horizontal parity mismatch", r)
+		}
+	}
+}
+
+func TestLocalPrefixProperty(t *testing.T) {
+	// NewLocal's single parity column must byte-match the first parity
+	// column of the full TIP code on identical data.
+	for _, p := range []int{5, 7, 11} {
+		full, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := NewLocal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if local.DataShards() != full.DataShards() || local.ParityShards() != 1 {
+			t.Fatalf("p=%d: local shape wrong", p)
+		}
+		fs, err := erasure.RandomStripe(full, (p-1)*8, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := make([][]byte, full.DataShards()+1)
+		copy(ls, fs[:full.DataShards()])
+		if err := local.Encode(ls); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ls[full.DataShards()], fs[full.DataShards()]) {
+			t.Fatalf("p=%d: local parity differs from full first parity", p)
+		}
+	}
+}
+
+func TestIndependentParities(t *testing.T) {
+	// Every parity chain must reference exactly one parity cell: no
+	// shared adjuster symbols across parity columns (TIP's defining
+	// property vs. STAR).
+	c, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range c.Chains() {
+		parityCells := 0
+		for _, cell := range ch {
+			if cell.Col >= c.DataShards() {
+				parityCells++
+			}
+		}
+		if parityCells != 1 {
+			t.Fatalf("chain %d references %d parity cells", i, parityCells)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package video
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Container format: the reproduction's stand-in for an H.264 bitstream
+// that the data identification module (paper §3.6.1) can parse without
+// a real video decoder. Layout:
+//
+//	stream header : magic "AGOP" | version u16 | fps u16 | width u32 |
+//	                height u32 | frame count u32
+//	per frame     : kind u8 | index u32 | payload size u32 |
+//	                payload bytes | crc32(payload) u32
+//
+// All integers are little-endian. The payload is the frame's simulated
+// encoded bitstream (EncodedSize bytes).
+
+const (
+	containerMagic   = "AGOP"
+	containerVersion = 1
+)
+
+// WriteStream serializes the stream into the container format. The
+// written payload of each frame is its pixels repeated/truncated to
+// EncodedSize, matching gopgen's bitstream simulation.
+func WriteStream(w io.Writer, s *Stream) error {
+	hdr := make([]byte, 4+2+2+4+4+4)
+	copy(hdr, containerMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], containerVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(s.Cfg.FPS))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.Cfg.Width))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.Cfg.Height))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(s.Frames)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("video: write header: %w", err)
+	}
+	for _, f := range s.Frames {
+		payload := make([]byte, f.EncodedSize)
+		for i := range payload {
+			payload[i] = f.Pixels[i%len(f.Pixels)]
+		}
+		fh := make([]byte, 1+4+4)
+		fh[0] = byte(f.Kind)
+		binary.LittleEndian.PutUint32(fh[1:], uint32(f.Index))
+		binary.LittleEndian.PutUint32(fh[5:], uint32(len(payload)))
+		if _, err := w.Write(fh); err != nil {
+			return fmt.Errorf("video: frame %d header: %w", f.Index, err)
+		}
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("video: frame %d payload: %w", f.Index, err)
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(crc[:]); err != nil {
+			return fmt.Errorf("video: frame %d crc: %w", f.Index, err)
+		}
+	}
+	return nil
+}
+
+// StreamInfo is the parsed container metadata.
+type StreamInfo struct {
+	FPS, Width, Height, FrameCount int
+}
+
+// ParsedFrame is one frame read back from a container.
+type ParsedFrame struct {
+	Index   int
+	Kind    FrameKind
+	Payload []byte
+}
+
+// Important reports the identification module's verdict: I frames are
+// important, everything else is not.
+func (f ParsedFrame) Important() bool { return f.Kind == FrameI }
+
+// ParseStream reads a container and returns its metadata and frames,
+// verifying every payload checksum. It is the identification module's
+// parser: downstream callers tier frames by ParsedFrame.Important.
+func ParseStream(r io.Reader) (*StreamInfo, []ParsedFrame, error) {
+	hdr := make([]byte, 20)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, nil, fmt.Errorf("video: short header: %w", err)
+	}
+	if string(hdr[:4]) != containerMagic {
+		return nil, nil, fmt.Errorf("video: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != containerVersion {
+		return nil, nil, fmt.Errorf("video: unsupported version %d", v)
+	}
+	info := &StreamInfo{
+		FPS:        int(binary.LittleEndian.Uint16(hdr[6:])),
+		Width:      int(binary.LittleEndian.Uint32(hdr[8:])),
+		Height:     int(binary.LittleEndian.Uint32(hdr[12:])),
+		FrameCount: int(binary.LittleEndian.Uint32(hdr[16:])),
+	}
+	if info.FrameCount < 0 || info.FrameCount > 1<<28 {
+		return nil, nil, fmt.Errorf("video: implausible frame count %d", info.FrameCount)
+	}
+	frames := make([]ParsedFrame, 0, info.FrameCount)
+	fh := make([]byte, 9)
+	for i := 0; i < info.FrameCount; i++ {
+		if _, err := io.ReadFull(r, fh); err != nil {
+			return nil, nil, fmt.Errorf("video: frame %d header: %w", i, err)
+		}
+		kind := FrameKind(fh[0])
+		if kind != FrameI && kind != FrameP && kind != FrameB {
+			return nil, nil, fmt.Errorf("video: frame %d has invalid kind %d", i, fh[0])
+		}
+		idx := int(binary.LittleEndian.Uint32(fh[1:]))
+		size := int(binary.LittleEndian.Uint32(fh[5:]))
+		if size < 0 || size > 1<<30 {
+			return nil, nil, fmt.Errorf("video: frame %d implausible size %d", i, size)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, nil, fmt.Errorf("video: frame %d payload: %w", i, err)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil, nil, fmt.Errorf("video: frame %d crc: %w", i, err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crc[:]) {
+			return nil, nil, fmt.Errorf("video: frame %d checksum mismatch", i)
+		}
+		frames = append(frames, ParsedFrame{Index: idx, Kind: kind, Payload: payload})
+	}
+	return info, frames, nil
+}

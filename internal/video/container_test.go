@@ -1,0 +1,108 @@
+package video
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestContainerRoundTrip(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	info, frames, err := ParseStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FPS != s.Cfg.FPS || info.Width != s.Cfg.Width || info.Height != s.Cfg.Height {
+		t.Fatalf("info mismatch %+v", info)
+	}
+	if len(frames) != len(s.Frames) {
+		t.Fatalf("frame count %d want %d", len(frames), len(s.Frames))
+	}
+	for i, f := range frames {
+		if f.Index != s.Frames[i].Index || f.Kind != s.Frames[i].Kind {
+			t.Fatalf("frame %d metadata mismatch", i)
+		}
+		if len(f.Payload) != s.Frames[i].EncodedSize {
+			t.Fatalf("frame %d payload size %d want %d", i, len(f.Payload), s.Frames[i].EncodedSize)
+		}
+		if f.Important() != (s.Frames[i].Kind == FrameI) {
+			t.Fatalf("frame %d importance wrong", i)
+		}
+	}
+}
+
+func TestParseStreamRejectsCorruption(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, _, err := ParseStream(bytes.NewReader(b)); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 0xFF
+		if _, _, err := ParseStream(bytes.NewReader(b)); err == nil {
+			t.Fatal("bad version accepted")
+		}
+	})
+	t.Run("payload corruption fails crc", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[20+9+5] ^= 0xA5 // inside first frame payload
+		if _, _, err := ParseStream(bytes.NewReader(b)); err == nil {
+			t.Fatal("corrupt payload accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, _, err := ParseStream(bytes.NewReader(good[:len(good)-3])); err == nil {
+			t.Fatal("truncation accepted")
+		}
+		if _, _, err := ParseStream(bytes.NewReader(good[:10])); err == nil {
+			t.Fatal("short header accepted")
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[20] = 7 // first frame kind
+		if _, _, err := ParseStream(bytes.NewReader(b)); err == nil {
+			t.Fatal("bad kind accepted")
+		}
+	})
+}
+
+func TestParseStreamEmptyReader(t *testing.T) {
+	if _, _, err := ParseStream(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestWriteStreamPropagatesErrors(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStream(failingWriter{}, s); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

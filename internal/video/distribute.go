@@ -1,0 +1,187 @@
+package video
+
+import (
+	"fmt"
+
+	"approxcode/internal/core"
+)
+
+// Extent records where a contiguous slice of a frame's encoded bytes
+// lands in the coded layout.
+type Extent struct {
+	FrameIndex int
+	// GlobalStripe is the index of the global stripe in the sequence.
+	GlobalStripe int
+	// Node is the node-column index within the global stripe.
+	Node int
+	// Row is the sub-block row within the node.
+	Row int
+	// Offset/Length locate the bytes within that sub-block.
+	Offset, Length int
+}
+
+// Placement is the output of the data identification and distribution
+// module (paper §3.6.1): every frame mapped to important or unimportant
+// sub-blocks of a sequence of Approximate Code global stripes.
+type Placement struct {
+	Code     *core.Code
+	NodeSize int
+	// Stripes is the number of global stripes the stream occupies.
+	Stripes int
+	// Extents lists every placement, in stream order.
+	Extents []Extent
+}
+
+// regionCursor walks the (stripe, sub-stripe, node, offset) space of one
+// tier (important or unimportant).
+type regionCursor struct {
+	code      *core.Code
+	nodeSize  int
+	important bool
+	// positions: list of (node, row) per global stripe, precomputed.
+	slots  []slot
+	stripe int
+	slotI  int
+	off    int
+}
+
+type slot struct{ node, row int }
+
+func newRegionCursor(c *core.Code, nodeSize int, important bool) *regionCursor {
+	p := c.Params()
+	var slots []slot
+	for l := 0; l < p.H; l++ {
+		for m := 0; m < p.H; m++ {
+			if c.Important(l, m) != important {
+				continue
+			}
+			for j := 0; j < p.K; j++ {
+				slots = append(slots, slot{node: c.DataNodeIndexes()[l*p.K+j], row: m})
+			}
+		}
+	}
+	return &regionCursor{code: c, nodeSize: nodeSize, important: important, slots: slots}
+}
+
+// place appends extents covering length bytes for the given frame.
+func (rc *regionCursor) place(frame, length int, out []Extent) []Extent {
+	sub := rc.nodeSize / rc.code.Params().H
+	for length > 0 {
+		room := sub - rc.off
+		n := length
+		if n > room {
+			n = room
+		}
+		s := rc.slots[rc.slotI]
+		out = append(out, Extent{
+			FrameIndex:   frame,
+			GlobalStripe: rc.stripe,
+			Node:         s.node,
+			Row:          s.row,
+			Offset:       rc.off,
+			Length:       n,
+		})
+		rc.off += n
+		length -= n
+		if rc.off == sub {
+			rc.off = 0
+			rc.slotI++
+			if rc.slotI == len(rc.slots) {
+				rc.slotI = 0
+				rc.stripe++
+			}
+		}
+	}
+	return out
+}
+
+func (rc *regionCursor) stripesUsed() int {
+	if rc.slotI == 0 && rc.off == 0 {
+		return rc.stripe
+	}
+	return rc.stripe + 1
+}
+
+// Distribute runs the identification and distribution module: I frames
+// go to the important tier, P/B frames to the unimportant tier, packed
+// first-fit in stream order across as many global stripes as needed.
+// nodeSize must be a positive multiple of the code's ShardSizeMultiple.
+func Distribute(s *Stream, c *core.Code, nodeSize int) (*Placement, error) {
+	if nodeSize <= 0 || nodeSize%c.ShardSizeMultiple() != 0 {
+		return nil, fmt.Errorf("video: node size %d not a positive multiple of %d",
+			nodeSize, c.ShardSizeMultiple())
+	}
+	imp := newRegionCursor(c, nodeSize, true)
+	unimp := newRegionCursor(c, nodeSize, false)
+	pl := &Placement{Code: c, NodeSize: nodeSize}
+	for _, f := range s.Frames {
+		if f.Kind == FrameI {
+			pl.Extents = imp.place(f.Index, f.EncodedSize, pl.Extents)
+		} else {
+			pl.Extents = unimp.place(f.Index, f.EncodedSize, pl.Extents)
+		}
+	}
+	pl.Stripes = imp.stripesUsed()
+	if u := unimp.stripesUsed(); u > pl.Stripes {
+		pl.Stripes = u
+	}
+	return pl, nil
+}
+
+// payloadByte is the deterministic simulated bitstream content of a
+// frame at a given byte offset, so packed stripes round-trip byte-exact
+// through encode/reconstruct in tests and examples.
+func payloadByte(frame, off int) byte {
+	x := uint32(frame)*2654435761 + uint32(off)*40503
+	x ^= x >> 13
+	return byte(x * 2246822519)
+}
+
+// Pack materializes the data node-columns for every global stripe:
+// result[stripe][node] is a nodeSize column (parity nodes nil, ready for
+// Encode). Unused capacity is zero padding.
+func (pl *Placement) Pack() [][][]byte {
+	stripes := make([][][]byte, pl.Stripes)
+	for i := range stripes {
+		stripes[i] = make([][]byte, pl.Code.TotalShards())
+		for _, d := range pl.Code.DataNodeIndexes() {
+			stripes[i][d] = make([]byte, pl.NodeSize)
+		}
+	}
+	sub := pl.NodeSize / pl.Code.Params().H
+	for _, e := range pl.Extents {
+		col := stripes[e.GlobalStripe][e.Node]
+		base := e.Row*sub + e.Offset
+		for i := 0; i < e.Length; i++ {
+			col[base+i] = payloadByte(e.FrameIndex, i)
+		}
+	}
+	return stripes
+}
+
+// FramesTouching lists the distinct frames with bytes in the given
+// sub-block; the storage layer uses it to translate unrecoverable
+// sub-blocks into lost frames for the video recovery module.
+func (pl *Placement) FramesTouching(stripe, node, row int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, e := range pl.Extents {
+		if e.GlobalStripe == stripe && e.Node == node && e.Row == row && !seen[e.FrameIndex] {
+			seen[e.FrameIndex] = true
+			out = append(out, e.FrameIndex)
+		}
+	}
+	return out
+}
+
+// LostFrames translates a reconstruction report into the set of frame
+// indexes with at least one unrecoverable byte.
+func (pl *Placement) LostFrames(stripe int, lost []core.SubBlock) map[int]bool {
+	out := make(map[int]bool)
+	for _, sb := range lost {
+		for _, f := range pl.FramesTouching(stripe, sb.Node, sb.Row) {
+			out[f] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package video
+
+import (
+	"testing"
+
+	"approxcode/internal/core"
+	"approxcode/internal/erasure"
+)
+
+func testCode(t *testing.T) *core.Code {
+	t.Helper()
+	c, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDistributeValidation(t *testing.T) {
+	s, _ := Generate(DefaultConfig(), 9)
+	c := testCode(t)
+	if _, err := Distribute(s, c, 0); err == nil {
+		t.Fatal("zero node size accepted")
+	}
+	if _, err := Distribute(s, c, c.ShardSizeMultiple()+1); err == nil {
+		t.Fatal("misaligned node size accepted")
+	}
+}
+
+func TestDistributeTiering(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCode(t)
+	pl, err := Distribute(s, c, 3*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stripes < 1 {
+		t.Fatal("no stripes")
+	}
+	// Every I-frame byte must land on an important sub-block; every P/B
+	// byte on an unimportant one. Extents must tile frames completely.
+	perFrame := make(map[int]int)
+	for _, e := range pl.Extents {
+		imp := c.Important(c.StripeOf(e.Node), e.Row)
+		isI := s.Frames[e.FrameIndex].Kind == FrameI
+		if imp != isI {
+			t.Fatalf("frame %d (%v) on important=%v sub-block", e.FrameIndex, s.Frames[e.FrameIndex].Kind, imp)
+		}
+		if c.Role(e.Node) != core.RoleData {
+			t.Fatalf("extent on non-data node %d", e.Node)
+		}
+		perFrame[e.FrameIndex] += e.Length
+	}
+	for _, f := range s.Frames {
+		if perFrame[f.Index] != f.EncodedSize {
+			t.Fatalf("frame %d: placed %d of %d bytes", f.Index, perFrame[f.Index], f.EncodedSize)
+		}
+	}
+}
+
+func TestPackEncodeReconstructRoundTrip(t *testing.T) {
+	// End-to-end: distribute, pack, encode, fail r+g nodes, reconstruct —
+	// the important (I frame) bytes must be byte-exact.
+	s, err := Generate(DefaultConfig(), 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCode(t)
+	pl, err := Distribute(s, c, 3*256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes := pl.Pack()
+	if len(stripes) != pl.Stripes {
+		t.Fatalf("packed %d stripes, placement says %d", len(stripes), pl.Stripes)
+	}
+	for si, stripe := range stripes {
+		if err := c.Encode(stripe); err != nil {
+			t.Fatalf("stripe %d: %v", si, err)
+		}
+	}
+	// Fail 3 nodes (= r+g) of stripe 0: important data must survive.
+	orig := erasure.CloneShards(stripes[0])
+	stripes[0][0], stripes[0][1], stripes[0][4] = nil, nil, nil
+	rep, err := c.ReconstructReport(stripes[0], core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportantOK {
+		t.Fatal("important data lost under r+g failures")
+	}
+	// All important extents in stripe 0 must match the packed originals.
+	sub := pl.NodeSize / c.Params().H
+	for _, e := range pl.Extents {
+		if e.GlobalStripe != 0 {
+			continue
+		}
+		if !c.Important(c.StripeOf(e.Node), e.Row) {
+			continue
+		}
+		base := e.Row*sub + e.Offset
+		for i := 0; i < e.Length; i++ {
+			if stripes[0][e.Node][base+i] != orig[e.Node][base+i] {
+				t.Fatalf("important byte differs: frame %d", e.FrameIndex)
+			}
+		}
+	}
+}
+
+func TestLostFramesToFuzzyRecovery(t *testing.T) {
+	// Full tiered-storage story: overload a stripe beyond r failures,
+	// collect the lost frames, recover them fuzzily, check PSNR.
+	s, err := Generate(DefaultConfig(), 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCode(t)
+	pl, err := Distribute(s, c, 3*512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes := pl.Pack()
+	for _, stripe := range stripes {
+		if err := c.Encode(stripe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail 2 data nodes of unimportant stripe 1 (r=1 exceeded).
+	st := stripes[0]
+	n1, n2 := c.DataNodeIndexes()[3], c.DataNodeIndexes()[4] // stripe 1 data
+	st[n1], st[n2] = nil, nil
+	rep, err := c.ReconstructReport(st, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lost) == 0 {
+		t.Fatal("expected unrecoverable sub-blocks")
+	}
+	lost := pl.LostFrames(0, rep.Lost)
+	for idx := range lost {
+		if s.Frames[idx].Kind == FrameI {
+			t.Fatalf("I frame %d reported lost", idx)
+		}
+	}
+	if len(lost) == 0 {
+		t.Skip("losses fell on padding only")
+	}
+	res, err := s.RecoverLost(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPSNR < 20 {
+		t.Fatalf("fuzzy recovery mean PSNR %.1f dB implausibly low", res.MeanPSNR)
+	}
+}
+
+func TestFramesTouching(t *testing.T) {
+	s, _ := Generate(DefaultConfig(), 18)
+	c := testCode(t)
+	pl, err := Distribute(s, c, 3*256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pl.Extents[0]
+	got := pl.FramesTouching(e.GlobalStripe, e.Node, e.Row)
+	found := false
+	for _, f := range got {
+		if f == e.FrameIndex {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("FramesTouching missed the extent's own frame")
+	}
+	if pl.FramesTouching(999, 0, 0) != nil {
+		t.Fatal("phantom stripe returned frames")
+	}
+}

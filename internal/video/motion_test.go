@@ -1,0 +1,105 @@
+package video
+
+import (
+	"testing"
+)
+
+func TestMotionInterpolateDegeneratesToLinear(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := s.Cfg.Width, s.Cfg.Height
+	// Missing neighbour: same behaviour as Interpolate.
+	px, err := MotionInterpolate(nil, &s.Frames[2], 1, w, h, DefaultMCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Interpolate(nil, &s.Frames[2], 1)
+	for i := range px {
+		if px[i] != want[i] {
+			t.Fatal("nil-prev MC differs from linear extrapolation")
+		}
+	}
+}
+
+func TestMotionInterpolateValidation(t *testing.T) {
+	s, _ := Generate(DefaultConfig(), 10)
+	w, h := s.Cfg.Width, s.Cfg.Height
+	if _, err := MotionInterpolate(&s.Frames[0], &s.Frames[2], 1, w, h, MCConfig{BlockSize: 0}); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := MotionInterpolate(&s.Frames[0], &s.Frames[2], 1, w+1, h, DefaultMCConfig()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := MotionInterpolate(&s.Frames[2], &s.Frames[0], 1, w, h, DefaultMCConfig()); err == nil {
+		t.Fatal("out-of-order neighbours accepted")
+	}
+}
+
+func TestMotionBeatsLinearOnTranslation(t *testing.T) {
+	// The default scene translates (phase-shifting sinusoids). Over wide
+	// gaps, aligning blocks along the motion must beat a plain blend.
+	cfg := DefaultConfig()
+	cfg.NoiseAmp = 1
+	cfg.Seed = 9
+	s, err := Generate(cfg, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose runs of 5 consecutive unimportant frames.
+	lost := make(map[int]bool)
+	for _, g := range []int{10, 40, 70, 100, 130} {
+		for d := 0; d < 5; d++ {
+			if s.Frames[g+d].Kind != FrameI {
+				lost[g+d] = true
+			}
+		}
+	}
+	linear, err := s.RecoverLost(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := s.RecoverLostMC(lost, DefaultMCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(linear.Frames) != len(mc.Frames) {
+		t.Fatal("different recovery coverage")
+	}
+	if mc.MeanPSNR <= linear.MeanPSNR {
+		t.Fatalf("MC %.2f dB not better than linear %.2f dB", mc.MeanPSNR, linear.MeanPSNR)
+	}
+}
+
+func TestMotionRecoveryQualityBar(t *testing.T) {
+	// MC recovery at 1% scattered loss clears the paper's 35 dB bar with
+	// margin.
+	s, err := Generate(DefaultConfig(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := s.LoseFraction(0.01, 5)
+	res, err := s.RecoverLostMC(lost, DefaultMCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPSNR < 35 {
+		t.Fatalf("MC mean PSNR %.2f dB < 35", res.MeanPSNR)
+	}
+}
+
+func BenchmarkMotionInterpolate(b *testing.B) {
+	s, err := Generate(DefaultConfig(), 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultMCConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MotionInterpolate(&s.Frames[10], &s.Frames[14], 12,
+			s.Cfg.Width, s.Cfg.Height, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 4, FPS: 30, GOP: "I"},
+		{Width: 4, Height: 4, FPS: 0, GOP: "I"},
+		{Width: 4, Height: 4, FPS: 30, GOP: ""},
+		{Width: 4, Height: 4, FPS: 30, GOP: "PBI"},
+		{Width: 4, Height: 4, FPS: 30, GOP: "IXB"},
+		{Width: 4, Height: 4, FPS: 30, GOP: "I", NoiseAmp: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Generate(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		if a.Frames[i].EncodedSize != b.Frames[i].EncodedSize {
+			t.Fatal("sizes not deterministic")
+		}
+		for j := range a.Frames[i].Pixels {
+			if a.Frames[i].Pixels[j] != b.Frames[i].Pixels[j] {
+				t.Fatal("pixels not deterministic")
+			}
+		}
+	}
+	if _, err := Generate(cfg, 0); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gops := s.GOPs()
+	if len(gops) != 3 {
+		t.Fatalf("90 frames of a 30-frame GOP: want 3 GOPs, got %d", len(gops))
+	}
+	for _, g := range gops {
+		if s.Frames[g[0]].Kind != FrameI {
+			t.Fatal("GOP must start with I frame")
+		}
+		for _, idx := range g[1:] {
+			if s.Frames[idx].Kind == FrameI {
+				t.Fatal("I frame inside GOP body")
+			}
+		}
+	}
+}
+
+func TestFrameSizeOrdering(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iSum, pSum, bSum, iN, pN, bN float64
+	for _, f := range s.Frames {
+		switch f.Kind {
+		case FrameI:
+			iSum += float64(f.EncodedSize)
+			iN++
+		case FrameP:
+			pSum += float64(f.EncodedSize)
+			pN++
+		default:
+			bSum += float64(f.EncodedSize)
+			bN++
+		}
+	}
+	if !(iSum/iN > pSum/pN && pSum/pN > bSum/bN) {
+		t.Fatalf("H.264 size ordering broken: I=%.0f P=%.0f B=%.0f", iSum/iN, pSum/pN, bSum/bN)
+	}
+	if s.ImportantBytes()+s.UnimportantBytes() == 0 {
+		t.Fatal("no bytes")
+	}
+	r := s.ImportantRatio()
+	if r <= 0 || r >= 1 {
+		t.Fatalf("important ratio %v out of range", r)
+	}
+	if h := s.SuggestH(); h < 1 || float64(h) > 1/r {
+		t.Fatalf("SuggestH %d inconsistent with ratio %v", h, r)
+	}
+	// The default stream must support the paper's h = 4 and h = 6 tiers.
+	if s.SuggestH() < 6 {
+		t.Fatalf("SuggestH %d < 6: important share %.3f too high for the paper's sweep", s.SuggestH(), r)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := []byte{0, 128, 255}
+	if p, err := PSNR(a, a); err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical images: p=%v err=%v", p, err)
+	}
+	b := []byte{1, 129, 254}
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20*math.Log10(255) - 10*math.Log10(1)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR=%v want %v", p, want)
+	}
+	if _, err := PSNR(a, []byte{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := PSNR(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// PSNR decreases as error grows (property).
+	if err := quick.Check(func(d1, d2 uint8) bool {
+		e1, e2 := int(d1%64), int(d2%64)
+		if e1 == e2 {
+			return true
+		}
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		img := make([]byte, 64)
+		n1 := append([]byte(nil), img...)
+		n2 := append([]byte(nil), img...)
+		n1[0] = byte(e1)
+		n2[0] = byte(e2)
+		p1, _ := PSNR(img, n1)
+		p2, _ := PSNR(img, n2)
+		return e1 == 0 || p1 > p2
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	prev := &Frame{Index: 0, Pixels: []byte{0, 100}}
+	next := &Frame{Index: 4, Pixels: []byte{100, 200}}
+	px, err := Interpolate(prev, next, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px[0] != 25 || px[1] != 125 {
+		t.Fatalf("interpolation %v", px)
+	}
+	if px, err := Interpolate(nil, next, 1); err != nil || px[0] != 100 {
+		t.Fatal("next-only extrapolation broken")
+	}
+	if px, err := Interpolate(prev, nil, 1); err != nil || px[1] != 100 {
+		t.Fatal("prev-only extrapolation broken")
+	}
+	if _, err := Interpolate(nil, nil, 1); err == nil {
+		t.Fatal("no neighbours accepted")
+	}
+	if _, err := Interpolate(next, prev, 2); err == nil {
+		t.Fatal("out-of-order neighbours accepted")
+	}
+}
+
+func TestRecoverLostOnePercent(t *testing.T) {
+	// Paper §4.1: with 1% unimportant-frame loss, recovered quality is
+	// commonly above 35 dB PSNR.
+	s, err := Generate(DefaultConfig(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := s.LoseFraction(0.01, 3)
+	if len(lost) == 0 {
+		t.Fatal("no frames lost")
+	}
+	for idx := range lost {
+		if s.Frames[idx].Kind == FrameI {
+			t.Fatal("LoseFraction marked an I frame")
+		}
+	}
+	res, err := s.RecoverLost(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPSNR < 35 {
+		t.Fatalf("mean PSNR %.2f dB < 35 dB", res.MeanPSNR)
+	}
+	if len(res.Frames) != len(lost) {
+		t.Fatalf("recovered %d of %d", len(res.Frames), len(lost))
+	}
+}
+
+func TestRecoverLostEdgeCases(t *testing.T) {
+	s, err := Generate(DefaultConfig(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RecoverLost(nil)
+	if err != nil || len(res.Frames) != 0 {
+		t.Fatal("empty loss should be a no-op")
+	}
+	if _, err := s.RecoverLost(map[int]bool{99: true}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	// Losing a run of consecutive frames still recovers (wider span).
+	res, err = s.RecoverLost(map[int]bool{4: true, 5: true, 6: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 3 {
+		t.Fatal("run not fully recovered")
+	}
+}
+
+func TestLoseFractionBounds(t *testing.T) {
+	s, _ := Generate(DefaultConfig(), 90)
+	if got := s.LoseFraction(0, 1); len(got) != 0 {
+		t.Fatal("zero fraction lost frames")
+	}
+	all := s.LoseFraction(1.0, 1)
+	unimp := 0
+	for _, f := range s.Frames {
+		if f.Kind != FrameI {
+			unimp++
+		}
+	}
+	if len(all) != unimp {
+		t.Fatalf("full fraction lost %d of %d unimportant", len(all), unimp)
+	}
+}

@@ -1,0 +1,52 @@
+// Package xcode implements X-Code (Xu & Bruck 1999), the classic
+// *vertical* RAID-6 array code from the paper's related work (§2.2): a
+// p x p array (p prime) whose first p-2 rows hold data and whose last
+// two rows hold diagonal and anti-diagonal parity — every column mixes
+// data and parity, which gives X-Code optimal update complexity among
+// 2DFT codes.
+//
+//	C[p-2][i] = XOR_{k=0..p-3} C[k][(i+k+2) mod p]   (slope +1 diagonals)
+//	C[p-1][i] = XOR_{k=0..p-3} C[k][(i-k-2) mod p]   (slope -1 diagonals)
+//
+// Built on the xorcode engine's vertical geometry (NewVertical).
+package xcode
+
+import (
+	"fmt"
+
+	"approxcode/internal/evenodd"
+	"approxcode/internal/xorcode"
+)
+
+// Chains returns the X-Code parity chains for prime p.
+func Chains(p int) []xorcode.Chain {
+	var chains []xorcode.Chain
+	for i := 0; i < p; i++ {
+		diag := xorcode.Chain{{Col: i, Row: p - 2}}
+		anti := xorcode.Chain{{Col: i, Row: p - 1}}
+		for k := 0; k <= p-3; k++ {
+			diag = append(diag, xorcode.Cell{Col: (i + k + 2) % p, Row: k})
+			anti = append(anti, xorcode.Cell{Col: ((i-k-2)%p + p) % p, Row: k})
+		}
+		chains = append(chains, diag, anti)
+	}
+	return chains
+}
+
+// ParityCells returns the cells of the two parity rows.
+func ParityCells(p int) []xorcode.Cell {
+	var cells []xorcode.Cell
+	for i := 0; i < p; i++ {
+		cells = append(cells, xorcode.Cell{Col: i, Row: p - 2}, xorcode.Cell{Col: i, Row: p - 1})
+	}
+	return cells
+}
+
+// New returns the X-Code(p) coder: p columns of p rows, the bottom two
+// rows being parity, tolerance 2. p must be prime and at least 5.
+func New(p int) (*xorcode.Code, error) {
+	if !evenodd.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("xcode: p=%d must be a prime >= 5", p)
+	}
+	return xorcode.NewVertical(fmt.Sprintf("X-Code(%d)", p), p, p, 2, ParityCells(p), Chains(p))
+}

@@ -1,0 +1,129 @@
+package xcode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func TestNewRejectsBadP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 9, 15} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestVerticalShape(t *testing.T) {
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical code: all 5 columns are storage units, no dedicated
+	// parity columns.
+	if c.TotalShards() != 5 || c.ParityShards() != 0 || c.DataShards() != 5 ||
+		c.FaultTolerance() != 2 || c.Rows() != 5 || c.ShardSizeMultiple() != 5 {
+		t.Fatalf("shape mismatch: %s", c.Name())
+	}
+}
+
+// encodeRandom fills all columns with random bytes and encodes (the
+// engine overwrites the parity rows in place).
+func encodeRandom(t *testing.T, c interface {
+	TotalShards() int
+	ShardSizeMultiple() int
+	Encode([][]byte) error
+}, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.TotalShards())
+	size := 4 * c.ShardSizeMultiple()
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func TestDoubleToleranceExhaustive(t *testing.T) {
+	for _, p := range []int{5, 7, 11} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyTolerance(2); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		stripe := encodeRandom(t, c, int64(p))
+		if ok, err := c.Verify(stripe); err != nil || !ok {
+			t.Fatalf("p=%d: fresh stripe fails verify (ok=%v err=%v)", p, ok, err)
+		}
+		// Every single and double column erasure repairs byte-exactly.
+		for f := 1; f <= 2; f++ {
+			var failure error
+			erasure.Combinations(c.TotalShards(), f, func(idx []int) bool {
+				work := erasure.CloneShards(stripe)
+				for _, e := range idx {
+					work[e] = nil
+				}
+				if err := c.Reconstruct(work); err != nil {
+					failure = err
+					return false
+				}
+				for i := range stripe {
+					if !bytes.Equal(work[i], stripe[i]) {
+						t.Fatalf("p=%d pattern %v: column %d differs", p, idx, i)
+					}
+				}
+				return true
+			})
+			if failure != nil {
+				t.Fatalf("p=%d f=%d: %v", p, f, failure)
+			}
+		}
+	}
+}
+
+func TestOptimalUpdateComplexity(t *testing.T) {
+	// X-Code's claim to fame: every data element belongs to exactly one
+	// diagonal and one anti-diagonal chain, so a single-element update
+	// touches exactly 2 parity elements (the optimum for 2DFTs). The
+	// engine's measured write cost must therefore be exactly 3.
+	for _, p := range []int{5, 7, 11} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.AverageWriteCost(); got != 3 {
+			t.Fatalf("p=%d: write cost %v, want exactly 3", p, got)
+		}
+	}
+}
+
+func TestTripleErasureFails(t *testing.T) {
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe := encodeRandom(t, c, 9)
+	stripe[0], stripe[1], stripe[2] = nil, nil, nil
+	if err := c.Reconstruct(stripe); err == nil {
+		t.Fatal("triple erasure repaired by a 2DFT code")
+	}
+}
+
+func TestVerticalApplyDeltaRejected(t *testing.T) {
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe := encodeRandom(t, c, 10)
+	if _, err := c.ApplyDelta(stripe, 0, make([]byte, len(stripe[0]))); err == nil {
+		t.Fatal("vertical ApplyDelta accepted")
+	}
+}

@@ -1,0 +1,580 @@
+// Package xorcode is a generic engine for XOR-based array erasure codes
+// (EVENODD, STAR, TIP-style codes). A code is declared as a set of parity
+// chains over a grid of rows x cols elements: each chain asserts that the
+// XOR of its member cells is zero.
+//
+// From the chain declaration the engine derives, by Gaussian elimination
+// over GF(2):
+//
+//   - an encode plan: each parity cell expressed as an XOR of data cells
+//     (this resolves shared adjusters such as EVENODD's S symbol);
+//   - decode plans for arbitrary column-erasure patterns, cached per
+//     pattern;
+//   - an exhaustive fault-tolerance verifier used by tests (a pattern is
+//     recoverable iff the erased cells' columns of the parity-check
+//     matrix have full column rank).
+//
+// Shards handed to the coder are whole node-columns; each column is split
+// into `rows` equal element chunks internally.
+package xorcode
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+)
+
+// Cell addresses one element of the array: column col (node), row within
+// the column.
+type Cell struct {
+	Col, Row int
+}
+
+// Chain is one parity equation: the XOR of all member cells equals zero.
+type Chain []Cell
+
+// Code is an XOR array erasure code. Immutable after New; the decode-plan
+// cache is internally synchronized, so a Code is safe for concurrent use.
+//
+// Two geometries are supported: horizontal codes with dedicated parity
+// columns (EVENODD, STAR, TIP, RDP, CRS), built with New, and vertical
+// codes whose parity cells live inside the data columns (X-Code), built
+// with NewVertical. For vertical codes ParityShards() is 0 — every
+// column mixes data and parity — and the redundancy is accounted in the
+// cells, not the columns.
+type Code struct {
+	name      string
+	dataCols  int
+	parityCol int
+	rows      int
+	tolerance int
+	chains    []Chain
+
+	// parityCells lists the cell indexes (col*rows+row) holding parity,
+	// in encode-plan unknown order; isParity marks them for O(1) tests.
+	parityCells []int
+	isParity    bitset
+
+	// encodePlan[u] lists, for parity unknown u, the data-cell indexes
+	// (col*rows+row) to XOR into parityCells[u].
+	encodePlan [][]int
+
+	mu        sync.Mutex
+	planCache map[string][]decodeStep
+}
+
+// decodeStep reconstructs one lost cell as the XOR of known cells.
+type decodeStep struct {
+	lost  int   // cell index (col*rows+row)
+	known []int // cell indexes to XOR
+}
+
+var _ erasure.Coder = (*Code)(nil)
+
+// New constructs a code from its chain declaration and verifies that the
+// chains determine every parity cell (i.e. encoding is well defined).
+// tolerance is the declared number of arbitrary column failures the code
+// repairs; VerifyTolerance can prove it exhaustively.
+func New(name string, dataCols, parityCols, rows, tolerance int, chains []Chain) (*Code, error) {
+	if dataCols < 1 || parityCols < 1 || rows < 1 {
+		return nil, fmt.Errorf("xorcode %s: invalid shape data=%d parity=%d rows=%d",
+			name, dataCols, parityCols, rows)
+	}
+	var parityCells []Cell
+	for col := dataCols; col < dataCols+parityCols; col++ {
+		for row := 0; row < rows; row++ {
+			parityCells = append(parityCells, Cell{Col: col, Row: row})
+		}
+	}
+	return newCode(name, dataCols, parityCols, rows, tolerance, parityCells, chains)
+}
+
+// NewVertical constructs a vertical code: cols columns of rows elements
+// where the listed cells hold parity and every other cell holds data
+// (e.g. X-Code stores its two parity rows at the bottom of every
+// column). ParityShards() is 0 for vertical codes.
+func NewVertical(name string, cols, rows, tolerance int, parityCells []Cell, chains []Chain) (*Code, error) {
+	if cols < 1 || rows < 1 || len(parityCells) < 1 {
+		return nil, fmt.Errorf("xorcode %s: invalid vertical shape cols=%d rows=%d parity=%d",
+			name, cols, rows, len(parityCells))
+	}
+	return newCode(name, cols, 0, rows, tolerance, parityCells, chains)
+}
+
+func newCode(name string, dataCols, parityCols, rows, tolerance int, parityCells []Cell, chains []Chain) (*Code, error) {
+	c := &Code{
+		name:      name,
+		dataCols:  dataCols,
+		parityCol: parityCols,
+		rows:      rows,
+		tolerance: tolerance,
+		chains:    chains,
+		planCache: make(map[string][]decodeStep),
+	}
+	totalCols := dataCols + parityCols
+	c.isParity = newBitset(totalCols * rows)
+	for _, cell := range parityCells {
+		if cell.Col < 0 || cell.Col >= totalCols || cell.Row < 0 || cell.Row >= rows {
+			return nil, fmt.Errorf("xorcode %s: parity cell %+v out of range", name, cell)
+		}
+		idx := c.cellIndex(cell)
+		if c.isParity.get(idx) {
+			return nil, fmt.Errorf("xorcode %s: duplicate parity cell %+v", name, cell)
+		}
+		c.isParity.set(idx)
+		c.parityCells = append(c.parityCells, idx)
+	}
+	for ci, ch := range chains {
+		for _, cell := range ch {
+			if cell.Col < 0 || cell.Col >= totalCols || cell.Row < 0 || cell.Row >= rows {
+				return nil, fmt.Errorf("xorcode %s: chain %d has out-of-range cell %+v", name, ci, cell)
+			}
+		}
+	}
+	if err := c.buildEncodePlan(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Code) cellIndex(cell Cell) int { return cell.Col*c.rows + cell.Row }
+
+// totalCells is the number of elements in the array.
+func (c *Code) totalCells() int { return (c.dataCols + c.parityCol) * c.rows }
+
+// bitset helpers -----------------------------------------------------------
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) flip(i int)     { b[i/64] ^= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) xor(o bitset) {
+	for i := range b {
+		b[i] ^= o[i]
+	}
+}
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) ones(limit int) []int {
+	var out []int
+	for i := 0; i < limit; i++ {
+		if b.get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// buildEncodePlan solves the chain system for the parity cells in terms of
+// the data cells.
+func (c *Code) buildEncodePlan() error {
+	nParity := len(c.parityCells)
+	nData := c.totalCells()
+	// unknownOf maps parity cell index -> unknown index.
+	unknownOf := make(map[int]int, nParity)
+	for u, idx := range c.parityCells {
+		unknownOf[idx] = u
+	}
+	type eq struct {
+		lhs bitset // over parity unknowns
+		rhs bitset // over data cells (full cell index space)
+	}
+	eqs := make([]eq, 0, len(c.chains))
+	for _, ch := range c.chains {
+		e := eq{lhs: newBitset(nParity), rhs: newBitset(nData)}
+		for _, cell := range ch {
+			idx := c.cellIndex(cell)
+			if c.isParity.get(idx) {
+				e.lhs.flip(unknownOf[idx])
+			} else {
+				e.rhs.flip(idx)
+			}
+		}
+		eqs = append(eqs, e)
+	}
+	// Gauss-Jordan over GF(2) on the lhs.
+	pivotOf := make([]int, nParity) // unknown -> equation row
+	for i := range pivotOf {
+		pivotOf[i] = -1
+	}
+	row := 0
+	for col := 0; col < nParity && row < len(eqs); col++ {
+		p := -1
+		for r := row; r < len(eqs); r++ {
+			if eqs[r].lhs.get(col) {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		eqs[row], eqs[p] = eqs[p], eqs[row]
+		for r := 0; r < len(eqs); r++ {
+			if r != row && eqs[r].lhs.get(col) {
+				eqs[r].lhs.xor(eqs[row].lhs)
+				eqs[r].rhs.xor(eqs[row].rhs)
+			}
+		}
+		pivotOf[col] = row
+		row++
+	}
+	for u := 0; u < nParity; u++ {
+		if pivotOf[u] < 0 {
+			return fmt.Errorf("xorcode %s: chains underdetermine parity cell %d (rank deficit)", c.name, u)
+		}
+	}
+	// Consistency: every remaining equation row must be fully zero on lhs;
+	// a nonzero rhs with zero lhs would make the code contradictory only if
+	// data were constrained — chains constrain data only through parities,
+	// so a zero-lhs/nonzero-rhs row means the declaration is inconsistent.
+	for r := row; r < len(eqs); r++ {
+		if !eqs[r].lhs.empty() {
+			return fmt.Errorf("xorcode %s: internal elimination error", c.name)
+		}
+		if !eqs[r].rhs.empty() {
+			return fmt.Errorf("xorcode %s: chains over-constrain the data cells", c.name)
+		}
+	}
+	c.encodePlan = make([][]int, nParity)
+	for u := 0; u < nParity; u++ {
+		e := eqs[pivotOf[u]]
+		// After Gauss-Jordan the row for pivot u has lhs == {u} only.
+		c.encodePlan[u] = e.rhs.ones(nData)
+	}
+	return nil
+}
+
+// Name implements erasure.Coder.
+func (c *Code) Name() string { return c.name }
+
+// DataShards implements erasure.Coder.
+func (c *Code) DataShards() int { return c.dataCols }
+
+// ParityShards implements erasure.Coder.
+func (c *Code) ParityShards() int { return c.parityCol }
+
+// TotalShards implements erasure.Coder.
+func (c *Code) TotalShards() int { return c.dataCols + c.parityCol }
+
+// FaultTolerance implements erasure.Coder.
+func (c *Code) FaultTolerance() int { return c.tolerance }
+
+// ShardSizeMultiple implements erasure.Coder: shards divide into rows
+// equal chunks.
+func (c *Code) ShardSizeMultiple() int { return c.rows }
+
+// Rows returns the number of element rows per column.
+func (c *Code) Rows() int { return c.rows }
+
+// Chains returns a deep copy of the code's parity chains; used by the
+// cost model to count parity-chain lengths and by tests.
+func (c *Code) Chains() []Chain {
+	out := make([]Chain, len(c.chains))
+	for i, ch := range c.chains {
+		out[i] = append(Chain(nil), ch...)
+	}
+	return out
+}
+
+// chunk returns the element (col,row) view of a shard slice.
+func chunk(shard []byte, row, rows int) []byte {
+	sz := len(shard) / rows
+	return shard[row*sz : (row+1)*sz]
+}
+
+// Encode implements erasure.Coder. For horizontal codes the parity
+// columns are (re)computed from the data columns (nil parity shards are
+// allocated). For vertical codes every column must be present; the
+// parity cells inside them are overwritten.
+func (c *Code) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	var size int
+	var err error
+	if c.parityCol > 0 {
+		size, err = erasure.CheckShards(shards[:c.dataCols], c.dataCols, c.rows, false)
+		if err != nil {
+			return fmt.Errorf("%s encode: %w", c.name, err)
+		}
+		erasure.AllocParity(shards, c.dataCols, size)
+		for i := c.dataCols; i < c.TotalShards(); i++ {
+			if len(shards[i]) != size {
+				return fmt.Errorf("%s encode: %w: parity %d", c.name, erasure.ErrShardSize, i)
+			}
+		}
+	} else {
+		size, err = erasure.CheckShards(shards, c.TotalShards(), c.rows, false)
+		if err != nil {
+			return fmt.Errorf("%s encode: %w", c.name, err)
+		}
+	}
+	for u, plan := range c.encodePlan {
+		pi := c.parityCells[u]
+		dst := chunk(shards[pi/c.rows], pi%c.rows, c.rows)
+		for i := range dst {
+			dst[i] = 0
+		}
+		for _, di := range plan {
+			gf256.XorSlice(chunk(shards[di/c.rows], di%c.rows, c.rows), dst)
+		}
+	}
+	return nil
+}
+
+// patternKey canonicalizes an erased-column set for the plan cache.
+func patternKey(cols []int) string {
+	s := append([]int(nil), cols...)
+	sort.Ints(s)
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// decodePlan returns (building and caching if needed) the step list that
+// reconstructs all cells of the erased columns from surviving cells, or
+// an error if the pattern is unrecoverable.
+func (c *Code) decodePlan(erasedCols []int) ([]decodeStep, error) {
+	key := patternKey(erasedCols)
+	c.mu.Lock()
+	if plan, ok := c.planCache[key]; ok {
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.mu.Unlock()
+
+	lost := make(map[int]int) // cell index -> unknown index
+	var lostCells []int
+	for _, col := range erasedCols {
+		for r := 0; r < c.rows; r++ {
+			idx := col*c.rows + r
+			lost[idx] = len(lostCells)
+			lostCells = append(lostCells, idx)
+		}
+	}
+	nUnknown := len(lostCells)
+	nCells := c.totalCells()
+	type eq struct {
+		lhs bitset // over unknowns
+		rhs bitset // over known cells
+	}
+	var eqs []eq
+	for _, ch := range c.chains {
+		e := eq{lhs: newBitset(nUnknown), rhs: newBitset(nCells)}
+		touches := false
+		for _, cell := range ch {
+			idx := c.cellIndex(cell)
+			if u, isLost := lost[idx]; isLost {
+				e.lhs.flip(u)
+				touches = true
+			} else {
+				e.rhs.flip(idx)
+			}
+		}
+		if touches && !e.lhs.empty() {
+			eqs = append(eqs, e)
+		}
+	}
+	// Gauss-Jordan on lhs.
+	pivotOf := make([]int, nUnknown)
+	for i := range pivotOf {
+		pivotOf[i] = -1
+	}
+	row := 0
+	for col := 0; col < nUnknown && row < len(eqs); col++ {
+		p := -1
+		for r := row; r < len(eqs); r++ {
+			if eqs[r].lhs.get(col) {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		eqs[row], eqs[p] = eqs[p], eqs[row]
+		for r := 0; r < len(eqs); r++ {
+			if r != row && eqs[r].lhs.get(col) {
+				eqs[r].lhs.xor(eqs[row].lhs)
+				eqs[r].rhs.xor(eqs[row].rhs)
+			}
+		}
+		pivotOf[col] = row
+		row++
+	}
+	for u := 0; u < nUnknown; u++ {
+		if pivotOf[u] < 0 {
+			return nil, fmt.Errorf("%s: %w: columns %v", c.name, erasure.ErrTooManyErasures, erasedCols)
+		}
+	}
+	plan := make([]decodeStep, nUnknown)
+	for u := 0; u < nUnknown; u++ {
+		plan[u] = decodeStep{lost: lostCells[u], known: eqs[pivotOf[u]].rhs.ones(nCells)}
+	}
+	c.mu.Lock()
+	c.planCache[key] = plan
+	c.mu.Unlock()
+	return plan, nil
+}
+
+// Reconstruct implements erasure.Coder.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), c.rows, true)
+	if err != nil {
+		return fmt.Errorf("%s reconstruct: %w", c.name, err)
+	}
+	erased := erasure.Erased(shards)
+	if len(erased) == 0 {
+		return nil
+	}
+	plan, err := c.decodePlan(erased)
+	if err != nil {
+		return err
+	}
+	for _, e := range erased {
+		shards[e] = make([]byte, size)
+	}
+	for _, step := range plan {
+		dst := chunk(shards[step.lost/c.rows], step.lost%c.rows, c.rows)
+		for _, ki := range step.known {
+			gf256.XorSlice(chunk(shards[ki/c.rows], ki%c.rows, c.rows), dst)
+		}
+	}
+	return nil
+}
+
+// Verify implements erasure.Coder: every chain must XOR to zero.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	size, err := erasure.CheckShards(shards, c.TotalShards(), c.rows, false)
+	if err != nil {
+		return false, fmt.Errorf("%s verify: %w", c.name, err)
+	}
+	buf := make([]byte, size/c.rows)
+	for _, ch := range c.chains {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for _, cell := range ch {
+			gf256.XorSlice(chunk(shards[cell.Col], cell.Row, c.rows), buf)
+		}
+		for _, b := range buf {
+			if b != 0 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Recoverable reports whether the given column-erasure pattern is
+// information-theoretically recoverable (full column rank of the erased
+// cells in the parity-check matrix). Unlike Reconstruct it moves no data.
+func (c *Code) Recoverable(erasedCols []int) bool {
+	_, err := c.decodePlan(erasedCols)
+	return err == nil
+}
+
+// VerifyTolerance proves by exhaustion that every erasure pattern of up
+// to t columns is recoverable. Returns the first unrecoverable pattern
+// found, or nil.
+func (c *Code) VerifyTolerance(t int) error {
+	n := c.TotalShards()
+	for f := 1; f <= t; f++ {
+		var bad []int
+		erasure.Combinations(n, f, func(idx []int) bool {
+			if !c.Recoverable(idx) {
+				bad = append([]int(nil), idx...)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return fmt.Errorf("%s: pattern %v unrecoverable", c.name, bad)
+		}
+	}
+	return nil
+}
+
+// AverageWriteCost returns the average number of whole elements that
+// must be written when a single data element is updated: 1 (the element
+// itself) plus the number of parity elements whose encode plan contains
+// it. For STAR(p) this reproduces the paper's 6-4/p (adjuster-diagonal
+// elements feed every diagonal chain); for plain horizontal parity it is
+// 2.
+func (c *Code) AverageWriteCost() float64 {
+	counts := make([]int, c.totalCells())
+	for _, plan := range c.encodePlan {
+		for _, di := range plan {
+			counts[di]++
+		}
+	}
+	total, nData := 0, 0
+	for idx, n := range counts {
+		if c.isParity.get(idx) {
+			continue
+		}
+		nData++
+		total += 1 + n
+	}
+	return float64(total) / float64(nData)
+}
+
+// ApplyDelta implements erasure.Updater: every parity cell whose encode
+// plan references a cell of the changed column absorbs the matching
+// delta chunk. The average number of touched parity *cells* per element
+// is AverageWriteCost()-1; the returned indexes are whole parity
+// columns.
+func (c *Code) ApplyDelta(shards [][]byte, idx int, delta []byte) ([]int, error) {
+	if c.parityCol == 0 {
+		return nil, fmt.Errorf("%s update: incremental updates are not defined for vertical codes", c.name)
+	}
+	size, err := erasure.CheckShards(shards, c.TotalShards(), c.rows, false)
+	if err != nil {
+		return nil, fmt.Errorf("%s update: %w", c.name, err)
+	}
+	if idx < 0 || idx >= c.dataCols {
+		return nil, fmt.Errorf("%s update: shard %d is not a data shard", c.name, idx)
+	}
+	if len(delta) != size {
+		return nil, fmt.Errorf("%s update: %w: delta length %d", c.name, erasure.ErrShardSize, len(delta))
+	}
+	touchedCols := make(map[int]bool)
+	for u, plan := range c.encodePlan {
+		pi := c.parityCells[u]
+		pCol := pi / c.rows
+		pRow := pi % c.rows
+		var dst []byte
+		for _, di := range plan {
+			if di/c.rows != idx {
+				continue
+			}
+			if dst == nil {
+				dst = chunk(shards[pCol], pRow, c.rows)
+				touchedCols[pCol] = true
+			}
+			gf256.XorSlice(chunk(delta, di%c.rows, c.rows), dst)
+		}
+	}
+	out := make([]int, 0, len(touchedCols))
+	for col := range touchedCols {
+		out = append(out, col)
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package xorcode
+
+import (
+	"errors"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// simpleParity builds the trivial (k, 1) horizontal XOR code with the
+// given number of rows.
+func simpleParity(t *testing.T, k, rows int) *Code {
+	t.Helper()
+	var chains []Chain
+	for r := 0; r < rows; r++ {
+		ch := Chain{{Col: k, Row: r}}
+		for j := 0; j < k; j++ {
+			ch = append(ch, Cell{Col: j, Row: r})
+		}
+		chains = append(chains, ch)
+	}
+	c, err := New("XOR", k, 1, rows, 1, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSimpleParityRoundTrip(t *testing.T) {
+	c := simpleParity(t, 4, 3)
+	if err := erasure.CheckExhaustive(c, 4*3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("bad", 0, 1, 1, 1, nil); err == nil {
+		t.Fatal("zero data cols accepted")
+	}
+	if _, err := New("bad", 2, 1, 2, 1, []Chain{{{Col: 5, Row: 0}}}); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	// Underdetermined: parity cell never referenced.
+	if _, err := New("bad", 2, 1, 2, 1, []Chain{
+		{{Col: 2, Row: 0}, {Col: 0, Row: 0}},
+	}); err == nil {
+		t.Fatal("underdetermined parity accepted")
+	}
+}
+
+func TestEncodeShapeErrors(t *testing.T) {
+	c := simpleParity(t, 3, 2)
+	if err := c.Encode(make([][]byte, 3)); !errors.Is(err, erasure.ErrShardCount) {
+		t.Fatalf("want ErrShardCount, got %v", err)
+	}
+	// Shard length not a multiple of rows.
+	shards := [][]byte{make([]byte, 3), make([]byte, 3), make([]byte, 3), nil}
+	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	c := simpleParity(t, 3, 2)
+	stripe, err := erasure.RandomStripe(c, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe[0], stripe[1] = nil, nil
+	if err := c.Reconstruct(stripe); !errors.Is(err, erasure.ErrTooManyErasures) {
+		t.Fatalf("want ErrTooManyErasures, got %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c := simpleParity(t, 4, 2)
+	stripe, err := erasure.RandomStripe(c, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Verify(stripe); !ok || err != nil {
+		t.Fatalf("fresh verify ok=%v err=%v", ok, err)
+	}
+	stripe[1][3] ^= 1
+	if ok, _ := c.Verify(stripe); ok {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestRecoverableMatchesReconstruct(t *testing.T) {
+	c := simpleParity(t, 4, 2)
+	if !c.Recoverable([]int{2}) {
+		t.Fatal("single erasure must be recoverable")
+	}
+	if c.Recoverable([]int{0, 1}) {
+		t.Fatal("double erasure must not be recoverable for (4,1)")
+	}
+}
+
+func TestVerifyToleranceSimple(t *testing.T) {
+	c := simpleParity(t, 5, 2)
+	if err := c.VerifyTolerance(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverConstrainedChainsRejected(t *testing.T) {
+	// Two chains over the same parity cell with different data members:
+	// rank-1 lhs with leftover rhs => contradictory declaration.
+	chains := []Chain{
+		{{Col: 1, Row: 0}, {Col: 0, Row: 0}},
+		{{Col: 1, Row: 0}, {Col: 0, Row: 1}},
+	}
+	if _, err := New("bad", 1, 1, 2, 1, chains); err == nil {
+		t.Fatal("contradictory chains accepted")
+	}
+}
+
+func TestChainsReturnsDeepCopy(t *testing.T) {
+	c := simpleParity(t, 2, 1)
+	chs := c.Chains()
+	chs[0][0] = Cell{Col: 99, Row: 99}
+	if c.Chains()[0][0].Col == 99 {
+		t.Fatal("Chains leaked internal state")
+	}
+}
+
+func TestDecodePlanCacheConcurrency(t *testing.T) {
+	c := simpleParity(t, 4, 2)
+	stripe, err := erasure.RandomStripe(c, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			done <- erasure.CheckPattern(c, stripe, []int{g % 5})
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVerticalGeometry(t *testing.T) {
+	// A toy vertical code: 3 columns x 2 rows, bottom row is parity,
+	// parity cell (i, 1) covers the data cells of the other columns.
+	parity := []Cell{{Col: 0, Row: 1}, {Col: 1, Row: 1}, {Col: 2, Row: 1}}
+	chains := []Chain{
+		{{Col: 0, Row: 1}, {Col: 1, Row: 0}, {Col: 2, Row: 0}},
+		{{Col: 1, Row: 1}, {Col: 0, Row: 0}, {Col: 2, Row: 0}},
+		{{Col: 2, Row: 1}, {Col: 0, Row: 0}, {Col: 1, Row: 0}},
+	}
+	c, err := NewVertical("toy-vertical", 3, 2, 1, parity, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ParityShards() != 0 || c.TotalShards() != 3 {
+		t.Fatal("vertical shape wrong")
+	}
+	shards := [][]byte{{1, 0}, {2, 0}, {3, 0}}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if shards[0][1] != 2^3 || shards[1][1] != 1^3 || shards[2][1] != 1^2 {
+		t.Fatalf("vertical parity wrong: %v", shards)
+	}
+	if ok, _ := c.Verify(shards); !ok {
+		t.Fatal("verify failed")
+	}
+	// Single column erasure repairs.
+	if err := erasure.CheckPattern(c, shards, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyTolerance(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewVerticalValidation(t *testing.T) {
+	if _, err := NewVertical("bad", 0, 2, 1, []Cell{{0, 1}}, nil); err == nil {
+		t.Fatal("zero cols accepted")
+	}
+	if _, err := NewVertical("bad", 2, 2, 1, nil, nil); err == nil {
+		t.Fatal("no parity cells accepted")
+	}
+	if _, err := NewVertical("bad", 2, 2, 1, []Cell{{0, 1}, {0, 1}}, nil); err == nil {
+		t.Fatal("duplicate parity cell accepted")
+	}
+	if _, err := NewVertical("bad", 2, 2, 1, []Cell{{5, 1}}, nil); err == nil {
+		t.Fatal("out-of-range parity cell accepted")
+	}
+}
