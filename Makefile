@@ -1,0 +1,37 @@
+# Build/test entry points. `make ci` is the full gate: vet, build, unit
+# tests, the race-detector pass (which also runs every coder's concurrent
+# conformance hammering), and short fuzz smoke runs of the checked-in
+# corpora plus 5s of fresh exploration per target.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build vet test race fuzz bench-pr1 ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target runs alone (go test allows one -fuzz pattern per
+# package invocation), seeded by testdata/fuzz corpora.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzGF256MulInv -fuzztime=$(FUZZTIME) ./internal/gf256/
+	$(GO) test -run=^$$ -fuzz=FuzzSliceKernels -fuzztime=$(FUZZTIME) ./internal/gf256/
+	$(GO) test -run=^$$ -fuzz=FuzzRSRoundTrip -fuzztime=$(FUZZTIME) ./internal/rs/
+	$(GO) test -run=^$$ -fuzz=FuzzCoreRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
+
+# Regenerates BENCH_PR1.json (serial vs parallel striping engine).
+bench-pr1:
+	$(GO) run ./cmd/apprbench -exp pr1 -iters 7
+
+ci: vet build test race fuzz

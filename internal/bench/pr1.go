@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"approxcode/internal/core"
+	"approxcode/internal/crs"
+	"approxcode/internal/erasure"
+	"approxcode/internal/evenodd"
+	"approxcode/internal/lrc"
+	"approxcode/internal/parallel"
+	"approxcode/internal/rs"
+	"approxcode/internal/star"
+)
+
+// PR1 is the serial-vs-parallel throughput comparison for the shared
+// striping engine (internal/parallel). Every coder below is built twice
+// from identical parameters: once forced serial (Parallelism=1) and once
+// with the engine's GOMAXPROCS default. The emitted report becomes
+// BENCH_PR1.json.
+
+// PR1Case is one coder+operation measurement pair.
+type PR1Case struct {
+	Coder        string  `json:"coder"`
+	Op           string  `json:"op"` // "encode" or "decode(f)"
+	Bytes        int     `json:"bytes"`
+	SerialSecs   float64 `json:"serial_secs"`
+	ParallelSecs float64 `json:"parallel_secs"`
+	SerialMBps   float64 `json:"serial_mbps"`
+	ParallelMBps float64 `json:"parallel_mbps"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// PR1Report is the machine-readable result of the PR1 experiment.
+type PR1Report struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"numcpu"`
+	ShardSize  int       `json:"shard_size"`
+	Iters      int       `json:"iters"`
+	ChunkSize  int       `json:"chunk_size"`
+	Cases      []PR1Case `json:"cases"`
+	// TargetEvaluated is true when the host has >= 4 cores, the regime
+	// the >= 2x RS(10,4) encode speedup criterion is gated on.
+	TargetEvaluated bool `json:"target_evaluated"`
+	// TargetMet reports whether RS(10,4) encode reached >= 2x. Always
+	// false when TargetEvaluated is false (single-core hosts cannot
+	// exhibit parallel speedup).
+	TargetMet bool   `json:"target_met"`
+	Note      string `json:"note,omitempty"`
+}
+
+// pr1Coders builds the measured coder set with the given engine options.
+func pr1Coders(par parallel.Options) (map[string]erasure.Coder, error) {
+	out := make(map[string]erasure.Coder)
+	r, err := rs.New(10, 4, par)
+	if err != nil {
+		return nil, err
+	}
+	out["RS(10,4)"] = r
+	l, err := lrc.New(10, 4, 2, par)
+	if err != nil {
+		return nil, err
+	}
+	out["LRC(10,4,2)"] = l
+	c, err := crs.New(10, 4, par)
+	if err != nil {
+		return nil, err
+	}
+	out["CRS(10,4)"] = c
+	eo, err := evenodd.New(11, par)
+	if err != nil {
+		return nil, err
+	}
+	out["EVENODD(11)"] = eo
+	st, err := star.New(11, par)
+	if err != nil {
+		return nil, err
+	}
+	out["STAR(11)"] = st
+	ap, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 10, R: 1, G: 2, H: 4, Structure: core.Uneven,
+	}, par)
+	if err != nil {
+		return nil, err
+	}
+	out[ap.Name()] = ap
+	return out, nil
+}
+
+// pr1Ops lists the measured operations per coder: encode plus a
+// reconstruct at the coder's full declared tolerance.
+var pr1Order = []string{
+	"RS(10,4)", "LRC(10,4,2)", "CRS(10,4)", "EVENODD(11)", "STAR(11)",
+	"APPR.RS(10,1,2,4,Uneven)",
+}
+
+// PR1Procs returns the worker count the engine defaults to (GOMAXPROCS),
+// for display next to the measured speedups.
+func PR1Procs() int { return runtime.GOMAXPROCS(0) }
+
+// RunPR1 measures serial vs parallel throughput for encode and decode on
+// the engine's flagship shapes. tc.ShardSize should be 1 MiB to match
+// the recorded acceptance numbers.
+func RunPR1(tc TimingConfig) (*PR1Report, error) {
+	serial, err := pr1Coders(parallel.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	par, err := pr1Coders(parallel.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &PR1Report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		ShardSize:  tc.ShardSize,
+		Iters:      tc.Iters,
+		ChunkSize:  parallel.DefaultChunkSize,
+	}
+	for _, name := range pr1Order {
+		sc, pc := serial[name], par[name]
+		if sc == nil || pc == nil {
+			return nil, fmt.Errorf("bench pr1: coder %q missing", name)
+		}
+		// Encode.
+		ss, bytes, err := MeasureEncode(sc, tc)
+		if err != nil {
+			return nil, fmt.Errorf("bench pr1: %s serial encode: %w", name, err)
+		}
+		ps, _, err := MeasureEncode(pc, tc)
+		if err != nil {
+			return nil, fmt.Errorf("bench pr1: %s parallel encode: %w", name, err)
+		}
+		rep.Cases = append(rep.Cases, pr1Case(name, "encode", bytes, ss, ps))
+		// Decode at full tolerance.
+		f := sc.FaultTolerance()
+		failed := FailureNodes(sc, f)
+		ss, fbytes, err := MeasureDecode(sc, failed, tc)
+		if err != nil {
+			return nil, fmt.Errorf("bench pr1: %s serial decode: %w", name, err)
+		}
+		ps, _, err = MeasureDecode(pc, failed, tc)
+		if err != nil {
+			return nil, fmt.Errorf("bench pr1: %s parallel decode: %w", name, err)
+		}
+		rep.Cases = append(rep.Cases, pr1Case(name, fmt.Sprintf("decode(f=%d)", f), fbytes, ss, ps))
+	}
+	rep.TargetEvaluated = rep.NumCPU >= 4
+	if rep.TargetEvaluated {
+		for _, c := range rep.Cases {
+			if c.Coder == "RS(10,4)" && c.Op == "encode" {
+				rep.TargetMet = c.Speedup >= 2.0
+			}
+		}
+		rep.Note = "target: parallel >= 2x serial for RS(10,4) encode with 1 MiB shards"
+	} else {
+		rep.Note = fmt.Sprintf("host has %d CPU(s); >= 2x speedup criterion requires >= 4 cores and was not evaluated", rep.NumCPU)
+	}
+	return rep, nil
+}
+
+func pr1Case(name, op string, bytes int, serialSecs, parallelSecs float64) PR1Case {
+	mbps := func(secs float64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		return float64(bytes) / secs / (1 << 20)
+	}
+	speedup := 0.0
+	if parallelSecs > 0 {
+		speedup = serialSecs / parallelSecs
+	}
+	return PR1Case{
+		Coder:        name,
+		Op:           op,
+		Bytes:        bytes,
+		SerialSecs:   serialSecs,
+		ParallelSecs: parallelSecs,
+		SerialMBps:   mbps(serialSecs),
+		ParallelMBps: mbps(parallelSecs),
+		Speedup:      speedup,
+	}
+}

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+func TestRunPR1Smoke(t *testing.T) {
+	// Small shards keep this a correctness check of the harness (shape of
+	// the report, every case measured) rather than a benchmark.
+	rep, err := RunPR1(TimingConfig{ShardSize: 8 << 10, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 || rep.ChunkSize < 1 {
+		t.Fatalf("bad environment record: %+v", rep)
+	}
+	if len(rep.Cases) != 2*len(pr1Order) {
+		t.Fatalf("got %d cases, want %d", len(rep.Cases), 2*len(pr1Order))
+	}
+	for _, c := range rep.Cases {
+		if c.SerialSecs <= 0 || c.ParallelSecs <= 0 || c.Bytes <= 0 {
+			t.Fatalf("case %s/%s not measured: %+v", c.Coder, c.Op, c)
+		}
+		if c.Speedup <= 0 {
+			t.Fatalf("case %s/%s has nonpositive speedup", c.Coder, c.Op)
+		}
+	}
+	if rep.Note == "" {
+		t.Fatal("empty note")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+	"approxcode/internal/parallel"
+)
+
+// TestConformance runs the shared coder conformance suite over generated
+// Approximate Codes covering both structures and several input families,
+// plus a forced-serial configuration (the suite's Concurrent subtest is
+// what exercises a single shared *Code from many goroutines under -race).
+func TestConformance(t *testing.T) {
+	params := []Params{
+		{Family: FamilyRS, K: 4, R: 2, G: 1, H: 2, Structure: Even},
+		{Family: FamilyRS, K: 4, R: 2, G: 1, H: 2, Structure: Uneven},
+		{Family: FamilyLRC, K: 4, R: 1, G: 2, H: 3, Structure: Even},
+		{Family: FamilySTAR, K: 5, R: 2, G: 1, H: 2, Structure: Uneven},
+		{Family: FamilyTIP, K: 5, R: 1, G: 2, H: 2, Structure: Even},
+	}
+	for _, p := range params {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+	serial, err := New(params[0], parallel.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run(serial.Name()+"/serial", func(t *testing.T) { codertest.Run(t, serial) })
+}

@@ -32,6 +32,7 @@ import (
 	"approxcode/internal/crs"
 	"approxcode/internal/erasure"
 	"approxcode/internal/evenodd"
+	"approxcode/internal/parallel"
 	"approxcode/internal/rs"
 	"approxcode/internal/star"
 	"approxcode/internal/tip"
@@ -125,6 +126,7 @@ type Code struct {
 	p     Params
 	local erasure.Coder // (k, r) prefix code for unimportant sub-stripes
 	full  erasure.Coder // (k, r+g) input code for important sub-stripes
+	par   parallel.Options
 }
 
 var _ erasure.Coder = (*Code)(nil)
@@ -138,7 +140,12 @@ var _ erasure.Coder = (*Code)(nil)
 //     -> EVENODD local parities), g=1 (anti-diagonal -> global parity).
 //   - TIP: k+2 must be prime; segmentation fixes r=1 (horizontal local
 //     parity), g=2 (diagonal+anti-diagonal global parities).
-func New(p Params) (*Code, error) {
+//
+// The optional trailing parallel.Options (last wins) tunes how encode,
+// reconstruct and verify fan sub-stripe codewords — and, inside each
+// codeword, shard byte ranges — over the shared worker pool. Absent, the
+// engine defaults to GOMAXPROCS workers.
+func New(p Params, par ...parallel.Options) (*Code, error) {
 	if p.K < 1 || p.R < 1 || p.G < 1 || p.H < 1 {
 		return nil, fmt.Errorf("core: invalid params %+v", p)
 	}
@@ -149,26 +156,27 @@ func New(p Params) (*Code, error) {
 		local, full erasure.Coder
 		err         error
 	)
+	po := parallel.Pick(par)
 	switch p.Family {
 	case FamilyRS:
-		if local, err = rs.New(p.K, p.R); err != nil {
+		if local, err = rs.New(p.K, p.R, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		if full, err = rs.New(p.K, p.R+p.G); err != nil {
+		if full, err = rs.New(p.K, p.R+p.G, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	case FamilyLRC:
-		if local, err = rs.NewXORPrefix(p.K, p.R); err != nil {
+		if local, err = rs.NewXORPrefix(p.K, p.R, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		if full, err = rs.NewXORPrefix(p.K, p.R+p.G); err != nil {
+		if full, err = rs.NewXORPrefix(p.K, p.R+p.G, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	case FamilyCRS:
-		if local, err = crs.New(p.K, p.R); err != nil {
+		if local, err = crs.New(p.K, p.R, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		if full, err = crs.New(p.K, p.R+p.G); err != nil {
+		if full, err = crs.New(p.K, p.R+p.G, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	case FamilySTAR:
@@ -176,35 +184,35 @@ func New(p Params) (*Code, error) {
 		case p.R == 2 && p.G == 1:
 			// Horizontal + diagonal local (EVENODD), anti-diagonal global
 			// (paper §3.3.1).
-			if local, err = evenodd.New(p.K); err != nil {
+			if local, err = evenodd.New(p.K, po); err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
 		case p.R == 1 && p.G == 2:
 			// Horizontal local, diagonal + anti-diagonal global (the
 			// APPR.STAR(k,1,2,h) configuration of the paper's §4 sweep).
-			if local, err = star.NewHorizontal(p.K); err != nil {
+			if local, err = star.NewHorizontal(p.K, po); err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
 		default:
 			return nil, fmt.Errorf("core: APPR.STAR requires (r,g) in {(2,1),(1,2)}, got r=%d g=%d", p.R, p.G)
 		}
-		if full, err = star.New(p.K); err != nil {
+		if full, err = star.New(p.K, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	case FamilyTIP:
 		if p.R != 1 || p.G != 2 {
 			return nil, fmt.Errorf("core: APPR.TIP requires r=1 g=2, got r=%d g=%d", p.R, p.G)
 		}
-		if local, err = tip.NewLocal(p.K + 2); err != nil {
+		if local, err = tip.NewLocal(p.K+2, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		if full, err = tip.New(p.K + 2); err != nil {
+		if full, err = tip.New(p.K+2, po); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown family %q", p.Family)
 	}
-	return &Code{p: p, local: local, full: full}, nil
+	return &Code{p: p, local: local, full: full, par: po}, nil
 }
 
 // Params returns the configuration the code was generated from.
@@ -385,11 +393,16 @@ func (c *Code) Encode(shards [][]byte) error {
 			}
 		}
 	}
-	for l := 0; l < c.p.H; l++ {
-		for m := 0; m < c.p.H; m++ {
-			if err := c.encodeSubStripe(shards, l, m); err != nil {
-				return err
-			}
+	// Codewords touch disjoint sub-blocks, so the h*h sub-stripes encode
+	// independently on the shared worker pool.
+	nw := c.p.H * c.p.H
+	errs := make([]error, nw)
+	parallel.Run(nw, c.par.Workers(), func(t int) {
+		errs[t] = c.encodeSubStripe(shards, t/c.p.H, t%c.p.H)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -454,18 +467,24 @@ func (c *Code) ReconstructReport(shards [][]byte, opts Options) (*Report, error)
 		failed[e] = true
 		shards[e] = make([]byte, size)
 	}
-	for l := 0; l < c.p.H; l++ {
-		for m := 0; m < c.p.H; m++ {
-			local, err := c.repairSubStripe(shards, failed, l, m, opts, size)
-			if err != nil {
-				return nil, err
-			}
-			rep.Lost = append(rep.Lost, local.Lost...)
-			rep.BytesRebuilt += local.BytesRebuilt
-			rep.BytesRead += local.BytesRead
-			if !local.ImportantOK {
-				rep.ImportantOK = false
-			}
+	// Codewords touch disjoint sub-blocks, so repairs fan out over the
+	// shared worker pool; per-codeword results merge in codeword order,
+	// keeping the report deterministic.
+	nw := c.p.H * c.p.H
+	locals := make([]Report, nw)
+	errs := make([]error, nw)
+	parallel.Run(nw, c.par.Workers(), func(t int) {
+		locals[t], errs[t] = c.repairSubStripe(shards, failed, t/c.p.H, t%c.p.H, opts, size)
+	})
+	for t := 0; t < nw; t++ {
+		if errs[t] != nil {
+			return nil, errs[t]
+		}
+		rep.Lost = append(rep.Lost, locals[t].Lost...)
+		rep.BytesRebuilt += locals[t].BytesRebuilt
+		rep.BytesRead += locals[t].BytesRead
+		if !locals[t].ImportantOK {
+			rep.ImportantOK = false
 		}
 	}
 	// Global-parity sub-blocks not referenced by any codeword (Uneven
@@ -549,25 +568,29 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 	if _, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), false); err != nil {
 		return false, fmt.Errorf("%s verify: %w", c.Name(), err)
 	}
-	for l := 0; l < c.p.H; l++ {
-		for m := 0; m < c.p.H; m++ {
-			coder := c.local
-			if c.Important(l, m) {
-				coder = c.full
-			}
-			nodes := c.codewordNodes(l, m)
-			cw := make([][]byte, len(nodes))
-			for i, node := range nodes {
-				s := sub(shards[node], c.subRowOnNode(node, l, m), c.p.H)
-				cw[i] = append([]byte(nil), s...)
-			}
-			ok, err := coder.Verify(cw)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return false, nil
-			}
+	nw := c.p.H * c.p.H
+	oks := make([]bool, nw)
+	errs := make([]error, nw)
+	parallel.Run(nw, c.par.Workers(), func(t int) {
+		l, m := t/c.p.H, t%c.p.H
+		coder := c.local
+		if c.Important(l, m) {
+			coder = c.full
+		}
+		nodes := c.codewordNodes(l, m)
+		cw := make([][]byte, len(nodes))
+		for i, node := range nodes {
+			s := sub(shards[node], c.subRowOnNode(node, l, m), c.p.H)
+			cw[i] = append([]byte(nil), s...)
+		}
+		oks[t], errs[t] = coder.Verify(cw)
+	})
+	for t := 0; t < nw; t++ {
+		if errs[t] != nil {
+			return false, errs[t]
+		}
+		if !oks[t] {
+			return false, nil
 		}
 	}
 	return true, nil

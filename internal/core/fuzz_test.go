@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// FuzzCoreRoundTrip generates an Approximate Code from fuzzer-chosen
+// parameters, encodes a fuzzer-chosen payload, erases up to the
+// whole-stripe tolerance r, and demands byte-exact recovery with a clean
+// report.
+func FuzzCoreRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(2), uint8(1), uint8(2), false, uint8(0b11), []byte("approximate code"))
+	f.Add(uint8(1), uint8(4), uint8(1), uint8(2), uint8(3), true, uint8(0b101), []byte("tiered video storage"))
+	f.Add(uint8(2), uint8(3), uint8(2), uint8(2), uint8(1), false, uint8(0b1000), bytes.Repeat([]byte{9}, 50))
+	f.Fuzz(func(t *testing.T, famRaw, kRaw, rRaw, gRaw, hRaw uint8, uneven bool, mask uint8, payload []byte) {
+		families := []Family{FamilyRS, FamilyLRC, FamilyCRS}
+		p := Params{
+			Family:    families[int(famRaw)%len(families)],
+			K:         int(kRaw%8) + 1,
+			R:         int(rRaw%3) + 1,
+			G:         int(gRaw%3) + 1,
+			H:         int(hRaw%3) + 1,
+			Structure: Even,
+		}
+		if uneven {
+			p.Structure = Uneven
+		}
+		c, err := New(p)
+		if err != nil {
+			// Some fuzzed shapes are legitimately rejected (e.g. GF(256)
+			// limits); that is not a failure.
+			t.Skip()
+		}
+		if len(payload) == 0 {
+			payload = []byte{1}
+		}
+		mult := c.ShardSizeMultiple()
+		size := ((len(payload)/c.DataShards() + 1 + mult - 1) / mult) * mult
+		shards := make([][]byte, c.TotalShards())
+		dataIdx := erasure.DataIndexes(c)
+		for _, i := range dataIdx {
+			shards[i] = make([]byte, size)
+		}
+		for i, b := range payload {
+			d := dataIdx[i%len(dataIdx)]
+			shards[d][(i/len(dataIdx))%size] = b
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		want := erasure.CloneShards(shards)
+
+		erased := 0
+		for i := 0; i < c.TotalShards() && erased < c.FaultTolerance(); i++ {
+			if mask&(1<<(i%8)) != 0 {
+				shards[i] = nil
+				erased++
+			}
+		}
+		rep, err := c.ReconstructReport(shards, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Lost) > 0 || !rep.ImportantOK {
+			t.Fatalf("%s: %d erasures (tolerance %d) reported lost=%d importantOK=%v",
+				c.Name(), erased, c.FaultTolerance(), len(rep.Lost), rep.ImportantOK)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], want[i]) {
+				t.Fatalf("%s: shard %d differs after reconstruct", c.Name(), i)
+			}
+		}
+		if ok, err := c.Verify(shards); err != nil || !ok {
+			t.Fatalf("%s: verify after reconstruct ok=%v err=%v", c.Name(), ok, err)
+		}
+	})
+}

@@ -1,144 +1,25 @@
 package core
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-
-	"approxcode/internal/erasure"
-)
-
 // Sub-stripe codewords touch disjoint sub-blocks, so encoding and
-// repairing them is embarrassingly parallel. These entry points fan the
-// h*h codewords out over a bounded worker pool; with workers <= 1 they
-// fall back to the sequential paths.
+// repairing them is embarrassingly parallel. Since the shared striping
+// engine (internal/parallel) routes Encode and ReconstructReport through
+// the worker pool directly, these entry points are retained as thin
+// compatibility wrappers that override the codeword fan-out width for a
+// single call. Prefer passing parallel.Options to New instead.
 
 // EncodeParallel is Encode with the per-codeword work spread over up to
-// `workers` goroutines (0 = GOMAXPROCS).
+// `workers` goroutines (0 = GOMAXPROCS, 1 = serial).
 func (c *Code) EncodeParallel(shards [][]byte, workers int) error {
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 {
-		return c.Encode(shards)
-	}
-	// Validation and parity allocation are identical to Encode.
-	if len(shards) != c.TotalShards() {
-		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
-	}
-	size := -1
-	for l := 0; l < c.p.H; l++ {
-		for j := 0; j < c.p.K; j++ {
-			s := shards[c.dataNode(l, j)]
-			if s == nil {
-				return fmt.Errorf("%s encode: %w: data node missing", c.Name(), erasure.ErrShardSize)
-			}
-			if size == -1 {
-				size = len(s)
-			} else if len(s) != size {
-				return fmt.Errorf("%s encode: %w: unequal data nodes", c.Name(), erasure.ErrShardSize)
-			}
-		}
-	}
-	if size == 0 || size%c.ShardSizeMultiple() != 0 {
-		return fmt.Errorf("%s encode: %w: size %d not a positive multiple of %d",
-			c.Name(), erasure.ErrShardSize, size, c.ShardSizeMultiple())
-	}
-	for i := range shards {
-		if c.Role(i) != RoleData {
-			if shards[i] == nil {
-				shards[i] = make([]byte, size)
-			} else if len(shards[i]) != size {
-				return fmt.Errorf("%s encode: %w: parity node %d", c.Name(), erasure.ErrShardSize, i)
-			}
-		}
-	}
-	type job struct{ l, m int }
-	jobs := make(chan job)
-	errs := make(chan error, c.p.H*c.p.H)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if err := c.encodeSubStripe(shards, j.l, j.m); err != nil {
-					errs <- err
-				}
-			}
-		}()
-	}
-	for l := 0; l < c.p.H; l++ {
-		for m := 0; m < c.p.H; m++ {
-			jobs <- job{l, m}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	return <-errs
+	cc := *c
+	cc.par.Parallelism = workers
+	return cc.Encode(shards)
 }
 
 // ReconstructReportParallel is ReconstructReport with the per-codeword
-// repairs spread over up to `workers` goroutines (0 = GOMAXPROCS). The
-// report is identical to the sequential one up to the order of Lost.
+// repairs spread over up to `workers` goroutines (0 = GOMAXPROCS,
+// 1 = serial). The report is identical to the sequential one.
 func (c *Code) ReconstructReportParallel(shards [][]byte, opts Options, workers int) (*Report, error) {
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 {
-		return c.ReconstructReport(shards, opts)
-	}
-	size, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), true)
-	if err != nil {
-		return nil, fmt.Errorf("%s reconstruct: %w", c.Name(), err)
-	}
-	erased := erasure.Erased(shards)
-	rep := &Report{ImportantOK: true}
-	if len(erased) == 0 {
-		return rep, nil
-	}
-	failed := make(map[int]bool, len(erased))
-	for _, e := range erased {
-		failed[e] = true
-		shards[e] = make([]byte, size)
-	}
-	type job struct{ l, m int }
-	jobs := make(chan job)
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex // guards rep
-		fail error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				local, err := c.repairSubStripe(shards, failed, j.l, j.m, opts, size)
-				mu.Lock()
-				if err != nil && fail == nil {
-					fail = err
-				}
-				rep.Lost = append(rep.Lost, local.Lost...)
-				rep.BytesRebuilt += local.BytesRebuilt
-				rep.BytesRead += local.BytesRead
-				if !local.ImportantOK {
-					rep.ImportantOK = false
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for l := 0; l < c.p.H; l++ {
-		for m := 0; m < c.p.H; m++ {
-			jobs <- job{l, m}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if fail != nil {
-		return nil, fail
-	}
-	return rep, nil
+	cc := *c
+	cc.par.Parallelism = workers
+	return cc.ReconstructReport(shards, opts)
 }

@@ -1,0 +1,21 @@
+package crs
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+)
+
+// TestConformance runs the shared coder conformance suite over CRS
+// shapes matching the paper's (k, 3) sweep plus a 2-parity variant.
+func TestConformance(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{
+		{3, 2}, {4, 3}, {5, 3}, {6, 2},
+	} {
+		c, err := New(tc.k, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+}

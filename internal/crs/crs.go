@@ -17,6 +17,7 @@ import (
 
 	"approxcode/internal/gf256"
 	"approxcode/internal/matrix"
+	"approxcode/internal/parallel"
 	"approxcode/internal/xorcode"
 )
 
@@ -50,12 +51,12 @@ func Chains(k, r int) []xorcode.Chain {
 
 // New returns a CRS(k, r) coder: systematic, MDS (tolerance r), XOR-only.
 // Shard sizes must be multiples of 8 (one byte per bit-plane row).
-func New(k, r int) (*xorcode.Code, error) {
+func New(k, r int, par ...parallel.Options) (*xorcode.Code, error) {
 	if k < 1 || r < 1 {
 		return nil, fmt.Errorf("crs: invalid shape k=%d r=%d", k, r)
 	}
 	if k+r > 256 {
 		return nil, fmt.Errorf("crs: k+r=%d exceeds GF(256) limit", k+r)
 	}
-	return xorcode.New(fmt.Sprintf("CRS(%d,%d)", k, r), k, r, W, r, Chains(k, r))
+	return xorcode.New(fmt.Sprintf("CRS(%d,%d)", k, r), k, r, W, r, Chains(k, r), par...)
 }

@@ -26,18 +26,16 @@ func TestShape(t *testing.T) {
 	}
 }
 
-func TestMDSExhaustive(t *testing.T) {
-	// Cauchy bit-matrices are MDS: every erasure pattern up to r must
-	// repair byte-exactly, and the rank verifier must agree.
+func TestMDSRankCheck(t *testing.T) {
+	// Cauchy bit-matrices are MDS: the rank verifier must prove full
+	// tolerance r (byte-exact round trips live in the shared conformance
+	// suite).
 	for _, tc := range []struct{ k, r int }{{3, 2}, {4, 3}, {5, 3}, {7, 3}, {6, 2}} {
 		c, err := New(tc.k, tc.r)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyTolerance(tc.r); err != nil {
-			t.Fatal(err)
-		}
-		if err := erasure.CheckExhaustive(c, 64, int64(tc.k)); err != nil {
 			t.Fatal(err)
 		}
 	}

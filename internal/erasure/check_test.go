@@ -1,0 +1,167 @@
+package erasure
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCheckShardsNilVsEmpty pins the nil-vs-empty contract: a
+// zero-length shard always means "erased", whether it is nil or a
+// non-nil empty slice, and allowNil decides if erased entries are legal
+// at all.
+func TestCheckShardsNilVsEmpty(t *testing.T) {
+	full := func() []byte { return []byte{1, 2, 3, 4} }
+	cases := []struct {
+		name     string
+		shards   func() [][]byte
+		total    int
+		mult     int
+		allowNil bool
+		wantSize int
+		wantErr  error
+	}{
+		{
+			name:   "empty slice treated as erasure when allowed",
+			shards: func() [][]byte { return [][]byte{full(), {}, full()} },
+			total:  3, mult: 1, allowNil: true,
+			wantSize: 4,
+		},
+		{
+			name:   "nil treated as erasure when allowed",
+			shards: func() [][]byte { return [][]byte{full(), nil, full()} },
+			total:  3, mult: 1, allowNil: true,
+			wantSize: 4,
+		},
+		{
+			name:   "empty slice rejected when erasures disallowed",
+			shards: func() [][]byte { return [][]byte{full(), {}, full()} },
+			total:  3, mult: 1, allowNil: false,
+			wantErr: ErrShardSize,
+		},
+		{
+			name:   "nil rejected when erasures disallowed",
+			shards: func() [][]byte { return [][]byte{full(), nil, full()} },
+			total:  3, mult: 1, allowNil: false,
+			wantErr: ErrShardSize,
+		},
+		{
+			name:   "empty first shard does not poison the common size",
+			shards: func() [][]byte { return [][]byte{{}, full(), full()} },
+			total:  3, mult: 1, allowNil: true,
+			wantSize: 4,
+		},
+		{
+			name:   "all shards erased mixing nil and empty",
+			shards: func() [][]byte { return [][]byte{nil, {}, nil} },
+			total:  3, mult: 1, allowNil: true,
+			wantErr: ErrShardSize,
+		},
+		{
+			name:   "mismatched sizes",
+			shards: func() [][]byte { return [][]byte{full(), {1, 2}, full()} },
+			total:  3, mult: 1, allowNil: true,
+			wantErr: ErrShardSize,
+		},
+		{
+			name:   "mismatch after an erased entry",
+			shards: func() [][]byte { return [][]byte{nil, full(), {1, 2, 3}} },
+			total:  3, mult: 1, allowNil: true,
+			wantErr: ErrShardSize,
+		},
+		{
+			name:   "size multiple violated",
+			shards: func() [][]byte { return [][]byte{full(), full()} },
+			total:  2, mult: 3, allowNil: false,
+			wantErr: ErrShardSize,
+		},
+		{
+			name:   "wrong count before anything else",
+			shards: func() [][]byte { return [][]byte{full()} },
+			total:  2, mult: 1, allowNil: true,
+			wantErr: ErrShardCount,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shards := tc.shards()
+			size, err := CheckShards(shards, tc.total, tc.mult, tc.allowNil)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("want %v, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != tc.wantSize {
+				t.Fatalf("size=%d want %d", size, tc.wantSize)
+			}
+			// Normalization: no non-nil empty slices may survive.
+			for i, s := range shards {
+				if s != nil && len(s) == 0 {
+					t.Fatalf("shard %d still a non-nil empty slice", i)
+				}
+			}
+		})
+	}
+}
+
+// TestErasedCountsEmptyAsErased pins that Erased treats non-nil empty
+// slices as erasures, matching CheckShards.
+func TestErasedCountsEmptyAsErased(t *testing.T) {
+	shards := [][]byte{{1}, nil, {}, {2}}
+	got := Erased(shards)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Erased=%v want [1 2]", got)
+	}
+}
+
+// TestAllocParityNilEmptyAndWrongSize pins the three AllocParity cases:
+// allocate zero-length entries, zero exact-size entries in place, and
+// leave wrong-size entries alone for the caller's validation to catch.
+func TestAllocParityNilEmptyAndWrongSize(t *testing.T) {
+	wrong := []byte{7, 7, 7}
+	shards := [][]byte{
+		{1, 2},    // data, untouched
+		nil,       // allocate
+		{},        // allocate
+		{9, 9},    // exact size: zero in place
+		wrong[:3], // wrong size: untouched
+	}
+	AllocParity(shards, 1, 2)
+	if shards[0][0] != 1 {
+		t.Fatal("data shard touched")
+	}
+	if len(shards[1]) != 2 || len(shards[2]) != 2 {
+		t.Fatalf("nil/empty parity not allocated: %v %v", shards[1], shards[2])
+	}
+	if shards[3][0] != 0 || shards[3][1] != 0 {
+		t.Fatal("exact-size parity not zeroed")
+	}
+	if len(shards[4]) != 3 || shards[4][0] != 7 {
+		t.Fatal("wrong-size parity was modified")
+	}
+}
+
+// TestAllParityErasedRoundTrip drives the normalized erasure semantics
+// through the helpers end to end: a stripe whose entire parity region is
+// marked erased with a mix of nil and empty entries must report exactly
+// the parity indexes.
+func TestAllParityErasedRoundTrip(t *testing.T) {
+	shards := [][]byte{{1, 2}, {3, 4}, {}, nil, {}}
+	size, err := CheckShards(shards, 5, 1, true)
+	if err != nil || size != 2 {
+		t.Fatalf("size=%d err=%v", size, err)
+	}
+	got := Erased(shards)
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Erased=%v want [2 3 4]", got)
+	}
+	AllocParity(shards, 2, size)
+	for i := 2; i < 5; i++ {
+		if len(shards[i]) != size {
+			t.Fatalf("parity %d not allocated", i)
+		}
+	}
+}

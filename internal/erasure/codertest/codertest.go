@@ -1,0 +1,254 @@
+// Package codertest is the shared conformance suite for erasure.Coder
+// implementations. Every coder package (rs, lrc, crs, evenodd, rdp,
+// star, xcode, tip and the core framework) invokes Run from its tests so
+// the common contract — byte-exact repair of every pattern up to the
+// declared fault tolerance, input validation, corruption detection, and
+// safety under concurrent use of a single coder — is asserted once here
+// instead of being copy-pasted per package.
+package codertest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// Options tunes a conformance run. The zero value picks sensible
+// defaults for every field.
+type Options struct {
+	// ShardSize is the byte length of each shard used by the suite's
+	// stripes. Default: the smallest multiple of the coder's
+	// ShardSizeMultiple that is >= 64.
+	ShardSize int
+	// Seed feeds the deterministic stripe generator. Default 1.
+	Seed int64
+	// Goroutines is the number of goroutines hammering the shared coder
+	// in the Concurrent subtest. Default 8.
+	Goroutines int
+	// Rounds is the number of encode/reconstruct/verify rounds per
+	// goroutine in the Concurrent subtest. Default 3.
+	Rounds int
+}
+
+func (o Options) withDefaults(c erasure.Coder) Options {
+	if o.ShardSize <= 0 {
+		mult := c.ShardSizeMultiple()
+		o.ShardSize = mult * ((64 + mult - 1) / mult)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Goroutines <= 0 {
+		o.Goroutines = 8
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	return o
+}
+
+// Run executes the full conformance suite against the coder as named
+// subtests. The coder must be safe for concurrent use (the documented
+// contract of every coder in this repository).
+func Run(t *testing.T, c erasure.Coder, opts ...Options) {
+	t.Helper()
+	var o Options
+	if len(opts) > 0 {
+		o = opts[len(opts)-1]
+	}
+	o = o.withDefaults(c)
+
+	t.Run("Shape", func(t *testing.T) { testShape(t, c) })
+	t.Run("RoundTripExhaustive", func(t *testing.T) {
+		if err := erasure.CheckExhaustive(c, o.ShardSize, o.Seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("TooManyErasures", func(t *testing.T) { testTooManyErasures(t, c, o) })
+	t.Run("VerifyDetectsCorruption", func(t *testing.T) { testVerifyCorruption(t, c, o) })
+	t.Run("ReconstructNoopPreservesData", func(t *testing.T) { testReconstructNoop(t, c, o) })
+	t.Run("ParityOnlyErasure", func(t *testing.T) { testParityOnlyErasure(t, c, o) })
+	t.Run("EncodeValidation", func(t *testing.T) { testEncodeValidation(t, c, o) })
+	t.Run("Concurrent", func(t *testing.T) { testConcurrent(t, c, o) })
+}
+
+func testShape(t *testing.T, c erasure.Coder) {
+	if c.Name() == "" {
+		t.Error("empty Name")
+	}
+	if c.DataShards() < 1 {
+		t.Errorf("DataShards %d < 1", c.DataShards())
+	}
+	if c.TotalShards() != c.DataShards()+c.ParityShards() {
+		t.Errorf("TotalShards %d != DataShards %d + ParityShards %d",
+			c.TotalShards(), c.DataShards(), c.ParityShards())
+	}
+	if c.FaultTolerance() < 1 {
+		t.Errorf("FaultTolerance %d < 1", c.FaultTolerance())
+	}
+	if c.ShardSizeMultiple() < 1 {
+		t.Errorf("ShardSizeMultiple %d < 1", c.ShardSizeMultiple())
+	}
+}
+
+// testTooManyErasures erases more shards than the stripe's redundancy
+// can ever repair and demands ErrTooManyErasures. For horizontal codes
+// that bound is ParityShards()+1 erasures (information-theoretic); for
+// vertical codes (ParityShards()==0, parity cells spread across every
+// column) the redundancy equals FaultTolerance() columns' worth, so
+// FaultTolerance()+1 column erasures are unrecoverable.
+func testTooManyErasures(t *testing.T, c erasure.Coder, o Options) {
+	nErase := c.ParityShards() + 1
+	if c.ParityShards() == 0 {
+		nErase = c.FaultTolerance() + 1
+	}
+	if nErase > c.TotalShards() {
+		t.Skipf("cannot erase %d of %d shards", nErase, c.TotalShards())
+	}
+	stripe, err := erasure.RandomStripe(c, o.ShardSize, o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nErase; i++ {
+		stripe[i] = nil
+	}
+	if err := c.Reconstruct(stripe); !errors.Is(err, erasure.ErrTooManyErasures) {
+		t.Fatalf("erasing %d shards: want ErrTooManyErasures, got %v", nErase, err)
+	}
+}
+
+func testVerifyCorruption(t *testing.T, c erasure.Coder, o Options) {
+	stripe, err := erasure.RandomStripe(c, o.ShardSize, o.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Verify(stripe); err != nil || !ok {
+		t.Fatalf("fresh stripe fails Verify (ok=%v err=%v)", ok, err)
+	}
+	target := erasure.DataIndexes(c)[0]
+	stripe[target][o.ShardSize/2] ^= 0xA5
+	if ok, err := c.Verify(stripe); err != nil || ok {
+		t.Fatalf("corrupted shard %d not detected (ok=%v err=%v)", target, ok, err)
+	}
+}
+
+func testReconstructNoop(t *testing.T, c erasure.Coder, o Options) {
+	stripe, err := erasure.RandomStripe(c, o.ShardSize, o.Seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := erasure.CloneShards(stripe)
+	if err := c.Reconstruct(stripe); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stripe {
+		if !bytes.Equal(stripe[i], want[i]) {
+			t.Fatalf("no-op reconstruct changed shard %d", i)
+		}
+	}
+}
+
+// testParityOnlyErasure erases trailing parity shards only; data shards
+// survive, so the coder must restore parity byte-exactly. Vertical codes
+// have no dedicated parity shards and skip this subtest (the exhaustive
+// round-trip already covers their mixed columns).
+func testParityOnlyErasure(t *testing.T, c erasure.Coder, o Options) {
+	nErase := min(c.FaultTolerance(), c.ParityShards())
+	if nErase == 0 {
+		t.Skip("no dedicated parity shards")
+	}
+	stripe, err := erasure.RandomStripe(c, o.ShardSize, o.Seed+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erased := make([]int, 0, nErase)
+	for i := 0; i < nErase; i++ {
+		erased = append(erased, c.TotalShards()-1-i)
+	}
+	if err := erasure.CheckPattern(c, stripe, erased); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testEncodeValidation(t *testing.T, c erasure.Coder, o Options) {
+	if err := c.Encode(make([][]byte, c.TotalShards()+1)); !errors.Is(err, erasure.ErrShardCount) {
+		t.Fatalf("wrong shard count: want ErrShardCount, got %v", err)
+	}
+	dataIdx := erasure.DataIndexes(c)
+	mult := c.ShardSizeMultiple()
+	if len(dataIdx) >= 2 {
+		shards := make([][]byte, c.TotalShards())
+		for _, i := range dataIdx {
+			shards[i] = make([]byte, mult)
+		}
+		shards[dataIdx[1]] = make([]byte, 2*mult)
+		if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+			t.Fatalf("unequal data shards: want ErrShardSize, got %v", err)
+		}
+	}
+	shards := make([][]byte, c.TotalShards())
+	for _, i := range dataIdx {
+		shards[i] = []byte{}
+	}
+	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
+		t.Fatalf("zero-length data shards: want ErrShardSize, got %v", err)
+	}
+}
+
+// testConcurrent hammers one shared coder instance from many goroutines,
+// each running independent encode/reconstruct/verify rounds on its own
+// stripes. Meant to run under -race: coders are documented immutable
+// after construction, so no data race or cross-talk may appear.
+func testConcurrent(t *testing.T, c erasure.Coder, o Options) {
+	errs := make(chan error, o.Goroutines*o.Rounds)
+	var wg sync.WaitGroup
+	for g := 0; g < o.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < o.Rounds; round++ {
+				seed := o.Seed + int64(100+g*o.Rounds+round)
+				stripe, err := erasure.RandomStripe(c, o.ShardSize, seed)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %w", g, round, err)
+					return
+				}
+				f := 1 + (g+round)%c.FaultTolerance()
+				erased := make([]int, 0, f)
+				for i := 0; i < f; i++ {
+					erased = append(erased, (g+round+i*2)%c.TotalShards())
+				}
+				erased = dedupeInts(erased)
+				if err := erasure.CheckPattern(c, stripe, erased); err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %w", g, round, err)
+					return
+				}
+				if ok, err := c.Verify(stripe); err != nil || !ok {
+					errs <- fmt.Errorf("goroutine %d round %d: verify ok=%v err=%v", g, round, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func dedupeInts(in []int) []int {
+	seen := make(map[int]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -54,19 +54,28 @@ type Coder interface {
 }
 
 // CheckShards validates the shard slice shape for a coder with the given
-// total shard count and size-multiple. allowNil controls whether nil
-// entries (erasures / to-be-filled parities) are tolerated. It returns
-// the common shard length, which is 0 only if every shard is nil.
+// total shard count and size-multiple. allowNil controls whether erased
+// entries (erasures / to-be-filled parities) are tolerated. A
+// zero-length shard — nil or a non-nil empty slice — always means
+// "erased": when allowNil is true, empty slices are normalized to nil in
+// place so downstream nil checks (Erased, decoder loops) see one
+// canonical form; when allowNil is false, both are rejected with a
+// message naming the offending shard. It returns the common shard
+// length, which every present shard shares.
 func CheckShards(shards [][]byte, total, sizeMultiple int, allowNil bool) (int, error) {
 	if len(shards) != total {
 		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), total)
 	}
 	size := -1
 	for i, s := range shards {
-		if s == nil {
+		if len(s) == 0 {
 			if !allowNil {
-				return 0, fmt.Errorf("%w: shard %d is nil", ErrShardSize, i)
+				if s == nil {
+					return 0, fmt.Errorf("%w: shard %d is nil", ErrShardSize, i)
+				}
+				return 0, fmt.Errorf("%w: shard %d is empty", ErrShardSize, i)
 			}
+			shards[i] = nil
 			continue
 		}
 		if size == -1 {
@@ -76,10 +85,7 @@ func CheckShards(shards [][]byte, total, sizeMultiple int, allowNil bool) (int, 
 		}
 	}
 	if size == -1 {
-		return 0, fmt.Errorf("%w: all shards nil", ErrShardSize)
-	}
-	if size == 0 {
-		return 0, fmt.Errorf("%w: zero-length shards", ErrShardSize)
+		return 0, fmt.Errorf("%w: all shards erased", ErrShardSize)
 	}
 	if sizeMultiple > 1 && size%sizeMultiple != 0 {
 		return 0, fmt.Errorf("%w: length %d not a multiple of %d", ErrShardSize, size, sizeMultiple)
@@ -87,12 +93,18 @@ func CheckShards(shards [][]byte, total, sizeMultiple int, allowNil bool) (int, 
 	return size, nil
 }
 
-// AllocParity allocates any nil shard in shards[k:] to the given size.
+// AllocParity prepares the parity region shards[k:]: entries that are
+// nil or zero-length are allocated to the given size, entries already at
+// the right size are zeroed in place (reusing the caller's buffer), and
+// entries of any other length are left untouched so the caller's
+// subsequent size validation reports them instead of silently clobbering
+// a buffer it was never meant to own.
 func AllocParity(shards [][]byte, k, size int) {
 	for i := k; i < len(shards); i++ {
-		if shards[i] == nil {
+		switch {
+		case len(shards[i]) == 0:
 			shards[i] = make([]byte, size)
-		} else {
+		case len(shards[i]) == size:
 			for j := range shards[i] {
 				shards[i][j] = 0
 			}
@@ -100,11 +112,13 @@ func AllocParity(shards [][]byte, k, size int) {
 	}
 }
 
-// Erased lists the indexes of nil shards.
+// Erased lists the indexes of erased shards: nil entries and zero-length
+// non-nil entries (callers marking erasures with empty slices mean the
+// same thing).
 func Erased(shards [][]byte) []int {
 	var out []int
 	for i, s := range shards {
-		if s == nil {
+		if len(s) == 0 {
 			out = append(out, i)
 		}
 	}

@@ -1,0 +1,19 @@
+package evenodd
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+)
+
+// TestConformance runs the shared coder conformance suite over the
+// EVENODD primes exercised in the paper's parameter sweep.
+func TestConformance(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11, 13} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+}

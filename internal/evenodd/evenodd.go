@@ -8,6 +8,7 @@ package evenodd
 import (
 	"fmt"
 
+	"approxcode/internal/parallel"
 	"approxcode/internal/xorcode"
 )
 
@@ -66,10 +67,11 @@ func Chains(p int) []xorcode.Chain {
 }
 
 // New returns the EVENODD(p) coder: k = p data shards, 2 parity shards,
-// tolerance 2. p must be prime and at least 3.
-func New(p int) (*xorcode.Code, error) {
+// tolerance 2. p must be prime and at least 3. The optional trailing
+// parallel.Options tunes worker-pool striping (last wins).
+func New(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !IsPrime(p) || p < 3 {
 		return nil, fmt.Errorf("evenodd: p=%d must be a prime >= 3", p)
 	}
-	return xorcode.New(fmt.Sprintf("EVENODD(%d)", p), p, 2, p-1, 2, Chains(p))
+	return xorcode.New(fmt.Sprintf("EVENODD(%d)", p), p, 2, p-1, 2, Chains(p), par...)
 }

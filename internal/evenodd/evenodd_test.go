@@ -2,8 +2,6 @@ package evenodd
 
 import (
 	"testing"
-
-	"approxcode/internal/erasure"
 )
 
 func TestIsPrime(t *testing.T) {
@@ -37,17 +35,16 @@ func TestShape(t *testing.T) {
 	}
 }
 
-func TestExhaustiveDoubleFailures(t *testing.T) {
-	// EVENODD must repair every single and double column erasure.
+func TestDeclaredToleranceRankCheck(t *testing.T) {
+	// EVENODD must repair every single and double column erasure; the
+	// GF(2) rank check proves it without enumerating byte patterns
+	// (byte-exact round trips live in the shared conformance suite).
 	for _, p := range []int{3, 5, 7, 11, 13} {
 		c, err := New(p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyTolerance(2); err != nil {
-			t.Fatalf("p=%d: %v", p, err)
-		}
-		if err := erasure.CheckExhaustive(c, (p-1)*8, int64(p)); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
 	}

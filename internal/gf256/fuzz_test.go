@@ -1,0 +1,94 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mulSlow is the reference shift-and-add ("Russian peasant") product in
+// GF(2^8) with the package's reduction polynomial 0x11D, independent of
+// the exp/log tables under test.
+func mulSlow(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a&0x80 != 0
+		a <<= 1
+		if hi {
+			a ^= 0x1D // 0x11D mod x^8
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// FuzzGF256MulInv cross-checks the table-driven field arithmetic against
+// the bitwise reference implementation and the field axioms.
+func FuzzGF256MulInv(f *testing.F) {
+	f.Add(byte(0), byte(0))
+	f.Add(byte(1), byte(255))
+	f.Add(byte(2), byte(142)) // 2 * 142 = 1 under 0x11D
+	f.Add(byte(0x53), byte(0xCA))
+	f.Fuzz(func(t *testing.T, a, b byte) {
+		if got, want := Mul(a, b), mulSlow(a, b); got != want {
+			t.Fatalf("Mul(%d,%d)=%d want %d", a, b, got, want)
+		}
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatalf("Mul(%d,%d) not commutative", a, b)
+		}
+		if a != 0 {
+			inv := Inv(a)
+			if Mul(a, inv) != 1 {
+				t.Fatalf("Mul(%d, Inv(%d)=%d) != 1", a, a, inv)
+			}
+			if b != 0 && Div(Mul(a, b), a) != b {
+				t.Fatalf("Div(Mul(%d,%d),%d) != %d", a, b, a, b)
+			}
+		}
+		// Distributivity over the XOR addition.
+		c := a ^ b
+		if Mul(c, b) != Mul(a, b)^Mul(b, b) {
+			t.Fatalf("distributivity fails for a=%d b=%d", a, b)
+		}
+	})
+}
+
+// FuzzSliceKernels checks the bulk kernels against byte-at-a-time
+// arithmetic on arbitrary buffers (covering the striped fast paths).
+func FuzzSliceKernels(f *testing.F) {
+	f.Add(byte(3), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), bytes.Repeat([]byte{0xAA}, 100))
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 7)
+		}
+		orig := append([]byte(nil), dst...)
+
+		MulSlice(c, src, dst)
+		for i := range dst {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulSlice byte %d: got %d want %d", i, dst[i], Mul(c, src[i]))
+			}
+		}
+
+		copy(dst, orig)
+		MulAddSlice(c, src, dst)
+		for i := range dst {
+			if dst[i] != orig[i]^Mul(c, src[i]) {
+				t.Fatalf("MulAddSlice byte %d wrong", i)
+			}
+		}
+
+		copy(dst, orig)
+		XorSlice(src, dst)
+		for i := range dst {
+			if dst[i] != orig[i]^src[i] {
+				t.Fatalf("XorSlice byte %d wrong", i)
+			}
+		}
+	})
+}

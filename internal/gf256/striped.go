@@ -1,0 +1,78 @@
+package gf256
+
+import "approxcode/internal/parallel"
+
+// Striped bulk kernels: the serial slice kernels in gf256.go lifted onto
+// the shared worker pool. Work is decomposed as (destination shard x
+// cache-sized byte chunk) tasks, so every core streams over a disjoint
+// slice of the stripe and results are bit-identical to the serial path
+// regardless of worker count.
+
+// minStripedBytes is the total work below which fan-out costs more than
+// it saves and the kernels fall back to the serial path.
+const minStripedBytes = 64 << 10
+
+// dotRange accumulates dst[lo:hi] = sum_i coeffs[i] * srcs[i][lo:hi].
+func dotRange(coeffs []byte, srcs [][]byte, dst []byte, lo, hi int) {
+	d := dst[lo:hi]
+	for i := range d {
+		d[i] = 0
+	}
+	for i, c := range coeffs {
+		MulAddSlice(c, srcs[i][lo:hi], d)
+	}
+}
+
+// DotProducts computes dsts[d] = sum_i rows[d][i] * srcs[i] for every
+// destination, fanning (destination x chunk) tasks over the worker
+// pool. It is the parallel form of calling DotProduct once per parity
+// row — the matrix-multiply hot path of RS/LRC encode and decode.
+// Destinations must be distinct, non-overlapping shards; srcs are only
+// read. Results match the serial kernels byte-for-byte.
+func DotProducts(rows [][]byte, srcs, dsts [][]byte, opts parallel.Options) {
+	if len(rows) != len(dsts) {
+		panic("gf256: DotProducts shape mismatch")
+	}
+	if len(dsts) == 0 {
+		return
+	}
+	size := len(dsts[0])
+	if opts.Workers() == 1 || size*len(dsts) < minStripedBytes {
+		for d := range dsts {
+			DotProduct(rows[d], srcs, dsts[d])
+		}
+		return
+	}
+	nc := parallel.Chunks(size, opts)
+	parallel.Run(len(dsts)*nc, opts.Workers(), func(t int) {
+		d, ci := t/nc, t%nc
+		lo, hi := parallel.ChunkBounds(size, opts, ci)
+		dotRange(rows[d], srcs, dsts[d], lo, hi)
+	})
+}
+
+// MulAddRows applies one source delta to many destinations:
+// dsts[j] ^= coeffs[j] * src for every j, striped over the pool. This is
+// the parity-update hot path (erasure.Updater implementations), where a
+// single data-shard delta patches every dependent parity shard.
+func MulAddRows(coeffs []byte, src []byte, dsts [][]byte, opts parallel.Options) {
+	if len(coeffs) != len(dsts) {
+		panic("gf256: MulAddRows shape mismatch")
+	}
+	if len(dsts) == 0 {
+		return
+	}
+	size := len(src)
+	if opts.Workers() == 1 || size*len(dsts) < minStripedBytes {
+		for j, c := range coeffs {
+			MulAddSlice(c, src, dsts[j])
+		}
+		return
+	}
+	nc := parallel.Chunks(size, opts)
+	parallel.Run(len(dsts)*nc, opts.Workers(), func(t int) {
+		d, ci := t/nc, t%nc
+		lo, hi := parallel.ChunkBounds(size, opts, ci)
+		MulAddSlice(coeffs[d], src[lo:hi], dsts[d][lo:hi])
+	})
+}

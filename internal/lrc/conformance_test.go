@@ -1,0 +1,22 @@
+package lrc
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+)
+
+// TestConformance runs the shared coder conformance suite over the LRC
+// shapes of the paper's evaluation (paper Table 2: LRC(k,l,r) tolerates
+// any r+1 failures; FaultTolerance reports r+1).
+func TestConformance(t *testing.T) {
+	for _, tc := range []struct{ k, l, r int }{
+		{4, 2, 2}, {5, 4, 2}, {6, 3, 2}, {9, 6, 2}, {6, 2, 1},
+	} {
+		c, err := New(tc.k, tc.l, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"approxcode/internal/erasure"
 	"approxcode/internal/gf256"
 	"approxcode/internal/matrix"
+	"approxcode/internal/parallel"
 )
 
 // Coder is an LRC(k, l, r) erasure coder. Immutable after New; safe for
@@ -27,21 +28,23 @@ type Coder struct {
 	groups  [][]int        // data shard indexes per local group
 	groupOf []int          // data shard -> group
 	coef    *matrix.Matrix // (k+l+r) x k: every shard as a combination of data
+	par     parallel.Options
 }
 
 var _ erasure.Coder = (*Coder)(nil)
 
 // New returns an LRC(k, l, r) coder. Data shards are distributed over the
 // l groups as evenly as possible (sizes differ by at most one). Shard
-// order is [d_0..d_{k-1}, L_0..L_{l-1}, G_0..G_{r-1}].
-func New(k, l, r int) (*Coder, error) {
+// order is [d_0..d_{k-1}, L_0..L_{l-1}, G_0..G_{r-1}]. The optional
+// trailing parallel.Options tunes worker-pool striping (last wins).
+func New(k, l, r int, par ...parallel.Options) (*Coder, error) {
 	if k < 1 || l < 1 || r < 0 || l > k {
 		return nil, fmt.Errorf("lrc: invalid shape k=%d l=%d r=%d", k, l, r)
 	}
 	if k+r > 256 {
 		return nil, fmt.Errorf("lrc: k+r=%d exceeds GF(256) limit", k+r)
 	}
-	c := &Coder{k: k, l: l, r: r, groupOf: make([]int, k)}
+	c := &Coder{k: k, l: l, r: r, groupOf: make([]int, k), par: parallel.Pick(par)}
 	c.groups = make([][]int, l)
 	for i := 0; i < k; i++ {
 		g := i * l / k
@@ -107,12 +110,14 @@ func (c *Coder) Encode(shards [][]byte) error {
 		return fmt.Errorf("lrc encode: %w", err)
 	}
 	erasure.AllocParity(shards, c.k, size)
+	rows := make([][]byte, 0, c.l+c.r)
 	for i := c.k; i < c.TotalShards(); i++ {
 		if len(shards[i]) != size {
 			return fmt.Errorf("lrc encode: %w: parity %d", erasure.ErrShardSize, i)
 		}
-		gf256.DotProduct(c.coef.Row(i), shards[:c.k], shards[i])
+		rows = append(rows, c.coef.Row(i))
 	}
+	gf256.DotProducts(rows, shards[:c.k], shards[c.k:], c.par)
 	return nil
 }
 
@@ -175,7 +180,7 @@ func (c *Coder) reconstructGlobal(shards [][]byte, erased []int, size int) error
 	for i := range data {
 		data[i] = make([]byte, size)
 	}
-	if err := matrix.GaussianSolveShards(sub, rhs, data); err != nil {
+	if err := matrix.GaussianSolveShards(sub, rhs, data, c.par); err != nil {
 		return fmt.Errorf("lrc reconstruct: %w: pattern %v not recoverable",
 			erasure.ErrTooManyErasures, erased)
 	}
@@ -184,12 +189,15 @@ func (c *Coder) reconstructGlobal(shards [][]byte, erased []int, size int) error
 			shards[i] = data[i]
 		}
 	}
+	var encRows, encDsts [][]byte
 	for i := c.k; i < c.TotalShards(); i++ {
 		if shards[i] == nil {
 			shards[i] = make([]byte, size)
-			gf256.DotProduct(c.coef.Row(i), data, shards[i])
+			encRows = append(encRows, c.coef.Row(i))
+			encDsts = append(encDsts, shards[i])
 		}
 	}
+	gf256.DotProducts(encRows, data, encDsts, c.par)
 	return nil
 }
 
@@ -222,7 +230,8 @@ func (c *Coder) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("lrc verify: %w", err)
 	}
-	buf := make([]byte, size)
+	buf := parallel.GetBuffer(size)
+	defer parallel.PutBuffer(buf)
 	for i := c.k; i < c.TotalShards(); i++ {
 		gf256.DotProduct(c.coef.Row(i), shards[:c.k], buf)
 		for j := range buf {
@@ -249,13 +258,17 @@ func (c *Coder) ApplyDelta(shards [][]byte, idx int, delta []byte) ([]int, error
 		return nil, fmt.Errorf("lrc update: %w: delta length %d", erasure.ErrShardSize, len(delta))
 	}
 	var touched []int
+	var coeffs []byte
+	var dsts [][]byte
 	for i := c.k; i < c.TotalShards(); i++ {
 		coeff := c.coef.At(i, idx)
 		if coeff == 0 {
 			continue
 		}
-		gf256.MulAddSlice(coeff, delta, shards[i])
+		coeffs = append(coeffs, coeff)
+		dsts = append(dsts, shards[i])
 		touched = append(touched, i)
 	}
+	gf256.MulAddRows(coeffs, delta, dsts, c.par)
 	return touched, nil
 }

@@ -34,22 +34,9 @@ func TestGroupsBalanced(t *testing.T) {
 	}
 }
 
-func TestExhaustiveRPlusOne(t *testing.T) {
-	// Paper Table 2: LRC(k,l,r) tolerates any r+1 failures. Verify
-	// byte-exact repair for every pattern up to r+1, for the evaluation's
-	// configurations (scaled-down k).
-	for _, tc := range []struct{ k, l, r int }{
-		{4, 2, 2}, {5, 4, 2}, {7, 4, 2}, {6, 3, 2}, {9, 6, 2}, {6, 2, 1},
-	} {
-		c, err := New(tc.k, tc.l, tc.r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := erasure.CheckExhaustive(c, 48, int64(tc.k)); err != nil {
-			t.Fatal(err)
-		}
-	}
-}
+// Round-trip, validation, corruption and concurrency coverage lives in
+// the shared conformance suite (see conformance_test.go); this file
+// keeps only LRC-specific properties.
 
 func TestManyPatternsBeyondGuarantee(t *testing.T) {
 	// LRC recovers many (not all) r+2 patterns; the decoder must repair
@@ -105,21 +92,6 @@ func TestLocalRepairPath(t *testing.T) {
 		if !bytes.Equal(work[target], want) {
 			t.Fatalf("local repair of %d wrong", target)
 		}
-	}
-}
-
-func TestVerifyDetectsCorruption(t *testing.T) {
-	c, _ := New(5, 2, 2)
-	stripe, err := erasure.RandomStripe(c, 16, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ok, _ := c.Verify(stripe); !ok {
-		t.Fatal("fresh stripe fails verify")
-	}
-	stripe[6][0] ^= 1 // corrupt a local parity
-	if ok, _ := c.Verify(stripe); ok {
-		t.Fatal("corruption not detected")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"approxcode/internal/gf256"
+	"approxcode/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix over GF(2^8).
@@ -244,7 +245,9 @@ func Vandermonde(r, k int) *Matrix {
 // SolveShards solves A * x = b where each unknown x[i] and each RHS b[i]
 // is a byte shard (all the same length). A must be square and invertible.
 // The solution overwrites x (which must be pre-allocated by the caller).
-func SolveShards(a *Matrix, b [][]byte, x [][]byte) error {
+// The shard arithmetic is striped over the worker pool per the optional
+// trailing parallel.Options (last wins; absent means engine defaults).
+func SolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Options) error {
 	if a.Rows != a.Cols {
 		return fmt.Errorf("matrix: SolveShards needs square A, got %dx%d", a.Rows, a.Cols)
 	}
@@ -255,10 +258,22 @@ func SolveShards(a *Matrix, b [][]byte, x [][]byte) error {
 	if err != nil {
 		return err
 	}
-	for i := 0; i < inv.Rows; i++ {
-		gf256.DotProduct(inv.Row(i), b, x[i])
+	rows := make([][]byte, inv.Rows)
+	for i := range rows {
+		rows[i] = inv.Row(i)
 	}
+	gf256.DotProducts(rows, b, x, parallel.Pick(par))
 	return nil
+}
+
+// shardOp is one recorded row operation of a Gaussian elimination: with
+// src < 0, scale rhs[dst] by coeff; otherwise rhs[dst] ^= coeff*rhs[src].
+// The op log is replayed over shard byte ranges, which is what lets the
+// elimination's O(rows^2) slice arithmetic stripe across cores — every
+// chunk of the shards sees the same op sequence on disjoint bytes.
+type shardOp struct {
+	dst, src int
+	coeff    byte
 }
 
 // GaussianSolveShards solves a possibly over-determined system A*x = b
@@ -266,7 +281,11 @@ func SolveShards(a *Matrix, b [][]byte, x [][]byte) error {
 // Gaussian elimination with partial pivoting. It is used by the LRC
 // maximally-recoverable decoder where more equations than unknowns are
 // available. Returns ErrSingular if rank < cols.
-func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte) error {
+//
+// The elimination runs once on the coefficient matrix, recording the row
+// operations; the recorded log is then replayed over the shard bytes in
+// parallel, striped per the optional trailing parallel.Options.
+func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Options) error {
 	if len(b) != a.Rows || len(x) != a.Cols {
 		return fmt.Errorf("matrix: GaussianSolveShards shape mismatch")
 	}
@@ -274,12 +293,14 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte) error {
 		return ErrSingular
 	}
 	work := a.Clone()
-	// Deep-copy RHS shards so the caller's survivors are not clobbered.
-	rhs := make([][]byte, len(b))
-	for i := range b {
-		rhs[i] = append([]byte(nil), b[i]...)
+	// perm maps logical elimination rows to physical rhs indexes, so row
+	// swaps cost nothing at replay time.
+	perm := make([]int, work.Rows)
+	for i := range perm {
+		perm[i] = i
 	}
 	n := work.Cols
+	var ops []shardOp
 	for col := 0; col < n; col++ {
 		pivot := -1
 		for r := col; r < work.Rows; r++ {
@@ -296,12 +317,12 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte) error {
 			for i := range pr {
 				pr[i], cr[i] = cr[i], pr[i]
 			}
-			rhs[pivot], rhs[col] = rhs[col], rhs[pivot]
+			perm[pivot], perm[col] = perm[col], perm[pivot]
 		}
 		if v := work.At(col, col); v != 1 {
 			inv := gf256.Inv(v)
 			gf256.MulSlice(inv, work.Row(col), work.Row(col))
-			gf256.MulSlice(inv, rhs[col], rhs[col])
+			ops = append(ops, shardOp{dst: perm[col], src: -1, coeff: inv})
 		}
 		for r := 0; r < work.Rows; r++ {
 			if r == col {
@@ -310,12 +331,31 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte) error {
 			f := work.At(r, col)
 			if f != 0 {
 				gf256.MulAddSlice(f, work.Row(col), work.Row(r))
-				gf256.MulAddSlice(f, rhs[col], rhs[r])
+				ops = append(ops, shardOp{dst: perm[r], src: perm[col], coeff: f})
 			}
 		}
 	}
+	// Deep-copy RHS shards so the caller's survivors are not clobbered,
+	// then replay the op log striped over the shard bytes.
+	rhs := make([][]byte, len(b))
+	for i := range b {
+		rhs[i] = append([]byte(nil), b[i]...)
+	}
+	size := 0
+	if len(b) > 0 {
+		size = len(b[0])
+	}
+	parallel.Stripe(size, parallel.Pick(par), func(lo, hi int) {
+		for _, op := range ops {
+			if op.src < 0 {
+				gf256.MulSlice(op.coeff, rhs[op.dst][lo:hi], rhs[op.dst][lo:hi])
+			} else {
+				gf256.MulAddSlice(op.coeff, rhs[op.src][lo:hi], rhs[op.dst][lo:hi])
+			}
+		}
+	})
 	for i := 0; i < n; i++ {
-		copy(x[i], rhs[i])
+		copy(x[i], rhs[perm[i]])
 	}
 	return nil
 }

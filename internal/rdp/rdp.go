@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"approxcode/internal/evenodd"
+	"approxcode/internal/parallel"
 	"approxcode/internal/xorcode"
 )
 
@@ -52,9 +53,9 @@ func Chains(p int) []xorcode.Chain {
 // New returns the RDP(p) coder: k = p-1 data shards, 2 parity shards,
 // tolerance 2. p must be prime and at least 3 (the prime restriction is
 // what guarantees double-erasure decodability).
-func New(p int) (*xorcode.Code, error) {
+func New(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !evenodd.IsPrime(p) || p < 3 {
 		return nil, fmt.Errorf("rdp: p=%d must be a prime >= 3", p)
 	}
-	return xorcode.New(fmt.Sprintf("RDP(%d)", p), p-1, 2, p-1, 2, Chains(p))
+	return xorcode.New(fmt.Sprintf("RDP(%d)", p), p-1, 2, p-1, 2, Chains(p), par...)
 }

@@ -2,8 +2,6 @@ package rdp
 
 import (
 	"testing"
-
-	"approxcode/internal/erasure"
 )
 
 func TestNewRejectsNonPrime(t *testing.T) {
@@ -26,16 +24,15 @@ func TestShape(t *testing.T) {
 	}
 }
 
-func TestDoubleToleranceExhaustive(t *testing.T) {
+func TestDeclaredToleranceRankCheck(t *testing.T) {
+	// Byte-exact round trips live in the shared conformance suite; the
+	// GF(2) rank check here proves the declared double tolerance.
 	for _, p := range []int{3, 5, 7, 11, 13} {
 		c, err := New(p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyTolerance(2); err != nil {
-			t.Fatalf("p=%d: %v", p, err)
-		}
-		if err := erasure.CheckExhaustive(c, (p-1)*8, int64(p)); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
 	}

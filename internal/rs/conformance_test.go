@@ -1,0 +1,39 @@
+package rs
+
+import (
+	"fmt"
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+	"approxcode/internal/parallel"
+)
+
+// TestConformance runs the shared coder conformance suite (exhaustive
+// round-trip, validation, corruption detection, concurrent hammering)
+// over the RS shapes used in the paper's evaluation, in both the default
+// parallel configuration and forced-serial mode.
+func TestConformance(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{
+		{2, 1}, {3, 2}, {4, 3}, {5, 3}, {6, 2}, {9, 3}, {11, 3},
+	} {
+		c, err := New(tc.k, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+	serial, err := New(10, 4, parallel.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run(fmt.Sprintf("%s/serial", serial.Name()), func(t *testing.T) {
+		codertest.Run(t, serial, codertest.Options{ShardSize: 256})
+	})
+	tuned, err := New(10, 4, parallel.Options{Parallelism: 4, ChunkSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run(fmt.Sprintf("%s/parallel4", tuned.Name()), func(t *testing.T) {
+		codertest.Run(t, tuned, codertest.Options{ShardSize: 256})
+	})
+}

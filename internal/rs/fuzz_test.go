@@ -1,0 +1,62 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// FuzzRSRoundTrip drives encode -> erase -> reconstruct with fuzzer-chosen
+// shape, payload and erasure pattern, and demands byte-exact recovery
+// whenever the pattern is within the declared tolerance.
+func FuzzRSRoundTrip(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(0b11), []byte("approximate code"))
+	f.Add(uint8(1), uint8(1), uint8(1), []byte{0})
+	f.Add(uint8(10), uint8(4), uint8(0b1111), bytes.Repeat([]byte{7}, 64))
+	f.Add(uint8(3), uint8(3), uint8(0b111000), []byte("tiered video storage"))
+	f.Fuzz(func(t *testing.T, kRaw, rRaw, mask uint8, payload []byte) {
+		k := int(kRaw%16) + 1
+		r := int(rRaw%5) + 1
+		if len(payload) == 0 {
+			payload = []byte{1}
+		}
+		c, err := New(k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Spread the payload round-robin over k equal data shards.
+		size := (len(payload) + k - 1) / k
+		shards := make([][]byte, k+r)
+		for i := 0; i < k; i++ {
+			shards[i] = make([]byte, size)
+		}
+		for i, b := range payload {
+			shards[i%k][i/k] = b
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		want := erasure.CloneShards(shards)
+
+		// Erase the masked shard indexes, capped at the tolerance r.
+		erased := 0
+		for i := 0; i < k+r && erased < r; i++ {
+			if mask&(1<<(i%8)) != 0 {
+				shards[i] = nil
+				erased++
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], want[i]) {
+				t.Fatalf("k=%d r=%d: shard %d differs after reconstruct", k, r, i)
+			}
+		}
+		if ok, err := c.Verify(shards); err != nil || !ok {
+			t.Fatalf("k=%d r=%d: verify after reconstruct ok=%v err=%v", k, r, ok, err)
+		}
+	})
+}

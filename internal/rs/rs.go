@@ -12,6 +12,7 @@ import (
 	"approxcode/internal/erasure"
 	"approxcode/internal/gf256"
 	"approxcode/internal/matrix"
+	"approxcode/internal/parallel"
 )
 
 // Coder is a systematic RS(k, r) erasure coder. It is safe for concurrent
@@ -20,19 +21,23 @@ type Coder struct {
 	k, r int
 	gen  *matrix.Matrix // (k+r) x k generator, top k rows identity
 	name string         // optional override (NewXORPrefix)
+	par  parallel.Options
 }
 
 var _ erasure.Coder = (*Coder)(nil)
 
-// New returns an RS(k, r) coder. k >= 1, r >= 0, k+r <= 256.
-func New(k, r int) (*Coder, error) {
+// New returns an RS(k, r) coder. k >= 1, r >= 0, k+r <= 256. The
+// optional trailing parallel.Options tunes how encode/decode stripe over
+// the worker pool (last wins; absent means GOMAXPROCS workers with the
+// engine's default chunk size).
+func New(k, r int, par ...parallel.Options) (*Coder, error) {
 	if k < 1 || r < 0 {
 		return nil, fmt.Errorf("rs: invalid shape k=%d r=%d", k, r)
 	}
 	if k+r > 256 {
 		return nil, fmt.Errorf("rs: k+r=%d exceeds GF(256) limit", k+r)
 	}
-	return &Coder{k: k, r: r, gen: matrix.SystematicMDS(k, r)}, nil
+	return &Coder{k: k, r: r, gen: matrix.SystematicMDS(k, r), par: parallel.Pick(par)}, nil
 }
 
 // NewXORPrefix returns an RS-like MDS coder whose first parity row is all
@@ -42,7 +47,7 @@ func New(k, r int) (*Coder, error) {
 // APPR.LRC family, where the local parity is LRC-style XOR. Because the
 // column scaling is independent of r, NewXORPrefix(k, r1) parities are a
 // prefix of NewXORPrefix(k, r2) parities for r1 < r2.
-func NewXORPrefix(k, r int) (*Coder, error) {
+func NewXORPrefix(k, r int, par ...parallel.Options) (*Coder, error) {
 	if k < 1 || r < 1 {
 		return nil, fmt.Errorf("rs: invalid shape k=%d r=%d", k, r)
 	}
@@ -57,7 +62,7 @@ func NewXORPrefix(k, r int) (*Coder, error) {
 	for i := 0; i < r; i++ {
 		copy(g.Row(k+i), cx.Row(i))
 	}
-	return &Coder{k: k, r: r, gen: g, name: fmt.Sprintf("RSX(%d,%d)", k, r)}, nil
+	return &Coder{k: k, r: r, gen: g, name: fmt.Sprintf("RSX(%d,%d)", k, r), par: parallel.Pick(par)}, nil
 }
 
 // Name implements erasure.Coder.
@@ -100,12 +105,14 @@ func (c *Coder) Encode(shards [][]byte) error {
 		return fmt.Errorf("rs encode: %w", err)
 	}
 	erasure.AllocParity(shards, c.k, size)
+	rows := make([][]byte, 0, c.r)
 	for i := c.k; i < c.TotalShards(); i++ {
 		if len(shards[i]) != size {
 			return fmt.Errorf("rs encode: %w: parity %d", erasure.ErrShardSize, i)
 		}
-		gf256.DotProduct(c.gen.Row(i), shards[:c.k], shards[i])
+		rows = append(rows, c.gen.Row(i))
 	}
+	gf256.DotProducts(rows, shards[:c.k], shards[c.k:], c.par)
 	return nil
 }
 
@@ -137,27 +144,31 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 	if err != nil {
 		return fmt.Errorf("rs reconstruct: %w", err)
 	}
-	// Recover the data shards that are erased.
+	// Recover the data shards that are erased, striping all of them over
+	// the pool at once.
 	data := make([][]byte, c.k)
+	var recRows, recDsts [][]byte
 	for i := 0; i < c.k; i++ {
 		if shards[i] != nil {
 			data[i] = shards[i]
+			continue
 		}
+		data[i] = make([]byte, size)
+		shards[i] = data[i]
+		recRows = append(recRows, inv.Row(i))
+		recDsts = append(recDsts, data[i])
 	}
-	for i := 0; i < c.k; i++ {
-		if data[i] == nil {
-			data[i] = make([]byte, size)
-			gf256.DotProduct(inv.Row(i), survivors, data[i])
-			shards[i] = data[i]
-		}
-	}
+	gf256.DotProducts(recRows, survivors, recDsts, c.par)
 	// Re-encode missing parities from (now complete) data.
+	recRows, recDsts = recRows[:0], recDsts[:0]
 	for i := c.k; i < c.TotalShards(); i++ {
 		if shards[i] == nil {
 			shards[i] = make([]byte, size)
-			gf256.DotProduct(c.gen.Row(i), data, shards[i])
+			recRows = append(recRows, c.gen.Row(i))
+			recDsts = append(recDsts, shards[i])
 		}
 	}
+	gf256.DotProducts(recRows, data, recDsts, c.par)
 	return nil
 }
 
@@ -167,7 +178,8 @@ func (c *Coder) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("rs verify: %w", err)
 	}
-	buf := make([]byte, size)
+	buf := parallel.GetBuffer(size)
+	defer parallel.PutBuffer(buf)
 	for i := c.k; i < c.TotalShards(); i++ {
 		gf256.DotProduct(c.gen.Row(i), shards[:c.k], buf)
 		for j := range buf {
@@ -195,13 +207,17 @@ func (c *Coder) ApplyDelta(shards [][]byte, idx int, delta []byte) ([]int, error
 		return nil, fmt.Errorf("rs update: %w: delta length %d", erasure.ErrShardSize, len(delta))
 	}
 	var touched []int
+	var coeffs []byte
+	var dsts [][]byte
 	for i := c.k; i < c.TotalShards(); i++ {
 		coeff := c.gen.At(i, idx)
 		if coeff == 0 {
 			continue
 		}
-		gf256.MulAddSlice(coeff, delta, shards[i])
+		coeffs = append(coeffs, coeff)
+		dsts = append(dsts, shards[i])
 		touched = append(touched, i)
 	}
+	gf256.MulAddRows(coeffs, delta, dsts, c.par)
 	return touched, nil
 }

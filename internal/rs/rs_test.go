@@ -26,94 +26,9 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-func TestExhaustivePatterns(t *testing.T) {
-	// Every erasure pattern up to r must repair byte-exactly, for the
-	// parameter sweep used in the paper's evaluation.
-	for _, tc := range []struct{ k, r int }{
-		{2, 1}, {3, 2}, {4, 3}, {5, 3}, {7, 3}, {9, 3}, {4, 1}, {6, 2}, {11, 3},
-	} {
-		c, err := New(tc.k, tc.r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := erasure.CheckExhaustive(c, 64, int64(tc.k*100+tc.r)); err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-func TestTooManyErasures(t *testing.T) {
-	c, _ := New(4, 2)
-	stripe, err := erasure.RandomStripe(c, 32, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stripe[0], stripe[1], stripe[2] = nil, nil, nil
-	if err := c.Reconstruct(stripe); !errors.Is(err, erasure.ErrTooManyErasures) {
-		t.Fatalf("want ErrTooManyErasures, got %v", err)
-	}
-}
-
-func TestEncodeValidation(t *testing.T) {
-	c, _ := New(3, 2)
-	if err := c.Encode(make([][]byte, 4)); !errors.Is(err, erasure.ErrShardCount) {
-		t.Fatalf("want ErrShardCount, got %v", err)
-	}
-	shards := [][]byte{make([]byte, 8), make([]byte, 9), make([]byte, 8), nil, nil}
-	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
-		t.Fatalf("want ErrShardSize, got %v", err)
-	}
-	shards = [][]byte{make([]byte, 8), nil, make([]byte, 8), nil, nil}
-	if err := c.Encode(shards); !errors.Is(err, erasure.ErrShardSize) {
-		t.Fatalf("nil data shard: want ErrShardSize, got %v", err)
-	}
-}
-
-func TestVerifyDetectsCorruption(t *testing.T) {
-	c, _ := New(5, 3)
-	stripe, err := erasure.RandomStripe(c, 128, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ok, err := c.Verify(stripe)
-	if err != nil || !ok {
-		t.Fatalf("fresh stripe verify ok=%v err=%v", ok, err)
-	}
-	stripe[2][10] ^= 0xFF
-	ok, err = c.Verify(stripe)
-	if err != nil || ok {
-		t.Fatalf("corrupted stripe verify ok=%v err=%v", ok, err)
-	}
-}
-
-func TestReconstructNoErasuresIsNoop(t *testing.T) {
-	c, _ := New(4, 2)
-	stripe, _ := erasure.RandomStripe(c, 16, 3)
-	clone := erasure.CloneShards(stripe)
-	if err := c.Reconstruct(stripe); err != nil {
-		t.Fatal(err)
-	}
-	for i := range stripe {
-		if !bytes.Equal(stripe[i], clone[i]) {
-			t.Fatal("no-op reconstruct changed data")
-		}
-	}
-}
-
-func TestParityOnlyErasure(t *testing.T) {
-	c, _ := New(4, 3)
-	stripe, _ := erasure.RandomStripe(c, 48, 4)
-	want := erasure.CloneShards(stripe)
-	stripe[4], stripe[6] = nil, nil // two parity shards
-	if err := c.Reconstruct(stripe); err != nil {
-		t.Fatal(err)
-	}
-	for i := range stripe {
-		if !bytes.Equal(stripe[i], want[i]) {
-			t.Fatalf("shard %d differs", i)
-		}
-	}
-}
+// Round-trip, validation, corruption and concurrency coverage lives in
+// the shared conformance suite (see conformance_test.go); this file
+// keeps only RS-specific properties.
 
 func TestParityRowIsCopy(t *testing.T) {
 	c, _ := New(4, 3)

@@ -1,0 +1,25 @@
+package star
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+)
+
+// TestConformance runs the shared coder conformance suite over the STAR
+// primes exercised in the paper's parameter sweep, for both the full
+// triple-parity code and the horizontal local prefix.
+func TestConformance(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+	local, err := NewHorizontal(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run(local.Name(), func(t *testing.T) { codertest.Run(t, local) })
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"approxcode/internal/evenodd"
+	"approxcode/internal/parallel"
 	"approxcode/internal/xorcode"
 )
 
@@ -58,7 +59,7 @@ func Chains(p int) []xorcode.Chain {
 // data, which lets the Approximate Code framework segment STAR as
 // 1 local (horizontal) + 2 global (diagonal, anti-diagonal) parities —
 // the APPR.STAR(k,1,2,h) configuration of the paper's evaluation.
-func NewHorizontal(p int) (*xorcode.Code, error) {
+func NewHorizontal(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !evenodd.IsPrime(p) || p < 3 {
 		return nil, fmt.Errorf("star: p=%d must be a prime >= 3", p)
 	}
@@ -71,14 +72,14 @@ func NewHorizontal(p int) (*xorcode.Code, error) {
 		}
 		chains = append(chains, ch)
 	}
-	return xorcode.New(fmt.Sprintf("STAR-horizontal(%d)", p), p, 1, rows, 1, chains)
+	return xorcode.New(fmt.Sprintf("STAR-horizontal(%d)", p), p, 1, rows, 1, chains, par...)
 }
 
 // New returns the STAR(p) coder: k = p data shards, 3 parity shards,
 // tolerance 3. p must be prime and at least 3.
-func New(p int) (*xorcode.Code, error) {
+func New(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !evenodd.IsPrime(p) || p < 3 {
 		return nil, fmt.Errorf("star: p=%d must be a prime >= 3", p)
 	}
-	return xorcode.New(fmt.Sprintf("STAR(%d)", p), p, 3, p-1, 3, Chains(p))
+	return xorcode.New(fmt.Sprintf("STAR(%d)", p), p, 3, p-1, 3, Chains(p), par...)
 }

@@ -26,18 +26,16 @@ func TestShape(t *testing.T) {
 	}
 }
 
-func TestTripleToleranceExhaustive(t *testing.T) {
+func TestTripleToleranceRankCheck(t *testing.T) {
 	// The central correctness claim: STAR repairs every pattern of up to
-	// three column erasures. Verified by rank check + byte-exact repair.
+	// three column erasures. The GF(2) rank check proves it; byte-exact
+	// round trips live in the shared conformance suite.
 	for _, p := range []int{3, 5, 7, 11} {
 		c, err := New(p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyTolerance(3); err != nil {
-			t.Fatalf("p=%d: %v", p, err)
-		}
-		if err := erasure.CheckExhaustive(c, (p-1)*4, int64(p)); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"approxcode/internal/evenodd"
+	"approxcode/internal/parallel"
 	"approxcode/internal/xorcode"
 )
 
@@ -84,11 +85,11 @@ func dedupe(ch xorcode.Chain) xorcode.Chain {
 
 // New returns the TIP-style coder for prime p >= 5: k = p-2 data shards,
 // 3 parity shards, tolerance 3.
-func New(p int) (*xorcode.Code, error) {
+func New(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !evenodd.IsPrime(p) || p < 5 {
 		return nil, fmt.Errorf("tip: p=%d must be a prime >= 5", p)
 	}
-	return xorcode.New(fmt.Sprintf("TIP(%d)", p), p-2, 3, p-1, 3, Chains(p))
+	return xorcode.New(fmt.Sprintf("TIP(%d)", p), p-2, 3, p-1, 3, Chains(p), par...)
 }
 
 // NewLocal returns the horizontal-parity-only prefix of TIP(p): the
@@ -96,7 +97,7 @@ func New(p int) (*xorcode.Code, error) {
 // the first parity column of New(p) on the same data, which is the
 // prefix property the Approximate Code framework requires when it
 // segments TIP into 1 local + 2 global parities.
-func NewLocal(p int) (*xorcode.Code, error) {
+func NewLocal(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !evenodd.IsPrime(p) || p < 5 {
 		return nil, fmt.Errorf("tip: p=%d must be a prime >= 5", p)
 	}
@@ -110,5 +111,5 @@ func NewLocal(p int) (*xorcode.Code, error) {
 		}
 		chains = append(chains, ch)
 	}
-	return xorcode.New(fmt.Sprintf("TIP-local(%d)", p), k, 1, rows, 1, chains)
+	return xorcode.New(fmt.Sprintf("TIP-local(%d)", p), k, 1, rows, 1, chains, par...)
 }

@@ -28,19 +28,17 @@ func TestShape(t *testing.T) {
 	}
 }
 
-func TestTripleToleranceExhaustive(t *testing.T) {
+func TestTripleToleranceRankCheck(t *testing.T) {
 	// Substitution validation (DESIGN.md §5): the Blaum-Roth-style
 	// independent-parity construction must repair every pattern of up to
-	// three column erasures for all supported p.
+	// three column erasures for all supported p. The GF(2) rank check
+	// proves it; byte-exact round trips live in the conformance suite.
 	for _, p := range []int{5, 7, 11} {
 		c, err := New(p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyTolerance(3); err != nil {
-			t.Fatalf("p=%d: %v", p, err)
-		}
-		if err := erasure.CheckExhaustive(c, (p-1)*4, int64(p)); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
 	}

@@ -1,0 +1,21 @@
+package xcode
+
+import (
+	"testing"
+
+	"approxcode/internal/erasure/codertest"
+)
+
+// TestConformance runs the shared coder conformance suite over the
+// X-Code primes exercised in the paper's parameter sweep. X-Code is a
+// vertical code: the suite skips the dedicated-parity subtests and
+// treats all p columns as storage units.
+func TestConformance(t *testing.T) {
+	for _, p := range []int{5, 7, 11} {
+		c, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codertest.Run(t, c) })
+	}
+}

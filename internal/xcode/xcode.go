@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"approxcode/internal/evenodd"
+	"approxcode/internal/parallel"
 	"approxcode/internal/xorcode"
 )
 
@@ -44,9 +45,9 @@ func ParityCells(p int) []xorcode.Cell {
 
 // New returns the X-Code(p) coder: p columns of p rows, the bottom two
 // rows being parity, tolerance 2. p must be prime and at least 5.
-func New(p int) (*xorcode.Code, error) {
+func New(p int, par ...parallel.Options) (*xorcode.Code, error) {
 	if !evenodd.IsPrime(p) || p < 5 {
 		return nil, fmt.Errorf("xcode: p=%d must be a prime >= 5", p)
 	}
-	return xorcode.NewVertical(fmt.Sprintf("X-Code(%d)", p), p, p, 2, ParityCells(p), Chains(p))
+	return xorcode.NewVertical(fmt.Sprintf("X-Code(%d)", p), p, p, 2, ParityCells(p), Chains(p), par...)
 }

@@ -22,10 +22,17 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"approxcode/internal/erasure"
 	"approxcode/internal/gf256"
+	"approxcode/internal/parallel"
 )
+
+// minStripedBytes is the stripe size below which the XOR schedules run
+// serially: fanning sub-cache-line cells over the pool costs more than
+// the XORs themselves.
+const minStripedBytes = 64 << 10
 
 // Cell addresses one element of the array: column col (node), row within
 // the column.
@@ -62,6 +69,8 @@ type Code struct {
 	// (col*rows+row) to XOR into parityCells[u].
 	encodePlan [][]int
 
+	par parallel.Options
+
 	mu        sync.Mutex
 	planCache map[string][]decodeStep
 }
@@ -78,7 +87,7 @@ var _ erasure.Coder = (*Code)(nil)
 // chains determine every parity cell (i.e. encoding is well defined).
 // tolerance is the declared number of arbitrary column failures the code
 // repairs; VerifyTolerance can prove it exhaustively.
-func New(name string, dataCols, parityCols, rows, tolerance int, chains []Chain) (*Code, error) {
+func New(name string, dataCols, parityCols, rows, tolerance int, chains []Chain, par ...parallel.Options) (*Code, error) {
 	if dataCols < 1 || parityCols < 1 || rows < 1 {
 		return nil, fmt.Errorf("xorcode %s: invalid shape data=%d parity=%d rows=%d",
 			name, dataCols, parityCols, rows)
@@ -89,22 +98,22 @@ func New(name string, dataCols, parityCols, rows, tolerance int, chains []Chain)
 			parityCells = append(parityCells, Cell{Col: col, Row: row})
 		}
 	}
-	return newCode(name, dataCols, parityCols, rows, tolerance, parityCells, chains)
+	return newCode(name, dataCols, parityCols, rows, tolerance, parityCells, chains, parallel.Pick(par))
 }
 
 // NewVertical constructs a vertical code: cols columns of rows elements
 // where the listed cells hold parity and every other cell holds data
 // (e.g. X-Code stores its two parity rows at the bottom of every
 // column). ParityShards() is 0 for vertical codes.
-func NewVertical(name string, cols, rows, tolerance int, parityCells []Cell, chains []Chain) (*Code, error) {
+func NewVertical(name string, cols, rows, tolerance int, parityCells []Cell, chains []Chain, par ...parallel.Options) (*Code, error) {
 	if cols < 1 || rows < 1 || len(parityCells) < 1 {
 		return nil, fmt.Errorf("xorcode %s: invalid vertical shape cols=%d rows=%d parity=%d",
 			name, cols, rows, len(parityCells))
 	}
-	return newCode(name, cols, 0, rows, tolerance, parityCells, chains)
+	return newCode(name, cols, 0, rows, tolerance, parityCells, chains, parallel.Pick(par))
 }
 
-func newCode(name string, dataCols, parityCols, rows, tolerance int, parityCells []Cell, chains []Chain) (*Code, error) {
+func newCode(name string, dataCols, parityCols, rows, tolerance int, parityCells []Cell, chains []Chain, par parallel.Options) (*Code, error) {
 	c := &Code{
 		name:      name,
 		dataCols:  dataCols,
@@ -112,6 +121,7 @@ func newCode(name string, dataCols, parityCols, rows, tolerance int, parityCells
 		rows:      rows,
 		tolerance: tolerance,
 		chains:    chains,
+		par:       par,
 		planCache: make(map[string][]decodeStep),
 	}
 	totalCols := dataCols + parityCols
@@ -323,16 +333,31 @@ func (c *Code) Encode(shards [][]byte) error {
 			return fmt.Errorf("%s encode: %w", c.name, err)
 		}
 	}
-	for u, plan := range c.encodePlan {
+	// Every parity cell's XOR schedule writes a disjoint cell chunk and
+	// reads only data cells, so (parity cell x byte chunk) tasks are
+	// independent and fan straight onto the worker pool.
+	cellSize := size / c.rows
+	encodeCell := func(u, lo, hi int) {
 		pi := c.parityCells[u]
-		dst := chunk(shards[pi/c.rows], pi%c.rows, c.rows)
+		dst := chunk(shards[pi/c.rows], pi%c.rows, c.rows)[lo:hi]
 		for i := range dst {
 			dst[i] = 0
 		}
-		for _, di := range plan {
-			gf256.XorSlice(chunk(shards[di/c.rows], di%c.rows, c.rows), dst)
+		for _, di := range c.encodePlan[u] {
+			gf256.XorSlice(chunk(shards[di/c.rows], di%c.rows, c.rows)[lo:hi], dst)
 		}
 	}
+	if c.par.Workers() == 1 || size*c.TotalShards() < minStripedBytes {
+		for u := range c.encodePlan {
+			encodeCell(u, 0, cellSize)
+		}
+		return nil
+	}
+	nc := parallel.Chunks(cellSize, c.par)
+	parallel.Run(len(c.encodePlan)*nc, c.par.Workers(), func(t int) {
+		lo, hi := parallel.ChunkBounds(cellSize, c.par, t%nc)
+		encodeCell(t/nc, lo, hi)
+	})
 	return nil
 }
 
@@ -450,12 +475,28 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	for _, e := range erased {
 		shards[e] = make([]byte, size)
 	}
-	for _, step := range plan {
-		dst := chunk(shards[step.lost/c.rows], step.lost%c.rows, c.rows)
+	// After Gauss-Jordan each decode step reads surviving cells only and
+	// writes one distinct lost cell, so steps are mutually independent:
+	// fan (step x byte chunk) tasks over the pool.
+	cellSize := size / c.rows
+	decodeStepRange := func(s, lo, hi int) {
+		step := plan[s]
+		dst := chunk(shards[step.lost/c.rows], step.lost%c.rows, c.rows)[lo:hi]
 		for _, ki := range step.known {
-			gf256.XorSlice(chunk(shards[ki/c.rows], ki%c.rows, c.rows), dst)
+			gf256.XorSlice(chunk(shards[ki/c.rows], ki%c.rows, c.rows)[lo:hi], dst)
 		}
 	}
+	if c.par.Workers() == 1 || size*c.TotalShards() < minStripedBytes {
+		for s := range plan {
+			decodeStepRange(s, 0, cellSize)
+		}
+		return nil
+	}
+	nc := parallel.Chunks(cellSize, c.par)
+	parallel.Run(len(plan)*nc, c.par.Workers(), func(t int) {
+		lo, hi := parallel.ChunkBounds(cellSize, c.par, t%nc)
+		decodeStepRange(t/nc, lo, hi)
+	})
 	return nil
 }
 
@@ -465,21 +506,26 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("%s verify: %w", c.name, err)
 	}
-	buf := make([]byte, size/c.rows)
-	for _, ch := range c.chains {
-		for i := range buf {
-			buf[i] = 0
+	// Chains are independent checks: fan them over the pool, each with a
+	// pooled scratch buffer, bailing out once any chain mismatches.
+	var mismatch atomic.Bool
+	parallel.Run(len(c.chains), c.par.Workers(), func(i int) {
+		if mismatch.Load() {
+			return
 		}
-		for _, cell := range ch {
+		buf := parallel.GetBuffer(size / c.rows)
+		defer parallel.PutBuffer(buf)
+		for _, cell := range c.chains[i] {
 			gf256.XorSlice(chunk(shards[cell.Col], cell.Row, c.rows), buf)
 		}
 		for _, b := range buf {
 			if b != 0 {
-				return false, nil
+				mismatch.Store(true)
+				return
 			}
 		}
-	}
-	return true, nil
+	})
+	return !mismatch.Load(), nil
 }
 
 // Recoverable reports whether the given column-erasure pattern is
