@@ -1,12 +1,13 @@
 # Build/test entry points. `make ci` is the full gate: vet, build, unit
-# tests, the race-detector pass (which also runs every coder's concurrent
-# conformance hammering), and short fuzz smoke runs of the checked-in
-# corpora plus 5s of fresh exploration per target.
+# tests under both the SIMD and `noasm` builds, the race-detector pass
+# (which also runs every coder's concurrent conformance hammering), and
+# short fuzz smoke runs of the checked-in corpora plus 5s of fresh
+# exploration per target.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test race fuzz bench-pr1 ci
+.PHONY: all build vet test test-noasm race fuzz bench-pr1 bench-pr2 ci
 
 all: build
 
@@ -19,6 +20,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# Same suite with the assembly GF(2^8) kernels compiled out: proves the
+# pure-Go fallback (and therefore every non-SIMD platform) passes.
+test-noasm:
+	$(GO) test -tags noasm ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -27,6 +33,7 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzGF256MulInv -fuzztime=$(FUZZTIME) ./internal/gf256/
 	$(GO) test -run=^$$ -fuzz=FuzzSliceKernels -fuzztime=$(FUZZTIME) ./internal/gf256/
+	$(GO) test -run=^$$ -fuzz=FuzzSIMDKernels -fuzztime=$(FUZZTIME) ./internal/gf256/
 	$(GO) test -run=^$$ -fuzz=FuzzRSRoundTrip -fuzztime=$(FUZZTIME) ./internal/rs/
 	$(GO) test -run=^$$ -fuzz=FuzzCoreRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
 
@@ -34,4 +41,8 @@ fuzz:
 bench-pr1:
 	$(GO) run ./cmd/apprbench -exp pr1 -iters 7
 
-ci: vet build test race fuzz
+# Regenerates BENCH_PR2.json (SIMD kernels + cached decode plans).
+bench-pr2:
+	$(GO) run ./cmd/apprbench -exp pr2 -iters 3
+
+ci: vet build test test-noasm race fuzz

@@ -22,13 +22,14 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1")
+	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2")
 	shardFlag   = flag.Int("shard", 256*1024, "approximate per-node shard bytes for timing experiments")
 	itersFlag   = flag.Int("iters", 3, "timed iterations per measurement")
 	sizeFlag    = flag.Int("size", 256<<20, "simulated node bytes for the recovery experiment")
 	stripesFlag = flag.Int("stripes", 4, "simulated stripes per node for the recovery experiment")
 	kFlag       = flag.Int("k", 5, "data nodes for single-k experiments (table2, fig12, fig13)")
 	pr1Flag     = flag.String("pr1", "BENCH_PR1.json", "output path for the pr1 serial-vs-parallel report")
+	pr2Flag     = flag.String("pr2", "BENCH_PR2.json", "output path for the pr2 SIMD/plan-cache report")
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 		"video":       func(bench.TimingConfig) error { return runVideo() },
 		"headline":    func(bench.TimingConfig) error { return runHeadline() },
 		"pr1":         runPR1,
+		"pr2":         runPR2,
 	}
 	order := []string{"table2", "table3", "fig7", "fig8", "fig9", "table4",
 		"fig10", "fig11", "fig12", "fig13", "fig13des", "reliability", "video", "headline"}
@@ -303,6 +305,56 @@ func runPR1(tc bench.TimingConfig) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *pr1Flag)
+	return nil
+}
+
+func runPR2(tc bench.TimingConfig) error {
+	// Like pr1, the acceptance record uses 1 MiB shards by default.
+	if tc.ShardSize == 256*1024 {
+		tc.ShardSize = 1 << 20
+	}
+	section(fmt.Sprintf("PR2: SIMD kernels + decode-plan cache (%d KiB shards, kernel=%s)",
+		tc.ShardSize>>10, bench.PR2Kernel()))
+	rep, err := bench.RunPR2(tc)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "kernel\tmuladd MB/s\txor MB/s\tvs generic")
+	for _, k := range rep.KernelCases {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.2fx\n", k.Kernel, k.MulAddMBps, k.XorMBps, k.SpeedupVsGeneric)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "coder\top\tgeneric MB/s\tsimd MB/s\tspeedup")
+	for _, c := range rep.CoderCases {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.2fx\n", c.Coder, c.Op, c.GenericMBps, c.SimdMBps, c.Speedup)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "coder\tpattern\tcold µs\tcached µs\tspeedup\tmisses\thits")
+	for _, p := range rep.PlanCases {
+		fmt.Fprintf(w, "%s\t%v\t%.1f\t%.1f\t%.2fx\t%d\t%d\n",
+			p.Coder, p.Pattern, p.ColdSecs*1e6, p.WarmSecs*1e6, p.Speedup,
+			p.WarmStats.Misses, p.WarmStats.Hits)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println(rep.Note)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*pr2Flag, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *pr2Flag)
 	return nil
 }
 

@@ -173,7 +173,11 @@ func TestFig8Validity(t *testing.T) {
 }
 
 func TestFigEncodingShape(t *testing.T) {
-	fig, err := FigEncoding(core.FamilyRS, fastTiming())
+	// Shards must be large enough that GF arithmetic, not per-codeword
+	// setup, dominates: with the SIMD kernels the arithmetic on tiny
+	// shards finishes in microseconds and fixed overhead hides the
+	// fewer-parities advantage being asserted.
+	fig, err := FigEncoding(core.FamilyRS, TimingConfig{ShardSize: 128 * 1024, Iters: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,8 +201,11 @@ func TestFigEncodingShape(t *testing.T) {
 
 func TestFigDecodingDoubleFailuresFaster(t *testing.T) {
 	// Large-enough shards and a few iterations keep timer noise (and
-	// parallel-test interference) below the ~4x signal we assert on.
-	fig, err := FigDecoding(core.FamilyRS, 2, TimingConfig{ShardSize: 64 * 1024, Iters: 3})
+	// parallel-test interference) below the ~4x signal we assert on. The
+	// shards must also be big enough that GF arithmetic, not per-codeword
+	// setup, dominates — the SIMD kernels make the arithmetic fast enough
+	// that smaller shards drown the signal in fixed overhead.
+	fig, err := FigDecoding(core.FamilyRS, 2, TimingConfig{ShardSize: 256 * 1024, Iters: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"approxcode/internal/core"
+	"approxcode/internal/crs"
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+	"approxcode/internal/lrc"
+	"approxcode/internal/matrix"
+	"approxcode/internal/rs"
+)
+
+// PR2 is the acceptance experiment for the SIMD GF(2^8) kernels and the
+// decode-plan caches. It reports, on the host it runs on:
+//
+//   - raw kernel throughput (MulAddSlice, the coders' inner loop) for
+//     every available kernel, generic included;
+//   - coder-level encode/decode throughput with the generic kernel
+//     forced versus the best SIMD kernel;
+//   - cold-versus-cached decode latency, where "cold" pays the matrix
+//     inversion / elimination on every decode and "warm" replays the
+//     cached plan.
+//
+// The emitted report becomes BENCH_PR2.json.
+
+// PR2KernelCase is one kernel's raw MulAddSlice microbenchmark.
+type PR2KernelCase struct {
+	Kernel           string  `json:"kernel"`
+	MulAddMBps       float64 `json:"muladd_mbps"`
+	XorMBps          float64 `json:"xor_mbps"`
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic"`
+}
+
+// PR2CoderCase compares one coder+operation under the generic kernel and
+// under the host's best SIMD kernel.
+type PR2CoderCase struct {
+	Coder       string  `json:"coder"`
+	Op          string  `json:"op"`
+	Bytes       int     `json:"bytes"`
+	GenericSecs float64 `json:"generic_secs"`
+	SimdSecs    float64 `json:"simd_secs"`
+	GenericMBps float64 `json:"generic_mbps"`
+	SimdMBps    float64 `json:"simd_mbps"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// PR2PlanCase compares decode latency when every decode recomputes the
+// plan (cold: fresh coder per decode) against decodes sharing one
+// coder's plan cache (warm: the plan is computed once and replayed).
+type PR2PlanCase struct {
+	Coder    string `json:"coder"`
+	Pattern  []int  `json:"pattern"`
+	Iters    int    `json:"iters"`
+	ColdSecs float64 `json:"cold_secs_per_decode"`
+	WarmSecs float64 `json:"warm_secs_per_decode"`
+	Speedup  float64 `json:"speedup"`
+	// WarmStats proves the warm run skipped the inversions: Misses is the
+	// number of plan computations (1), Hits the decodes that reused it.
+	WarmStats matrix.CacheStats `json:"warm_stats"`
+}
+
+// PR2Report is the machine-readable result of the PR2 experiment.
+type PR2Report struct {
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	NumCPU       int      `json:"numcpu"`
+	ShardSize    int      `json:"shard_size"`
+	Iters        int      `json:"iters"`
+	Kernels      []string `json:"kernels"`
+	ActiveKernel string   `json:"active_kernel"`
+
+	KernelCases []PR2KernelCase `json:"kernel_cases"`
+	CoderCases  []PR2CoderCase  `json:"coder_cases"`
+	PlanCases   []PR2PlanCase   `json:"plan_cases"`
+
+	// TargetEvaluated is true when the host has a SIMD kernel; the >= 3x
+	// criterion below is gated on it (a generic-only host compares the
+	// generic kernel to itself).
+	TargetEvaluated bool `json:"target_evaluated"`
+	// TargetMet reports whether RS(10,4) encode reached >= 3x throughput
+	// with the SIMD kernel versus the generic kernel.
+	TargetMet bool   `json:"target_met"`
+	Note      string `json:"note,omitempty"`
+}
+
+// PR2Kernel returns the runtime-selected GF(2^8) kernel name, for
+// display next to the measured speedups.
+func PR2Kernel() string { return gf256.Kernel() }
+
+// pr2MicrobenchBytes is the buffer size for raw kernel measurements:
+// large enough to stream from memory like the coders do.
+const pr2MicrobenchBytes = 1 << 20
+
+// measureKernel times fn repeatedly over total bytes and returns the
+// best MB/s of three rounds (the minimum-time round is the least
+// scheduler-disturbed estimate of the kernel's real throughput).
+func measureKernel(bytesPerCall int, iters int, fn func()) float64 {
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		secs := time.Since(start).Seconds()
+		if secs <= 0 {
+			continue
+		}
+		if mbps := float64(bytesPerCall) * float64(iters) / secs / (1 << 20); mbps > best {
+			best = mbps
+		}
+	}
+	return best
+}
+
+// pr2Coders builds the coder set measured at the coder level.
+func pr2Coders() (map[string]erasure.Coder, []string, error) {
+	out := make(map[string]erasure.Coder)
+	order := []string{"RS(10,4)", "LRC(10,4,2)", "CRS(10,4)", "APPR.RS(10,1,2,4,Uneven)"}
+	r, err := rs.New(10, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	out["RS(10,4)"] = r
+	l, err := lrc.New(10, 4, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	out["LRC(10,4,2)"] = l
+	c, err := crs.New(10, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	out["CRS(10,4)"] = c
+	ap, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 10, R: 1, G: 2, H: 4, Structure: core.Uneven,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out[ap.Name()] = ap
+	return out, order, nil
+}
+
+// RunPR2 measures kernel, coder and plan-cache performance. The kernel
+// selection is process-global, so RunPR2 must not race with other
+// encode/decode work; it restores the default kernel before returning.
+func RunPR2(tc TimingConfig) (*PR2Report, error) {
+	rep := &PR2Report{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		ShardSize:    tc.ShardSize,
+		Iters:        tc.Iters,
+		Kernels:      gf256.Kernels(),
+		ActiveKernel: gf256.Kernel(),
+	}
+	best := gf256.Kernel()
+	defer gf256.SetKernel(best) //nolint:errcheck // restoring a known-good name
+
+	// Raw kernel throughput.
+	src := make([]byte, pr2MicrobenchBytes)
+	dst := make([]byte, pr2MicrobenchBytes)
+	rand.New(rand.NewSource(1)).Read(src)
+	genericMBps := 0.0
+	for _, name := range rep.Kernels {
+		if err := gf256.SetKernel(name); err != nil {
+			return nil, fmt.Errorf("bench pr2: %w", err)
+		}
+		// Warm up once, then time enough traffic to dominate timer noise.
+		gf256.MulAddSlice(0x8e, src, dst)
+		mulAdd := measureKernel(pr2MicrobenchBytes, 64, func() { gf256.MulAddSlice(0x8e, src, dst) })
+		xor := measureKernel(pr2MicrobenchBytes, 64, func() { gf256.XorSlice(src, dst) })
+		kc := PR2KernelCase{Kernel: name, MulAddMBps: mulAdd, XorMBps: xor}
+		if name == "generic" {
+			genericMBps = mulAdd
+		}
+		rep.KernelCases = append(rep.KernelCases, kc)
+	}
+	for i := range rep.KernelCases {
+		if genericMBps > 0 {
+			rep.KernelCases[i].SpeedupVsGeneric = rep.KernelCases[i].MulAddMBps / genericMBps
+		}
+	}
+
+	// Coder-level generic vs SIMD.
+	coders, order, err := pr2Coders()
+	if err != nil {
+		return nil, fmt.Errorf("bench pr2: %w", err)
+	}
+	type timing struct{ enc, dec float64 }
+	measure := func(kernel string) (map[string]timing, map[string][2]int, error) {
+		if err := gf256.SetKernel(kernel); err != nil {
+			return nil, nil, err
+		}
+		times := make(map[string]timing)
+		sizes := make(map[string][2]int)
+		for _, name := range order {
+			c := coders[name]
+			es, ebytes, err := MeasureEncode(c, tc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s encode under %s: %w", name, kernel, err)
+			}
+			failed := FailureNodes(c, c.FaultTolerance())
+			ds, dbytes, err := MeasureDecode(c, failed, tc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s decode under %s: %w", name, kernel, err)
+			}
+			times[name] = timing{enc: es, dec: ds}
+			sizes[name] = [2]int{ebytes, dbytes}
+		}
+		return times, sizes, nil
+	}
+	genTimes, sizes, err := measure("generic")
+	if err != nil {
+		return nil, fmt.Errorf("bench pr2: %w", err)
+	}
+	simdTimes, _, err := measure(best)
+	if err != nil {
+		return nil, fmt.Errorf("bench pr2: %w", err)
+	}
+	for _, name := range order {
+		g, s, b := genTimes[name], simdTimes[name], sizes[name]
+		rep.CoderCases = append(rep.CoderCases,
+			pr2CoderCase(name, "encode", b[0], g.enc, s.enc),
+			pr2CoderCase(name, fmt.Sprintf("decode(f=%d)", coders[name].FaultTolerance()), b[1], g.dec, s.dec))
+	}
+
+	// Cold vs cached decode plans. Wide shapes with small shards are the
+	// regime where planning dominates: RS decode arithmetic is
+	// O(f*k*size) against an O(k^3) inversion, and the LRC global solve
+	// replays O(k^2) recorded ops of `size` bytes against an O(k^3)
+	// elimination, so the cached-plan advantage grows with k and shrinks
+	// with shard size.
+	if err := gf256.SetKernel(best); err != nil {
+		return nil, fmt.Errorf("bench pr2: %w", err)
+	}
+	planIters := tc.Iters * 4
+	if planIters < 8 {
+		planIters = 8
+	}
+	rsPlan, err := pr2PlanCaseRS(200, 4, 2048, planIters)
+	if err != nil {
+		return nil, fmt.Errorf("bench pr2: %w", err)
+	}
+	rep.PlanCases = append(rep.PlanCases, rsPlan)
+	lrcPlan, err := pr2PlanCaseLRC(60, 6, 4, 512, planIters)
+	if err != nil {
+		return nil, fmt.Errorf("bench pr2: %w", err)
+	}
+	rep.PlanCases = append(rep.PlanCases, lrcPlan)
+
+	rep.TargetEvaluated = best != "generic"
+	if rep.TargetEvaluated {
+		for _, c := range rep.CoderCases {
+			if c.Coder == "RS(10,4)" && c.Op == "encode" {
+				rep.TargetMet = c.Speedup >= 3.0
+			}
+		}
+		rep.Note = fmt.Sprintf("target: %s kernel >= 3x generic for RS(10,4) encode", best)
+	} else {
+		rep.Note = "host has no SIMD kernel (non-amd64/arm64 or noasm build); >= 3x criterion not evaluated"
+	}
+	return rep, nil
+}
+
+func pr2CoderCase(name, op string, bytes int, genericSecs, simdSecs float64) PR2CoderCase {
+	mbps := func(secs float64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		return float64(bytes) / secs / (1 << 20)
+	}
+	speedup := 0.0
+	if simdSecs > 0 {
+		speedup = genericSecs / simdSecs
+	}
+	return PR2CoderCase{
+		Coder:       name,
+		Op:          op,
+		Bytes:       bytes,
+		GenericSecs: genericSecs,
+		SimdSecs:    simdSecs,
+		GenericMBps: mbps(genericSecs),
+		SimdMBps:    mbps(simdSecs),
+		Speedup:     speedup,
+	}
+}
+
+// pr2PlanCaseRS times RS(k, r) decodes of the same r-failure pattern with
+// a fresh coder per decode (cold: every decode inverts) and with one
+// shared coder (warm: one inversion, then replays).
+func pr2PlanCaseRS(k, r, shard, iters int) (PR2PlanCase, error) {
+	mk := func() (erasure.Coder, error) { return rs.New(k, r) }
+	c, err := rs.New(k, r)
+	if err != nil {
+		return PR2PlanCase{}, err
+	}
+	pattern := make([]int, r)
+	for i := range pattern {
+		pattern[i] = i
+	}
+	cold, warm, stats, err := pr2PlanTimes(mk, c, c.PlanCacheStats, pattern, shard, iters)
+	if err != nil {
+		return PR2PlanCase{}, err
+	}
+	return pr2PlanCase(c.Name(), pattern, iters, cold, warm, stats), nil
+}
+
+// pr2PlanCaseLRC is the LRC analogue: a multi-failure pattern forcing the
+// maximally recoverable Gaussian solve.
+func pr2PlanCaseLRC(k, l, r, shard, iters int) (PR2PlanCase, error) {
+	mk := func() (erasure.Coder, error) { return lrc.New(k, l, r) }
+	c, err := lrc.New(k, l, r)
+	if err != nil {
+		return PR2PlanCase{}, err
+	}
+	// Two same-group data failures plus a global parity: beyond local
+	// repair, forcing the global solve path.
+	pattern := []int{0, 1, k + l}
+	cold, warm, stats, err := pr2PlanTimes(mk, c, c.PlanCacheStats, pattern, shard, iters)
+	if err != nil {
+		return PR2PlanCase{}, err
+	}
+	return pr2PlanCase(c.Name(), pattern, iters, cold, warm, stats), nil
+}
+
+// pr2PlanTimes runs the cold and warm measurement loops.
+func pr2PlanTimes(mk func() (erasure.Coder, error), warmCoder erasure.Coder,
+	stats func() matrix.CacheStats, pattern []int, shard, iters int) (cold, warm float64, s matrix.CacheStats, err error) {
+	stripe, err := erasure.RandomStripe(warmCoder, shard, 3)
+	if err != nil {
+		return 0, 0, s, err
+	}
+	decodeOnce := func(c erasure.Coder) (float64, error) {
+		work := erasure.CloneShards(stripe)
+		for _, f := range pattern {
+			work[f] = nil
+		}
+		start := time.Now()
+		if err := c.Reconstruct(work); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	// Cold: a fresh coder per decode, so every decode computes its plan.
+	var coldTotal float64
+	for i := 0; i < iters; i++ {
+		c, err := mk()
+		if err != nil {
+			return 0, 0, s, err
+		}
+		secs, err := decodeOnce(c)
+		if err != nil {
+			return 0, 0, s, err
+		}
+		coldTotal += secs
+	}
+	// Warm: one shared coder; the first decode computes the plan (not
+	// timed), the rest replay it.
+	if _, err := decodeOnce(warmCoder); err != nil {
+		return 0, 0, s, err
+	}
+	var warmTotal float64
+	for i := 0; i < iters; i++ {
+		secs, err := decodeOnce(warmCoder)
+		if err != nil {
+			return 0, 0, s, err
+		}
+		warmTotal += secs
+	}
+	return coldTotal / float64(iters), warmTotal / float64(iters), stats(), nil
+}
+
+func pr2PlanCase(name string, pattern []int, iters int, cold, warm float64, stats matrix.CacheStats) PR2PlanCase {
+	speedup := 0.0
+	if warm > 0 {
+		speedup = cold / warm
+	}
+	return PR2PlanCase{
+		Coder:     name,
+		Pattern:   pattern,
+		Iters:     iters,
+		ColdSecs:  cold,
+		WarmSecs:  warm,
+		Speedup:   speedup,
+		WarmStats: stats,
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"approxcode/internal/crs"
 	"approxcode/internal/erasure"
 	"approxcode/internal/evenodd"
+	"approxcode/internal/matrix"
 	"approxcode/internal/parallel"
 	"approxcode/internal/rs"
 	"approxcode/internal/star"
@@ -217,6 +218,23 @@ func New(p Params, par ...parallel.Options) (*Code, error) {
 
 // Params returns the configuration the code was generated from.
 func (c *Code) Params() Params { return c.p }
+
+// PlanCacheStats implements erasure.PlanCached by aggregating the decode-
+// plan caches of the underlying local and full coders. Because all h*h
+// sub-stripe codewords of a stripe — and all stripes coded through the
+// same Code — share those two coder instances, a node failure that erases
+// the same column of every codeword computes each decode plan once and
+// reuses it across every sub-stripe and every subsequent stripe.
+func (c *Code) PlanCacheStats() matrix.CacheStats {
+	var s matrix.CacheStats
+	if pc, ok := c.local.(erasure.PlanCached); ok {
+		s = s.Add(pc.PlanCacheStats())
+	}
+	if pc, ok := c.full.(erasure.PlanCached); ok {
+		s = s.Add(pc.PlanCacheStats())
+	}
+	return s
+}
 
 // Name implements erasure.Coder.
 func (c *Code) Name() string { return c.p.Name() }

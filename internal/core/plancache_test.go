@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// TestPlanCacheSharedAcrossSubStripes verifies the decode-plan caches of
+// the underlying coders are shared by every sub-stripe codeword and by
+// subsequent stripes: a failed node erases the same column of every
+// codeword, so the whole recovery performs only a handful of plan
+// computations (one per distinct erasure pattern, not one per codeword).
+func TestPlanCacheSharedAcrossSubStripes(t *testing.T) {
+	c, err := New(Params{Family: FamilyRS, K: 4, R: 2, G: 2, H: 4, Structure: Even})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	size := c.ShardSizeMultiple() * 64
+	stripe := func() [][]byte {
+		shards := make([][]byte, c.TotalShards())
+		for _, i := range c.DataNodeIndexes() {
+			shards[i] = make([]byte, size)
+			rng.Read(shards[i])
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		return shards
+	}
+
+	fail := func(orig [][]byte, nodes ...int) {
+		t.Helper()
+		work := erasure.CloneShards(orig)
+		for _, n := range nodes {
+			work[n] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(work[i], orig[i]) {
+				t.Fatalf("node %d wrong after recovery", i)
+			}
+		}
+	}
+
+	// Two data nodes of stripe 0 fail: every one of the h*h codewords
+	// decodes, but only two distinct erasure patterns exist (important
+	// codewords see one pattern, unimportant ones another), so at most
+	// two plan computations happen — everything else is cache hits.
+	s0 := c.PlanCacheStats()
+	orig := stripe()
+	fail(orig, 0, 1)
+	s1 := c.PlanCacheStats()
+	if d := s1.Misses - s0.Misses; d > 2 {
+		t.Fatalf("first recovery computed %d plans, want <= 2 (h*h=%d codewords)", d, c.p.H*c.p.H)
+	}
+	if s1.Hits <= s0.Hits {
+		t.Fatal("codewords did not share cached plans")
+	}
+
+	// A second stripe with the same failed nodes reuses the plans: zero
+	// new computations.
+	orig2 := stripe()
+	fail(orig2, 0, 1)
+	s2 := c.PlanCacheStats()
+	if s2.Misses != s1.Misses {
+		t.Fatalf("cross-stripe decode recomputed plans: %+v -> %+v", s1, s2)
+	}
+	if s2.Hits <= s1.Hits {
+		t.Fatal("cross-stripe decode did not hit the cache")
+	}
+}

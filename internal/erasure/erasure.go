@@ -8,6 +8,8 @@ package erasure
 import (
 	"errors"
 	"fmt"
+
+	"approxcode/internal/matrix"
 )
 
 // Common error values. Coders wrap these with context via fmt.Errorf and
@@ -181,6 +183,15 @@ func CloneShards(shards [][]byte) [][]byte {
 		}
 	}
 	return out
+}
+
+// PlanCached is an optional interface for coders that memoize decode
+// plans per erasure pattern (see matrix.PlanCache). In the stats, Misses
+// equals the number of plan computations performed (matrix inversions or
+// Gaussian eliminations); Hits counts decodes that reused a plan and
+// skipped that work entirely.
+type PlanCached interface {
+	PlanCacheStats() matrix.CacheStats
 }
 
 // Updater is an optional interface for coders that support incremental

@@ -1,0 +1,88 @@
+package gf256
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Kernel dispatch: the bulk slice kernels (MulSlice, MulAddSlice,
+// XorSlice) route through a process-wide implementation selected once at
+// init. Selection order is best-first per architecture — AVX2, then
+// SSSE3 on amd64; NEON on arm64 — falling back to the portable
+// table-lookup loops when no SIMD unit is present, when the binary is
+// built with -tags noasm, or when APPROXCODE_NOASM is set in the
+// environment. All implementations produce bit-identical output; the
+// differential fuzz target FuzzSIMDKernels enforces this.
+
+// NoAsmEnv is the environment variable that, when set to any non-empty
+// value, forces the portable generic kernels at process start even on
+// SIMD-capable hosts. It is the runtime counterpart of the noasm build
+// tag.
+const NoAsmEnv = "APPROXCODE_NOASM"
+
+// kernelImpl is one complete bulk-kernel implementation. mul and mulAdd
+// are only invoked with coefficients >= 2 from the exported entry points
+// (0 and 1 short-circuit before dispatch) but must be correct for any
+// coefficient, since tests and fuzzers call them directly.
+type kernelImpl struct {
+	name   string
+	mul    func(c byte, src, dst []byte)
+	mulAdd func(c byte, src, dst []byte)
+	xor    func(src, dst []byte)
+}
+
+var genericKernel = kernelImpl{
+	name:   "generic",
+	mul:    mulSliceGeneric,
+	mulAdd: mulAddSliceGeneric,
+	xor:    xorSliceGeneric,
+}
+
+// available lists every kernel usable on this host, best-first, with
+// generic always last. Immutable after init.
+var available []*kernelImpl
+
+// active is the kernel the exported entry points dispatch to. Swapping
+// it (SetKernel) is atomic, so in-flight bulk operations always run one
+// coherent implementation end to end.
+var active atomic.Pointer[kernelImpl]
+
+// initKernel populates the kernel table and selects the default; called
+// from the package init after the product tables are built.
+func initKernel() {
+	available = append(archKernels(), &genericKernel)
+	best := available[0]
+	if os.Getenv(NoAsmEnv) != "" {
+		best = &genericKernel
+	}
+	active.Store(best)
+}
+
+// Kernel returns the name of the active bulk-kernel implementation:
+// "avx2", "ssse3", "neon" or "generic".
+func Kernel() string { return active.Load().name }
+
+// Kernels returns the names of every kernel available on this host,
+// best-first; "generic" is always present and always last.
+func Kernels() []string {
+	names := make([]string, len(available))
+	for i, k := range available {
+		names[i] = k.name
+	}
+	return names
+}
+
+// SetKernel selects the named kernel for all subsequent bulk operations.
+// It is the escape hatch tests and benchmarks use to force the generic
+// path (or pin a specific SIMD tier) at runtime; unknown or unavailable
+// names return an error and leave the selection unchanged.
+func SetKernel(name string) error {
+	for _, k := range available {
+		if k.name == name {
+			active.Store(k)
+			return nil
+		}
+	}
+	return fmt.Errorf("gf256: kernel %q not available on this host (have %v)", name, Kernels())
+}

@@ -1,0 +1,130 @@
+//go:build amd64 && !noasm
+
+package gf256
+
+// amd64 SIMD kernels: SSSE3 PSHUFB and AVX2 VPSHUFB nibble-shuffle
+// multiplies over the split product tables in mulTable16, plus SSE2/AVX2
+// wide XOR. The assembly (gf256_amd64.s) processes whole 16- or 32-byte
+// blocks; the Go wrappers below feed it the aligned prefix and finish
+// the tail with the generic byte loops, so any length and any (even
+// unaligned) buffer address is handled.
+
+// Assembly routines. n must be a positive multiple of the routine's
+// block size (16 for SSSE3/SSE2, 32 for AVX2).
+//
+//go:noescape
+func gfMulNibbleSSSE3(tbl *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulAddNibbleSSSE3(tbl *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulNibbleAVX2(tbl *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulAddNibbleAVX2(tbl *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfXorSSE2(src, dst *byte, n int)
+
+//go:noescape
+func gfXorAVX2(src, dst *byte, n int)
+
+// cpuid and xgetbv are the raw feature-detection primitives
+// (cpu_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+func mulSliceSSSE3(c byte, src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		gfMulNibbleSSSE3(&mulTable16[c], &src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		mulSliceGeneric(c, src[n:], dst[n:])
+	}
+}
+
+func mulAddSliceSSSE3(c byte, src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		gfMulAddNibbleSSSE3(&mulTable16[c], &src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		mulAddSliceGeneric(c, src[n:], dst[n:])
+	}
+}
+
+func mulSliceAVX2(c byte, src, dst []byte) {
+	n := len(src) &^ 31
+	if n > 0 {
+		gfMulNibbleAVX2(&mulTable16[c], &src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		mulSliceSSSE3(c, src[n:], dst[n:])
+	}
+}
+
+func mulAddSliceAVX2(c byte, src, dst []byte) {
+	n := len(src) &^ 31
+	if n > 0 {
+		gfMulAddNibbleAVX2(&mulTable16[c], &src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		mulAddSliceSSSE3(c, src[n:], dst[n:])
+	}
+}
+
+func xorSliceSSE2(src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		gfXorSSE2(&src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		xorSliceGeneric(src[n:], dst[n:])
+	}
+}
+
+func xorSliceAVX2(src, dst []byte) {
+	n := len(src) &^ 31
+	if n > 0 {
+		gfXorAVX2(&src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		xorSliceSSE2(src[n:], dst[n:])
+	}
+}
+
+// archKernels detects CPU features via CPUID and returns the usable SIMD
+// kernels, best-first. AVX2 additionally requires the OS to have enabled
+// YMM state saving (OSXSAVE + XCR0[2:1] == 11b). SSE2 is part of the
+// amd64 baseline, so the SSE2 XOR needs no gate of its own.
+func archKernels() []*kernelImpl {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return nil
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	ssse3 := ecx1&(1<<9) != 0
+	osxsave := ecx1&(1<<27) != 0
+	avxHW := ecx1&(1<<28) != 0
+	avx2 := false
+	if osxsave && avxHW && maxID >= 7 {
+		if lo, _ := xgetbv(); lo&0x6 == 0x6 {
+			_, ebx7, _, _ := cpuid(7, 0)
+			avx2 = ebx7&(1<<5) != 0
+		}
+	}
+	var out []*kernelImpl
+	if avx2 {
+		out = append(out, &kernelImpl{
+			name: "avx2", mul: mulSliceAVX2, mulAdd: mulAddSliceAVX2, xor: xorSliceAVX2,
+		})
+	}
+	if ssse3 {
+		out = append(out, &kernelImpl{
+			name: "ssse3", mul: mulSliceSSSE3, mulAdd: mulAddSliceSSSE3, xor: xorSliceSSE2,
+		})
+	}
+	return out
+}

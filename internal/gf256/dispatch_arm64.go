@@ -1,0 +1,57 @@
+//go:build arm64 && !noasm
+
+package gf256
+
+// arm64 SIMD kernels: NEON VTBL nibble-shuffle multiplies over the split
+// product tables in mulTable16, plus 16-byte wide XOR. Advanced SIMD is
+// part of the aarch64 baseline, so no runtime feature probe is needed.
+// The assembly (gf256_arm64.s) processes whole 16-byte blocks; the Go
+// wrappers feed it the aligned prefix and finish the tail with the
+// generic byte loops.
+
+// Assembly routines. n must be a positive multiple of 16.
+//
+//go:noescape
+func gfMulNibbleNEON(tbl *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulAddNibbleNEON(tbl *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfXorNEON(src, dst *byte, n int)
+
+func mulSliceNEON(c byte, src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		gfMulNibbleNEON(&mulTable16[c], &src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		mulSliceGeneric(c, src[n:], dst[n:])
+	}
+}
+
+func mulAddSliceNEON(c byte, src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		gfMulAddNibbleNEON(&mulTable16[c], &src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		mulAddSliceGeneric(c, src[n:], dst[n:])
+	}
+}
+
+func xorSliceNEON(src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		gfXorNEON(&src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		xorSliceGeneric(src[n:], dst[n:])
+	}
+}
+
+func archKernels() []*kernelImpl {
+	return []*kernelImpl{{
+		name: "neon", mul: mulSliceNEON, mulAdd: mulAddSliceNEON, xor: xorSliceNEON,
+	}}
+}

@@ -1,0 +1,8 @@
+//go:build (!amd64 && !arm64) || noasm
+
+package gf256
+
+// archKernels reports no SIMD kernels: either the target architecture
+// has no assembly implementation or the build used -tags noasm. The
+// dispatch layer then pins the portable generic kernels.
+func archKernels() []*kernelImpl { return nil }

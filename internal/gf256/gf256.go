@@ -6,6 +6,14 @@
 // division use exp/log tables generated at init time; bulk slice kernels
 // (MulSlice, MulAddSlice, XorSlice) operate on whole shards and are the
 // hot path for erasure encoding and decoding.
+//
+// The bulk kernels dispatch through a per-process implementation table
+// selected once at init from runtime CPU features: AVX2 and SSSE3
+// nibble-shuffle assembly on amd64, NEON VTBL on arm64, and the portable
+// table-lookup loops everywhere else (see dispatch.go). Every
+// implementation is bit-identical; Kernel, Kernels and SetKernel expose
+// and override the selection, and building with -tags noasm (or setting
+// APPROXCODE_NOASM=1) forces the portable path.
 package gf256
 
 import "fmt"
@@ -26,6 +34,14 @@ var (
 )
 
 func init() {
+	buildTables()
+	buildNibbleTables()
+	initKernel()
+}
+
+// buildTables fills the exp/log/mul/inv tables the scalar arithmetic and
+// the portable bulk kernels are built on.
+func buildTables() {
 	x := 1
 	for i := 0; i < 255; i++ {
 		expTable[i] = byte(x)
@@ -98,11 +114,29 @@ func Pow(a byte, n int) byte {
 }
 
 // MulSlice sets dst[i] = c * src[i] for every i. dst and src must have the
-// same length (dst may alias src).
+// same length (dst may either exactly alias src or not overlap it at all;
+// partial overlaps are unsupported).
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSlice length mismatch")
 	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	active.Load().mul(c, src, dst)
+}
+
+// mulSliceGeneric is the portable table-lookup MulSlice kernel: the
+// dispatch fallback and the differential-test reference. It accepts any
+// coefficient (including 0 and 1).
+func mulSliceGeneric(c byte, src, dst []byte) {
 	switch c {
 	case 0:
 		for i := range dst {
@@ -133,6 +167,7 @@ func MulSlice(c byte, src, dst []byte) {
 
 // MulAddSlice sets dst[i] ^= c * src[i] for every i: a fused
 // multiply-accumulate in GF(2^8), the inner kernel of matrix encoding.
+// src and dst must not overlap.
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulAddSlice length mismatch")
@@ -141,7 +176,19 @@ func MulAddSlice(c byte, src, dst []byte) {
 		return
 	}
 	if c == 1 {
-		XorSlice(src, dst)
+		active.Load().xor(src, dst)
+		return
+	}
+	active.Load().mulAdd(c, src, dst)
+}
+
+// mulAddSliceGeneric is the portable MulAddSlice kernel (any coefficient).
+func mulAddSliceGeneric(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		xorSliceGeneric(src, dst)
 		return
 	}
 	row := &mulTable[c]
@@ -162,13 +209,17 @@ func MulAddSlice(c byte, src, dst []byte) {
 	}
 }
 
-// XorSlice sets dst[i] ^= src[i] for every i. It widens to 64-bit words
-// where both slices are long enough; this is the inner kernel of every
-// XOR-based code in the repository.
+// XorSlice sets dst[i] ^= src[i] for every i: the inner kernel of every
+// XOR-based code in the repository. src and dst must not overlap.
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: XorSlice length mismatch")
 	}
+	active.Load().xor(src, dst)
+}
+
+// xorSliceGeneric is the portable XorSlice kernel.
+func xorSliceGeneric(src, dst []byte) {
 	n := len(src)
 	i := 0
 	// Word-at-a-time XOR. Go's compiler recognises this pattern and emits

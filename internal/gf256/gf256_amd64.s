@@ -1,0 +1,171 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// GF(2^8) bulk kernels via the nibble-shuffle technique: a byte product
+// c*b splits as low[b&0x0f] ^ high[b>>4] over the two 16-entry tables at
+// tbl (see mulTable16 in tables.go), and PSHUFB/VPSHUFB evaluates 16/32
+// such table lookups per instruction. Every routine requires n to be a
+// positive multiple of its vector width; Go wrappers handle tails.
+// Loads and stores are unaligned (MOVOU/VMOVDQU), so callers may pass
+// slices at any offset.
+
+// func gfMulNibbleSSSE3(tbl *[32]byte, src, dst *byte, n int)
+// dst[i] = low[src[i]&0x0f] ^ high[src[i]>>4], n a multiple of 16.
+TEXT ·gfMulNibbleSSSE3(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVOU (AX), X6             // low-nibble product table
+	MOVOU 16(AX), X7           // high-nibble product table
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X5
+	PUNPCKLQDQ X5, X5          // X5 = 0x0f in every byte
+
+mul16:
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND X5, X0                // low nibbles
+	PAND X5, X1                // high nibbles
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2              // low-nibble products
+	PSHUFB X1, X3              // high-nibble products
+	PXOR X3, X2
+	MOVOU X2, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JNZ mul16
+	RET
+
+// func gfMulAddNibbleSSSE3(tbl *[32]byte, src, dst *byte, n int)
+// dst[i] ^= low[src[i]&0x0f] ^ high[src[i]>>4], n a multiple of 16.
+TEXT ·gfMulAddNibbleSSSE3(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVOU (AX), X6
+	MOVOU 16(AX), X7
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X5
+	PUNPCKLQDQ X5, X5
+
+mulAdd16:
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND X5, X0
+	PAND X5, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR X3, X2
+	MOVOU (DI), X4
+	PXOR X4, X2
+	MOVOU X2, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JNZ mulAdd16
+	RET
+
+// func gfMulNibbleAVX2(tbl *[32]byte, src, dst *byte, n int)
+// As gfMulNibbleSSSE3 with 32-byte vectors; n a multiple of 32. The
+// 16-byte tables are broadcast to both 128-bit lanes (VPSHUFB shuffles
+// within lanes, which is exactly the per-byte table lookup needed).
+TEXT ·gfMulNibbleAVX2(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y6    // low table in both lanes
+	VBROADCASTI128 16(AX), Y7  // high table in both lanes
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X5
+	VPBROADCASTQ X5, Y5        // 0x0f in every byte
+
+mul32:
+	VMOVDQU (SI), Y0
+	VPSRLQ $4, Y0, Y1
+	VPAND Y5, Y0, Y0
+	VPAND Y5, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR Y3, Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ mul32
+	VZEROUPPER
+	RET
+
+// func gfMulAddNibbleAVX2(tbl *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulAddNibbleAVX2(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y6
+	VBROADCASTI128 16(AX), Y7
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X5
+	VPBROADCASTQ X5, Y5
+
+mulAdd32:
+	VMOVDQU (SI), Y0
+	VPSRLQ $4, Y0, Y1
+	VPAND Y5, Y0, Y0
+	VPAND Y5, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR Y3, Y2, Y2
+	VPXOR (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ mulAdd32
+	VZEROUPPER
+	RET
+
+// func gfXorSSE2(src, dst *byte, n int)
+// dst[i] ^= src[i], n a multiple of 16.
+TEXT ·gfXorSSE2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+xor16:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR X1, X0
+	MOVOU X0, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JNZ xor16
+	RET
+
+// func gfXorAVX2(src, dst *byte, n int)
+// dst[i] ^= src[i], n a multiple of 32.
+TEXT ·gfXorAVX2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+xor32:
+	VMOVDQU (SI), Y0
+	VPXOR (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ xor32
+	VZEROUPPER
+	RET

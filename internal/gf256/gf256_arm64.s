@@ -1,0 +1,71 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// GF(2^8) bulk kernels for arm64: the same nibble-shuffle technique as
+// the amd64 kernels, with VTBL as the 16-way byte table lookup. NEON has
+// per-byte shifts (VUSHR on .B16), so the high nibble needs no mask.
+// Every routine requires n to be a positive multiple of 16; Go wrappers
+// handle tails. VLD1/VST1 have no alignment requirement.
+
+// func gfMulNibbleNEON(tbl *[32]byte, src, dst *byte, n int)
+// dst[i] = low[src[i]&0x0f] ^ high[src[i]>>4], n a multiple of 16.
+TEXT ·gfMulNibbleNEON(SB), NOSPLIT, $0-32
+	MOVD tbl+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD dst+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R0), [V6.B16, V7.B16]                         // low, high tables
+	VMOVQ $0x0f0f0f0f0f0f0f0f, $0x0f0f0f0f0f0f0f0f, V5  // 0x0f mask
+
+mul16:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR $4, V0.B16, V1.B16      // high nibbles
+	VAND V5.B16, V0.B16, V0.B16   // low nibbles
+	VTBL V0.B16, [V6.B16], V2.B16
+	VTBL V1.B16, [V7.B16], V3.B16
+	VEOR V3.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R2)
+	SUBS $16, R3, R3
+	BNE mul16
+	RET
+
+// func gfMulAddNibbleNEON(tbl *[32]byte, src, dst *byte, n int)
+// dst[i] ^= low[src[i]&0x0f] ^ high[src[i]>>4], n a multiple of 16.
+TEXT ·gfMulAddNibbleNEON(SB), NOSPLIT, $0-32
+	MOVD tbl+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD dst+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R0), [V6.B16, V7.B16]
+	VMOVQ $0x0f0f0f0f0f0f0f0f, $0x0f0f0f0f0f0f0f0f, V5
+
+mulAdd16:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR $4, V0.B16, V1.B16
+	VAND V5.B16, V0.B16, V0.B16
+	VTBL V0.B16, [V6.B16], V2.B16
+	VTBL V1.B16, [V7.B16], V3.B16
+	VEOR V3.B16, V2.B16, V2.B16
+	VLD1 (R2), [V4.B16]
+	VEOR V4.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R2)
+	SUBS $16, R3, R3
+	BNE mulAdd16
+	RET
+
+// func gfXorNEON(src, dst *byte, n int)
+// dst[i] ^= src[i], n a multiple of 16.
+TEXT ·gfXorNEON(SB), NOSPLIT, $0-24
+	MOVD src+0(FP), R0
+	MOVD dst+8(FP), R1
+	MOVD n+16(FP), R2
+
+xor16:
+	VLD1.P 16(R0), [V0.B16]
+	VLD1 (R1), [V1.B16]
+	VEOR V1.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R1)
+	SUBS $16, R2, R2
+	BNE xor16
+	RET

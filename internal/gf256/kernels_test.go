@@ -1,0 +1,151 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// lengthsUnderTest exercises every block-size boundary of the SIMD
+// kernels: empty, sub-block, exact 16/32/64-byte multiples, and every
+// interesting tail around them.
+var lengthsUnderTest = []int{
+	0, 1, 2, 7, 8, 15, 16, 17, 24, 31, 32, 33, 47, 48, 63, 64, 65,
+	100, 127, 128, 255, 256, 1000, 4096, 4097, 1<<16 - 1, 1 << 16,
+}
+
+// TestKernelsDifferential verifies that every available kernel produces
+// byte-identical output to the generic reference for mul, mulAdd and
+// xor, across lengths, coefficients and unaligned buffer offsets.
+func TestKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	coeffs := []byte{0, 1, 2, 3, 5, 0x1d, 0x8e, 0x80, 0xfe, 0xff}
+	offsets := []int{0, 1, 3, 8, 15, 31, 33}
+	for _, k := range available {
+		if k.name == "generic" {
+			continue
+		}
+		t.Run(k.name, func(t *testing.T) {
+			for _, n := range lengthsUnderTest {
+				for _, off := range offsets {
+					srcBuf := make([]byte, off+n)
+					rng.Read(srcBuf)
+					src := srcBuf[off : off+n]
+					base := make([]byte, off+n)
+					rng.Read(base)
+					for _, c := range coeffs {
+						want := make([]byte, n)
+						mulSliceGeneric(c, src, want)
+						got := append([]byte(nil), base[off:off+n]...)
+						k.mul(c, src, got)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("mul mismatch c=%#x n=%d off=%d", c, n, off)
+						}
+
+						wantAdd := append([]byte(nil), base[off:off+n]...)
+						mulAddSliceGeneric(c, src, wantAdd)
+						gotAdd := append(make([]byte, 0, off+n), base...)[off : off+n]
+						k.mulAdd(c, src, gotAdd)
+						if !bytes.Equal(gotAdd, wantAdd) {
+							t.Fatalf("mulAdd mismatch c=%#x n=%d off=%d", c, n, off)
+						}
+					}
+					wantXor := append([]byte(nil), base[off:off+n]...)
+					xorSliceGeneric(src, wantXor)
+					gotXor := append(make([]byte, 0, off+n), base...)[off : off+n]
+					k.xor(src, gotXor)
+					if !bytes.Equal(gotXor, wantXor) {
+						t.Fatalf("xor mismatch n=%d off=%d", n, off)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMulSliceSelfAlias checks the documented aliasing contract
+// (dst == src exactly) on every kernel.
+func TestMulSliceSelfAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range available {
+		for _, n := range []int{0, 16, 33, 1000} {
+			buf := make([]byte, n)
+			rng.Read(buf)
+			want := make([]byte, n)
+			mulSliceGeneric(0x53, buf, want)
+			k.mul(0x53, buf, buf)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("kernel %s self-alias mul n=%d mismatch", k.name, n)
+			}
+		}
+	}
+}
+
+// TestSetKernel exercises the runtime selection API and restores the
+// default afterwards.
+func TestSetKernel(t *testing.T) {
+	orig := Kernel()
+	defer func() {
+		if err := SetKernel(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	names := Kernels()
+	if len(names) == 0 || names[len(names)-1] != "generic" {
+		t.Fatalf("Kernels() = %v, want non-empty ending in generic", names)
+	}
+	for _, name := range names {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if Kernel() != name {
+			t.Fatalf("Kernel() = %q after SetKernel(%q)", Kernel(), name)
+		}
+		// The dispatched entry points must work under every selection.
+		src := []byte{1, 2, 3, 250, 251, 252}
+		dst := make([]byte, len(src))
+		MulSlice(7, src, dst)
+		for i := range src {
+			if dst[i] != Mul(7, src[i]) {
+				t.Fatalf("kernel %s: MulSlice wrong at %d", name, i)
+			}
+		}
+	}
+	if err := SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel accepted an unknown kernel name")
+	}
+	if Kernel() != names[len(names)-1] {
+		t.Fatalf("failed SetKernel changed the selection to %q", Kernel())
+	}
+}
+
+// TestNibbleTables verifies the split-table identity the SIMD shuffles
+// rely on: c*b = low[b&0x0f] ^ high[b>>4] for all c, b.
+func TestNibbleTables(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		low, high := NibbleTables(byte(c))
+		for b := 0; b < 256; b++ {
+			want := Mul(byte(c), byte(b))
+			got := low[b&0x0f] ^ high[b>>4]
+			if got != want {
+				t.Fatalf("nibble tables c=%d b=%d: got %d want %d", c, b, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkKernels reports per-kernel MulAddSlice throughput, the inner
+// loop of all matrix coders.
+func BenchmarkKernels(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(src)
+	for _, k := range available {
+		b.Run(k.name, func(b *testing.B) {
+			b.SetBytes(1 << 20)
+			for i := 0; i < b.N; i++ {
+				k.mulAdd(0x8e, src, dst)
+			}
+		})
+	}
+}

@@ -12,6 +12,18 @@ import "approxcode/internal/parallel"
 // it saves and the kernels fall back to the serial path.
 const minStripedBytes = 64 << 10
 
+// serialFaster reports whether the serial path should be taken: when the
+// effective parallelism is 1 (including Parallelism set above the actual
+// processor count on a small machine), when each shard is below one
+// chunk so striping cannot subdivide the work, or when the total payload
+// is too small to amortize dispatch. The parallel and serial paths are
+// bit-identical; this is purely a performance gate.
+func serialFaster(size, ndst int, opts parallel.Options) bool {
+	return opts.EffectiveWorkers() == 1 ||
+		size < opts.Chunk() ||
+		size*ndst < minStripedBytes
+}
+
 // dotRange accumulates dst[lo:hi] = sum_i coeffs[i] * srcs[i][lo:hi].
 func dotRange(coeffs []byte, srcs [][]byte, dst []byte, lo, hi int) {
 	d := dst[lo:hi]
@@ -37,7 +49,7 @@ func DotProducts(rows [][]byte, srcs, dsts [][]byte, opts parallel.Options) {
 		return
 	}
 	size := len(dsts[0])
-	if opts.Workers() == 1 || size*len(dsts) < minStripedBytes {
+	if serialFaster(size, len(dsts), opts) {
 		for d := range dsts {
 			DotProduct(rows[d], srcs, dsts[d])
 		}
@@ -63,7 +75,7 @@ func MulAddRows(coeffs []byte, src []byte, dsts [][]byte, opts parallel.Options)
 		return
 	}
 	size := len(src)
-	if opts.Workers() == 1 || size*len(dsts) < minStripedBytes {
+	if serialFaster(size, len(dsts), opts) {
 		for j, c := range coeffs {
 			MulAddSlice(c, src, dsts[j])
 		}

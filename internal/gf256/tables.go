@@ -1,0 +1,35 @@
+package gf256
+
+// Split-nibble product tables: for every coefficient c, mulTable16[c] is
+// the 32-byte table pair the SIMD kernels shuffle against —
+//
+//	mulTable16[c][i]    = c * i          (products of low nibbles, i < 16)
+//	mulTable16[c][16+i] = c * (i << 4)   (products of high nibbles)
+//
+// so c*b = low[b&0x0f] ^ high[b>>4] for any byte b. A PSHUFB/VPSHUFB
+// (amd64) or VTBL (arm64) computes 16/32 such lookups per instruction.
+// The pair for a generator-matrix coefficient is one 32-byte (half a
+// cache line) load, so encode and decode never walk the 64 KiB mulTable
+// row-by-row on the SIMD path.
+var mulTable16 [256][32]byte
+
+// buildNibbleTables derives mulTable16 from mulTable; called from the
+// package init after buildTables.
+func buildNibbleTables() {
+	for c := 0; c < 256; c++ {
+		row := &mulTable[c]
+		for i := 0; i < 16; i++ {
+			mulTable16[c][i] = row[i]
+			mulTable16[c][16+i] = row[i<<4]
+		}
+	}
+}
+
+// NibbleTables returns the (low, high) split product tables for
+// coefficient c, as used by the SIMD kernels: c*b =
+// low[b&0x0f] ^ high[b>>4]. Exposed for tests and documentation.
+func NibbleTables(c byte) (low, high [16]byte) {
+	copy(low[:], mulTable16[c][:16])
+	copy(high[:], mulTable16[c][16:])
+	return low, high
+}

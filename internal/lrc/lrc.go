@@ -21,17 +21,32 @@ import (
 	"approxcode/internal/parallel"
 )
 
-// Coder is an LRC(k, l, r) erasure coder. Immutable after New; safe for
-// concurrent use.
+// Coder is an LRC(k, l, r) erasure coder. Immutable after New except the
+// internally-synchronized decode-plan cache; safe for concurrent use.
 type Coder struct {
 	k, l, r int
 	groups  [][]int        // data shard indexes per local group
 	groupOf []int          // data shard -> group
 	coef    *matrix.Matrix // (k+l+r) x k: every shard as a combination of data
 	par     parallel.Options
+
+	// plans memoizes the Gaussian-elimination plan of the maximally
+	// recoverable solve per erasure pattern: repeated patterns replay the
+	// recorded row operations instead of re-eliminating the system.
+	plans *matrix.PlanCache
 }
 
-var _ erasure.Coder = (*Coder)(nil)
+var (
+	_ erasure.Coder      = (*Coder)(nil)
+	_ erasure.PlanCached = (*Coder)(nil)
+)
+
+// globalPlan is one cached global decode: the surviving equation rows fed
+// to the solve and the replayable elimination plan for that sub-system.
+type globalPlan struct {
+	rows []int
+	plan *matrix.GaussPlan
+}
 
 // New returns an LRC(k, l, r) coder. Data shards are distributed over the
 // l groups as evenly as possible (sizes differ by at most one). Shard
@@ -44,7 +59,12 @@ func New(k, l, r int, par ...parallel.Options) (*Coder, error) {
 	if k+r > 256 {
 		return nil, fmt.Errorf("lrc: k+r=%d exceeds GF(256) limit", k+r)
 	}
-	c := &Coder{k: k, l: l, r: r, groupOf: make([]int, k), par: parallel.Pick(par)}
+	c := &Coder{
+		k: k, l: l, r: r,
+		groupOf: make([]int, k),
+		par:     parallel.Pick(par),
+		plans:   matrix.NewPlanCache(0),
+	}
 	c.groups = make([][]int, l)
 	for i := 0; i < k; i++ {
 		g := i * l / k
@@ -167,22 +187,41 @@ func (c *Coder) reconstructLocal(shards [][]byte, target, size int) bool {
 // reconstructGlobal solves the full surviving system for the data shards
 // and re-derives erased parities.
 func (c *Coder) reconstructGlobal(shards [][]byte, erased []int, size int) error {
-	var rows []int
-	var rhs [][]byte
-	for i := 0; i < c.TotalShards(); i++ {
-		if shards[i] != nil {
-			rows = append(rows, i)
-			rhs = append(rhs, shards[i])
+	// The surviving equation set and its elimination depend only on the
+	// erasure pattern; cache the plan so repeated patterns skip the
+	// O(rows^2) scalar elimination and go straight to the striped replay.
+	v, err := c.plans.GetOrCompute(matrix.PatternKey(erased), func() (any, error) {
+		isErased := make(map[int]bool, len(erased))
+		for _, e := range erased {
+			isErased[e] = true
 		}
+		var rows []int
+		for i := 0; i < c.TotalShards(); i++ {
+			if !isErased[i] {
+				rows = append(rows, i)
+			}
+		}
+		plan, err := matrix.PlanGaussian(c.coef.SelectRows(rows))
+		if err != nil {
+			return nil, err
+		}
+		return &globalPlan{rows: rows, plan: plan}, nil
+	})
+	if err != nil {
+		return fmt.Errorf("lrc reconstruct: %w: pattern %v not recoverable",
+			erasure.ErrTooManyErasures, erased)
 	}
-	sub := c.coef.SelectRows(rows)
+	gp := v.(*globalPlan)
+	rhs := make([][]byte, len(gp.rows))
+	for i, row := range gp.rows {
+		rhs[i] = shards[row]
+	}
 	data := make([][]byte, c.k)
 	for i := range data {
 		data[i] = make([]byte, size)
 	}
-	if err := matrix.GaussianSolveShards(sub, rhs, data, c.par); err != nil {
-		return fmt.Errorf("lrc reconstruct: %w: pattern %v not recoverable",
-			erasure.ErrTooManyErasures, erased)
+	if err := gp.plan.Apply(rhs, data, c.par); err != nil {
+		return fmt.Errorf("lrc reconstruct: %w", err)
 	}
 	for i := 0; i < c.k; i++ {
 		if shards[i] == nil {
@@ -200,6 +239,9 @@ func (c *Coder) reconstructGlobal(shards [][]byte, erased []int, size int) error
 	gf256.DotProducts(encRows, data, encDsts, c.par)
 	return nil
 }
+
+// PlanCacheStats implements erasure.PlanCached.
+func (c *Coder) PlanCacheStats() matrix.CacheStats { return c.plans.Stats() }
 
 // Recoverable reports whether an erasure pattern is information-
 // theoretically decodable (rank test, no data movement). Used by the

@@ -1,0 +1,130 @@
+package lrc
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func encodeStripe(t *testing.T, c *Coder, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.TotalShards())
+	for i := 0; i < c.DataShards(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+// TestGlobalPlanCached verifies the maximally-recoverable solver
+// eliminates each erasure pattern once and replays the plan thereafter,
+// and that the cheap local path never touches the cache.
+func TestGlobalPlanCached(t *testing.T) {
+	c, err := New(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := encodeStripe(t, c, 1024, 1)
+
+	decode := func(pattern []int) {
+		t.Helper()
+		work := erasure.CloneShards(orig)
+		for _, e := range pattern {
+			work[e] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(work[i], orig[i]) {
+				t.Fatalf("pattern %v: shard %d wrong", pattern, i)
+			}
+		}
+	}
+
+	// Single data-shard failure takes the local XOR path: no cache traffic.
+	decode([]int{2})
+	if s := c.PlanCacheStats(); s.Hits+s.Misses != 0 {
+		t.Fatalf("local repair touched the plan cache: %+v", s)
+	}
+
+	// A multi-failure pattern (data + global parity) requires the global
+	// solve; repeating it must eliminate only once.
+	for i := 0; i < 4; i++ {
+		decode([]int{0, 3, 8})
+	}
+	s := c.PlanCacheStats()
+	if s.Misses != 1 || s.Hits != 3 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want misses=1 hits=3 entries=1", s)
+	}
+
+	// Alternating with a second pattern keeps both plans live.
+	decode([]int{1, 5, 9})
+	decode([]int{0, 3, 8})
+	decode([]int{1, 5, 9})
+	s = c.PlanCacheStats()
+	if s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("stats %+v, want misses=2 entries=2", s)
+	}
+}
+
+// TestGlobalPlanConcurrent decodes the same pattern from many goroutines
+// sharing one coder; with -race this checks a cached GaussPlan is safe to
+// replay concurrently.
+func TestGlobalPlanConcurrent(t *testing.T) {
+	c, err := New(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := encodeStripe(t, c, 2048, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				work := erasure.CloneShards(orig)
+				work[1], work[4], work[6] = nil, nil, nil
+				if err := c.Reconstruct(work); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(work[4], orig[4]) {
+					t.Error("shard 4 wrong")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.PlanCacheStats(); s.Entries != 1 || s.Hits+s.Misses != 64 {
+		t.Fatalf("stats %+v, want 64 lookups of 1 entry", s)
+	}
+}
+
+// TestUnrecoverablePatternNotCached checks rank-deficient patterns
+// return an error without poisoning the cache.
+func TestUnrecoverablePatternNotCached(t *testing.T) {
+	c, err := New(6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := encodeStripe(t, c, 256, 3)
+	// Erase an entire local group plus its parity plus the global parity:
+	// more unknowns than independent equations.
+	work := erasure.CloneShards(orig)
+	work[0], work[1], work[2], work[6], work[8] = nil, nil, nil, nil, nil
+	if err := c.Reconstruct(work); err == nil {
+		t.Fatal("unrecoverable pattern decoded")
+	}
+	if s := c.PlanCacheStats(); s.Entries != 0 {
+		t.Fatalf("failed elimination cached: %+v", s)
+	}
+}

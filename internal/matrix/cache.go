@@ -1,0 +1,153 @@
+package matrix
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Decode-plan cache: decoding a stripe requires inverting (or
+// Gaussian-eliminating) the sub-matrix selected by the erasure pattern,
+// an O(k^3) scalar computation that is identical for every stripe with
+// the same geometry and the same failed shards. Real failures repeat
+// patterns heavily — a dead node erases the same column of every stripe
+// it holds — so the coders keep a small LRU of finished plans keyed by
+// the erasure pattern and skip the inversion entirely on a hit.
+
+// DefaultPlanCacheEntries is the per-coder plan-cache capacity used when
+// a coder does not choose its own. Patterns are at most a few dozen
+// bytes and plans a few KiB, so the worst-case footprint is small.
+const DefaultPlanCacheEntries = 128
+
+// CacheStats is a point-in-time snapshot of a PlanCache's counters.
+// Misses equals the number of plan computations (matrix inversions /
+// eliminations) performed; Hits counts decodes that skipped that work.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Add returns the element-wise sum of two snapshots, used by composite
+// coders (internal/core) that aggregate over their input coders.
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		Entries:   s.Entries + o.Entries,
+	}
+}
+
+// PlanCache is a synchronized LRU mapping erasure-pattern keys to decode
+// plans (opaque to the cache). It is safe for concurrent use; cached
+// values must themselves be immutable/shareable, which all plan types in
+// this repository are.
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewPlanCache returns an LRU plan cache holding up to capacity entries
+// (DefaultPlanCacheEntries when capacity <= 0).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheEntries
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+// Every call counts as a hit or a miss.
+func (c *PlanCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Add inserts (or refreshes) a plan, evicting the least recently used
+// entry when the cache is at capacity. Concurrent computes of the same
+// key are benign: the plans are equal, last insert wins.
+func (c *PlanCache) Add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// GetOrCompute returns the cached plan for key, computing and inserting
+// it on a miss. compute runs outside the cache lock, so concurrent
+// misses on the same key may compute in parallel (both results are
+// identical); errors are returned uncached.
+func (c *PlanCache) GetOrCompute(key string, compute func() (any, error)) (any, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.Add(key, v)
+	return v, nil
+}
+
+// Len returns the current entry count.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// PatternKey canonicalizes a set of shard indexes (an erasure pattern)
+// into a cache key: sorted, one byte per index. Indexes must be in
+// [0, 256), which every coder geometry in this repository guarantees.
+func PatternKey(indexes []int) string {
+	b := make([]byte, len(indexes))
+	for i, v := range indexes {
+		b[i] = byte(v)
+	}
+	// Insertion sort: patterns are short and usually already sorted.
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j] < b[j-1]; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+	return string(b)
+}

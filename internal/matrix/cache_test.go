@@ -1,0 +1,226 @@
+package matrix
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"approxcode/internal/parallel"
+)
+
+func TestPlanCacheHitMissAccounting(t *testing.T) {
+	c := NewPlanCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("hit on absent key")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Evictions != 0 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=2 evictions=0 entries=1", s)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := NewPlanCache(3)
+	for i := 0; i < 3; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i)
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Add("k3", 3)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived eviction", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	// Re-adding an existing key must refresh, not grow or evict.
+	c.Add("k2", 22)
+	if s := c.Stats(); s.Entries != 3 || s.Evictions != 1 {
+		t.Fatalf("refresh changed shape: %+v", s)
+	}
+	if v, _ := c.Get("k2"); v.(int) != 22 {
+		t.Fatalf("refresh did not update value: %v", v)
+	}
+}
+
+func TestPlanCacheGetOrCompute(t *testing.T) {
+	c := NewPlanCache(2)
+	calls := 0
+	compute := func() (any, error) { calls++; return "plan", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute("p", compute)
+		if err != nil || v.(string) != "plan" {
+			t.Fatalf("GetOrCompute: %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if _, err := c.GetOrCompute("bad", func() (any, error) { return nil, ErrSingular }); err != ErrSingular {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatal("failed compute must not be cached")
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				if _, ok := c.Get(key); !ok {
+					c.Add(key, key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}
+
+func TestPatternKey(t *testing.T) {
+	if PatternKey(nil) != "" {
+		t.Fatal("empty pattern should key to empty string")
+	}
+	a := PatternKey([]int{7, 2, 9})
+	b := PatternKey([]int{9, 7, 2})
+	if a != b {
+		t.Fatalf("PatternKey not order-independent: %q vs %q", a, b)
+	}
+	if a != string([]byte{2, 7, 9}) {
+		t.Fatalf("PatternKey = %q", a)
+	}
+	if PatternKey([]int{3}) == PatternKey([]int{4}) {
+		t.Fatal("distinct patterns collide")
+	}
+}
+
+// TestGaussPlanMatchesSolve verifies the plan/apply split is equivalent
+// to the one-shot solver, including concurrent Apply of one shared plan.
+func TestGaussPlanMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Over-determined 6x4 system built from a Cauchy block (full rank).
+	a := Cauchy(6, 4)
+	const size = 512
+	xTrue := make([][]byte, 4)
+	for i := range xTrue {
+		xTrue[i] = make([]byte, size)
+		rng.Read(xTrue[i])
+	}
+	b := make([][]byte, 6)
+	for r := 0; r < 6; r++ {
+		b[r] = make([]byte, size)
+		for c := 0; c < 4; c++ {
+			gfMulAdd(a.At(r, c), xTrue[c], b[r])
+		}
+	}
+	bCopy := make([][]byte, len(b))
+	for i := range b {
+		bCopy[i] = append([]byte(nil), b[i]...)
+	}
+
+	want := allocShards(4, size)
+	if err := GaussianSolveShards(a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(want[i], xTrue[i]) {
+			t.Fatalf("solver wrong at shard %d", i)
+		}
+	}
+
+	plan, err := PlanGaussian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := allocShards(4, size)
+			if err := plan.Apply(b, x, parallel.Options{Parallelism: 2, ChunkSize: 128}); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range x {
+				if !bytes.Equal(x[i], xTrue[i]) {
+					t.Errorf("concurrent Apply wrong at shard %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Apply must not clobber the caller's RHS.
+	for i := range b {
+		if !bytes.Equal(b[i], bCopy[i]) {
+			t.Fatalf("Apply modified rhs shard %d", i)
+		}
+	}
+	// Shape mismatches are rejected.
+	if err := plan.Apply(b[:5], allocShards(4, size)); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+	if err := plan.Apply(b, allocShards(3, size)); err == nil {
+		t.Fatal("short solution accepted")
+	}
+}
+
+func allocShards(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	return out
+}
+
+// gfMulAdd is a tiny local helper: dst ^= c*src byte-wise via the public
+// matrix dependencies only.
+func gfMulAdd(c byte, src, dst []byte) {
+	for i := range src {
+		dst[i] ^= mulByte(c, src[i])
+	}
+}
+
+func mulByte(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a&0x80 != 0
+		a <<= 1
+		if hi {
+			a ^= 0x1D
+		}
+		b >>= 1
+	}
+	return p
+}

@@ -276,21 +276,28 @@ type shardOp struct {
 	coeff    byte
 }
 
-// GaussianSolveShards solves a possibly over-determined system A*x = b
-// (A is rows x cols with rows >= cols) with shard-valued RHS, using
-// Gaussian elimination with partial pivoting. It is used by the LRC
-// maximally-recoverable decoder where more equations than unknowns are
-// available. Returns ErrSingular if rank < cols.
-//
-// The elimination runs once on the coefficient matrix, recording the row
-// operations; the recorded log is then replayed over the shard bytes in
-// parallel, striped per the optional trailing parallel.Options.
-func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Options) error {
-	if len(b) != a.Rows || len(x) != a.Cols {
-		return fmt.Errorf("matrix: GaussianSolveShards shape mismatch")
-	}
+// GaussPlan is the reusable product of one Gaussian elimination: the
+// recorded row-operation log and the row permutation, detached from any
+// particular shard data. A plan is immutable after PlanGaussian and safe
+// to Apply concurrently from many goroutines (it only reads its op log
+// and writes caller-provided buffers) — the property the decode-plan
+// caches rely on when many stripes decode the same erasure pattern at
+// once.
+type GaussPlan struct {
+	ops  []shardOp
+	perm []int
+	rows int
+	cols int
+}
+
+// PlanGaussian eliminates a possibly over-determined coefficient matrix
+// (rows >= cols) once, with partial pivoting, and returns the replayable
+// plan. Returns ErrSingular if rank < cols. This is the cacheable half
+// of GaussianSolveShards: the O(rows^2) scalar elimination happens here,
+// and never again for stripes that reuse the plan.
+func PlanGaussian(a *Matrix) (*GaussPlan, error) {
 	if a.Rows < a.Cols {
-		return ErrSingular
+		return nil, ErrSingular
 	}
 	work := a.Clone()
 	// perm maps logical elimination rows to physical rhs indexes, so row
@@ -310,7 +317,7 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Opti
 			}
 		}
 		if pivot < 0 {
-			return ErrSingular
+			return nil, ErrSingular
 		}
 		if pivot != col {
 			pr, cr := work.Row(pivot), work.Row(col)
@@ -335,6 +342,19 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Opti
 			}
 		}
 	}
+	return &GaussPlan{ops: ops, perm: perm, rows: a.Rows, cols: a.Cols}, nil
+}
+
+// Apply replays the recorded elimination over shard-valued RHS b,
+// writing the cols solution shards into x (pre-allocated by the caller,
+// same length as the b shards). b is not modified. The shard arithmetic
+// is striped over the worker pool per the optional trailing
+// parallel.Options.
+func (p *GaussPlan) Apply(b [][]byte, x [][]byte, par ...parallel.Options) error {
+	if len(b) != p.rows || len(x) != p.cols {
+		return fmt.Errorf("matrix: GaussPlan.Apply shape mismatch: got %dx%d, plan %dx%d",
+			len(b), len(x), p.rows, p.cols)
+	}
 	// Deep-copy RHS shards so the caller's survivors are not clobbered,
 	// then replay the op log striped over the shard bytes.
 	rhs := make([][]byte, len(b))
@@ -346,7 +366,7 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Opti
 		size = len(b[0])
 	}
 	parallel.Stripe(size, parallel.Pick(par), func(lo, hi int) {
-		for _, op := range ops {
+		for _, op := range p.ops {
 			if op.src < 0 {
 				gf256.MulSlice(op.coeff, rhs[op.dst][lo:hi], rhs[op.dst][lo:hi])
 			} else {
@@ -354,10 +374,30 @@ func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Opti
 			}
 		}
 	})
-	for i := 0; i < n; i++ {
-		copy(x[i], rhs[perm[i]])
+	for i := 0; i < p.cols; i++ {
+		copy(x[i], rhs[p.perm[i]])
 	}
 	return nil
+}
+
+// GaussianSolveShards solves a possibly over-determined system A*x = b
+// (A is rows x cols with rows >= cols) with shard-valued RHS, using
+// Gaussian elimination with partial pivoting. It is used by the LRC
+// maximally-recoverable decoder where more equations than unknowns are
+// available. Returns ErrSingular if rank < cols.
+//
+// It is PlanGaussian followed by GaussPlan.Apply; decoders that see
+// repeated erasure patterns should cache the plan (see PlanCache) and
+// call Apply directly, skipping the elimination.
+func GaussianSolveShards(a *Matrix, b [][]byte, x [][]byte, par ...parallel.Options) error {
+	if len(b) != a.Rows || len(x) != a.Cols {
+		return fmt.Errorf("matrix: GaussianSolveShards shape mismatch")
+	}
+	plan, err := PlanGaussian(a)
+	if err != nil {
+		return err
+	}
+	return plan.Apply(b, x, par...)
 }
 
 // Rank returns the rank of the matrix over GF(2^8).

@@ -28,8 +28,12 @@ import (
 // chunk of source plus destination stays L2-resident.
 const DefaultChunkSize = 128 << 10
 
-// chunkAlign keeps chunk boundaries off shared cache lines.
-const chunkAlign = 64
+// Align is the boundary chunk edges are rounded down to. 64 keeps chunk
+// boundaries off shared cache lines AND makes every interior chunk a
+// whole number of SIMD blocks for the gf256 kernels (32-byte AVX2,
+// 16-byte SSSE3/NEON), so only the final chunk of a stripe ever runs a
+// scalar tail loop.
+const Align = 64
 
 // Options tunes how a coder uses the engine. The zero value means
 // "GOMAXPROCS workers, DefaultChunkSize chunks" and is the right choice
@@ -61,6 +65,20 @@ func (o Options) Chunk() int {
 		return DefaultChunkSize
 	}
 	return o.ChunkSize
+}
+
+// EffectiveWorkers is Workers capped at GOMAXPROCS: the number of tasks
+// that can actually make progress at once. Requesting more parallelism
+// than there are processors buys only dispatch overhead, so the striping
+// guards use this to decide when to fall back to the serial path (the
+// decomposition itself still follows Workers, keeping results
+// bit-identical).
+func (o Options) EffectiveWorkers() int {
+	w := o.Workers()
+	if g := runtime.GOMAXPROCS(0); w > g {
+		return g
+	}
+	return w
 }
 
 // Pick merges a variadic options tail (the idiom every coder
@@ -179,12 +197,12 @@ func Stripe(size int, opts Options, fn func(lo, hi int)) {
 	}
 	chunk := opts.Chunk()
 	workers := opts.Workers()
-	if workers == 1 || size <= chunk {
+	if opts.EffectiveWorkers() == 1 || size <= chunk {
 		fn(0, size)
 		return
 	}
-	if chunk > chunkAlign {
-		chunk -= chunk % chunkAlign
+	if chunk > Align {
+		chunk -= chunk % Align
 	}
 	n := (size + chunk - 1) / chunk
 	Run(n, workers, func(i int) {
@@ -205,11 +223,11 @@ func Chunks(size int, opts Options) int {
 		return 0
 	}
 	chunk := opts.Chunk()
-	if opts.Workers() == 1 || size <= chunk {
+	if opts.EffectiveWorkers() == 1 || size <= chunk {
 		return 1
 	}
-	if chunk > chunkAlign {
-		chunk -= chunk % chunkAlign
+	if chunk > Align {
+		chunk -= chunk % Align
 	}
 	return (size + chunk - 1) / chunk
 }
@@ -218,11 +236,11 @@ func Chunks(size int, opts Options) int {
 // matching Stripe's boundaries.
 func ChunkBounds(size int, opts Options, i int) (lo, hi int) {
 	chunk := opts.Chunk()
-	if opts.Workers() == 1 || size <= chunk {
+	if opts.EffectiveWorkers() == 1 || size <= chunk {
 		return 0, size
 	}
-	if chunk > chunkAlign {
-		chunk -= chunk % chunkAlign
+	if chunk > Align {
+		chunk -= chunk % Align
 	}
 	lo = i * chunk
 	hi = lo + chunk

@@ -1,0 +1,142 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+func encodeStripe(t *testing.T, c *Coder, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.TotalShards())
+	for i := 0; i < c.DataShards(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+// TestPlanCacheHitsSkipInversion verifies that repeated decodes of the
+// same erasure pattern compute the survivor inverse exactly once, while
+// alternating patterns each get their own cached plan.
+func TestPlanCacheHitsSkipInversion(t *testing.T) {
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := encodeStripe(t, c, 1024, 1)
+
+	decode := func(pattern []int) {
+		t.Helper()
+		work := erasure.CloneShards(orig)
+		for _, e := range pattern {
+			work[e] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(work[i], orig[i]) {
+				t.Fatalf("pattern %v: shard %d wrong after decode", pattern, i)
+			}
+		}
+	}
+
+	// Same pattern five times: one inversion (miss), four replays (hits).
+	for i := 0; i < 5; i++ {
+		decode([]int{1, 4})
+	}
+	s := c.PlanCacheStats()
+	if s.Misses != 1 || s.Hits != 4 || s.Entries != 1 {
+		t.Fatalf("after repeated pattern: %+v, want misses=1 hits=4 entries=1", s)
+	}
+
+	// Alternating patterns: each distinct pattern inverts once, ever.
+	for i := 0; i < 3; i++ {
+		decode([]int{0})
+		decode([]int{2, 7})
+		decode([]int{3, 5, 8})
+	}
+	s = c.PlanCacheStats()
+	if s.Misses != 4 || s.Entries != 4 {
+		t.Fatalf("after alternating patterns: %+v, want misses=4 entries=4", s)
+	}
+	if s.Hits != 4+6 {
+		t.Fatalf("after alternating patterns: %+v, want hits=10", s)
+	}
+	// Pattern order inside the stripe must not matter for the key: the
+	// erased list is canonicalized, so {4,1} == {1,4}.
+	work := erasure.CloneShards(orig)
+	work[4], work[1] = nil, nil
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PlanCacheStats(); got.Misses != 4 {
+		t.Fatalf("pattern key not canonical: %+v", got)
+	}
+}
+
+// TestPlanCacheConcurrentDecode shares one coder (hence one plan) across
+// goroutines decoding the same pattern; run with -race this checks the
+// cached plan is safe to share.
+func TestPlanCacheConcurrentDecode(t *testing.T) {
+	c, err := New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := encodeStripe(t, c, 2048, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				work := erasure.CloneShards(orig)
+				work[3], work[9] = nil, nil
+				if err := c.Reconstruct(work); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(work[3], orig[3]) {
+					t.Error("shard 3 wrong")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.PlanCacheStats()
+	if s.Hits+s.Misses != 80 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want 80 lookups of 1 entry", s)
+	}
+	// Concurrent first misses may compute the plan more than once, but
+	// after the warm-up phase there can be at most a handful of misses.
+	if s.Misses > 8 {
+		t.Fatalf("stats %+v: more misses than goroutines", s)
+	}
+}
+
+// TestPlanCacheUnrecoverableNotCached checks failed decodes do not
+// poison the cache.
+func TestPlanCacheUnrecoverableNotCached(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := encodeStripe(t, c, 256, 3)
+	work := erasure.CloneShards(orig)
+	work[0], work[1], work[2] = nil, nil, nil
+	if err := c.Reconstruct(work); err == nil {
+		t.Fatal("over-tolerance decode succeeded")
+	}
+	if s := c.PlanCacheStats(); s.Entries != 0 {
+		t.Fatalf("unrecoverable pattern cached: %+v", s)
+	}
+}

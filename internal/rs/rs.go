@@ -16,15 +16,32 @@ import (
 )
 
 // Coder is a systematic RS(k, r) erasure coder. It is safe for concurrent
-// use: all state is immutable after New.
+// use: all state is immutable after New except the internally-synchronized
+// decode-plan cache.
 type Coder struct {
 	k, r int
 	gen  *matrix.Matrix // (k+r) x k generator, top k rows identity
 	name string         // optional override (NewXORPrefix)
 	par  parallel.Options
+
+	// plans memoizes {survivor rows, inverted sub-generator} per erasure
+	// pattern, so repeated failures of the same shards (a dead node across
+	// many stripes) invert the k x k survivor matrix only once.
+	plans *matrix.PlanCache
 }
 
-var _ erasure.Coder = (*Coder)(nil)
+var (
+	_ erasure.Coder      = (*Coder)(nil)
+	_ erasure.PlanCached = (*Coder)(nil)
+)
+
+// decodePlan is one cached RS decode: the k survivor shard indexes read
+// by the solve and the inverse of the matching generator sub-matrix.
+// Immutable once cached; shared by concurrent Reconstruct calls.
+type decodePlan struct {
+	rows []int
+	inv  *matrix.Matrix
+}
 
 // New returns an RS(k, r) coder. k >= 1, r >= 0, k+r <= 256. The
 // optional trailing parallel.Options tunes how encode/decode stripe over
@@ -37,7 +54,12 @@ func New(k, r int, par ...parallel.Options) (*Coder, error) {
 	if k+r > 256 {
 		return nil, fmt.Errorf("rs: k+r=%d exceeds GF(256) limit", k+r)
 	}
-	return &Coder{k: k, r: r, gen: matrix.SystematicMDS(k, r), par: parallel.Pick(par)}, nil
+	return &Coder{
+		k: k, r: r,
+		gen:   matrix.SystematicMDS(k, r),
+		par:   parallel.Pick(par),
+		plans: matrix.NewPlanCache(0),
+	}, nil
 }
 
 // NewXORPrefix returns an RS-like MDS coder whose first parity row is all
@@ -62,7 +84,13 @@ func NewXORPrefix(k, r int, par ...parallel.Options) (*Coder, error) {
 	for i := 0; i < r; i++ {
 		copy(g.Row(k+i), cx.Row(i))
 	}
-	return &Coder{k: k, r: r, gen: g, name: fmt.Sprintf("RSX(%d,%d)", k, r), par: parallel.Pick(par)}, nil
+	return &Coder{
+		k: k, r: r,
+		gen:   g,
+		name:  fmt.Sprintf("RSX(%d,%d)", k, r),
+		par:   parallel.Pick(par),
+		plans: matrix.NewPlanCache(0),
+	}, nil
 }
 
 // Name implements erasure.Coder.
@@ -130,19 +158,34 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		return fmt.Errorf("rs reconstruct: %w: %d erased, tolerance %d",
 			erasure.ErrTooManyErasures, len(erased), c.r)
 	}
-	// Gather k surviving rows.
-	var rows []int
-	var survivors [][]byte
-	for i := 0; i < c.TotalShards() && len(rows) < c.k; i++ {
-		if shards[i] != nil {
-			rows = append(rows, i)
-			survivors = append(survivors, shards[i])
+	// The survivor selection and the inverted sub-generator depend only on
+	// the erasure pattern, so they are cached per pattern: a cache hit
+	// decodes without any matrix inversion.
+	v, err := c.plans.GetOrCompute(matrix.PatternKey(erased), func() (any, error) {
+		isErased := make(map[int]bool, len(erased))
+		for _, e := range erased {
+			isErased[e] = true
 		}
-	}
-	sub := c.gen.SelectRows(rows)
-	inv, err := sub.Invert()
+		var rows []int
+		for i := 0; i < c.TotalShards() && len(rows) < c.k; i++ {
+			if !isErased[i] {
+				rows = append(rows, i)
+			}
+		}
+		inv, err := c.gen.SelectRows(rows).Invert()
+		if err != nil {
+			return nil, err
+		}
+		return &decodePlan{rows: rows, inv: inv}, nil
+	})
 	if err != nil {
 		return fmt.Errorf("rs reconstruct: %w", err)
+	}
+	plan := v.(*decodePlan)
+	inv := plan.inv
+	survivors := make([][]byte, len(plan.rows))
+	for i, row := range plan.rows {
+		survivors[i] = shards[row]
 	}
 	// Recover the data shards that are erased, striping all of them over
 	// the pool at once.
@@ -171,6 +214,9 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 	gf256.DotProducts(recRows, data, recDsts, c.par)
 	return nil
 }
+
+// PlanCacheStats implements erasure.PlanCached.
+func (c *Coder) PlanCacheStats() matrix.CacheStats { return c.plans.Stats() }
 
 // Verify implements erasure.Coder.
 func (c *Coder) Verify(shards [][]byte) (bool, error) {

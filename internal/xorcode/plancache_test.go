@@ -1,0 +1,71 @@
+package xorcode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// twoParity builds a tiny RAID-6-like horizontal code for cache tests:
+// 4 data columns, horizontal parity + a second independent parity row
+// set, 2 rows per column.
+func twoParity(t *testing.T) *Code {
+	t.Helper()
+	var chains []Chain
+	// Parity column 4: row-wise XOR of all data cells in the row.
+	for r := 0; r < 2; r++ {
+		ch := Chain{{Col: 4, Row: r}}
+		for c := 0; c < 4; c++ {
+			ch = append(ch, Cell{Col: c, Row: r})
+		}
+		chains = append(chains, ch)
+	}
+	// Parity column 5: diagonals (wrap-free, two cells each suffice for
+	// the single-failure patterns exercised here).
+	for r := 0; r < 2; r++ {
+		ch := Chain{{Col: 5, Row: r}}
+		for c := 0; c < 4; c++ {
+			ch = append(ch, Cell{Col: c, Row: (r + c) % 2})
+		}
+		chains = append(chains, ch)
+	}
+	code, err := New("cache-test", 4, 2, 2, 1, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// TestDecodePlanLRU verifies the XOR engine's plan cache counts hits and
+// misses per column-erasure pattern and reuses plans across decodes.
+func TestDecodePlanLRU(t *testing.T) {
+	code := twoParity(t)
+	rng := rand.New(rand.NewSource(9))
+	shards := make([][]byte, code.TotalShards())
+	for i := 0; i < code.DataShards(); i++ {
+		shards[i] = make([]byte, 64)
+		rng.Read(shards[i])
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for col := 0; col < code.TotalShards(); col++ {
+			work := erasure.CloneShards(shards)
+			work[col] = nil
+			if err := code.Reconstruct(work); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(work[col], shards[col]) {
+				t.Fatalf("column %d wrong after decode", col)
+			}
+		}
+	}
+	s := code.PlanCacheStats()
+	n := uint64(code.TotalShards())
+	if s.Misses != n || s.Hits != 2*n || s.Entries != int(n) {
+		t.Fatalf("stats %+v, want %d misses, %d hits", s, n, 2*n)
+	}
+}

@@ -21,11 +21,11 @@ package xorcode
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"approxcode/internal/erasure"
 	"approxcode/internal/gf256"
+	"approxcode/internal/matrix"
 	"approxcode/internal/parallel"
 )
 
@@ -43,8 +43,9 @@ type Cell struct {
 // Chain is one parity equation: the XOR of all member cells equals zero.
 type Chain []Cell
 
-// Code is an XOR array erasure code. Immutable after New; the decode-plan
-// cache is internally synchronized, so a Code is safe for concurrent use.
+// Code is an XOR array erasure code. Immutable after New; the LRU
+// decode-plan cache is internally synchronized, so a Code is safe for
+// concurrent use.
 //
 // Two geometries are supported: horizontal codes with dedicated parity
 // columns (EVENODD, STAR, TIP, RDP, CRS), built with New, and vertical
@@ -71,8 +72,9 @@ type Code struct {
 
 	par parallel.Options
 
-	mu        sync.Mutex
-	planCache map[string][]decodeStep
+	// plans is the LRU of decode step lists keyed by erased-column
+	// pattern; a hit skips the GF(2) elimination entirely.
+	plans *matrix.PlanCache
 }
 
 // decodeStep reconstructs one lost cell as the XOR of known cells.
@@ -81,7 +83,10 @@ type decodeStep struct {
 	known []int // cell indexes to XOR
 }
 
-var _ erasure.Coder = (*Code)(nil)
+var (
+	_ erasure.Coder      = (*Code)(nil)
+	_ erasure.PlanCached = (*Code)(nil)
+)
 
 // New constructs a code from its chain declaration and verifies that the
 // chains determine every parity cell (i.e. encoding is well defined).
@@ -122,7 +127,7 @@ func newCode(name string, dataCols, parityCols, rows, tolerance int, parityCells
 		tolerance: tolerance,
 		chains:    chains,
 		par:       par,
-		planCache: make(map[string][]decodeStep),
+		plans:     matrix.NewPlanCache(0),
 	}
 	totalCols := dataCols + parityCols
 	c.isParity = newBitset(totalCols * rows)
@@ -347,7 +352,7 @@ func (c *Code) Encode(shards [][]byte) error {
 			gf256.XorSlice(chunk(shards[di/c.rows], di%c.rows, c.rows)[lo:hi], dst)
 		}
 	}
-	if c.par.Workers() == 1 || size*c.TotalShards() < minStripedBytes {
+	if c.par.EffectiveWorkers() == 1 || size*c.TotalShards() < minStripedBytes {
 		for u := range c.encodePlan {
 			encodeCell(u, 0, cellSize)
 		}
@@ -361,29 +366,22 @@ func (c *Code) Encode(shards [][]byte) error {
 	return nil
 }
 
-// patternKey canonicalizes an erased-column set for the plan cache.
-func patternKey(cols []int) string {
-	s := append([]int(nil), cols...)
-	sort.Ints(s)
-	b := make([]byte, len(s))
-	for i, v := range s {
-		b[i] = byte(v)
-	}
-	return string(b)
-}
-
 // decodePlan returns (building and caching if needed) the step list that
 // reconstructs all cells of the erased columns from surviving cells, or
-// an error if the pattern is unrecoverable.
+// an error if the pattern is unrecoverable. Plans are cached in an LRU
+// keyed by the canonical erasure pattern (unrecoverable patterns are not
+// cached).
 func (c *Code) decodePlan(erasedCols []int) ([]decodeStep, error) {
-	key := patternKey(erasedCols)
-	c.mu.Lock()
-	if plan, ok := c.planCache[key]; ok {
-		c.mu.Unlock()
-		return plan, nil
+	v, err := c.plans.GetOrCompute(matrix.PatternKey(erasedCols), func() (any, error) {
+		return c.buildDecodePlan(erasedCols)
+	})
+	if err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
+	return v.([]decodeStep), nil
+}
 
+func (c *Code) buildDecodePlan(erasedCols []int) ([]decodeStep, error) {
 	lost := make(map[int]int) // cell index -> unknown index
 	var lostCells []int
 	for _, col := range erasedCols {
@@ -452,11 +450,11 @@ func (c *Code) decodePlan(erasedCols []int) ([]decodeStep, error) {
 	for u := 0; u < nUnknown; u++ {
 		plan[u] = decodeStep{lost: lostCells[u], known: eqs[pivotOf[u]].rhs.ones(nCells)}
 	}
-	c.mu.Lock()
-	c.planCache[key] = plan
-	c.mu.Unlock()
 	return plan, nil
 }
+
+// PlanCacheStats implements erasure.PlanCached.
+func (c *Code) PlanCacheStats() matrix.CacheStats { return c.plans.Stats() }
 
 // Reconstruct implements erasure.Coder.
 func (c *Code) Reconstruct(shards [][]byte) error {
@@ -486,7 +484,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 			gf256.XorSlice(chunk(shards[ki/c.rows], ki%c.rows, c.rows)[lo:hi], dst)
 		}
 	}
-	if c.par.Workers() == 1 || size*c.TotalShards() < minStripedBytes {
+	if c.par.EffectiveWorkers() == 1 || size*c.TotalShards() < minStripedBytes {
 		for s := range plan {
 			decodeStepRange(s, 0, cellSize)
 		}
