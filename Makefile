@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-noasm race fuzz bench-pr1 bench-pr2 ci
+.PHONY: all build vet lint test test-noasm race chaos fuzz bench-pr1 bench-pr2 ci
 
 all: build
 
@@ -16,6 +16,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck when it is installed (skipped silently offline —
+# the container image does not bundle it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -27,6 +36,12 @@ test-noasm:
 
 race:
 	$(GO) test -race ./...
+
+# Seeded chaos suite: full ingest → fault → degraded-read → repair →
+# scrub cycles through the fault injector, under the race detector.
+# Deterministic per seed; see internal/chaos and DESIGN.md §7.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/store/ ./internal/chaos/...
 
 # Each fuzz target runs alone (go test allows one -fuzz pattern per
 # package invocation), seeded by testdata/fuzz corpora.
@@ -45,4 +60,4 @@ bench-pr1:
 bench-pr2:
 	$(GO) run ./cmd/apprbench -exp pr2 -iters 3
 
-ci: vet build test test-noasm race fuzz
+ci: lint build test test-noasm race chaos fuzz

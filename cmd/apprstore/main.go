@@ -60,6 +60,8 @@ func main() {
 		err = cmdRestore(os.Args[2:])
 	case "repair":
 		err = cmdRepair(os.Args[2:])
+	case "scrub":
+		err = cmdScrub(os.Args[2:])
 	default:
 		usage()
 	}
@@ -70,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apprstore <encode|decode|verify|info|ingest|restore|repair> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: apprstore <encode|decode|verify|info|ingest|restore|repair|scrub> [flags]")
 	os.Exit(2)
 }
 

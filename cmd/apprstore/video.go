@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 	"approxcode/internal/store"
 	"approxcode/internal/video"
@@ -21,8 +22,9 @@ import (
 // repair the store in place.
 //
 //	apprstore ingest  -in stream.agop -dir storedir -k 5 -r 1 -g 2 -h 6
-//	apprstore restore -dir storedir -out restored.agop [-fail 0,7]
+//	apprstore restore -dir storedir -out restored.agop [-fail 0,7] [-chaos "node=2,fault=transient,rate=0.3"] [-stats]
 //	apprstore repair  -dir storedir
+//	apprstore scrub   -dir storedir
 
 // sidecar carries the container metadata the store does not model.
 type sidecar struct {
@@ -122,18 +124,65 @@ func loadSidecar(dir string) (*sidecar, error) {
 	return &sc, nil
 }
 
+// loadStoreWith opens a store directory leniently (damaged node files
+// are demoted to failed nodes instead of aborting) with an optional
+// seeded fault-injection schedule wrapped around its I/O path. The
+// schedule uses the chaos DSL, e.g. "node=2,fault=transient,rate=0.3".
+func loadStoreWith(dir, schedule string, seed int64) (*store.Store, *chaos.Injector, error) {
+	opts := store.LoadOptions{
+		Lenient: true,
+		Retry:   store.RetryPolicy{Seed: seed},
+	}
+	var inj *chaos.Injector
+	if schedule != "" {
+		rules, err := chaos.ParseSchedule(schedule)
+		if err != nil {
+			return nil, nil, err
+		}
+		inj = chaos.NewInjector(seed, rules...)
+		opts.WrapIO = inj.Wrap
+	}
+	st, err := store.LoadWith(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if failed := st.FailedNodes(); len(failed) > 0 {
+		fmt.Printf("load: node files missing or corrupt, nodes failed: %v\n", failed)
+	}
+	return st, inj, nil
+}
+
+// printCounters reports the self-healing I/O telemetry of a run.
+func printCounters(st *store.Store, inj *chaos.Injector) {
+	s := st.Stats()
+	fmt.Printf("io: retries=%d hedges=%d hedge-wins=%d read-errors=%d\n",
+		s.Retries, s.Hedges, s.HedgeWins, s.ReadErrors)
+	fmt.Printf("integrity: checksum-failures=%d shards-healed=%d degraded-sub-reads=%d\n",
+		s.ChecksumFailures, s.ShardsHealed, s.DegradedSubReads)
+	fmt.Printf("health: suspect=%d down=%d crash-failed=%d\n",
+		s.SuspectNodes, s.DownNodes, s.FailedNodes)
+	if inj != nil {
+		c := inj.Stats()
+		fmt.Printf("chaos: injected=%d (transient=%d latency=%d corrupt-read=%d corrupt-write=%d torn=%d crash=%d)\n",
+			c.Total(), c.Transients, c.Latencies, c.CorruptReads, c.CorruptWrites, c.TornWrites, c.Crashes)
+	}
+}
+
 func cmdRestore(args []string) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
 	dir := fs.String("dir", "", "store directory")
 	out := fs.String("out", "", "output AGOP container")
 	fail := fs.String("fail", "", "comma-separated node indexes to fail before reading")
+	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=transient,rate=0.3\")")
+	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
+	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" || *out == "" {
 		return errors.New("restore needs -dir and -out")
 	}
-	st, err := store.Load(*dir)
+	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed)
 	if err != nil {
 		return err
 	}
@@ -203,6 +252,9 @@ func cmdRestore(args []string) error {
 	} else {
 		fmt.Printf("restored %d frames, fully recovered\n", len(sc.Frames))
 	}
+	if *stats {
+		printCounters(st, inj)
+	}
 	return nil
 }
 
@@ -210,13 +262,16 @@ func cmdRepair(args []string) error {
 	fs := flag.NewFlagSet("repair", flag.ExitOnError)
 	dir := fs.String("dir", "", "store directory")
 	fail := fs.String("fail", "", "comma-separated node indexes to fail before repairing")
+	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=transient,rate=0.3\")")
+	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
+	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return errors.New("repair needs -dir")
 	}
-	st, err := store.Load(*dir)
+	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed)
 	if err != nil {
 		return err
 	}
@@ -240,10 +295,56 @@ func cmdRepair(args []string) error {
 	if err := st.Save(*dir); err != nil {
 		return err
 	}
-	fmt.Printf("repaired %d stripes, %d bytes rebuilt\n", rep.StripesRepaired, rep.BytesRebuilt)
+	fmt.Printf("repaired %d stripes (%d skipped), %d bytes rebuilt, %d shards healed\n",
+		rep.StripesRepaired, rep.StripesSkipped, rep.BytesRebuilt, rep.ShardsHealed)
 	for obj, segs := range rep.LostSegments {
 		fmt.Printf("object %s: %d segments unrecoverable (fuzzy recovery needed): %v\n",
 			obj, len(segs), segs)
+	}
+	if *stats {
+		printCounters(st, inj)
+	}
+	return nil
+}
+
+// cmdScrub verifies every stored stripe against its CRC-32C column
+// checksums and parity relations, healing corrupted columns in place.
+func cmdScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=corrupt,rate=0.1\")")
+	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
+	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("scrub needs -dir")
+	}
+	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed)
+	if err != nil {
+		return err
+	}
+	rep, err := st.Scrub()
+	if err != nil {
+		return err
+	}
+	if rep.Healed > 0 {
+		// Persist the healed columns.
+		if err := st.Save(*dir); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("scrubbed %d stripes (%d skipped): %d checksum failures, %d shards healed\n",
+		rep.StripesChecked, rep.StripesSkipped, rep.ChecksumFailures, rep.Healed)
+	if len(rep.Corrupt) > 0 {
+		fmt.Printf("unhealable stripes (run repair): %v\n", rep.Corrupt)
+	}
+	if *stats {
+		printCounters(st, inj)
+	}
+	if len(rep.Corrupt) > 0 {
+		return fmt.Errorf("%d stripes corrupt beyond scrub's reach", len(rep.Corrupt))
 	}
 	return nil
 }

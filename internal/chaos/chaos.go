@@ -1,0 +1,405 @@
+// Package chaos is a deterministic fault-injection layer for the
+// storage stack. It defines NodeIO — the I/O surface between
+// store.Store and its simulated DataNodes — and an Injector that wraps
+// any NodeIO with a seeded, scriptable fault schedule composing the
+// failure modes a real tiered video store faces beyond clean crashes:
+// transient I/O errors, stragglers, silent bit corruption, and torn
+// (partial) writes.
+//
+// Everything the injector does is driven by a single seeded PRNG, so a
+// chaos run is reproducible from its seed: the same schedule against
+// the same workload injects the same faults. Schedules are either
+// built programmatically from Rule values or parsed from the compact
+// textual DSL accepted by ParseSchedule (see schedule.go), e.g.
+//
+//	node=3,fault=corrupt,stripe>=7;node=1,fault=transient,rate=0.3
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Sentinel errors of the fault taxonomy. The storage layer aliases and
+// wraps these so errors.Is works across package boundaries.
+var (
+	// ErrNodeUnavailable is returned for I/O against a crashed (or
+	// injector-crashed) node.
+	ErrNodeUnavailable = errors.New("chaos: node unavailable")
+	// ErrTransient is an injected transient I/O error: retrying the
+	// operation may succeed.
+	ErrTransient = errors.New("chaos: transient I/O error")
+)
+
+// OpKind classifies a node I/O operation.
+type OpKind int
+
+// Operation kinds. OpAny is only meaningful in rules, where it matches
+// both reads and writes.
+const (
+	OpAny OpKind = iota
+	OpRead
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpAny:
+		return "any"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op identifies one node I/O operation: the column of `Object`'s global
+// stripe `Stripe` stored on node `Node`.
+type Op struct {
+	Kind   OpKind
+	Node   int
+	Object string
+	Stripe int
+}
+
+// NodeIO is the I/O surface between the storage layer and one set of
+// (simulated) DataNodes. The store's in-memory nodes implement it; the
+// Injector wraps any implementation with fault injection.
+type NodeIO interface {
+	// ReadColumn returns the stored column of (object, stripe) on the
+	// node, or an error.
+	ReadColumn(node int, object string, stripe int) ([]byte, error)
+	// WriteColumn stores a column of (object, stripe) on the node.
+	WriteColumn(node int, object string, stripe int, data []byte) error
+}
+
+// FaultKind enumerates the injectable fault modes.
+type FaultKind int
+
+// Fault modes.
+const (
+	// FaultCrash fails the operation with ErrNodeUnavailable.
+	FaultCrash FaultKind = iota
+	// FaultTransient fails the operation with ErrTransient.
+	FaultTransient
+	// FaultLatency delays the operation by Rule.Latency (a straggler).
+	FaultLatency
+	// FaultCorrupt silently flips Rule.Bytes random bytes of the data
+	// (read results or written columns) without reporting an error.
+	FaultCorrupt
+	// FaultTorn truncates a write to Rule.KeepFraction of the column (a
+	// torn/partial write); reads are unaffected.
+	FaultTorn
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultTransient:
+		return "transient"
+	case FaultLatency:
+		return "latency"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultTorn:
+		return "torn"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Any matches every node (Rule.Node) or every stripe (Rule.Stripe).
+const Any = -1
+
+// Rule is one entry of a fault schedule. A rule matches an operation
+// when every selector agrees, and then fires subject to its After,
+// Count, and Rate gates.
+type Rule struct {
+	// Node selects the target node, or Any for all nodes.
+	Node int
+	// Op selects reads, writes, or OpAny for both.
+	Op OpKind
+	// Object selects an object name; "" matches any object.
+	Object string
+	// Stripe selects one global stripe exactly, or Any for all.
+	Stripe int
+	// FromStripe additionally restricts matches to stripes >=
+	// FromStripe ("node 3 flips bits after stripe 7"). Zero imposes no
+	// restriction.
+	FromStripe int
+
+	// Kind is the fault mode to inject.
+	Kind FaultKind
+	// Rate is the per-matching-op firing probability; <= 0 means 1
+	// (always fire).
+	Rate float64
+	// Count caps how many times the rule fires; 0 is unlimited.
+	Count int
+	// After skips the first After matching operations before the rule
+	// becomes eligible.
+	After int
+
+	// Latency is the injected delay for FaultLatency.
+	Latency time.Duration
+	// Bytes is how many bytes FaultCorrupt flips; <= 0 means 1.
+	Bytes int
+	// KeepFraction is the fraction of the column a FaultTorn write
+	// persists; <= 0 means 0.5, and values >= 1 are clamped to drop at
+	// least one trailing byte.
+	KeepFraction float64
+}
+
+// matches reports whether the rule's selectors accept the operation.
+func (r *Rule) matches(op Op) bool {
+	if r.Node != Any && r.Node != op.Node {
+		return false
+	}
+	if r.Op != OpAny && r.Op != op.Kind {
+		return false
+	}
+	if r.Object != "" && r.Object != op.Object {
+		return false
+	}
+	if r.Stripe != Any && r.Stripe != op.Stripe {
+		return false
+	}
+	if op.Stripe < r.FromStripe {
+		return false
+	}
+	return true
+}
+
+// Stats counts injected faults by mode.
+type Stats struct {
+	Crashes, Transients, Latencies int64
+	CorruptReads, CorruptWrites    int64
+	TornWrites                     int64
+}
+
+// Total is the number of faults injected across all modes.
+func (s Stats) Total() int64 {
+	return s.Crashes + s.Transients + s.Latencies + s.CorruptReads + s.CorruptWrites + s.TornWrites
+}
+
+type ruleState struct {
+	Rule
+	matched int // matching ops seen, for After
+	fired   int // injections performed, for Count
+}
+
+// Injector wraps a NodeIO with a seeded fault schedule. It is safe for
+// concurrent use; all randomness flows from the constructor seed.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	inner NodeIO
+	rules []*ruleState
+	stats Stats
+	sleep func(time.Duration) // test hook
+}
+
+// NewInjector creates an injector with the given seed and initial
+// rules. Bind it to a backend with Wrap before use.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed)), sleep: time.Sleep}
+	in.AddRules(rules...)
+	return in
+}
+
+// Wrap binds the injector to the inner NodeIO and returns the injector
+// as the interposed NodeIO. Its signature matches the storage layer's
+// WrapIO configuration hook, so a typical setup is
+//
+//	inj := chaos.NewInjector(seed, rules...)
+//	cfg.WrapIO = inj.Wrap
+func (in *Injector) Wrap(inner NodeIO) NodeIO {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.inner = inner
+	return in
+}
+
+// AddRules appends rules to the schedule.
+func (in *Injector) AddRules(rules ...Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range rules {
+		r := r
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+}
+
+// ClearNode removes every rule targeting the node (Any rules are kept).
+// Call it when a failed node is replaced with fresh hardware.
+func (in *Injector) ClearNode(node int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	kept := in.rules[:0]
+	for _, r := range in.rules {
+		if r.Node != node {
+			kept = append(kept, r)
+		}
+	}
+	in.rules = kept
+}
+
+// ClearAll removes every rule.
+func (in *Injector) ClearAll() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// decision is the composed outcome of all rules firing on one op.
+type decision struct {
+	delay        time.Duration
+	err          error
+	corruptBytes int
+	torn         bool
+	keepFraction float64
+}
+
+// decide evaluates the schedule against op under the lock, advancing
+// rule counters and drawing randomness in rule order (deterministic for
+// a serial workload).
+func (in *Injector) decide(op Op) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d decision
+	for _, r := range in.rules {
+		if !r.matches(op) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Rate > 0 && r.Rate < 1 && in.rng.Float64() >= r.Rate {
+			continue
+		}
+		switch r.Kind {
+		case FaultCrash:
+			r.fired++
+			in.stats.Crashes++
+			if d.err == nil {
+				d.err = fmt.Errorf("%w: injected crash on node %d", ErrNodeUnavailable, op.Node)
+			}
+		case FaultTransient:
+			r.fired++
+			in.stats.Transients++
+			if d.err == nil {
+				d.err = fmt.Errorf("%w: node %d %s %s/%d", ErrTransient, op.Node, op.Kind, op.Object, op.Stripe)
+			}
+		case FaultLatency:
+			r.fired++
+			in.stats.Latencies++
+			d.delay += r.Latency
+		case FaultCorrupt:
+			r.fired++
+			n := r.Bytes
+			if n <= 0 {
+				n = 1
+			}
+			d.corruptBytes += n
+			if op.Kind == OpRead {
+				in.stats.CorruptReads++
+			} else {
+				in.stats.CorruptWrites++
+			}
+		case FaultTorn:
+			if op.Kind != OpWrite {
+				continue
+			}
+			r.fired++
+			in.stats.TornWrites++
+			d.torn = true
+			kf := r.KeepFraction
+			if kf <= 0 {
+				kf = 0.5
+			}
+			if d.keepFraction == 0 || kf < d.keepFraction {
+				d.keepFraction = kf
+			}
+		}
+	}
+	return d
+}
+
+// corruptCopy returns a copy of data with n random bytes XORed with
+// random non-zero masks.
+func (in *Injector) corruptCopy(data []byte, n int) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	in.mu.Lock()
+	for i := 0; i < n; i++ {
+		off := in.rng.Intn(len(out))
+		mask := byte(1 + in.rng.Intn(255))
+		out[off] ^= mask
+	}
+	in.mu.Unlock()
+	return out
+}
+
+// ReadColumn implements NodeIO with fault injection.
+func (in *Injector) ReadColumn(node int, object string, stripe int) ([]byte, error) {
+	d := in.decide(Op{Kind: OpRead, Node: node, Object: object, Stripe: stripe})
+	if d.delay > 0 {
+		in.sleep(d.delay)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	data, err := in.inner.ReadColumn(node, object, stripe)
+	if err != nil {
+		return nil, err
+	}
+	if d.corruptBytes > 0 {
+		data = in.corruptCopy(data, d.corruptBytes)
+	}
+	return data, nil
+}
+
+// WriteColumn implements NodeIO with fault injection.
+func (in *Injector) WriteColumn(node int, object string, stripe int, data []byte) error {
+	d := in.decide(Op{Kind: OpWrite, Node: node, Object: object, Stripe: stripe})
+	if d.delay > 0 {
+		in.sleep(d.delay)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.corruptBytes > 0 {
+		data = in.corruptCopy(data, d.corruptBytes)
+	}
+	if d.torn {
+		keep := int(d.keepFraction * float64(len(data)))
+		if keep >= len(data) && len(data) > 0 {
+			keep = len(data) - 1
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		data = append([]byte(nil), data[:keep]...)
+	}
+	return in.inner.WriteColumn(node, object, stripe, data)
+}

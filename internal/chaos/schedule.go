@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSchedule parses the compact textual schedule DSL into rules.
+//
+// A schedule is a semicolon-separated list of rules; a rule is a
+// comma-separated list of key=value selectors and parameters:
+//
+//	node=<int>|*        target node (default *)
+//	op=read|write|any   operation kind (default any)
+//	object=<name>|*     object name (default *)
+//	stripe=<int>|*      exact global stripe (default *)
+//	stripe>=<int>       stripes at or beyond N
+//	fault=crash|transient|latency|corrupt|torn   (required)
+//	rate=<float>        firing probability per matching op (default 1)
+//	count=<int>         max firings (default unlimited)
+//	after=<int>         skip the first N matching ops
+//	latency=<duration>  delay for fault=latency (default 10ms)
+//	bytes=<int>         bytes flipped by fault=corrupt (default 1)
+//	keep=<float>        fraction persisted by fault=torn (default 0.5)
+//
+// Example — "node 3 flips bits after stripe 7, node 1 is 30% flaky":
+//
+//	node=3,fault=corrupt,stripe>=7;node=1,fault=transient,rate=0.3
+func ParseSchedule(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r, err := parseRule(clause)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: %w", clause, err)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: empty schedule %q", s)
+	}
+	return rules, nil
+}
+
+func parseRule(clause string) (Rule, error) {
+	r := Rule{Node: Any, Stripe: Any, Latency: 10 * time.Millisecond}
+	haveFault := false
+	for _, field := range strings.Split(clause, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		// stripe>=N needs special-casing before the k=v split.
+		if rest, ok := strings.CutPrefix(field, "stripe>="); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("bad stripe>= value %q", rest)
+			}
+			r.FromStripe = n
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return r, fmt.Errorf("field %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "node":
+			if val == "*" {
+				r.Node = Any
+				break
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("bad node %q", val)
+			}
+			r.Node = n
+		case "op":
+			switch val {
+			case "read":
+				r.Op = OpRead
+			case "write":
+				r.Op = OpWrite
+			case "any":
+				r.Op = OpAny
+			default:
+				return r, fmt.Errorf("bad op %q", val)
+			}
+		case "object":
+			if val == "*" {
+				r.Object = ""
+				break
+			}
+			r.Object = val
+		case "stripe":
+			if val == "*" {
+				r.Stripe = Any
+				break
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("bad stripe %q", val)
+			}
+			r.Stripe = n
+		case "fault":
+			switch val {
+			case "crash":
+				r.Kind = FaultCrash
+			case "transient":
+				r.Kind = FaultTransient
+			case "latency":
+				r.Kind = FaultLatency
+			case "corrupt":
+				r.Kind = FaultCorrupt
+			case "torn":
+				r.Kind = FaultTorn
+			default:
+				return r, fmt.Errorf("bad fault %q", val)
+			}
+			haveFault = true
+		case "rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return r, fmt.Errorf("bad rate %q", val)
+			}
+			r.Rate = f
+		case "count":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("bad count %q", val)
+			}
+			r.Count = n
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("bad after %q", val)
+			}
+			r.After = n
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return r, fmt.Errorf("bad latency %q", val)
+			}
+			r.Latency = d
+		case "bytes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return r, fmt.Errorf("bad bytes %q", val)
+			}
+			r.Bytes = n
+		case "keep":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return r, fmt.Errorf("bad keep %q", val)
+			}
+			r.KeepFraction = f
+		default:
+			return r, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if !haveFault {
+		return r, fmt.Errorf("missing fault=")
+	}
+	return r, nil
+}

@@ -33,6 +33,10 @@ type Config struct {
 	ComputeBW float64
 	// SeekLatency is the per-request disk positioning latency in seconds.
 	SeekLatency float64
+	// SlowFactor multiplies a node's disk and network service times — a
+	// straggler model (degraded disk, congested ToR port). Absent or
+	// non-positive entries mean 1.0 (nominal speed).
+	SlowFactor map[int]float64
 }
 
 // DefaultConfig mirrors the paper's platform: 10 Gbps NIC, enterprise
@@ -57,6 +61,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: negative seek latency")
 	}
 	return nil
+}
+
+// slow returns the node's straggler multiplier.
+func (c Config) slow(node int) float64 {
+	if f, ok := c.SlowFactor[node]; ok && f > 0 {
+		return f
+	}
+	return 1
 }
 
 // Plan is a schedulable repair: tasks over node indexes. Node indexes in
@@ -177,12 +189,13 @@ func Simulate(cfg Config, plan *Plan, stripes int) (Result, error) {
 			}
 			worker := t.WriteNodes[0]
 			b := float64(t.Bytes)
-			// Phase 1: fetch survivor sub-blocks.
+			// Phase 1: fetch survivor sub-blocks. A straggler's
+			// multiplier stretches its disk and NIC service times.
 			var arrived float64
 			for _, src := range t.ReadNodes {
-				readEnd := acquire(clocks.diskR, src, 0, cfg.SeekLatency+b/cfg.DiskReadBW)
-				sentEnd := acquire(clocks.netOut, src, readEnd, b/cfg.NetBW)
-				recvEnd := acquire(clocks.netIn, worker, sentEnd, b/cfg.NetBW)
+				readEnd := acquire(clocks.diskR, src, 0, cfg.slow(src)*(cfg.SeekLatency+b/cfg.DiskReadBW))
+				sentEnd := acquire(clocks.netOut, src, readEnd, cfg.slow(src)*b/cfg.NetBW)
+				recvEnd := acquire(clocks.netIn, worker, sentEnd, cfg.slow(worker)*b/cfg.NetBW)
 				if recvEnd > arrived {
 					arrived = recvEnd
 				}
@@ -196,10 +209,10 @@ func Simulate(cfg Config, plan *Plan, stripes int) (Result, error) {
 			for _, dst := range t.WriteNodes {
 				ready := computed
 				if dst != worker {
-					sent := acquire(clocks.netOut, worker, computed, b/cfg.NetBW)
-					ready = acquire(clocks.netIn, dst, sent, b/cfg.NetBW)
+					sent := acquire(clocks.netOut, worker, computed, cfg.slow(worker)*b/cfg.NetBW)
+					ready = acquire(clocks.netIn, dst, sent, cfg.slow(dst)*b/cfg.NetBW)
 				}
-				wEnd := acquire(clocks.diskW, dst, ready, cfg.SeekLatency+b/cfg.DiskWriteBW)
+				wEnd := acquire(clocks.diskW, dst, ready, cfg.slow(dst)*(cfg.SeekLatency+b/cfg.DiskWriteBW))
 				if wEnd > taskEnd {
 					taskEnd = wEnd
 				}

@@ -246,3 +246,43 @@ func TestUnrecoverableBytesScale(t *testing.T) {
 		t.Fatal("NaN time")
 	}
 }
+
+func TestSlowFactorStretchesRecovery(t *testing.T) {
+	c, _ := rs.New(5, 3)
+	plan, _ := PlanBaseline(c, 8<<20, []int{0})
+	base, err := Simulate(DefaultConfig(), plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow down one survivor the repair reads from: its stretched disk
+	// and NIC service times gate the whole task chain.
+	slowCfg := DefaultConfig()
+	slowCfg.SlowFactor = map[int]float64{plan.Tasks[0].ReadNodes[0]: 4}
+	slow, err := Simulate(slowCfg, plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Time <= base.Time {
+		t.Fatalf("straggler invisible: %.3fs vs %.3fs", slow.Time, base.Time)
+	}
+	// A multiplier on an uninvolved node changes nothing.
+	idleCfg := DefaultConfig()
+	idleCfg.SlowFactor = map[int]float64{7: 10}
+	idle, err := Simulate(idleCfg, plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Time != base.Time {
+		t.Fatalf("uninvolved straggler changed time: %.3fs vs %.3fs", idle.Time, base.Time)
+	}
+	// Non-positive factors mean nominal speed.
+	zeroCfg := DefaultConfig()
+	zeroCfg.SlowFactor = map[int]float64{plan.Tasks[0].ReadNodes[0]: 0}
+	zero, err := Simulate(zeroCfg, plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Time != base.Time {
+		t.Fatalf("zero factor not treated as nominal: %.3fs vs %.3fs", zero.Time, base.Time)
+	}
+}

@@ -26,6 +26,19 @@ func (c *Code) locateSubStripe(node, row int) (l, m int, err error) {
 	return c.StripeOf(node), row, nil
 }
 
+// SubBlockImportant reports whether sub-block (node, row) belongs to an
+// important sub-stripe — i.e. whether a loss there is protected by the
+// full (k, r+g) codeword or only the local (k, r) one. Storage layers
+// use it to decide whether an unrecoverable loss may be routed to the
+// approximate (interpolation) fallback.
+func (c *Code) SubBlockImportant(node, row int) (bool, error) {
+	l, m, err := c.locateSubStripe(node, row)
+	if err != nil {
+		return false, err
+	}
+	return c.Important(l, m), nil
+}
+
 // ReadSubBlock returns the contents of sub-block (node, row) of a global
 // stripe whose erased node columns are nil — the degraded-read path of a
 // storage layer. If the node is alive the sub-block is returned
@@ -34,18 +47,26 @@ func (c *Code) locateSubStripe(node, row int) (l, m int, err error) {
 // slice is freshly allocated for decoded blocks and aliases the shard
 // for direct reads.
 func (c *Code) ReadSubBlock(shards [][]byte, node, row int) ([]byte, error) {
+	data, _, err := c.ReadSubBlockReport(shards, node, row)
+	return data, err
+}
+
+// ReadSubBlockReport is ReadSubBlock plus a flag telling whether the
+// block was served directly (false) or decoded from survivors (true) —
+// the storage layer's degraded-read counter hook.
+func (c *Code) ReadSubBlockReport(shards [][]byte, node, row int) ([]byte, bool, error) {
 	if len(shards) != c.TotalShards() {
-		return nil, fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
+		return nil, false, fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
 	}
 	l, m, err := c.locateSubStripe(node, row)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if shards[node] != nil {
 		if len(shards[node])%c.ShardSizeMultiple() != 0 {
-			return nil, fmt.Errorf("%w: node %d", erasure.ErrShardSize, node)
+			return nil, false, fmt.Errorf("%w: node %d", erasure.ErrShardSize, node)
 		}
-		return sub(shards[node], row, c.p.H), nil
+		return sub(shards[node], row, c.p.H), false, nil
 	}
 	coder := c.local
 	if c.Important(l, m) {
@@ -65,7 +86,7 @@ func (c *Code) ReadSubBlock(shards [][]byte, node, row int) ([]byte, error) {
 		if size == 0 {
 			size = len(shards[n])
 		} else if len(shards[n]) != size {
-			return nil, fmt.Errorf("%w: unequal shard sizes", erasure.ErrShardSize)
+			return nil, false, fmt.Errorf("%w: unequal shard sizes", erasure.ErrShardSize)
 		}
 		cw[i] = sub(shards[n], c.subRowOnNode(n, l, m), c.p.H)
 	}
@@ -74,13 +95,13 @@ func (c *Code) ReadSubBlock(shards [][]byte, node, row int) ([]byte, error) {
 		// that would own (l, m) — only possible for a global parity node
 		// asked for an unimportant row, which cannot happen given
 		// locateSubStripe's mapping; guard anyway.
-		return nil, fmt.Errorf("core: node %d not part of sub-stripe (%d,%d)", node, l, m)
+		return nil, false, fmt.Errorf("core: node %d not part of sub-stripe (%d,%d)", node, l, m)
 	}
 	if size == 0 {
-		return nil, fmt.Errorf("%w: no survivors", erasure.ErrShardSize)
+		return nil, false, fmt.Errorf("%w: no survivors", erasure.ErrShardSize)
 	}
 	if err := coder.Reconstruct(cw); err != nil {
-		return nil, fmt.Errorf("core: degraded read of (%d,%d): %w", node, row, err)
+		return nil, false, fmt.Errorf("core: degraded read of (%d,%d): %w", node, row, err)
 	}
-	return cw[pos], nil
+	return cw[pos], true, nil
 }

@@ -159,6 +159,11 @@ type Result struct {
 	RecoveredAt float64
 	// TasksRun counts dispatched recovery tasks.
 	TasksRun int
+	// FalseDetections counts live nodes the NameNode wrongly declared
+	// dead because a transient fault muted their heartbeats past the
+	// timeout. Each costs a spurious re-replication batch, exactly as
+	// on a real cluster.
+	FalseDetections int
 }
 
 // DetectionLatency is DetectedAt - FailureAt.
@@ -179,11 +184,21 @@ type Cluster struct {
 	lastHeartbeat []float64
 	dead          map[int]bool
 	detected      map[int]bool
+	transients    []transientFault
+	watchUntil    float64
 
 	queue   []Task // pending recovery tasks, FIFO
 	busy    map[int]int
 	result  Result
 	pending int
+}
+
+// transientFault mutes a live node's heartbeats for a window — a
+// network partition or GC pause rather than a crash. If the window
+// outlasts the heartbeat timeout the NameNode false-detects the node.
+type transientFault struct {
+	node         int
+	at, duration float64
 }
 
 // NewCluster creates a cluster of n live DataNodes.
@@ -209,34 +224,84 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 // Sim exposes the underlying simulator (for composing experiments).
 func (c *Cluster) Sim() *Sim { return c.sim }
 
+// AddTransientFault mutes node i's heartbeats during [at, at+duration)
+// without killing it — a network partition or long GC pause. Windows
+// longer than the heartbeat timeout make the NameNode false-detect the
+// node; it re-registers on its next delivered heartbeat. Must be called
+// before RunFailure.
+func (c *Cluster) AddTransientFault(node int, at, duration float64) error {
+	if node < 0 || node >= c.nodes {
+		return fmt.Errorf("hdfssim: node %d out of range", node)
+	}
+	if at < 0 || duration <= 0 {
+		return fmt.Errorf("hdfssim: invalid transient window at=%f dur=%f", at, duration)
+	}
+	c.transients = append(c.transients, transientFault{node: node, at: at, duration: duration})
+	until := at + duration + c.cfg.HeartbeatTimeout + 2*c.cfg.HeartbeatInterval
+	if until > c.watchUntil {
+		c.watchUntil = until
+	}
+	return nil
+}
+
+// muted reports whether node i's heartbeats are suppressed right now.
+func (c *Cluster) muted(i int) bool {
+	now := c.sim.Now()
+	for _, t := range c.transients {
+		if t.node == i && now >= t.at && now < t.at+t.duration {
+			return true
+		}
+	}
+	return false
+}
+
 // heartbeat records node i reporting in and schedules the next beat.
+// Muted beats keep the chain alive but are not delivered to the
+// NameNode; a delivered beat from a false-detected node re-registers it.
 func (c *Cluster) heartbeat(i int) {
 	if c.dead[i] {
 		return
 	}
-	c.lastHeartbeat[i] = c.sim.Now()
 	c.sim.After(c.cfg.HeartbeatInterval, func() { c.heartbeat(i) })
+	if c.muted(i) {
+		return
+	}
+	c.lastHeartbeat[i] = c.sim.Now()
+	if c.detected[i] {
+		// The node was wrongly declared dead and has come back: it
+		// re-registers with the NameNode (HDFS treats it as new again).
+		c.detected[i] = false
+	}
 }
 
-// nameNodeScan runs the periodic liveness check.
+// nameNodeScan runs the periodic liveness check. The NameNode cannot
+// tell a crash from a muted node: any heartbeat staler than the timeout
+// is declared dead and gets a re-replication batch; live nodes caught
+// this way are counted as false detections.
 func (c *Cluster) nameNodeScan(tasks func(failed []int) []Task) {
 	now := c.sim.Now()
 	var newlyDead []int
+	realDetection := false
 	for i := 0; i < c.nodes; i++ {
-		if c.dead[i] && !c.detected[i] && now-c.lastHeartbeat[i] >= c.cfg.HeartbeatTimeout {
+		if !c.detected[i] && now-c.lastHeartbeat[i] >= c.cfg.HeartbeatTimeout {
 			c.detected[i] = true
 			newlyDead = append(newlyDead, i)
+			if c.dead[i] {
+				realDetection = true
+			} else {
+				c.result.FalseDetections++
+			}
 		}
 	}
 	if len(newlyDead) > 0 {
 		sort.Ints(newlyDead)
-		if c.result.DetectedAt == 0 {
+		if realDetection && c.result.DetectedAt == 0 {
 			c.result.DetectedAt = now
 		}
 		ts := tasks(newlyDead)
 		c.queue = append(c.queue, ts...)
 		c.pending += len(ts)
-		if c.pending == 0 {
+		if c.pending == 0 && realDetection {
 			// Nothing to rebuild (e.g. important-only recovery with no
 			// important data on the dead nodes): recovered immediately.
 			c.result.RecoveredAt = now
@@ -249,7 +314,7 @@ func (c *Cluster) nameNodeScan(tasks func(failed []int) []Task) {
 			allDetected = false
 		}
 	}
-	if !allDetected || c.pending > 0 {
+	if !allDetected || c.pending > 0 || now < c.watchUntil {
 		c.sim.After(c.cfg.HeartbeatInterval, func() { c.nameNodeScan(tasks) })
 	}
 }

@@ -224,3 +224,119 @@ func TestApproximateBeatsBaselineEndToEnd(t *testing.T) {
 func remapWorkers(tasks []Task, replacements []int) []Task {
 	return tasks
 }
+
+func TestTransientFaultCausesFalseDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is partitioned for 60 s starting at t=10 — well past the
+	// 30 s heartbeat timeout — but never dies.
+	if err := c.AddTransientFault(2, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	spurious := 0
+	res, err := c.RunFailure(10, nil, func(failed []int) []Task {
+		for _, f := range failed {
+			if f == 2 {
+				spurious++
+			}
+		}
+		return nil
+	}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseDetections != 1 {
+		t.Fatalf("false detections %d, want 1", res.FalseDetections)
+	}
+	if spurious != 1 {
+		t.Fatalf("NameNode scheduled %d spurious batches for node 2, want 1", spurious)
+	}
+}
+
+func TestTransientShorterThanTimeoutGoesUnnoticed(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 12 s blip against a 30 s timeout: heartbeats resume in time.
+	if err := c.AddTransientFault(4, 20, 12); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunFailure(0, nil, func([]int) []Task { return nil }, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseDetections != 0 {
+		t.Fatalf("short blip false-detected: %+v", res)
+	}
+}
+
+func TestFlappingNodeDetectedFasterWhenItDies(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 goes mute at t=30 and dies at t=50 while still mute: its
+	// last delivered heartbeat predates the crash, so the NameNode's
+	// staleness clock started early and detection latency (measured
+	// from the crash) shrinks well below the nominal timeout.
+	if err := c.AddTransientFault(3, 30, 1_000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunFailure(50, []int{3}, func(failed []int) []Task {
+		return []Task{{Readers: []int{0, 1}, Worker: 3, Bytes: 1 << 20}}
+	}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionLatency() >= cfg.HeartbeatTimeout {
+		t.Fatalf("flapping did not speed detection: latency %.2f", res.DetectionLatency())
+	}
+	if res.FalseDetections != 0 {
+		t.Fatalf("dead node counted as false detection: %+v", res)
+	}
+}
+
+func TestFalseDetectedNodeReRegisters(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two separate long partitions: the node is false-detected, comes
+	// back and re-registers, then is false-detected again.
+	if err := c.AddTransientFault(1, 10, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransientFault(1, 120, 40); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunFailure(0, nil, func([]int) []Task { return nil }, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseDetections != 2 {
+		t.Fatalf("false detections %d, want 2 (re-registration broken)", res.FalseDetections)
+	}
+}
+
+func TestAddTransientFaultValidation(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransientFault(9, 0, 1); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := c.AddTransientFault(0, -1, 1); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := c.AddTransientFault(0, 0, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"errors"
+
+	"approxcode/internal/chaos"
+	"approxcode/internal/core"
+)
+
+// Typed error taxonomy of the storage layer. Everything the store
+// returns wraps one of these sentinels, so callers dispatch with
+// errors.Is instead of string matching. ErrNodeUnavailable and
+// ErrUnrecoverable are aliases of the chaos and core sentinels, so a
+// single errors.Is check works across the whole stack.
+var (
+	// ErrExists: the object name is already stored.
+	ErrExists = errors.New("store: object already exists")
+	// ErrNotFound: no such object or segment.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrUnavailable: the requested data cannot currently be produced
+	// (too many failures for the code to decode around).
+	ErrUnavailable = errors.New("store: data unavailable")
+	// ErrCorrupted: stored bytes failed an integrity check (checksum
+	// mismatch, truncated column, or damaged persistence file).
+	ErrCorrupted = errors.New("store: data corrupted")
+	// ErrTimeout: a node operation exceeded its deadline.
+	ErrTimeout = errors.New("store: operation timed out")
+	// ErrInvalid: the caller passed an invalid argument.
+	ErrInvalid = errors.New("store: invalid argument")
+	// ErrNodeUnavailable: I/O against a crashed or health-failed node.
+	// Alias of chaos.ErrNodeUnavailable.
+	ErrNodeUnavailable = chaos.ErrNodeUnavailable
+	// ErrUnrecoverable: a codeword exceeded its fault tolerance; the
+	// data is gone from the coding layer's point of view and must be
+	// routed to the video recovery module. Alias of
+	// core.ErrUnrecoverable.
+	ErrUnrecoverable = core.ErrUnrecoverable
+)
+
+// errColumnMissing marks a column that was never stored on the node
+// (e.g. a write skipped while the node was failed). It is not a node
+// fault: reads treat it as a plain erasure without health penalties.
+var errColumnMissing = errors.New("store: column missing")

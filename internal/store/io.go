@@ -1,0 +1,268 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+)
+
+// castagnoli is the CRC-32C polynomial table used for all shard
+// checksums (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// colSum is the checksum stored per (stripe, node) column.
+func colSum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// RetryPolicy tunes the self-healing I/O path: retries with
+// exponential backoff + jitter, deadline-bounded attempts, and hedged
+// reads against stragglers.
+type RetryPolicy struct {
+	// MaxAttempts bounds read/write attempts per column op (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt up
+	// to MaxBackoff, with full jitter (defaults 200µs / 5ms).
+	BaseBackoff, MaxBackoff time.Duration
+	// HedgeDelay is how long a read waits before firing a second
+	// (hedged) attempt at the same node; the first response wins.
+	// Zero uses the default (2ms); negative disables hedging.
+	HedgeDelay time.Duration
+	// OpDeadline bounds the total time spent on one column operation,
+	// including retries and backoff (default 500ms).
+	OpDeadline time.Duration
+	// Seed seeds the jitter PRNG (deterministic backoff schedules for
+	// tests).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 200 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Millisecond
+	}
+	switch {
+	case p.HedgeDelay == 0:
+		p.HedgeDelay = 2 * time.Millisecond
+	case p.HedgeDelay < 0:
+		p.HedgeDelay = 0
+	}
+	if p.OpDeadline <= 0 {
+		p.OpDeadline = 500 * time.Millisecond
+	}
+	return p
+}
+
+// memIO is the store's in-memory DataNode backend — the innermost
+// chaos.NodeIO that fault injectors wrap.
+type memIO struct{ s *Store }
+
+// ReadColumn returns the column stored on the node, ErrNodeUnavailable
+// for crashed nodes, or errColumnMissing when nothing was stored.
+func (m *memIO) ReadColumn(node int, object string, stripe int) ([]byte, error) {
+	if node < 0 || node >= len(m.s.nodes) {
+		return nil, fmt.Errorf("%w: node %d out of range", ErrInvalid, node)
+	}
+	nd := m.s.nodes[node]
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	if nd.failed {
+		return nil, fmt.Errorf("%w: node %d", ErrNodeUnavailable, node)
+	}
+	cols := nd.columns[object]
+	if cols == nil || stripe < 0 || stripe >= len(cols) || cols[stripe] == nil {
+		return nil, errColumnMissing
+	}
+	return cols[stripe], nil
+}
+
+// WriteColumn stores a column on the node. It intentionally ignores the
+// crash flag: repair writes provision the replacement node that
+// inherits the failed index (callers that must not write to failed
+// nodes check the flag themselves).
+func (m *memIO) WriteColumn(node int, object string, stripe int, data []byte) error {
+	if node < 0 || node >= len(m.s.nodes) {
+		return fmt.Errorf("%w: node %d out of range", ErrInvalid, node)
+	}
+	nd := m.s.nodes[node]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	cols := nd.columns[object]
+	for len(cols) <= stripe {
+		cols = append(cols, nil)
+	}
+	cols[stripe] = data
+	nd.columns[object] = cols
+	return nil
+}
+
+// counters aggregates the store's robustness telemetry. All fields are
+// updated lock-free from the I/O hot paths.
+type counters struct {
+	mu               sync.Mutex
+	retries          int64
+	hedges           int64
+	hedgeWins        int64
+	readErrors       int64
+	checksumFailures int64
+	shardsHealed     int64
+	degradedSubReads int64
+}
+
+func (c *counters) add(field *int64, n int64) {
+	c.mu.Lock()
+	*field += n
+	c.mu.Unlock()
+}
+
+// ioResult carries one attempt's outcome; hedge marks the backup
+// attempt so hedge wins can be counted.
+type ioResult struct {
+	data  []byte
+	err   error
+	hedge bool
+}
+
+// jitter draws a full-jitter delay in [d/2, d).
+func (s *Store) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	s.rngMu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	s.rngMu.Unlock()
+	return d/2 + j
+}
+
+// readColumn reads one column through the (possibly fault-injected)
+// NodeIO with the full self-healing pipeline: health gating, retries
+// with exponential backoff + jitter, hedged attempts against
+// stragglers, and an overall deadline. Errors are recorded against the
+// node's health state.
+func (s *Store) readColumn(node int, object string, stripe int) ([]byte, error) {
+	if s.health.state(node) == HealthFailed {
+		return nil, fmt.Errorf("%w: node %d health-failed", ErrNodeUnavailable, node)
+	}
+	if s.plainIO {
+		// Fast path: no injector wrapping, so the only failure modes
+		// are crashes and missing columns — neither is retryable.
+		data, err := s.io.ReadColumn(node, object, stripe)
+		if err == nil {
+			s.health.ok(node)
+		}
+		return data, err
+	}
+	deadline := time.Now().Add(s.retry.OpDeadline)
+	backoff := s.retry.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < s.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := s.jitter(backoff)
+			if time.Now().Add(d).After(deadline) {
+				break
+			}
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > s.retry.MaxBackoff {
+				backoff = s.retry.MaxBackoff
+			}
+			s.stats.add(&s.stats.retries, 1)
+		}
+		data, err := s.attemptRead(node, object, stripe, deadline)
+		if err == nil {
+			s.health.ok(node)
+			return data, nil
+		}
+		if errors.Is(err, errColumnMissing) || errors.Is(err, ErrNodeUnavailable) {
+			// Permanent for this read: nothing stored, or the node is
+			// crashed. Not a health event and not worth retrying.
+			return nil, err
+		}
+		lastErr = err
+		s.stats.add(&s.stats.readErrors, 1)
+		if s.health.fail(node) == HealthFailed {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// attemptRead performs one read attempt, optionally hedged: if the
+// primary attempt has not answered within HedgeDelay, a backup attempt
+// fires and the first response of either wins. The attempt is bounded
+// by the deadline.
+func (s *Store) attemptRead(node int, object string, stripe int, deadline time.Time) ([]byte, error) {
+	ch := make(chan ioResult, 2)
+	launch := func(hedge bool) {
+		go func() {
+			data, err := s.io.ReadColumn(node, object, stripe)
+			ch <- ioResult{data: data, err: err, hedge: hedge}
+		}()
+	}
+	launch(false)
+	if s.retry.HedgeDelay > 0 {
+		hedgeTimer := time.NewTimer(s.retry.HedgeDelay)
+		select {
+		case r := <-ch:
+			hedgeTimer.Stop()
+			return r.data, r.err
+		case <-hedgeTimer.C:
+			s.stats.add(&s.stats.hedges, 1)
+			launch(true)
+		}
+	}
+	wait := time.NewTimer(time.Until(deadline))
+	defer wait.Stop()
+	select {
+	case r := <-ch:
+		if r.hedge && r.err == nil {
+			s.stats.add(&s.stats.hedgeWins, 1)
+		}
+		return r.data, r.err
+	case <-wait.C:
+		return nil, fmt.Errorf("%w: node %d read %s/%d", ErrTimeout, node, object, stripe)
+	}
+}
+
+// writeColumn writes one column through the NodeIO with retries (no
+// hedging: duplicate writes are idempotent here but pointless).
+// ErrNodeUnavailable aborts immediately — callers decide whether a
+// crashed target is acceptable.
+func (s *Store) writeColumn(node int, object string, stripe int, data []byte) error {
+	if s.plainIO {
+		return s.io.WriteColumn(node, object, stripe, data)
+	}
+	deadline := time.Now().Add(s.retry.OpDeadline)
+	backoff := s.retry.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < s.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := s.jitter(backoff)
+			if time.Now().Add(d).After(deadline) {
+				break
+			}
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > s.retry.MaxBackoff {
+				backoff = s.retry.MaxBackoff
+			}
+			s.stats.add(&s.stats.retries, 1)
+		}
+		err := s.io.WriteColumn(node, object, stripe, data)
+		if err == nil {
+			s.health.ok(node)
+			return nil
+		}
+		if errors.Is(err, ErrNodeUnavailable) {
+			return err
+		}
+		lastErr = err
+		s.health.fail(node)
+	}
+	return lastErr
+}

@@ -1,17 +1,22 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 )
 
 // Snapshot is the serializable image of a Store, written with
 // encoding/gob. Node contents are stored per node so a deployment can
-// place each node file on a different device.
+// place each node file on a different device. Every file carries a
+// CRC-32C envelope (see checksummedWrite) so truncation and bit rot are
+// detected at load time instead of surfacing as silently wrong data.
 type snapshot struct {
 	Params              core.Params
 	NodeSize            int
@@ -27,6 +32,9 @@ type snapObject struct {
 	Segments []Segment // metadata only
 	Extents  []extentRecord
 	Stripes  int
+	// Sums[stripe][node] are the CRC-32C column checksums. Living in
+	// the manifest — not on the nodes — they survive node corruption.
+	Sums [][]uint32
 }
 
 // extentRecord mirrors extent with exported fields for gob.
@@ -41,11 +49,69 @@ type nodeSnapshot struct {
 
 const manifestFile = "store.manifest"
 
+// persistMagic heads every persisted file; the version suffix guards
+// against reading pre-checksum snapshots as garbage.
+var persistMagic = []byte("APPRSTO2")
+
 func nodeFile(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("node%03d.gob", i))
 }
 
-// Save persists the store into dir: a manifest plus one file per node.
+// checksummedWrite writes path as magic | crc32c(payload) | len(payload)
+// | payload, so checksummedRead can reject truncated or corrupted files.
+func checksummedWrite(path string, payload []byte) error {
+	var hdr [16]byte
+	copy(hdr[:8], persistMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], colSum(payload))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// checksummedRead reads a file written by checksummedWrite, returning an
+// error wrapping ErrCorrupted when the envelope or checksum does not
+// match.
+func checksummedRead(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 16 || !bytes.Equal(raw[:8], persistMagic) {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorrupted, filepath.Base(path))
+	}
+	want := binary.LittleEndian.Uint32(raw[8:12])
+	length := binary.LittleEndian.Uint32(raw[12:16])
+	payload := raw[16:]
+	if uint32(len(payload)) != length {
+		return nil, fmt.Errorf("%w: %s: truncated (%d of %d payload bytes)",
+			ErrCorrupted, filepath.Base(path), len(payload), length)
+	}
+	if colSum(payload) != want {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupted, filepath.Base(path))
+	}
+	return payload, nil
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Save persists the store into dir: a manifest plus one file per node,
+// each in a checksummed envelope.
 func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store save: %w", err)
@@ -62,7 +128,7 @@ func (s *Store) Save(dir string) error {
 		if obj == nil {
 			continue
 		}
-		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes}
+		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes, Sums: obj.sums}
 		for _, e := range obj.extents {
 			so.Extents = append(so.Extents, extentRecord{
 				Seg: e.seg, Stripe: e.stripe, Node: e.node, Row: e.row, Off: e.off, Length: e.length,
@@ -73,49 +139,59 @@ func (s *Store) Save(dir string) error {
 	s.mu.RUnlock()
 	snap.FailedNodes = s.FailedNodes()
 
-	mf, err := os.Create(filepath.Join(dir, manifestFile))
+	payload, err := encodeGob(&snap)
 	if err != nil {
-		return fmt.Errorf("store save: %w", err)
-	}
-	if err := gob.NewEncoder(mf).Encode(&snap); err != nil {
-		mf.Close()
 		return fmt.Errorf("store save: manifest: %w", err)
 	}
-	if err := mf.Close(); err != nil {
-		return fmt.Errorf("store save: %w", err)
+	if err := checksummedWrite(filepath.Join(dir, manifestFile), payload); err != nil {
+		return fmt.Errorf("store save: manifest: %w", err)
 	}
 	for i, nd := range s.nodes {
 		nd.mu.RLock()
-		ns := nodeSnapshot{Columns: nd.columns}
-		f, err := os.Create(nodeFile(dir, i))
-		if err != nil {
-			nd.mu.RUnlock()
-			return fmt.Errorf("store save: %w", err)
-		}
-		err = gob.NewEncoder(f).Encode(&ns)
+		payload, err := encodeGob(&nodeSnapshot{Columns: nd.columns})
 		nd.mu.RUnlock()
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
 		if err != nil {
+			return fmt.Errorf("store save: node %d: %w", i, err)
+		}
+		if err := checksummedWrite(nodeFile(dir, i), payload); err != nil {
 			return fmt.Errorf("store save: node %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// Load restores a store saved with Save. Node files that are missing or
-// unreadable are treated as failed nodes (crash-equivalent), which the
-// repair pipeline can then rebuild.
+// LoadOptions tunes Load behaviour and threads the self-healing I/O
+// configuration into the restored store.
+type LoadOptions struct {
+	// Lenient downgrades corrupted node files to failed nodes (repair
+	// rebuilds them) instead of failing the load. Manifest corruption
+	// is always fatal — without it nothing can be interpreted.
+	Lenient bool
+	// Retry / Health / WrapIO are applied to the restored store's
+	// Config verbatim.
+	Retry  RetryPolicy
+	Health HealthPolicy
+	WrapIO func(chaos.NodeIO) chaos.NodeIO
+}
+
+// Load restores a store saved with Save. Node files that are missing are
+// treated as failed nodes (crash-equivalent); files that are present but
+// truncated or corrupted fail the load with an error wrapping
+// ErrCorrupted (use LoadWith's Lenient mode to demote them to failed
+// nodes instead).
 func Load(dir string) (*Store, error) {
-	mf, err := os.Open(filepath.Join(dir, manifestFile))
+	return LoadWith(dir, LoadOptions{})
+}
+
+// LoadWith is Load with explicit options.
+func LoadWith(dir string, opts LoadOptions) (*Store, error) {
+	payload, err := checksummedRead(filepath.Join(dir, manifestFile))
 	if err != nil {
-		return nil, fmt.Errorf("store load: %w", err)
-	}
-	defer mf.Close()
-	var snap snapshot
-	if err := gob.NewDecoder(mf).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store load: manifest: %w", err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store load: manifest: %w: %v", ErrCorrupted, err)
 	}
 	s, err := Open(Config{
 		Code:                snap.Params,
@@ -123,12 +199,15 @@ func Load(dir string) (*Store, error) {
 		EncodeWorkers:       snap.EncodeWorkers,
 		RepairWorkers:       snap.RepairWorkers,
 		ContiguousPlacement: snap.ContiguousPlacement,
+		Retry:               opts.Retry,
+		Health:              opts.Health,
+		WrapIO:              opts.WrapIO,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store load: %w", err)
 	}
 	for _, so := range snap.Objects {
-		obj := &object{name: so.Name, segments: so.Segments, stripes: so.Stripes}
+		obj := &object{name: so.Name, segments: so.Segments, stripes: so.Stripes, sums: so.Sums}
 		for _, e := range so.Extents {
 			obj.extents = append(obj.extents, extent{
 				seg: e.Seg, stripe: e.Stripe, node: e.Node, row: e.Row, off: e.Off, length: e.Length,
@@ -146,15 +225,26 @@ func Load(dir string) (*Store, error) {
 			failed = append(failed, i)
 			continue
 		}
-		f, err := os.Open(nodeFile(dir, i))
+		payload, err := checksummedRead(nodeFile(dir, i))
 		if err != nil {
+			if os.IsNotExist(err) {
+				failed = append(failed, i)
+				continue
+			}
+			// The file is present but damaged: strict loads refuse to
+			// proceed so the caller learns the store needs repair;
+			// lenient loads treat the node as crashed and rebuild it.
+			if !opts.Lenient {
+				return nil, fmt.Errorf("store load: node %d: %w", i, err)
+			}
 			failed = append(failed, i)
 			continue
 		}
 		var ns nodeSnapshot
-		err = gob.NewDecoder(f).Decode(&ns)
-		f.Close()
-		if err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ns); err != nil {
+			if !opts.Lenient {
+				return nil, fmt.Errorf("store load: node %d: %w: %v", i, ErrCorrupted, err)
+			}
 			failed = append(failed, i)
 			continue
 		}

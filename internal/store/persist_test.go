@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -105,5 +106,118 @@ func TestSaveLoadPreservesFailureState(t *testing.T) {
 	failedNodes := loaded.FailedNodes()
 	if len(failedNodes) != 1 || failedNodes[0] != victim {
 		t.Fatalf("failure state lost: %v", failedNodes)
+	}
+}
+
+func corruptFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsTruncatedNodeFile(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 20, 5, 24)
+	s := openWith(t, segs)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	victim := s.Code().DataNodeIndexes()[0]
+	corruptFile(t, nodeFile(dir, victim), func(b []byte) []byte { return b[:len(b)/2] })
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("truncated node file: got %v, want ErrCorrupted", err)
+	}
+	// Lenient mode demotes the damaged node to a failure and the store
+	// serves exact bytes around it.
+	loaded, err := LoadWith(dir, LoadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn := loaded.FailedNodes(); len(fn) != 1 || fn[0] != victim {
+		t.Fatalf("failed nodes %v, want [%d]", fn, victim)
+	}
+	got, rep, err := loaded.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("degraded get: %v %+v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+}
+
+func TestLoadRejectsBitFlippedNodeFile(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 20, 5, 25)
+	s := openWith(t, segs)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	victim := s.Code().DataNodeIndexes()[2]
+	// Flip a byte deep inside the gob payload: without the envelope
+	// checksum this could decode into silently wrong column bytes.
+	corruptFile(t, nodeFile(dir, victim), func(b []byte) []byte {
+		b[len(b)/2] ^= 0x01
+		return b
+	})
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("bit-flipped node file: got %v, want ErrCorrupted", err)
+	}
+	loaded, err := LoadWith(dir, LoadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := loaded.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("get after repair: %v %+v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+}
+
+func TestLoadRejectsTruncatedManifest(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 12, 4, 26)
+	s := openWith(t, segs)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, manifestFile), func(b []byte) []byte { return b[:len(b)-7] })
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("truncated manifest: got %v, want ErrCorrupted", err)
+	}
+	// Manifest corruption is fatal even leniently: without it nothing
+	// can be interpreted.
+	if _, err := LoadWith(dir, LoadOptions{Lenient: true}); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("lenient truncated manifest: got %v, want ErrCorrupted", err)
+	}
+}
+
+func TestSaveLoadRoundTripPreservesChecksums(t *testing.T) {
+	dir := t.TempDir()
+	segs := makeSegments(t, 16, 4, 27)
+	s := openWith(t, segs)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded store still detects (and heals) in-place corruption,
+	// proving the column checksums travelled through the manifest.
+	if err := loaded.CorruptByte("video", 0, loaded.Code().DataNodeIndexes()[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loaded.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChecksumFailures != 1 || rep.Healed != 1 {
+		t.Fatalf("reloaded store missed corruption: %+v", rep)
 	}
 }

@@ -12,10 +12,12 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 
+	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 )
 
@@ -44,6 +46,17 @@ type Config struct {
 	// packs segments in stream order instead (slightly better locality
 	// for sequential reads).
 	ContiguousPlacement bool
+	// Retry tunes the self-healing I/O path (retries, hedged reads,
+	// deadlines). Zero values pick sane defaults.
+	Retry RetryPolicy
+	// Health tunes the per-node healthy → suspect → failed state
+	// machine. Zero values pick sane defaults.
+	Health HealthPolicy
+	// WrapIO, when set, wraps the store's node I/O — the fault-injection
+	// hook (pass a chaos.Injector's Wrap method). With no wrapper the
+	// store uses a fast path that skips the retry/hedging machinery,
+	// since in-memory I/O cannot fail transiently.
+	WrapIO func(chaos.NodeIO) chaos.NodeIO
 }
 
 // Store is a concurrent approximate storage layer. All exported methods
@@ -51,6 +64,18 @@ type Config struct {
 type Store struct {
 	cfg  Config
 	code *core.Code
+
+	// io is the node I/O stack: memIO at the bottom, optionally wrapped
+	// by a fault injector. plainIO marks the unwrapped case so hot
+	// paths can skip the retry/hedging goroutines.
+	io      chaos.NodeIO
+	plainIO bool
+	retry   RetryPolicy
+	health  *healthTracker
+	stats   counters
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu      sync.RWMutex
 	nodes   []*node
@@ -73,14 +98,11 @@ type object struct {
 	segments []Segment // metadata only: Data stripped after ingest
 	extents  []extent
 	stripes  int
+	// sums[stripe][node] is the CRC-32C of the column as written.
+	// Rows are copy-on-write under Store.mu: readers take the row
+	// reference under RLock and a published row is never mutated.
+	sums [][]uint32
 }
-
-// Errors returned by the store.
-var (
-	ErrExists      = errors.New("store: object already exists")
-	ErrNotFound    = errors.New("store: object not found")
-	ErrUnavailable = errors.New("store: data unavailable")
-)
 
 // Open creates a store with healthy nodes.
 func Open(cfg Config) (*Store, error) {
@@ -100,10 +122,61 @@ func Open(cfg Config) (*Store, error) {
 		cfg.RepairWorkers = runtime.GOMAXPROCS(0)
 	}
 	s := &Store{cfg: cfg, code: code, objects: make(map[string]*object)}
+	s.retry = cfg.Retry.withDefaults()
+	seed := s.retry.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s.rng = rand.New(rand.NewSource(seed))
 	for i := 0; i < code.TotalShards(); i++ {
 		s.nodes = append(s.nodes, &node{columns: make(map[string][][]byte)})
 	}
+	s.health = newHealthTracker(len(s.nodes), cfg.Health)
+	s.io = &memIO{s: s}
+	if cfg.WrapIO != nil {
+		s.io = cfg.WrapIO(s.io)
+	} else {
+		s.plainIO = true
+	}
 	return s, nil
+}
+
+// nodeFailed reports the node's crash flag.
+func (s *Store) nodeFailed(i int) bool {
+	nd := s.nodes[i]
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.failed
+}
+
+// sumsRow returns the published checksum row for a stripe (nil when the
+// object predates checksums, e.g. loaded from an old snapshot).
+func (s *Store) sumsRow(obj *object, stripe int) []uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if stripe < len(obj.sums) {
+		return obj.sums[stripe]
+	}
+	return nil
+}
+
+// setSums publishes new checksums for some columns of a stripe,
+// copy-on-write so concurrent sumsRow callers keep a consistent row.
+func (s *Store) setSums(obj *object, stripe int, updates map[int]uint32) {
+	if len(updates) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(obj.sums) <= stripe {
+		obj.sums = append(obj.sums, nil)
+	}
+	row := make([]uint32, len(s.nodes))
+	copy(row, obj.sums[stripe])
+	for ni, sum := range updates {
+		row[ni] = sum
+	}
+	obj.sums[stripe] = row
 }
 
 // Code returns the store's generated Approximate Code.
@@ -306,18 +379,19 @@ func (s *Store) Put(name string, segs []Segment) error {
 		s.mu.Unlock()
 		return err
 	}
-	// Store columns on healthy nodes.
+	// Checksum every column from the intended bytes (so a rebuilt
+	// column must reproduce them exactly), then store on healthy nodes
+	// through the I/O stack. A write that keeps failing is dropped —
+	// the column becomes an erasure that repair or scrub heals later.
+	sums := make([][]uint32, stripes)
 	for st, stripe := range cols {
+		sums[st] = make([]uint32, len(stripe))
 		for ni, col := range stripe {
-			nd := s.nodes[ni]
-			nd.mu.Lock()
-			if !nd.failed {
-				if nd.columns[name] == nil {
-					nd.columns[name] = make([][]byte, stripes)
-				}
-				nd.columns[name][st] = col
+			sums[st][ni] = colSum(col)
+			if s.nodeFailed(ni) {
+				continue
 			}
-			nd.mu.Unlock()
+			_ = s.writeColumn(ni, name, st, col)
 		}
 	}
 	// Keep segment metadata only; payload bytes live on the nodes and
@@ -326,7 +400,7 @@ func (s *Store) Put(name string, segs []Segment) error {
 	for i, seg := range segs {
 		meta[i] = Segment{ID: seg.ID, Important: seg.Important}
 	}
-	obj := &object{name: name, segments: meta, extents: extents, stripes: stripes}
+	obj := &object{name: name, segments: meta, extents: extents, stripes: stripes, sums: sums}
 	s.mu.Lock()
 	s.objects[name] = obj
 	s.mu.Unlock()
@@ -379,16 +453,57 @@ func (s *Store) stripeColumns(name string, stripe int) [][]byte {
 	return out
 }
 
+// readStripe assembles one stripe through the self-healing I/O path and
+// verifies every column against its stored CRC-32C. Columns that fail
+// the checksum (or persistent I/O) are demoted to erasures — nil in the
+// returned set, listed in demoted — so the decode machinery heals
+// around them exactly as it does around crashed nodes.
+func (s *Store) readStripe(obj *object, stripe int) (cols [][]byte, demoted []int) {
+	cols = make([][]byte, len(s.nodes))
+	sums := s.sumsRow(obj, stripe)
+	for ni := range s.nodes {
+		data, err := s.readColumn(ni, obj.name, stripe)
+		if err != nil {
+			if errors.Is(err, errColumnMissing) || errors.Is(err, ErrNodeUnavailable) {
+				continue // plain erasure: crashed node or never-stored column
+			}
+			demoted = append(demoted, ni)
+			continue
+		}
+		if len(data) != s.cfg.NodeSize ||
+			(sums != nil && ni < len(sums) && sums[ni] != 0 && colSum(data) != sums[ni]) {
+			s.stats.add(&s.stats.checksumFailures, 1)
+			demoted = append(demoted, ni)
+			continue
+		}
+		cols[ni] = data
+	}
+	return cols, demoted
+}
+
 // GetReport describes losses encountered by a Get.
 type GetReport struct {
 	// LostSegments lists segment IDs whose bytes were unrecoverable
 	// (returned zero-filled); route these to the video recovery module.
 	LostSegments []int
+	// Approximate is the subset of LostSegments that is unimportant
+	// (P/B frames): these are the segments the video-interpolation
+	// fallback reconstructs, so their loss was a design decision rather
+	// than data loss. Important segments in LostSegments but not here
+	// exceeded the code's full fault tolerance.
+	Approximate []int
+	// DegradedSubReads counts sub-blocks this Get had to decode from
+	// survivors instead of reading directly.
+	DegradedSubReads int
+	// ChecksumFailures counts columns this Get demoted to erasures
+	// because their bytes did not match the stored CRC-32C.
+	ChecksumFailures int
 }
 
 // Get returns every segment of the object, decoding around failed nodes
-// (degraded reads). Unrecoverable segments are returned zero-filled and
-// listed in the report.
+// and checksum-demoted columns (degraded reads). Unrecoverable segments
+// are returned zero-filled and listed in the report; unimportant ones
+// are additionally flagged approximate for the interpolation fallback.
 func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 	s.mu.RLock()
 	obj, ok := s.objects[name]
@@ -398,22 +513,30 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 	}
 	buf := make(map[int][]byte, len(obj.segments))
 	lost := make(map[int]bool)
+	rep := &GetReport{}
 	// Cache assembled stripes and decoded sub-blocks.
 	stripeCache := make(map[int][][]byte)
 	blockCache := make(map[[3]int][]byte)
 	for _, e := range obj.extents {
 		cols, ok := stripeCache[e.stripe]
 		if !ok {
-			cols = s.stripeColumns(name, e.stripe)
+			var demoted []int
+			cols, demoted = s.readStripe(obj, e.stripe)
+			rep.ChecksumFailures += len(demoted)
 			stripeCache[e.stripe] = cols
 		}
 		key := [3]int{e.stripe, e.node, e.row}
 		block, ok := blockCache[key]
 		if !ok {
+			var decoded bool
 			var err error
-			block, err = s.code.ReadSubBlock(cols, e.node, e.row)
+			block, decoded, err = s.code.ReadSubBlockReport(cols, e.node, e.row)
 			if err != nil {
 				block = nil
+			}
+			if decoded {
+				rep.DegradedSubReads++
+				s.stats.add(&s.stats.degradedSubReads, 1)
 			}
 			blockCache[key] = block
 		}
@@ -425,14 +548,19 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 		buf[e.seg] = append(buf[e.seg], block[e.off:e.off+e.length]...)
 	}
 	out := make([]Segment, len(obj.segments))
-	rep := &GetReport{}
+	important := make(map[int]bool, len(obj.segments))
 	for i, meta := range obj.segments {
 		out[i] = Segment{ID: meta.ID, Important: meta.Important, Data: buf[meta.ID]}
+		important[meta.ID] = meta.Important
 	}
 	for id := range lost {
 		rep.LostSegments = append(rep.LostSegments, id)
+		if !important[id] {
+			rep.Approximate = append(rep.Approximate, id)
+		}
 	}
 	sort.Ints(rep.LostSegments)
+	sort.Ints(rep.Approximate)
 	return out, rep, nil
 }
 
@@ -460,7 +588,7 @@ func (s *Store) GetSegment(name string, id int) (Segment, error) {
 func (s *Store) FailNodes(ids ...int) error {
 	for _, id := range ids {
 		if id < 0 || id >= len(s.nodes) {
-			return fmt.Errorf("store: node %d out of range", id)
+			return fmt.Errorf("%w: node %d out of range", ErrInvalid, id)
 		}
 	}
 	for _, id := range ids {
@@ -490,6 +618,13 @@ func (s *Store) FailedNodes() []int {
 type RepairReport struct {
 	// StripesRepaired counts (object, stripe) pairs processed.
 	StripesRepaired int
+	// StripesSkipped counts stripes left untouched because they could
+	// not be reconstructed during this pass (e.g. a node failed while
+	// the repair was running); a later pass retries them.
+	StripesSkipped int
+	// ShardsHealed counts columns written back: rebuilt crash losses,
+	// checksum-demoted columns, and re-encoded parity.
+	ShardsHealed int
 	// BytesRebuilt counts bytes written to replacement nodes.
 	BytesRebuilt int64
 	// LostSegments maps object name -> segment IDs with unrecoverable
@@ -499,14 +634,21 @@ type RepairReport struct {
 
 // RepairAll rebuilds every failed node's contents onto fresh replacement
 // nodes (same indexes) using the parallel repair pool, then marks the
-// nodes healthy. Unimportant data beyond the code's tolerance is
-// zero-filled and reported per segment.
+// nodes healthy. Nodes the health state machine declared failed are
+// folded in (their possibly-corrupt contents are dropped first), and
+// checksum-demoted columns on surviving nodes are healed along the way.
+// Unimportant data beyond the code's tolerance is zero-filled and
+// reported per segment.
 func (s *Store) RepairAll() (*RepairReport, error) {
+	// Health-failed nodes are rebuilt like crashed ones: wipe whatever
+	// they hold (it is untrustworthy) and reconstruct from survivors.
+	if hf := s.health.failedNodes(); len(hf) > 0 {
+		if err := s.FailNodes(hf...); err != nil {
+			return nil, err
+		}
+	}
 	failed := s.FailedNodes()
 	rep := &RepairReport{LostSegments: make(map[string][]int)}
-	if len(failed) == 0 {
-		return rep, nil
-	}
 	s.mu.RLock()
 	type job struct {
 		obj    *object
@@ -522,24 +664,37 @@ func (s *Store) RepairAll() (*RepairReport, error) {
 		}
 	}
 	s.mu.RUnlock()
+	if len(jobs) == 0 || len(failed) == 0 {
+		// Nothing stored or nothing crashed; there may still be
+		// checksum-demoted columns, but those are scrub's business.
+		for _, ni := range failed {
+			s.unfailNode(ni)
+		}
+		return rep, nil
+	}
 
-	var mu sync.Mutex // guards rep
+	var mu sync.Mutex // guards rep and writeFailed
+	writeFailed := make(map[int]bool)
 	workers := s.cfg.RepairWorkers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	jobCh := make(chan job)
-	errCh := make(chan error, len(jobs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				cols := s.stripeColumns(j.obj.name, j.stripe)
+				cols, demoted := s.readStripe(j.obj, j.stripe)
 				r, err := s.code.ReconstructReport(cols, core.Options{})
 				if err != nil {
-					errCh <- fmt.Errorf("repair %s/%d: %w", j.obj.name, j.stripe, err)
+					// Unreconstructable right now — typically a node
+					// failed mid-repair. Skip rather than abort: the
+					// stripe stays degraded and a later pass retries.
+					mu.Lock()
+					rep.StripesSkipped++
+					mu.Unlock()
 					continue
 				}
 				// When unimportant data is abandoned (zero-filled), the
@@ -558,7 +713,9 @@ func (s *Store) RepairAll() (*RepairReport, error) {
 						}
 					}
 					if err := s.code.Encode(fresh); err != nil {
-						errCh <- fmt.Errorf("repair re-encode %s/%d: %w", j.obj.name, j.stripe, err)
+						mu.Lock()
+						rep.StripesSkipped++
+						mu.Unlock()
 						continue
 					}
 					for ni := range cols {
@@ -567,23 +724,37 @@ func (s *Store) RepairAll() (*RepairReport, error) {
 						}
 					}
 				}
-				// Write rebuilt (and re-encoded) columns back.
-				for ni, nd := range s.nodes {
+				// Write rebuilt, healed, and re-encoded columns back.
+				demotedSet := make(map[int]bool, len(demoted))
+				for _, ni := range demoted {
+					demotedSet[ni] = true
+				}
+				sums := make(map[int]uint32)
+				healed := 0
+				for ni := range s.nodes {
 					col := cols[ni]
 					if p, ok := reencoded[ni]; ok {
 						col = p
-					} else if !isFailedIdx(failed, ni) {
-						continue // surviving data column, untouched
+					} else if !isFailedIdx(failed, ni) && !demotedSet[ni] {
+						continue // surviving clean data column, untouched
 					}
-					nd.mu.Lock()
-					if nd.columns[j.obj.name] == nil {
-						nd.columns[j.obj.name] = make([][]byte, j.obj.stripes)
+					if col == nil {
+						continue
 					}
-					nd.columns[j.obj.name][j.stripe] = col
-					nd.mu.Unlock()
+					if err := s.writeColumn(ni, j.obj.name, j.stripe, col); err != nil {
+						mu.Lock()
+						writeFailed[ni] = true
+						mu.Unlock()
+						continue
+					}
+					sums[ni] = colSum(col)
+					healed++
 				}
+				s.setSums(j.obj, j.stripe, sums)
+				s.stats.add(&s.stats.shardsHealed, int64(healed))
 				mu.Lock()
 				rep.StripesRepaired++
+				rep.ShardsHealed += healed
 				rep.BytesRebuilt += r.BytesRebuilt
 				if len(r.Lost) > 0 {
 					lostSegs := segmentsTouching(j.obj, j.stripe, r.Lost)
@@ -598,17 +769,25 @@ func (s *Store) RepairAll() (*RepairReport, error) {
 	}
 	close(jobCh)
 	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
-	}
+	// Bring repaired nodes back. A node whose write-backs kept failing
+	// stays failed (its rebuild is incomplete); the next pass retries.
 	for _, ni := range failed {
-		nd := s.nodes[ni]
-		nd.mu.Lock()
-		nd.failed = false
-		nd.mu.Unlock()
+		if writeFailed[ni] {
+			continue
+		}
+		s.unfailNode(ni)
 	}
 	return rep, nil
+}
+
+// unfailNode clears a node's crash flag and health history (it has just
+// been re-provisioned).
+func (s *Store) unfailNode(ni int) {
+	nd := s.nodes[ni]
+	nd.mu.Lock()
+	nd.failed = false
+	nd.mu.Unlock()
+	s.health.reset(ni)
 }
 
 func isFailedIdx(failed []int, ni int) bool {
@@ -657,26 +836,41 @@ func mergeSorted(a, b []int) []int {
 
 // ScrubReport summarizes a scrub pass.
 type ScrubReport struct {
+	// StripesChecked counts stripes whose parity was fully verified.
 	StripesChecked int
-	Corrupt        []string // "object/stripe" identifiers
+	// StripesSkipped counts stripes left unchecked because columns were
+	// missing (crashed nodes) — repair's business, not scrub's.
+	StripesSkipped int
+	// ChecksumFailures counts columns whose bytes did not match their
+	// stored CRC-32C.
+	ChecksumFailures int
+	// Healed counts checksum-failed columns rebuilt from survivors and
+	// written back in place (read-repair).
+	Healed int
+	// Corrupt lists "object/stripe" identifiers the scrub could not
+	// verify or heal.
+	Corrupt []string
 }
 
-// Scrub verifies parity consistency of every stored stripe in parallel.
-// Stripes with failed or missing columns are skipped (they are repair's
-// business, not scrub's).
+// Scrub verifies every stored stripe in parallel: each column is read
+// through the checksum-verifying path, columns that fail their CRC-32C
+// are rebuilt from survivors and written back (read-repair), and the
+// stripe's parity relations are then verified end to end. Stripes with
+// columns on crashed nodes are skipped (they are repair's business, not
+// scrub's); stripes that cannot be healed are listed as corrupt.
 func (s *Store) Scrub() (*ScrubReport, error) {
 	s.mu.RLock()
 	type job struct {
-		name   string
+		obj    *object
 		stripe int
 	}
 	var jobs []job
-	for name, obj := range s.objects {
+	for _, obj := range s.objects {
 		if obj == nil {
 			continue
 		}
 		for st := 0; st < obj.stripes; st++ {
-			jobs = append(jobs, job{name, st})
+			jobs = append(jobs, job{obj, st})
 		}
 	}
 	s.mu.RUnlock()
@@ -696,7 +890,36 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				cols := s.stripeColumns(j.name, j.stripe)
+				cols, demoted := s.readStripe(j.obj, j.stripe)
+				if len(demoted) > 0 {
+					mu.Lock()
+					rep.ChecksumFailures += len(demoted)
+					mu.Unlock()
+					r, err := s.code.ReconstructReport(cols, core.Options{})
+					if err != nil || len(r.Lost) > 0 {
+						mu.Lock()
+						rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.obj.name, j.stripe))
+						mu.Unlock()
+						continue
+					}
+					// Write the healed columns back in place (skipping
+					// nodes that crashed meanwhile — repair's job).
+					sums := make(map[int]uint32)
+					for _, ni := range demoted {
+						if cols[ni] == nil || s.nodeFailed(ni) {
+							continue
+						}
+						if err := s.writeColumn(ni, j.obj.name, j.stripe, cols[ni]); err != nil {
+							continue
+						}
+						sums[ni] = colSum(cols[ni])
+					}
+					s.setSums(j.obj, j.stripe, sums)
+					s.stats.add(&s.stats.shardsHealed, int64(len(sums)))
+					mu.Lock()
+					rep.Healed += len(sums)
+					mu.Unlock()
+				}
 				complete := true
 				for _, c := range cols {
 					if c == nil {
@@ -705,13 +928,16 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 					}
 				}
 				if !complete {
+					mu.Lock()
+					rep.StripesSkipped++
+					mu.Unlock()
 					continue
 				}
 				ok, err := s.code.Verify(cols)
 				mu.Lock()
 				rep.StripesChecked++
 				if err != nil || !ok {
-					rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.name, j.stripe))
+					rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.obj.name, j.stripe))
 				}
 				mu.Unlock()
 			}
@@ -723,7 +949,19 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 	close(jobCh)
 	wg.Wait()
 	sort.Strings(rep.Corrupt)
+	rep.Corrupt = dedupeSorted(rep.Corrupt)
 	return rep, nil
+}
+
+// dedupeSorted removes adjacent duplicates from a sorted slice.
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // CorruptByte flips one byte of an object's stored column — test and
@@ -760,10 +998,29 @@ func (s *Store) Objects() []string {
 	return out
 }
 
-// Stats reports store-wide counters.
+// Stats reports store-wide counters, including the robustness
+// telemetry of the self-healing I/O path.
 type Stats struct {
 	Objects, Nodes, FailedNodes int
-	StoredBytes                 int64
+	// SuspectNodes / DownNodes count nodes the health state machine
+	// currently holds in suspect / failed.
+	SuspectNodes, DownNodes int
+	StoredBytes             int64
+	// Retries counts I/O attempts beyond the first; Hedges counts
+	// hedged (backup) reads fired against stragglers, HedgeWins how
+	// often the hedge answered first.
+	Retries, Hedges, HedgeWins int64
+	// ReadErrors counts failed read attempts (after unwrapping retries).
+	ReadErrors int64
+	// ChecksumFailures counts columns demoted to erasures because their
+	// bytes did not match the stored CRC-32C.
+	ChecksumFailures int64
+	// ShardsHealed counts columns rebuilt and written back by scrub and
+	// repair.
+	ShardsHealed int64
+	// DegradedSubReads counts sub-blocks decoded from survivors instead
+	// of read directly.
+	DegradedSubReads int64
 }
 
 // Stats returns current store statistics.
@@ -788,5 +1045,18 @@ func (s *Store) Stats() Stats {
 		}
 		nd.mu.RUnlock()
 	}
+	st.SuspectNodes, st.DownNodes = s.health.counts()
+	s.stats.mu.Lock()
+	st.Retries = s.stats.retries
+	st.Hedges = s.stats.hedges
+	st.HedgeWins = s.stats.hedgeWins
+	st.ReadErrors = s.stats.readErrors
+	st.ChecksumFailures = s.stats.checksumFailures
+	st.ShardsHealed = s.stats.shardsHealed
+	st.DegradedSubReads = s.stats.degradedSubReads
+	s.stats.mu.Unlock()
 	return st
 }
+
+// NodeHealth returns every node's current health state.
+func (s *Store) NodeHealth() []HealthState { return s.health.snapshot() }

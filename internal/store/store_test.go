@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"approxcode/internal/core"
 )
@@ -253,7 +254,7 @@ func TestRepairReportsUnrecoverableSegments(t *testing.T) {
 	}
 }
 
-func TestScrubDetectsCorruption(t *testing.T) {
+func TestScrubDetectsAndHealsCorruption(t *testing.T) {
 	segs := makeSegments(t, 12, 4, 6)
 	s := openWith(t, segs)
 	if err := s.CorruptByte("video", 0, 1, 7); err != nil {
@@ -263,14 +264,65 @@ func TestScrubDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != "video/0" {
+	// The checksum layer catches the flipped byte, the scrubber rebuilds
+	// the column from survivors and writes it back in place.
+	if rep.ChecksumFailures != 1 || rep.Healed != 1 {
 		t.Fatalf("scrub missed corruption: %+v", rep)
+	}
+	if len(rep.Corrupt) != 0 {
+		t.Fatalf("healed stripe still flagged corrupt: %+v", rep)
+	}
+	// The healed column is byte-identical: a second scrub is clean and
+	// reads are exact.
+	rep, err = s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChecksumFailures != 0 || rep.Healed != 0 || len(rep.Corrupt) != 0 {
+		t.Fatalf("second scrub not clean: %+v", rep)
+	}
+	got, _, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSegments(t, got, segs, nil)
+	if st := s.Stats(); st.ChecksumFailures < 1 || st.ShardsHealed < 1 {
+		t.Fatalf("stats missed the heal: %+v", st)
 	}
 	if err := s.CorruptByte("video", 0, 99, 0); err == nil {
 		t.Fatal("bad node accepted")
 	}
 	if err := s.CorruptByte("nope", 0, 1, 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestCorruptionDemotedOnRead(t *testing.T) {
+	segs := makeSegments(t, 12, 4, 6)
+	s := openWith(t, segs)
+	// Corrupt a data column: the read path must detect the checksum
+	// mismatch, demote the column to an erasure, and decode around it —
+	// the caller sees exact bytes, never silent corruption.
+	if err := s.CorruptByte("video", 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChecksumFailures == 0 {
+		t.Fatal("checksum mismatch not surfaced in GetReport")
+	}
+	if len(rep.LostSegments) != 0 {
+		t.Fatalf("corruption within tolerance lost segments: %v", rep.LostSegments)
+	}
+	for i, seg := range got {
+		if !bytes.Equal(seg.Data, segs[i].Data) {
+			t.Fatalf("segment %d bytes differ after demotion", seg.ID)
+		}
+	}
+	if rep.DegradedSubReads == 0 {
+		t.Fatal("demoted column should force degraded sub-reads")
 	}
 }
 
@@ -543,4 +595,91 @@ func TestPlacementCoversAllBytesBothStrategies(t *testing.T) {
 		}
 		checkSegments(t, got, segs, nil)
 	}
+}
+
+// TestFailNodesRacesScrubAndRepair is the regression test for crash
+// failures landing mid-scrub and mid-repair: a goroutine repeatedly
+// wipes node 1 (one node — well within tolerance, so every stripe stays
+// recoverable no matter when the wipe lands) while Scrub and RepairAll
+// loop concurrently. Run under -race. Nothing may panic, no call may
+// error, and every scrub report must account for each stripe exactly
+// once (checked, skipped, or corrupt — never double-counted).
+func TestFailNodesRacesScrubAndRepair(t *testing.T) {
+	segs := makeSegments(t, 24, 4, 31)
+	s := openWith(t, segs)
+
+	base, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := base.StripesChecked
+	if total == 0 {
+		t.Fatal("no stripes to scrub")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.FailNodes(1); err != nil {
+				t.Errorf("FailNodes: %v", err)
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	for i := 0; i < 30; i++ {
+		rep, err := s.Scrub()
+		if err != nil {
+			t.Fatalf("scrub %d: %v", i, err)
+		}
+		if rep.StripesChecked+rep.StripesSkipped > total {
+			t.Fatalf("scrub %d double-counted stripes: %+v (total %d)", i, rep, total)
+		}
+		if rep.StripesChecked+rep.StripesSkipped+len(rep.Corrupt) < total {
+			t.Fatalf("scrub %d lost stripes: %+v (total %d)", i, rep, total)
+		}
+		for j := 1; j < len(rep.Corrupt); j++ {
+			if rep.Corrupt[j] == rep.Corrupt[j-1] {
+				t.Fatalf("scrub %d duplicate corrupt entry %q", i, rep.Corrupt[j])
+			}
+		}
+		if _, err := s.RepairAll(); err != nil {
+			t.Fatalf("repair %d: %v", i, err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// Settle: one final crash + repair, then every byte must be exact.
+	if err := s.FailNodes(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fn := s.FailedNodes(); len(fn) != 0 {
+		t.Fatalf("nodes still failed after settle repair: %v", fn)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StripesChecked != total || len(rep.Corrupt) != 0 {
+		t.Fatalf("settle scrub not clean: %+v", rep)
+	}
+	got, gr, err := s.Get("video")
+	if err != nil || len(gr.LostSegments) != 0 {
+		t.Fatalf("settle get: %v %+v", err, gr)
+	}
+	checkSegments(t, got, segs, nil)
 }

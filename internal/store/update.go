@@ -108,16 +108,19 @@ func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
 				return fmt.Errorf("store update: %w", err)
 			}
 		}
-		// Swap the mutated clones in.
+		// Swap the mutated clones in through the I/O stack and publish
+		// their new checksums.
+		sums := make(map[int]uint32)
 		for i := range cols {
 			if !mutated[i] {
 				continue
 			}
-			nd := s.nodes[i]
-			nd.mu.Lock()
-			nd.columns[name][st] = cols[i]
-			nd.mu.Unlock()
+			if err := s.writeColumn(i, name, st, cols[i]); err != nil {
+				return fmt.Errorf("store update: write node %d: %w", i, err)
+			}
+			sums[i] = colSum(cols[i])
 		}
+		s.setSums(obj, st, sums)
 	}
 	return nil
 }
