@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test test-noasm race chaos fuzz bench-pr1 bench-pr2 ci
+.PHONY: all build vet lint test test-noasm race race-hammer chaos fuzz bench-pr1 bench-pr2 metrics-bench ci
 
 all: build
 
@@ -52,6 +52,18 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRSRoundTrip -fuzztime=$(FUZZTIME) ./internal/rs/
 	$(GO) test -run=^$$ -fuzz=FuzzCoreRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
 
+# Focused concurrency hammer, repeated under the race detector: Stats
+# vs the mutating paths, UpdateSegment vs FailNodes, and the obs
+# registry's concurrent counter/histogram/export use.
+race-hammer:
+	$(GO) test -race -count=3 -run 'TestUpdateSegmentFailNodesRace|TestStatsConcurrentMonotonic|TestConcurrentUse' ./internal/store/ ./internal/obs/
+
+# Observability overhead gate: Get on a store with the default disabled
+# registry must stay within 2% of one with all metric handles stripped
+# (the pre-instrumentation baseline). See TestMetricsOverheadGate.
+metrics-bench:
+	METRICS_GATE=1 $(GO) test -run TestMetricsOverheadGate -v ./internal/store/
+
 # Regenerates BENCH_PR1.json (serial vs parallel striping engine).
 bench-pr1:
 	$(GO) run ./cmd/apprbench -exp pr1 -iters 7
@@ -60,4 +72,4 @@ bench-pr1:
 bench-pr2:
 	$(GO) run ./cmd/apprbench -exp pr2 -iters 3
 
-ci: lint build test test-noasm race chaos fuzz
+ci: lint build test test-noasm race race-hammer chaos fuzz metrics-bench

@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 
 	"approxcode/internal/bench"
+	"approxcode/internal/gf256"
+	"approxcode/internal/obs"
 )
 
 var (
@@ -30,10 +33,38 @@ var (
 	kFlag       = flag.Int("k", 5, "data nodes for single-k experiments (table2, fig12, fig13)")
 	pr1Flag     = flag.String("pr1", "BENCH_PR1.json", "output path for the pr1 serial-vs-parallel report")
 	pr2Flag     = flag.String("pr2", "BENCH_PR2.json", "output path for the pr2 SIMD/plan-cache report")
+	metricsFlag = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9090)")
+	traceFlag   = flag.Bool("trace", false, "stream one span line per experiment to stderr")
 )
+
+// benchReg instruments the run itself: one histogram observation and one
+// span per experiment, plus the active GF(2^8) kernel, so a scrape or a
+// pprof profile taken mid-run can be correlated with what was executing.
+var benchReg = obs.NewRegistry(true)
+
+func instrumented(name string, run func(bench.TimingConfig) error) func(bench.TimingConfig) error {
+	return func(tc bench.TimingConfig) error {
+		defer benchReg.Histogram("bench_experiment_seconds").Start().Stop()
+		sp := benchReg.StartSpan("bench." + name)
+		err := run(tc)
+		sp.End(obs.A("ok", err == nil))
+		return err
+	}
+}
 
 func main() {
 	flag.Parse()
+	if *traceFlag {
+		benchReg.SetSpanSink(obs.NewWriterSink(os.Stderr))
+	}
+	benchReg.Info("gf256_active_kernel", gf256.Kernel)
+	benchReg.GaugeFunc("bench_gomaxprocs", func() int64 { return int64(runtime.GOMAXPROCS(0)) })
+	if *metricsFlag != "" {
+		obs.Serve(*metricsFlag, benchReg, func(err error) {
+			fmt.Fprintln(os.Stderr, "apprbench: metrics server:", err)
+		})
+		fmt.Fprintf(os.Stderr, "apprbench: serving metrics and pprof on %s\n", *metricsFlag)
+	}
 	tc := bench.TimingConfig{ShardSize: *shardFlag, Iters: *itersFlag}
 	runners := map[string]func(bench.TimingConfig) error{
 		"table2":      func(bench.TimingConfig) error { return runTable2() },
@@ -52,6 +83,9 @@ func main() {
 		"headline":    func(bench.TimingConfig) error { return runHeadline() },
 		"pr1":         runPR1,
 		"pr2":         runPR2,
+	}
+	for name, run := range runners {
+		runners[name] = instrumented(name, run)
 	}
 	order := []string{"table2", "table3", "fig7", "fig8", "fig9", "table4",
 		"fig10", "fig11", "fig12", "fig13", "fig13des", "reliability", "video", "headline"}

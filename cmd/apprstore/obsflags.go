@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"approxcode/internal/obs"
+)
+
+// obsOpts carries the shared observability flags every store-backed
+// subcommand accepts. With neither flag set the store gets a nil
+// registry (counters only, no clock reads); -metrics dumps the full
+// Prometheus-text state to stderr when the command finishes, and
+// -trace streams one line per span (Put/Get/Repair/Scrub/...) as it
+// completes.
+type obsOpts struct {
+	metrics bool
+	trace   bool
+	reg     *obs.Registry
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsOpts {
+	o := &obsOpts{}
+	fs.BoolVar(&o.metrics, "metrics", false, "dump Prometheus-text metrics to stderr on exit")
+	fs.BoolVar(&o.trace, "trace", false, "stream span events (one line per store operation) to stderr")
+	return o
+}
+
+// registry returns the registry to thread into the store, or nil when
+// observability is off (the store then runs with its private disabled
+// registry — the zero-overhead path).
+func (o *obsOpts) registry() *obs.Registry {
+	if o.reg == nil && (o.metrics || o.trace) {
+		o.reg = obs.NewRegistry(true)
+		if o.trace {
+			o.reg.SetSpanSink(obs.NewWriterSink(os.Stderr))
+		}
+	}
+	return o.reg
+}
+
+// dump writes the accumulated metrics if -metrics was given. Call it
+// after the command's work, including on the error path.
+func (o *obsOpts) dump() {
+	if o.metrics && o.reg != nil {
+		fmt.Fprintln(os.Stderr, "# --- metrics ---")
+		o.reg.WritePrometheus(os.Stderr)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
+	"approxcode/internal/obs"
 	"approxcode/internal/store"
 	"approxcode/internal/video"
 )
@@ -50,12 +51,14 @@ func cmdIngest(args []string) error {
 	h := fs.Int("h", 6, "local stripes per global stripe")
 	structure := fs.String("structure", "even", "even|uneven")
 	nodeSize := fs.Int("node", 64*1024, "approximate node size in bytes")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *dir == "" {
 		return errors.New("ingest needs -in and -dir")
 	}
+	defer ob.dump()
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
@@ -80,6 +83,7 @@ func cmdIngest(args []string) error {
 			K:      *k, R: *r, G: *g, H: *h, Structure: s,
 		},
 		NodeSize: *nodeSize,
+		Obs:      ob.registry(),
 	})
 	if err != nil {
 		return err
@@ -128,10 +132,11 @@ func loadSidecar(dir string) (*sidecar, error) {
 // are demoted to failed nodes instead of aborting) with an optional
 // seeded fault-injection schedule wrapped around its I/O path. The
 // schedule uses the chaos DSL, e.g. "node=2,fault=transient,rate=0.3".
-func loadStoreWith(dir, schedule string, seed int64) (*store.Store, *chaos.Injector, error) {
+func loadStoreWith(dir, schedule string, seed int64, reg *obs.Registry) (*store.Store, *chaos.Injector, error) {
 	opts := store.LoadOptions{
 		Lenient: true,
 		Retry:   store.RetryPolicy{Seed: seed},
+		Obs:     reg,
 	}
 	var inj *chaos.Injector
 	if schedule != "" {
@@ -176,13 +181,15 @@ func cmdRestore(args []string) error {
 	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=transient,rate=0.3\")")
 	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
 	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" || *out == "" {
 		return errors.New("restore needs -dir and -out")
 	}
-	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed)
+	defer ob.dump()
+	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed, ob.registry())
 	if err != nil {
 		return err
 	}
@@ -265,13 +272,15 @@ func cmdRepair(args []string) error {
 	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=transient,rate=0.3\")")
 	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
 	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return errors.New("repair needs -dir")
 	}
-	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed)
+	defer ob.dump()
+	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed, ob.registry())
 	if err != nil {
 		return err
 	}
@@ -315,13 +324,15 @@ func cmdScrub(args []string) error {
 	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=corrupt,rate=0.1\")")
 	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
 	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return errors.New("scrub needs -dir")
 	}
-	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed)
+	defer ob.dump()
+	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed, ob.registry())
 	if err != nil {
 		return err
 	}

@@ -3,19 +3,46 @@
 // parse it back through the data identification module, ingest into the
 // concurrent store, crash nodes, serve degraded reads, repair in
 // parallel, and route unrecoverable P/B frames to interpolation.
+//
+// With -listen the demo keeps running afterwards and serves the store's
+// observability surface over HTTP:
+//
+//	storageserver -listen :9090 -chaos "fault=transient,rate=0.2" -seed 7
+//	curl localhost:9090/metrics          # Prometheus text format
+//	curl localhost:9090/debug/vars       # expvar JSON
+//	go tool pprof localhost:9090/debug/pprof/profile?seconds=5
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 
+	"approxcode/internal/chaos"
 	"approxcode/internal/core"
+	"approxcode/internal/obs"
 	"approxcode/internal/store"
 	"approxcode/internal/video"
 )
 
+var (
+	listenFlag = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address and keep running (e.g. :9090)")
+	chaosFlag  = flag.String("chaos", "", "fault-injection schedule DSL wrapped around node I/O (e.g. \"fault=transient,rate=0.2\")")
+	seedFlag   = flag.Int64("seed", 1, "seed for fault injection and retry jitter")
+	traceFlag  = flag.Bool("trace", false, "stream span events (one line per store operation) to stderr")
+)
+
 func main() {
+	flag.Parse()
+
+	// The demo always runs with a live registry so every step below
+	// lands in the histograms the HTTP endpoint exports.
+	reg := obs.NewRegistry(true)
+	if *traceFlag {
+		reg.SetSpanSink(obs.NewWriterSink(log.Writer()))
+	}
+
 	// 1. A video arrives as a bitstream container.
 	stream, err := video.Generate(video.DefaultConfig(), 300)
 	if err != nil {
@@ -38,15 +65,34 @@ func main() {
 		segs[i] = store.Segment{ID: f.Index, Important: f.Important(), Data: f.Payload}
 	}
 
-	// 3. Ingest into the storage layer (parallel stripe encoding).
-	st, err := store.Open(store.Config{
+	// 3. Ingest into the storage layer (parallel stripe encoding),
+	// optionally with a chaos injector between the store and its nodes
+	// so the self-healing counters have something to count.
+	cfg := store.Config{
 		Code: core.Params{
 			Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 6, Structure: core.Even,
 		},
 		NodeSize: 6 * 8192,
-	})
+		Obs:      reg,
+		Retry:    store.RetryPolicy{Seed: *seedFlag},
+	}
+	var inj *chaos.Injector
+	if *chaosFlag != "" {
+		rules, err := chaos.ParseSchedule(*chaosFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj = chaos.NewInjector(*seedFlag, rules...)
+		cfg.WrapIO = inj.Wrap
+	}
+	st, err := store.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *listenFlag != "" {
+		reg.PublishExpvar("approxcode")
+		obs.Serve(*listenFlag, reg, func(err error) { log.Fatal(err) })
+		fmt.Printf("serving metrics and pprof on %s\n", *listenFlag)
 	}
 	if err := st.Put("clip", segs); err != nil {
 		log.Fatal(err)
@@ -103,4 +149,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("scrub: %d stripes checked, %d corrupt\n", scrub.StripesChecked, len(scrub.Corrupt))
+
+	final := st.Stats()
+	fmt.Printf("telemetry: retries=%d hedges=%d read-errors=%d checksum-failures=%d shards-healed=%d\n",
+		final.Retries, final.Hedges, final.ReadErrors, final.ChecksumFailures, final.ShardsHealed)
+	if inj != nil {
+		c := inj.Stats()
+		fmt.Printf("chaos: %d faults injected\n", c.Total())
+	}
+
+	// 8. With -listen, keep serving reads so scrapes and profiles see a
+	// live workload rather than a terminated process.
+	if *listenFlag != "" {
+		fmt.Println("demo complete; replaying Get(clip) forever (ctrl-c to stop)")
+		for {
+			if _, _, err := st.Get("clip"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"approxcode/internal/erasure"
 	"approxcode/internal/evenodd"
 	"approxcode/internal/matrix"
+	"approxcode/internal/obs"
 	"approxcode/internal/parallel"
 	"approxcode/internal/rs"
 	"approxcode/internal/star"
@@ -128,6 +129,10 @@ type Code struct {
 	local erasure.Coder // (k, r) prefix code for unimportant sub-stripes
 	full  erasure.Coder // (k, r+g) input code for important sub-stripes
 	par   parallel.Options
+
+	// Optional obs histograms, set once by Instrument before concurrent
+	// use; nil histograms are no-ops.
+	encHist, recHist, verHist *obs.Histogram
 }
 
 var _ erasure.Coder = (*Code)(nil)
@@ -380,6 +385,7 @@ func (c *Code) subRowOnNode(node, l, m int) int {
 // Encode implements erasure.Coder: fills the h*r local parity nodes and
 // g global parity nodes from the h*k data nodes.
 func (c *Code) Encode(shards [][]byte) error {
+	defer c.encHist.Start().Stop()
 	if len(shards) != c.TotalShards() {
 		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.TotalShards())
 	}
@@ -471,6 +477,7 @@ type Options struct {
 // fault tolerance are zero-filled and listed in Report.Lost. An error is
 // returned only for malformed input, never for unrecoverable data.
 func (c *Code) ReconstructReport(shards [][]byte, opts Options) (*Report, error) {
+	defer c.recHist.Start().Stop()
 	size, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), true)
 	if err != nil {
 		return nil, fmt.Errorf("%s reconstruct: %w", c.Name(), err)
@@ -583,6 +590,7 @@ func (c *Code) repairSubStripe(shards [][]byte, failed map[int]bool, l, m int, o
 
 // Verify implements erasure.Coder.
 func (c *Code) Verify(shards [][]byte) (bool, error) {
+	defer c.verHist.Start().Stop()
 	if _, err := erasure.CheckShards(shards, c.TotalShards(), c.ShardSizeMultiple(), false); err != nil {
 		return false, fmt.Errorf("%s verify: %w", c.Name(), err)
 	}

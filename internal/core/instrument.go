@@ -1,0 +1,26 @@
+package core
+
+import (
+	"approxcode/internal/obs"
+)
+
+// Instrument binds the code's encode/reconstruct/verify timings and the
+// aggregated decode-plan-cache counters to reg. Call it once, before
+// the code sees concurrent use (internal/store does this in Open); a
+// nil registry hands out nil (no-op) histograms, so an uninstrumented
+// code pays one predictable branch per operation.
+//
+// Plan-cache metrics are polled gauges over PlanCacheStats, so they
+// reflect whichever Code registered first on a shared registry.
+func (c *Code) Instrument(reg *obs.Registry) {
+	c.encHist = reg.Histogram("core_encode_seconds")
+	c.recHist = reg.Histogram("core_reconstruct_seconds")
+	c.verHist = reg.Histogram("core_verify_seconds")
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("plancache_hits", func() int64 { return int64(c.PlanCacheStats().Hits) })
+	reg.GaugeFunc("plancache_misses", func() int64 { return int64(c.PlanCacheStats().Misses) })
+	reg.GaugeFunc("plancache_evictions", func() int64 { return int64(c.PlanCacheStats().Evictions) })
+	reg.GaugeFunc("plancache_entries", func() int64 { return int64(c.PlanCacheStats().Entries) })
+}

@@ -1,0 +1,27 @@
+package hdfssim
+
+import "approxcode/internal/obs"
+
+// metrics holds the cluster's optional obs counters. Nil counters are
+// no-ops, so an uninstrumented cluster pays one nil check per event.
+type metrics struct {
+	heartbeats      *obs.Counter
+	detections      *obs.Counter
+	falseDetections *obs.Counter
+	rereplTasks     *obs.Counter
+}
+
+// Instrument binds the cluster's control-plane event counters to reg:
+// delivered heartbeats, NameNode dead-node detections (real and false),
+// and dispatched re-replication tasks. Call before RunFailure.
+func (c *Cluster) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.metrics = metrics{
+		heartbeats:      reg.Counter("hdfssim_heartbeats_total"),
+		detections:      reg.Counter("hdfssim_detections_total"),
+		falseDetections: reg.Counter("hdfssim_false_detections_total"),
+		rereplTasks:     reg.Counter("hdfssim_rereplication_tasks_total"),
+	}
+}

@@ -191,6 +191,7 @@ type Cluster struct {
 	busy    map[int]int
 	result  Result
 	pending int
+	metrics metrics
 }
 
 // transientFault mutes a live node's heartbeats for a window — a
@@ -267,6 +268,7 @@ func (c *Cluster) heartbeat(i int) {
 		return
 	}
 	c.lastHeartbeat[i] = c.sim.Now()
+	c.metrics.heartbeats.Inc()
 	if c.detected[i] {
 		// The node was wrongly declared dead and has come back: it
 		// re-registers with the NameNode (HDFS treats it as new again).
@@ -288,8 +290,10 @@ func (c *Cluster) nameNodeScan(tasks func(failed []int) []Task) {
 			newlyDead = append(newlyDead, i)
 			if c.dead[i] {
 				realDetection = true
+				c.metrics.detections.Inc()
 			} else {
 				c.result.FalseDetections++
+				c.metrics.falseDetections.Inc()
 			}
 		}
 	}
@@ -326,6 +330,7 @@ func (c *Cluster) dispatch() {
 		if c.busy[t.Worker] < c.cfg.RecoverySlotsPerNode {
 			c.busy[t.Worker]++
 			c.result.TasksRun++
+			c.metrics.rereplTasks.Inc()
 			task := t
 			c.sim.After(c.cfg.duration(task), func() {
 				c.busy[task.Worker]--

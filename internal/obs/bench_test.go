@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-registry path must cost an atomic load and nothing else;
+// these benchmarks put numbers on that claim (quoted in DESIGN.md §9).
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry(false).Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	h := NewRegistry(false).Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().Stop()
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry(true).Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().Stop()
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry(true).Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) & 0xFFFF * time.Microsecond)
+	}
+}
+
+func BenchmarkSpanNoSink(b *testing.B) {
+	r := NewRegistry(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("op").End()
+	}
+}
+
+func BenchmarkSpanDisabledRegistry(b *testing.B) {
+	r := NewRegistry(false)
+	var sink CollectorSink
+	r.SetSpanSink(&sink)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("op").End()
+	}
+}

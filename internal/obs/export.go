@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// Exposition: the registry renders itself in two wire formats —
+// Prometheus text (WritePrometheus / Handler) and expvar JSON
+// (PublishExpvar, served on /debug/vars by the standard library).
+
+// Snapshot returns every metric as a flat name -> value map: counters
+// and gauges as int64, histograms expanded to name_count / name_sum_ns
+// plus per-bucket entries, infos as strings. Deterministic ordering is
+// not needed here (maps), export formats sort themselves.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFuncs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		gaugeFuncs[k] = v
+	}
+	infos := make(map[string]func() string, len(r.infos))
+	for k, v := range r.infos {
+		infos[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for name, c := range counters {
+		out[name] = c.Value()
+	}
+	for name, g := range gauges {
+		out[name] = g.Value()
+	}
+	for name, fn := range gaugeFuncs {
+		out[name] = fn()
+	}
+	for name, fn := range infos {
+		out[name] = fn()
+	}
+	for name, h := range hists {
+		s := h.Snapshot()
+		out[name+"_count"] = s.Count
+		out[name+"_sum_ns"] = int64(s.Sum)
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			out[fmt.Sprintf("%s_bucket_le_%s", name, bucketLabel(s, i))] = n
+		}
+	}
+	return out
+}
+
+func bucketLabel(s HistogramSnapshot, i int) string {
+	b := s.Bound(i)
+	if b < 0 {
+		return "inf"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Histograms become cumulative classic histograms
+// with `le` bounds in seconds; infos become name{value="..."} 1.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	gaugeNames := sortedKeys(r.gauges)
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	gfNames := sortedKeys(r.gaugeFuncs)
+	gfs := make([]func() int64, len(gfNames))
+	for i, n := range gfNames {
+		gfs[i] = r.gaugeFuncs[n]
+	}
+	infoNames := sortedKeys(r.infos)
+	infoFns := make([]func() string, len(infoNames))
+	for i, n := range infoNames {
+		infoFns[i] = r.infos[n]
+	}
+	histNames := sortedKeys(r.hists)
+	hists := make([]*Histogram, len(histNames))
+	for i, n := range histNames {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+
+	for i, name := range counterNames {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), counters[i].Value())
+	}
+	for i, name := range gaugeNames {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", promName(name), promName(name), gauges[i].Value())
+	}
+	for i, name := range gfNames {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", promName(name), promName(name), gfs[i]())
+	}
+	for i, name := range infoNames {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s{value=%q} 1\n", promName(name), promName(name), infoFns[i]())
+	}
+	for i, name := range histNames {
+		s := hists[i].Snapshot()
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for b := 0; b < histBuckets; b++ {
+			cum += s.Buckets[b]
+			bound := s.Bound(b)
+			if bound < 0 {
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pn, bound.Seconds(), cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", pn, s.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", pn, s.Count)
+	}
+}
+
+// promName sanitizes a metric name for the Prometheus exposition
+// format (dots and dashes become underscores).
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// publishedVars guards against expvar.Publish's duplicate-name panic
+// when several components publish the same registry.
+var (
+	publishedMu   sync.Mutex
+	publishedVars = make(map[string]bool)
+)
+
+// PublishExpvar publishes the registry's snapshot under the given
+// expvar name (default "approxcode" when empty). Safe to call more than
+// once; later calls with the same name are no-ops.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if name == "" {
+		name = "approxcode"
+	}
+	publishedMu.Lock()
+	defer publishedMu.Unlock()
+	if publishedVars[name] {
+		return
+	}
+	publishedVars[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Mux returns an http.ServeMux exposing the observability surface of a
+// long-running binary:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (includes the registry via PublishExpvar)
+//	/debug/pprof/  the standard pprof handlers
+func Mux(r *Registry) *http.ServeMux {
+	r.PublishExpvar("approxcode")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Mux(r) on addr in a background
+// goroutine and returns the server (callers may Close it). Errors after
+// startup are delivered to errFn when non-nil.
+func Serve(addr string, r *Registry, errFn func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Mux(r)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errFn != nil {
+			errFn(err)
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,325 @@
+// Package obs is the repository's dependency-free metrics and tracing
+// layer: atomic counters and gauges, log-bucketed latency histograms,
+// and lightweight span events behind a Registry, exported as expvar and
+// Prometheus text (see export.go / http.go).
+//
+// Cost model. Counters and gauges are single atomic adds and always
+// count — they are the source of truth for views like store.Stats, so
+// they cannot be switched off. Everything that needs a clock or an
+// allocation (histograms, spans) is gated on the registry's enabled
+// flag: with the registry disabled, a histogram observation is one
+// atomic load and a span is one atomic pointer load, nothing else. The
+// storeMetrics overhead gate (make metrics-bench) holds this to <2% of
+// the Get hot path.
+//
+// All metric handles are nil-safe: methods on a nil *Counter, *Gauge or
+// *Histogram are no-ops, so optional instrumentation costs one
+// predictable branch when absent.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. Counters always
+// count, enabled registry or not: they back always-on views such as
+// store.Stats. Nil counters are no-ops.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomic instantaneous value. Nil gauges are no-ops.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket geometry: bucket i counts observations with latency
+// <= 1µs·2^i, for i in [0, histBuckets-2]; the last bucket is +Inf.
+// 1µs·2^25 ≈ 33.6s, comfortably past every OpDeadline in the tree.
+const histBuckets = 27
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   time.Duration
+	// Buckets are non-cumulative per-bucket counts; Bound(i) gives the
+	// inclusive upper bound of bucket i (the last is +Inf).
+	Buckets [histBuckets]int64
+}
+
+// Bound returns the inclusive upper bound of bucket i, or a negative
+// duration for the +Inf bucket.
+func (HistogramSnapshot) Bound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return time.Microsecond << i
+}
+
+// Histogram is a log2-bucketed latency histogram. Observations are
+// dropped while the owning registry is disabled, so the disabled-path
+// cost is a single atomic load (and no time.Now call when used through
+// Start/Stop timers).
+type Histogram struct {
+	name    string
+	on      *atomic.Bool // the owning registry's enabled flag
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// enabled reports whether observations are being recorded.
+func (h *Histogram) enabled() bool { return h != nil && h.on.Load() }
+
+// Observe records one latency sample (no-op when nil or disabled).
+func (h *Histogram) Observe(d time.Duration) {
+	if !h.enabled() {
+		return
+	}
+	h.observe(d)
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// bucketOf maps a duration to the smallest bucket whose inclusive
+// upper bound (1µs·2^i) covers it: ceil(log2(µs)), via bits.Len64(µs-1).
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(us - 1)
+	if b >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Start returns a running Timer, or an inert one when the registry is
+// disabled (one atomic load, no clock read).
+func (h *Histogram) Start() Timer {
+	if !h.enabled() {
+		return Timer{}
+	}
+	return Timer{h: h, t0: time.Now()}
+}
+
+// Timer measures one operation; obtain with Histogram.Start.
+type Timer struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Stop records the elapsed time on the originating histogram. Inert
+// timers (disabled registry) do nothing.
+func (t Timer) Stop() {
+	if t.h != nil {
+		t.h.observe(time.Since(t.t0))
+	}
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Registry holds a process- or component-scoped metric namespace.
+// Registration is idempotent: asking for an existing name returns the
+// existing metric, so several components can share one registry without
+// coordinating. All methods are safe for concurrent use.
+type Registry struct {
+	enabled atomic.Bool
+	sink    atomic.Pointer[SpanSink]
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	infos      map[string]func() string
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry. enabled gates histograms and
+// spans (counters and gauges always count); it can be flipped later
+// with SetEnabled.
+func NewRegistry(enabled bool) *Registry {
+	r := &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		infos:      make(map[string]func() string),
+		hists:      make(map[string]*Histogram),
+	}
+	r.enabled.Store(enabled)
+	return r
+}
+
+var defaultRegistry = NewRegistry(false)
+
+// Default returns the process-wide registry, created disabled; binaries
+// that expose metrics call Default().SetEnabled(true) at startup.
+func Default() *Registry { return defaultRegistry }
+
+// Enabled reports whether histograms and spans record.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled flips histogram/span recording at runtime.
+func (r *Registry) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a polled gauge: fn is invoked at export/snapshot
+// time. The first registration of a name wins.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFuncs[name]; !ok {
+		r.gaugeFuncs[name] = fn
+	}
+}
+
+// Info registers a string-valued metric (exported Prometheus-style as
+// name{value="..."} 1), e.g. the active gf256 kernel name. The first
+// registration of a name wins.
+func (r *Registry) Info(name string, fn func() string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.infos[name]; !ok {
+		r.infos[name] = fn
+	}
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name, on: &r.enabled}
+	r.hists[name] = h
+	return h
+}
+
+// sortedKeys returns map keys in deterministic order for export.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

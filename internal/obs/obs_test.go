@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter not inert")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge not inert")
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	h.Start().Stop()
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	r.GaugeFunc("x", func() int64 { return 1 })
+	r.Info("x", func() string { return "y" })
+	r.SetEnabled(true)
+	r.SetSpanSink(nil)
+	r.StartSpan("x").End()
+	r.Event("x")
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+}
+
+func TestCounterGaugeIdempotentRegistration(t *testing.T) {
+	r := NewRegistry(false)
+	a := r.Counter("ops_total")
+	b := r.Counter("ops_total")
+	if a != b {
+		t.Fatal("re-registration must return the same counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", a.Value())
+	}
+	g1, g2 := r.Gauge("depth"), r.Gauge("depth")
+	if g1 != g2 {
+		t.Fatal("re-registration must return the same gauge")
+	}
+	g1.Set(5)
+	g2.Add(-2)
+	if g1.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g1.Value())
+	}
+	if r.Histogram("lat") != r.Histogram("lat") {
+		t.Fatal("re-registration must return the same histogram")
+	}
+}
+
+func TestCountersAlwaysCountWhenDisabled(t *testing.T) {
+	r := NewRegistry(false)
+	c := r.Counter("always")
+	c.Add(41)
+	c.Inc()
+	if c.Value() != 42 {
+		t.Fatalf("disabled-registry counter = %d, want 42", c.Value())
+	}
+}
+
+func TestHistogramGatedOnEnabled(t *testing.T) {
+	r := NewRegistry(false)
+	h := r.Histogram("lat")
+	h.Observe(time.Millisecond)
+	h.Start().Stop()
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("disabled histogram recorded %d samples", s.Count)
+	}
+	r.SetEnabled(true)
+	h.Observe(3 * time.Millisecond)
+	tm := h.Start()
+	tm.Stop()
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("enabled histogram count = %d, want 2", s.Count)
+	}
+	if s.Sum < 3*time.Millisecond {
+		t.Fatalf("histogram sum %v implausibly small", s.Sum)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Millisecond, 10},              // 1024µs -> bound 1.024ms
+		{time.Second, 20},                   // 1e6µs -> 2^20 = 1048576µs
+		{10 * time.Minute, histBuckets - 1}, // overflow -> +Inf
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every finite bucket bound must land in its own bucket (inclusive).
+	var snap HistogramSnapshot
+	for i := 0; i < histBuckets-1; i++ {
+		if got := bucketOf(snap.Bound(i)); got != i {
+			t.Errorf("bound %v lands in bucket %d, want %d", snap.Bound(i), got, i)
+		}
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := NewRegistry(true)
+	// No sink: spans are inert.
+	r.StartSpan("noop").End(A("k", 1))
+	var sink CollectorSink
+	r.SetSpanSink(&sink)
+	sp := r.StartSpan("store.get")
+	time.Sleep(time.Millisecond)
+	sp.End(A("object", "clip"), A("demoted", 2))
+	r.Event("heartbeat", A("node", 3))
+	spans := sink.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "store.get" || spans[0].Duration < time.Millisecond {
+		t.Fatalf("bad span: %+v", spans[0])
+	}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[0].Key != "object" {
+		t.Fatalf("bad attrs: %+v", spans[0].Attrs)
+	}
+	// Disabled registry drops spans even with a sink installed.
+	r.SetEnabled(false)
+	r.StartSpan("dropped").End()
+	if got := len(sink.Spans()); got != 2 {
+		t.Fatalf("disabled registry emitted a span (have %d)", got)
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf strings.Builder
+	s := NewWriterSink(&buf)
+	s.Emit(SpanEvent{Name: "op", Start: time.Now(), Duration: time.Millisecond, Attrs: []Attr{A("n", 1)}})
+	out := buf.String()
+	if !strings.Contains(out, "op") || !strings.Contains(out, "n=1") {
+		t.Fatalf("writer sink output %q", out)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry(true)
+	r.Counter("reads_total").Add(7)
+	r.Gauge("depth").Set(3)
+	r.GaugeFunc("polled", func() int64 { return 11 })
+	r.Info("kernel", func() string { return "avx2" })
+	h := r.Histogram("get.seconds")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Millisecond)
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE reads_total counter", "reads_total 7",
+		"# TYPE depth gauge", "depth 3",
+		"polled 11",
+		`kernel{value="avx2"} 1`,
+		"# TYPE get_seconds histogram",
+		`get_seconds_bucket{le="+Inf"} 2`,
+		"get_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing.
+	prev := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "get_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("buckets not cumulative: %q after %d", line, prev)
+		}
+		prev = n
+	}
+}
+
+func TestHandlerAndMux(t *testing.T) {
+	r := NewRegistry(true)
+	r.Counter("hits_total").Inc()
+	srv := httptest.NewServer(Mux(r))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":             "hits_total 1",
+		"/debug/vars":          "hits_total",
+		"/debug/pprof/cmdline": "",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 1<<20)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body[:n]), want) {
+			t.Fatalf("GET %s: body missing %q:\n%s", path, want, body[:n])
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry(true)
+	r.Counter("c").Add(4)
+	r.Histogram("h").Observe(2 * time.Microsecond)
+	snap := r.Snapshot()
+	if snap["c"] != int64(4) {
+		t.Fatalf("snapshot c = %v", snap["c"])
+	}
+	if snap["h_count"] != int64(1) {
+		t.Fatalf("snapshot h_count = %v", snap["h_count"])
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry(true)
+	var sink CollectorSink
+	r.SetSpanSink(&sink)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					sp := r.StartSpan("spin")
+					sp.End(A("w", w))
+				}
+				if i%50 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8*500 {
+		t.Fatalf("shared counter = %d, want %d", got, 8*500)
+	}
+	if s := r.Histogram("lat").Snapshot(); s.Count != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", s.Count, 8*500)
+	}
+}

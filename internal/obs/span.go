@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span events: a deliberately tiny tracing layer. A span is a named
+// timed region with optional key/value attributes; finished spans are
+// handed to the registry's pluggable sink. There is no context
+// propagation and no sampling — spans cost one atomic pointer load when
+// no sink is installed, which is the common case.
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr (shorthand for composing span End calls).
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// SpanEvent is a finished span as delivered to a sink.
+type SpanEvent struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// SpanSink receives finished spans. Implementations must be safe for
+// concurrent use; Emit is called on the hot path, so heavy sinks should
+// buffer internally.
+type SpanSink interface {
+	Emit(SpanEvent)
+}
+
+// SetSpanSink installs (or, with nil, removes) the registry's span
+// sink. Spans started while no sink is installed are inert.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&s)
+}
+
+// Span is an in-flight timed region; the zero Span is inert.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span. When the registry is disabled or has no sink,
+// the returned span is inert and End is free.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil || !r.enabled.Load() || r.sink.Load() == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End finishes the span and emits it to the sink (if one is still
+// installed) with the given attributes.
+func (s Span) End(attrs ...Attr) {
+	if s.r == nil {
+		return
+	}
+	sink := s.r.sink.Load()
+	if sink == nil {
+		return
+	}
+	(*sink).Emit(SpanEvent{Name: s.name, Start: s.start, Duration: time.Since(s.start), Attrs: attrs})
+}
+
+// Event emits a zero-duration span — a point annotation such as a
+// heartbeat or a re-replication dispatch.
+func (r *Registry) Event(name string, attrs ...Attr) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	sink := r.sink.Load()
+	if sink == nil {
+		return
+	}
+	(*sink).Emit(SpanEvent{Name: name, Start: time.Now(), Attrs: attrs})
+}
+
+// WriterSink is a SpanSink that renders one line per span to an
+// io.Writer — the implementation behind the binaries' -trace flag.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink returns a sink writing human-readable span lines to w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit implements SpanSink.
+func (s *WriterSink) Emit(ev SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "trace %s %s dur=%s", ev.Start.Format("15:04:05.000000"), ev.Name, ev.Duration)
+	for _, a := range ev.Attrs {
+		fmt.Fprintf(s.w, " %s=%v", a.Key, a.Value)
+	}
+	fmt.Fprintln(s.w)
+}
+
+// CollectorSink buffers spans in memory (tests and tools).
+type CollectorSink struct {
+	mu    sync.Mutex
+	spans []SpanEvent
+}
+
+// Emit implements SpanSink.
+func (c *CollectorSink) Emit(ev SpanEvent) {
+	c.mu.Lock()
+	c.spans = append(c.spans, ev)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of everything collected so far.
+func (c *CollectorSink) Spans() []SpanEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanEvent(nil), c.spans...)
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sync"
 	"time"
 )
 
@@ -78,7 +77,10 @@ func (m *memIO) ReadColumn(node int, object string, stripe int) ([]byte, error) 
 	if cols == nil || stripe < 0 || stripe >= len(cols) || cols[stripe] == nil {
 		return nil, errColumnMissing
 	}
-	return cols[stripe], nil
+	// Copy on the boundary: returning the backing slice would let any
+	// caller-side mutation (a chaos corrupt rule, an in-place decode)
+	// silently damage the stored column.
+	return append([]byte(nil), cols[stripe]...), nil
 }
 
 // WriteColumn stores a column on the node. It intentionally ignores the
@@ -96,28 +98,11 @@ func (m *memIO) WriteColumn(node int, object string, stripe int, data []byte) er
 	for len(cols) <= stripe {
 		cols = append(cols, nil)
 	}
-	cols[stripe] = data
+	// Copy on the boundary: retaining the caller's buffer would alias
+	// the stored column to memory the caller may keep mutating.
+	cols[stripe] = append([]byte(nil), data...)
 	nd.columns[object] = cols
 	return nil
-}
-
-// counters aggregates the store's robustness telemetry. All fields are
-// updated lock-free from the I/O hot paths.
-type counters struct {
-	mu               sync.Mutex
-	retries          int64
-	hedges           int64
-	hedgeWins        int64
-	readErrors       int64
-	checksumFailures int64
-	shardsHealed     int64
-	degradedSubReads int64
-}
-
-func (c *counters) add(field *int64, n int64) {
-	c.mu.Lock()
-	*field += n
-	c.mu.Unlock()
 }
 
 // ioResult carries one attempt's outcome; hedge marks the backup
@@ -151,8 +136,12 @@ func (s *Store) readColumn(node int, object string, stripe int) ([]byte, error) 
 	if s.plainIO {
 		// Fast path: no injector wrapping, so the only failure modes
 		// are crashes and missing columns — neither is retryable.
+		t := s.metrics.nodeRead.Start()
 		data, err := s.io.ReadColumn(node, object, stripe)
+		t.Stop()
+		s.metrics.readAttempts.Inc()
 		if err == nil {
+			s.metrics.readBytes.Add(int64(len(data)))
 			s.health.ok(node)
 		}
 		return data, err
@@ -171,7 +160,7 @@ func (s *Store) readColumn(node int, object string, stripe int) ([]byte, error) 
 			if backoff > s.retry.MaxBackoff {
 				backoff = s.retry.MaxBackoff
 			}
-			s.stats.add(&s.stats.retries, 1)
+			s.metrics.retries.Inc()
 		}
 		data, err := s.attemptRead(node, object, stripe, deadline)
 		if err == nil {
@@ -184,7 +173,7 @@ func (s *Store) readColumn(node int, object string, stripe int) ([]byte, error) 
 			return nil, err
 		}
 		lastErr = err
-		s.stats.add(&s.stats.readErrors, 1)
+		s.metrics.readErrors.Inc()
 		if s.health.fail(node) == HealthFailed {
 			break
 		}
@@ -200,7 +189,13 @@ func (s *Store) attemptRead(node int, object string, stripe int, deadline time.T
 	ch := make(chan ioResult, 2)
 	launch := func(hedge bool) {
 		go func() {
+			t := s.metrics.nodeRead.Start()
 			data, err := s.io.ReadColumn(node, object, stripe)
+			t.Stop()
+			s.metrics.readAttempts.Inc()
+			if err == nil {
+				s.metrics.readBytes.Add(int64(len(data)))
+			}
 			ch <- ioResult{data: data, err: err, hedge: hedge}
 		}()
 	}
@@ -212,7 +207,7 @@ func (s *Store) attemptRead(node int, object string, stripe int, deadline time.T
 			hedgeTimer.Stop()
 			return r.data, r.err
 		case <-hedgeTimer.C:
-			s.stats.add(&s.stats.hedges, 1)
+			s.metrics.hedges.Inc()
 			launch(true)
 		}
 	}
@@ -221,7 +216,7 @@ func (s *Store) attemptRead(node int, object string, stripe int, deadline time.T
 	select {
 	case r := <-ch:
 		if r.hedge && r.err == nil {
-			s.stats.add(&s.stats.hedgeWins, 1)
+			s.metrics.hedgeWins.Inc()
 		}
 		return r.data, r.err
 	case <-wait.C:
@@ -235,7 +230,14 @@ func (s *Store) attemptRead(node int, object string, stripe int, deadline time.T
 // crashed target is acceptable.
 func (s *Store) writeColumn(node int, object string, stripe int, data []byte) error {
 	if s.plainIO {
-		return s.io.WriteColumn(node, object, stripe, data)
+		t := s.metrics.nodeWrite.Start()
+		err := s.io.WriteColumn(node, object, stripe, data)
+		t.Stop()
+		s.metrics.writeAttempts.Inc()
+		if err == nil {
+			s.metrics.writeBytes.Add(int64(len(data)))
+		}
+		return err
 	}
 	deadline := time.Now().Add(s.retry.OpDeadline)
 	backoff := s.retry.BaseBackoff
@@ -251,10 +253,14 @@ func (s *Store) writeColumn(node int, object string, stripe int, data []byte) er
 			if backoff > s.retry.MaxBackoff {
 				backoff = s.retry.MaxBackoff
 			}
-			s.stats.add(&s.stats.retries, 1)
+			s.metrics.retries.Inc()
 		}
+		t := s.metrics.nodeWrite.Start()
 		err := s.io.WriteColumn(node, object, stripe, data)
+		t.Stop()
+		s.metrics.writeAttempts.Inc()
 		if err == nil {
+			s.metrics.writeBytes.Add(int64(len(data)))
 			s.health.ok(node)
 			return nil
 		}

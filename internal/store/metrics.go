@@ -1,0 +1,106 @@
+package store
+
+import (
+	"approxcode/internal/gf256"
+	"approxcode/internal/obs"
+)
+
+// storeMetrics is the store's registry-backed telemetry. It replaces
+// the former ad-hoc mutex-guarded counters struct: every counter is an
+// atomic (obs.Counter), updated genuinely lock-free from the I/O hot
+// paths, and Store.Stats is a thin view over these handles. Latency
+// histograms and spans record only while the registry is enabled; with
+// the default private disabled registry they cost one atomic load.
+type storeMetrics struct {
+	reg *obs.Registry
+
+	// Self-healing I/O counters (the Stats robustness view).
+	retries          *obs.Counter
+	hedges           *obs.Counter
+	hedgeWins        *obs.Counter
+	readErrors       *obs.Counter
+	checksumFailures *obs.Counter
+	shardsHealed     *obs.Counter
+	degradedSubReads *obs.Counter
+
+	// Per-attempt NodeIO accounting.
+	readAttempts  *obs.Counter
+	writeAttempts *obs.Counter
+	readBytes     *obs.Counter
+	writeBytes    *obs.Counter
+
+	// Per-operation latency histograms.
+	opPut        *obs.Histogram
+	opGet        *obs.Histogram
+	opGetSegment *obs.Histogram
+	opUpdate     *obs.Histogram
+	opRepair     *obs.Histogram
+	opScrub      *obs.Histogram
+	nodeRead     *obs.Histogram
+	nodeWrite    *obs.Histogram
+}
+
+// newStoreMetrics binds the store's metric handles to reg. A nil reg
+// gets a fresh private disabled registry, so counters (and therefore
+// Stats) work even for callers that never asked for observability.
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry(false)
+	}
+	return storeMetrics{
+		reg:              reg,
+		retries:          reg.Counter("store_retries_total"),
+		hedges:           reg.Counter("store_hedges_total"),
+		hedgeWins:        reg.Counter("store_hedge_wins_total"),
+		readErrors:       reg.Counter("store_read_errors_total"),
+		checksumFailures: reg.Counter("store_checksum_failures_total"),
+		shardsHealed:     reg.Counter("store_shards_healed_total"),
+		degradedSubReads: reg.Counter("store_degraded_sub_reads_total"),
+		readAttempts:     reg.Counter("store_node_read_attempts_total"),
+		writeAttempts:    reg.Counter("store_node_write_attempts_total"),
+		readBytes:        reg.Counter("store_node_read_bytes_total"),
+		writeBytes:       reg.Counter("store_node_write_bytes_total"),
+		opPut:            reg.Histogram("store_put_seconds"),
+		opGet:            reg.Histogram("store_get_seconds"),
+		opGetSegment:     reg.Histogram("store_get_segment_seconds"),
+		opUpdate:         reg.Histogram("store_update_seconds"),
+		opRepair:         reg.Histogram("store_repair_seconds"),
+		opScrub:          reg.Histogram("store_scrub_seconds"),
+		nodeRead:         reg.Histogram("store_node_read_seconds"),
+		nodeWrite:        reg.Histogram("store_node_write_seconds"),
+	}
+}
+
+// registerGauges exposes polled store state on the registry. First
+// registration of a name wins, so when several stores share one
+// registry the gauges describe the first store (counters, which
+// accumulate across all sharers, are unaffected).
+func (s *Store) registerGauges() {
+	reg := s.metrics.reg
+	reg.GaugeFunc("store_objects", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var n int64
+		for _, obj := range s.objects {
+			if obj != nil {
+				n++
+			}
+		}
+		return n
+	})
+	reg.GaugeFunc("store_nodes", func() int64 { return int64(len(s.nodes)) })
+	reg.GaugeFunc("store_failed_nodes", func() int64 { return int64(len(s.FailedNodes())) })
+	reg.GaugeFunc("store_suspect_nodes", func() int64 {
+		suspect, _ := s.health.counts()
+		return int64(suspect)
+	})
+	reg.GaugeFunc("store_down_nodes", func() int64 {
+		_, down := s.health.counts()
+		return int64(down)
+	})
+	reg.Info("gf256_active_kernel", gf256.Kernel)
+}
+
+// Obs returns the registry backing the store's metrics (the one passed
+// in Config.Obs, or the store's private registry).
+func (s *Store) Obs() *obs.Registry { return s.metrics.reg }

@@ -10,6 +10,7 @@ import (
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
+	"approxcode/internal/obs"
 )
 
 // Snapshot is the serializable image of a Store, written with
@@ -167,11 +168,12 @@ type LoadOptions struct {
 	// rebuilds them) instead of failing the load. Manifest corruption
 	// is always fatal — without it nothing can be interpreted.
 	Lenient bool
-	// Retry / Health / WrapIO are applied to the restored store's
+	// Retry / Health / WrapIO / Obs are applied to the restored store's
 	// Config verbatim.
 	Retry  RetryPolicy
 	Health HealthPolicy
 	WrapIO func(chaos.NodeIO) chaos.NodeIO
+	Obs    *obs.Registry
 }
 
 // Load restores a store saved with Save. Node files that are missing are
@@ -202,6 +204,7 @@ func LoadWith(dir string, opts LoadOptions) (*Store, error) {
 		Retry:               opts.Retry,
 		Health:              opts.Health,
 		WrapIO:              opts.WrapIO,
+		Obs:                 opts.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store load: %w", err)

@@ -19,6 +19,7 @@ import (
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
+	"approxcode/internal/obs"
 )
 
 // Segment is the unit of ingestion: an opaque payload tagged important
@@ -57,6 +58,12 @@ type Config struct {
 	// store uses a fast path that skips the retry/hedging machinery,
 	// since in-memory I/O cannot fail transiently.
 	WrapIO func(chaos.NodeIO) chaos.NodeIO
+	// Obs is the metrics/tracing registry the store reports into (see
+	// internal/obs); Store.Stats is a view over its counters. Nil gets
+	// the store a private disabled registry: counters still count (they
+	// are plain atomics) but latency histograms and spans stay off, so
+	// the hot paths pay one atomic load for them.
+	Obs *obs.Registry
 }
 
 // Store is a concurrent approximate storage layer. All exported methods
@@ -72,10 +79,16 @@ type Store struct {
 	plainIO bool
 	retry   RetryPolicy
 	health  *healthTracker
-	stats   counters
+	metrics storeMetrics
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// failMu serializes node-set transitions (FailNodes) against
+	// operations that require a stable healthy stripe set for their
+	// whole duration (UpdateSegment): writers of the fail set take the
+	// write lock, update holds the read lock across check + swap.
+	failMu sync.RWMutex
 
 	mu      sync.RWMutex
 	nodes   []*node
@@ -122,6 +135,8 @@ func Open(cfg Config) (*Store, error) {
 		cfg.RepairWorkers = runtime.GOMAXPROCS(0)
 	}
 	s := &Store{cfg: cfg, code: code, objects: make(map[string]*object)}
+	s.metrics = newStoreMetrics(cfg.Obs)
+	code.Instrument(s.metrics.reg)
 	s.retry = cfg.Retry.withDefaults()
 	seed := s.retry.Seed
 	if seed == 0 {
@@ -138,6 +153,7 @@ func Open(cfg Config) (*Store, error) {
 	} else {
 		s.plainIO = true
 	}
+	s.registerGauges()
 	return s, nil
 }
 
@@ -330,6 +346,9 @@ func interleavedPlacement(segs []Segment, mkSlots func(bool) []slotCursor, sub i
 // data node columns, encodes every global stripe on the parallel encode
 // pool, and stores the columns on the (healthy) nodes.
 func (s *Store) Put(name string, segs []Segment) error {
+	defer s.metrics.opPut.Start().Stop()
+	sp := s.metrics.reg.StartSpan("store.Put")
+	defer func() { sp.End(obs.A("object", name), obs.A("segments", len(segs))) }()
 	if name == "" {
 		return fmt.Errorf("store: empty object name")
 	}
@@ -472,7 +491,7 @@ func (s *Store) readStripe(obj *object, stripe int) (cols [][]byte, demoted []in
 		}
 		if len(data) != s.cfg.NodeSize ||
 			(sums != nil && ni < len(sums) && sums[ni] != 0 && colSum(data) != sums[ni]) {
-			s.stats.add(&s.stats.checksumFailures, 1)
+			s.metrics.checksumFailures.Inc()
 			demoted = append(demoted, ni)
 			continue
 		}
@@ -505,6 +524,13 @@ type GetReport struct {
 // are returned zero-filled and listed in the report; unimportant ones
 // are additionally flagged approximate for the interpolation fallback.
 func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
+	defer s.metrics.opGet.Start().Stop()
+	sp := s.metrics.reg.StartSpan("store.Get")
+	rep := &GetReport{}
+	defer func() {
+		sp.End(obs.A("object", name), obs.A("degraded_sub_reads", rep.DegradedSubReads),
+			obs.A("checksum_failures", rep.ChecksumFailures), obs.A("lost", len(rep.LostSegments)))
+	}()
 	s.mu.RLock()
 	obj, ok := s.objects[name]
 	s.mu.RUnlock()
@@ -513,7 +539,6 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 	}
 	buf := make(map[int][]byte, len(obj.segments))
 	lost := make(map[int]bool)
-	rep := &GetReport{}
 	// Cache assembled stripes and decoded sub-blocks.
 	stripeCache := make(map[int][][]byte)
 	blockCache := make(map[[3]int][]byte)
@@ -536,7 +561,7 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 			}
 			if decoded {
 				rep.DegradedSubReads++
-				s.stats.add(&s.stats.degradedSubReads, 1)
+				s.metrics.degradedSubReads.Inc()
 			}
 			blockCache[key] = block
 		}
@@ -567,6 +592,7 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 // GetSegment returns a single segment, decoding around failures. It
 // returns ErrUnavailable when the segment's data cannot be recovered.
 func (s *Store) GetSegment(name string, id int) (Segment, error) {
+	defer s.metrics.opGetSegment.Start().Stop()
 	segs, rep, err := s.Get(name)
 	if err != nil {
 		return Segment{}, err
@@ -591,6 +617,10 @@ func (s *Store) FailNodes(ids ...int) error {
 			return fmt.Errorf("%w: node %d out of range", ErrInvalid, id)
 		}
 	}
+	// Exclude in-flight UpdateSegment calls: their healthy-stripe check
+	// must stay valid until their copy-on-write swap has landed.
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
 	for _, id := range ids {
 		nd := s.nodes[id]
 		nd.mu.Lock()
@@ -640,6 +670,13 @@ type RepairReport struct {
 // Unimportant data beyond the code's tolerance is zero-filled and
 // reported per segment.
 func (s *Store) RepairAll() (*RepairReport, error) {
+	defer s.metrics.opRepair.Start().Stop()
+	sp := s.metrics.reg.StartSpan("store.RepairAll")
+	rep := &RepairReport{LostSegments: make(map[string][]int)}
+	defer func() {
+		sp.End(obs.A("stripes_repaired", rep.StripesRepaired), obs.A("stripes_skipped", rep.StripesSkipped),
+			obs.A("shards_healed", rep.ShardsHealed), obs.A("bytes_rebuilt", rep.BytesRebuilt))
+	}()
 	// Health-failed nodes are rebuilt like crashed ones: wipe whatever
 	// they hold (it is untrustworthy) and reconstruct from survivors.
 	if hf := s.health.failedNodes(); len(hf) > 0 {
@@ -648,7 +685,6 @@ func (s *Store) RepairAll() (*RepairReport, error) {
 		}
 	}
 	failed := s.FailedNodes()
-	rep := &RepairReport{LostSegments: make(map[string][]int)}
 	s.mu.RLock()
 	type job struct {
 		obj    *object
@@ -751,7 +787,7 @@ func (s *Store) RepairAll() (*RepairReport, error) {
 					healed++
 				}
 				s.setSums(j.obj, j.stripe, sums)
-				s.stats.add(&s.stats.shardsHealed, int64(healed))
+				s.metrics.shardsHealed.Add(int64(healed))
 				mu.Lock()
 				rep.StripesRepaired++
 				rep.ShardsHealed += healed
@@ -859,6 +895,13 @@ type ScrubReport struct {
 // columns on crashed nodes are skipped (they are repair's business, not
 // scrub's); stripes that cannot be healed are listed as corrupt.
 func (s *Store) Scrub() (*ScrubReport, error) {
+	defer s.metrics.opScrub.Start().Stop()
+	rep := &ScrubReport{}
+	sp := s.metrics.reg.StartSpan("store.Scrub")
+	defer func() {
+		sp.End(obs.A("stripes_checked", rep.StripesChecked), obs.A("checksum_failures", rep.ChecksumFailures),
+			obs.A("healed", rep.Healed), obs.A("corrupt", len(rep.Corrupt)))
+	}()
 	s.mu.RLock()
 	type job struct {
 		obj    *object
@@ -874,7 +917,6 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 		}
 	}
 	s.mu.RUnlock()
-	rep := &ScrubReport{}
 	var mu sync.Mutex
 	workers := s.cfg.RepairWorkers
 	if workers > len(jobs) {
@@ -915,7 +957,7 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 						sums[ni] = colSum(cols[ni])
 					}
 					s.setSums(j.obj, j.stripe, sums)
-					s.stats.add(&s.stats.shardsHealed, int64(len(sums)))
+					s.metrics.shardsHealed.Add(int64(len(sums)))
 					mu.Lock()
 					rep.Healed += len(sums)
 					mu.Unlock()
@@ -1046,15 +1088,15 @@ func (s *Store) Stats() Stats {
 		nd.mu.RUnlock()
 	}
 	st.SuspectNodes, st.DownNodes = s.health.counts()
-	s.stats.mu.Lock()
-	st.Retries = s.stats.retries
-	st.Hedges = s.stats.hedges
-	st.HedgeWins = s.stats.hedgeWins
-	st.ReadErrors = s.stats.readErrors
-	st.ChecksumFailures = s.stats.checksumFailures
-	st.ShardsHealed = s.stats.shardsHealed
-	st.DegradedSubReads = s.stats.degradedSubReads
-	s.stats.mu.Unlock()
+	// Thin view over the obs registry: each field is one atomic load of
+	// the counter the hot paths update in place.
+	st.Retries = s.metrics.retries.Value()
+	st.Hedges = s.metrics.hedges.Value()
+	st.HedgeWins = s.metrics.hedgeWins.Value()
+	st.ReadErrors = s.metrics.readErrors.Value()
+	st.ChecksumFailures = s.metrics.checksumFailures.Value()
+	st.ShardsHealed = s.metrics.shardsHealed.Value()
+	st.DegradedSubReads = s.metrics.degradedSubReads.Value()
 	return st
 }
 

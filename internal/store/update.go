@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"approxcode/internal/core"
+	"approxcode/internal/obs"
 )
 
 // UpdateSegment overwrites a stored segment's bytes in place (same
@@ -17,12 +18,21 @@ import (
 // Updates require a fully healthy stripe set; repair first if nodes are
 // failed.
 func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
+	defer s.metrics.opUpdate.Start().Stop()
+	sp := s.metrics.reg.StartSpan("store.UpdateSegment")
+	defer func() { sp.End(obs.A("object", name), obs.A("segment", id)) }()
 	s.mu.RLock()
 	obj, ok := s.objects[name]
 	s.mu.RUnlock()
 	if !ok || obj == nil {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	// Hold the fail-set read lock across the healthy-stripe check AND
+	// the copy-on-write swap: a concurrent FailNodes would otherwise
+	// race the pre-check (TOCTOU) and wipe nodes mid-swap, leaving a
+	// stripe that mixes pre- and post-update columns.
+	s.failMu.RLock()
+	defer s.failMu.RUnlock()
 	if len(s.FailedNodes()) > 0 {
 		return fmt.Errorf("%w: cannot update with failed nodes (repair first)", ErrUnavailable)
 	}
