@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test test-noasm race race-hammer chaos fuzz bench-pr1 bench-pr2 metrics-bench ci
+.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos crash fuzz bench-pr1 bench-pr2 metrics-bench ci
 
 all: build
 
@@ -16,6 +16,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# errcheck-style gate: a call statement in internal/store that drops an
+# error result fails the build (see cmd/errvet; `_ =` marks deliberate
+# discards).
+errvet:
+	$(GO) run ./cmd/errvet ./internal/store
 
 # vet plus staticcheck when it is installed (skipped silently offline —
 # the container image does not bundle it).
@@ -43,6 +49,14 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/store/ ./internal/chaos/...
 
+# Crash-consistency matrix: the journaled-store workload is killed at
+# every registered crash point (torn journal appends, mid-write, each
+# snapshot step, repair checkpoints) and recovered from the directory
+# alone, asserting acknowledged operations survive byte-exact. See
+# internal/chaos/crashtest and DESIGN.md §10.
+crash:
+	$(GO) test -run 'TestCrash|TestRepairResume|TestTruncation' ./internal/store/
+
 # Each fuzz target runs alone (go test allows one -fuzz pattern per
 # package invocation), seeded by testdata/fuzz corpora.
 fuzz:
@@ -51,6 +65,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzSIMDKernels -fuzztime=$(FUZZTIME) ./internal/gf256/
 	$(GO) test -run=^$$ -fuzz=FuzzRSRoundTrip -fuzztime=$(FUZZTIME) ./internal/rs/
 	$(GO) test -run=^$$ -fuzz=FuzzCoreRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzParseSchedule -fuzztime=$(FUZZTIME) ./internal/chaos/
 
 # Focused concurrency hammer, repeated under the race detector: Stats
 # vs the mutating paths, UpdateSegment vs FailNodes, and the obs
@@ -72,4 +87,4 @@ bench-pr1:
 bench-pr2:
 	$(GO) run ./cmd/apprbench -exp pr2 -iters 3
 
-ci: lint build test test-noasm race race-hammer chaos fuzz metrics-bench
+ci: lint errvet build test test-noasm race race-hammer chaos crash fuzz metrics-bench

@@ -60,6 +60,8 @@ func main() {
 		err = cmdRestore(os.Args[2:])
 	case "repair":
 		err = cmdRepair(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
 	case "scrub":
 		err = cmdScrub(os.Args[2:])
 	default:
@@ -72,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apprstore <encode|decode|verify|info|ingest|restore|repair|scrub> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: apprstore <encode|decode|verify|info|ingest|restore|repair|recover|scrub> [flags]")
 	os.Exit(2)
 }
 

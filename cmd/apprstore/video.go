@@ -271,6 +271,8 @@ func cmdRepair(args []string) error {
 	fail := fs.String("fail", "", "comma-separated node indexes to fail before repairing")
 	chaosSched := fs.String("chaos", "", "fault-injection schedule DSL (e.g. \"node=2,fault=transient,rate=0.3\")")
 	seed := fs.Int64("seed", 1, "seed for fault injection and retry jitter")
+	resume := fs.Bool("resume", false, "resume an interrupted repair from its journal checkpoints")
+	bw := fs.Int64("bw", 0, "max repair write-back bytes/sec (0 = unlimited)")
 	stats := fs.Bool("stats", false, "print self-healing I/O counters after the run")
 	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -280,9 +282,35 @@ func cmdRepair(args []string) error {
 		return errors.New("repair needs -dir")
 	}
 	defer ob.dump()
-	st, inj, err := loadStoreWith(*dir, *chaosSched, *seed, ob.registry())
-	if err != nil {
-		return err
+	var (
+		st  *store.Store
+		inj *chaos.Injector
+		err error
+	)
+	if *resume {
+		// Resuming needs the journal reattached so the continued run's
+		// checkpoints are durable too.
+		var rec *store.RecoverReport
+		st, rec, err = store.Recover(*dir, store.LoadOptions{
+			Lenient: true,
+			Retry:   store.RetryPolicy{Seed: *seed},
+			Obs:     ob.registry(),
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if rec.RepairPending {
+			fmt.Printf("resuming interrupted repair: %d stripes already checkpointed\n",
+				rec.RepairCheckpointedStripes)
+		} else {
+			fmt.Println("no interrupted repair found; running a full repair")
+		}
+	} else {
+		st, inj, err = loadStoreWith(*dir, *chaosSched, *seed, ob.registry())
+		if err != nil {
+			return err
+		}
 	}
 	failed, err := parseFail(*fail)
 	if err != nil {
@@ -297,15 +325,19 @@ func cmdRepair(args []string) error {
 			return err
 		}
 	}
-	rep, err := st.RepairAll()
+	r, err := st.StartRepair(store.RepairOptions{Resume: *resume, MaxBytesPerSec: *bw})
+	if err != nil {
+		return err
+	}
+	rep, err := r.Wait()
 	if err != nil {
 		return err
 	}
 	if err := st.Save(*dir); err != nil {
 		return err
 	}
-	fmt.Printf("repaired %d stripes (%d skipped), %d bytes rebuilt, %d shards healed\n",
-		rep.StripesRepaired, rep.StripesSkipped, rep.BytesRebuilt, rep.ShardsHealed)
+	fmt.Printf("repaired %d stripes (%d skipped, %d resumed from checkpoints), %d bytes rebuilt, %d shards healed\n",
+		rep.StripesRepaired, rep.StripesSkipped, rep.StripesResumed, rep.BytesRebuilt, rep.ShardsHealed)
 	for obj, segs := range rep.LostSegments {
 		fmt.Printf("object %s: %d segments unrecoverable (fuzzy recovery needed): %v\n",
 			obj, len(segs), segs)
@@ -313,6 +345,43 @@ func cmdRepair(args []string) error {
 	if *stats {
 		printCounters(st, inj)
 	}
+	return nil
+}
+
+// cmdRecover replays a crashed store directory: it loads the newest
+// complete snapshot generation, applies the journal's valid suffix,
+// discards any torn tail, and reports what survived.
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	strict := fs.Bool("strict", false, "fail on damaged node files instead of demoting them to failed nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("recover needs -dir")
+	}
+	st, rec, err := store.Recover(*dir, store.LoadOptions{Lenient: !*strict})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	fmt.Printf("recovered generation %d: %d journal ops replayed, %d already visible\n",
+		rec.Generation, rec.ReplayedOps, rec.SkippedOps)
+	if rec.DiscardedTailBytes > 0 {
+		fmt.Printf("discarded %d torn journal tail bytes (unacknowledged writes)\n", rec.DiscardedTailBytes)
+	}
+	if len(rec.DemotedNodes) > 0 {
+		fmt.Printf("damaged node files demoted to failures: %v\n", rec.DemotedNodes)
+	}
+	if failed := st.FailedNodes(); len(failed) > 0 {
+		fmt.Printf("failed nodes awaiting repair: %v\n", failed)
+	}
+	if rec.RepairPending {
+		fmt.Printf("interrupted repair found (%d stripes checkpointed); run: apprstore repair -dir %s -resume\n",
+			rec.RepairCheckpointedStripes, *dir)
+	}
+	fmt.Printf("objects: %v\n", st.Objects())
 	return nil
 }
 

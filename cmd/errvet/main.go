@@ -1,0 +1,231 @@
+// Command errvet is a small errcheck-style checker: it reports call
+// statements whose error result is silently dropped. Unlike a grep it
+// is type-driven — a call is flagged only when its (possibly tuple)
+// result actually contains an error — but it stays stdlib-only by
+// borrowing compiled export data from `go list -export` instead of
+// depending on an analysis framework.
+//
+// Usage:
+//
+//	errvet [package ...]   (defaults to ./internal/store)
+//
+// Deliberate discards stay expressible: `_ = f()` and `defer f()` are
+// not flagged, nor are the fmt print family and in-memory writers
+// (bytes.Buffer, strings.Builder, hash.Hash) whose errors are
+// documented to be always nil.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output errvet needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+func main() {
+	pkgs := os.Args[1:]
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/store"}
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		n, err := vetPackage(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "errvet:", err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "errvet: %d dropped error(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func vetPackage(pattern string) (int, error) {
+	targets, exports, err := listPackages(pattern)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, target := range targets {
+		n, err := vetOne(target, exports)
+		if err != nil {
+			return findings, err
+		}
+		findings += n
+	}
+	return findings, nil
+}
+
+// listPackages resolves pattern and its dependency closure, returning
+// the non-dep-only targets and an importPath -> export-file map.
+func listPackages(pattern string) ([]listedPackage, map[string]string, error) {
+	out, err := exec.Command("go", "list", "-json", "-export", "-deps", pattern).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, nil, fmt.Errorf("go list %s: %s", pattern, ee.Stderr)
+		}
+		return nil, nil, err
+	}
+	var targets []listedPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}
+
+func vetOne(pkg listedPackage, exports map[string]string) (int, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range pkg.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(pkg.Dir, name), nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	if _, err := conf.Check(pkg.ImportPath, fset, files, info); err != nil {
+		return 0, fmt.Errorf("typecheck %s: %w", pkg.ImportPath, err)
+	}
+	findings := 0
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(info, call) || exempt(info, call) {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			fmt.Printf("%s:%d:%d: result of %s contains an unchecked error\n",
+				pos.Filename, pos.Line, pos.Column, calleeName(call))
+			findings++
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// returnsError reports whether the call's result is, or contains, an
+// error value.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false // type conversion, not a call
+	}
+	rt, ok := info.Types[ast.Expr(call)]
+	if !ok || rt.Type == nil {
+		return false
+	}
+	switch t := rt.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// exempt filters the idiomatic always-nil error sources errcheck also
+// skips by default: the fmt print family and in-memory writers.
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Package-level call via plain identifier (dot-imports are not
+		// used in this repo), e.g. println; never exempt.
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path() == "fmt"
+			}
+		}
+	}
+	// Method call: exempt receivers whose Write/WriteString/etc. are
+	// documented never to fail.
+	if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+		s := tv.Type.String()
+		for _, exemptType := range []string{"bytes.Buffer", "strings.Builder", "hash.Hash", "hash.Hash32"} {
+			if strings.TrimPrefix(s, "*") == exemptType {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CrashError reports a simulated process crash fired at a named crash
+// point. It is delivered by panicking at the point and recovered by
+// Crasher.Run, mimicking a kill -9 in the middle of an operation: the
+// in-memory state of the crashed component is abandoned and recovery
+// must proceed from durable state alone.
+type CrashError struct {
+	// Point is the crash point that fired.
+	Point string
+	// Hit is the 1-based occurrence of the point that fired.
+	Hit int
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("chaos: simulated crash at %q (hit %d)", e.Point, e.Hit)
+}
+
+// Crasher is the crash-point fault: named sync points threaded through
+// write paths (store mutations, persistence, repair commits). Code
+// under test calls Hit(name) at every point; an unarmed Crasher only
+// records the point, while an armed one panics with *CrashError at the
+// selected occurrence of the selected point, simulating a process kill
+// there. A nil *Crasher is a valid no-op, so production paths can hold
+// one unconditionally.
+//
+// The intended harness loop (see chaos/crashtest) is: run the workload
+// once unarmed to discover every registered point, then re-run it once
+// per point with the Crasher armed there, recovering from durable
+// state after each simulated kill.
+type Crasher struct {
+	mu    sync.Mutex
+	seen  map[string]int // hits per point, over this Crasher's lifetime
+	order []string       // first-hit order, for stable matrices
+
+	armed      string
+	occurrence int
+	fired      bool
+	firedHit   int
+}
+
+// NewCrasher returns an unarmed Crasher.
+func NewCrasher() *Crasher {
+	return &Crasher{seen: make(map[string]int)}
+}
+
+// Arm makes the next run crash at the occurrence-th Hit of point
+// (1-based; occurrence < 1 means the first). Hit counters are reset so
+// occurrences are counted from the Arm call.
+func (c *Crasher) Arm(point string, occurrence int) {
+	if occurrence < 1 {
+		occurrence = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = point
+	c.occurrence = occurrence
+	c.fired = false
+	c.firedHit = 0
+	c.seen = make(map[string]int)
+	c.order = nil
+}
+
+// Disarm clears the armed point; Hit goes back to recording only.
+func (c *Crasher) Disarm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = ""
+}
+
+// Hit registers one pass through the named crash point and, when the
+// Crasher is armed at it, panics with *CrashError to simulate the
+// process dying right there. Safe on a nil receiver.
+func (c *Crasher) Hit(point string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.seen == nil {
+		c.seen = make(map[string]int)
+	}
+	if _, ok := c.seen[point]; !ok {
+		c.order = append(c.order, point)
+	}
+	c.seen[point]++
+	hit := c.seen[point]
+	crash := c.armed == point && !c.fired && hit >= c.occurrence
+	if crash {
+		c.fired = true
+		c.firedHit = hit
+	}
+	c.mu.Unlock()
+	if crash {
+		panic(&CrashError{Point: point, Hit: hit})
+	}
+}
+
+// Points returns every crash point hit since the last Arm, in
+// first-hit order. Run a workload with an unarmed Crasher to discover
+// the full matrix.
+func (c *Crasher) Points() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Hits returns how many times the named point was hit since the last
+// Arm.
+func (c *Crasher) Hits(point string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen[point]
+}
+
+// Fired reports whether the armed crash point fired.
+func (c *Crasher) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Run invokes fn, converting a crash-point panic into the returned
+// *CrashError (nil when fn completes). Other panics propagate. The
+// component that "died" must be discarded by the caller — its locks and
+// in-memory state are abandoned exactly as a killed process abandons
+// them — and brought back through its recovery path.
+func (c *Crasher) Run(fn func()) (crashed *CrashError) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := r.(*CrashError)
+			if !ok {
+				panic(r)
+			}
+			crashed = ce
+		}
+	}()
+	fn()
+	return nil
+}
+
+// SortedPoints is Points in lexical order (convenient for stable
+// subtest names).
+func (c *Crasher) SortedPoints() []string {
+	pts := c.Points()
+	sort.Strings(pts)
+	return pts
+}

@@ -1,0 +1,114 @@
+// Package crashtest drives crash-point matrices: it discovers every
+// chaos.Crasher point a workload passes through, then re-runs the
+// workload once per (point, occurrence), simulating a process kill
+// there and handing the survivor state to a verifier. It is the
+// crash-consistency analogue of package chaostest's fault schedules.
+package crashtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"approxcode/internal/chaos"
+)
+
+// Log records operations the workload considers acknowledged: an entry
+// is appended only after the operation returned success. Verifiers use
+// it as the lower bound of what recovery must preserve — anything acked
+// before the kill must survive it; anything not logged may have been
+// in flight and is allowed to be absent (but must be absent or applied
+// atomically, never torn).
+type Log struct {
+	mu    sync.Mutex
+	acked []string
+}
+
+// Acked appends one acknowledged operation label.
+func (l *Log) Acked(op string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.acked = append(l.acked, op)
+}
+
+// List returns the acknowledged operations in order.
+func (l *Log) List() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.acked...)
+}
+
+// Has reports whether op was acknowledged.
+func (l *Log) Has(op string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, a := range l.acked {
+		if a == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Scenario is one crash-matrix definition.
+type Scenario struct {
+	// Workload runs the mutating operations against a fresh state
+	// directory, threading the Crasher into whatever it builds and
+	// recording each acknowledged operation in the Log. It must be
+	// deterministic: occurrence counts from the discovery run are
+	// replayed against it.
+	Workload func(t *testing.T, dir string, c *chaos.Crasher, log *Log)
+	// Verify inspects the durable state in dir after the simulated kill
+	// at the named point (point "" and hit 0 is the discovery run that
+	// completed normally). It must recover from dir alone — the crashed
+	// in-memory state is gone.
+	Verify func(t *testing.T, dir string, log *Log, point string, hit int)
+	// MaxOccurrences caps how many occurrences of one point are killed
+	// individually (first N). 0 means every occurrence.
+	MaxOccurrences int
+}
+
+// Matrix runs the scenario's full crash matrix: one discovery pass,
+// then one kill-and-verify subtest per registered (point, occurrence).
+func Matrix(t *testing.T, sc Scenario) {
+	// Discovery: unarmed run registers every crash point on the path.
+	discover := chaos.NewCrasher()
+	discover.Arm("", 1) // reset counters; empty point never fires
+	dir := t.TempDir()
+	log := &Log{}
+	if ce := discover.Run(func() { sc.Workload(t, dir, discover, log) }); ce != nil {
+		t.Fatalf("discovery run crashed: %v", ce)
+	}
+	points := discover.Points()
+	if len(points) == 0 {
+		t.Fatal("workload passed through no crash points")
+	}
+	sc.Verify(t, dir, log, "", 0)
+	if t.Failed() {
+		t.Fatal("verification failed on the uncrashed discovery run")
+	}
+	for _, point := range points {
+		hits := discover.Hits(point)
+		if sc.MaxOccurrences > 0 && hits > sc.MaxOccurrences {
+			hits = sc.MaxOccurrences
+		}
+		for occ := 1; occ <= hits; occ++ {
+			point, occ := point, occ
+			t.Run(fmt.Sprintf("%s#%d", point, occ), func(t *testing.T) {
+				c := chaos.NewCrasher()
+				c.Arm(point, occ)
+				dir := t.TempDir()
+				log := &Log{}
+				ce := c.Run(func() { sc.Workload(t, dir, c, log) })
+				if ce == nil {
+					// Nondeterminism (e.g. a racing worker finished the
+					// queue first) can starve a point of its Nth hit;
+					// that run is just the discovery run again.
+					t.Skipf("point %s hit %d not reached", point, occ)
+				}
+				c.Disarm()
+				sc.Verify(t, dir, log, point, occ)
+			})
+		}
+	}
+}

@@ -7,6 +7,29 @@ import (
 	"time"
 )
 
+// ParseError is the typed error ParseSchedule returns for malformed
+// DSL input. Clause is the offending rule text (empty when the whole
+// schedule is at fault), Key the offending field name (empty for
+// clause-level problems), and Reason the human-readable diagnosis.
+type ParseError struct {
+	Schedule string
+	Clause   string
+	Key      string
+	Reason   string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	switch {
+	case e.Clause == "":
+		return fmt.Sprintf("chaos: schedule %q: %s", e.Schedule, e.Reason)
+	case e.Key == "":
+		return fmt.Sprintf("chaos: rule %q: %s", e.Clause, e.Reason)
+	default:
+		return fmt.Sprintf("chaos: rule %q: %s: %s", e.Clause, e.Key, e.Reason)
+	}
+}
+
 // ParseSchedule parses the compact textual schedule DSL into rules.
 //
 // A schedule is a semicolon-separated list of rules; a rule is a
@@ -18,31 +41,43 @@ import (
 //	stripe=<int>|*      exact global stripe (default *)
 //	stripe>=<int>       stripes at or beyond N
 //	fault=crash|transient|latency|corrupt|torn   (required)
-//	rate=<float>        firing probability per matching op (default 1)
-//	count=<int>         max firings (default unlimited)
+//	rate=<float>        firing probability per matching op, in (0, 1]
+//	count=<int>         max firings, >= 1 (default unlimited)
 //	after=<int>         skip the first N matching ops
 //	latency=<duration>  delay for fault=latency (default 10ms)
 //	bytes=<int>         bytes flipped by fault=corrupt (default 1)
 //	keep=<float>        fraction persisted by fault=torn (default 0.5)
 //
-// Example — "node 3 flips bits after stripe 7, node 1 is 30% flaky":
+// Malformed input — empty clauses, duplicate keys within a rule,
+// out-of-range values — fails with a *ParseError naming the clause and
+// key at fault; no clause is ever silently dropped. A single trailing
+// semicolon is tolerated. Example — "node 3 flips bits after stripe 7,
+// node 1 is 30% flaky":
 //
 //	node=3,fault=corrupt,stripe>=7;node=1,fault=transient,rate=0.3
 func ParseSchedule(s string) ([]Rule, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, &ParseError{Schedule: s, Reason: "empty schedule"}
+	}
+	clauses := strings.Split(s, ";")
+	// Tolerate one trailing semicolon ("a;b;"), nothing else.
+	if n := len(clauses); n > 1 && strings.TrimSpace(clauses[n-1]) == "" {
+		clauses = clauses[:n-1]
+	}
 	var rules []Rule
-	for _, clause := range strings.Split(s, ";") {
+	for _, clause := range clauses {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
-			continue
+			return nil, &ParseError{Schedule: s, Reason: "empty rule clause"}
 		}
 		r, err := parseRule(clause)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: rule %q: %w", clause, err)
+			return nil, err
 		}
 		rules = append(rules, r)
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("chaos: empty schedule %q", s)
+		return nil, &ParseError{Schedule: s, Reason: "empty schedule"}
 	}
 	return rules, nil
 }
@@ -50,25 +85,42 @@ func ParseSchedule(s string) ([]Rule, error) {
 func parseRule(clause string) (Rule, error) {
 	r := Rule{Node: Any, Stripe: Any, Latency: 10 * time.Millisecond}
 	haveFault := false
+	seen := make(map[string]bool)
+	fail := func(key, format string, args ...any) (Rule, error) {
+		return r, &ParseError{Clause: clause, Key: key, Reason: fmt.Sprintf(format, args...)}
+	}
+	noDup := func(key string) error {
+		if seen[key] {
+			return &ParseError{Clause: clause, Key: key, Reason: "duplicate key"}
+		}
+		seen[key] = true
+		return nil
+	}
 	for _, field := range strings.Split(clause, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
-			continue
+			return fail("", "empty field")
 		}
 		// stripe>=N needs special-casing before the k=v split.
 		if rest, ok := strings.CutPrefix(field, "stripe>="); ok {
+			if err := noDup("stripe>="); err != nil {
+				return r, err
+			}
 			n, err := strconv.Atoi(rest)
 			if err != nil || n < 0 {
-				return r, fmt.Errorf("bad stripe>= value %q", rest)
+				return fail("stripe>=", "bad value %q (want int >= 0)", rest)
 			}
 			r.FromStripe = n
 			continue
 		}
 		key, val, ok := strings.Cut(field, "=")
 		if !ok {
-			return r, fmt.Errorf("field %q is not key=value", field)
+			return fail("", "field %q is not key=value", field)
 		}
 		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if err := noDup(key); err != nil {
+			return r, err
+		}
 		switch key {
 		case "node":
 			if val == "*" {
@@ -77,7 +129,7 @@ func parseRule(clause string) (Rule, error) {
 			}
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
-				return r, fmt.Errorf("bad node %q", val)
+				return fail(key, "bad node %q (want int >= 0 or *)", val)
 			}
 			r.Node = n
 		case "op":
@@ -89,7 +141,7 @@ func parseRule(clause string) (Rule, error) {
 			case "any":
 				r.Op = OpAny
 			default:
-				return r, fmt.Errorf("bad op %q", val)
+				return fail(key, "bad op %q (want read|write|any)", val)
 			}
 		case "object":
 			if val == "*" {
@@ -104,7 +156,7 @@ func parseRule(clause string) (Rule, error) {
 			}
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
-				return r, fmt.Errorf("bad stripe %q", val)
+				return fail(key, "bad stripe %q (want int >= 0 or *)", val)
 			}
 			r.Stripe = n
 		case "fault":
@@ -120,51 +172,55 @@ func parseRule(clause string) (Rule, error) {
 			case "torn":
 				r.Kind = FaultTorn
 			default:
-				return r, fmt.Errorf("bad fault %q", val)
+				return fail(key, "bad fault %q (want crash|transient|latency|corrupt|torn)", val)
 			}
 			haveFault = true
 		case "rate":
+			// rate=0 would be stored as "always fire" (Rule treats <= 0
+			// as 1), the opposite of what the author wrote — reject it.
 			f, err := strconv.ParseFloat(val, 64)
-			if err != nil || f < 0 || f > 1 {
-				return r, fmt.Errorf("bad rate %q", val)
+			if err != nil || f <= 0 || f > 1 {
+				return fail(key, "bad rate %q (want 0 < rate <= 1)", val)
 			}
 			r.Rate = f
 		case "count":
+			// count=0 means "unlimited" in the Rule struct; an explicit
+			// count in the DSL must cap firings, so require >= 1.
 			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
-				return r, fmt.Errorf("bad count %q", val)
+			if err != nil || n < 1 {
+				return fail(key, "bad count %q (want int >= 1)", val)
 			}
 			r.Count = n
 		case "after":
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
-				return r, fmt.Errorf("bad after %q", val)
+				return fail(key, "bad after %q (want int >= 0)", val)
 			}
 			r.After = n
 		case "latency":
 			d, err := time.ParseDuration(val)
 			if err != nil || d < 0 {
-				return r, fmt.Errorf("bad latency %q", val)
+				return fail(key, "bad latency %q (want non-negative duration)", val)
 			}
 			r.Latency = d
 		case "bytes":
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 1 {
-				return r, fmt.Errorf("bad bytes %q", val)
+				return fail(key, "bad bytes %q (want int >= 1)", val)
 			}
 			r.Bytes = n
 		case "keep":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f <= 0 || f >= 1 {
-				return r, fmt.Errorf("bad keep %q", val)
+				return fail(key, "bad keep %q (want 0 < keep < 1)", val)
 			}
 			r.KeepFraction = f
 		default:
-			return r, fmt.Errorf("unknown key %q", key)
+			return fail(key, "unknown key")
 		}
 	}
 	if !haveFault {
-		return r, fmt.Errorf("missing fault=")
+		return fail("fault", "missing required key")
 	}
 	return r, nil
 }

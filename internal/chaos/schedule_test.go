@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseScheduleTypedErrors pins the *ParseError contract: every
+// malformed schedule fails with a typed error naming the clause (and
+// key, where one is at fault), and no clause is silently dropped.
+func TestParseScheduleTypedErrors(t *testing.T) {
+	cases := []struct {
+		in         string
+		clause     string // expected ParseError.Clause ("" = schedule-level)
+		key        string // expected ParseError.Key
+		wantReason string // substring of Reason
+	}{
+		{"", "", "", "empty schedule"},
+		{"   ", "", "", "empty schedule"},
+		{";fault=crash", "", "", "empty rule clause"},
+		{"fault=crash;;fault=torn", "", "", "empty rule clause"},
+		{"fault=crash,,node=1", "fault=crash,,node=1", "", "empty field"},
+		{"node=3", "node=3", "fault", "missing required key"},
+		{"fault=crash,fault=torn", "fault=crash,fault=torn", "fault", "duplicate key"},
+		{"fault=crash,node=1,node=2", "fault=crash,node=1,node=2", "node", "duplicate key"},
+		{"fault=crash,stripe>=1,stripe>=2", "fault=crash,stripe>=1,stripe>=2", "stripe>=", "duplicate key"},
+		{"fault=crash,rate=0", "fault=crash,rate=0", "rate", "bad rate"},
+		{"fault=crash,rate=-0.5", "fault=crash,rate=-0.5", "rate", "bad rate"},
+		{"fault=crash,rate=1.01", "fault=crash,rate=1.01", "rate", "bad rate"},
+		{"fault=crash,count=0", "fault=crash,count=0", "count", "bad count"},
+		{"fault=crash,count=-1", "fault=crash,count=-1", "count", "bad count"},
+		{"fault=crash,bytes=0", "fault=crash,bytes=0", "bytes", "bad bytes"},
+		{"fault=torn,keep=0", "fault=torn,keep=0", "keep", "bad keep"},
+		{"fault=torn,keep=1", "fault=torn,keep=1", "keep", "bad keep"},
+		{"fault=crash,node=-1", "fault=crash,node=-1", "node", "bad node"},
+		{"fault=crash,stripe=-2", "fault=crash,stripe=-2", "stripe", "bad stripe"},
+		{"fault=crash,after=-1", "fault=crash,after=-1", "after", "bad after"},
+		{"fault=crash,latency=zzz", "fault=crash,latency=zzz", "latency", "bad latency"},
+		{"fault=crash,stripe>=-3", "fault=crash,stripe>=-3", "stripe>=", "bad value"},
+		{"fault=crash,wat=1", "fault=crash,wat=1", "wat", "unknown key"},
+		{"keyless,fault=crash", "keyless,fault=crash", "", "not key=value"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSchedule(tc.in)
+		if err == nil {
+			t.Errorf("schedule %q accepted", tc.in)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("schedule %q: error %v is not a *ParseError", tc.in, err)
+			continue
+		}
+		if pe.Clause != tc.clause || pe.Key != tc.key {
+			t.Errorf("schedule %q: got clause=%q key=%q, want clause=%q key=%q (%v)",
+				tc.in, pe.Clause, pe.Key, tc.clause, tc.key, err)
+		}
+		if !strings.Contains(pe.Reason, tc.wantReason) {
+			t.Errorf("schedule %q: reason %q does not mention %q", tc.in, pe.Reason, tc.wantReason)
+		}
+	}
+}
+
+// TestParseScheduleTrailingSemicolon: one trailing semicolon is the
+// common shell artifact and stays accepted; doubled ones do not.
+func TestParseScheduleTrailingSemicolon(t *testing.T) {
+	rules, err := ParseSchedule("fault=crash;fault=torn;")
+	if err != nil || len(rules) != 2 {
+		t.Fatalf("trailing semicolon: rules=%d err=%v", len(rules), err)
+	}
+	if _, err := ParseSchedule("fault=crash;;"); err == nil {
+		t.Fatal("double trailing semicolon accepted")
+	}
+}
+
+// TestParseScheduleValuesRoundTrip spot-checks that accepted values
+// land in the Rule unchanged.
+func TestParseScheduleValuesRoundTrip(t *testing.T) {
+	rules, err := ParseSchedule("node=*,op=any,object=*,stripe=*,fault=latency,latency=3ms,rate=1,count=2,after=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rules[0]
+	if r.Node != Any || r.Op != OpAny || r.Object != "" || r.Stripe != Any ||
+		r.Kind != FaultLatency || r.Latency.Milliseconds() != 3 || r.Rate != 1 || r.Count != 2 || r.After != 5 {
+		t.Fatalf("round trip: %+v", r)
+	}
+}
+
+// FuzzParseSchedule asserts the parser never panics, never returns
+// rules alongside an error, and never silently drops clauses: on
+// success the rule count equals the clause count (modulo one tolerated
+// trailing semicolon), and every error is a *ParseError.
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		"fault=crash",
+		"node=3,fault=corrupt,stripe>=7,bytes=2;node=1,fault=transient,rate=0.3",
+		"op=write,fault=torn,keep=0.7,object=video",
+		"fault=latency,latency=10ms,count=3,after=1;",
+		"node=*,stripe=*,fault=transient,rate=1",
+		"fault=crash;;fault=torn",
+		"fault=crash,rate=0",
+		"fault=crash,node=1,node=1",
+		"stripe>=2,fault=corrupt",
+		"=;=,=",
+		"fault=crash,\x00=1",
+		strings.Repeat("fault=crash;", 40),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rules, err := ParseSchedule(s)
+		if err != nil {
+			if rules != nil {
+				t.Fatalf("%q: rules returned alongside error %v", s, err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%q: error %v is not a *ParseError", s, err)
+			}
+			return
+		}
+		clauses := strings.Split(s, ";")
+		if n := len(clauses); n > 1 && strings.TrimSpace(clauses[n-1]) == "" {
+			clauses = clauses[:n-1]
+		}
+		if len(rules) != len(clauses) {
+			t.Fatalf("%q: %d clauses parsed into %d rules (silent drop?)", s, len(clauses), len(rules))
+		}
+		for i, r := range rules {
+			if r.Rate < 0 || r.Rate > 1 {
+				t.Fatalf("%q: rule %d rate %v out of range", s, i, r.Rate)
+			}
+			if r.Count < 0 || r.After < 0 || r.Latency < 0 {
+				t.Fatalf("%q: rule %d negative gate: %+v", s, i, r)
+			}
+		}
+	})
+}

@@ -313,7 +313,7 @@ func TestChaosLoadWithLenientHealsCorruptNodeFile(t *testing.T) {
 	if err := s.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	flipByteInFile(t, dir, "node002.gob", 20)
+	flipByteInFile(t, dir, "node002.00000001.gob", 20)
 	if _, err := store.Load(dir); !errors.Is(err, store.ErrCorrupted) {
 		t.Fatalf("strict load of corrupt node file: %v, want ErrCorrupted", err)
 	}

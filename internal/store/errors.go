@@ -27,6 +27,9 @@ var (
 	ErrTimeout = errors.New("store: operation timed out")
 	// ErrInvalid: the caller passed an invalid argument.
 	ErrInvalid = errors.New("store: invalid argument")
+	// ErrRepairActive: a repair run is already in progress; wait for it
+	// (or abort it) before starting another.
+	ErrRepairActive = errors.New("store: repair already active")
 	// ErrNodeUnavailable: I/O against a crashed or health-failed node.
 	// Alias of chaos.ErrNodeUnavailable.
 	ErrNodeUnavailable = chaos.ErrNodeUnavailable

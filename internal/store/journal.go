@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"approxcode/internal/chaos"
+)
+
+// The write-ahead journal makes the store crash-consistent: every
+// mutating operation (Put, UpdateSegment, FailNodes, repair commits)
+// appends a redo record — and syncs it — before the mutation is
+// applied, so an operation is acknowledged only once it is durable.
+// Recover replays the journal on top of the newest complete snapshot
+// generation; a record is self-checking (length + CRC-32C), so a crash
+// mid-append leaves a torn tail that replay detects and discards —
+// exactly the unacknowledged suffix.
+//
+// Layout: an 8-byte magic header, then records of
+//
+//	| seq uint64 | type uint8 | len uint32 | crc32c uint32 | payload |
+//
+// with sequence numbers strictly increasing. The snapshot manifest
+// stores the last sequence it covers; replay skips records at or below
+// it, which makes journal truncation after Save a pure space
+// optimization rather than a correctness step.
+
+var journalMagic = []byte("APPRJNL1")
+
+const (
+	journalFile      = "store.journal"
+	journalHdrLen    = 17       // seq(8) + type(1) + len(4) + crc(4)
+	maxJournalRecord = 64 << 20 // sanity bound on one record's payload
+)
+
+// recType tags a journal record's payload.
+type recType uint8
+
+const (
+	recPut recType = iota + 1
+	recUpdate
+	recFailNodes
+	recRepairStart
+	recRepairStripe
+	recRepairDone
+)
+
+// Journal record payloads, gob-encoded.
+
+type putRecord struct {
+	Name     string
+	Segments []Segment
+}
+
+type updateRecord struct {
+	Name string
+	ID   int
+	Data []byte
+}
+
+type failRecord struct {
+	Nodes []int
+}
+
+// repairStartRecord opens a repair run. The run's ID is this record's
+// own sequence number; checkpoints and the done record carry it so
+// stale checkpoints from superseded runs are not mistaken for progress
+// of the live one.
+type repairStartRecord struct {
+	Failed []int
+}
+
+// repairStripeRecord is a repair commit checkpoint. It carries the
+// rebuilt column bytes, so a checkpointed stripe is durable the moment
+// the record is synced: recovery replays the columns onto the
+// replacement nodes and a resumed repair skips the stripe entirely.
+type repairStripeRecord struct {
+	ID     uint64
+	Object string
+	Stripe int
+	// Cols are the columns written back by this commit (rebuilt,
+	// healed, and re-encoded parity), keyed by node index.
+	Cols map[int][]byte
+	// Sums are the published CRC-32C column checksums for Cols.
+	Sums map[int]uint32
+	// Lost lists segment IDs this stripe abandoned (zero-filled
+	// unimportant data), so a resumed repair's report stays complete.
+	Lost []int
+}
+
+type repairDoneRecord struct {
+	ID       uint64
+	Unfailed []int
+}
+
+// journalRecord is one decoded record.
+type journalRecord struct {
+	Seq     uint64
+	Type    recType
+	Payload []byte
+}
+
+func (r journalRecord) decode(v any) error {
+	return gob.NewDecoder(bytes.NewReader(r.Payload)).Decode(v)
+}
+
+// journal is the append handle. Appends are serialized under mu (many
+// mutations hold the store's quiesce read lock concurrently) and synced
+// before they return; the crash hook threads the chaos.Crasher's
+// torn-append point through the middle of the record write.
+type journal struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	seq   uint64 // last sequence appended
+	crash *chaos.Crasher
+}
+
+// lastSeq returns the last appended (durable) sequence number.
+func (j *journal) lastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// createJournal writes a fresh journal (header only) at path,
+// atomically replacing any existing file.
+func createJournal(path string, lastSeq uint64, crash *chaos.Crasher) (*journal, error) {
+	if err := writeFileAtomic(path, journalMagic); err != nil {
+		return nil, fmt.Errorf("store journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store journal: %w", err)
+	}
+	return &journal{path: path, f: f, seq: lastSeq, crash: crash}, nil
+}
+
+// openJournal opens path for appending, truncating it to validLen (the
+// checked prefix readJournal accepted) so a torn tail can never be
+// misread as data by a later reader. A missing or header-less file is
+// recreated fresh.
+func openJournal(path string, validLen int64, lastSeq uint64, crash *chaos.Crasher) (*journal, error) {
+	if validLen < int64(len(journalMagic)) {
+		return createJournal(path, lastSeq, crash)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return createJournal(path, lastSeq, crash)
+		}
+		return nil, fmt.Errorf("store journal: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store journal: truncate torn tail: %w", err)
+	}
+	return &journal{path: path, f: f, seq: lastSeq, crash: crash}, nil
+}
+
+// append encodes payload, writes the record, and syncs. The returned
+// sequence number is the operation's durability token: once append
+// returns, recovery is guaranteed to replay the record.
+func (j *journal) append(t recType, payload any) (uint64, error) {
+	body, err := encodeGob(payload)
+	if err != nil {
+		return 0, fmt.Errorf("store journal: encode: %w", err)
+	}
+	if len(body) > maxJournalRecord {
+		return 0, fmt.Errorf("store journal: record of %d bytes exceeds limit", len(body))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := j.seq + 1
+	buf := make([]byte, journalHdrLen+len(body))
+	binary.LittleEndian.PutUint64(buf[0:8], seq)
+	buf[8] = byte(t)
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[13:17], colSum(body))
+	copy(buf[journalHdrLen:], body)
+	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+		return 0, fmt.Errorf("store journal: %w", err)
+	}
+	// The write is split so the torn-append crash point sits between
+	// the halves: a crash there leaves a half-written record whose
+	// checksum cannot verify, which recovery discards as the
+	// unacknowledged tail.
+	half := len(buf) / 2
+	if _, err := j.f.Write(buf[:half]); err != nil {
+		return 0, fmt.Errorf("store journal: %w", err)
+	}
+	j.crash.Hit("journal.append.torn")
+	if _, err := j.f.Write(buf[half:]); err != nil {
+		return 0, fmt.Errorf("store journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return 0, fmt.Errorf("store journal: sync: %w", err)
+	}
+	j.seq = seq
+	return seq, nil
+}
+
+// rotate rewrites the journal keeping only records with seq >
+// keepAfter (normally none, right after a Save), atomically. The
+// caller must have quiesced appends.
+func (j *journal) rotate(keepAfter uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs, _, _, err := readJournal(j.path)
+	if err != nil {
+		// An unreadable journal at rotation time is replaced outright:
+		// the snapshot that triggered the rotation already covers every
+		// acknowledged operation.
+		recs = nil
+	}
+	var buf bytes.Buffer
+	buf.Write(journalMagic)
+	for _, r := range recs {
+		if r.Seq <= keepAfter {
+			continue
+		}
+		var hdr [journalHdrLen]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], r.Seq)
+		hdr[8] = byte(r.Type)
+		binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(r.Payload)))
+		binary.LittleEndian.PutUint32(hdr[13:17], colSum(r.Payload))
+		buf.Write(hdr[:])
+		buf.Write(r.Payload)
+	}
+	if err := writeFileAtomic(j.path, buf.Bytes()); err != nil {
+		return fmt.Errorf("store journal: rotate: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store journal: rotate: %w", err)
+	}
+	// The rotated content is already durable under the same name; the
+	// old descriptor's close result cannot affect it.
+	_ = j.f.Close()
+	j.f = f
+	return nil
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// readJournal reads and validates path. It returns the decoded records
+// of the longest valid prefix, the byte length of that prefix
+// (validLen — pass to openJournal so the tail is physically dropped),
+// and how many torn/corrupt tail bytes were discarded. A missing file
+// is an empty journal; a damaged header is ErrCorrupted (nothing after
+// it can be trusted).
+func readJournal(path string) (recs []journalRecord, validLen int64, torn int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, err
+	}
+	if len(raw) < len(journalMagic) || !bytes.Equal(raw[:len(journalMagic)], journalMagic) {
+		return nil, 0, 0, fmt.Errorf("%w: %s: bad journal header", ErrCorrupted, journalFile)
+	}
+	off := int64(len(journalMagic))
+	size := int64(len(raw))
+	var prevSeq uint64
+	for {
+		if size-off < journalHdrLen {
+			break // torn header (or clean end)
+		}
+		hdr := raw[off : off+journalHdrLen]
+		seq := binary.LittleEndian.Uint64(hdr[0:8])
+		typ := recType(hdr[8])
+		plen := int64(binary.LittleEndian.Uint32(hdr[9:13]))
+		want := binary.LittleEndian.Uint32(hdr[13:17])
+		if plen > maxJournalRecord || off+journalHdrLen+plen > size {
+			break // torn payload
+		}
+		payload := raw[off+journalHdrLen : off+journalHdrLen+plen]
+		if colSum(payload) != want {
+			break // corrupt record: discard it and everything after
+		}
+		if seq <= prevSeq || typ < recPut || typ > recRepairDone {
+			break // garbage that happens to checksum — not a valid record
+		}
+		recs = append(recs, journalRecord{Seq: seq, Type: typ, Payload: append([]byte(nil), payload...)})
+		prevSeq = seq
+		off += journalHdrLen + plen
+	}
+	return recs, off, size - off, nil
+}
+
+// removeJournal deletes the journal at path (used when a full snapshot
+// into a foreign directory supersedes whatever journal lived there).
+func removeJournal(path string) error {
+	err := os.Remove(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}

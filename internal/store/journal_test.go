@@ -1,0 +1,145 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), journalFile)
+}
+
+func appendRecords(t *testing.T, j *journal, n int) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for i := 0; i < n; i++ {
+		seq, err := j.append(recFailNodes, failRecord{Nodes: []int{i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+func TestJournalAppendReadRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, err := createJournal(path, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := appendRecords(t, j, 3)
+	if seqs[0] != 8 || seqs[2] != 10 {
+		t.Fatalf("sequences %v, want continuation from 7", seqs)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("clean journal reports %d torn bytes", torn)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != seqs[i] || r.Type != recFailNodes {
+			t.Fatalf("record %d: seq %d type %d", i, r.Seq, r.Type)
+		}
+		var fr failRecord
+		if err := r.decode(&fr); err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Nodes) != 1 || fr.Nodes[0] != i {
+			t.Fatalf("record %d payload %v", i, fr.Nodes)
+		}
+	}
+}
+
+// TestJournalTruncationSweep truncates the journal at every byte offset:
+// below the magic header the file is rejected as corrupt; at or past it,
+// readJournal returns the longest valid record prefix and counts the
+// rest as torn — never an error, never a panic, never a partial record.
+func TestJournalTruncationSweep(t *testing.T) {
+	path := journalPath(t)
+	j, err := createJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, j, 4)
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, _, _, err := readJournal(path)
+	if err != nil || len(whole) != 4 {
+		t.Fatalf("baseline read: %d records, %v", len(whole), err)
+	}
+	for off := 0; off < len(full); off++ {
+		if err := os.WriteFile(path, full[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, validLen, torn, err := readJournal(path)
+		if off < len(journalMagic) {
+			if err == nil {
+				t.Fatalf("offset %d: headerless journal accepted", off)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if validLen+torn != int64(off) {
+			t.Fatalf("offset %d: validLen %d + torn %d != size", off, validLen, torn)
+		}
+		for i, r := range recs {
+			if r.Seq != whole[i].Seq || r.Type != whole[i].Type {
+				t.Fatalf("offset %d: record %d is not a prefix of the original", off, i)
+			}
+		}
+		// Records past validLen must have been dropped whole: the prefix
+		// ends exactly on a record boundary of the original file.
+		if recs != nil && validLen > int64(off) {
+			t.Fatalf("offset %d: validLen %d beyond file size", off, validLen)
+		}
+	}
+}
+
+func TestJournalRotateKeepsSuffix(t *testing.T) {
+	path := journalPath(t)
+	j, err := createJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := appendRecords(t, j, 5)
+	if err := j.rotate(seqs[2]); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != seqs[3] || recs[1].Seq != seqs[4] {
+		t.Fatalf("rotate kept %d records (first seq %v), want the 2 past %d", len(recs), recs, seqs[2])
+	}
+	// Appends continue with monotonic sequences after rotation.
+	more := appendRecords(t, j, 1)
+	if more[0] != seqs[4]+1 {
+		t.Fatalf("post-rotate seq %d, want %d", more[0], seqs[4]+1)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _, err = readJournal(path)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("after post-rotate append: %d records, %v", len(recs), err)
+	}
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"time"
+
 	"approxcode/internal/gf256"
 	"approxcode/internal/obs"
 )
@@ -28,6 +30,14 @@ type storeMetrics struct {
 	writeAttempts *obs.Counter
 	readBytes     *obs.Counter
 	writeBytes    *obs.Counter
+
+	// Repair orchestrator progress (the queue gauge is set by the
+	// active run; counters accumulate across runs).
+	repairQueueDepth      *obs.Gauge
+	repairBytesImportant  *obs.Counter
+	repairBytesBestEffort *obs.Counter
+	repairCheckpoints     *obs.Counter
+	repairsResumed        *obs.Counter
 
 	// Per-operation latency histograms.
 	opPut        *obs.Histogram
@@ -60,6 +70,12 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		writeAttempts:    reg.Counter("store_node_write_attempts_total"),
 		readBytes:        reg.Counter("store_node_read_bytes_total"),
 		writeBytes:       reg.Counter("store_node_write_bytes_total"),
+
+		repairQueueDepth:      reg.Gauge("store_repair_queue_depth"),
+		repairBytesImportant:  reg.Counter("store_repair_bytes_important_total"),
+		repairBytesBestEffort: reg.Counter("store_repair_bytes_unimportant_total"),
+		repairCheckpoints:     reg.Counter("store_repair_checkpoints_total"),
+		repairsResumed:        reg.Counter("store_repairs_resumed_total"),
 		opPut:            reg.Histogram("store_put_seconds"),
 		opGet:            reg.Histogram("store_get_seconds"),
 		opGetSegment:     reg.Histogram("store_get_segment_seconds"),
@@ -97,6 +113,13 @@ func (s *Store) registerGauges() {
 	reg.GaugeFunc("store_down_nodes", func() int64 {
 		_, down := s.health.counts()
 		return int64(down)
+	})
+	reg.GaugeFunc("store_repair_checkpoint_age_seconds", func() int64 {
+		last := s.lastCkpt.Load()
+		if last == 0 {
+			return -1 // no checkpoint yet
+		}
+		return int64(time.Since(time.Unix(0, last)).Seconds())
 	})
 	reg.Info("gf256_active_kernel", gf256.Kernel)
 }

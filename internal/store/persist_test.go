@@ -7,6 +7,26 @@ import (
 	"testing"
 )
 
+// currentManifestPath / currentNodePath resolve the live generation's
+// file names (the layout is generation-numbered since the journal).
+func currentManifestPath(t *testing.T, dir string) string {
+	t.Helper()
+	gen, ok := currentGeneration(dir)
+	if !ok {
+		t.Fatalf("no live generation in %s", dir)
+	}
+	return manifestFileAt(dir, gen)
+}
+
+func currentNodePath(t *testing.T, dir string, i int) string {
+	t.Helper()
+	gen, ok := currentGeneration(dir)
+	if !ok {
+		t.Fatalf("no live generation in %s", dir)
+	}
+	return nodeFileAt(dir, i, gen)
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	segs := makeSegments(t, 30, 6, 21)
@@ -41,7 +61,7 @@ func TestLoadTreatsMissingNodeFileAsFailure(t *testing.T) {
 	}
 	// Delete one node file: a crashed disk.
 	victim := s.Code().DataNodeIndexes()[1]
-	if err := os.Remove(nodeFile(dir, victim)); err != nil {
+	if err := os.Remove(currentNodePath(t, dir, victim)); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := Load(dir)
@@ -77,7 +97,7 @@ func TestLoadTreatsMissingNodeFileAsFailure(t *testing.T) {
 
 func TestLoadCorruptManifest(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("garbage"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, legacyManifestFile), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {
@@ -128,7 +148,7 @@ func TestLoadRejectsTruncatedNodeFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	victim := s.Code().DataNodeIndexes()[0]
-	corruptFile(t, nodeFile(dir, victim), func(b []byte) []byte { return b[:len(b)/2] })
+	corruptFile(t, currentNodePath(t, dir, victim), func(b []byte) []byte { return b[:len(b)/2] })
 	if _, err := Load(dir); !errors.Is(err, ErrCorrupted) {
 		t.Fatalf("truncated node file: got %v, want ErrCorrupted", err)
 	}
@@ -158,7 +178,7 @@ func TestLoadRejectsBitFlippedNodeFile(t *testing.T) {
 	victim := s.Code().DataNodeIndexes()[2]
 	// Flip a byte deep inside the gob payload: without the envelope
 	// checksum this could decode into silently wrong column bytes.
-	corruptFile(t, nodeFile(dir, victim), func(b []byte) []byte {
+	corruptFile(t, currentNodePath(t, dir, victim), func(b []byte) []byte {
 		b[len(b)/2] ^= 0x01
 		return b
 	})
@@ -186,7 +206,7 @@ func TestLoadRejectsTruncatedManifest(t *testing.T) {
 	if err := s.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	corruptFile(t, filepath.Join(dir, manifestFile), func(b []byte) []byte { return b[:len(b)-7] })
+	corruptFile(t, currentManifestPath(t, dir), func(b []byte) []byte { return b[:len(b)-7] })
 	if _, err := Load(dir); !errors.Is(err, ErrCorrupted) {
 		t.Fatalf("truncated manifest: got %v, want ErrCorrupted", err)
 	}

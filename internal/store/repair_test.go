@@ -1,0 +1,387 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"approxcode/internal/chaos"
+)
+
+// tierSegments builds a workload whose stripes split cleanly into
+// repair tiers: two small important segments (stripe 0's important
+// sub-blocks) plus enough unimportant ones to spill into a second
+// stripe that carries no important extents at all.
+func tierSegments(t *testing.T, seed int64) []Segment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var segs []Segment
+	id := 0
+	for i := 0; i < 2; i++ {
+		data := make([]byte, 200)
+		rng.Read(data)
+		segs = append(segs, Segment{ID: id, Important: true, Data: data})
+		id++
+	}
+	for i := 0; i < 24; i++ {
+		data := make([]byte, 400)
+		rng.Read(data)
+		segs = append(segs, Segment{ID: id, Important: false, Data: data})
+		id++
+	}
+	return segs
+}
+
+// openDurableWith opens a journaled store in a temp dir and puts
+// objects "v0".."vN-1" of tierSegments workloads.
+func openDurableWith(t *testing.T, objects int, seed int64, cfg Config) (*Store, string, [][]Segment) {
+	t.Helper()
+	dir := t.TempDir()
+	s, _, err := OpenDurable(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	var all [][]Segment
+	for i := 0; i < objects; i++ {
+		segs := tierSegments(t, seed+int64(i))
+		if err := s.Put(objName(i), segs); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, segs)
+	}
+	return s, dir, all
+}
+
+func objName(i int) string { return fmt.Sprintf("v%d", i) }
+
+// failMixedTierNodes fails one data node holding important extents
+// (local stripe 0 under the Uneven structure) and one holding only
+// unimportant ones, so the repair queue spans both tiers.
+func failMixedTierNodes(t *testing.T, s *Store) []int {
+	t.Helper()
+	data := s.code.DataNodeIndexes()
+	victims := []int{data[0], data[s.code.Params().K]}
+	if err := s.FailNodes(victims...); err != nil {
+		t.Fatal(err)
+	}
+	return victims
+}
+
+// checkpointTiers reads the journal and maps every repair checkpoint
+// record to its stripe's tier, in durable commit order.
+func checkpointTiers(t *testing.T, s *Store, dir string, failed []int) []int {
+	t.Helper()
+	recs, _, _, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tiers []int
+	for _, r := range recs {
+		if r.Type != recRepairStripe {
+			continue
+		}
+		var sr repairStripeRecord
+		if err := r.decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		s.mu.RLock()
+		obj := s.objects[sr.Object]
+		s.mu.RUnlock()
+		if obj == nil {
+			t.Fatalf("checkpoint for unknown object %q", sr.Object)
+		}
+		important := make(map[int]bool, len(obj.segments))
+		for _, seg := range obj.segments {
+			important[seg.ID] = seg.Important
+		}
+		tiers = append(tiers, s.stripeTier(obj, sr.Stripe, failed, important))
+	}
+	return tiers
+}
+
+// assertTierBarrier fails if an important-tier stripe was committed
+// after any best-effort stripe in the sequence.
+func assertTierBarrier(t *testing.T, tiers []int, label string) {
+	t.Helper()
+	seenTier1 := false
+	for i, tr := range tiers {
+		if tr == 1 {
+			seenTier1 = true
+		} else if seenTier1 {
+			t.Fatalf("%s: important stripe committed at position %d after a best-effort stripe: %v", label, i, tiers)
+		}
+	}
+}
+
+func checkAllObjects(t *testing.T, s *Store, all [][]Segment) {
+	t.Helper()
+	for i, segs := range all {
+		got, rep, err := s.Get(objName(i))
+		if err != nil || len(rep.LostSegments) != 0 {
+			t.Fatalf("get %s: %v %+v", objName(i), err, rep)
+		}
+		checkSegments(t, got, segs, nil)
+	}
+}
+
+// TestRepairPriorityOrdering: the journal's checkpoint commit order
+// proves the tier barrier — every important-tier stripe is durably
+// committed before the first best-effort stripe.
+func TestRepairPriorityOrdering(t *testing.T) {
+	s, dir, all := openDurableWith(t, 2, 51, testConfig())
+	failed := failMixedTierNodes(t, s)
+	rep, err := s.RepairAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StripesRepaired == 0 || rep.Aborted {
+		t.Fatalf("repair did not run to completion: %+v", rep)
+	}
+	tiers := checkpointTiers(t, s, dir, failed)
+	if len(tiers) != rep.StripesRepaired {
+		t.Fatalf("%d checkpoints for %d repaired stripes", len(tiers), rep.StripesRepaired)
+	}
+	n0 := 0
+	for _, tr := range tiers {
+		if tr == 0 {
+			n0++
+		}
+	}
+	if n0 == 0 || n0 == len(tiers) {
+		t.Fatalf("workload produced a single tier (%d/%d important) — ordering untested", n0, len(tiers))
+	}
+	assertTierBarrier(t, tiers, "full run")
+	if len(s.FailedNodes()) != 0 {
+		t.Fatalf("failed nodes after repair: %v", s.FailedNodes())
+	}
+	checkAllObjects(t, s, all)
+}
+
+// TestRepairResumeFromCheckpoint: kill the repair mid-run, recover,
+// and resume. Recovery detects the interrupted run and its checkpointed
+// stripes; the resumed run skips exactly those, keeps the tier barrier
+// for the remainder, and finishes the rebuild byte-exactly.
+func TestRepairResumeFromCheckpoint(t *testing.T) {
+	crasher := chaos.NewCrasher()
+	cfg := testConfig()
+	cfg.Crasher = crasher
+	cfg.RepairWorkers = 1 // deterministic checkpoint count before the kill
+	s, dir, all := openDurableWith(t, 2, 61, cfg)
+	failMixedTierNodes(t, s)
+
+	const killAt = 3 // third checkpoint attempt dies => two durable checkpoints
+	crasher.Arm("repair.before-checkpoint", killAt)
+	ce := crasher.Run(func() {
+		if _, err := s.RepairAll(); err != nil {
+			t.Errorf("repair returned instead of crashing: %v", err)
+		}
+	})
+	if ce == nil {
+		t.Fatal("repair was not killed")
+	}
+	crasher.Disarm()
+
+	rs, rrep, err := Recover(dir, LoadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if !rrep.RepairPending {
+		t.Fatalf("interrupted repair not detected: %+v", rrep)
+	}
+	if rrep.RepairCheckpointedStripes != killAt-1 {
+		t.Fatalf("checkpointed stripes %d, want %d", rrep.RepairCheckpointedStripes, killAt-1)
+	}
+	failed := rs.FailedNodes()
+	if len(failed) == 0 {
+		t.Fatal("nodes unfailed without a repair-done record")
+	}
+
+	r, err := rs.StartRepair(RepairOptions{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StripesResumed != killAt-1 {
+		t.Fatalf("resumed run skipped %d stripes, want %d", rep.StripesResumed, killAt-1)
+	}
+	if got := rs.metrics.repairsResumed.Value(); got != 1 {
+		t.Fatalf("store_repairs_resumed_total = %d, want 1", got)
+	}
+	if len(rs.FailedNodes()) != 0 {
+		t.Fatalf("failed nodes after resumed repair: %v", rs.FailedNodes())
+	}
+	// The tier barrier holds per run: the resumed run's checkpoint
+	// suffix must again front-load whatever important stripes remain.
+	tiers := checkpointTiers(t, rs, dir, failed)
+	if len(tiers) != (killAt-1)+rep.StripesRepaired {
+		t.Fatalf("journal holds %d checkpoints, want %d", len(tiers), (killAt-1)+rep.StripesRepaired)
+	}
+	assertTierBarrier(t, tiers[killAt-1:], "resumed run")
+	checkAllObjects(t, rs, all)
+}
+
+// TestRepairPauseAbortResume exercises the run-control surface on one
+// throttled run: Pause stalls the queue without releasing the repair
+// slot, Abort stops it with progress parked, and a Resume run skips the
+// aborted run's checkpointed stripes and finishes the job.
+func TestRepairPauseAbortResume(t *testing.T) {
+	cfg := testConfig()
+	s, _, all := openDurableWith(t, 2, 71, cfg)
+	failMixedTierNodes(t, s)
+
+	// Each stripe writes back 2 failed columns of NodeSize bytes
+	// (3072 B); a 2048 B/s budget forces ~0.5 s of debt before the very
+	// first checkpoint, giving Pause a wide window to land in.
+	r, err := s.StartRepair(RepairOptions{Workers: 1, MaxBytesPerSec: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Pause()
+	if !r.Progress().Paused {
+		t.Fatal("progress does not report paused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Progress().Total == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never queued its jobs")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p := r.Progress()
+	if p.Done >= p.Total {
+		t.Fatalf("paused run drained its queue: %+v", p)
+	}
+	if _, err := s.StartRepair(RepairOptions{}); err != ErrRepairActive {
+		t.Fatalf("second StartRepair: %v, want ErrRepairActive", err)
+	}
+	r.Abort()
+	rep, err := r.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Aborted {
+		t.Fatalf("abort not reported: %+v", rep)
+	}
+	if len(s.FailedNodes()) == 0 {
+		t.Fatal("aborted run unfailed the nodes")
+	}
+
+	r2, err := s.StartRepair(RepairOptions{Resume: true})
+	if err != nil {
+		t.Fatalf("repair slot not released after abort: %v", err)
+	}
+	rep2, err := r2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Aborted {
+		t.Fatalf("resumed run aborted: %+v", rep2)
+	}
+	if rep2.StripesResumed != rep.StripesRepaired {
+		t.Fatalf("resumed run skipped %d stripes, aborted run checkpointed %d",
+			rep2.StripesResumed, rep.StripesRepaired)
+	}
+	if len(s.FailedNodes()) != 0 {
+		t.Fatalf("failed nodes after resumed repair: %v", s.FailedNodes())
+	}
+	checkAllObjects(t, s, all)
+}
+
+// TestRepairBandwidthBudget: a budget of half the measured write-back
+// volume must stretch the run past its one-second burst allowance.
+func TestRepairBandwidthBudget(t *testing.T) {
+	cfg := testConfig()
+	s, _, all := openDurableWith(t, 2, 91, cfg)
+	victims := failMixedTierNodes(t, s)
+	r, err := s.StartRepair(RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	volume := r.Progress().BytesRepaired
+	if volume == 0 {
+		t.Fatal("unthrottled run reports zero bytes repaired")
+	}
+
+	if err := s.FailNodes(victims...); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.StartRepair(RepairOptions{MaxBytesPerSec: volume / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := r2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// volume/2 burst + volume/2 debt at volume/2 per second ~= 1 s; the
+	// bound is loose so scheduler jitter cannot flake it.
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond {
+		t.Fatalf("throttled repair of %d bytes finished in %v — token bucket inactive", volume, elapsed)
+	}
+	if rep.StripesRepaired == 0 || len(s.FailedNodes()) != 0 {
+		t.Fatalf("throttled repair incomplete: %+v failed=%v", rep, s.FailedNodes())
+	}
+	checkAllObjects(t, s, all)
+}
+
+// TestScrubRacesRepairOrchestrator runs Scrub concurrently with the
+// orchestrator (meant for -race): both traverse the same columns and
+// checksum tables and must interleave safely.
+func TestScrubRacesRepairOrchestrator(t *testing.T) {
+	cfg := testConfig()
+	s, _, all := openDurableWith(t, 3, 95, cfg)
+	// Corrupt a surviving column (scrub's business) and fail nodes
+	// (repair's business).
+	if err := s.CorruptByte(objName(0), 0, s.code.DataNodeIndexes()[2], 7); err != nil {
+		t.Fatal(err)
+	}
+	failMixedTierNodes(t, s)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r, err := s.StartRepair(RepairOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := r.Wait(); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := s.Scrub(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// A final repair + scrub pass mops up anything the two healed past
+	// each other; everything must then read back exactly.
+	if _, err := s.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	checkAllObjects(t, s, all)
+}

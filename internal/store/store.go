@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
@@ -64,6 +65,10 @@ type Config struct {
 	// are plain atomics) but latency histograms and spans stay off, so
 	// the hot paths pay one atomic load for them.
 	Obs *obs.Registry
+	// Crasher, when set, threads named crash points through the store's
+	// write and persistence paths (see chaos.Crasher): an armed crasher
+	// simulates a kill -9 at the selected point. Nil disables them.
+	Crasher *chaos.Crasher
 }
 
 // Store is a concurrent approximate storage layer. All exported methods
@@ -89,6 +94,36 @@ type Store struct {
 	// whole duration (UpdateSegment): writers of the fail set take the
 	// write lock, update holds the read lock across check + swap.
 	failMu sync.RWMutex
+
+	// quiesce fences mutating operations against Save: each mutation
+	// holds the read lock across its journal-append + apply (making
+	// them one unit), Save holds the write lock so its snapshot agrees
+	// exactly with the journal sequence it records. Lock order:
+	// quiesce before failMu before mu before node.mu.
+	quiesce sync.RWMutex
+
+	// Durability state (nil/zero for a purely in-memory store): the
+	// attached write-ahead journal, its directory, the live snapshot
+	// generation, and the last journal sequence restored by a load
+	// (the journal's own counter takes over once attached).
+	jn  *journal
+	dir string
+	gen uint64
+	seq uint64
+	// replaying is set while journal replay applies records to a
+	// freshly loaded store; it gates both crash points and journal
+	// appends (replay must neither re-crash nor re-journal).
+	replaying bool
+	// pending carries an interrupted repair run found in the journal,
+	// for StartRepair's resume mode.
+	pending *pendingRepair
+	// repairMu serializes repair runs; repairing marks one active.
+	repairMu  sync.Mutex
+	repairing bool
+	// lastCkpt is the unix-nano time of the newest repair checkpoint
+	// (feeds the checkpoint-age gauge).
+	lastCkpt atomic.Int64
+	crasher  *chaos.Crasher
 
 	mu      sync.RWMutex
 	nodes   []*node
@@ -134,7 +169,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.RepairWorkers <= 0 {
 		cfg.RepairWorkers = runtime.GOMAXPROCS(0)
 	}
-	s := &Store{cfg: cfg, code: code, objects: make(map[string]*object)}
+	s := &Store{cfg: cfg, code: code, objects: make(map[string]*object), crasher: cfg.Crasher}
 	s.metrics = newStoreMetrics(cfg.Obs)
 	code.Instrument(s.metrics.reg)
 	s.retry = cfg.Retry.withDefaults()
@@ -156,6 +191,44 @@ func Open(cfg Config) (*Store, error) {
 	s.registerGauges()
 	return s, nil
 }
+
+// crash passes through the named crash point (a no-op unless a
+// chaos.Crasher is configured and armed). Crash points are suppressed
+// during journal replay: recovery must not re-die at the point that
+// killed the original run.
+func (s *Store) crash(point string) {
+	if s.replaying {
+		return
+	}
+	s.crasher.Hit(point)
+}
+
+// journalAppend makes a mutation durable before it is applied. With no
+// journal attached (purely in-memory store) or during replay it is a
+// no-op. Callers hold quiesce.RLock so the append and the apply are one
+// unit relative to Save.
+func (s *Store) journalAppend(t recType, payload any) error {
+	if s.jn == nil || s.replaying {
+		return nil
+	}
+	if _, err := s.jn.append(t, payload); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// lastSeq is the last durable journal sequence (the attached journal's
+// counter, or the sequence restored by load for a detached store).
+func (s *Store) lastSeq() uint64 {
+	if s.jn != nil {
+		return s.jn.lastSeq()
+	}
+	return s.seq
+}
+
+// Close releases the journal handle, if any. The store itself is
+// in-memory and needs no other teardown.
+func (s *Store) Close() error { return s.jn.close() }
 
 // nodeFailed reports the node's crash flag.
 func (s *Store) nodeFailed(i int) bool {
@@ -342,9 +415,20 @@ func interleavedPlacement(segs []Segment, mkSlots func(bool) []slotCursor, sub i
 	return extents, stripes
 }
 
+// preparedPut is a fully encoded object waiting to be committed.
+type preparedPut struct {
+	extents []extent
+	stripes int
+	cols    [][][]byte
+	meta    []Segment
+}
+
 // Put ingests the segments as a new object: plans placement, packs the
 // data node columns, encodes every global stripe on the parallel encode
-// pool, and stores the columns on the (healthy) nodes.
+// pool, journals the operation (when the store is durable), and stores
+// the columns on the (healthy) nodes. Put returns only after the
+// journal record is synced, so an acknowledged Put survives a crash at
+// any later point.
 func (s *Store) Put(name string, segs []Segment) error {
 	defer s.metrics.opPut.Start().Stop()
 	sp := s.metrics.reg.StartSpan("store.Put")
@@ -370,9 +454,56 @@ func (s *Store) Put(name string, segs []Segment) error {
 	// Reserve the name while encoding happens outside the lock.
 	s.objects[name] = nil
 	s.mu.Unlock()
+	unreserve := func() {
+		s.mu.Lock()
+		delete(s.objects, name)
+		s.mu.Unlock()
+	}
+	pp, err := s.preparePut(segs)
+	if err != nil {
+		unreserve()
+		return err
+	}
+	// Journal + apply are one unit relative to Save's quiesce fence;
+	// the journal record carries the raw segments, so replay re-derives
+	// the identical placement and encoding.
+	s.quiesce.RLock()
+	defer s.quiesce.RUnlock()
+	s.crash("put.before-journal")
+	if err := s.journalAppend(recPut, putRecord{Name: name, Segments: segs}); err != nil {
+		unreserve()
+		return err
+	}
+	s.crash("put.after-journal")
+	s.commitPut(name, pp)
+	return nil
+}
 
+// applyPut is Put without metrics, journaling, or crash points — the
+// journal replay path.
+func (s *Store) applyPut(name string, segs []Segment) error {
+	s.mu.Lock()
+	if _, ok := s.objects[name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s.objects[name] = nil
+	s.mu.Unlock()
+	pp, err := s.preparePut(segs)
+	if err != nil {
+		s.mu.Lock()
+		delete(s.objects, name)
+		s.mu.Unlock()
+		return err
+	}
+	s.commitPut(name, pp)
+	return nil
+}
+
+// preparePut plans placement, packs the data columns, and encodes every
+// stripe — pure computation, no store mutation.
+func (s *Store) preparePut(segs []Segment) (*preparedPut, error) {
 	extents, stripes := s.placement(segs)
-	// Pack data columns.
 	cols := make([][][]byte, stripes)
 	for st := range cols {
 		cols[st] = make([][]byte, s.code.TotalShards())
@@ -391,19 +522,26 @@ func (s *Store) Put(name string, segs []Segment) error {
 		copy(cols[e.stripe][e.node][e.row*sub+e.off:], src)
 		offsets[e.seg] += e.length
 	}
-	// Parallel encode.
 	if err := s.encodeStripes(cols); err != nil {
-		s.mu.Lock()
-		delete(s.objects, name)
-		s.mu.Unlock()
-		return err
+		return nil, err
 	}
-	// Checksum every column from the intended bytes (so a rebuilt
-	// column must reproduce them exactly), then store on healthy nodes
-	// through the I/O stack. A write that keeps failing is dropped —
-	// the column becomes an erasure that repair or scrub heals later.
-	sums := make([][]uint32, stripes)
-	for st, stripe := range cols {
+	// Keep segment metadata only; payload bytes live on the nodes and
+	// segment sizes are implied by the extents.
+	meta := make([]Segment, len(segs))
+	for i, seg := range segs {
+		meta[i] = Segment{ID: seg.ID, Important: seg.Important}
+	}
+	return &preparedPut{extents: extents, stripes: stripes, cols: cols, meta: meta}, nil
+}
+
+// commitPut writes the prepared columns to the (healthy) nodes and
+// publishes the object. Checksums come from the intended bytes (so a
+// rebuilt column must reproduce them exactly); a write that keeps
+// failing is dropped — the column becomes an erasure that repair or
+// scrub heals later.
+func (s *Store) commitPut(name string, pp *preparedPut) {
+	sums := make([][]uint32, pp.stripes)
+	for st, stripe := range pp.cols {
 		sums[st] = make([]uint32, len(stripe))
 		for ni, col := range stripe {
 			sums[st][ni] = colSum(col)
@@ -412,18 +550,14 @@ func (s *Store) Put(name string, segs []Segment) error {
 			}
 			_ = s.writeColumn(ni, name, st, col)
 		}
+		if st == 0 {
+			s.crash("put.mid-write")
+		}
 	}
-	// Keep segment metadata only; payload bytes live on the nodes and
-	// segment sizes are implied by the extents.
-	meta := make([]Segment, len(segs))
-	for i, seg := range segs {
-		meta[i] = Segment{ID: seg.ID, Important: seg.Important}
-	}
-	obj := &object{name: name, segments: meta, extents: extents, stripes: stripes, sums: sums}
+	obj := &object{name: name, segments: pp.meta, extents: pp.extents, stripes: pp.stripes, sums: sums}
 	s.mu.Lock()
 	s.objects[name] = obj
 	s.mu.Unlock()
-	return nil
 }
 
 // encodeStripes runs Encode over every stripe with a bounded worker
@@ -611,24 +745,41 @@ func (s *Store) GetSegment(name string, id int) (Segment, error) {
 }
 
 // FailNodes marks nodes as failed, dropping their contents (a crash).
+// On a durable store the transition is journaled first, so the failure
+// set survives a crash and repair never resurrects wiped data.
 func (s *Store) FailNodes(ids ...int) error {
 	for _, id := range ids {
 		if id < 0 || id >= len(s.nodes) {
 			return fmt.Errorf("%w: node %d out of range", ErrInvalid, id)
 		}
 	}
+	s.quiesce.RLock()
+	defer s.quiesce.RUnlock()
+	s.crash("fail.before-journal")
+	if err := s.journalAppend(recFailNodes, failRecord{Nodes: ids}); err != nil {
+		return err
+	}
+	s.crash("fail.after-journal")
+	s.applyFailNodes(ids)
+	return nil
+}
+
+// applyFailNodes performs the wipe (also the journal replay path).
+func (s *Store) applyFailNodes(ids []int) {
 	// Exclude in-flight UpdateSegment calls: their healthy-stripe check
 	// must stay valid until their copy-on-write swap has landed.
 	s.failMu.Lock()
 	defer s.failMu.Unlock()
 	for _, id := range ids {
+		if id < 0 || id >= len(s.nodes) {
+			continue
+		}
 		nd := s.nodes[id]
 		nd.mu.Lock()
 		nd.failed = true
 		nd.columns = make(map[string][][]byte)
 		nd.mu.Unlock()
 	}
-	return nil
 }
 
 // FailedNodes lists the currently failed node indexes.
@@ -642,178 +793,6 @@ func (s *Store) FailedNodes() []int {
 		nd.mu.RUnlock()
 	}
 	return out
-}
-
-// RepairReport summarizes a repair pass.
-type RepairReport struct {
-	// StripesRepaired counts (object, stripe) pairs processed.
-	StripesRepaired int
-	// StripesSkipped counts stripes left untouched because they could
-	// not be reconstructed during this pass (e.g. a node failed while
-	// the repair was running); a later pass retries them.
-	StripesSkipped int
-	// ShardsHealed counts columns written back: rebuilt crash losses,
-	// checksum-demoted columns, and re-encoded parity.
-	ShardsHealed int
-	// BytesRebuilt counts bytes written to replacement nodes.
-	BytesRebuilt int64
-	// LostSegments maps object name -> segment IDs with unrecoverable
-	// bytes (zero-filled on the replacement).
-	LostSegments map[string][]int
-}
-
-// RepairAll rebuilds every failed node's contents onto fresh replacement
-// nodes (same indexes) using the parallel repair pool, then marks the
-// nodes healthy. Nodes the health state machine declared failed are
-// folded in (their possibly-corrupt contents are dropped first), and
-// checksum-demoted columns on surviving nodes are healed along the way.
-// Unimportant data beyond the code's tolerance is zero-filled and
-// reported per segment.
-func (s *Store) RepairAll() (*RepairReport, error) {
-	defer s.metrics.opRepair.Start().Stop()
-	sp := s.metrics.reg.StartSpan("store.RepairAll")
-	rep := &RepairReport{LostSegments: make(map[string][]int)}
-	defer func() {
-		sp.End(obs.A("stripes_repaired", rep.StripesRepaired), obs.A("stripes_skipped", rep.StripesSkipped),
-			obs.A("shards_healed", rep.ShardsHealed), obs.A("bytes_rebuilt", rep.BytesRebuilt))
-	}()
-	// Health-failed nodes are rebuilt like crashed ones: wipe whatever
-	// they hold (it is untrustworthy) and reconstruct from survivors.
-	if hf := s.health.failedNodes(); len(hf) > 0 {
-		if err := s.FailNodes(hf...); err != nil {
-			return nil, err
-		}
-	}
-	failed := s.FailedNodes()
-	s.mu.RLock()
-	type job struct {
-		obj    *object
-		stripe int
-	}
-	var jobs []job
-	for _, obj := range s.objects {
-		if obj == nil {
-			continue
-		}
-		for st := 0; st < obj.stripes; st++ {
-			jobs = append(jobs, job{obj: obj, stripe: st})
-		}
-	}
-	s.mu.RUnlock()
-	if len(jobs) == 0 || len(failed) == 0 {
-		// Nothing stored or nothing crashed; there may still be
-		// checksum-demoted columns, but those are scrub's business.
-		for _, ni := range failed {
-			s.unfailNode(ni)
-		}
-		return rep, nil
-	}
-
-	var mu sync.Mutex // guards rep and writeFailed
-	writeFailed := make(map[int]bool)
-	workers := s.cfg.RepairWorkers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	jobCh := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				cols, demoted := s.readStripe(j.obj, j.stripe)
-				r, err := s.code.ReconstructReport(cols, core.Options{})
-				if err != nil {
-					// Unreconstructable right now — typically a node
-					// failed mid-repair. Skip rather than abort: the
-					// stripe stays degraded and a later pass retries.
-					mu.Lock()
-					rep.StripesSkipped++
-					mu.Unlock()
-					continue
-				}
-				// When unimportant data is abandoned (zero-filled), the
-				// surviving parity still encodes the lost bytes. Accept
-				// the loss by recomputing every parity column against the
-				// post-loss data so the stripe is self-consistent. Fresh
-				// buffers are used so concurrent readers of the old
-				// columns stay consistent; the swap below is per-node
-				// atomic under its lock.
-				reencoded := map[int][]byte{}
-				if len(r.Lost) > 0 {
-					fresh := make([][]byte, len(cols))
-					for ni, c := range cols {
-						if s.code.Role(ni) == core.RoleData {
-							fresh[ni] = c
-						}
-					}
-					if err := s.code.Encode(fresh); err != nil {
-						mu.Lock()
-						rep.StripesSkipped++
-						mu.Unlock()
-						continue
-					}
-					for ni := range cols {
-						if s.code.Role(ni) != core.RoleData {
-							reencoded[ni] = fresh[ni]
-						}
-					}
-				}
-				// Write rebuilt, healed, and re-encoded columns back.
-				demotedSet := make(map[int]bool, len(demoted))
-				for _, ni := range demoted {
-					demotedSet[ni] = true
-				}
-				sums := make(map[int]uint32)
-				healed := 0
-				for ni := range s.nodes {
-					col := cols[ni]
-					if p, ok := reencoded[ni]; ok {
-						col = p
-					} else if !isFailedIdx(failed, ni) && !demotedSet[ni] {
-						continue // surviving clean data column, untouched
-					}
-					if col == nil {
-						continue
-					}
-					if err := s.writeColumn(ni, j.obj.name, j.stripe, col); err != nil {
-						mu.Lock()
-						writeFailed[ni] = true
-						mu.Unlock()
-						continue
-					}
-					sums[ni] = colSum(col)
-					healed++
-				}
-				s.setSums(j.obj, j.stripe, sums)
-				s.metrics.shardsHealed.Add(int64(healed))
-				mu.Lock()
-				rep.StripesRepaired++
-				rep.ShardsHealed += healed
-				rep.BytesRebuilt += r.BytesRebuilt
-				if len(r.Lost) > 0 {
-					lostSegs := segmentsTouching(j.obj, j.stripe, r.Lost)
-					rep.LostSegments[j.obj.name] = mergeSorted(rep.LostSegments[j.obj.name], lostSegs)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	// Bring repaired nodes back. A node whose write-backs kept failing
-	// stays failed (its rebuild is incomplete); the next pass retries.
-	for _, ni := range failed {
-		if writeFailed[ni] {
-			continue
-		}
-		s.unfailNode(ni)
-	}
-	return rep, nil
 }
 
 // unfailNode clears a node's crash flag and health history (it has just
@@ -946,6 +925,9 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 					}
 					// Write the healed columns back in place (skipping
 					// nodes that crashed meanwhile — repair's job).
+					// The quiesce fence keeps the write-back and its
+					// checksum publication inside one Save snapshot.
+					s.quiesce.RLock()
 					sums := make(map[int]uint32)
 					for _, ni := range demoted {
 						if cols[ni] == nil || s.nodeFailed(ni) {
@@ -957,6 +939,7 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 						sums[ni] = colSum(cols[ni])
 					}
 					s.setSums(j.obj, j.stripe, sums)
+					s.quiesce.RUnlock()
 					s.metrics.shardsHealed.Add(int64(len(sums)))
 					mu.Lock()
 					rep.Healed += len(sums)

@@ -17,10 +17,30 @@ import (
 //
 // Updates require a fully healthy stripe set; repair first if nodes are
 // failed.
+//
+// On a durable store the update (name, segment, new bytes) is journaled
+// and synced before the first column write, so an acknowledged update
+// survives a crash mid-swap: recovery replays it and re-derives the
+// same incremental parity update.
 func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
 	defer s.metrics.opUpdate.Start().Stop()
 	sp := s.metrics.reg.StartSpan("store.UpdateSegment")
 	defer func() { sp.End(obs.A("object", name), obs.A("segment", id)) }()
+	s.quiesce.RLock()
+	defer s.quiesce.RUnlock()
+	s.crash("update.before-journal")
+	if err := s.journalAppend(recUpdate, updateRecord{Name: name, ID: id, Data: newData}); err != nil {
+		return err
+	}
+	s.crash("update.after-journal")
+	return s.applyUpdate(name, id, newData)
+}
+
+// applyUpdate performs the update (also the journal replay path). A
+// replayed update that fails — e.g. against nodes that failed later in
+// the journal — reproduces the original call's outcome, including any
+// partial stripe writes it had completed.
+func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 	s.mu.RLock()
 	obj, ok := s.objects[name]
 	s.mu.RUnlock()
@@ -131,6 +151,7 @@ func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
 			sums[i] = colSum(cols[i])
 		}
 		s.setSums(obj, st, sums)
+		s.crash("update.mid-write")
 	}
 	return nil
 }
