@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2")
+	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6")
 	shardFlag   = flag.Int("shard", 256*1024, "approximate per-node shard bytes for timing experiments")
 	itersFlag   = flag.Int("iters", 3, "timed iterations per measurement")
 	sizeFlag    = flag.Int("size", 256<<20, "simulated node bytes for the recovery experiment")
@@ -33,6 +33,7 @@ var (
 	kFlag       = flag.Int("k", 5, "data nodes for single-k experiments (table2, fig12, fig13)")
 	pr1Flag     = flag.String("pr1", "BENCH_PR1.json", "output path for the pr1 serial-vs-parallel report")
 	pr2Flag     = flag.String("pr2", "BENCH_PR2.json", "output path for the pr2 SIMD/plan-cache report")
+	pr6Flag     = flag.String("pr6", "BENCH_PR6.json", "output path for the pr6 concurrent load-generator report")
 	metricsFlag = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9090)")
 	traceFlag   = flag.Bool("trace", false, "stream one span line per experiment to stderr")
 )
@@ -83,6 +84,7 @@ func main() {
 		"headline":    func(bench.TimingConfig) error { return runHeadline() },
 		"pr1":         runPR1,
 		"pr2":         runPR2,
+		"pr6":         runPR6,
 	}
 	for name, run := range runners {
 		runners[name] = instrumented(name, run)
@@ -389,6 +391,40 @@ func runPR2(tc bench.TimingConfig) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *pr2Flag)
+	return nil
+}
+
+func runPR6(tc bench.TimingConfig) error {
+	section(fmt.Sprintf("PR6: concurrent load generator (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	rep, err := bench.RunPR6(tc)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "workload\tmode\tclients\tops\tshed\tops/s\tp50 µs\tp99 µs\tp99.9 µs")
+	for _, wl := range rep.Workloads {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			wl.Name, wl.Mode, wl.Clients, wl.Ops, wl.Overloaded, wl.OpsPerSec,
+			wl.P50Micros, wl.P99Micros, wl.P999Micros)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	gc := rep.GroupCommit
+	fmt.Printf("group commit @ %d writers: %.0f puts/s (%d batches / %d records) vs per-op fsync %.0f puts/s (%d batches): %.2fx\n",
+		gc.Writers, gc.GroupOpsPerSec, gc.GroupBatches, gc.GroupRecords,
+		gc.PerOpOpsPerSec, gc.PerOpBatches, gc.Speedup)
+	fmt.Printf("p99 Get under 1k-client open-loop mixed load: %.0f µs\n", rep.P99GetMicros)
+	fmt.Println(rep.Note)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*pr6Flag, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *pr6Flag)
 	return nil
 }
 

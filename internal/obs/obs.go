@@ -110,6 +110,47 @@ func (HistogramSnapshot) Bound(i int) time.Duration {
 	return time.Microsecond << i
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// latencies by linear interpolation within the covering log2 bucket.
+// With power-of-two bucket bounds the estimate is conservative — at
+// most one bucket width above the true value. Returns 0 for an empty
+// snapshot; samples landing in the +Inf bucket report the last finite
+// bound (the histogram cannot resolve beyond it).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		hi := s.Bound(i)
+		if hi < 0 {
+			return s.Bound(histBuckets - 2)
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Bound(i - 1)
+		}
+		// Interpolate the rank's position within this bucket's count.
+		frac := float64(rank-(cum-n)) / float64(n)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return s.Bound(histBuckets - 2)
+}
+
 // Histogram is a log2-bucketed latency histogram. Observations are
 // dropped while the owning registry is disabled, so the disabled-path
 // cost is a single atomic load (and no time.Now call when used through

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"approxcode/internal/obs"
+)
+
+// limiter is the store's admission controller: a semaphore over
+// foreground operations (Put/Get/GetSegment/UpdateSegment) that bounds
+// how many run at once. An op that cannot get a slot waits up to
+// AdmitWait and then fails fast with ErrOverloaded — backpressure the
+// caller can see and act on (shed, queue, or retry with its own
+// policy) instead of a goroutine pile-up that takes the process down.
+// Background maintenance (Scrub, repair) is deliberately not admitted
+// here; it has its own worker bounds and rate limits.
+//
+// A nil *limiter admits everything (admission control off).
+type limiter struct {
+	slots chan struct{}
+	wait  time.Duration
+
+	inflight *obs.Gauge   // ops currently admitted
+	waiting  *obs.Gauge   // ops queued for a slot
+	rejected *obs.Counter // ops failed with ErrOverloaded
+}
+
+// newLimiter builds the admission controller; max <= 0 disables it.
+func newLimiter(max int, wait time.Duration, m *storeMetrics) *limiter {
+	if max <= 0 {
+		return nil
+	}
+	if wait == 0 {
+		wait = 2 * time.Millisecond
+	} else if wait < 0 {
+		wait = 0
+	}
+	return &limiter{
+		slots:    make(chan struct{}, max),
+		wait:     wait,
+		inflight: m.inflight,
+		waiting:  m.admitWaiting,
+		rejected: m.overloaded,
+	}
+}
+
+// acquire admits one operation, blocking up to the admit-wait budget for
+// a slot. The returned error wraps ErrOverloaded when the store is at
+// its in-flight limit and the budget expired.
+func (l *limiter) acquire(op string) error {
+	if l == nil {
+		return nil
+	}
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		return nil
+	default:
+	}
+	if l.wait <= 0 {
+		l.rejected.Inc()
+		return fmt.Errorf("%w: %s (in-flight limit %d)", ErrOverloaded, op, cap(l.slots))
+	}
+	l.waiting.Add(1)
+	t := admitTimers.Get().(*time.Timer)
+	t.Reset(l.wait)
+	defer func() {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		admitTimers.Put(t)
+		l.waiting.Add(-1)
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		return nil
+	case <-t.C:
+		l.rejected.Inc()
+		return fmt.Errorf("%w: %s (in-flight limit %d)", ErrOverloaded, op, cap(l.slots))
+	}
+}
+
+// release returns the op's slot.
+func (l *limiter) release() {
+	if l == nil {
+		return
+	}
+	l.inflight.Add(-1)
+	<-l.slots
+}
+
+// admitTimers recycles the wait timers of the contended acquire path —
+// at 1k concurrent clients the slow path runs constantly and a fresh
+// timer per attempt is measurable garbage.
+var admitTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}

@@ -1,0 +1,56 @@
+package store
+
+import "sync"
+
+// colPool recycles the NodeSize-sized column buffers of the encode
+// path. Before it, every Put allocated stripes × totalShards fresh
+// columns that became garbage the moment commitPut's boundary copies
+// landed on the nodes — at 1k concurrent Puts that is an allocation
+// storm the GC has to chew through on the hot path. The pool caps the
+// steady-state footprint at roughly (in-flight Puts × stripe size) and
+// makes the encode path bounded-memory, completing the chain that
+// starts with internal/parallel's pooled scratch buffers.
+type colPool struct {
+	size int
+	pool sync.Pool
+}
+
+func newColPool(size int) *colPool {
+	cp := &colPool{size: size}
+	cp.pool.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return cp
+}
+
+// get returns a zeroed column buffer. Zeroing is required: placement
+// packs segment bytes sparsely, so untouched ranges must read as zero
+// exactly as a fresh allocation would.
+func (cp *colPool) get() []byte {
+	bp := cp.pool.Get().(*[]byte)
+	b := (*bp)[:cp.size]
+	clear(b)
+	return b
+}
+
+// put recycles one column buffer. Foreign or undersized buffers (e.g. a
+// column sliced from a snapshot) are dropped silently.
+func (cp *colPool) put(b []byte) {
+	if cap(b) < cp.size {
+		return
+	}
+	b = b[:cp.size]
+	cp.pool.Put(&b)
+}
+
+// putStripes recycles every column of a prepared put's stripe set.
+func (cp *colPool) putStripes(cols [][][]byte) {
+	for _, stripe := range cols {
+		for _, col := range stripe {
+			if col != nil {
+				cp.put(col)
+			}
+		}
+	}
+}

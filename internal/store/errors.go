@@ -30,6 +30,11 @@ var (
 	// ErrRepairActive: a repair run is already in progress; wait for it
 	// (or abort it) before starting another.
 	ErrRepairActive = errors.New("store: repair already active")
+	// ErrOverloaded: admission control rejected the operation because
+	// the store is at its configured in-flight limit (Config.MaxInFlight)
+	// and no slot freed within the admit-wait budget. The request was
+	// not started; callers may retry with backoff.
+	ErrOverloaded = errors.New("store: overloaded")
 	// ErrNodeUnavailable: I/O against a crashed or health-failed node.
 	// Alias of chaos.ErrNodeUnavailable.
 	ErrNodeUnavailable = chaos.ErrNodeUnavailable

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"approxcode/internal/chaos"
+	"approxcode/internal/obs"
 )
 
 // The write-ahead journal makes the store crash-consistent: every
@@ -110,17 +111,51 @@ func (r journalRecord) decode(v any) error {
 	return gob.NewDecoder(bytes.NewReader(r.Payload)).Decode(v)
 }
 
-// journal is the append handle. Appends are serialized under mu (many
-// mutations hold the store's quiesce read lock concurrently) and synced
-// before they return; the crash hook threads the chaos.Crasher's
-// torn-append point through the middle of the record write.
+// journal is the append handle. Appends group-commit: concurrent
+// appenders enqueue their records and the first one in becomes the
+// batch leader, writing every queued record in one buffer and paying
+// one fsync for all of them; followers block until the leader's sync
+// covers their record. An append therefore still returns only once its
+// record is durable — the acknowledged-survives invariant is untouched
+// — but under N concurrent writers the fsync cost is amortized over
+// the whole batch instead of paid per record. The crash hooks thread
+// the chaos.Crasher's torn-append point through the middle of the
+// batch write and a batch-boundary point between the write and the
+// sync.
 type journal struct {
-	mu    sync.Mutex
 	path  string
-	f     *os.File
-	seq   uint64 // last sequence appended
 	crash *chaos.Crasher
+	// perOp disables coalescing: the leader commits one record per
+	// batch, reproducing the pre-group-commit one-fsync-per-op
+	// behaviour (the benchmark baseline, Config.NoGroupCommit).
+	perOp bool
+	// Batch telemetry (nil-safe obs handles; wired by attachJournal).
+	batches    *obs.Counter
+	records    *obs.Counter
+	batchBytes *obs.Counter
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64 // last durable (synced) sequence
+	queue  []*pendingAppend
+	leader bool
+	wbuf   []byte // leader's reusable batch buffer
 }
+
+// pendingAppend is one queued record waiting for a batch commit.
+type pendingAppend struct {
+	t        recType
+	body     []byte
+	seq      uint64
+	err      error
+	finished bool
+	done     chan struct{}
+}
+
+// maxBatchBufRetain caps the batch buffer capacity the journal keeps
+// between commits; a pathological jumbo batch is served by a one-off
+// allocation instead of pinning its memory forever.
+const maxBatchBufRetain = 1 << 20
 
 // lastSeq returns the last appended (durable) sequence number.
 func (j *journal) lastSeq() uint64 {
@@ -164,9 +199,15 @@ func openJournal(path string, validLen int64, lastSeq uint64, crash *chaos.Crash
 	return &journal{path: path, f: f, seq: lastSeq, crash: crash}, nil
 }
 
-// append encodes payload, writes the record, and syncs. The returned
-// sequence number is the operation's durability token: once append
-// returns, recovery is guaranteed to replay the record.
+// append encodes payload, queues the record for the next batch commit,
+// and returns once the batch holding it has been written and synced.
+// The returned sequence number is the operation's durability token:
+// once append returns, recovery is guaranteed to replay the record.
+//
+// Concurrency shape: whichever appender finds no leader becomes one and
+// drains the queue batch by batch; appenders arriving while a commit is
+// in flight pile into the next batch. Sequence numbers are assigned in
+// batch order, so the on-disk order is exactly the commit order.
 func (j *journal) append(t recType, payload any) (uint64, error) {
 	body, err := encodeGob(payload)
 	if err != nil {
@@ -175,40 +216,113 @@ func (j *journal) append(t recType, payload any) (uint64, error) {
 	if len(body) > maxJournalRecord {
 		return 0, fmt.Errorf("store journal: record of %d bytes exceeds limit", len(body))
 	}
+	p := &pendingAppend{t: t, body: body, done: make(chan struct{})}
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	seq := j.seq + 1
-	buf := make([]byte, journalHdrLen+len(body))
-	binary.LittleEndian.PutUint64(buf[0:8], seq)
-	buf[8] = byte(t)
-	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(body)))
-	binary.LittleEndian.PutUint32(buf[13:17], colSum(body))
-	copy(buf[journalHdrLen:], body)
-	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
-		return 0, fmt.Errorf("store journal: %w", err)
+	j.queue = append(j.queue, p)
+	if j.leader {
+		// A leader is committing; it (or its successor loop) will pick
+		// this record up in a following batch.
+		j.mu.Unlock()
+		<-p.done
+		return p.seq, p.err
 	}
-	// The write is split so the torn-append crash point sits between
-	// the halves: a crash there leaves a half-written record whose
-	// checksum cannot verify, which recovery discards as the
-	// unacknowledged tail.
+	j.leader = true
+	for len(j.queue) > 0 {
+		var batch []*pendingAppend
+		if j.perOp {
+			batch, j.queue = j.queue[:1:1], j.queue[1:]
+		} else {
+			batch, j.queue = j.queue, nil
+		}
+		base := j.seq
+		j.mu.Unlock()
+		j.writeBatch(base, batch)
+		j.mu.Lock()
+	}
+	j.leader = false
+	j.mu.Unlock()
+	<-p.done
+	return p.seq, p.err
+}
+
+// writeBatch commits one batch: records are laid out back to back in a
+// single buffer, written with the torn-append crash point between the
+// halves, synced once, and only then acknowledged to every waiter. A
+// crash before the sync leaves at most a prefix of whole records (plus
+// one torn one the CRC rejects) — each record is still individually
+// all-or-nothing, which is what the crash matrix asserts.
+func (j *journal) writeBatch(base uint64, batch []*pendingAppend) {
+	finish := func(err error) {
+		if err == nil {
+			j.mu.Lock()
+			j.seq = base + uint64(len(batch))
+			j.mu.Unlock()
+			j.batches.Inc()
+			j.records.Add(int64(len(batch)))
+		}
+		for _, p := range batch {
+			p.err = err
+			p.finished = true
+			close(p.done)
+		}
+	}
+	// A simulated crash (chaos.Crasher panic) kills the leader
+	// mid-commit; fail the batch's unacknowledged waiters before
+	// re-panicking so concurrent test harnesses observe the failed
+	// appends instead of hanging on goroutines a "dead process" owns.
+	defer func() {
+		if r := recover(); r != nil {
+			for _, p := range batch {
+				if !p.finished {
+					p.err = fmt.Errorf("store journal: crashed during batch commit")
+					p.finished = true
+					close(p.done)
+				}
+			}
+			panic(r)
+		}
+	}()
+	buf := j.wbuf[:0]
+	for i, p := range batch {
+		p.seq = base + 1 + uint64(i)
+		var hdr [journalHdrLen]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], p.seq)
+		hdr[8] = byte(p.t)
+		binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(p.body)))
+		binary.LittleEndian.PutUint32(hdr[13:17], colSum(p.body))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p.body...)
+	}
+	if cap(buf) <= maxBatchBufRetain {
+		j.wbuf = buf[:0]
+	}
+	j.batchBytes.Add(int64(len(buf)))
+	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+		finish(fmt.Errorf("store journal: %w", err))
+		return
+	}
 	half := len(buf) / 2
 	if _, err := j.f.Write(buf[:half]); err != nil {
-		return 0, fmt.Errorf("store journal: %w", err)
+		finish(fmt.Errorf("store journal: %w", err))
+		return
 	}
 	j.crash.Hit("journal.append.torn")
 	if _, err := j.f.Write(buf[half:]); err != nil {
-		return 0, fmt.Errorf("store journal: %w", err)
+		finish(fmt.Errorf("store journal: %w", err))
+		return
 	}
+	j.crash.Hit("journal.batch.before-sync")
 	if err := j.f.Sync(); err != nil {
-		return 0, fmt.Errorf("store journal: sync: %w", err)
+		finish(fmt.Errorf("store journal: sync: %w", err))
+		return
 	}
-	j.seq = seq
-	return seq, nil
+	finish(nil)
 }
 
 // rotate rewrites the journal keeping only records with seq >
 // keepAfter (normally none, right after a Save), atomically. The
-// caller must have quiesced appends.
+// caller must have quiesced appends (Save holds the quiesce write
+// lock, so no batch leader can be mid-commit here).
 func (j *journal) rotate(keepAfter uint64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

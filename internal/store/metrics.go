@@ -39,6 +39,19 @@ type storeMetrics struct {
 	repairCheckpoints     *obs.Counter
 	repairsResumed        *obs.Counter
 
+	// Admission control: ops currently admitted / waiting for a slot,
+	// and ops shed with ErrOverloaded.
+	inflight     *obs.Gauge
+	admitWaiting *obs.Gauge
+	overloaded   *obs.Counter
+
+	// Group-commit journal: fsync batches, records coalesced into them,
+	// and batch payload bytes. records/batches is the amortization
+	// factor the pr6 bench reports.
+	journalBatches    *obs.Counter
+	journalRecords    *obs.Counter
+	journalBatchBytes *obs.Counter
+
 	// Per-operation latency histograms.
 	opPut        *obs.Histogram
 	opGet        *obs.Histogram
@@ -76,6 +89,15 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		repairBytesBestEffort: reg.Counter("store_repair_bytes_unimportant_total"),
 		repairCheckpoints:     reg.Counter("store_repair_checkpoints_total"),
 		repairsResumed:        reg.Counter("store_repairs_resumed_total"),
+
+		inflight:     reg.Gauge("store_inflight_ops"),
+		admitWaiting: reg.Gauge("store_admission_waiting"),
+		overloaded:   reg.Counter("store_overloaded_total"),
+
+		journalBatches:    reg.Counter("store_journal_batches_total"),
+		journalRecords:    reg.Counter("store_journal_records_total"),
+		journalBatchBytes: reg.Counter("store_journal_batch_bytes_total"),
+
 		opPut:            reg.Histogram("store_put_seconds"),
 		opGet:            reg.Histogram("store_get_seconds"),
 		opGetSegment:     reg.Histogram("store_get_segment_seconds"),
@@ -94,15 +116,7 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 func (s *Store) registerGauges() {
 	reg := s.metrics.reg
 	reg.GaugeFunc("store_objects", func() int64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		var n int64
-		for _, obj := range s.objects {
-			if obj != nil {
-				n++
-			}
-		}
-		return n
+		return int64(s.objects.count())
 	})
 	reg.GaugeFunc("store_nodes", func() int64 { return int64(len(s.nodes)) })
 	reg.GaugeFunc("store_failed_nodes", func() int64 { return int64(len(s.FailedNodes())) })

@@ -234,12 +234,11 @@ func (s *Store) Save(dir string) error {
 		Generation:          gen,
 		LastSeq:             s.lastSeq(),
 	}
-	s.mu.RLock()
-	for _, obj := range s.objects {
-		if obj == nil {
-			continue
-		}
-		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes, Sums: obj.sums}
+	for _, obj := range s.objects.snapshot() {
+		obj.sumsMu.RLock()
+		sums := obj.sums
+		obj.sumsMu.RUnlock()
+		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes, Sums: sums}
 		for _, e := range obj.extents {
 			so.Extents = append(so.Extents, extentRecord{
 				Seg: e.seg, Stripe: e.stripe, Node: e.node, Row: e.row, Off: e.off, Length: e.length,
@@ -247,7 +246,6 @@ func (s *Store) Save(dir string) error {
 		}
 		snap.Objects = append(snap.Objects, so)
 	}
-	s.mu.RUnlock()
 	snap.FailedNodes = s.FailedNodes()
 
 	for i, nd := range s.nodes {
@@ -443,6 +441,10 @@ func (s *Store) attachJournal(dir string) error {
 	if err != nil {
 		return err
 	}
+	jn.perOp = s.cfg.NoGroupCommit
+	jn.batches = s.metrics.journalBatches
+	jn.records = s.metrics.journalRecords
+	jn.batchBytes = s.metrics.journalBatchBytes
 	s.dir = dir
 	s.jn = jn
 	return nil
@@ -490,7 +492,7 @@ func loadAndReplay(dir string, opts LoadOptions) (*Store, *RecoverReport, error)
 				seg: e.Seg, stripe: e.Stripe, node: e.Node, row: e.Row, off: e.Off, length: e.Length,
 			})
 		}
-		s.objects[so.Name] = obj
+		s.objects.publish(so.Name, obj)
 	}
 	var failed []int
 	failedSet := make(map[int]bool)
@@ -605,10 +607,7 @@ func (s *Store) applyRecord(r journalRecord, pending **pendingRepair) (bool, err
 		if err := r.decode(&pr); err != nil {
 			return false, err
 		}
-		s.mu.RLock()
-		_, exists := s.objects[pr.Name]
-		s.mu.RUnlock()
-		if exists {
+		if _, exists := s.objects.get(pr.Name); exists {
 			return false, nil
 		}
 		if err := s.applyPut(pr.Name, pr.Segments); err != nil {
@@ -683,10 +682,8 @@ func (s *Store) applyRecord(r journalRecord, pending **pendingRepair) (bool, err
 // applyRepairStripe writes a checkpointed repair commit's columns and
 // checksums back onto the (still-failed) replacement nodes.
 func (s *Store) applyRepairStripe(sr repairStripeRecord) {
-	s.mu.RLock()
-	obj := s.objects[sr.Object]
-	s.mu.RUnlock()
-	if obj == nil {
+	obj, ok := s.objects.get(sr.Object)
+	if !ok {
 		return
 	}
 	sums := make(map[int]uint32, len(sr.Cols))
@@ -704,5 +701,5 @@ func (s *Store) applyRepairStripe(sr repairStripeRecord) {
 			sums[ni] = sum
 		}
 	}
-	s.setSums(obj, sr.Stripe, sums)
+	obj.setSums(sr.Stripe, len(s.nodes), sums)
 }

@@ -1,0 +1,220 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"approxcode/internal/store"
+)
+
+// modelStore is the single-lock reference implementation the property
+// test replays against: a plain map of objects to segment bytes with
+// the store's documented semantics and none of its machinery — no
+// sharded map, no group commit, no erasure coding. Any divergence in
+// observable state between the two is a bug in the real store's
+// concurrency or durability plumbing.
+type modelStore struct {
+	objects map[string][]store.Segment
+	failed  map[int]bool
+}
+
+func newModelStore() *modelStore {
+	return &modelStore{objects: make(map[string][]store.Segment), failed: make(map[int]bool)}
+}
+
+func (m *modelStore) put(name string, segs []store.Segment) error {
+	if _, ok := m.objects[name]; ok {
+		return store.ErrExists
+	}
+	cp := make([]store.Segment, len(segs))
+	for i, s := range segs {
+		cp[i] = store.Segment{ID: s.ID, Important: s.Important, Data: append([]byte(nil), s.Data...)}
+	}
+	m.objects[name] = cp
+	return nil
+}
+
+func (m *modelStore) get(name string) ([]store.Segment, error) {
+	segs, ok := m.objects[name]
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return segs, nil
+}
+
+func (m *modelStore) update(name string, id int, data []byte) error {
+	segs, ok := m.objects[name]
+	if !ok {
+		return store.ErrNotFound
+	}
+	if len(m.failed) > 0 {
+		return store.ErrUnavailable
+	}
+	for i := range segs {
+		if segs[i].ID == id {
+			if len(segs[i].Data) != len(data) {
+				return errors.New("resize")
+			}
+			segs[i].Data = append([]byte(nil), data...)
+			return nil
+		}
+	}
+	return store.ErrNotFound
+}
+
+func (m *modelStore) names() []string {
+	out := make([]string, 0, len(m.objects))
+	for n := range m.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestStorePropertyVsModel replays randomized operation sequences —
+// puts (including duplicate names), gets of live and dead names,
+// same-length segment updates, single-node fail/repair cycles, and
+// scrubs — against both the real store and the model, asserting after
+// every step that the observable state (error identity, returned
+// bytes, object listing, object count) is identical. Failures never
+// exceed one node, so the code's tolerance guarantees byte-exact reads
+// and the model needs no loss semantics.
+func TestStorePropertyVsModel(t *testing.T) {
+	seeds := []int64{1, 7, 42, 1337}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s, err := store.Open(storeConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newModelStore()
+			nodes := s.Stats().Nodes
+
+			name := func() string { return fmt.Sprintf("obj-%d", rng.Intn(12)) }
+			randSegs := func(nm string) []store.Segment {
+				n := 1 + rng.Intn(4)
+				segs := make([]store.Segment, n)
+				for i := range segs {
+					size := 1 + rng.Intn(900)
+					data := make([]byte, size)
+					rng.Read(data)
+					segs[i] = store.Segment{ID: i, Important: rng.Intn(3) == 0, Data: data}
+				}
+				return segs
+			}
+
+			const ops = 250
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2: // Put
+					nm := name()
+					segs := randSegs(nm)
+					gotErr := s.Put(nm, segs)
+					wantErr := m.put(nm, segs)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("op %d: Put(%s) real=%v model=%v", op, nm, gotErr, wantErr)
+					}
+					if gotErr != nil && !errors.Is(gotErr, store.ErrExists) {
+						t.Fatalf("op %d: Put(%s): %v", op, nm, gotErr)
+					}
+				case 3, 4, 5: // Get
+					nm := name()
+					segs, rep, gotErr := s.Get(nm)
+					want, wantErr := m.get(nm)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("op %d: Get(%s) real=%v model=%v", op, nm, gotErr, wantErr)
+					}
+					if gotErr != nil {
+						if !errors.Is(gotErr, store.ErrNotFound) {
+							t.Fatalf("op %d: Get(%s): %v", op, nm, gotErr)
+						}
+						continue
+					}
+					if len(rep.LostSegments) != 0 {
+						t.Fatalf("op %d: Get(%s) lost %v within tolerance", op, nm, rep.LostSegments)
+					}
+					if len(segs) != len(want) {
+						t.Fatalf("op %d: Get(%s): %d segments, model %d", op, nm, len(segs), len(want))
+					}
+					for i := range segs {
+						if segs[i].ID != want[i].ID || segs[i].Important != want[i].Important ||
+							!bytes.Equal(segs[i].Data, want[i].Data) {
+							t.Fatalf("op %d: Get(%s) segment %d diverges from model", op, nm, i)
+						}
+					}
+				case 6: // UpdateSegment (same length, so pick from the model)
+					nm := name()
+					segs, err := m.get(nm)
+					if err != nil || len(segs) == 0 {
+						continue
+					}
+					sg := segs[rng.Intn(len(segs))]
+					data := make([]byte, len(sg.Data))
+					rng.Read(data)
+					gotErr := s.UpdateSegment(nm, sg.ID, data)
+					wantErr := m.update(nm, sg.ID, data)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("op %d: Update(%s/%d) real=%v model=%v", op, nm, sg.ID, gotErr, wantErr)
+					}
+				case 7: // fail one node … then repair back to healthy
+					if len(m.failed) > 0 {
+						if _, err := s.RepairAll(); err != nil {
+							t.Fatalf("op %d: RepairAll: %v", op, err)
+						}
+						m.failed = make(map[int]bool)
+						continue
+					}
+					ni := rng.Intn(nodes)
+					if err := s.FailNodes(ni); err != nil {
+						t.Fatalf("op %d: FailNodes(%d): %v", op, ni, err)
+					}
+					m.failed[ni] = true
+				case 8: // Scrub (no observable state change on a healthy store)
+					if _, err := s.Scrub(); err != nil {
+						t.Fatalf("op %d: Scrub: %v", op, err)
+					}
+				case 9: // listing + stats
+					got, want := s.Objects(), m.names()
+					if len(got) != len(want) {
+						t.Fatalf("op %d: Objects() %v, model %v", op, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("op %d: Objects() %v, model %v", op, got, want)
+						}
+					}
+					if n := s.Stats().Objects; n != len(want) {
+						t.Fatalf("op %d: Stats.Objects %d, model %d", op, n, len(want))
+					}
+				}
+			}
+			// Final deep sweep: every object byte-exact against the model.
+			if len(m.failed) > 0 {
+				if _, err := s.RepairAll(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, nm := range m.names() {
+				segs, rep, err := s.Get(nm)
+				if err != nil || len(rep.LostSegments) != 0 {
+					t.Fatalf("final Get(%s): %v, lost %v", nm, err, rep.LostSegments)
+				}
+				want, _ := m.get(nm)
+				for i := range segs {
+					if !bytes.Equal(segs[i].Data, want[i].Data) {
+						t.Fatalf("final Get(%s): segment %d diverges", nm, i)
+					}
+				}
+			}
+		})
+	}
+}

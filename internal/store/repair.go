@@ -404,14 +404,7 @@ func (r *Repair) run() {
 // repairQueue builds the prioritized job list, skipping stripes a
 // resumed run already checkpointed.
 func (s *Store) repairQueue(failed []int, doneSet *pendingRepair, rep *RepairReport) []repairJob {
-	s.mu.RLock()
-	objs := make([]*object, 0, len(s.objects))
-	for _, obj := range s.objects {
-		if obj != nil {
-			objs = append(objs, obj)
-		}
-	}
-	s.mu.RUnlock()
+	objs := s.objects.snapshot()
 	var jobs []repairJob
 	for _, obj := range objs {
 		important := make(map[int]bool, len(obj.segments))
@@ -601,7 +594,7 @@ func (r *Repair) repairStripe(j repairJob) {
 			}
 			healed++
 		}
-		s.setSums(j.obj, j.stripe, sums)
+		j.obj.setSums(j.stripe, len(s.nodes), sums)
 		s.lastCkpt.Store(time.Now().UnixNano())
 		s.metrics.repairCheckpoints.Inc()
 		s.metrics.shardsHealed.Add(int64(healed))

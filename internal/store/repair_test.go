@@ -88,9 +88,7 @@ func checkpointTiers(t *testing.T, s *Store, dir string, failed []int) []int {
 		if err := r.decode(&sr); err != nil {
 			t.Fatal(err)
 		}
-		s.mu.RLock()
-		obj := s.objects[sr.Object]
-		s.mu.RUnlock()
+		obj, _ := s.objects.get(sr.Object)
 		if obj == nil {
 			t.Fatalf("checkpoint for unknown object %q", sr.Object)
 		}

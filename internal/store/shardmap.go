@@ -1,0 +1,145 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// objectShardCount is the number of lock stripes in the object map. 64
+// stripes keep the probability of two concurrent requests for different
+// objects colliding on one mutex below 2% at 1k in-flight ops, while
+// the fixed array stays small enough to embed in the Store.
+const objectShardCount = 64
+
+// objectShard is one lock stripe of the object map.
+type objectShard struct {
+	mu sync.RWMutex
+	m  map[string]*object
+}
+
+// objectMap is the store's sharded object directory. The former single
+// Store.mu RWMutex serialized every name lookup behind one cache line;
+// sharding by name hash means Put/Get on different objects contend only
+// when their names land on the same stripe. A nil *object value is a
+// reservation: the name is claimed while its Put encodes outside any
+// lock (readers treat it as not-found).
+//
+// Lock order: quiesce → failMu → objectShard.mu → object.sumsMu →
+// node.mu. No path holds two shard mutexes at once.
+type objectMap struct {
+	shards [objectShardCount]objectShard
+}
+
+func newObjectMap() *objectMap {
+	om := &objectMap{}
+	for i := range om.shards {
+		om.shards[i].m = make(map[string]*object)
+	}
+	return om
+}
+
+// shardOf picks the lock stripe for a name (FNV-1a, inlined to keep the
+// hot lookup path allocation-free).
+func (om *objectMap) shardOf(name string) *objectShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &om.shards[h%objectShardCount]
+}
+
+// get returns the published object, or ok=false for unknown or
+// reserved-but-unpublished names.
+func (om *objectMap) get(name string) (*object, bool) {
+	sh := om.shardOf(name)
+	sh.mu.RLock()
+	obj, ok := sh.m[name]
+	sh.mu.RUnlock()
+	if !ok || obj == nil {
+		return nil, false
+	}
+	return obj, true
+}
+
+// reserve claims name with a nil placeholder so the Put can encode
+// outside the lock. It reports false when the name is already present
+// (published or reserved).
+func (om *objectMap) reserve(name string) bool {
+	sh := om.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[name]; ok {
+		return false
+	}
+	sh.m[name] = nil
+	return true
+}
+
+// publish swaps the reservation (or absence) for the finished object.
+func (om *objectMap) publish(name string, obj *object) {
+	sh := om.shardOf(name)
+	sh.mu.Lock()
+	sh.m[name] = obj
+	sh.mu.Unlock()
+}
+
+// drop removes a name (used to release a reservation whose Put failed).
+func (om *objectMap) drop(name string) {
+	sh := om.shardOf(name)
+	sh.mu.Lock()
+	delete(sh.m, name)
+	sh.mu.Unlock()
+}
+
+// count returns the number of published objects.
+func (om *objectMap) count() int {
+	n := 0
+	for i := range om.shards {
+		sh := &om.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.m {
+			if obj != nil {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// names returns the published object names, sorted.
+func (om *objectMap) names() []string {
+	var out []string
+	for i := range om.shards {
+		sh := &om.shards[i]
+		sh.mu.RLock()
+		for name, obj := range sh.m {
+			if obj != nil {
+				out = append(out, name)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot returns the published objects sorted by name, for iteration
+// without holding any shard lock (objects are immutable after publish
+// except their checksum rows, which carry their own lock).
+func (om *objectMap) snapshot() []*object {
+	var out []*object
+	for i := range om.shards {
+		sh := &om.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.m {
+			if obj != nil {
+				out = append(out, obj)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

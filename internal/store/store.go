@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
@@ -59,6 +60,21 @@ type Config struct {
 	// store uses a fast path that skips the retry/hedging machinery,
 	// since in-memory I/O cannot fail transiently.
 	WrapIO func(chaos.NodeIO) chaos.NodeIO
+	// MaxInFlight bounds how many foreground operations (Put, Get,
+	// GetSegment, UpdateSegment) execute concurrently. Operations
+	// beyond the limit wait up to AdmitWait for a slot and then fail
+	// fast with ErrOverloaded — explicit backpressure instead of
+	// unbounded goroutine and memory growth under overload. 0 disables
+	// admission control (no limit).
+	MaxInFlight int
+	// AdmitWait is how long an operation waits for an in-flight slot
+	// before ErrOverloaded (default 2ms when MaxInFlight > 0; negative
+	// fails immediately).
+	AdmitWait time.Duration
+	// NoGroupCommit disables journal batch coalescing: every mutating
+	// op pays its own fsync, the pre-group-commit behaviour. Benchmark
+	// baseline (apprbench -exp pr6); leave off in production.
+	NoGroupCommit bool
 	// Obs is the metrics/tracing registry the store reports into (see
 	// internal/obs); Store.Stats is a view over its counters. Nil gets
 	// the store a private disabled registry: counters still count (they
@@ -99,8 +115,14 @@ type Store struct {
 	// holds the read lock across its journal-append + apply (making
 	// them one unit), Save holds the write lock so its snapshot agrees
 	// exactly with the journal sequence it records. Lock order:
-	// quiesce before failMu before mu before node.mu.
+	// quiesce before failMu before objectShard.mu before
+	// object.updateMu before object.sumsMu before node.mu.
 	quiesce sync.RWMutex
+
+	// admit is the admission controller (nil = unlimited); colBufs
+	// recycles encode-path column buffers.
+	admit   *limiter
+	colBufs *colPool
 
 	// Durability state (nil/zero for a purely in-memory store): the
 	// attached write-ahead journal, its directory, the live snapshot
@@ -125,9 +147,11 @@ type Store struct {
 	lastCkpt atomic.Int64
 	crasher  *chaos.Crasher
 
-	mu      sync.RWMutex
-	nodes   []*node
-	objects map[string]*object
+	nodes []*node
+	// objects is the sharded object directory (see shardmap.go): name
+	// lookups and publishes stripe over 64 locks so Put/Get on
+	// different objects never serialize on one mutex.
+	objects *objectMap
 }
 
 type node struct {
@@ -146,10 +170,53 @@ type object struct {
 	segments []Segment // metadata only: Data stripped after ingest
 	extents  []extent
 	stripes  int
+	// updateMu serializes whole-object mutations of stored columns
+	// (UpdateSegment) against scrub's read-repair write-backs. Without
+	// it scrub can sample a stripe mid-update — new bytes, not-yet-
+	// published checksums — misread the fresh column as corrupt, and
+	// "heal" it back to its pre-update bytes after the update finishes:
+	// a lost update. Scrub re-reads the stripe under this lock, so a
+	// demote it acts on is genuine corruption, never an in-flight
+	// update.
+	updateMu sync.Mutex
+	// sumsMu guards sums — the object's only mutable state after
+	// publish, so readers of one object never contend with writers of
+	// another. Rows are copy-on-write: readers take the row reference
+	// under RLock and a published row is never mutated.
+	sumsMu sync.RWMutex
 	// sums[stripe][node] is the CRC-32C of the column as written.
-	// Rows are copy-on-write under Store.mu: readers take the row
-	// reference under RLock and a published row is never mutated.
 	sums [][]uint32
+}
+
+// sumsRow returns the published checksum row for a stripe (nil when the
+// object predates checksums, e.g. loaded from an old snapshot).
+func (o *object) sumsRow(stripe int) []uint32 {
+	o.sumsMu.RLock()
+	defer o.sumsMu.RUnlock()
+	if stripe < len(o.sums) {
+		return o.sums[stripe]
+	}
+	return nil
+}
+
+// setSums publishes new checksums for some columns of a stripe,
+// copy-on-write so concurrent sumsRow callers keep a consistent row.
+// width is the store's node count (the row length).
+func (o *object) setSums(stripe, width int, updates map[int]uint32) {
+	if len(updates) == 0 {
+		return
+	}
+	o.sumsMu.Lock()
+	defer o.sumsMu.Unlock()
+	for len(o.sums) <= stripe {
+		o.sums = append(o.sums, nil)
+	}
+	row := make([]uint32, width)
+	copy(row, o.sums[stripe])
+	for ni, sum := range updates {
+		row[ni] = sum
+	}
+	o.sums[stripe] = row
 }
 
 // Open creates a store with healthy nodes.
@@ -169,8 +236,10 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.RepairWorkers <= 0 {
 		cfg.RepairWorkers = runtime.GOMAXPROCS(0)
 	}
-	s := &Store{cfg: cfg, code: code, objects: make(map[string]*object), crasher: cfg.Crasher}
+	s := &Store{cfg: cfg, code: code, objects: newObjectMap(), crasher: cfg.Crasher}
 	s.metrics = newStoreMetrics(cfg.Obs)
+	s.admit = newLimiter(cfg.MaxInFlight, cfg.AdmitWait, &s.metrics)
+	s.colBufs = newColPool(cfg.NodeSize)
 	code.Instrument(s.metrics.reg)
 	s.retry = cfg.Retry.withDefaults()
 	seed := s.retry.Seed
@@ -236,36 +305,6 @@ func (s *Store) nodeFailed(i int) bool {
 	nd.mu.RLock()
 	defer nd.mu.RUnlock()
 	return nd.failed
-}
-
-// sumsRow returns the published checksum row for a stripe (nil when the
-// object predates checksums, e.g. loaded from an old snapshot).
-func (s *Store) sumsRow(obj *object, stripe int) []uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if stripe < len(obj.sums) {
-		return obj.sums[stripe]
-	}
-	return nil
-}
-
-// setSums publishes new checksums for some columns of a stripe,
-// copy-on-write so concurrent sumsRow callers keep a consistent row.
-func (s *Store) setSums(obj *object, stripe int, updates map[int]uint32) {
-	if len(updates) == 0 {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(obj.sums) <= stripe {
-		obj.sums = append(obj.sums, nil)
-	}
-	row := make([]uint32, len(s.nodes))
-	copy(row, obj.sums[stripe])
-	for ni, sum := range updates {
-		row[ni] = sum
-	}
-	obj.sums[stripe] = row
 }
 
 // Code returns the store's generated Approximate Code.
@@ -430,6 +469,10 @@ type preparedPut struct {
 // journal record is synced, so an acknowledged Put survives a crash at
 // any later point.
 func (s *Store) Put(name string, segs []Segment) error {
+	if err := s.admit.acquire("Put"); err != nil {
+		return err
+	}
+	defer s.admit.release()
 	defer s.metrics.opPut.Start().Stop()
 	sp := s.metrics.reg.StartSpan("store.Put")
 	defer func() { sp.End(obs.A("object", name), obs.A("segments", len(segs))) }()
@@ -446,22 +489,13 @@ func (s *Store) Put(name string, segs []Segment) error {
 		}
 		ids[seg.ID] = true
 	}
-	s.mu.Lock()
-	if _, ok := s.objects[name]; ok {
-		s.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrExists, name)
-	}
 	// Reserve the name while encoding happens outside the lock.
-	s.objects[name] = nil
-	s.mu.Unlock()
-	unreserve := func() {
-		s.mu.Lock()
-		delete(s.objects, name)
-		s.mu.Unlock()
+	if !s.objects.reserve(name) {
+		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	pp, err := s.preparePut(segs)
 	if err != nil {
-		unreserve()
+		s.objects.drop(name)
 		return err
 	}
 	// Journal + apply are one unit relative to Save's quiesce fence;
@@ -471,7 +505,8 @@ func (s *Store) Put(name string, segs []Segment) error {
 	defer s.quiesce.RUnlock()
 	s.crash("put.before-journal")
 	if err := s.journalAppend(recPut, putRecord{Name: name, Segments: segs}); err != nil {
-		unreserve()
+		s.colBufs.putStripes(pp.cols)
+		s.objects.drop(name)
 		return err
 	}
 	s.crash("put.after-journal")
@@ -482,18 +517,12 @@ func (s *Store) Put(name string, segs []Segment) error {
 // applyPut is Put without metrics, journaling, or crash points — the
 // journal replay path.
 func (s *Store) applyPut(name string, segs []Segment) error {
-	s.mu.Lock()
-	if _, ok := s.objects[name]; ok {
-		s.mu.Unlock()
+	if !s.objects.reserve(name) {
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	s.objects[name] = nil
-	s.mu.Unlock()
 	pp, err := s.preparePut(segs)
 	if err != nil {
-		s.mu.Lock()
-		delete(s.objects, name)
-		s.mu.Unlock()
+		s.objects.drop(name)
 		return err
 	}
 	s.commitPut(name, pp)
@@ -504,11 +533,15 @@ func (s *Store) applyPut(name string, segs []Segment) error {
 // stripe — pure computation, no store mutation.
 func (s *Store) preparePut(segs []Segment) (*preparedPut, error) {
 	extents, stripes := s.placement(segs)
+	// Every column — data and parity alike — comes from the pool, so a
+	// burst of Puts recycles a bounded working set instead of allocating
+	// stripes × totalShards fresh buffers per call. Encode fills the
+	// preallocated parity columns in place.
 	cols := make([][][]byte, stripes)
 	for st := range cols {
 		cols[st] = make([][]byte, s.code.TotalShards())
-		for _, dn := range s.code.DataNodeIndexes() {
-			cols[st][dn] = make([]byte, s.cfg.NodeSize)
+		for ni := range cols[st] {
+			cols[st][ni] = s.colBufs.get()
 		}
 	}
 	sub := s.cfg.NodeSize / s.cfg.Code.H
@@ -555,9 +588,11 @@ func (s *Store) commitPut(name string, pp *preparedPut) {
 		}
 	}
 	obj := &object{name: name, segments: pp.meta, extents: pp.extents, stripes: pp.stripes, sums: sums}
-	s.mu.Lock()
-	s.objects[name] = obj
-	s.mu.Unlock()
+	s.objects.publish(name, obj)
+	// The node writes copied every column at the I/O boundary, so the
+	// encode buffers can go back to the pool.
+	s.colBufs.putStripes(pp.cols)
+	pp.cols = nil
 }
 
 // encodeStripes runs Encode over every stripe with a bounded worker
@@ -613,7 +648,7 @@ func (s *Store) stripeColumns(name string, stripe int) [][]byte {
 // around them exactly as it does around crashed nodes.
 func (s *Store) readStripe(obj *object, stripe int) (cols [][]byte, demoted []int) {
 	cols = make([][]byte, len(s.nodes))
-	sums := s.sumsRow(obj, stripe)
+	sums := obj.sumsRow(stripe)
 	for ni := range s.nodes {
 		data, err := s.readColumn(ni, obj.name, stripe)
 		if err != nil {
@@ -658,6 +693,16 @@ type GetReport struct {
 // are returned zero-filled and listed in the report; unimportant ones
 // are additionally flagged approximate for the interpolation fallback.
 func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
+	if err := s.admit.acquire("Get"); err != nil {
+		return nil, nil, err
+	}
+	defer s.admit.release()
+	return s.get(name)
+}
+
+// get is Get after admission — GetSegment calls it directly so one
+// logical operation is admitted exactly once.
+func (s *Store) get(name string) ([]Segment, *GetReport, error) {
 	defer s.metrics.opGet.Start().Stop()
 	sp := s.metrics.reg.StartSpan("store.Get")
 	rep := &GetReport{}
@@ -665,10 +710,11 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 		sp.End(obs.A("object", name), obs.A("degraded_sub_reads", rep.DegradedSubReads),
 			obs.A("checksum_failures", rep.ChecksumFailures), obs.A("lost", len(rep.LostSegments)))
 	}()
-	s.mu.RLock()
-	obj, ok := s.objects[name]
-	s.mu.RUnlock()
-	if !ok || obj == nil {
+	// The critical section is the shard-map lookup alone: all column
+	// reads below run lock-free against the immutable object descriptor,
+	// so a slow degraded Get never blocks an unrelated Put.
+	obj, ok := s.objects.get(name)
+	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	buf := make(map[int][]byte, len(obj.segments))
@@ -726,8 +772,12 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 // GetSegment returns a single segment, decoding around failures. It
 // returns ErrUnavailable when the segment's data cannot be recovered.
 func (s *Store) GetSegment(name string, id int) (Segment, error) {
+	if err := s.admit.acquire("GetSegment"); err != nil {
+		return Segment{}, err
+	}
+	defer s.admit.release()
 	defer s.metrics.opGetSegment.Start().Stop()
-	segs, rep, err := s.Get(name)
+	segs, rep, err := s.get(name)
 	if err != nil {
 		return Segment{}, err
 	}
@@ -881,21 +931,16 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 		sp.End(obs.A("stripes_checked", rep.StripesChecked), obs.A("checksum_failures", rep.ChecksumFailures),
 			obs.A("healed", rep.Healed), obs.A("corrupt", len(rep.Corrupt)))
 	}()
-	s.mu.RLock()
 	type job struct {
 		obj    *object
 		stripe int
 	}
 	var jobs []job
-	for _, obj := range s.objects {
-		if obj == nil {
-			continue
-		}
+	for _, obj := range s.objects.snapshot() {
 		for st := 0; st < obj.stripes; st++ {
 			jobs = append(jobs, job{obj, st})
 		}
 	}
-	s.mu.RUnlock()
 	var mu sync.Mutex
 	workers := s.cfg.RepairWorkers
 	if workers > len(jobs) {
@@ -913,36 +958,53 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 			for j := range jobCh {
 				cols, demoted := s.readStripe(j.obj, j.stripe)
 				if len(demoted) > 0 {
-					mu.Lock()
-					rep.ChecksumFailures += len(demoted)
-					mu.Unlock()
-					r, err := s.code.ReconstructReport(cols, core.Options{})
-					if err != nil || len(r.Lost) > 0 {
-						mu.Lock()
-						rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.obj.name, j.stripe))
-						mu.Unlock()
-						continue
-					}
-					// Write the healed columns back in place (skipping
-					// nodes that crashed meanwhile — repair's job).
-					// The quiesce fence keeps the write-back and its
-					// checksum publication inside one Save snapshot.
+					// A demote seen by the unsynchronized read may be an
+					// UpdateSegment in flight (columns written, checksums
+					// not yet published), not corruption. Re-read under
+					// the object's update lock — updates hold it across
+					// their writes AND checksum publication — so a demote
+					// that survives is genuinely damaged bytes, and the
+					// heal below cannot roll back a racing update. The
+					// quiesce fence (taken first: it orders before
+					// updateMu) keeps the write-back and its checksum
+					// publication inside one Save snapshot.
 					s.quiesce.RLock()
-					sums := make(map[int]uint32)
-					for _, ni := range demoted {
-						if cols[ni] == nil || s.nodeFailed(ni) {
+					j.obj.updateMu.Lock()
+					cols, demoted = s.readStripe(j.obj, j.stripe)
+					var healedNow int
+					if len(demoted) > 0 {
+						mu.Lock()
+						rep.ChecksumFailures += len(demoted)
+						mu.Unlock()
+						r, err := s.code.ReconstructReport(cols, core.Options{})
+						if err != nil || len(r.Lost) > 0 {
+							mu.Lock()
+							rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.obj.name, j.stripe))
+							mu.Unlock()
+							j.obj.updateMu.Unlock()
+							s.quiesce.RUnlock()
 							continue
 						}
-						if err := s.writeColumn(ni, j.obj.name, j.stripe, cols[ni]); err != nil {
-							continue
+						// Write the healed columns back in place (skipping
+						// nodes that crashed meanwhile — repair's job).
+						sums := make(map[int]uint32)
+						for _, ni := range demoted {
+							if cols[ni] == nil || s.nodeFailed(ni) {
+								continue
+							}
+							if err := s.writeColumn(ni, j.obj.name, j.stripe, cols[ni]); err != nil {
+								continue
+							}
+							sums[ni] = colSum(cols[ni])
 						}
-						sums[ni] = colSum(cols[ni])
+						j.obj.setSums(j.stripe, len(s.nodes), sums)
+						healedNow = len(sums)
 					}
-					s.setSums(j.obj, j.stripe, sums)
+					j.obj.updateMu.Unlock()
 					s.quiesce.RUnlock()
-					s.metrics.shardsHealed.Add(int64(len(sums)))
+					s.metrics.shardsHealed.Add(int64(healedNow))
 					mu.Lock()
-					rep.Healed += len(sums)
+					rep.Healed += healedNow
 					mu.Unlock()
 				}
 				complete := true
@@ -1011,16 +1073,7 @@ func (s *Store) CorruptByte(name string, stripe, nodeIdx, offset int) error {
 
 // Objects lists stored object names.
 func (s *Store) Objects() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []string
-	for name, obj := range s.objects {
-		if obj != nil {
-			out = append(out, name)
-		}
-	}
-	sort.Strings(out)
-	return out
+	return s.objects.names()
 }
 
 // Stats reports store-wide counters, including the robustness
@@ -1050,14 +1103,7 @@ type Stats struct {
 
 // Stats returns current store statistics.
 func (s *Store) Stats() Stats {
-	st := Stats{Nodes: len(s.nodes)}
-	s.mu.RLock()
-	for _, obj := range s.objects {
-		if obj != nil {
-			st.Objects++
-		}
-	}
-	s.mu.RUnlock()
+	st := Stats{Nodes: len(s.nodes), Objects: s.objects.count()}
 	for _, nd := range s.nodes {
 		nd.mu.RLock()
 		if nd.failed {

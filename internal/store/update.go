@@ -23,6 +23,10 @@ import (
 // survives a crash mid-swap: recovery replays it and re-derives the
 // same incremental parity update.
 func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
+	if err := s.admit.acquire("UpdateSegment"); err != nil {
+		return err
+	}
+	defer s.admit.release()
 	defer s.metrics.opUpdate.Start().Stop()
 	sp := s.metrics.reg.StartSpan("store.UpdateSegment")
 	defer func() { sp.End(obs.A("object", name), obs.A("segment", id)) }()
@@ -41,10 +45,8 @@ func (s *Store) UpdateSegment(name string, id int, newData []byte) error {
 // the journal — reproduces the original call's outcome, including any
 // partial stripe writes it had completed.
 func (s *Store) applyUpdate(name string, id int, newData []byte) error {
-	s.mu.RLock()
-	obj, ok := s.objects[name]
-	s.mu.RUnlock()
-	if !ok || obj == nil {
+	obj, ok := s.objects.get(name)
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	// Hold the fail-set read lock across the healthy-stripe check AND
@@ -53,6 +55,12 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 	// stripe that mixes pre- and post-update columns.
 	s.failMu.RLock()
 	defer s.failMu.RUnlock()
+	// The update lock spans every column write and checksum publication
+	// of this update, so scrub's read-repair (which re-checks under the
+	// same lock) can never mistake a half-published update for
+	// corruption and heal it backwards.
+	obj.updateMu.Lock()
+	defer obj.updateMu.Unlock()
 	if len(s.FailedNodes()) > 0 {
 		return fmt.Errorf("%w: cannot update with failed nodes (repair first)", ErrUnavailable)
 	}
@@ -150,7 +158,7 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 			}
 			sums[i] = colSum(cols[i])
 		}
-		s.setSums(obj, st, sums)
+		obj.setSums(st, len(s.nodes), sums)
 		s.crash("update.mid-write")
 	}
 	return nil
