@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 stress metrics-bench ci
+.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 stress metrics-bench ci
 
 all: build
 
@@ -100,4 +100,11 @@ bench-pr2:
 bench-pr6:
 	$(GO) run ./cmd/apprbench -exp pr6 -iters 3
 
-ci: lint errvet build test test-noasm race race-hammer stress chaos crash fuzz metrics-bench
+# Regenerates BENCH_PR7.json (minimal-read repair and degraded reads:
+# repair survivor-traffic A/B vs the full-stripe baseline, segment-read
+# bytes moved, degraded-read latency, locality-aware cluster sim; the
+# latency gate is evaluated only on >= 4 cores, report-only below).
+bench-pr7:
+	$(GO) run ./cmd/apprbench -exp pr7 -iters 3
+
+ci: lint errvet build test test-noasm race race-hammer stress chaos crash fuzz metrics-bench bench-pr7

@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6")
+	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6|pr7")
 	shardFlag   = flag.Int("shard", 256*1024, "approximate per-node shard bytes for timing experiments")
 	itersFlag   = flag.Int("iters", 3, "timed iterations per measurement")
 	sizeFlag    = flag.Int("size", 256<<20, "simulated node bytes for the recovery experiment")
@@ -34,6 +34,7 @@ var (
 	pr1Flag     = flag.String("pr1", "BENCH_PR1.json", "output path for the pr1 serial-vs-parallel report")
 	pr2Flag     = flag.String("pr2", "BENCH_PR2.json", "output path for the pr2 SIMD/plan-cache report")
 	pr6Flag     = flag.String("pr6", "BENCH_PR6.json", "output path for the pr6 concurrent load-generator report")
+	pr7Flag     = flag.String("pr7", "BENCH_PR7.json", "output path for the pr7 minimal-read repair report")
 	metricsFlag = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9090)")
 	traceFlag   = flag.Bool("trace", false, "stream one span line per experiment to stderr")
 )
@@ -85,6 +86,7 @@ func main() {
 		"pr1":         runPR1,
 		"pr2":         runPR2,
 		"pr6":         runPR6,
+		"pr7":         runPR7,
 	}
 	for name, run := range runners {
 		runners[name] = instrumented(name, run)
@@ -425,6 +427,51 @@ func runPR6(tc bench.TimingConfig) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *pr6Flag)
+	return nil
+}
+
+func runPR7(tc bench.TimingConfig) error {
+	section("PR7: minimal-read repair and degraded reads")
+	rep, err := bench.RunPR7(tc)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "repair\tnodes\tfailed\tstripes\tplanned bytes\tfull-stripe bytes\treduction")
+	for _, r := range rep.Repair {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.2fx\n",
+			r.Code, r.Nodes, r.FailedNodes, r.StripesRepaired, r.PlannedBytes, r.FullStripeBytes, r.Reduction)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	sr := rep.SegmentRead
+	fmt.Printf("segment reads: %.0f bytes/read vs %.0f bytes/full-get (%.2fx less moved; %d partial reads)\n",
+		sr.SegmentBytesAvg, sr.FullGetBytesAvg, sr.Reduction, sr.PartialReads)
+	lat := rep.Latency
+	fmt.Printf("latency p50/p99 µs: healthy segment %.0f/%.0f, degraded segment %.0f/%.0f, full get %.0f/%.0f\n",
+		lat.HealthySegP50Micros, lat.HealthySegP99Micros,
+		lat.DegradedSegP50Micros, lat.DegradedSegP99Micros,
+		lat.FullGetP50Micros, lat.FullGetP99Micros)
+	w = newTab()
+	fmt.Fprintln(w, "cluster sim\tplanned cols\tbaseline cols\tplanned s\tbaseline s\ttraffic reduction")
+	for _, c := range rep.Cluster {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3f\t%.3f\t%.2fx\n",
+			c.Code, c.PlannedCols, c.BaselineCols, c.PlannedSecs, c.BaselineSecs, c.Reduction)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println(rep.Note)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*pr7Flag, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *pr7Flag)
 	return nil
 }
 

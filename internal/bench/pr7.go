@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"approxcode/internal/cluster"
+	"approxcode/internal/core"
+	"approxcode/internal/erasure"
+	"approxcode/internal/lrc"
+	"approxcode/internal/obs"
+	"approxcode/internal/rs"
+	"approxcode/internal/store"
+)
+
+// PR7 measures what minimal-read planning buys: repair network traffic
+// (the survivor bytes a rebuild reads) against the full-stripe
+// baseline, segment reads that move only their own sub-block slices,
+// degraded-read latency through the escalation ladder, and the
+// cluster-simulated repair traffic of locality-aware plans. The emitted
+// report becomes BENCH_PR7.json.
+
+// PR7Repair is the store-level repair traffic A/B. PlannedBytes is the
+// survivor traffic RepairAll actually read (RepairReport.BytesRead);
+// FullStripeBytes is what the pre-planning repair read for the same
+// stripes — every surviving column of every repaired stripe.
+type PR7Repair struct {
+	Code            string  `json:"code"`
+	Nodes           int     `json:"nodes"`
+	FailedNodes     int     `json:"failed_nodes"`
+	StripesRepaired int     `json:"stripes_repaired"`
+	ShardsHealed    int     `json:"shards_healed"`
+	PlannedBytes    int64   `json:"planned_bytes_read"`
+	FullStripeBytes int64   `json:"full_stripe_bytes_read"`
+	Reduction       float64 `json:"reduction"`
+}
+
+// PR7SegmentRead is the bytes-moved A/B for single-segment reads:
+// average bytes moved per GetSegment (partial-column fast path) vs per
+// whole-object Get of the same objects.
+type PR7SegmentRead struct {
+	Reads            int     `json:"reads"`
+	SegmentBytesAvg  float64 `json:"segment_read_bytes_avg"`
+	FullGetBytesAvg  float64 `json:"full_get_bytes_avg"`
+	PartialReads     int64   `json:"partial_reads"`
+	PartialReadBytes int64   `json:"partial_read_bytes"`
+	Reduction        float64 `json:"reduction"`
+}
+
+// PR7Latency compares read-path latencies. Before this PR a GetSegment
+// was a whole-object Get plus a slice, so FullGet is the regression
+// baseline for both segment paths: healthy and degraded segment reads
+// must not be slower than the path they replaced.
+type PR7Latency struct {
+	HealthySegP50Micros  float64 `json:"healthy_segment_p50_micros"`
+	HealthySegP99Micros  float64 `json:"healthy_segment_p99_micros"`
+	DegradedSegP50Micros float64 `json:"degraded_segment_p50_micros"`
+	DegradedSegP99Micros float64 `json:"degraded_segment_p99_micros"`
+	FullGetP50Micros     float64 `json:"full_get_p50_micros"`
+	FullGetP99Micros     float64 `json:"full_get_p99_micros"`
+}
+
+// PR7Cluster is one simulated single-failure repair, planned minimally
+// vs the full-k baseline (cluster.PlanMinimal vs cluster.PlanBaseline).
+type PR7Cluster struct {
+	Code          string  `json:"code"`
+	PlannedCols   int     `json:"planned_columns"`
+	BaselineCols  int     `json:"baseline_columns"`
+	PlannedBytes  int64   `json:"planned_bytes_read"`
+	BaselineBytes int64   `json:"baseline_bytes_read"`
+	PlannedSecs   float64 `json:"planned_secs"`
+	BaselineSecs  float64 `json:"baseline_secs"`
+	Reduction     float64 `json:"reduction"`
+}
+
+// PR7Report is the machine-readable result of the PR7 experiment.
+type PR7Report struct {
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"numcpu"`
+	Repair      []PR7Repair    `json:"repair"`
+	SegmentRead PR7SegmentRead `json:"segment_read"`
+	Latency     PR7Latency     `json:"latency"`
+	Cluster     []PR7Cluster   `json:"cluster"`
+	// RepairTargetMet: every store repair case cut survivor traffic by
+	// >= 2x vs the full-stripe baseline. Deterministic (byte counts, not
+	// timings), so it is always evaluated.
+	RepairTargetMet bool `json:"repair_target_met"`
+	// LatencyEvaluated gates the timing criterion on hosts with >= 4
+	// cores; LatencyTargetMet: degraded segment reads are no slower than
+	// the whole-object path they replaced (p50, 1.2x slack).
+	LatencyEvaluated bool   `json:"latency_evaluated"`
+	LatencyTargetMet bool   `json:"latency_target_met"`
+	TargetMet        bool   `json:"target_met"`
+	Note             string `json:"note,omitempty"`
+}
+
+// pr7Store opens a store on an enabled registry and ingests n objects.
+func pr7Store(params core.Params, nodeSize, n int) (*store.Store, *obs.Registry, []string, error) {
+	reg := obs.NewRegistry(true)
+	s, err := store.Open(store.Config{Code: params, NodeSize: nodeSize, Obs: reg})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+		segs := make([]store.Segment, pr6SegCount)
+		for j := range segs {
+			data := make([]byte, pr6SegBytes)
+			rng.Read(data)
+			segs[j] = store.Segment{ID: j, Important: j == 0, Data: data}
+		}
+		if err := s.Put(names[i], segs); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return s, reg, names, nil
+}
+
+// pr7Repair fails `fail` nodes, repairs, and reports planned vs
+// full-stripe survivor traffic.
+func pr7Repair(params core.Params, nodeSize, objects, fail int) (PR7Repair, error) {
+	s, _, _, err := pr7Store(params, nodeSize, objects)
+	if err != nil {
+		return PR7Repair{}, err
+	}
+	nodes := s.Code().TotalShards()
+	failed := make([]int, fail)
+	for i := range failed {
+		failed[i] = i
+	}
+	if err := s.FailNodes(failed...); err != nil {
+		return PR7Repair{}, err
+	}
+	rep, err := s.RepairAll()
+	if err != nil {
+		return PR7Repair{}, err
+	}
+	r := PR7Repair{
+		Code:            s.Code().Name(),
+		Nodes:           nodes,
+		FailedNodes:     fail,
+		StripesRepaired: rep.StripesRepaired,
+		ShardsHealed:    rep.ShardsHealed,
+		PlannedBytes:    rep.BytesRead,
+		FullStripeBytes: int64(rep.StripesRepaired) * int64(nodes-fail) * int64(nodeSize),
+	}
+	if r.PlannedBytes > 0 {
+		r.Reduction = float64(r.FullStripeBytes) / float64(r.PlannedBytes)
+	}
+	return r, nil
+}
+
+// pr7SegmentRead measures average bytes moved per GetSegment vs per
+// whole-object Get, off the store's node I/O byte counters.
+func pr7SegmentRead(params core.Params, nodeSize, objects int) (PR7SegmentRead, error) {
+	s, reg, names, err := pr7Store(params, nodeSize, objects)
+	if err != nil {
+		return PR7SegmentRead{}, err
+	}
+	readBytes := reg.Counter("store_node_read_bytes_total")
+	rng := rand.New(rand.NewSource(77))
+	reads := 4 * len(names)
+
+	before := readBytes.Value()
+	for i := 0; i < reads; i++ {
+		if _, err := s.GetSegment(names[rng.Intn(len(names))], rng.Intn(pr6SegCount)); err != nil {
+			return PR7SegmentRead{}, err
+		}
+	}
+	segBytes := readBytes.Value() - before
+
+	before = readBytes.Value()
+	for i := 0; i < reads; i++ {
+		if _, _, err := s.Get(names[rng.Intn(len(names))]); err != nil {
+			return PR7SegmentRead{}, err
+		}
+	}
+	getBytes := readBytes.Value() - before
+
+	sr := PR7SegmentRead{
+		Reads:            reads,
+		SegmentBytesAvg:  float64(segBytes) / float64(reads),
+		FullGetBytesAvg:  float64(getBytes) / float64(reads),
+		PartialReads:     reg.Counter("store_partial_reads_total").Value(),
+		PartialReadBytes: reg.Counter("store_partial_read_bytes_total").Value(),
+	}
+	if segBytes > 0 {
+		sr.Reduction = float64(getBytes) / float64(segBytes)
+	}
+	return sr, nil
+}
+
+// pr7Latency times healthy GetSegment, degraded GetSegment (one node
+// down), and whole-object Get over the same object set.
+func pr7Latency(params core.Params, nodeSize, objects, iters int) (PR7Latency, error) {
+	s, _, names, err := pr7Store(params, nodeSize, objects)
+	if err != nil {
+		return PR7Latency{}, err
+	}
+	reg := obs.NewRegistry(true)
+	time1 := func(name string, op func(i int) error) (obs.HistogramSnapshot, error) {
+		h := reg.Histogram("pr7_" + name)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			if err := op(i); err != nil {
+				return obs.HistogramSnapshot{}, err
+			}
+			h.Observe(time.Since(t0))
+		}
+		return h.Snapshot(), nil
+	}
+	rng := rand.New(rand.NewSource(777))
+	segOp := func(i int) error {
+		_, err := s.GetSegment(names[rng.Intn(len(names))], rng.Intn(pr6SegCount))
+		return err
+	}
+	getOp := func(i int) error {
+		_, _, err := s.Get(names[rng.Intn(len(names))])
+		return err
+	}
+	healthy, err := time1("healthy_segment", segOp)
+	if err != nil {
+		return PR7Latency{}, err
+	}
+	full, err := time1("full_get", getOp)
+	if err != nil {
+		return PR7Latency{}, err
+	}
+	if err := s.FailNodes(0); err != nil {
+		return PR7Latency{}, err
+	}
+	degraded, err := time1("degraded_segment", segOp)
+	if err != nil {
+		return PR7Latency{}, err
+	}
+	q := func(sn obs.HistogramSnapshot, p float64) float64 { return float64(sn.Quantile(p)) / 1e3 }
+	return PR7Latency{
+		HealthySegP50Micros:  q(healthy, 0.50),
+		HealthySegP99Micros:  q(healthy, 0.99),
+		DegradedSegP50Micros: q(degraded, 0.50),
+		DegradedSegP99Micros: q(degraded, 0.99),
+		FullGetP50Micros:     q(full, 0.50),
+		FullGetP99Micros:     q(full, 0.99),
+	}, nil
+}
+
+// pr7Cluster simulates a single-failure repair, minimal vs baseline.
+func pr7Cluster(name string, minPlan, basePlan *cluster.Plan) (PR7Cluster, error) {
+	cfg := cluster.DefaultConfig()
+	const stripes = 8
+	minRes, err := cluster.Simulate(cfg, minPlan, stripes)
+	if err != nil {
+		return PR7Cluster{}, err
+	}
+	baseRes, err := cluster.Simulate(cfg, basePlan, stripes)
+	if err != nil {
+		return PR7Cluster{}, err
+	}
+	pc := PR7Cluster{
+		Code:          name,
+		PlannedCols:   len(minPlan.Tasks[0].ReadNodes),
+		BaselineCols:  len(basePlan.Tasks[0].ReadNodes),
+		PlannedBytes:  minRes.BytesRead,
+		BaselineBytes: baseRes.BytesRead,
+		PlannedSecs:   minRes.Time,
+		BaselineSecs:  baseRes.Time,
+	}
+	if pc.PlannedBytes > 0 {
+		pc.Reduction = float64(pc.BaselineBytes) / float64(pc.PlannedBytes)
+	}
+	return pc, nil
+}
+
+// RunPR7 runs the minimal-read repair and degraded-read experiment.
+// tc.Iters scales the latency sample count.
+func RunPR7(tc TimingConfig) (*PR7Report, error) {
+	iters := tc.Iters
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &PR7Report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	nodeSize := 3 * 1024
+
+	// Store-level repair traffic: the paper's uneven APPR.RS at two
+	// shapes, single node failure each.
+	for _, p := range []core.Params{
+		{Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven},
+		{Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 3, Structure: core.Uneven},
+	} {
+		r, err := pr7Repair(p, nodeSize, 24, 1)
+		if err != nil {
+			return nil, err
+		}
+		rep.Repair = append(rep.Repair, r)
+	}
+
+	sr, err := pr7SegmentRead(core.Params{Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven},
+		nodeSize, 32)
+	if err != nil {
+		return nil, err
+	}
+	rep.SegmentRead = sr
+
+	lat, err := pr7Latency(core.Params{Family: core.FamilyRS, K: 3, R: 1, G: 2, H: 3, Structure: core.Uneven},
+		nodeSize, 32, 200*iters)
+	if err != nil {
+		return nil, err
+	}
+	rep.Latency = lat
+
+	// Cluster-simulated repair traffic: locality-aware LRC vs any-k RS,
+	// one data-node failure.
+	lrcCoder, err := lrc.New(10, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	rsCoder, err := rs.New(10, 4)
+	if err != nil {
+		return nil, err
+	}
+	const simNode = 64 << 20
+	for _, c := range []struct {
+		name  string
+		coder erasure.Coder
+	}{
+		{"LRC(10,2,2)", lrcCoder},
+		{"RS(10,4)", rsCoder},
+	} {
+		minPlan, err := cluster.PlanMinimal(c.coder, simNode, []int{3})
+		if err != nil {
+			return nil, err
+		}
+		basePlan, err := cluster.PlanBaseline(c.coder, simNode, []int{3})
+		if err != nil {
+			return nil, err
+		}
+		pc, err := pr7Cluster(c.name, minPlan, basePlan)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cluster = append(rep.Cluster, pc)
+	}
+
+	rep.RepairTargetMet = len(rep.Repair) > 0
+	for _, r := range rep.Repair {
+		if r.Reduction < 2.0 {
+			rep.RepairTargetMet = false
+		}
+	}
+	rep.LatencyEvaluated = rep.NumCPU >= 4
+	if rep.LatencyEvaluated {
+		rep.LatencyTargetMet = rep.Latency.DegradedSegP50Micros <= 1.2*rep.Latency.FullGetP50Micros
+		rep.TargetMet = rep.RepairTargetMet && rep.LatencyTargetMet
+		rep.Note = "targets: repair survivor traffic >= 2x below full-stripe baseline; degraded segment reads no slower than the whole-object path they replaced (p50, 1.2x slack)"
+	} else {
+		rep.TargetMet = rep.RepairTargetMet
+		rep.Note = fmt.Sprintf("host has %d CPU(s); latency criterion requires >= 4 cores and was not evaluated (report-only); repair-traffic criterion is deterministic and was evaluated", rep.NumCPU)
+	}
+	return rep, nil
+}

@@ -38,11 +38,14 @@ var (
 type OpKind int
 
 // Operation kinds. OpAny is only meaningful in rules, where it matches
-// both reads and writes.
+// every operation. In rules OpRead matches both whole-column and
+// partial reads (a schedule written before partial reads existed keeps
+// its coverage); OpReadAt matches partial reads only.
 const (
 	OpAny OpKind = iota
 	OpRead
 	OpWrite
+	OpReadAt
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +57,8 @@ func (k OpKind) String() string {
 		return "read"
 	case OpWrite:
 		return "write"
+	case OpReadAt:
+		return "readat"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -77,6 +82,20 @@ type NodeIO interface {
 	ReadColumn(node int, object string, stripe int) ([]byte, error)
 	// WriteColumn stores a column of (object, stripe) on the node.
 	WriteColumn(node int, object string, stripe int, data []byte) error
+}
+
+// PartialReader is the optional partial-column extension of NodeIO:
+// backends that can serve a byte range of a column without moving the
+// whole column implement it, and the storage layer's segment reads use
+// it to fetch only the sub-blocks a segment actually spans. The
+// Injector implements it over any inner NodeIO, falling back to a
+// whole-column inner read plus slicing when the backend lacks it (the
+// fault surface is preserved either way).
+type PartialReader interface {
+	// ReadColumnAt returns n bytes of the stored column of (object,
+	// stripe) on the node starting at offset off, or an error. The
+	// range must lie within the column.
+	ReadColumnAt(node int, object string, stripe int, off, n int) ([]byte, error)
 }
 
 // FaultKind enumerates the injectable fault modes.
@@ -158,11 +177,15 @@ type Rule struct {
 }
 
 // matches reports whether the rule's selectors accept the operation.
+// OpRead rules accept partial reads too — OpReadAt is a refinement of
+// read, not a disjoint kind — while OpReadAt rules accept only partial
+// reads.
 func (r *Rule) matches(op Op) bool {
 	if r.Node != Any && r.Node != op.Node {
 		return false
 	}
-	if r.Op != OpAny && r.Op != op.Kind {
+	if r.Op != OpAny && r.Op != op.Kind &&
+		!(r.Op == OpRead && op.Kind == OpReadAt) {
 		return false
 	}
 	if r.Object != "" && r.Object != op.Object {
@@ -319,10 +342,10 @@ func (in *Injector) decide(op Op) decision {
 				n = 1
 			}
 			d.corruptBytes += n
-			if op.Kind == OpRead {
-				in.stats.CorruptReads++
-			} else {
+			if op.Kind == OpWrite {
 				in.stats.CorruptWrites++
+			} else {
+				in.stats.CorruptReads++
 			}
 		case FaultTorn:
 			if op.Kind != OpWrite {
@@ -370,6 +393,43 @@ func (in *Injector) ReadColumn(node int, object string, stripe int) ([]byte, err
 		return nil, d.err
 	}
 	data, err := in.inner.ReadColumn(node, object, stripe)
+	if err != nil {
+		return nil, err
+	}
+	if d.corruptBytes > 0 {
+		data = in.corruptCopy(data, d.corruptBytes)
+	}
+	return data, nil
+}
+
+// ReadColumnAt implements PartialReader with fault injection. When the
+// inner NodeIO also implements PartialReader only the requested range
+// moves; otherwise the whole column is read underneath and sliced, so
+// fault semantics stay identical whichever backend is wrapped. Corrupt
+// faults flip bytes of the returned range (the fault models a bad read,
+// not bad media, exactly as for whole-column reads).
+func (in *Injector) ReadColumnAt(node int, object string, stripe int, off, n int) ([]byte, error) {
+	d := in.decide(Op{Kind: OpReadAt, Node: node, Object: object, Stripe: stripe})
+	if d.delay > 0 {
+		in.sleep(d.delay)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	var data []byte
+	var err error
+	if pr, ok := in.inner.(PartialReader); ok {
+		data, err = pr.ReadColumnAt(node, object, stripe, off, n)
+	} else {
+		var col []byte
+		col, err = in.inner.ReadColumn(node, object, stripe)
+		if err == nil {
+			if off < 0 || n < 0 || off+n > len(col) {
+				return nil, fmt.Errorf("chaos: readat range [%d,%d) outside column of %d bytes", off, off+n, len(col))
+			}
+			data = append([]byte(nil), col[off:off+n]...)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

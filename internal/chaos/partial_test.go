@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestReadColumnAtFallbackSlices(t *testing.T) {
+	io := newFakeIO()
+	_ = io.WriteColumn(0, "o", 0, []byte("0123456789"))
+	inj := NewInjector(1)
+	pr, ok := inj.Wrap(io).(PartialReader)
+	if !ok {
+		t.Fatal("injector does not implement PartialReader")
+	}
+	got, err := pr.ReadColumnAt(0, "o", 0, 3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("ReadColumnAt = %q, %v", got, err)
+	}
+	if _, err := pr.ReadColumnAt(0, "o", 0, 8, 5); err == nil {
+		t.Fatal("out-of-range partial read accepted")
+	}
+	if _, err := pr.ReadColumnAt(0, "o", 0, -1, 2); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestReadRulesGatePartialReads(t *testing.T) {
+	io := newFakeIO()
+	_ = io.WriteColumn(0, "o", 0, []byte("0123456789"))
+
+	// An op=read rule (written before partial reads existed) must fire
+	// on partial reads too.
+	inj := NewInjector(2, Rule{Node: 0, Op: OpRead, Kind: FaultTransient})
+	pr := inj.Wrap(io).(PartialReader)
+	if _, err := pr.ReadColumnAt(0, "o", 0, 0, 4); !errors.Is(err, ErrTransient) {
+		t.Fatalf("op=read rule skipped partial read: %v", err)
+	}
+
+	// An op=readat rule must fire on partial reads only.
+	inj = NewInjector(3, Rule{Node: 0, Op: OpReadAt, Kind: FaultTransient})
+	wrapped := inj.Wrap(io)
+	if _, err := wrapped.ReadColumn(0, "o", 0); err != nil {
+		t.Fatalf("op=readat rule fired on whole-column read: %v", err)
+	}
+	if _, err := wrapped.(PartialReader).ReadColumnAt(0, "o", 0, 0, 4); !errors.Is(err, ErrTransient) {
+		t.Fatalf("op=readat rule skipped partial read: %v", err)
+	}
+	if got := inj.Stats().Transients; got != 1 {
+		t.Fatalf("transients = %d, want 1", got)
+	}
+}
+
+func TestReadColumnAtCorruptStaysInRange(t *testing.T) {
+	io := newFakeIO()
+	orig := []byte("0123456789abcdef")
+	_ = io.WriteColumn(0, "o", 0, orig)
+	inj := NewInjector(4, Rule{Node: 0, Op: OpReadAt, Kind: FaultCorrupt, Bytes: 2})
+	pr := inj.Wrap(io).(PartialReader)
+	got, err := pr.ReadColumnAt(0, "o", 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("partial read returned %d bytes, want 4", len(got))
+	}
+	if bytes.Equal(got, orig[4:8]) {
+		t.Fatal("corrupt fault did not flip any byte of the range")
+	}
+	// The backing store must be untouched (bad read, not bad media).
+	back, _ := io.ReadColumn(0, "o", 0)
+	if !bytes.Equal(back, orig) {
+		t.Fatal("corrupt read mutated the stored column")
+	}
+	if inj.Stats().CorruptReads != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", inj.Stats().CorruptReads)
+	}
+}
+
+func TestParseScheduleReadAt(t *testing.T) {
+	rules, err := ParseSchedule("op=readat,fault=corrupt,node=2,bytes=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Op != OpReadAt || rules[0].Kind != FaultCorrupt || rules[0].Node != 2 || rules[0].Bytes != 3 {
+		t.Fatalf("parsed rule %+v", rules[0])
+	}
+	if _, err := ParseSchedule("op=readatx,fault=crash"); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	var pe *ParseError
+	if _, err := ParseSchedule("op=readat,op=readat,fault=crash"); !errors.As(err, &pe) || pe.Key != "op" {
+		t.Fatalf("duplicate op: %v", err)
+	}
+}

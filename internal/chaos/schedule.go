@@ -36,7 +36,8 @@ func (e *ParseError) Error() string {
 // comma-separated list of key=value selectors and parameters:
 //
 //	node=<int>|*        target node (default *)
-//	op=read|write|any   operation kind (default any)
+//	op=read|write|readat|any   operation kind (default any; read also
+//	                    matches partial reads, readat matches only them)
 //	object=<name>|*     object name (default *)
 //	stripe=<int>|*      exact global stripe (default *)
 //	stripe>=<int>       stripes at or beyond N
@@ -138,10 +139,12 @@ func parseRule(clause string) (Rule, error) {
 				r.Op = OpRead
 			case "write":
 				r.Op = OpWrite
+			case "readat":
+				r.Op = OpReadAt
 			case "any":
 				r.Op = OpAny
 			default:
-				return fail(key, "bad op %q (want read|write|any)", val)
+				return fail(key, "bad op %q (want read|write|readat|any)", val)
 			}
 		case "object":
 			if val == "*" {

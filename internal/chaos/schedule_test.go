@@ -97,6 +97,9 @@ func FuzzParseSchedule(f *testing.F) {
 		"fault=crash",
 		"node=3,fault=corrupt,stripe>=7,bytes=2;node=1,fault=transient,rate=0.3",
 		"op=write,fault=torn,keep=0.7,object=video",
+		"op=readat,fault=corrupt,node=2,bytes=3",
+		"op=readat,fault=latency,latency=2ms;op=read,fault=transient,rate=0.5",
+		"op=readat,fault=torn",
 		"fault=latency,latency=10ms,count=3,after=1;",
 		"node=*,stripe=*,fault=transient,rate=1",
 		"fault=crash;;fault=torn",

@@ -17,6 +17,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"approxcode/internal/core"
@@ -125,6 +126,41 @@ func PlanBaseline(c erasure.Coder, nodeSize int, failed []int) (*Plan, error) {
 	return &Plan{Tasks: []core.RepairTask{{
 		ReadNodes:  survivors,
 		WriteNodes: writes,
+		Bytes:      int64(nodeSize),
+	}}}, nil
+}
+
+// PlanMinimal builds the repair plan for a conventional stripe using
+// the coder's read planner when it has one (erasure.ReadPlanner):
+// locality-aware codes read a single local group instead of k arbitrary
+// survivors, which is exactly the traffic cut LRC exists for. Coders
+// without a planner get the PlanBaseline full-k plan, so the two are
+// directly comparable.
+func PlanMinimal(c erasure.Coder, nodeSize int, failed []int) (*Plan, error) {
+	rp, ok := c.(erasure.ReadPlanner)
+	if !ok {
+		return PlanBaseline(c, nodeSize, failed)
+	}
+	if nodeSize <= 0 {
+		return nil, fmt.Errorf("cluster: invalid node size %d", nodeSize)
+	}
+	targets, err := erasure.CheckPlanTargets(failed, c.TotalShards())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if len(targets) == 0 {
+		return &Plan{}, nil
+	}
+	reads, err := rp.PlanRead(targets)
+	if errors.Is(err, erasure.ErrTooManyErasures) {
+		return &Plan{UnrecoverableBytes: int64(len(targets)) * int64(nodeSize)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Tasks: []core.RepairTask{{
+		ReadNodes:  reads,
+		WriteNodes: targets,
 		Bytes:      int64(nodeSize),
 	}}}, nil
 }

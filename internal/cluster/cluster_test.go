@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"approxcode/internal/core"
+	"approxcode/internal/lrc"
 	"approxcode/internal/rs"
 )
 
@@ -284,5 +285,65 @@ func TestSlowFactorStretchesRecovery(t *testing.T) {
 	}
 	if zero.Time != base.Time {
 		t.Fatalf("zero factor not treated as nominal: %.3fs vs %.3fs", zero.Time, base.Time)
+	}
+}
+
+// TestPlanMinimalLRCReadsLocalGroup: for a single data failure the
+// minimal plan of LRC(k,l,r) reads exactly the failed shard's local
+// group — k/l columns — while the baseline reads k survivors. The
+// resulting simulated repair moves proportionally fewer bytes and
+// finishes sooner.
+func TestPlanMinimalLRCReadsLocalGroup(t *testing.T) {
+	c, err := lrc.New(10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodeSize = 1 << 20
+	minPlan, err := PlanMinimal(c, nodeSize, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePlan, err := PlanBaseline(c, nodeSize, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(minPlan.Tasks[0].ReadNodes); got != 5 {
+		t.Fatalf("minimal LRC(10,2,2) plan reads %d columns, want the 5-column local group", got)
+	}
+	if got := len(basePlan.Tasks[0].ReadNodes); got != 10 {
+		t.Fatalf("baseline plan reads %d columns, want k=10", got)
+	}
+	cfg := DefaultConfig()
+	minRes, err := Simulate(cfg, minPlan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := Simulate(cfg, basePlan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minRes.BytesRead*2 != baseRes.BytesRead {
+		t.Fatalf("bytes read: minimal %d, baseline %d, want exactly half", minRes.BytesRead, baseRes.BytesRead)
+	}
+	if minRes.Time >= baseRes.Time {
+		t.Fatalf("minimal repair not faster: %.3fs vs %.3fs", minRes.Time, baseRes.Time)
+	}
+}
+
+// TestPlanMinimalBeyondTolerance mirrors PlanBaseline's abandonment
+// contract: patterns past the code's recoverability yield no tasks,
+// only unrecoverable bytes.
+func TestPlanMinimalBeyondTolerance(t *testing.T) {
+	c, err := lrc.New(6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three data shards of one group exceed LRC(6,2,1) recoverability.
+	plan, err := PlanMinimal(c, 1024, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 0 || plan.UnrecoverableBytes != 3*1024 {
+		t.Fatalf("beyond-tolerance plan: %+v", plan)
 	}
 }

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"approxcode/internal/erasure"
+)
+
+var _ erasure.ReadPlanner = (*Code)(nil)
+
+// codewordPlan returns the global node indexes that must be read to
+// repair codeword (l, m)'s erased members, or nil when the codeword has
+// none. When the sub-coder plans reads itself (RS/LRC/XOR array codes
+// all do) the plan is its minimal survivor set; otherwise every
+// surviving member of the codeword is planned — still far less than the
+// whole global stripe, because a codeword spans only one local stripe's
+// k+r columns (plus the g global nodes when important).
+func (c *Code) codewordPlan(l, m int, failed map[int]bool) ([]int, error) {
+	nodes := c.codewordNodes(l, m)
+	var targets []int
+	for i, n := range nodes {
+		if failed[n] {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	coder := c.local
+	if c.Important(l, m) {
+		coder = c.full
+	}
+	if rp, ok := coder.(erasure.ReadPlanner); ok {
+		posPlan, err := rp.PlanRead(targets)
+		if err != nil {
+			return nil, fmt.Errorf("%s plan (%d,%d): %w", c.Name(), l, m, err)
+		}
+		plan := make([]int, len(posPlan))
+		for i, pos := range posPlan {
+			plan[i] = nodes[pos]
+		}
+		return plan, nil
+	}
+	if len(targets) > coder.FaultTolerance() {
+		return nil, fmt.Errorf("%s plan (%d,%d): %w: %d erased",
+			c.Name(), l, m, erasure.ErrTooManyErasures, len(targets))
+	}
+	plan := make([]int, 0, len(nodes)-len(targets))
+	for _, n := range nodes {
+		if !failed[n] {
+			plan = append(plan, n)
+		}
+	}
+	return plan, nil
+}
+
+// PlanRead implements erasure.ReadPlanner: the union of the per-codeword
+// plans of every codeword touching an erased node. A single failed data
+// node of local stripe l plans only stripe l's columns (plus globals for
+// its important rows) — never the other h-1 local stripes. Patterns any
+// codeword cannot repair (approximate loss) return an error wrapping
+// erasure.ErrTooManyErasures; callers fall back to the full-stripe
+// best-effort path.
+func (c *Code) PlanRead(erased []int) ([]int, error) {
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return nil, fmt.Errorf("%s plan: %w", c.Name(), err)
+	}
+	if len(targets) == 0 {
+		return []int{}, nil
+	}
+	failed := make(map[int]bool, len(targets))
+	for _, e := range targets {
+		failed[e] = true
+	}
+	need := make(map[int]bool)
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			plan, err := c.codewordPlan(l, m, failed)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range plan {
+				need[n] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(need))
+	for n := range need {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ReconstructErased implements erasure.ReadPlanner.
+func (c *Code) ReconstructErased(shards [][]byte, erased []int) error {
+	_, err := c.ReconstructErasedReport(shards, erased)
+	return err
+}
+
+// ReconstructErasedReport rebuilds exactly the erased node columns from
+// the shards PlanRead named, leaving unread entries untouched, and
+// accounts the survivor bytes consumed (Report.BytesRead — the repair
+// network traffic) and bytes rebuilt. Unlike ReconstructReport it is
+// all-or-nothing: any unrecoverable codeword or absent planned shard is
+// an error, and callers fall back to the full-stripe best-effort path.
+func (c *Code) ReconstructErasedReport(shards [][]byte, erased []int) (*Report, error) {
+	defer c.recHist.Start().Stop()
+	if len(shards) != c.TotalShards() {
+		return nil, fmt.Errorf("%s reconstruct erased: %w: got %d, want %d",
+			c.Name(), erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return nil, fmt.Errorf("%s reconstruct erased: %w", c.Name(), err)
+	}
+	rep := &Report{ImportantOK: true}
+	if len(targets) == 0 {
+		return rep, nil
+	}
+	failed := make(map[int]bool, len(targets))
+	size := -1
+	for _, e := range targets {
+		failed[e] = true
+	}
+	for i, s := range shards {
+		if failed[i] || len(s) == 0 {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, fmt.Errorf("%s reconstruct erased: %w: unequal shard sizes",
+				c.Name(), erasure.ErrShardSize)
+		}
+	}
+	if size <= 0 || size%c.ShardSizeMultiple() != 0 {
+		return nil, fmt.Errorf("%s reconstruct erased: %w: size %d not a positive multiple of %d",
+			c.Name(), erasure.ErrShardSize, size, c.ShardSizeMultiple())
+	}
+	for _, e := range targets {
+		shards[e] = make([]byte, size)
+	}
+	subSize := size / c.p.H
+	for l := 0; l < c.p.H; l++ {
+		for m := 0; m < c.p.H; m++ {
+			read, rebuilt, err := c.repairSubStripePlanned(shards, failed, l, m)
+			if err != nil {
+				return nil, err
+			}
+			rep.BytesRead += int64(read * subSize)
+			rep.BytesRebuilt += int64(rebuilt * subSize)
+		}
+	}
+	return rep, nil
+}
+
+// repairSubStripePlanned repairs codeword (l, m)'s erased sub-blocks
+// from exactly the planned survivors, returning the number of survivor
+// sub-blocks read and sub-blocks rebuilt.
+func (c *Code) repairSubStripePlanned(shards [][]byte, failed map[int]bool, l, m int) (read, rebuilt int, err error) {
+	nodes := c.codewordNodes(l, m)
+	var targets []int
+	for i, n := range nodes {
+		if failed[n] {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		return 0, 0, nil
+	}
+	coder := c.local
+	if c.Important(l, m) {
+		coder = c.full
+	}
+	cw := make([][]byte, len(nodes))
+	for i, n := range nodes {
+		if failed[n] || shards[n] == nil {
+			continue
+		}
+		cw[i] = sub(shards[n], c.subRowOnNode(n, l, m), c.p.H)
+	}
+	if rp, ok := coder.(erasure.ReadPlanner); ok {
+		posPlan, err := rp.PlanRead(targets)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s reconstruct erased (%d,%d): %w", c.Name(), l, m, err)
+		}
+		for _, pos := range posPlan {
+			if cw[pos] == nil {
+				return 0, 0, fmt.Errorf("%s reconstruct erased (%d,%d): %w: planned node %d absent",
+					c.Name(), l, m, erasure.ErrShardSize, nodes[pos])
+			}
+		}
+		if err := rp.ReconstructErased(cw, targets); err != nil {
+			return 0, 0, fmt.Errorf("%s reconstruct erased (%d,%d): %w", c.Name(), l, m, err)
+		}
+		read = len(posPlan)
+	} else {
+		for i, n := range nodes {
+			if !failed[n] {
+				if cw[i] == nil {
+					return 0, 0, fmt.Errorf("%s reconstruct erased (%d,%d): %w: planned node %d absent",
+						c.Name(), l, m, erasure.ErrShardSize, n)
+				}
+				read++
+			}
+		}
+		if err := coder.Reconstruct(cw); err != nil {
+			return 0, 0, fmt.Errorf("%s reconstruct erased (%d,%d): %w", c.Name(), l, m, err)
+		}
+	}
+	for _, pos := range targets {
+		n := nodes[pos]
+		copy(sub(shards[n], c.subRowOnNode(n, l, m), c.p.H), cw[pos])
+		rebuilt++
+	}
+	return read, rebuilt, nil
+}
+
+// PlanSubBlockRead returns the sub-blocks a degraded read of sub-block
+// (node, row) must fetch, given the set of failed nodes. A live target
+// plans only itself; a failed one plans its owning codeword's minimal
+// survivor set. This is the segment-read analogue of PlanRead: a
+// storage layer with partial-column reads moves only these sub-blocks.
+func (c *Code) PlanSubBlockRead(node, row int, failedNodes []int) ([]SubBlock, error) {
+	l, m, err := c.locateSubStripe(node, row)
+	if err != nil {
+		return nil, err
+	}
+	failed := make(map[int]bool, len(failedNodes))
+	for _, f := range failedNodes {
+		failed[f] = true
+	}
+	if !failed[node] {
+		return []SubBlock{{Node: node, Row: row}}, nil
+	}
+	nodes := c.codewordNodes(l, m)
+	var targets []int
+	pos := -1
+	for i, n := range nodes {
+		if n == node {
+			pos = i
+		}
+		if failed[n] {
+			targets = append(targets, i)
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("core: node %d not part of sub-stripe (%d,%d)", node, l, m)
+	}
+	coder := c.local
+	if c.Important(l, m) {
+		coder = c.full
+	}
+	var posPlan []int
+	if rp, ok := coder.(erasure.ReadPlanner); ok {
+		if posPlan, err = rp.PlanRead(targets); err != nil {
+			return nil, fmt.Errorf("%s plan sub-block (%d,%d): %w", c.Name(), node, row, err)
+		}
+	} else {
+		if len(targets) > coder.FaultTolerance() {
+			return nil, fmt.Errorf("%s plan sub-block (%d,%d): %w",
+				c.Name(), node, row, erasure.ErrTooManyErasures)
+		}
+		for i, n := range nodes {
+			if !failed[n] {
+				posPlan = append(posPlan, i)
+			}
+		}
+	}
+	out := make([]SubBlock, len(posPlan))
+	for i, p := range posPlan {
+		n := nodes[p]
+		out[i] = SubBlock{Node: n, Row: c.subRowOnNode(n, l, m)}
+	}
+	return out, nil
+}
+
+// ReconstructSubBlock decodes sub-block (node, row) from the planned
+// sub-block contents fetched per PlanSubBlockRead, given the same
+// failed-node set. The returned slice is freshly allocated (or the
+// provided block itself for a live target).
+func (c *Code) ReconstructSubBlock(subs map[SubBlock][]byte, node, row int, failedNodes []int) ([]byte, error) {
+	l, m, err := c.locateSubStripe(node, row)
+	if err != nil {
+		return nil, err
+	}
+	failed := make(map[int]bool, len(failedNodes))
+	for _, f := range failedNodes {
+		failed[f] = true
+	}
+	if !failed[node] {
+		blk, ok := subs[SubBlock{Node: node, Row: row}]
+		if !ok {
+			return nil, fmt.Errorf("core: sub-block (%d,%d) not provided", node, row)
+		}
+		return blk, nil
+	}
+	nodes := c.codewordNodes(l, m)
+	cw := make([][]byte, len(nodes))
+	var targets []int
+	pos := -1
+	size := -1
+	for i, n := range nodes {
+		if n == node {
+			pos = i
+		}
+		if failed[n] {
+			targets = append(targets, i)
+			continue
+		}
+		blk, ok := subs[SubBlock{Node: n, Row: c.subRowOnNode(n, l, m)}]
+		if !ok {
+			continue
+		}
+		if size == -1 {
+			size = len(blk)
+		} else if len(blk) != size {
+			return nil, fmt.Errorf("%s sub-block (%d,%d): %w: unequal sub-block sizes",
+				c.Name(), node, row, erasure.ErrShardSize)
+		}
+		cw[i] = blk
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("core: node %d not part of sub-stripe (%d,%d)", node, l, m)
+	}
+	coder := c.local
+	if c.Important(l, m) {
+		coder = c.full
+	}
+	if rp, ok := coder.(erasure.ReadPlanner); ok {
+		if err := rp.ReconstructErased(cw, targets); err != nil {
+			return nil, fmt.Errorf("%s sub-block (%d,%d): %w", c.Name(), node, row, err)
+		}
+		return cw[pos], nil
+	}
+	if err := coder.Reconstruct(cw); err != nil {
+		return nil, fmt.Errorf("%s sub-block (%d,%d): %w", c.Name(), node, row, err)
+	}
+	return cw[pos], nil
+}

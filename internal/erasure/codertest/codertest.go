@@ -73,7 +73,78 @@ func Run(t *testing.T, c erasure.Coder, opts ...Options) {
 	t.Run("ReconstructNoopPreservesData", func(t *testing.T) { testReconstructNoop(t, c, o) })
 	t.Run("ParityOnlyErasure", func(t *testing.T) { testParityOnlyErasure(t, c, o) })
 	t.Run("EncodeValidation", func(t *testing.T) { testEncodeValidation(t, c, o) })
+	t.Run("ReadPlans", func(t *testing.T) { testReadPlans(t, c, o) })
 	t.Run("Concurrent", func(t *testing.T) { testConcurrent(t, c, o) })
+}
+
+// testReadPlans asserts the erasure.ReadPlanner contract for every
+// single and double erasure pattern within the fault tolerance: the
+// plan is sorted, in range and disjoint from the erasures, and
+// ReconstructErased rebuilds the erased shards byte-exactly when handed
+// a stripe holding ONLY the planned shards — every unplanned survivor
+// nil — without touching any entry outside the target set. Coders that
+// do not plan reads skip.
+func testReadPlans(t *testing.T, c erasure.Coder, o Options) {
+	rp, ok := c.(erasure.ReadPlanner)
+	if !ok {
+		t.Skip("coder does not implement erasure.ReadPlanner")
+	}
+	orig, err := erasure.RandomStripe(c, o.ShardSize, o.Seed+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxF := min(2, c.FaultTolerance())
+	for f := 1; f <= maxF; f++ {
+		erasure.Combinations(c.TotalShards(), f, func(idx []int) bool {
+			erased := append([]int(nil), idx...)
+			plan, err := rp.PlanRead(erased)
+			if err != nil {
+				t.Fatalf("PlanRead(%v): %v", erased, err)
+			}
+			isErased := make(map[int]bool, len(erased))
+			for _, e := range erased {
+				isErased[e] = true
+			}
+			for i, p := range plan {
+				if p < 0 || p >= c.TotalShards() {
+					t.Fatalf("PlanRead(%v): planned shard %d out of range", erased, p)
+				}
+				if isErased[p] {
+					t.Fatalf("PlanRead(%v): plans erased shard %d", erased, p)
+				}
+				if i > 0 && plan[i-1] >= p {
+					t.Fatalf("PlanRead(%v): plan %v not sorted/unique", erased, plan)
+				}
+			}
+			// A stripe holding only the planned shards: everything else,
+			// erased or merely unplanned, is nil.
+			stripe := make([][]byte, c.TotalShards())
+			for _, p := range plan {
+				stripe[p] = append([]byte(nil), orig[p]...)
+			}
+			if err := rp.ReconstructErased(stripe, erased); err != nil {
+				t.Fatalf("ReconstructErased(%v) from plan %v: %v", erased, plan, err)
+			}
+			for _, e := range erased {
+				if !bytes.Equal(stripe[e], orig[e]) {
+					t.Fatalf("ReconstructErased(%v): shard %d not byte-exact", erased, e)
+				}
+			}
+			planned := make(map[int]bool, len(plan))
+			for _, p := range plan {
+				planned[p] = true
+			}
+			for i := range stripe {
+				if isErased[i] || planned[i] {
+					continue
+				}
+				if stripe[i] != nil {
+					t.Fatalf("ReconstructErased(%v): touched unplanned shard %d", erased, i)
+				}
+			}
+			return true
+		})
+	}
 }
 
 func testShape(t *testing.T, c erasure.Coder) {

@@ -1,0 +1,62 @@
+package erasure
+
+import "fmt"
+
+// ReadPlanner is an optional interface for coders that can name the
+// minimal set of surviving shards a reconstruction needs to read, and
+// then rebuild only the requested targets from exactly that set. It is
+// the contract behind minimal-read repair and degraded reads: the store
+// reads the planned columns instead of the whole stripe, cutting repair
+// network traffic (locality-aware codes like LRC plan a single local
+// group for a lone data failure; MDS codes plan any k survivors).
+//
+// The two methods compose: shards fetched per PlanRead(erased) are
+// exactly what ReconstructErased(shards, erased) consumes. Entries
+// outside the plan may be nil and are NOT treated as erasures — unlike
+// Reconstruct, which rebuilds every nil entry, ReconstructErased
+// rebuilds only the listed targets and leaves every other entry
+// untouched.
+type ReadPlanner interface {
+	// PlanRead returns the shard indexes that must be read to rebuild
+	// the erased targets, assuming every non-erased shard is readable.
+	// The result is sorted, disjoint from erased, and minimal for the
+	// coder's decode strategy (local group for LRC single-data
+	// failures, k survivors for MDS codes, the decode plan's touched
+	// columns for XOR array codes). An empty erased list yields an
+	// empty plan. Patterns beyond the code's tolerance return
+	// ErrTooManyErasures.
+	PlanRead(erased []int) ([]int, error)
+	// ReconstructErased rebuilds exactly the shards listed in erased,
+	// reading only the shards named by PlanRead(erased) (which must be
+	// present and of equal length). Erased entries are allocated and
+	// filled in place; all other entries — nil or not — are left
+	// untouched. This is the plan-shaped counterpart of Reconstruct:
+	// nil entries outside the target set are "unread", not "lost".
+	ReconstructErased(shards [][]byte, erased []int) error
+}
+
+// CheckPlanTargets validates an erasure-target list against a coder
+// shape: every index in range, strictly increasing order not required
+// but duplicates rejected. Returns a defensive sorted copy. Shared by
+// the ReadPlanner implementations.
+func CheckPlanTargets(erased []int, total int) ([]int, error) {
+	out := make([]int, 0, len(erased))
+	seen := make(map[int]bool, len(erased))
+	for _, e := range erased {
+		if e < 0 || e >= total {
+			return nil, fmt.Errorf("%w: erased shard %d out of range [0,%d)", ErrShardCount, e, total)
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("%w: erased shard %d listed twice", ErrShardCount, e)
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	// Insertion sort: target lists are tiny (at most the tolerance).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package lrc
+
+import (
+	"fmt"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+	"approxcode/internal/matrix"
+)
+
+var _ erasure.ReadPlanner = (*Coder)(nil)
+
+// PlanRead implements erasure.ReadPlanner. This is where LRC earns its
+// keep: a single data-shard failure plans only the failed shard's local
+// group — the surviving group members plus the group's XOR parity,
+// ceil(k/l) shards total instead of k. Parity-only erasures plan just
+// the data shards their coefficient rows touch (a local parity needs
+// only its group). Every other pattern falls back to the maximally
+// recoverable global solve, whose cached elimination plan consumes all
+// survivors.
+func (c *Coder) PlanRead(erased []int) ([]int, error) {
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return nil, fmt.Errorf("lrc plan: %w", err)
+	}
+	if len(targets) == 0 {
+		return []int{}, nil
+	}
+	if len(targets) == 1 && targets[0] < c.k {
+		g := c.groupOf[targets[0]]
+		plan := make([]int, 0, len(c.groups[g]))
+		for _, m := range c.groups[g] {
+			if m != targets[0] {
+				plan = append(plan, m)
+			}
+		}
+		return append(plan, c.k+g), nil
+	}
+	if targets[0] >= c.k {
+		// Parity-only: every data shard survives, so each target is
+		// re-encoded from the data its coefficient row touches.
+		need := make(map[int]bool)
+		for _, t := range targets {
+			if t < c.k+c.l {
+				for _, m := range c.groups[t-c.k] {
+					need[m] = true
+				}
+			} else {
+				for i := 0; i < c.k; i++ {
+					need[i] = true
+				}
+			}
+		}
+		plan := make([]int, 0, len(need))
+		for i := 0; i < c.k; i++ {
+			if need[i] {
+				plan = append(plan, i)
+			}
+		}
+		return plan, nil
+	}
+	gp, err := c.globalPlanFor(targets)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), gp.rows...), nil
+}
+
+// globalPlanFor returns (computing and caching if needed) the global
+// decode plan for the sorted erasure pattern — the same cache entry
+// reconstructGlobal uses, so planning and decoding share one
+// elimination.
+func (c *Coder) globalPlanFor(targets []int) (*globalPlan, error) {
+	v, err := c.plans.GetOrCompute(matrix.PatternKey(targets), func() (any, error) {
+		isErased := make(map[int]bool, len(targets))
+		for _, e := range targets {
+			isErased[e] = true
+		}
+		var rows []int
+		for i := 0; i < c.TotalShards(); i++ {
+			if !isErased[i] {
+				rows = append(rows, i)
+			}
+		}
+		plan, err := matrix.PlanGaussian(c.coef.SelectRows(rows))
+		if err != nil {
+			return nil, err
+		}
+		return &globalPlan{rows: rows, plan: plan}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lrc plan: %w: pattern %v not recoverable",
+			erasure.ErrTooManyErasures, targets)
+	}
+	return v.(*globalPlan), nil
+}
+
+// ReconstructErased implements erasure.ReadPlanner: it rebuilds exactly
+// the erased targets from the shards PlanRead named, leaving unread
+// entries untouched. The branch structure mirrors PlanRead so the two
+// stay in lockstep.
+func (c *Coder) ReconstructErased(shards [][]byte, erased []int) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("lrc reconstruct erased: %w: got %d, want %d",
+			erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return fmt.Errorf("lrc reconstruct erased: %w", err)
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	if len(targets) == 1 && targets[0] < c.k {
+		g := c.groupOf[targets[0]]
+		parity := shards[c.k+g]
+		if len(parity) == 0 {
+			return fmt.Errorf("lrc reconstruct erased: %w: planned shard %d absent",
+				erasure.ErrShardSize, c.k+g)
+		}
+		out := append([]byte(nil), parity...)
+		for _, m := range c.groups[g] {
+			if m == targets[0] {
+				continue
+			}
+			if len(shards[m]) != len(out) {
+				return fmt.Errorf("lrc reconstruct erased: %w: planned shard %d absent or mis-sized",
+					erasure.ErrShardSize, m)
+			}
+			gf256.XorSlice(shards[m], out)
+		}
+		shards[targets[0]] = out
+		return nil
+	}
+	if targets[0] >= c.k {
+		// Parity-only: each target is one dot product over the (present)
+		// data shards its coefficient row touches.
+		for _, t := range targets {
+			var coeffs []byte
+			var srcs [][]byte
+			size := -1
+			for i := 0; i < c.k; i++ {
+				coeff := c.coef.At(t, i)
+				if coeff == 0 {
+					continue
+				}
+				if len(shards[i]) == 0 {
+					return fmt.Errorf("lrc reconstruct erased: %w: planned shard %d absent",
+						erasure.ErrShardSize, i)
+				}
+				if size == -1 {
+					size = len(shards[i])
+				} else if len(shards[i]) != size {
+					return fmt.Errorf("lrc reconstruct erased: %w: shard %d has %d bytes, others %d",
+						erasure.ErrShardSize, i, len(shards[i]), size)
+				}
+				coeffs = append(coeffs, coeff)
+				srcs = append(srcs, shards[i])
+			}
+			if size == -1 {
+				return fmt.Errorf("lrc reconstruct erased: %w: parity %d touches no data",
+					erasure.ErrShardSize, t)
+			}
+			dst := make([]byte, size)
+			gf256.DotProduct(coeffs, srcs, dst)
+			shards[t] = dst
+		}
+		return nil
+	}
+	gp, err := c.globalPlanFor(targets)
+	if err != nil {
+		return fmt.Errorf("lrc reconstruct erased: %w", err)
+	}
+	size := -1
+	rhs := make([][]byte, len(gp.rows))
+	for i, row := range gp.rows {
+		s := shards[row]
+		if len(s) == 0 {
+			return fmt.Errorf("lrc reconstruct erased: %w: planned shard %d absent",
+				erasure.ErrShardSize, row)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("lrc reconstruct erased: %w: shard %d has %d bytes, others %d",
+				erasure.ErrShardSize, row, len(s), size)
+		}
+		rhs[i] = s
+	}
+	data := make([][]byte, c.k)
+	for i := range data {
+		data[i] = make([]byte, size)
+	}
+	if err := gp.plan.Apply(rhs, data, c.par); err != nil {
+		return fmt.Errorf("lrc reconstruct erased: %w", err)
+	}
+	var encRows, encDsts [][]byte
+	for _, t := range targets {
+		if t < c.k {
+			shards[t] = data[t]
+			continue
+		}
+		dst := make([]byte, size)
+		shards[t] = dst
+		encRows = append(encRows, c.coef.Row(t))
+		encDsts = append(encDsts, dst)
+	}
+	gf256.DotProducts(encRows, data, encDsts, c.par)
+	return nil
+}

@@ -1,0 +1,84 @@
+package lrc
+
+import (
+	"bytes"
+	"testing"
+
+	"approxcode/internal/erasure"
+)
+
+// TestPlanReadLocalGroupMinimal is the locality acceptance test: for a
+// single data-shard failure the read plan must be exactly the failed
+// shard's local group — its surviving members plus the group's XOR
+// parity, at most ceil(k/l)+1 shards — never the k-wide global solve.
+// The byte accounting goes with it: rebuilding from precisely those
+// shards must be byte-exact.
+func TestPlanReadLocalGroupMinimal(t *testing.T) {
+	for _, shape := range []struct{ k, l, r int }{
+		{6, 3, 2}, {12, 4, 2}, {12, 6, 2}, {7, 3, 2}, {10, 2, 3},
+	} {
+		c, err := New(shape.k, shape.l, shape.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripe, err := erasure.RandomStripe(c, 96, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxWidth := (shape.k+shape.l-1)/shape.l + 1
+		for d := 0; d < shape.k; d++ {
+			plan, err := c.PlanRead([]int{d})
+			if err != nil {
+				t.Fatalf("LRC(%d,%d,%d) PlanRead([%d]): %v", shape.k, shape.l, shape.r, d, err)
+			}
+			if len(plan) > maxWidth {
+				t.Fatalf("LRC(%d,%d,%d) PlanRead([%d]) = %v: width %d exceeds k/l+1 = %d",
+					shape.k, shape.l, shape.r, d, plan, len(plan), maxWidth)
+			}
+			// The plan must be the local group: survivors of d's group plus
+			// parity k+g, and nothing else.
+			g := c.groupOf[d]
+			want := make(map[int]bool, len(c.groups[g])+1)
+			for _, m := range c.groups[g] {
+				if m != d {
+					want[m] = true
+				}
+			}
+			want[shape.k+g] = true
+			if len(plan) != len(want) {
+				t.Fatalf("LRC(%d,%d,%d) PlanRead([%d]) = %v: want exactly group %d (%v + parity %d)",
+					shape.k, shape.l, shape.r, d, plan, g, c.groups[g], shape.k+g)
+			}
+			bytesMoved := 0
+			got := make([][]byte, c.TotalShards())
+			for _, p := range plan {
+				if !want[p] {
+					t.Fatalf("LRC(%d,%d,%d) PlanRead([%d]) reads %d outside group %d",
+						shape.k, shape.l, shape.r, d, p, g)
+				}
+				got[p] = append([]byte(nil), stripe[p]...)
+				bytesMoved += len(stripe[p])
+			}
+			if err := c.ReconstructErased(got, []int{d}); err != nil {
+				t.Fatalf("LRC(%d,%d,%d) ReconstructErased([%d]): %v", shape.k, shape.l, shape.r, d, err)
+			}
+			if !bytes.Equal(got[d], stripe[d]) {
+				t.Fatalf("LRC(%d,%d,%d) shard %d not byte-exact from local group", shape.k, shape.l, shape.r, d)
+			}
+			if maxBytes := maxWidth * 96; bytesMoved > maxBytes {
+				t.Fatalf("LRC(%d,%d,%d) repair of shard %d moved %d bytes, cap %d",
+					shape.k, shape.l, shape.r, d, bytesMoved, maxBytes)
+			}
+		}
+		// A full-stripe baseline for contrast: the global path would read
+		// at least k shards; the local plan must beat it whenever the
+		// group is smaller than the stripe.
+		plan, err := c.PlanRead([]int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shape.l > 1 && len(plan) >= shape.k {
+			t.Fatalf("LRC(%d,%d,%d): local plan %v no narrower than any-k", shape.k, shape.l, shape.r, plan)
+		}
+	}
+}

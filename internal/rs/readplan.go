@@ -1,0 +1,133 @@
+package rs
+
+import (
+	"fmt"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+	"approxcode/internal/matrix"
+)
+
+var _ erasure.ReadPlanner = (*Coder)(nil)
+
+// planFor returns (computing and caching if needed) the decode plan for
+// the given sorted erasure pattern. The same cache backs Reconstruct, so
+// a PlanRead followed by ReconstructErased for the same pattern costs
+// one inversion total.
+func (c *Coder) planFor(erased []int) (*decodePlan, error) {
+	v, err := c.plans.GetOrCompute(matrix.PatternKey(erased), func() (any, error) {
+		isErased := make(map[int]bool, len(erased))
+		for _, e := range erased {
+			isErased[e] = true
+		}
+		var rows []int
+		for i := 0; i < c.TotalShards() && len(rows) < c.k; i++ {
+			if !isErased[i] {
+				rows = append(rows, i)
+			}
+		}
+		inv, err := c.gen.SelectRows(rows).Invert()
+		if err != nil {
+			return nil, err
+		}
+		return &decodePlan{rows: rows, inv: inv}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*decodePlan), nil
+}
+
+// PlanRead implements erasure.ReadPlanner. RS is MDS, so any k survivors
+// decode the stripe; the plan is the cached decode plan's survivor rows
+// (the first k non-erased shards, data-first).
+func (c *Coder) PlanRead(erased []int) ([]int, error) {
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return nil, fmt.Errorf("rs plan: %w", err)
+	}
+	if len(targets) == 0 {
+		return []int{}, nil
+	}
+	if len(targets) > c.r {
+		return nil, fmt.Errorf("rs plan: %w: %d erased, tolerance %d",
+			erasure.ErrTooManyErasures, len(targets), c.r)
+	}
+	plan, err := c.planFor(targets)
+	if err != nil {
+		return nil, fmt.Errorf("rs plan: %w", err)
+	}
+	return append([]int(nil), plan.rows...), nil
+}
+
+// ReconstructErased implements erasure.ReadPlanner: it rebuilds exactly
+// the erased targets from the planned survivors, leaving every other
+// entry (including unread nil ones) untouched. Each target — data or
+// parity — is a single dot product over the k survivors: data target t
+// uses row t of the inverted sub-generator; parity target t uses
+// gen.Row(t) composed with the inverse (the survivors→parity map),
+// so no intermediate data shards are materialized.
+func (c *Coder) ReconstructErased(shards [][]byte, erased []int) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("rs reconstruct erased: %w: got %d, want %d",
+			erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return fmt.Errorf("rs reconstruct erased: %w", err)
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	if len(targets) > c.r {
+		return fmt.Errorf("rs reconstruct erased: %w: %d erased, tolerance %d",
+			erasure.ErrTooManyErasures, len(targets), c.r)
+	}
+	plan, err := c.planFor(targets)
+	if err != nil {
+		return fmt.Errorf("rs reconstruct erased: %w", err)
+	}
+	size := -1
+	survivors := make([][]byte, len(plan.rows))
+	for i, row := range plan.rows {
+		s := shards[row]
+		if len(s) == 0 {
+			return fmt.Errorf("rs reconstruct erased: %w: planned shard %d absent",
+				erasure.ErrShardSize, row)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("rs reconstruct erased: %w: shard %d has %d bytes, others %d",
+				erasure.ErrShardSize, row, len(s), size)
+		}
+		survivors[i] = s
+	}
+	rows := make([][]byte, 0, len(targets))
+	dsts := make([][]byte, 0, len(targets))
+	for _, t := range targets {
+		var row []byte
+		if t < c.k {
+			row = plan.inv.Row(t)
+		} else {
+			// Compose the parity row with the inverse: coefficients of
+			// parity t directly over the survivors.
+			row = make([]byte, c.k)
+			gr := c.gen.Row(t)
+			for j := 0; j < c.k; j++ {
+				var acc byte
+				for m := 0; m < c.k; m++ {
+					acc ^= gf256.Mul(gr[m], plan.inv.At(m, j))
+				}
+				row[j] = acc
+			}
+		}
+		if len(shards[t]) != size {
+			shards[t] = make([]byte, size)
+		}
+		rows = append(rows, row)
+		dsts = append(dsts, shards[t])
+	}
+	gf256.DotProducts(rows, survivors, dsts, c.par)
+	return nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"time"
+
+	"approxcode/internal/chaos"
 )
 
 // castagnoli is the CRC-32C polynomial table used for all shard
@@ -81,6 +83,34 @@ func (m *memIO) ReadColumn(node int, object string, stripe int) ([]byte, error) 
 	// caller-side mutation (a chaos corrupt rule, an in-place decode)
 	// silently damage the stored column.
 	return append([]byte(nil), cols[stripe]...), nil
+}
+
+// ReadColumnAt returns n bytes of the column starting at off — the
+// partial-column read behind segment-granular degraded reads. It
+// implements chaos.PartialReader so an injector wrapping this NodeIO
+// passes partial reads straight through instead of falling back to a
+// whole-column read.
+func (m *memIO) ReadColumnAt(node int, object string, stripe, off, n int) ([]byte, error) {
+	if node < 0 || node >= len(m.s.nodes) {
+		return nil, fmt.Errorf("%w: node %d out of range", ErrInvalid, node)
+	}
+	nd := m.s.nodes[node]
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	if nd.failed {
+		return nil, fmt.Errorf("%w: node %d", ErrNodeUnavailable, node)
+	}
+	cols := nd.columns[object]
+	if cols == nil || stripe < 0 || stripe >= len(cols) || cols[stripe] == nil {
+		return nil, errColumnMissing
+	}
+	col := cols[stripe]
+	if off < 0 || n < 0 || off+n > len(col) {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside column of %d bytes",
+			ErrInvalid, off, off+n, len(col))
+	}
+	// Copy on the boundary, as for whole-column reads.
+	return append([]byte(nil), col[off:off+n]...), nil
 }
 
 // WriteColumn stores a column on the node. It intentionally ignores the
@@ -170,6 +200,81 @@ func (s *Store) readColumn(node int, object string, stripe int) ([]byte, error) 
 		if errors.Is(err, errColumnMissing) || errors.Is(err, ErrNodeUnavailable) {
 			// Permanent for this read: nothing stored, or the node is
 			// crashed. Not a health event and not worth retrying.
+			return nil, err
+		}
+		lastErr = err
+		s.metrics.readErrors.Inc()
+		if s.health.fail(node) == HealthFailed {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// readColumnAt reads a byte range of one column through the NodeIO.
+// When the I/O stack supports partial reads (memIO always does; a
+// chaos.Injector passes them through) only the requested range moves;
+// otherwise the whole column is read and sliced. Retries mirror
+// readColumn's policy without hedging — a partial read is already the
+// cheap path, a straggler just retries.
+func (s *Store) readColumnAt(node int, object string, stripe, off, n int) ([]byte, error) {
+	if s.health.state(node) == HealthFailed {
+		return nil, fmt.Errorf("%w: node %d health-failed", ErrNodeUnavailable, node)
+	}
+	pr, partial := s.io.(chaos.PartialReader)
+	attempt := func() ([]byte, error) {
+		t := s.metrics.nodeRead.Start()
+		defer t.Stop()
+		s.metrics.readAttempts.Inc()
+		if partial {
+			data, err := pr.ReadColumnAt(node, object, stripe, off, n)
+			if err == nil {
+				s.metrics.partialReads.Inc()
+				s.metrics.partialReadBytes.Add(int64(len(data)))
+				s.metrics.readBytes.Add(int64(len(data)))
+			}
+			return data, err
+		}
+		col, err := s.io.ReadColumn(node, object, stripe)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.readBytes.Add(int64(len(col)))
+		if off < 0 || n < 0 || off+n > len(col) {
+			return nil, fmt.Errorf("%w: range [%d,%d) outside column of %d bytes",
+				ErrInvalid, off, off+n, len(col))
+		}
+		return col[off : off+n], nil
+	}
+	if s.plainIO {
+		data, err := attempt()
+		if err == nil {
+			s.health.ok(node)
+		}
+		return data, err
+	}
+	deadline := time.Now().Add(s.retry.OpDeadline)
+	backoff := s.retry.BaseBackoff
+	var lastErr error
+	for try := 0; try < s.retry.MaxAttempts; try++ {
+		if try > 0 {
+			d := s.jitter(backoff)
+			if time.Now().Add(d).After(deadline) {
+				break
+			}
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > s.retry.MaxBackoff {
+				backoff = s.retry.MaxBackoff
+			}
+			s.metrics.retries.Inc()
+		}
+		data, err := attempt()
+		if err == nil {
+			s.health.ok(node)
+			return data, nil
+		}
+		if errors.Is(err, errColumnMissing) || errors.Is(err, ErrNodeUnavailable) || errors.Is(err, ErrInvalid) {
 			return nil, err
 		}
 		lastErr = err

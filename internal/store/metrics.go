@@ -31,11 +31,22 @@ type storeMetrics struct {
 	readBytes     *obs.Counter
 	writeBytes    *obs.Counter
 
+	// Read-planning accounting: partial-column reads and their bytes,
+	// escalations from a minimal plan to the full-stripe final rung, and
+	// per-path plan widths (columns read per planned stripe, recorded on
+	// the histogram's microsecond scale: one "µs" = one column).
+	partialReads     *obs.Counter
+	partialReadBytes *obs.Counter
+	planFallbacks    *obs.Counter
+	readPlanWidth    *obs.Histogram
+	repairPlanWidth  *obs.Histogram
+
 	// Repair orchestrator progress (the queue gauge is set by the
 	// active run; counters accumulate across runs).
 	repairQueueDepth      *obs.Gauge
 	repairBytesImportant  *obs.Counter
 	repairBytesBestEffort *obs.Counter
+	repairReadBytes       *obs.Counter
 	repairCheckpoints     *obs.Counter
 	repairsResumed        *obs.Counter
 
@@ -84,9 +95,16 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		readBytes:        reg.Counter("store_node_read_bytes_total"),
 		writeBytes:       reg.Counter("store_node_write_bytes_total"),
 
+		partialReads:     reg.Counter("store_partial_reads_total"),
+		partialReadBytes: reg.Counter("store_partial_read_bytes_total"),
+		planFallbacks:    reg.Counter("store_plan_fallbacks_total"),
+		readPlanWidth:    reg.Histogram("store_read_plan_width_cols"),
+		repairPlanWidth:  reg.Histogram("store_repair_plan_width_cols"),
+
 		repairQueueDepth:      reg.Gauge("store_repair_queue_depth"),
 		repairBytesImportant:  reg.Counter("store_repair_bytes_important_total"),
 		repairBytesBestEffort: reg.Counter("store_repair_bytes_unimportant_total"),
+		repairReadBytes:       reg.Counter("store_repair_read_bytes_total"),
 		repairCheckpoints:     reg.Counter("store_repair_checkpoints_total"),
 		repairsResumed:        reg.Counter("store_repairs_resumed_total"),
 
@@ -98,14 +116,14 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		journalRecords:    reg.Counter("store_journal_records_total"),
 		journalBatchBytes: reg.Counter("store_journal_batch_bytes_total"),
 
-		opPut:            reg.Histogram("store_put_seconds"),
-		opGet:            reg.Histogram("store_get_seconds"),
-		opGetSegment:     reg.Histogram("store_get_segment_seconds"),
-		opUpdate:         reg.Histogram("store_update_seconds"),
-		opRepair:         reg.Histogram("store_repair_seconds"),
-		opScrub:          reg.Histogram("store_scrub_seconds"),
-		nodeRead:         reg.Histogram("store_node_read_seconds"),
-		nodeWrite:        reg.Histogram("store_node_write_seconds"),
+		opPut:        reg.Histogram("store_put_seconds"),
+		opGet:        reg.Histogram("store_get_seconds"),
+		opGetSegment: reg.Histogram("store_get_segment_seconds"),
+		opUpdate:     reg.Histogram("store_update_seconds"),
+		opRepair:     reg.Histogram("store_repair_seconds"),
+		opScrub:      reg.Histogram("store_scrub_seconds"),
+		nodeRead:     reg.Histogram("store_node_read_seconds"),
+		nodeWrite:    reg.Histogram("store_node_write_seconds"),
 	}
 }
 

@@ -47,6 +47,11 @@ type snapObject struct {
 	// Sums[stripe][node] are the CRC-32C column checksums. Living in
 	// the manifest — not on the nodes — they survive node corruption.
 	Sums [][]uint32
+	// SubSums[stripe][node][row] are the per-sub-block CRC-32C
+	// checksums behind partial-column reads. Absent in pre-sub-checksum
+	// snapshots (gob leaves the field nil); partial reads then fall
+	// back to whole-column verification.
+	SubSums [][][]uint32
 }
 
 // extentRecord mirrors extent with exported fields for gob.
@@ -237,8 +242,10 @@ func (s *Store) Save(dir string) error {
 	for _, obj := range s.objects.snapshot() {
 		obj.sumsMu.RLock()
 		sums := obj.sums
+		subSums := obj.subSums
 		obj.sumsMu.RUnlock()
-		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes, Sums: sums}
+		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes,
+			Sums: sums, SubSums: subSums}
 		for _, e := range obj.extents {
 			so.Extents = append(so.Extents, extentRecord{
 				Seg: e.seg, Stripe: e.stripe, Node: e.node, Row: e.row, Off: e.off, Length: e.length,
@@ -486,7 +493,8 @@ func loadAndReplay(dir string, opts LoadOptions) (*Store, *RecoverReport, error)
 	s.gen = snap.Generation
 	s.seq = snap.LastSeq
 	for _, so := range snap.Objects {
-		obj := &object{name: so.Name, segments: so.Segments, stripes: so.Stripes, sums: so.Sums}
+		obj := &object{name: so.Name, segments: so.Segments, stripes: so.Stripes,
+			sums: so.Sums, subSums: so.SubSums}
 		for _, e := range so.Extents {
 			obj.extents = append(obj.extents, extent{
 				seg: e.Seg, stripe: e.Stripe, node: e.Node, row: e.Row, off: e.Off, length: e.Length,
@@ -687,6 +695,7 @@ func (s *Store) applyRepairStripe(sr repairStripeRecord) {
 		return
 	}
 	sums := make(map[int]uint32, len(sr.Cols))
+	subSums := make(map[int][]uint32, len(sr.Cols))
 	for ni, col := range sr.Cols {
 		if ni < 0 || ni >= len(s.nodes) {
 			continue
@@ -699,7 +708,9 @@ func (s *Store) applyRepairStripe(sr repairStripeRecord) {
 		}
 		if sum, ok := sr.Sums[ni]; ok {
 			sums[ni] = sum
+			subSums[ni] = subColSums(col, s.cfg.Code.H)
 		}
 	}
 	obj.setSums(sr.Stripe, len(s.nodes), sums)
+	obj.setSubSums(sr.Stripe, len(s.nodes), subSums)
 }

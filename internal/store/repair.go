@@ -44,6 +44,11 @@ type RepairReport struct {
 	ShardsHealed int
 	// BytesRebuilt counts bytes written to replacement nodes.
 	BytesRebuilt int64
+	// BytesRead counts survivor bytes read off the nodes to feed the
+	// rebuilds — the repair's network traffic. Minimal-read planning
+	// exists to shrink this number; the full-stripe fallback reads every
+	// surviving column.
+	BytesRead int64
 	// LostSegments maps object name -> segment IDs with unrecoverable
 	// bytes (zero-filled on the replacement). Checkpointed losses from
 	// a resumed run carry over.
@@ -75,8 +80,10 @@ type RepairProgress struct {
 	// Tier0Remaining counts unfinished important-tier stripes; the
 	// best-effort tier does not start until it reaches zero.
 	Tier0Remaining int
-	// BytesRepaired counts bytes written back so far.
+	// BytesRepaired counts bytes written back so far; BytesRead counts
+	// survivor bytes read to feed those rebuilds.
 	BytesRepaired int64
+	BytesRead     int64
 	Paused        bool
 	Aborted       bool
 }
@@ -126,6 +133,7 @@ type Repair struct {
 	completed int
 	tier0Left int
 	bytes     int64
+	readBytes int64
 	doneSet   *pendingRepair
 	report    *RepairReport
 	err       error
@@ -256,6 +264,7 @@ func (r *Repair) Progress() RepairProgress {
 		QueueDepth:     r.total - r.completed,
 		Tier0Remaining: r.tier0Left,
 		BytesRepaired:  r.bytes,
+		BytesRead:      r.readBytes,
 		Paused:         r.paused,
 		Aborted:        r.aborted,
 	}
@@ -321,6 +330,7 @@ func (r *Repair) run() {
 			obs.A("stripes_resumed", r.report.StripesResumed),
 			obs.A("shards_healed", r.report.ShardsHealed),
 			obs.A("bytes_rebuilt", r.report.BytesRebuilt),
+			obs.A("bytes_read", r.report.BytesRead),
 			obs.A("aborted", r.report.Aborted))
 	}()
 	r.guard(func() {
@@ -491,22 +501,35 @@ func (r *Repair) runPool(jobs []repairJob) {
 	wg.Wait()
 }
 
-// repairStripe rebuilds one stripe: read survivors, reconstruct,
-// re-encode parity over any abandoned loss, checkpoint the commit into
-// the journal, and write the columns back.
+// repairStripe rebuilds one stripe: plan the minimal survivor set for
+// the failed nodes, read and verify exactly those columns, and rebuild
+// the losses — escalating to the full-stripe read when planning cannot
+// apply (beyond-tolerance patterns needing the approximate-loss
+// re-encode, or escalation running out of survivors). Rebuilt columns
+// are checkpointed into the journal and written back as before.
 func (r *Repair) repairStripe(j repairJob) {
 	s := r.s
 	rep := r.report
-	cols, demoted := s.readStripe(j.obj, j.stripe)
-	rr, err := s.code.ReconstructReport(cols, core.Options{})
-	if err != nil {
-		// Unreconstructable right now — typically a node failed
-		// mid-repair. Skip rather than abort: the stripe stays degraded
-		// and a later run retries.
-		r.mu.Lock()
-		rep.StripesSkipped++
-		r.mu.Unlock()
-		return
+	cols, demoted, rr, readBytes := r.plannedRepairRead(j)
+	if rr == nil {
+		// Final rung: full-stripe read + best-effort reconstruction
+		// (the pre-planning behaviour, including approximate loss).
+		s.metrics.planFallbacks.Inc()
+		cols, demoted = s.readStripe(j.obj, j.stripe)
+		for _, c := range cols {
+			readBytes += int64(len(c))
+		}
+		var err error
+		rr, err = s.code.ReconstructReport(cols, core.Options{})
+		if err != nil {
+			// Unreconstructable right now — typically a node failed
+			// mid-repair. Skip rather than abort: the stripe stays degraded
+			// and a later run retries.
+			r.mu.Lock()
+			rep.StripesSkipped++
+			r.mu.Unlock()
+			return
+		}
 	}
 	// When unimportant data is abandoned (zero-filled), the surviving
 	// parity still encodes the lost bytes. Accept the loss by
@@ -542,6 +565,7 @@ func (r *Repair) repairStripe(j repairJob) {
 	}
 	writeSet := make(map[int][]byte)
 	sums := make(map[int]uint32)
+	subs := make(map[int][]uint32)
 	var writeBytes int64
 	for ni := range s.nodes {
 		col := cols[ni]
@@ -555,14 +579,16 @@ func (r *Repair) repairStripe(j repairJob) {
 		}
 		writeSet[ni] = col
 		sums[ni] = colSum(col)
+		subs[ni] = subColSums(col, s.cfg.Code.H)
 		writeBytes += int64(len(col))
 	}
 	var lostSegs []int
 	if len(rr.Lost) > 0 {
 		lostSegs = segmentsTouching(j.obj, j.stripe, rr.Lost)
 	}
-	// Bandwidth budget covers the write-back volume.
-	r.rate.take(writeBytes)
+	// Bandwidth budget covers the whole repair traffic of the stripe:
+	// survivor bytes read plus rebuilt bytes written back.
+	r.rate.take(readBytes + writeBytes)
 	// Checkpoint first (write-ahead): once the record is synced the
 	// stripe's rebuild is durable — recovery replays the columns even if
 	// the process dies before the writes below land.
@@ -590,14 +616,17 @@ func (r *Repair) repairStripe(j repairJob) {
 				r.writeBad[ni] = true
 				r.mu.Unlock()
 				delete(sums, ni)
+				delete(subs, ni)
 				continue
 			}
 			healed++
 		}
 		j.obj.setSums(j.stripe, len(s.nodes), sums)
+		j.obj.setSubSums(j.stripe, len(s.nodes), subs)
 		s.lastCkpt.Store(time.Now().UnixNano())
 		s.metrics.repairCheckpoints.Inc()
 		s.metrics.shardsHealed.Add(int64(healed))
+		s.metrics.repairReadBytes.Add(readBytes)
 		if j.tier == 0 {
 			s.metrics.repairBytesImportant.Add(writeBytes)
 		} else {
@@ -607,7 +636,9 @@ func (r *Repair) repairStripe(j repairJob) {
 		rep.StripesRepaired++
 		rep.ShardsHealed += healed
 		rep.BytesRebuilt += rr.BytesRebuilt
+		rep.BytesRead += readBytes
 		r.bytes += writeBytes
+		r.readBytes += readBytes
 		if len(lostSegs) > 0 {
 			rep.LostSegments[j.obj.name] = mergeSorted(rep.LostSegments[j.obj.name], lostSegs)
 		}

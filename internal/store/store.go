@@ -186,6 +186,22 @@ type object struct {
 	sumsMu sync.RWMutex
 	// sums[stripe][node] is the CRC-32C of the column as written.
 	sums [][]uint32
+	// subSums[stripe][node][row] is the CRC-32C of each of the column's
+	// H sub-blocks, published alongside sums. They let a partial-column
+	// read verify just the sub-block it moved; an object loaded from a
+	// pre-sub-checksum snapshot has nil entries and partial reads fall
+	// back to whole-column verification.
+	subSums [][][]uint32
+}
+
+// subColSums computes the per-sub-block CRC-32C row of one column.
+func subColSums(col []byte, h int) []uint32 {
+	sub := len(col) / h
+	out := make([]uint32, h)
+	for r := 0; r < h; r++ {
+		out[r] = colSum(col[r*sub : (r+1)*sub])
+	}
+	return out
 }
 
 // sumsRow returns the published checksum row for a stripe (nil when the
@@ -217,6 +233,37 @@ func (o *object) setSums(stripe, width int, updates map[int]uint32) {
 		row[ni] = sum
 	}
 	o.sums[stripe] = row
+}
+
+// subSumsRow returns the published sub-block checksum rows for a stripe
+// (nil when absent, e.g. loaded from a pre-sub-checksum snapshot).
+func (o *object) subSumsRow(stripe int) [][]uint32 {
+	o.sumsMu.RLock()
+	defer o.sumsMu.RUnlock()
+	if stripe < len(o.subSums) {
+		return o.subSums[stripe]
+	}
+	return nil
+}
+
+// setSubSums publishes new per-sub-block checksums for some columns of
+// a stripe, copy-on-write like setSums: the outer row is replaced, a
+// published inner []uint32 is never mutated.
+func (o *object) setSubSums(stripe, width int, updates map[int][]uint32) {
+	if len(updates) == 0 {
+		return
+	}
+	o.sumsMu.Lock()
+	defer o.sumsMu.Unlock()
+	for len(o.subSums) <= stripe {
+		o.subSums = append(o.subSums, nil)
+	}
+	row := make([][]uint32, width)
+	copy(row, o.subSums[stripe])
+	for ni, sums := range updates {
+		row[ni] = sums
+	}
+	o.subSums[stripe] = row
 }
 
 // Open creates a store with healthy nodes.
@@ -573,11 +620,15 @@ func (s *Store) preparePut(segs []Segment) (*preparedPut, error) {
 // failing is dropped — the column becomes an erasure that repair or
 // scrub heals later.
 func (s *Store) commitPut(name string, pp *preparedPut) {
+	h := s.cfg.Code.H
 	sums := make([][]uint32, pp.stripes)
+	subs := make([][][]uint32, pp.stripes)
 	for st, stripe := range pp.cols {
 		sums[st] = make([]uint32, len(stripe))
+		subs[st] = make([][]uint32, len(stripe))
 		for ni, col := range stripe {
 			sums[st][ni] = colSum(col)
+			subs[st][ni] = subColSums(col, h)
 			if s.nodeFailed(ni) {
 				continue
 			}
@@ -587,7 +638,8 @@ func (s *Store) commitPut(name string, pp *preparedPut) {
 			s.crash("put.mid-write")
 		}
 	}
-	obj := &object{name: name, segments: pp.meta, extents: pp.extents, stripes: pp.stripes, sums: sums}
+	obj := &object{name: name, segments: pp.meta, extents: pp.extents,
+		stripes: pp.stripes, sums: sums, subSums: subs}
 	s.objects.publish(name, obj)
 	// The node writes copied every column at the I/O boundary, so the
 	// encode buffers can go back to the pool.
@@ -719,23 +771,37 @@ func (s *Store) get(name string) ([]Segment, *GetReport, error) {
 	}
 	buf := make(map[int][]byte, len(obj.segments))
 	lost := make(map[int]bool)
-	// Cache assembled stripes and decoded sub-blocks.
-	stripeCache := make(map[int][][]byte)
+	// Group extents per stripe (the read planner needs the full set a
+	// stripe must serve), then cache assembled stripes and decoded
+	// sub-blocks.
+	byStripe := make(map[int][]extent)
+	for _, e := range obj.extents {
+		byStripe[e.stripe] = append(byStripe[e.stripe], e)
+	}
+	stripeCache := make(map[int]*stripeRead)
 	blockCache := make(map[[3]int][]byte)
 	for _, e := range obj.extents {
-		cols, ok := stripeCache[e.stripe]
+		sr, ok := stripeCache[e.stripe]
 		if !ok {
-			var demoted []int
-			cols, demoted = s.readStripe(obj, e.stripe)
-			rep.ChecksumFailures += len(demoted)
-			stripeCache[e.stripe] = cols
+			sr = s.readStripeForGet(obj, e.stripe, byStripe[e.stripe], rep)
+			stripeCache[e.stripe] = sr
 		}
 		key := [3]int{e.stripe, e.node, e.row}
 		block, ok := blockCache[key]
 		if !ok {
 			var decoded bool
 			var err error
-			block, decoded, err = s.code.ReadSubBlockReport(cols, e.node, e.row)
+			block, decoded, err = s.stripeSubBlock(sr, e.node, e.row)
+			if err != nil && sr.planned {
+				// The planned set could not serve this sub-block after
+				// all — take the full-stripe final rung for the stripe.
+				s.metrics.planFallbacks.Inc()
+				cols, demoted := s.readStripe(obj, e.stripe)
+				rep.ChecksumFailures += len(demoted)
+				sr = &stripeRead{cols: cols}
+				stripeCache[e.stripe] = sr
+				block, decoded, err = s.stripeSubBlock(sr, e.node, e.row)
+			}
 			if err != nil {
 				block = nil
 			}
@@ -771,12 +837,23 @@ func (s *Store) get(name string) ([]Segment, *GetReport, error) {
 
 // GetSegment returns a single segment, decoding around failures. It
 // returns ErrUnavailable when the segment's data cannot be recovered.
+//
+// The fast path moves only the segment's own sub-block ranges via
+// partial-column reads (verified against per-sub-block checksums),
+// decoding erased sub-blocks from their codeword's minimal survivor
+// set. When planning or verification cannot apply — legacy objects
+// without sub-checksums, beyond-tolerance losses — it falls back to the
+// whole-object read, byte-for-byte the previous behaviour.
 func (s *Store) GetSegment(name string, id int) (Segment, error) {
 	if err := s.admit.acquire("GetSegment"); err != nil {
 		return Segment{}, err
 	}
 	defer s.admit.release()
 	defer s.metrics.opGetSegment.Start().Stop()
+	if seg, done, err := s.getSegmentFast(name, id); done {
+		return seg, err
+	}
+	s.metrics.planFallbacks.Inc()
 	segs, rep, err := s.get(name)
 	if err != nil {
 		return Segment{}, err
@@ -976,7 +1053,7 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 						mu.Lock()
 						rep.ChecksumFailures += len(demoted)
 						mu.Unlock()
-						r, err := s.code.ReconstructReport(cols, core.Options{})
+						r, err := s.reconstructForHeal(cols, demoted)
 						if err != nil || len(r.Lost) > 0 {
 							mu.Lock()
 							rep.Corrupt = append(rep.Corrupt, fmt.Sprintf("%s/%d", j.obj.name, j.stripe))
@@ -988,6 +1065,7 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 						// Write the healed columns back in place (skipping
 						// nodes that crashed meanwhile — repair's job).
 						sums := make(map[int]uint32)
+						subUp := make(map[int][]uint32)
 						for _, ni := range demoted {
 							if cols[ni] == nil || s.nodeFailed(ni) {
 								continue
@@ -996,8 +1074,10 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 								continue
 							}
 							sums[ni] = colSum(cols[ni])
+							subUp[ni] = subColSums(cols[ni], s.cfg.Code.H)
 						}
 						j.obj.setSums(j.stripe, len(s.nodes), sums)
+						j.obj.setSubSums(j.stripe, len(s.nodes), subUp)
 						healedNow = len(sums)
 					}
 					j.obj.updateMu.Unlock()

@@ -147,8 +147,9 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 			}
 		}
 		// Swap the mutated clones in through the I/O stack and publish
-		// their new checksums.
+		// their new checksums (whole-column and per-sub-block).
 		sums := make(map[int]uint32)
+		subSums := make(map[int][]uint32)
 		for i := range cols {
 			if !mutated[i] {
 				continue
@@ -157,8 +158,10 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 				return fmt.Errorf("store update: write node %d: %w", i, err)
 			}
 			sums[i] = colSum(cols[i])
+			subSums[i] = subColSums(cols[i], s.cfg.Code.H)
 		}
 		obj.setSums(st, len(s.nodes), sums)
+		obj.setSubSums(st, len(s.nodes), subSums)
 		s.crash("update.mid-write")
 	}
 	return nil

@@ -1,0 +1,111 @@
+package xorcode
+
+import (
+	"fmt"
+
+	"approxcode/internal/erasure"
+	"approxcode/internal/gf256"
+	"approxcode/internal/parallel"
+)
+
+var _ erasure.ReadPlanner = (*Code)(nil)
+
+// PlanRead implements erasure.ReadPlanner: the plan is the set of
+// distinct columns the cached decode plan's XOR steps actually read.
+// After Gauss-Jordan every step reads surviving cells only, so for
+// sparse patterns (one lost column of a TIP/RDP code) the step list
+// frequently skips whole surviving columns the elimination never
+// touched.
+func (c *Code) PlanRead(erased []int) ([]int, error) {
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return nil, fmt.Errorf("%s plan: %w", c.name, err)
+	}
+	if len(targets) == 0 {
+		return []int{}, nil
+	}
+	plan, err := c.decodePlan(targets)
+	if err != nil {
+		return nil, err
+	}
+	need := make(map[int]bool)
+	for _, step := range plan {
+		for _, ki := range step.known {
+			need[ki/c.rows] = true
+		}
+	}
+	out := make([]int, 0, len(need))
+	for col := 0; col < c.TotalShards(); col++ {
+		if need[col] {
+			out = append(out, col)
+		}
+	}
+	return out, nil
+}
+
+// ReconstructErased implements erasure.ReadPlanner: it rebuilds exactly
+// the erased columns from the planned survivors, leaving every other
+// entry — including unread nil ones — untouched. The decode steps are
+// the same cached step list Reconstruct replays; they read only cells
+// of planned columns by construction.
+func (c *Code) ReconstructErased(shards [][]byte, erased []int) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%s reconstruct erased: %w: got %d, want %d",
+			c.name, erasure.ErrShardCount, len(shards), c.TotalShards())
+	}
+	targets, err := erasure.CheckPlanTargets(erased, c.TotalShards())
+	if err != nil {
+		return fmt.Errorf("%s reconstruct erased: %w", c.name, err)
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	plan, err := c.decodePlan(targets)
+	if err != nil {
+		return err
+	}
+	// Validate exactly the columns the steps will read.
+	size := -1
+	for _, step := range plan {
+		for _, ki := range step.known {
+			col := ki / c.rows
+			if len(shards[col]) == 0 {
+				return fmt.Errorf("%s reconstruct erased: %w: planned shard %d absent",
+					c.name, erasure.ErrShardSize, col)
+			}
+			if size == -1 {
+				size = len(shards[col])
+			} else if len(shards[col]) != size {
+				return fmt.Errorf("%s reconstruct erased: %w: shard %d has %d bytes, others %d",
+					c.name, erasure.ErrShardSize, col, len(shards[col]), size)
+			}
+		}
+	}
+	if size == -1 || size%c.rows != 0 {
+		return fmt.Errorf("%s reconstruct erased: %w: length %d not a multiple of %d",
+			c.name, erasure.ErrShardSize, size, c.rows)
+	}
+	for _, e := range targets {
+		shards[e] = make([]byte, size)
+	}
+	cellSize := size / c.rows
+	decodeStepRange := func(s, lo, hi int) {
+		step := plan[s]
+		dst := chunk(shards[step.lost/c.rows], step.lost%c.rows, c.rows)[lo:hi]
+		for _, ki := range step.known {
+			gf256.XorSlice(chunk(shards[ki/c.rows], ki%c.rows, c.rows)[lo:hi], dst)
+		}
+	}
+	if c.par.EffectiveWorkers() == 1 || size*c.TotalShards() < minStripedBytes {
+		for s := range plan {
+			decodeStepRange(s, 0, cellSize)
+		}
+		return nil
+	}
+	nc := parallel.Chunks(cellSize, c.par)
+	parallel.Run(len(plan)*nc, c.par.Workers(), func(t int) {
+		lo, hi := parallel.ChunkBounds(cellSize, c.par, t%nc)
+		decodeStepRange(t/nc, lo, hi)
+	})
+	return nil
+}
