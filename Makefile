@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 stress metrics-bench ci
+.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos net-chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 stress metrics-bench ci
 
 all: build
 
@@ -17,11 +17,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# errcheck-style gate: a call statement in internal/store that drops an
-# error result fails the build (see cmd/errvet; `_ =` marks deliberate
-# discards).
+# errcheck-style gate: a call statement in the audited packages that
+# drops an error result fails the build (see cmd/errvet; `_ =` marks
+# deliberate discards). internal/net is in the set because network code
+# is where errors get dropped.
 errvet:
-	$(GO) run ./cmd/errvet ./internal/store
+	$(GO) run ./cmd/errvet ./internal/store ./internal/net
 
 # vet plus staticcheck when it is installed (skipped silently offline —
 # the container image does not bundle it).
@@ -48,6 +49,15 @@ race:
 # Deterministic per seed; see internal/chaos and DESIGN.md §7.
 chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/store/ ./internal/chaos/...
+
+# Socket-level chaos suite: the same exact-or-flagged invariants, but
+# the store's backend is a netio.Client talking to live TCP DataNodes
+# through fault-injecting proxies (crash/latency/corrupt/torn/
+# partition), plus the heartbeat-liveness and end-to-end kill/rejoin
+# tests, all under the race detector. See internal/net and DESIGN.md
+# §13.
+net-chaos:
+	$(GO) test -race -run 'TestChaosNet|TestLiveness|TestEndToEnd|TestPartitionHeartbeatPath' ./internal/net/
 
 # Crash-consistency matrix: the journaled-store workload is killed at
 # every registered crash point (torn journal appends, mid-write, each
@@ -107,4 +117,4 @@ bench-pr6:
 bench-pr7:
 	$(GO) run ./cmd/apprbench -exp pr7 -iters 3
 
-ci: lint errvet build test test-noasm race race-hammer stress chaos crash fuzz metrics-bench bench-pr7
+ci: lint errvet build test test-noasm race race-hammer stress chaos net-chaos crash fuzz metrics-bench bench-pr7

@@ -11,16 +11,26 @@
 //	curl localhost:9090/metrics          # Prometheus text format
 //	curl localhost:9090/debug/vars       # expvar JSON
 //	go tool pprof localhost:9090/debug/pprof/profile?seconds=5
+//
+// With -master the store's backend is a netio.Client: columns live on
+// remote apprnode DataNodes discovered through the master's node map,
+// and the whole pipeline — ingest, node failure, degraded reads,
+// repair — runs over live TCP (see the README multi-process
+// quick-start).
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"os"
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
+	netio "approxcode/internal/net"
 	"approxcode/internal/obs"
 	"approxcode/internal/store"
 	"approxcode/internal/video"
@@ -32,11 +42,24 @@ var (
 	seedFlag   = flag.Int64("seed", 1, "seed for fault injection and retry jitter")
 	traceFlag  = flag.Bool("trace", false, "stream span events (one line per store operation) to stderr")
 	dirFlag    = flag.String("dir", "", "durable store directory: journal every mutation and demo a kill-and-recover after the repair (empty = in-memory)")
+	masterFlag = flag.String("master", "", "apprnode master address: store columns on remote DataNodes from its node map instead of in-memory nodes")
 )
 
 func main() {
 	flag.Parse()
+	if err := run(); err != nil {
+		// A bind failure is a configuration error, not a runtime fault:
+		// report which role failed to bind where and exit distinctly.
+		var be *netio.BindError
+		if errors.As(err, &be) {
+			fmt.Fprintf(os.Stderr, "storageserver: %v\n", be)
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	// The demo always runs with a live registry so every step below
 	// lands in the histograms the HTTP endpoint exports.
 	reg := obs.NewRegistry(true)
@@ -44,21 +67,35 @@ func main() {
 		reg.SetSpanSink(obs.NewWriterSink(log.Writer()))
 	}
 
+	// Bind the observability listener before doing any work: a bad
+	// -listen address fails the run up front as a typed *BindError
+	// instead of surfacing from a background goroutine mid-demo.
+	var obsLn net.Listener
+	if *listenFlag != "" {
+		ln, err := net.Listen("tcp", *listenFlag)
+		if err != nil {
+			return &netio.BindError{Role: "metrics", Addr: *listenFlag, Err: err}
+		}
+		obsLn = ln
+		obs.ServeOn(obsLn, reg, func(err error) { log.Printf("metrics server: %v", err) })
+		fmt.Printf("serving metrics and pprof on %s\n", obsLn.Addr())
+	}
+
 	// 1. A video arrives as a bitstream container.
 	stream, err := video.Generate(video.DefaultConfig(), 300)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var container bytes.Buffer
 	if err := video.WriteStream(&container, stream); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("container: %d bytes for %d frames\n", container.Len(), len(stream.Frames))
 
 	// 2. The identification module parses it and tags I frames important.
 	info, frames, err := video.ParseStream(&container)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("parsed: %dx%d @ %d fps, %d frames\n", info.Width, info.Height, info.FPS, info.FrameCount)
 	segs := make([]store.Segment, len(frames))
@@ -79,32 +116,58 @@ func main() {
 	}
 	var inj *chaos.Injector
 	if *chaosFlag != "" {
+		if *masterFlag != "" {
+			return fmt.Errorf("-chaos and -master are mutually exclusive: fault-inject the transport with a netio.ChaosProxy in front of the DataNodes instead")
+		}
 		rules, err := chaos.ParseSchedule(*chaosFlag)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		inj = chaos.NewInjector(*seedFlag, rules...)
 		cfg.WrapIO = inj.Wrap
 	}
+
+	// With -master the backend is a network client over the master's
+	// node map: the client owns retries/hedging at the network edge,
+	// the store takes its single-attempt path.
+	if *masterFlag != "" {
+		if *dirFlag != "" {
+			return fmt.Errorf("-dir and -master are mutually exclusive: with remote DataNodes durability lives on the nodes")
+		}
+		client, err := netio.Dial(netio.ClientConfig{
+			Master: *masterFlag,
+			Retry:  netio.RetryPolicy{Seed: *seedFlag},
+			Obs:    reg,
+		})
+		if err != nil {
+			return fmt.Errorf("dial master %s: %w", *masterFlag, err)
+		}
+		defer client.Close()
+		c, err := core.New(cfg.Code)
+		if err != nil {
+			return err
+		}
+		if got, total := len(client.Nodes()), c.TotalShards(); got < total {
+			return fmt.Errorf("master knows %d node(s), the code needs %d: start more apprnode data processes", got, total)
+		}
+		cfg.Backend = client
+		fmt.Printf("networked: %d DataNode columns via master %s\n", len(client.Nodes()), *masterFlag)
+	}
+
 	var st *store.Store
 	if *dirFlag != "" {
 		var rec *store.RecoverReport
 		st, rec, err = store.OpenDurable(*dirFlag, cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("durable store at %s: generation %d, %d journal ops replayed\n",
 			*dirFlag, rec.Generation, rec.ReplayedOps)
 	} else {
 		st, err = store.Open(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-	}
-	if *listenFlag != "" {
-		reg.PublishExpvar("approxcode")
-		obs.Serve(*listenFlag, reg, func(err error) { log.Fatal(err) })
-		fmt.Printf("serving metrics and pprof on %s\n", *listenFlag)
 	}
 	exists := false
 	for _, name := range st.Objects() {
@@ -113,34 +176,44 @@ func main() {
 	if exists {
 		fmt.Println("object clip survived a previous run; skipping ingest")
 	} else if err := st.Put("clip", segs); err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if *masterFlag != "" {
+		// Publish the object to the master's catalog so `apprnode
+		// status` sees what the cluster holds.
+		stripes, _ := st.ObjectStripes("clip")
+		if err := netio.ReportObject(*masterFlag, "clip", stripes, 0); err != nil {
+			return fmt.Errorf("report object: %w", err)
+		}
 	}
 	stats := st.Stats()
 	fmt.Printf("stored: %d object(s) on %d nodes, %d bytes incl. parity (overhead %.3fx)\n",
 		stats.Objects, stats.Nodes, stats.StoredBytes, st.Code().StorageOverhead())
 
 	// 4. Crash two data nodes of one local stripe (beyond r=1 for the
-	// unimportant tier) and serve a degraded read.
+	// unimportant tier) and serve a degraded read. With -master this is
+	// the administrative fail set — the store plans reads around the
+	// nodes without asking the network.
 	dn := st.Code().DataNodeIndexes()
 	if err := st.FailNodes(dn[0], dn[1]); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	got, rep, err := st.Get("clip")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("degraded read: %d segments served, %d unrecoverable P/B segments\n",
 		len(got), len(rep.LostSegments))
 	for _, id := range rep.LostSegments {
 		if stream.Frames[id].Kind == video.FrameI {
-			log.Fatal("an important segment was lost")
+			return fmt.Errorf("an important segment was lost")
 		}
 	}
 
 	// 5. Parallel repair onto replacement nodes.
 	rrep, err := st.RepairAll()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("repair: %d stripes, %d bytes rebuilt, %d segments abandoned to fuzzy recovery\n",
 		rrep.StripesRepaired, rrep.BytesRebuilt, len(rrep.LostSegments["clip"]))
@@ -150,7 +223,7 @@ func main() {
 	// plus the journal, including the repair's checkpoints.
 	if *dirFlag != "" {
 		if err := st.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		st, _, err = store.Recover(*dirFlag, store.LoadOptions{
 			Lenient: true,
@@ -159,10 +232,10 @@ func main() {
 			WrapIO:  cfg.WrapIO,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if _, _, err := st.Get("clip"); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("kill-and-recover: store rebuilt from %s, failed nodes %v, clip still serves\n",
 			*dirFlag, st.FailedNodes())
@@ -176,7 +249,7 @@ func main() {
 	if len(lost) > 0 {
 		res, err := stream.RecoverLost(lost)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("interpolation: %d frames re-synthesized, mean PSNR %.2f dB\n",
 			len(res.Frames), res.MeanPSNR)
@@ -187,7 +260,7 @@ func main() {
 	// 7. Scrub confirms parity consistency end to end.
 	scrub, err := st.Scrub()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("scrub: %d stripes checked, %d corrupt\n", scrub.StripesChecked, len(scrub.Corrupt))
 
@@ -201,12 +274,13 @@ func main() {
 
 	// 8. With -listen, keep serving reads so scrapes and profiles see a
 	// live workload rather than a terminated process.
-	if *listenFlag != "" {
+	if obsLn != nil {
 		fmt.Println("demo complete; replaying Get(clip) forever (ctrl-c to stop)")
 		for {
 			if _, _, err := st.Get("clip"); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
+	return nil
 }

@@ -16,6 +16,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -32,6 +33,13 @@ var (
 	// ErrTransient is an injected transient I/O error: retrying the
 	// operation may succeed.
 	ErrTransient = errors.New("chaos: transient I/O error")
+	// ErrColumnMissing marks a column that was never stored on a node
+	// (e.g. a write skipped while the node was down). It is not a node
+	// fault: the storage layer treats it as a plain erasure, with no
+	// health penalty and no retries. It lives here — the NodeIO contract
+	// package — so every backend (in-memory, disk, network) reports the
+	// condition with one sentinel.
+	ErrColumnMissing = errors.New("chaos: column missing")
 )
 
 // OpKind classifies a node I/O operation.
@@ -115,6 +123,14 @@ const (
 	// FaultTorn truncates a write to Rule.KeepFraction of the column (a
 	// torn/partial write); reads are unaffected.
 	FaultTorn
+	// FaultPartition models a network partition. In-process injection
+	// fails the operation with ErrNodeUnavailable (indistinguishable
+	// from a crash without a wire); a transport-level injector (the
+	// netio chaos proxy) instead black-holes the connection — the
+	// request is swallowed and never answered, so the caller observes a
+	// deadline expiry rather than a refused connection, exactly the
+	// failure signature a real partition produces.
+	FaultPartition
 )
 
 // String implements fmt.Stringer.
@@ -130,6 +146,8 @@ func (k FaultKind) String() string {
 		return "corrupt"
 	case FaultTorn:
 		return "torn"
+	case FaultPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -205,11 +223,12 @@ type Stats struct {
 	Crashes, Transients, Latencies int64
 	CorruptReads, CorruptWrites    int64
 	TornWrites                     int64
+	Partitions                     int64
 }
 
 // Total is the number of faults injected across all modes.
 func (s Stats) Total() int64 {
-	return s.Crashes + s.Transients + s.Latencies + s.CorruptReads + s.CorruptWrites + s.TornWrites
+	return s.Crashes + s.Transients + s.Latencies + s.CorruptReads + s.CorruptWrites + s.TornWrites + s.Partitions
 }
 
 type ruleState struct {
@@ -226,13 +245,13 @@ type Injector struct {
 	inner NodeIO
 	rules []*ruleState
 	stats Stats
-	sleep func(time.Duration) // test hook
+	sleep func(time.Duration) // test hook; nil = cancellable timer sleep
 }
 
 // NewInjector creates an injector with the given seed and initial
 // rules. Bind it to a backend with Wrap before use.
 func NewInjector(seed int64, rules ...Rule) *Injector {
-	in := &Injector{rng: rand.New(rand.NewSource(seed)), sleep: time.Sleep}
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
 	in.AddRules(rules...)
 	return in
 }
@@ -288,22 +307,35 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
-// decision is the composed outcome of all rules firing on one op.
-type decision struct {
-	delay        time.Duration
-	err          error
-	corruptBytes int
-	torn         bool
-	keepFraction float64
+// Decision is the composed outcome of all rules firing on one op. The
+// Injector's own NodeIO methods consume it internally; transport-level
+// injectors — the netio chaos proxy interposing live TCP connections —
+// call Decide on decoded wire requests and apply the same schedule at
+// the network boundary.
+type Decision struct {
+	// Delay is the injected straggler latency to serve before the op.
+	Delay time.Duration
+	// Err, when non-nil, fails the op (crash or transient).
+	Err error
+	// CorruptBytes is how many bytes of the payload to flip.
+	CorruptBytes int
+	// Torn marks a write to truncate to KeepFraction of its payload.
+	Torn         bool
+	KeepFraction float64
+	// Partitioned marks the op as caught in a network partition: a
+	// transport injector black-holes it (no response, the peer's
+	// deadline expires); the in-process injector fails it with Err
+	// (already set to ErrNodeUnavailable).
+	Partitioned bool
 }
 
-// decide evaluates the schedule against op under the lock, advancing
+// Decide evaluates the schedule against op under the lock, advancing
 // rule counters and drawing randomness in rule order (deterministic for
 // a serial workload).
-func (in *Injector) decide(op Op) decision {
+func (in *Injector) Decide(op Op) Decision {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	var d decision
+	var d Decision
 	for _, r := range in.rules {
 		if !r.matches(op) {
 			continue
@@ -322,26 +354,26 @@ func (in *Injector) decide(op Op) decision {
 		case FaultCrash:
 			r.fired++
 			in.stats.Crashes++
-			if d.err == nil {
-				d.err = fmt.Errorf("%w: injected crash on node %d", ErrNodeUnavailable, op.Node)
+			if d.Err == nil {
+				d.Err = fmt.Errorf("%w: injected crash on node %d", ErrNodeUnavailable, op.Node)
 			}
 		case FaultTransient:
 			r.fired++
 			in.stats.Transients++
-			if d.err == nil {
-				d.err = fmt.Errorf("%w: node %d %s %s/%d", ErrTransient, op.Node, op.Kind, op.Object, op.Stripe)
+			if d.Err == nil {
+				d.Err = fmt.Errorf("%w: node %d %s %s/%d", ErrTransient, op.Node, op.Kind, op.Object, op.Stripe)
 			}
 		case FaultLatency:
 			r.fired++
 			in.stats.Latencies++
-			d.delay += r.Latency
+			d.Delay += r.Latency
 		case FaultCorrupt:
 			r.fired++
 			n := r.Bytes
 			if n <= 0 {
 				n = 1
 			}
-			d.corruptBytes += n
+			d.CorruptBytes += n
 			if op.Kind == OpWrite {
 				in.stats.CorruptWrites++
 			} else {
@@ -353,22 +385,31 @@ func (in *Injector) decide(op Op) decision {
 			}
 			r.fired++
 			in.stats.TornWrites++
-			d.torn = true
+			d.Torn = true
 			kf := r.KeepFraction
 			if kf <= 0 {
 				kf = 0.5
 			}
-			if d.keepFraction == 0 || kf < d.keepFraction {
-				d.keepFraction = kf
+			if d.KeepFraction == 0 || kf < d.KeepFraction {
+				d.KeepFraction = kf
+			}
+		case FaultPartition:
+			r.fired++
+			in.stats.Partitions++
+			d.Partitioned = true
+			if d.Err == nil {
+				d.Err = fmt.Errorf("%w: node %d partitioned", ErrNodeUnavailable, op.Node)
 			}
 		}
 	}
 	return d
 }
 
-// corruptCopy returns a copy of data with n random bytes XORed with
-// random non-zero masks.
-func (in *Injector) corruptCopy(data []byte, n int) []byte {
+// CorruptCopy returns a copy of data with n random bytes XORed with
+// random non-zero masks, drawing offsets and masks from the injector's
+// seeded PRNG. Exported for transport-level injectors that corrupt
+// payloads on the wire rather than at the NodeIO boundary.
+func (in *Injector) CorruptCopy(data []byte, n int) []byte {
 	if len(data) == 0 {
 		return data
 	}
@@ -383,21 +424,72 @@ func (in *Injector) corruptCopy(data []byte, n int) []byte {
 	return out
 }
 
+// CtxIO is the context-aware extension of NodeIO: backends whose
+// operations can be cancelled mid-flight — a network client with per-op
+// deadlines, or the Injector itself, whose latency rules otherwise
+// sleep past the caller's deadline — implement it. The storage layer's
+// retry machinery prefers it when available, so an abandoned attempt
+// (deadline expiry, hedge loser) releases its resources immediately
+// instead of running to completion in the background.
+type CtxIO interface {
+	ReadColumnCtx(ctx context.Context, node int, object string, stripe int) ([]byte, error)
+	ReadColumnAtCtx(ctx context.Context, node int, object string, stripe int, off, n int) ([]byte, error)
+	WriteColumnCtx(ctx context.Context, node int, object string, stripe int, data []byte) error
+}
+
+// sleepDelay serves an injected latency, honouring cancellation: a
+// latency rule delays the op only until the caller's context expires,
+// at which point the op fails with the context error instead of
+// sleeping on. The test hook (in.sleep) bypasses the timer.
+func (in *Injector) sleepDelay(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if in.sleep != nil {
+		in.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("chaos: injected latency cut short: %w", ctx.Err())
+	}
+}
+
+// innerRead forwards a read to the inner NodeIO, context-aware when the
+// backend supports it.
+func (in *Injector) innerRead(ctx context.Context, node int, object string, stripe int) ([]byte, error) {
+	if cio, ok := in.inner.(CtxIO); ok {
+		return cio.ReadColumnCtx(ctx, node, object, stripe)
+	}
+	return in.inner.ReadColumn(node, object, stripe)
+}
+
 // ReadColumn implements NodeIO with fault injection.
 func (in *Injector) ReadColumn(node int, object string, stripe int) ([]byte, error) {
-	d := in.decide(Op{Kind: OpRead, Node: node, Object: object, Stripe: stripe})
-	if d.delay > 0 {
-		in.sleep(d.delay)
+	return in.ReadColumnCtx(context.Background(), node, object, stripe)
+}
+
+// ReadColumnCtx implements CtxIO: identical fault semantics, but
+// injected latency respects ctx cancellation and the inner backend
+// receives the context when it is context-aware.
+func (in *Injector) ReadColumnCtx(ctx context.Context, node int, object string, stripe int) ([]byte, error) {
+	d := in.Decide(Op{Kind: OpRead, Node: node, Object: object, Stripe: stripe})
+	if err := in.sleepDelay(ctx, d.Delay); err != nil {
+		return nil, err
 	}
-	if d.err != nil {
-		return nil, d.err
+	if d.Err != nil {
+		return nil, d.Err
 	}
-	data, err := in.inner.ReadColumn(node, object, stripe)
+	data, err := in.innerRead(ctx, node, object, stripe)
 	if err != nil {
 		return nil, err
 	}
-	if d.corruptBytes > 0 {
-		data = in.corruptCopy(data, d.corruptBytes)
+	if d.CorruptBytes > 0 {
+		data = in.CorruptCopy(data, d.CorruptBytes)
 	}
 	return data, nil
 }
@@ -409,18 +501,26 @@ func (in *Injector) ReadColumn(node int, object string, stripe int) ([]byte, err
 // faults flip bytes of the returned range (the fault models a bad read,
 // not bad media, exactly as for whole-column reads).
 func (in *Injector) ReadColumnAt(node int, object string, stripe int, off, n int) ([]byte, error) {
-	d := in.decide(Op{Kind: OpReadAt, Node: node, Object: object, Stripe: stripe})
-	if d.delay > 0 {
-		in.sleep(d.delay)
+	return in.ReadColumnAtCtx(context.Background(), node, object, stripe, off, n)
+}
+
+// ReadColumnAtCtx implements CtxIO for partial reads.
+func (in *Injector) ReadColumnAtCtx(ctx context.Context, node int, object string, stripe int, off, n int) ([]byte, error) {
+	d := in.Decide(Op{Kind: OpReadAt, Node: node, Object: object, Stripe: stripe})
+	if err := in.sleepDelay(ctx, d.Delay); err != nil {
+		return nil, err
 	}
-	if d.err != nil {
-		return nil, d.err
+	if d.Err != nil {
+		return nil, d.Err
 	}
 	var data []byte
 	var err error
-	if pr, ok := in.inner.(PartialReader); ok {
+	switch pr := in.inner.(type) {
+	case CtxIO:
+		data, err = pr.ReadColumnAtCtx(ctx, node, object, stripe, off, n)
+	case PartialReader:
 		data, err = pr.ReadColumnAt(node, object, stripe, off, n)
-	} else {
+	default:
 		var col []byte
 		col, err = in.inner.ReadColumn(node, object, stripe)
 		if err == nil {
@@ -433,26 +533,31 @@ func (in *Injector) ReadColumnAt(node int, object string, stripe int, off, n int
 	if err != nil {
 		return nil, err
 	}
-	if d.corruptBytes > 0 {
-		data = in.corruptCopy(data, d.corruptBytes)
+	if d.CorruptBytes > 0 {
+		data = in.CorruptCopy(data, d.CorruptBytes)
 	}
 	return data, nil
 }
 
 // WriteColumn implements NodeIO with fault injection.
 func (in *Injector) WriteColumn(node int, object string, stripe int, data []byte) error {
-	d := in.decide(Op{Kind: OpWrite, Node: node, Object: object, Stripe: stripe})
-	if d.delay > 0 {
-		in.sleep(d.delay)
+	return in.WriteColumnCtx(context.Background(), node, object, stripe, data)
+}
+
+// WriteColumnCtx implements CtxIO for writes.
+func (in *Injector) WriteColumnCtx(ctx context.Context, node int, object string, stripe int, data []byte) error {
+	d := in.Decide(Op{Kind: OpWrite, Node: node, Object: object, Stripe: stripe})
+	if err := in.sleepDelay(ctx, d.Delay); err != nil {
+		return err
 	}
-	if d.err != nil {
-		return d.err
+	if d.Err != nil {
+		return d.Err
 	}
-	if d.corruptBytes > 0 {
-		data = in.corruptCopy(data, d.corruptBytes)
+	if d.CorruptBytes > 0 {
+		data = in.CorruptCopy(data, d.CorruptBytes)
 	}
-	if d.torn {
-		keep := int(d.keepFraction * float64(len(data)))
+	if d.Torn {
+		keep := int(d.KeepFraction * float64(len(data)))
 		if keep >= len(data) && len(data) > 0 {
 			keep = len(data) - 1
 		}
@@ -460,6 +565,9 @@ func (in *Injector) WriteColumn(node int, object string, stripe int, data []byte
 			keep = 0
 		}
 		data = append([]byte(nil), data[:keep]...)
+	}
+	if cio, ok := in.inner.(CtxIO); ok {
+		return cio.WriteColumnCtx(ctx, node, object, stripe, data)
 	}
 	return in.inner.WriteColumn(node, object, stripe, data)
 }

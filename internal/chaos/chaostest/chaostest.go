@@ -47,6 +47,15 @@ type Scenario struct {
 	// (for beyond-tolerance scenarios). Unimportant losses are always
 	// permitted but must be flagged.
 	AllowImportantLoss bool
+	// Setup, when set, replaces the default store construction so the
+	// same scenario runs against a different I/O stack — e.g. a store
+	// whose backend is a network client talking to live DataNodes
+	// fronted by transport-level chaos proxies sharing this injector.
+	// It receives the defaulted scenario and the composed injector and
+	// must return an opened store; register cleanup on t. The injector
+	// is NOT wrapped around the store when Setup is set — routing every
+	// op through it (in-process or on the wire) is Setup's job.
+	Setup func(t testing.TB, sc Scenario, inj *chaos.Injector) *store.Store
 }
 
 // Outcome collects everything a test may want to assert on after Run.
@@ -137,15 +146,24 @@ func Run(t testing.TB, sc Scenario) *Outcome {
 		rules = append(append([]chaos.Rule(nil), rules...), parsed...)
 	}
 	inj := chaos.NewInjector(sc.Seed, rules...)
-	s, err := store.Open(store.Config{
-		Code:     sc.Params,
-		NodeSize: sc.NodeSize,
-		Retry:    sc.Retry,
-		Health:   sc.Health,
-		WrapIO:   inj.Wrap,
-	})
-	if err != nil {
-		t.Fatalf("chaostest: open: %v", err)
+	var s *store.Store
+	if sc.Setup != nil {
+		s = sc.Setup(t, sc, inj)
+		if s == nil {
+			t.Fatalf("chaostest: Setup returned no store")
+		}
+	} else {
+		var err error
+		s, err = store.Open(store.Config{
+			Code:     sc.Params,
+			NodeSize: sc.NodeSize,
+			Retry:    sc.Retry,
+			Health:   sc.Health,
+			WrapIO:   inj.Wrap,
+		})
+		if err != nil {
+			t.Fatalf("chaostest: open: %v", err)
+		}
 	}
 	segs := sc.Segments
 	if segs == nil {
@@ -166,10 +184,11 @@ func Run(t testing.TB, sc Scenario) *Outcome {
 	if sc.ClearBeforeRepair {
 		inj.ClearAll()
 	}
-	out.Repair, err = s.RepairAll()
+	repair, err := s.RepairAll()
 	if err != nil {
 		t.Fatalf("chaostest: repair: %v", err)
 	}
+	out.Repair = repair
 	out.Scrub, err = s.Scrub()
 	if err != nil {
 		t.Fatalf("chaostest: scrub: %v", err)

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPartitionFaultInProcess: the in-process injector models a
+// partition as an unreachable node — ops fail with ErrNodeUnavailable
+// and the partition counter advances.
+func TestPartitionFaultInProcess(t *testing.T) {
+	io := newFakeIO()
+	_ = io.WriteColumn(0, "o", 0, []byte("x"))
+	_ = io.WriteColumn(1, "o", 0, []byte("y"))
+	inj := NewInjector(11, Rule{Node: 0, Stripe: Any, Kind: FaultPartition, Count: 2})
+	wrapped := inj.Wrap(io)
+
+	for i := 0; i < 2; i++ {
+		if _, err := wrapped.ReadColumn(0, "o", 0); !errors.Is(err, ErrNodeUnavailable) {
+			t.Fatalf("partitioned read %d: %v, want ErrNodeUnavailable", i, err)
+		}
+	}
+	// Count exhausted: the partition heals.
+	if got, err := wrapped.ReadColumn(0, "o", 0); err != nil || string(got) != "x" {
+		t.Fatalf("healed read: %q %v", got, err)
+	}
+	// Other nodes never partitioned.
+	if got, err := wrapped.ReadColumn(1, "o", 0); err != nil || string(got) != "y" {
+		t.Fatalf("unmatched node: %q %v", got, err)
+	}
+	if s := inj.Stats(); s.Partitions != 2 || s.Total() != 2 {
+		t.Fatalf("stats: %+v, want 2 partitions", s)
+	}
+}
+
+// TestDecidePartition: the exported decision surface marks partitioned
+// ops both ways — Partitioned for transport injectors that black-hole,
+// Err for in-process ones that must fail the call.
+func TestDecidePartition(t *testing.T) {
+	inj := NewInjector(12, Rule{Node: 3, Stripe: Any, Kind: FaultPartition})
+	d := inj.Decide(Op{Kind: OpRead, Node: 3, Object: "o", Stripe: 0})
+	if !d.Partitioned {
+		t.Fatalf("decision not marked partitioned: %+v", d)
+	}
+	if !errors.Is(d.Err, ErrNodeUnavailable) {
+		t.Fatalf("decision error %v, want ErrNodeUnavailable", d.Err)
+	}
+	if d := inj.Decide(Op{Kind: OpRead, Node: 2, Object: "o", Stripe: 0}); d.Partitioned || d.Err != nil {
+		t.Fatalf("unmatched op injected: %+v", d)
+	}
+}
+
+// TestSchedulePartitionDSL: fault=partition parses, and the fault list
+// in the error message stays honest.
+func TestSchedulePartitionDSL(t *testing.T) {
+	rules, err := ParseSchedule("node=2,op=read,fault=partition,count=3")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rules) != 1 || rules[0].Kind != FaultPartition || rules[0].Count != 3 {
+		t.Fatalf("parsed %+v", rules)
+	}
+	_, err = ParseSchedule("node=2,fault=bogus")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("bad fault: %v", err)
+	}
+}
+
+// TestLatencyRespectsCancellation: an injected latency must not sleep
+// past the caller's context — a cancelled straggler returns promptly
+// with the context error, so per-op deadlines at the network edge cut
+// injected stalls short instead of leaking goroutines that sleep on.
+func TestLatencyRespectsCancellation(t *testing.T) {
+	io := newFakeIO()
+	_ = io.WriteColumn(0, "o", 0, []byte("x"))
+	inj := NewInjector(13, Rule{Node: 0, Stripe: Any, Kind: FaultLatency, Latency: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+
+	wrapped := inj.Wrap(io)
+	cio, ok := wrapped.(CtxIO)
+	if !ok {
+		t.Fatalf("injector does not implement CtxIO")
+	}
+	t0 := time.Now()
+	_, err := cio.ReadColumnCtx(ctx, 0, "o", 0)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("latency slept past cancellation: %v", elapsed)
+	}
+	// Without cancellation the same rule must still delay.
+	inj2 := NewInjector(13, Rule{Node: 0, Stripe: Any, Kind: FaultLatency, Latency: 30 * time.Millisecond, Count: 1})
+	w2, _ := inj2.Wrap(io).(CtxIO)
+	t0 = time.Now()
+	if _, err := w2.ReadColumnCtx(context.Background(), 0, "o", 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if e := time.Since(t0); e < 30*time.Millisecond {
+		t.Fatalf("latency not served: %v", e)
+	}
+}

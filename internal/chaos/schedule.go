@@ -41,7 +41,7 @@ func (e *ParseError) Error() string {
 //	object=<name>|*     object name (default *)
 //	stripe=<int>|*      exact global stripe (default *)
 //	stripe>=<int>       stripes at or beyond N
-//	fault=crash|transient|latency|corrupt|torn   (required)
+//	fault=crash|transient|latency|corrupt|torn|partition   (required)
 //	rate=<float>        firing probability per matching op, in (0, 1]
 //	count=<int>         max firings, >= 1 (default unlimited)
 //	after=<int>         skip the first N matching ops
@@ -174,8 +174,10 @@ func parseRule(clause string) (Rule, error) {
 				r.Kind = FaultCorrupt
 			case "torn":
 				r.Kind = FaultTorn
+			case "partition":
+				r.Kind = FaultPartition
 			default:
-				return fail(key, "bad fault %q (want crash|transient|latency|corrupt|torn)", val)
+				return fail(key, "bad fault %q (want crash|transient|latency|corrupt|torn|partition)", val)
 			}
 			haveFault = true
 		case "rate":

@@ -1,0 +1,193 @@
+package netio
+
+import (
+	"testing"
+	"time"
+
+	"approxcode/internal/chaos"
+	"approxcode/internal/chaos/chaostest"
+	"approxcode/internal/core"
+	"approxcode/internal/store"
+)
+
+// The socket-level chaos suite: the same Scenario harness and
+// exact-or-flagged invariant as the in-process TestChaos* tests, but
+// the store's backend is a netio.Client talking to live TCP DataNodes,
+// each fronted by a ChaosProxy sharing one injector. Faults fire at the
+// transport boundary — dropped connections, black holes, wire
+// corruption — instead of at the NodeIO call.
+
+// netSetup builds the live deployment for a scenario: four DataNode
+// servers (node indexes dealt round-robin), one chaos proxy per server,
+// and a store over a network client routed through the proxies.
+func netSetup(t testing.TB, sc chaostest.Scenario, inj *chaos.Injector) *store.Store {
+	t.Helper()
+	c, err := core.New(sc.Params)
+	if err != nil {
+		t.Fatalf("netSetup: core.New: %v", err)
+	}
+	total := c.TotalShards()
+	const nServers = 4
+	split := nodeSplit(total, nServers)
+
+	routes := make(map[int]string, total)
+	for i := 0; i < nServers; i++ {
+		srv, err := NewServer(ServerConfig{Backend: NewMemBackend(), Nodes: split[i]})
+		if err != nil {
+			t.Fatalf("netSetup: server %d: %v", i, err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		proxy, err := NewChaosProxy("127.0.0.1:0", srv.Addr(), inj, nil)
+		if err != nil {
+			t.Fatalf("netSetup: proxy %d: %v", i, err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		for _, node := range split[i] {
+			routes[node] = proxy.Addr()
+		}
+	}
+
+	client, err := Dial(ClientConfig{
+		Nodes: routes,
+		Retry: RetryPolicy{
+			Seed:       sc.Seed,
+			OpDeadline: 250 * time.Millisecond,
+			// Injected latency is µs-scale; hedge well above it so
+			// hedging is exercised by stragglers, not by every op.
+			HedgeDelay:  2 * time.Millisecond,
+			DialTimeout: 100 * time.Millisecond,
+		},
+		Health: HealthPolicy{ProbeAfter: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("netSetup: dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	s, err := store.Open(store.Config{
+		Code:     sc.Params,
+		NodeSize: sc.NodeSize,
+		Retry:    sc.Retry,
+		Health:   sc.Health,
+		Backend:  client,
+	})
+	if err != nil {
+		t.Fatalf("netSetup: store.Open: %v", err)
+	}
+	return s
+}
+
+func runNet(t *testing.T, sc chaostest.Scenario) *chaostest.Outcome {
+	t.Helper()
+	sc.Setup = netSetup
+	return chaostest.Run(t, sc)
+}
+
+// TestChaosNetCleanBaseline: no faults — the networked store must be
+// byte-exact end to end.
+func TestChaosNetCleanBaseline(t *testing.T) {
+	out := runNet(t, chaostest.Scenario{Seed: 1})
+	if got := out.FirstRead.ChecksumFailures; got != 0 {
+		t.Fatalf("clean run hit %d checksum failures", got)
+	}
+}
+
+// TestChaosNetCrash: connections dropped mid-read by the proxy look
+// like a DataNode dying under the op; bounded retries plus planned
+// degradation must keep every byte exact.
+func TestChaosNetCrash(t *testing.T) {
+	runNet(t, chaostest.Scenario{
+		Seed:     2,
+		Schedule: "node=1,op=read,fault=crash,count=4;node=6,op=read,fault=crash,count=3",
+	})
+}
+
+// TestChaosNetTransient: flaky nodes answering with injected errors
+// over the wire; the client's edge retries absorb them.
+func TestChaosNetTransient(t *testing.T) {
+	out := runNet(t, chaostest.Scenario{
+		Seed:     3,
+		Schedule: "node=2,fault=transient,rate=0.3;node=9,fault=transient,rate=0.3",
+	})
+	if out.Injector.Stats().Transients == 0 {
+		t.Fatalf("schedule injected no transients")
+	}
+}
+
+// TestChaosNetLatency: stragglers delayed at the proxy; hedged reads
+// race them.
+func TestChaosNetLatency(t *testing.T) {
+	runNet(t, chaostest.Scenario{
+		Seed:     4,
+		Schedule: "node=3,op=read,fault=latency,latency=5ms,rate=0.5",
+	})
+}
+
+// TestChaosNetCorrupt: bytes flipped on the wire in both directions —
+// read responses and write payloads. End-to-end checksums must catch
+// every flip (exact-or-flagged, never silent).
+func TestChaosNetCorrupt(t *testing.T) {
+	out := runNet(t, chaostest.Scenario{
+		Seed:              5,
+		Schedule:          "node=4,op=read,fault=corrupt,bytes=2,rate=0.4;node=7,op=write,fault=corrupt,bytes=3,rate=0.9",
+		ClearBeforeRepair: true,
+	})
+	if out.Injector.Stats().CorruptReads+out.Injector.Stats().CorruptWrites == 0 {
+		t.Fatalf("schedule injected no corruption")
+	}
+}
+
+// TestChaosNetTorn: write payloads truncated in flight — a torn write
+// at the transport. The stored short column must be detected, never
+// silently served.
+func TestChaosNetTorn(t *testing.T) {
+	runNet(t, chaostest.Scenario{
+		Seed:              6,
+		Schedule:          "node=5,op=write,fault=torn,keep=0.5,rate=0.5",
+		ClearBeforeRepair: true,
+	})
+}
+
+// TestChaosNetPartition: reads to one node are black-holed — the
+// connection stays open, nothing answers, the client burns its deadline
+// and the store plans around the unreachable node.
+func TestChaosNetPartition(t *testing.T) {
+	out := runNet(t, chaostest.Scenario{
+		Seed: 7,
+		// count-bounded so the partition "heals" within the run.
+		Schedule: "node=8,op=read,fault=partition,count=2",
+		// A black-holed read costs a full client OpDeadline; keep the
+		// store's own deadline above it so the store does not give up
+		// while the client is still timing out.
+		Retry: store.RetryPolicy{OpDeadline: 2 * time.Second},
+	})
+	if out.Injector.Stats().Partitions == 0 {
+		t.Fatalf("schedule injected no partitions")
+	}
+}
+
+// TestChaosNetKilledNodeDegrades: not an injector fault — a whole
+// DataNode process is gone before the first read (administratively
+// failed, as the master's OnDead → store.FailNodes path does). Reads
+// must degrade through read planning with zero client-visible errors.
+func TestChaosNetKilledNodeDegrades(t *testing.T) {
+	out := runNet(t, chaostest.Scenario{
+		Seed:      8,
+		FailNodes: []int{2, 6},
+	})
+	if len(out.FirstRead.LostSegments) != 0 {
+		t.Fatalf("within-tolerance kill lost segments: %v", out.FirstRead.LostSegments)
+	}
+}
+
+// TestChaosNetMixed: everything at once, rate-bounded.
+func TestChaosNetMixed(t *testing.T) {
+	runNet(t, chaostest.Scenario{
+		Seed: 9,
+		Schedule: "node=0,fault=transient,rate=0.2;" +
+			"node=4,op=read,fault=latency,latency=2ms,rate=0.3;" +
+			"node=10,op=read,fault=corrupt,bytes=1,rate=0.3;" +
+			"node=12,op=write,fault=torn,keep=0.6,rate=0.3",
+		ClearBeforeRepair: true,
+	})
+}

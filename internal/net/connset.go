@@ -1,0 +1,51 @@
+package netio
+
+import (
+	"net"
+	"sync"
+)
+
+// connSet tracks live server-side connections so Close() can cut them
+// off immediately — a closed DataNode must look like a killed process,
+// not linger until idle clients hang up.
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// add registers a connection; false means the set is already closed and
+// the caller must drop the connection.
+func (c *connSet) add(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if c.conns == nil {
+		c.conns = make(map[net.Conn]struct{})
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *connSet) remove(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+}
+
+// closeAll closes every tracked connection and rejects future adds.
+func (c *connSet) closeAll() {
+	c.mu.Lock()
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.conns = nil
+	c.mu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,156 @@
+package netio
+
+import (
+	"sync"
+	"time"
+)
+
+// Edge health tracking: the client-side mirror of the store's node
+// health FSM (healthy → suspect → failed with probation), plus a
+// probe-through timer the in-process tracker does not need — a failed
+// remote node may restart at any time, so instead of staying failed
+// until an operator resets it, the edge tracker lets one request per
+// ProbeAfter window through as a probe. Success walks the node back
+// through suspect probation to healthy; failure re-arms the timer.
+
+// HealthPolicy tunes the client's per-node health state machine.
+type HealthPolicy struct {
+	// SuspectAfter consecutive failures demote healthy → suspect
+	// (default 3).
+	SuspectAfter int
+	// FailAfter consecutive failures demote to failed — requests
+	// fast-fail without touching the network (default 10).
+	FailAfter int
+	// ProbationOK consecutive successes promote suspect → healthy
+	// (default 5).
+	ProbationOK int
+	// ProbeAfter is how often a failed node is probed with a real
+	// request (default 250ms).
+	ProbeAfter time.Duration
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.SuspectAfter <= 0 {
+		p.SuspectAfter = 3
+	}
+	if p.FailAfter <= 0 {
+		p.FailAfter = 10
+	}
+	if p.ProbationOK <= 0 {
+		p.ProbationOK = 5
+	}
+	if p.ProbeAfter <= 0 {
+		p.ProbeAfter = 250 * time.Millisecond
+	}
+	return p
+}
+
+type edgeState uint8
+
+const (
+	edgeHealthy edgeState = iota
+	edgeSuspect
+	edgeFailed
+)
+
+func (s edgeState) String() string {
+	switch s {
+	case edgeHealthy:
+		return "healthy"
+	case edgeSuspect:
+		return "suspect"
+	default:
+		return "failed"
+	}
+}
+
+type edgeNode struct {
+	state       edgeState
+	consecFails int
+	okStreak    int
+	retryAt     time.Time // failed only: next probe slot
+}
+
+type edgeHealth struct {
+	policy HealthPolicy
+	now    func() time.Time // injectable for tests
+
+	mu    sync.Mutex
+	nodes map[int]*edgeNode
+}
+
+func newEdgeHealth(p HealthPolicy) *edgeHealth {
+	return &edgeHealth{policy: p.withDefaults(), now: time.Now, nodes: make(map[int]*edgeNode)}
+}
+
+func (h *edgeHealth) node(id int) *edgeNode {
+	n := h.nodes[id]
+	if n == nil {
+		n = &edgeNode{}
+		h.nodes[id] = n
+	}
+	return n
+}
+
+// allow reports whether a request to the node may proceed. For a failed
+// node it reserves the probe slot when one is due, so concurrent
+// callers do not stampede a node that just died.
+func (h *edgeHealth) allow(id int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.node(id)
+	if n.state != edgeFailed {
+		return true
+	}
+	now := h.now()
+	if now.Before(n.retryAt) {
+		return false
+	}
+	n.retryAt = now.Add(h.policy.ProbeAfter)
+	return true
+}
+
+func (h *edgeHealth) ok(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.node(id)
+	n.consecFails = 0
+	switch n.state {
+	case edgeFailed:
+		// A successful probe: the node is back, but earn trust through
+		// probation rather than flipping straight to healthy.
+		n.state = edgeSuspect
+		n.okStreak = 1
+	case edgeSuspect:
+		n.okStreak++
+		if n.okStreak >= h.policy.ProbationOK {
+			n.state = edgeHealthy
+			n.okStreak = 0
+		}
+	}
+}
+
+func (h *edgeHealth) fail(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.node(id)
+	n.consecFails++
+	n.okStreak = 0
+	switch {
+	case n.consecFails >= h.policy.FailAfter:
+		if n.state != edgeFailed {
+			n.state = edgeFailed
+		}
+		n.retryAt = h.now().Add(h.policy.ProbeAfter)
+	case n.consecFails >= h.policy.SuspectAfter:
+		if n.state == edgeHealthy {
+			n.state = edgeSuspect
+		}
+	}
+}
+
+func (h *edgeHealth) state(id int) edgeState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.node(id).state
+}

@@ -1,0 +1,249 @@
+package netio
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded settable clock for driving the liveness
+// FSM deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// deadRecorder collects OnDead callbacks.
+type deadRecorder struct {
+	mu     sync.Mutex
+	events []deadEvent
+}
+
+func (r *deadRecorder) onDead(nodes []int, inc uint64) {
+	r.mu.Lock()
+	r.events = append(r.events, deadEvent{nodes: nodes, inc: inc})
+	r.mu.Unlock()
+}
+
+func (r *deadRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+func livenessMaster(t *testing.T, clock *fakeClock, rec *deadRecorder) (*Master, LivenessPolicy) {
+	t.Helper()
+	policy := LivenessPolicy{
+		Interval:      100 * time.Millisecond,
+		SuspectMisses: 2,
+		DeadMisses:    4,
+		CheckEvery:    50 * time.Millisecond,
+	}
+	m, err := NewMaster(MasterConfig{
+		Liveness: policy,
+		OnDead:   rec.onDead,
+		clock:    clock.Now,
+	})
+	if err != nil {
+		t.Fatalf("NewMaster: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, m.policy
+}
+
+// TestLivenessDetectionBound pins the failure detector's worst-case
+// detection time with an injected clock: a silent registration is NOT
+// dead before DeadMisses*Interval of silence, and IS dead once one
+// sweep runs past that threshold — i.e. within
+// DeadMisses*Interval + CheckEvery of its last heartbeat, exactly
+// LivenessPolicy.DetectionBound().
+func TestLivenessDetectionBound(t *testing.T) {
+	clock := newFakeClock()
+	rec := &deadRecorder{}
+	m, policy := livenessMaster(t, clock, rec)
+
+	inc, err := RegisterNodes(m.Addr(), []int{0, 1}, "10.0.0.1:7000", 0)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	last := clock.Now() // registration counts as a heartbeat
+
+	// Silence up to the suspect threshold: still alive.
+	m.sweep(clock.Advance(time.Duration(policy.SuspectMisses) * policy.Interval))
+	if st := m.NodeMap()[0].State; st != StateAlive {
+		t.Fatalf("at suspect threshold: state %v, want alive (threshold is exclusive)", st)
+	}
+	// One sweep period later: suspect, not dead.
+	m.sweep(clock.Advance(policy.CheckEvery))
+	if st := m.NodeMap()[0].State; st != StateSuspect {
+		t.Fatalf("past suspect threshold: state %v, want suspect", st)
+	}
+
+	// A heartbeat resurrects a suspect.
+	if known, err := SendHeartbeat(m.Addr(), inc, 0); err != nil || !known {
+		t.Fatalf("heartbeat: known=%v err=%v", known, err)
+	}
+	// The heartbeat refreshed reg.last to the (unchanged) fake now.
+	last = clock.Now()
+	m.sweep(clock.Now())
+	if st := m.NodeMap()[0].State; st != StateAlive {
+		t.Fatalf("after heartbeat: state %v, want alive", st)
+	}
+
+	// Sweep at exactly the dead threshold: silence == DeadMisses*Interval
+	// is not yet past it, so the node must survive...
+	deadAfter := time.Duration(policy.DeadMisses) * policy.Interval
+	m.sweep(last.Add(deadAfter))
+	if st := m.NodeMap()[0].State; st == StateDead {
+		t.Fatalf("dead at exactly the threshold; detection claims a tighter bound than policy")
+	}
+	if rec.count() != 0 {
+		t.Fatalf("OnDead fired early")
+	}
+	// ...and the very next sweep — DetectionBound after the last
+	// heartbeat — must catch it.
+	m.sweep(last.Add(policy.DetectionBound()))
+	if st := m.NodeMap()[0].State; st != StateDead {
+		t.Fatalf("not dead at DetectionBound: state %v", st)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("OnDead fired %d times, want 1", rec.count())
+	}
+	rec.mu.Lock()
+	ev := rec.events[0]
+	rec.mu.Unlock()
+	if ev.inc != inc || len(ev.nodes) != 2 {
+		t.Fatalf("OnDead event %+v, want inc=%d nodes=[0 1]", ev, inc)
+	}
+}
+
+// TestLivenessPartitionNoSplitBrain models a DataNode that stays alive
+// but loses its control-plane path (a partition between node and
+// master): the master declares it dead and triggers repair exactly
+// once; when the partition heals, the node's stale incarnation is
+// fenced out — its heartbeat is refused, it re-registers as a fresh
+// join — and no second repair fires for the old incarnation.
+func TestLivenessPartitionNoSplitBrain(t *testing.T) {
+	clock := newFakeClock()
+	rec := &deadRecorder{}
+	m, policy := livenessMaster(t, clock, rec)
+
+	inc1, err := RegisterNodes(m.Addr(), []int{3}, "10.0.0.2:7000", 0)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	// Partition: the node is alive (it would happily serve reads) but
+	// no heartbeat reaches the master. Detector declares it dead.
+	m.sweep(clock.Advance(policy.DetectionBound()))
+	if rec.count() != 1 {
+		t.Fatalf("OnDead fired %d times, want exactly 1", rec.count())
+	}
+
+	// Repeated sweeps must not re-fire repair for the same incarnation.
+	for i := 0; i < 5; i++ {
+		m.sweep(clock.Advance(policy.CheckEvery))
+	}
+	if rec.count() != 1 {
+		t.Fatalf("OnDead re-fired for a dead incarnation: %d events", rec.count())
+	}
+
+	// Partition heals. The node's next heartbeat carries the fenced
+	// incarnation; the master must refuse to resurrect it.
+	known, err := SendHeartbeat(m.Addr(), inc1, 0)
+	if err != nil {
+		t.Fatalf("post-partition heartbeat: %v", err)
+	}
+	if known {
+		t.Fatalf("master resurrected a dead incarnation: split-brain")
+	}
+	if st := m.NodeMap()[3].State; st != StateDead {
+		t.Fatalf("stale heartbeat changed state to %v", st)
+	}
+
+	// The node re-registers, arriving as a fresh join under a new
+	// incarnation; the node map flips back to alive.
+	inc2, err := RegisterNodes(m.Addr(), []int{3}, "10.0.0.2:7000", 0)
+	if err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if inc2 <= inc1 {
+		t.Fatalf("incarnations not monotone: %d then %d", inc1, inc2)
+	}
+	info := m.NodeMap()[3]
+	if info.State != StateAlive || info.Incarnation != inc2 {
+		t.Fatalf("after rejoin: %+v, want alive under inc %d", info, inc2)
+	}
+
+	// The old incarnation going (staying) silent must never re-trigger
+	// repair; only inc2's silence counts from here on.
+	m.sweep(clock.Advance(policy.CheckEvery))
+	if rec.count() != 1 {
+		t.Fatalf("rejoin caused duplicate repair: %d events", rec.count())
+	}
+
+	// And the new incarnation dying is a fresh, single event for the
+	// node it owns.
+	m.sweep(clock.Advance(policy.DetectionBound()))
+	if rec.count() != 2 {
+		t.Fatalf("second incarnation death: %d events, want 2", rec.count())
+	}
+	rec.mu.Lock()
+	ev := rec.events[1]
+	rec.mu.Unlock()
+	if ev.inc != inc2 || len(ev.nodes) != 1 || ev.nodes[0] != 3 {
+		t.Fatalf("second death event %+v, want inc=%d nodes=[3]", ev, inc2)
+	}
+}
+
+// TestLivenessSupersededIncarnationOwnsNothing: when a node re-registers
+// (restart) before its old incarnation is declared dead, the old
+// incarnation's later death reports no nodes — they belong to the new
+// incarnation — so OnDead (and thus repair) is not invoked at all.
+func TestLivenessSupersededIncarnationOwnsNothing(t *testing.T) {
+	clock := newFakeClock()
+	rec := &deadRecorder{}
+	m, policy := livenessMaster(t, clock, rec)
+
+	if _, err := RegisterNodes(m.Addr(), []int{5}, "10.0.0.3:7000", 0); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Fast restart: a new process claims node 5 while the old
+	// registration is merely suspect.
+	clock.Advance(time.Duration(policy.SuspectMisses)*policy.Interval + policy.CheckEvery)
+	inc2, err := RegisterNodes(m.Addr(), []int{5}, "10.0.0.3:7001", 0)
+	if err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	// Keep inc2 fresh while inc1 ages past the dead threshold.
+	for i := 0; i < 10; i++ {
+		clock.Advance(policy.Interval)
+		if _, err := SendHeartbeat(m.Addr(), inc2, 0); err != nil {
+			t.Fatalf("heartbeat: %v", err)
+		}
+		m.sweep(clock.Now())
+	}
+	if rec.count() != 0 {
+		t.Fatalf("superseded incarnation triggered repair for nodes it no longer owns: %d events", rec.count())
+	}
+	if info := m.NodeMap()[5]; info.State != StateAlive || info.Incarnation != inc2 {
+		t.Fatalf("node 5: %+v, want alive under inc %d", info, inc2)
+	}
+}

@@ -1,0 +1,114 @@
+package netio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"approxcode/internal/chaos"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{},
+		{0x01},
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatalf("writeFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: got %d bytes want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, make([]byte, maxFrame+1)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized writeFrame: got %v want ErrProtocol", err)
+	}
+	// A wire header announcing an oversized frame must be rejected
+	// before allocating.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized readFrame: got %v want ErrProtocol", err)
+	}
+}
+
+func TestWriteReqRoundTrip(t *testing.T) {
+	data := []byte("column payload \x00\x01\x02")
+	payload := encodeWriteReq(7, "videos/a.mp4", 13, data)
+	if msgType(payload[0]) != msgWriteReq {
+		t.Fatalf("type byte = 0x%02x", payload[0])
+	}
+	wr, err := decodeWriteReq(payload[1:])
+	if err != nil {
+		t.Fatalf("decodeWriteReq: %v", err)
+	}
+	if wr.node != 7 || wr.stripe != 13 || wr.object != "videos/a.mp4" || !bytes.Equal(wr.data, data) {
+		t.Fatalf("round trip mismatch: %+v", wr)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	payload := encodeWriteReq(7, "obj", 13, []byte("data"))
+	for cut := 1; cut < len(payload)-1; cut++ {
+		if _, err := decodeWriteReq(payload[1:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestOpOfPayload(t *testing.T) {
+	cases := []struct {
+		payload []byte
+		want    chaos.Op
+		ok      bool
+	}{
+		{encodeReadReq(3, "obj", 9), chaos.Op{Kind: chaos.OpRead, Node: 3, Object: "obj", Stripe: 9}, true},
+		{encodeReadAtReq(1, "x", 2, 64, 128), chaos.Op{Kind: chaos.OpReadAt, Node: 1, Object: "x", Stripe: 2}, true},
+		{encodeWriteReq(0, "y", 4, []byte("d")), chaos.Op{Kind: chaos.OpWrite, Node: 0, Object: "y", Stripe: 4}, true},
+		{newEnc(msgPingReq).b, chaos.Op{}, false},
+		{newEnc(msgHeartbeatReq).u64(1).b, chaos.Op{}, false},
+		{nil, chaos.Op{}, false},
+	}
+	for i, tc := range cases {
+		got, ok := opOfPayload(tc.payload)
+		if ok != tc.ok || got != tc.want {
+			t.Fatalf("case %d: got %+v ok=%v, want %+v ok=%v", i, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestErrRespMapping(t *testing.T) {
+	sentinels := []error{
+		chaos.ErrColumnMissing,
+		chaos.ErrNodeUnavailable,
+		chaos.ErrTransient,
+		ErrTimeout,
+		ErrInvalid,
+	}
+	for _, want := range sentinels {
+		payload := encodeErrResp(want)
+		if msgType(payload[0]) != msgErrResp {
+			t.Fatalf("type byte = 0x%02x", payload[0])
+		}
+		got := decodeErrResp(payload[1:])
+		if !errors.Is(got, want) {
+			t.Fatalf("sentinel %v did not survive the wire: got %v", want, got)
+		}
+	}
+	// Unknown errors keep their message.
+	got := decodeErrResp(encodeErrResp(errors.New("disk on fire"))[1:])
+	if got == nil || !errors.Is(got, got) || got.Error() != "netio: remote error: disk on fire" {
+		t.Fatalf("internal error mapping: %v", got)
+	}
+}

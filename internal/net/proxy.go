@@ -1,0 +1,251 @@
+package netio
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"approxcode/internal/chaos"
+	"approxcode/internal/obs"
+)
+
+// ChaosProxy is a frame-aware TCP proxy that sits between a client and
+// one DataNode (or the master) and injects the chaos.Injector fault
+// vocabulary into live connections. It decodes each request frame into
+// the chaos.Op it represents and asks the injector's schedule for a
+// Decision — the exact code path the in-process injector runs — then
+// translates the decision into transport-level sabotage:
+//
+//   - crash: the client's connection is dropped mid-request, like a
+//     DataNode process dying under the op.
+//   - partition (per-rule or whole-proxy via SetPartitioned): the
+//     request is read and silently discarded; the node is alive but
+//     unreachable, and the client burns its deadline.
+//   - transient: an error response is synthesized without the request
+//     ever reaching the DataNode.
+//   - latency: the forward is delayed.
+//   - corrupt: response payload bytes are flipped for reads; the
+//     written payload is flipped for writes (the DataNode stores the
+//     damage, as a bad disk would).
+//   - torn: a write's payload is truncated before forwarding.
+//
+// Control-plane and unknown frames pass through untouched unless the
+// proxy is partitioned, so the same proxy can front a DataNode's
+// heartbeat path when a test needs to cut a node off from the master.
+type ChaosProxy struct {
+	inj    *chaos.Injector
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	partitioned bool
+	closed      bool
+	conns       connSet
+
+	wg sync.WaitGroup
+
+	forwarded *obs.Counter
+	swallowed *obs.Counter
+	dropped   *obs.Counter
+}
+
+// NewChaosProxy binds listen (use "127.0.0.1:0") and proxies to target
+// through the injector. A nil injector forwards everything verbatim.
+func NewChaosProxy(listen, target string, inj *chaos.Injector, reg *obs.Registry) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, &BindError{Role: "chaos-proxy", Addr: listen, Err: err}
+	}
+	p := &ChaosProxy{inj: inj, target: target, ln: ln}
+	if reg != nil {
+		p.forwarded = reg.Counter("netio_proxy_forwarded_total")
+		p.swallowed = reg.Counter("netio_proxy_swallowed_total")
+		p.dropped = reg.Counter("netio_proxy_dropped_conns_total")
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's client-facing address.
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetPartitioned cuts (true) or heals (false) the whole proxy: while
+// partitioned every inbound frame is swallowed — connections stay open,
+// nothing is answered. Unlike killing the proxy, the TCP peer sees a
+// live but silent endpoint, which is what a network partition looks
+// like.
+func (p *ChaosProxy) SetPartitioned(v bool) {
+	p.mu.Lock()
+	p.partitioned = v
+	p.mu.Unlock()
+}
+
+func (p *ChaosProxy) isPartitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+// Close stops the proxy and drops all its connections.
+func (p *ChaosProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.conns.closeAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !p.conns.add(conn) {
+			_ = conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.conns.remove(conn)
+			defer conn.Close()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+func (p *ChaosProxy) serveConn(client net.Conn) {
+	// One upstream connection per client connection, dialed lazily so a
+	// partitioned proxy accepts clients without touching the target.
+	var upstream net.Conn
+	defer func() {
+		if upstream != nil {
+			_ = upstream.Close()
+		}
+	}()
+	dialUpstream := func() bool {
+		if upstream != nil {
+			return true
+		}
+		conn, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			return false
+		}
+		if !p.conns.add(conn) {
+			_ = conn.Close()
+			return false
+		}
+		upstream = conn
+		return true
+	}
+	defer func() {
+		if upstream != nil {
+			p.conns.remove(upstream)
+		}
+	}()
+
+	for {
+		req, err := readFrame(client)
+		if err != nil {
+			return
+		}
+		if p.isPartitioned() {
+			p.swallowed.Inc()
+			continue
+		}
+		op, isData := opOfPayload(req)
+		var d chaos.Decision
+		if isData && p.inj != nil {
+			d = p.inj.Decide(op)
+		}
+		if d.Partitioned {
+			p.swallowed.Inc()
+			continue
+		}
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Err != nil {
+			if errors.Is(d.Err, chaos.ErrNodeUnavailable) {
+				// Crash: the process died under the op — cut the client
+				// off without a response.
+				p.dropped.Inc()
+				return
+			}
+			// Transient: answer with the injected error; the DataNode
+			// never sees the request.
+			if writeFrame(client, encodeErrResp(d.Err)) != nil {
+				return
+			}
+			continue
+		}
+		if op.Kind == chaos.OpWrite && (d.CorruptBytes > 0 || d.Torn) {
+			req = p.rewriteWrite(req, d)
+		}
+		if !dialUpstream() {
+			// Target gone: same as a crashed node.
+			p.dropped.Inc()
+			return
+		}
+		if writeFrame(upstream, req) != nil {
+			p.dropped.Inc()
+			return
+		}
+		resp, err := readFrame(upstream)
+		if err != nil {
+			p.dropped.Inc()
+			return
+		}
+		if isData && op.Kind != chaos.OpWrite && d.CorruptBytes > 0 {
+			resp = p.corruptDataResp(resp, d.CorruptBytes)
+		}
+		if writeFrame(client, resp) != nil {
+			return
+		}
+		p.forwarded.Inc()
+	}
+}
+
+// rewriteWrite applies corrupt/torn decisions to a write request's
+// payload, re-encoding the frame.
+func (p *ChaosProxy) rewriteWrite(req []byte, d chaos.Decision) []byte {
+	wr, err := decodeWriteReq(req[1:])
+	if err != nil {
+		return req // not decodable; forward as-is
+	}
+	data := wr.data
+	if d.Torn {
+		keep := int(float64(len(data)) * d.KeepFraction)
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(data) {
+			keep = len(data)
+		}
+		data = data[:keep]
+	}
+	if d.CorruptBytes > 0 {
+		data = p.inj.CorruptCopy(data, d.CorruptBytes)
+	}
+	return encodeWriteReq(wr.node, wr.object, wr.stripe, data)
+}
+
+// corruptDataResp flips bytes in a data response's payload. Error
+// responses pass through untouched — only data can rot.
+func (p *ChaosProxy) corruptDataResp(resp []byte, n int) []byte {
+	if len(resp) == 0 || msgType(resp[0]) != msgDataResp {
+		return resp
+	}
+	body := p.inj.CorruptCopy(resp[1:], n)
+	return append([]byte{resp[0]}, body...)
+}

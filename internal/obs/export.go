@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -214,10 +215,29 @@ func Mux(r *Registry) *http.ServeMux {
 // Serve starts an HTTP server for Mux(r) on addr in a background
 // goroutine and returns the server (callers may Close it). Errors after
 // startup are delivered to errFn when non-nil.
+//
+// Serve binds inside the goroutine, so a bad address surfaces only via
+// errFn. Callers that want the bind failure synchronously should
+// net.Listen themselves and hand the listener to ServeOn.
 func Serve(addr string, r *Registry, errFn func(error)) *http.Server {
 	srv := &http.Server{Addr: addr, Handler: Mux(r)}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errFn != nil {
+			errFn(err)
+		}
+	}()
+	return srv
+}
+
+// ServeOn serves Mux(r) on an already-bound listener in a background
+// goroutine and returns the server (callers may Close it). The caller
+// owns the bind step — and therefore sees bind errors as ordinary
+// return values instead of through a callback. Errors after startup
+// are delivered to errFn when non-nil.
+func ServeOn(ln net.Listener, r *Registry, errFn func(error)) *http.Server {
+	srv := &http.Server{Handler: Mux(r)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && errFn != nil {
 			errFn(err)
 		}
 	}()

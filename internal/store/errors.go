@@ -48,4 +48,7 @@ var (
 // errColumnMissing marks a column that was never stored on the node
 // (e.g. a write skipped while the node was failed). It is not a node
 // fault: reads treat it as a plain erasure without health penalties.
-var errColumnMissing = errors.New("store: column missing")
+// Alias of chaos.ErrColumnMissing — the NodeIO contract's sentinel —
+// so external backends (disk, network) report the condition the same
+// way the built-in in-memory nodes do.
+var errColumnMissing = chaos.ErrColumnMissing

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -163,6 +164,14 @@ func (s *Store) readColumn(node int, object string, stripe int) ([]byte, error) 
 	if s.health.state(node) == HealthFailed {
 		return nil, fmt.Errorf("%w: node %d health-failed", ErrNodeUnavailable, node)
 	}
+	if s.extBackend && s.nodeFailed(node) {
+		// The administrative fail set lives in the store; an external
+		// backend (disk, network) cannot know about it, so reads gate
+		// here. The built-in memIO checks the flag itself — after the
+		// injector has seen the op — which keeps seeded chaos schedules
+		// byte-identical to previous releases.
+		return nil, fmt.Errorf("%w: node %d administratively failed", ErrNodeUnavailable, node)
+	}
 	if s.plainIO {
 		// Fast path: no injector wrapping, so the only failure modes
 		// are crashes and missing columns — neither is retryable.
@@ -221,13 +230,25 @@ func (s *Store) readColumnAt(node int, object string, stripe, off, n int) ([]byt
 	if s.health.state(node) == HealthFailed {
 		return nil, fmt.Errorf("%w: node %d health-failed", ErrNodeUnavailable, node)
 	}
+	if s.extBackend && s.nodeFailed(node) {
+		return nil, fmt.Errorf("%w: node %d administratively failed", ErrNodeUnavailable, node)
+	}
+	ctx, cancelCtx := context.WithDeadline(context.Background(), time.Now().Add(s.retry.OpDeadline))
+	defer cancelCtx()
+	cio, hasCtx := s.io.(chaos.CtxIO)
 	pr, partial := s.io.(chaos.PartialReader)
 	attempt := func() ([]byte, error) {
 		t := s.metrics.nodeRead.Start()
 		defer t.Stop()
 		s.metrics.readAttempts.Inc()
-		if partial {
-			data, err := pr.ReadColumnAt(node, object, stripe, off, n)
+		if hasCtx || partial {
+			var data []byte
+			var err error
+			if hasCtx {
+				data, err = cio.ReadColumnAtCtx(ctx, node, object, stripe, off, n)
+			} else {
+				data, err = pr.ReadColumnAt(node, object, stripe, off, n)
+			}
 			if err == nil {
 				s.metrics.partialReads.Inc()
 				s.metrics.partialReadBytes.Add(int64(len(data)))
@@ -289,13 +310,25 @@ func (s *Store) readColumnAt(node int, object string, stripe, off, n int) ([]byt
 // attemptRead performs one read attempt, optionally hedged: if the
 // primary attempt has not answered within HedgeDelay, a backup attempt
 // fires and the first response of either wins. The attempt is bounded
-// by the deadline.
+// by the deadline, which also travels down the I/O stack as a context
+// when the backend is context-aware — so an abandoned attempt (the
+// hedge loser, or a straggler held by an injected latency) is cancelled
+// when this call returns instead of running on in the background.
 func (s *Store) attemptRead(node int, object string, stripe int, deadline time.Time) ([]byte, error) {
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	cio, hasCtx := s.io.(chaos.CtxIO)
 	ch := make(chan ioResult, 2)
 	launch := func(hedge bool) {
 		go func() {
 			t := s.metrics.nodeRead.Start()
-			data, err := s.io.ReadColumn(node, object, stripe)
+			var data []byte
+			var err error
+			if hasCtx {
+				data, err = cio.ReadColumnCtx(ctx, node, object, stripe)
+			} else {
+				data, err = s.io.ReadColumn(node, object, stripe)
+			}
 			t.Stop()
 			s.metrics.readAttempts.Inc()
 			if err == nil {
@@ -345,6 +378,9 @@ func (s *Store) writeColumn(node int, object string, stripe int, data []byte) er
 		return err
 	}
 	deadline := time.Now().Add(s.retry.OpDeadline)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	cio, hasCtx := s.io.(chaos.CtxIO)
 	backoff := s.retry.BaseBackoff
 	var lastErr error
 	for attempt := 0; attempt < s.retry.MaxAttempts; attempt++ {
@@ -361,7 +397,12 @@ func (s *Store) writeColumn(node int, object string, stripe int, data []byte) er
 			s.metrics.retries.Inc()
 		}
 		t := s.metrics.nodeWrite.Start()
-		err := s.io.WriteColumn(node, object, stripe, data)
+		var err error
+		if hasCtx {
+			err = cio.WriteColumnCtx(ctx, node, object, stripe, data)
+		} else {
+			err = s.io.WriteColumn(node, object, stripe, data)
+		}
 		t.Stop()
 		s.metrics.writeAttempts.Inc()
 		if err == nil {

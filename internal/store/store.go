@@ -55,6 +55,18 @@ type Config struct {
 	// Health tunes the per-node healthy → suspect → failed state
 	// machine. Zero values pick sane defaults.
 	Health HealthPolicy
+	// Backend, when set, is the NodeIO the store performs all column
+	// I/O against — the transport-agnostic wiring point for per-node
+	// backends (a netio.Client for networked DataNodes, a disk-backed
+	// NodeIO, anything satisfying the interface). Nil uses the built-in
+	// in-memory nodes. With an external backend the store's node structs
+	// hold only administrative state (the FailNodes set); column bytes,
+	// Save snapshots, and Stats.StoredBytes accounting live with the
+	// backend. Backends that run their own retry/hedge/health machinery
+	// at the network edge (netio.Client does) should be used without
+	// WrapIO so the store takes its single-attempt path instead of
+	// stacking a second retry loop on top.
+	Backend chaos.NodeIO
 	// WrapIO, when set, wraps the store's node I/O — the fault-injection
 	// hook (pass a chaos.Injector's Wrap method). With no wrapper the
 	// store uses a fast path that skips the retry/hedging machinery,
@@ -93,11 +105,15 @@ type Store struct {
 	cfg  Config
 	code *core.Code
 
-	// io is the node I/O stack: memIO at the bottom, optionally wrapped
-	// by a fault injector. plainIO marks the unwrapped case so hot
-	// paths can skip the retry/hedging goroutines.
-	io      chaos.NodeIO
-	plainIO bool
+	// io is the node I/O stack: the configured backend (memIO by
+	// default) at the bottom, optionally wrapped by a fault injector.
+	// plainIO marks the unwrapped case so hot paths can skip the
+	// retry/hedging goroutines; extBackend marks a caller-provided
+	// backend, whose reads the store gates on its administrative fail
+	// set (the built-in memIO checks the flag itself).
+	io         chaos.NodeIO
+	plainIO    bool
+	extBackend bool
 	retry   RetryPolicy
 	health  *healthTracker
 	metrics storeMetrics
@@ -298,7 +314,12 @@ func Open(cfg Config) (*Store, error) {
 		s.nodes = append(s.nodes, &node{columns: make(map[string][][]byte)})
 	}
 	s.health = newHealthTracker(len(s.nodes), cfg.Health)
-	s.io = &memIO{s: s}
+	if cfg.Backend != nil {
+		s.io = cfg.Backend
+		s.extBackend = true
+	} else {
+		s.io = &memIO{s: s}
+	}
 	if cfg.WrapIO != nil {
 		s.io = cfg.WrapIO(s.io)
 	} else {
@@ -677,18 +698,16 @@ func (s *Store) encodeStripes(cols [][][]byte) error {
 	return <-errs
 }
 
-// stripeColumns assembles the column set of one stripe of an object;
-// failed or missing nodes contribute nil.
+// stripeColumns assembles the column set of one stripe of an object
+// through the node I/O stack (so it works against any backend — the
+// built-in memory nodes, disk, or networked DataNodes alike); failed or
+// missing nodes contribute nil.
 func (s *Store) stripeColumns(name string, stripe int) [][]byte {
 	out := make([][]byte, len(s.nodes))
-	for ni, nd := range s.nodes {
-		nd.mu.RLock()
-		if !nd.failed {
-			if cols := nd.columns[name]; cols != nil && stripe < len(cols) {
-				out[ni] = cols[stripe]
-			}
+	for ni := range s.nodes {
+		if data, err := s.readColumn(ni, name, stripe); err == nil {
+			out[ni] = data
 		}
-		nd.mu.RUnlock()
 	}
 	return out
 }
@@ -1154,6 +1173,18 @@ func (s *Store) CorruptByte(name string, stripe, nodeIdx, offset int) error {
 // Objects lists stored object names.
 func (s *Store) Objects() []string {
 	return s.objects.names()
+}
+
+// ObjectStripes reports how many stripes an object spans, or false if
+// no such object exists. The count is fixed at ingest, so callers can
+// forward it to external placement maps (a netio master) without
+// racing writers.
+func (s *Store) ObjectStripes(name string) (int, bool) {
+	obj, ok := s.objects.get(name)
+	if !ok {
+		return 0, false
+	}
+	return obj.stripes, true
 }
 
 // Stats reports store-wide counters, including the robustness
