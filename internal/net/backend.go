@@ -55,9 +55,11 @@ func (m *MemBackend) ReadColumnAt(node int, object string, stripe, off, n int) (
 	if !ok {
 		return nil, fmt.Errorf("%w: node %d %s/%d", chaos.ErrColumnMissing, node, object, stripe)
 	}
-	if off < 0 || n < 0 || off+n > len(col) {
+	// int64 arithmetic: off+n could wrap negative on 32-bit platforms
+	// and sneak past the bounds check into a panicking slice.
+	if off < 0 || n < 0 || int64(off)+int64(n) > int64(len(col)) {
 		return nil, fmt.Errorf("%w: range [%d,%d) outside column of %d bytes",
-			ErrInvalid, off, off+n, len(col))
+			ErrInvalid, off, int64(off)+int64(n), len(col))
 	}
 	out := make([]byte, n)
 	copy(out, col[off:off+n])
@@ -140,9 +142,10 @@ func (f *FileBackend) ReadColumnAt(node int, object string, stripe, off, n int) 
 	if err != nil {
 		return nil, fmt.Errorf("netio: stat column: %w", err)
 	}
-	if int64(off+n) > st.Size() {
+	// Sum in int64: off+n wraps on 32-bit platforms.
+	if int64(off)+int64(n) > st.Size() {
 		return nil, fmt.Errorf("%w: range [%d,%d) outside column of %d bytes",
-			ErrInvalid, off, off+n, st.Size())
+			ErrInvalid, off, int64(off)+int64(n), st.Size())
 	}
 	out := make([]byte, n)
 	if _, err := fh.ReadAt(out, int64(off)); err != nil {

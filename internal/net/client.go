@@ -268,12 +268,15 @@ func (p *pool) get(ctx context.Context, c *Client) (net.Conn, error) {
 	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {
 		c.m.dialFailures.Inc()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller's context expired or was cancelled (hedge loser,
+			// op deadline) — that says nothing about the node's health,
+			// so leave the dial circuit closed.
+			return nil, fmt.Errorf("%w: dial %s: %w", ErrTimeout, p.addr, ctxErr)
+		}
 		p.mu.Lock()
 		p.nextDial = time.Now().Add(c.jitterHalf(c.retry.RedialBackoff))
 		p.mu.Unlock()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, fmt.Errorf("%w: dial %s: %v", ErrTimeout, p.addr, ctxErr)
-		}
 		return nil, fmt.Errorf("%w: dial %s: %v", chaos.ErrNodeUnavailable, p.addr, err)
 	}
 	p.mu.Lock()
@@ -391,7 +394,7 @@ func (c *Client) roundTrip(ctx context.Context, node int, req []byte) ([]byte, e
 // store treats the column as an erasure.
 func (c *Client) transportErr(ctx context.Context, node int, verb string, err error) error {
 	if ctxErr := ctx.Err(); ctxErr != nil {
-		return fmt.Errorf("%w: node %d %s: %v", ErrTimeout, node, verb, ctxErr)
+		return fmt.Errorf("%w: node %d %s: %w", ErrTimeout, node, verb, ctxErr)
 	}
 	var nerr net.Error
 	if errors.As(err, &nerr) && nerr.Timeout() {
@@ -513,7 +516,7 @@ func (c *Client) doInner(ctx context.Context, node int, req []byte, hedge bool) 
 		}
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("%w: node %d: %v", ErrTimeout, node, ctx.Err())
+		lastErr = fmt.Errorf("%w: node %d: %w", ErrTimeout, node, ctx.Err())
 	}
 	return nil, lastErr
 }

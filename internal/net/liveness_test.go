@@ -213,6 +213,44 @@ func TestLivenessPartitionNoSplitBrain(t *testing.T) {
 	}
 }
 
+// TestLivenessDeadRegistrationsGC: dead incarnations are removed from
+// the registration map, so a long-running master under DataNode churn
+// (register → die → re-register, forever) holds registrations only for
+// heartbeating processes — not one per incarnation ever issued.
+func TestLivenessDeadRegistrationsGC(t *testing.T) {
+	clock := newFakeClock()
+	rec := &deadRecorder{}
+	m, policy := livenessMaster(t, clock, rec)
+
+	const churns = 20
+	for i := 0; i < churns; i++ {
+		if _, err := RegisterNodes(m.Addr(), []int{7}, "10.0.0.4:7000", 0); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		m.sweep(clock.Advance(policy.DetectionBound()))
+	}
+	m.mu.Lock()
+	retained := len(m.regs)
+	m.mu.Unlock()
+	if retained != 0 {
+		t.Fatalf("%d dead registrations retained after churn, want 0", retained)
+	}
+	if rec.count() != churns {
+		t.Fatalf("OnDead fired %d times, want %d (once per incarnation)", rec.count(), churns)
+	}
+	// The last death stays visible through the node map until a fresh
+	// registration supersedes it, and its stale heartbeat is still fenced.
+	if st := m.NodeMap()[7].State; st != StateDead {
+		t.Fatalf("node 7 state %v, want dead", st)
+	}
+	rec.mu.Lock()
+	lastInc := rec.events[len(rec.events)-1].inc
+	rec.mu.Unlock()
+	if known, err := SendHeartbeat(m.Addr(), lastInc, 0); err != nil || known {
+		t.Fatalf("dead incarnation heartbeat: known=%v err=%v, want fenced", known, err)
+	}
+}
+
 // TestLivenessSupersededIncarnationOwnsNothing: when a node re-registers
 // (restart) before its old incarnation is declared dead, the old
 // incarnation's later death reports no nodes — they belong to the new

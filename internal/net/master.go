@@ -137,8 +137,13 @@ type Master struct {
 
 	mu      sync.Mutex
 	nextInc uint64
-	regs    map[uint64]*registration
-	byNode  map[int]uint64 // node index → owning incarnation (latest registration wins)
+	// regs holds the registrations heartbeats can still address: alive
+	// and suspect incarnations. A registration is removed on death (the
+	// heartbeat answer for an unknown incarnation is the same "re-register"
+	// fence), so regs is bounded by live DataNode processes rather than
+	// growing with churn.
+	regs   map[uint64]*registration
+	byNode map[int]*registration // node index → owning registration (latest wins)
 	objects map[string]uint32
 	closed  bool
 	conns   connSet
@@ -162,7 +167,7 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		ln:      ln,
 		m:       newMasterMetrics(cfg.Obs),
 		regs:    make(map[uint64]*registration),
-		byNode:  make(map[int]uint64),
+		byNode:  make(map[int]*registration),
 		objects: make(map[string]uint32),
 		stop:    make(chan struct{}),
 	}
@@ -279,11 +284,12 @@ func (m *Master) handleRegister(body []byte) []byte {
 	m.mu.Lock()
 	m.nextInc++
 	inc := m.nextInc
-	m.regs[inc] = &registration{
+	reg := &registration{
 		inc: inc, addr: addr, nodes: nodes, last: m.now(), state: StateAlive,
 	}
+	m.regs[inc] = reg
 	for _, node := range nodes {
-		m.byNode[node] = inc
+		m.byNode[node] = reg
 	}
 	m.updateGaugesLocked()
 	m.mu.Unlock()
@@ -324,7 +330,7 @@ func (m *Master) handleNodeMap() []byte {
 	sort.Ints(nodes)
 	e := newEnc(msgNodeMapResp).u32(uint32(len(nodes)))
 	for _, node := range nodes {
-		reg := m.regs[m.byNode[node]]
+		reg := m.byNode[node]
 		e.u32(uint32(node)).u8(uint8(reg.state)).u64(reg.inc).str(reg.addr)
 	}
 	m.mu.Unlock()
@@ -388,19 +394,22 @@ func (m *Master) sweep(now time.Time) {
 	var events []deadEvent
 	m.mu.Lock()
 	for inc, reg := range m.regs {
-		if reg.state == StateDead {
-			continue
-		}
 		silence := now.Sub(reg.last)
 		switch {
 		case silence > deadAfter:
 			reg.state = StateDead
+			// Dead is final for this incarnation: drop it from regs so a
+			// late heartbeat gets the same "unknown, re-register" fence
+			// and the map stays bounded under DataNode churn. byNode may
+			// keep pointing at the dead registration (so the node map
+			// reports it Dead) until a re-register supersedes it.
+			delete(m.regs, inc)
 			// Only the node indexes this incarnation still owns are
 			// reported: a node already re-registered under a newer
 			// incarnation is someone else's responsibility now.
 			var owned []int
 			for _, node := range reg.nodes {
-				if m.byNode[node] == inc {
+				if m.byNode[node] == reg {
 					owned = append(owned, node)
 				}
 			}
@@ -428,9 +437,8 @@ func (m *Master) updateGaugesLocked() {
 		return
 	}
 	var alive, suspect, dead int64
-	for node, inc := range m.byNode {
-		_ = node
-		switch m.regs[inc].state {
+	for _, reg := range m.byNode {
+		switch reg.state {
 		case StateAlive:
 			alive++
 		case StateSuspect:
@@ -450,8 +458,7 @@ func (m *Master) NodeMap() map[int]NodeInfo {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[int]NodeInfo, len(m.byNode))
-	for node, inc := range m.byNode {
-		reg := m.regs[inc]
+	for node, reg := range m.byNode {
 		out[node] = NodeInfo{Addr: reg.addr, State: reg.state, Incarnation: reg.inc}
 	}
 	return out

@@ -202,13 +202,24 @@ func (s *Server) handleReadAt(body []byte) []byte {
 	d := newDec(body)
 	node := int(d.u32())
 	stripe := int(d.u32())
-	off := int(d.u32())
-	n := int(d.u32())
+	offU := d.u32()
+	nU := d.u32()
 	object := d.str()
 	if d.err != nil {
 		s.m.readAt.errors.Inc()
 		return encodeErrResp(d.err)
 	}
+	// Reject wire values that don't fit the platform int (or whose sum
+	// doesn't) before converting: on 32-bit a malformed request could
+	// otherwise wrap off+n negative, bypass the bounds check below, and
+	// panic the DataNode on the slice expression.
+	const maxInt = int64(^uint(0) >> 1)
+	if int64(offU) > maxInt || int64(nU) > maxInt || int64(offU)+int64(nU) > maxInt {
+		s.m.readAt.errors.Inc()
+		return encodeErrResp(fmt.Errorf("%w: range [%d,%d) exceeds platform limits",
+			ErrInvalid, offU, int64(offU)+int64(nU)))
+	}
+	off, n := int(offU), int(nU)
 	var data []byte
 	var err error
 	if pr, ok := s.cfg.Backend.(chaos.PartialReader); ok {

@@ -698,20 +698,6 @@ func (s *Store) encodeStripes(cols [][][]byte) error {
 	return <-errs
 }
 
-// stripeColumns assembles the column set of one stripe of an object
-// through the node I/O stack (so it works against any backend — the
-// built-in memory nodes, disk, or networked DataNodes alike); failed or
-// missing nodes contribute nil.
-func (s *Store) stripeColumns(name string, stripe int) [][]byte {
-	out := make([][]byte, len(s.nodes))
-	for ni := range s.nodes {
-		if data, err := s.readColumn(ni, name, stripe); err == nil {
-			out[ni] = data
-		}
-	}
-	return out
-}
-
 // readStripe assembles one stripe through the self-healing I/O path and
 // verifies every column against its stored CRC-32C. Columns that fail
 // the checksum (or persistent I/O) are demoted to erasures — nil in the

@@ -101,10 +101,27 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 	}
 
 	for _, st := range stripes {
-		cols := s.stripeColumns(name, st)
+		// Read through the CRC-verifying path: a column whose bytes fail
+		// the stored checksum (torn disk write, wire bit-flip on a
+		// networked backend) must never feed code.Update — the poisoned
+		// parity deltas would be written back and re-checksummed as
+		// truth, making the corruption permanent and undetectable.
+		cols, _ := s.readStripe(obj, st)
+		var erased []int
 		for i, c := range cols {
 			if c == nil {
-				return fmt.Errorf("%w: stripe %d column %d missing", ErrUnavailable, st, i)
+				erased = append(erased, i)
+			}
+		}
+		if len(erased) > 0 {
+			// Rebuild demoted/unreadable columns from the survivors so
+			// the incremental update runs against true bytes; if the
+			// stripe cannot be fully reconstructed the update fails
+			// rather than guessing.
+			r, err := s.reconstructForHeal(cols, erased)
+			if err != nil || len(r.Lost) > 0 {
+				return fmt.Errorf("%w: stripe %d columns %v unreadable or corrupt",
+					ErrUnavailable, st, erased)
 			}
 		}
 		// Copy-on-write: clone every column the update may mutate (the

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+
+	"approxcode/internal/core"
 )
 
 func TestUpdateSegmentRoundTrip(t *testing.T) {
@@ -42,6 +44,55 @@ func TestUpdateThenFailureStillRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	segs[5].Data = newData
+	dn := s.Code().DataNodeIndexes()
+	if err := s.FailNodes(dn[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.Get("video")
+	if err != nil || len(rep.LostSegments) != 0 {
+		t.Fatalf("degraded get after update: %v %+v", err, rep)
+	}
+	checkSegments(t, got, segs, nil)
+}
+
+func TestUpdateHealsCorruptColumnBeforeDelta(t *testing.T) {
+	segs := makeSegments(t, 24, 6, 36)
+	s := openWith(t, segs)
+	obj, ok := s.objects.get("video")
+	if !ok {
+		t.Fatal("object missing")
+	}
+	st := -1
+	for _, e := range obj.extents {
+		if e.seg == 5 {
+			st = e.stripe
+			break
+		}
+	}
+	if st < 0 {
+		t.Fatal("segment 5 has no extents")
+	}
+	// Corrupt one byte of a parity column in segment 5's stripe. An
+	// update that consumed the column unverified would fold the damage
+	// into its parity delta and re-checksum it as truth — undetectable
+	// until a reconstruction leaning on that parity returns wrong bytes.
+	parity := -1
+	for i := range s.nodes {
+		if s.code.Role(i) != core.RoleData {
+			parity = i
+			break
+		}
+	}
+	if err := s.CorruptByte("video", st, parity, 2); err != nil {
+		t.Fatal(err)
+	}
+	newData := bytes.Repeat([]byte{0xA7}, len(segs[5].Data))
+	if err := s.UpdateSegment("video", 5, newData); err != nil {
+		t.Fatalf("update over corrupt parity: %v", err)
+	}
+	segs[5].Data = newData
+	// The update must have healed the parity before applying its delta:
+	// a degraded read that decodes through it is byte-exact.
 	dn := s.Code().DataNodeIndexes()
 	if err := s.FailNodes(dn[0]); err != nil {
 		t.Fatal(err)
