@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos net-chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 stress metrics-bench ci
+.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos net-chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 bench-pr9 stress metrics-bench ci
 
 all: build
 
@@ -22,7 +22,7 @@ vet:
 # deliberate discards). internal/net is in the set because network code
 # is where errors get dropped.
 errvet:
-	$(GO) run ./cmd/errvet ./internal/store ./internal/net
+	$(GO) run ./cmd/errvet ./internal/store ./internal/net ./internal/tier
 
 # vet plus staticcheck when it is installed (skipped silently offline —
 # the container image does not bundle it).
@@ -117,4 +117,12 @@ bench-pr6:
 bench-pr7:
 	$(GO) run ./cmd/apprbench -exp pr7 -iters 3
 
-ci: lint errvet build test test-noasm race race-hammer stress chaos net-chaos crash fuzz metrics-bench bench-pr7
+# Regenerates BENCH_PR9.json (popularity-adaptive tiering: Zipf replay
+# against the all-warm baseline then the tiered fleet, per-tier
+# cost/latency frontier, fleet overhead vs 3x all-replication; the
+# cached-vs-decode latency gate is evaluated only on >= 4 cores,
+# report-only below).
+bench-pr9:
+	$(GO) run ./cmd/apprbench -exp pr9 -iters 3
+
+ci: lint errvet build test test-noasm race race-hammer stress chaos net-chaos crash fuzz metrics-bench bench-pr7 bench-pr9

@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6|pr7")
+	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6|pr7|pr9")
 	shardFlag   = flag.Int("shard", 256*1024, "approximate per-node shard bytes for timing experiments")
 	itersFlag   = flag.Int("iters", 3, "timed iterations per measurement")
 	sizeFlag    = flag.Int("size", 256<<20, "simulated node bytes for the recovery experiment")
@@ -35,6 +35,7 @@ var (
 	pr2Flag     = flag.String("pr2", "BENCH_PR2.json", "output path for the pr2 SIMD/plan-cache report")
 	pr6Flag     = flag.String("pr6", "BENCH_PR6.json", "output path for the pr6 concurrent load-generator report")
 	pr7Flag     = flag.String("pr7", "BENCH_PR7.json", "output path for the pr7 minimal-read repair report")
+	pr9Flag     = flag.String("pr9", "BENCH_PR9.json", "output path for the pr9 popularity-adaptive tiering report")
 	metricsFlag = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9090)")
 	traceFlag   = flag.Bool("trace", false, "stream one span line per experiment to stderr")
 )
@@ -87,6 +88,7 @@ func main() {
 		"pr2":         runPR2,
 		"pr6":         runPR6,
 		"pr7":         runPR7,
+		"pr9":         runPR9,
 	}
 	for name, run := range runners {
 		runners[name] = instrumented(name, run)
@@ -472,6 +474,40 @@ func runPR7(tc bench.TimingConfig) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *pr7Flag)
+	return nil
+}
+
+func runPR9(tc bench.TimingConfig) error {
+	section("PR9: popularity-adaptive redundancy tiers and hot-GOP cache")
+	rep, err := bench.RunPR9(tc)
+	if err != nil {
+		return err
+	}
+	wl := rep.Workload
+	fmt.Printf("zipf(%.1f) over %d objects, %d reads/phase\n", wl.ZipfS, wl.Objects, wl.Reads)
+	w := newTab()
+	fmt.Fprintln(w, "tier\tobjects\toverhead\treads\tp50 µs\tp99 µs")
+	for _, row := range rep.Frontier {
+		fmt.Fprintf(w, "%s\t%d\t%.2fx\t%d\t%.1f\t%.1f\n",
+			row.Tier, row.Objects, row.Overhead, row.Reads, row.ReadP50Micros, row.ReadP99Micros)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("hot reads: decode p50 %.1f µs -> cached p50 %.1f µs (%.1fx); cache %d hits / %d misses\n",
+		wl.HotDecodeP50Micros, wl.HotCachedP50Micros, wl.Speedup, rep.CacheHits, rep.CacheMisses)
+	fmt.Printf("fleet overhead: %.2fx of data bytes (all-replication %.1fx); %d promotions, %d demotions\n",
+		rep.Overhead.FleetOverhead, rep.Overhead.AllReplicationOverhead, rep.Promotions, rep.Demotions)
+	fmt.Println(rep.Note)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*pr9Flag, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *pr9Flag)
 	return nil
 }
 

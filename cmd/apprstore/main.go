@@ -64,6 +64,8 @@ func main() {
 		err = cmdRecover(os.Args[2:])
 	case "scrub":
 		err = cmdScrub(os.Args[2:])
+	case "tier":
+		err = cmdTier(os.Args[2:])
 	default:
 		usage()
 	}
@@ -74,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apprstore <encode|decode|verify|info|ingest|restore|repair|recover|scrub> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: apprstore <encode|decode|verify|info|ingest|restore|repair|recover|scrub|tier> [flags]")
 	os.Exit(2)
 }
 

@@ -207,3 +207,37 @@ func TestScrubAndChaosRestore(t *testing.T) {
 		t.Fatal("restore after chaos repair differs from original")
 	}
 }
+
+func TestTierListAndMigrate(t *testing.T) {
+	in := makeContainer(t, 120)
+	dir := t.TempDir()
+	if err := cmdIngest([]string{"-in", in, "-dir", dir, "-k", "3", "-r", "1", "-g", "2", "-h", "4", "-node", "16384"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTier([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTier([]string{"-dir", dir, "-object", "video", "-set", "hot"}); err != nil {
+		t.Fatal(err)
+	}
+	// The migrated tier persisted, and the replicated object still
+	// restores byte-exact.
+	if err := cmdTier([]string{"-dir", dir, "-object", "video", "-set", "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "back.agop")
+	if err := cmdRestore([]string{"-dir", dir, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := os.ReadFile(in)
+	got, _ := os.ReadFile(out)
+	if !bytes.Equal(orig, got) {
+		t.Fatal("container round trip differs after tier migrations")
+	}
+	if err := cmdTier([]string{"-dir", dir, "-object", "video", "-set", "lukewarm"}); err == nil {
+		t.Fatal("bogus tier name accepted")
+	}
+	if err := cmdTier([]string{"-dir", dir, "-set", "hot"}); err == nil {
+		t.Fatal("tier -set without -object accepted")
+	}
+}

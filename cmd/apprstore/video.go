@@ -15,6 +15,7 @@ import (
 	"approxcode/internal/core"
 	"approxcode/internal/obs"
 	"approxcode/internal/store"
+	"approxcode/internal/tier"
 	"approxcode/internal/video"
 )
 
@@ -425,6 +426,80 @@ func cmdScrub(args []string) error {
 	}
 	if len(rep.Corrupt) > 0 {
 		return fmt.Errorf("%d stripes corrupt beyond scrub's reach", len(rep.Corrupt))
+	}
+	return nil
+}
+
+// cmdTier lists each object's redundancy tier and storage overhead, or
+// migrates one object to a target tier and persists the result.
+//
+//	apprstore tier -dir storedir
+//	apprstore tier -dir storedir -object video -set hot
+func cmdTier(args []string) error {
+	fs := flag.NewFlagSet("tier", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	object := fs.String("object", "", "object to migrate (with -set)")
+	set := fs.String("set", "", "target tier: hot|warm|cold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("tier needs -dir")
+	}
+	st, _, err := loadStoreWith(*dir, "", 1, nil)
+	if err != nil {
+		return err
+	}
+	if *set != "" {
+		if *object == "" {
+			return errors.New("tier -set needs -object")
+		}
+		var to tier.Level
+		switch strings.ToLower(*set) {
+		case "hot":
+			to = tier.Hot
+		case "warm":
+			to = tier.Warm
+		case "cold":
+			to = tier.Cold
+		default:
+			return fmt.Errorf("unknown tier %q (want hot, warm, or cold)", *set)
+		}
+		if err := st.MigrateObject(*object, to); err != nil {
+			return err
+		}
+		// The CLI store has no attached journal; persist the migrated
+		// redundancy as a fresh snapshot.
+		if err := st.Save(*dir); err != nil {
+			return err
+		}
+		fmt.Printf("migrated %q to %s\n", *object, to)
+	}
+	code := st.Code()
+	total := code.TotalShards()
+	data := len(code.DataNodeIndexes())
+	globals := 0
+	for i := 0; i < total; i++ {
+		if code.Role(i) == core.RoleGlobalParity {
+			globals++
+		}
+	}
+	overhead := func(l tier.Level) float64 {
+		switch l {
+		case tier.Hot:
+			return float64(total+data) / float64(data)
+		case tier.Cold:
+			return float64(total-globals) / float64(data)
+		default:
+			return float64(total) / float64(data)
+		}
+	}
+	for _, name := range st.Objects() {
+		lvl, ok := st.ObjectTier(name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-24s %-5s %.2fx\n", name, lvl, overhead(lvl))
 	}
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 	netio "approxcode/internal/net"
 	"approxcode/internal/obs"
 	"approxcode/internal/store"
+	"approxcode/internal/tier"
 	"approxcode/internal/video"
 )
 
@@ -106,13 +107,16 @@ func run() error {
 	// 3. Ingest into the storage layer (parallel stripe encoding),
 	// optionally with a chaos injector between the store and its nodes
 	// so the self-healing counters have something to count.
+	tracker := tier.NewTracker(0.5)
 	cfg := store.Config{
 		Code: core.Params{
 			Family: core.FamilyRS, K: 5, R: 1, G: 2, H: 6, Structure: core.Even,
 		},
-		NodeSize: 6 * 8192,
-		Obs:      reg,
-		Retry:    store.RetryPolicy{Seed: *seedFlag},
+		NodeSize:   6 * 8192,
+		Obs:        reg,
+		Retry:      store.RetryPolicy{Seed: *seedFlag},
+		CacheBytes: 16 << 20,
+		Tracker:    tracker,
 	}
 	var inj *chaos.Injector
 	if *chaosFlag != "" {
@@ -226,10 +230,12 @@ func run() error {
 			return err
 		}
 		st, _, err = store.Recover(*dirFlag, store.LoadOptions{
-			Lenient: true,
-			Retry:   store.RetryPolicy{Seed: *seedFlag},
-			Obs:     reg,
-			WrapIO:  cfg.WrapIO,
+			Lenient:    true,
+			Retry:      store.RetryPolicy{Seed: *seedFlag},
+			Obs:        reg,
+			WrapIO:     cfg.WrapIO,
+			CacheBytes: cfg.CacheBytes,
+			Tracker:    tracker,
 		})
 		if err != nil {
 			return err
@@ -264,6 +270,33 @@ func run() error {
 	}
 	fmt.Printf("scrub: %d stripes checked, %d corrupt\n", scrub.StripesChecked, len(scrub.Corrupt))
 
+	// 8. Popularity-adaptive tiering: every Get above fed the EWMA
+	// tracker, so one manager tick classifies "clip" hot, migrates it to
+	// replicated redundancy (journaled migrate-begin/commit, crash-safe),
+	// and repeated segment reads then come from the decoded-GOP cache
+	// without touching NodeIO. Skipped with -master: migration requires
+	// the built-in node backend.
+	if *masterFlag == "" {
+		mgr := &tier.Manager{
+			Tracker: tracker,
+			Policy:  tier.Policy{MaxHot: 1, HotMinRate: 1},
+			Store:   st,
+			OnError: func(name string, to tier.Level, err error) {
+				log.Printf("tier: migrate %s to %s: %v", name, to, err)
+			},
+		}
+		migrated := mgr.Tick()
+		lvl, _ := st.ObjectTier("clip")
+		for i := 0; i < 4; i++ {
+			if _, err := st.GetSegment("clip", segs[0].ID); err != nil {
+				return err
+			}
+		}
+		ts := st.Stats()
+		fmt.Printf("tiering: %d migration(s), clip is %s (%d promotions); cache hits=%d misses=%d\n",
+			migrated, lvl, ts.TierPromotions, ts.CacheHits, ts.CacheMisses)
+	}
+
 	final := st.Stats()
 	fmt.Printf("telemetry: retries=%d hedges=%d read-errors=%d checksum-failures=%d shards-healed=%d\n",
 		final.Retries, final.Hedges, final.ReadErrors, final.ChecksumFailures, final.ShardsHealed)
@@ -272,7 +305,7 @@ func run() error {
 		fmt.Printf("chaos: %d faults injected\n", c.Total())
 	}
 
-	// 8. With -listen, keep serving reads so scrapes and profiles see a
+	// 9. With -listen, keep serving reads so scrapes and profiles see a
 	// live workload rather than a terminated process.
 	if obsLn != nil {
 		fmt.Println("demo complete; replaying Get(clip) forever (ctrl-c to stop)")

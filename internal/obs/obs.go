@@ -115,7 +115,9 @@ func (HistogramSnapshot) Bound(i int) time.Duration {
 // With power-of-two bucket bounds the estimate is conservative — at
 // most one bucket width above the true value. Returns 0 for an empty
 // snapshot; samples landing in the +Inf bucket report the last finite
-// bound (the histogram cannot resolve beyond it).
+// bound (the histogram cannot resolve beyond it). A single-sample
+// snapshot returns the sample itself (Sum) — interpolating one sample
+// toward its bucket's upper bound would invent up to 2x error.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 || q <= 0 {
 		return 0
@@ -123,9 +125,21 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
+	if s.Count == 1 {
+		if s.Sum < 0 {
+			return 0
+		}
+		return s.Sum
+	}
 	rank := int64(q*float64(s.Count) + 0.5)
 	if rank < 1 {
 		rank = 1
+	}
+	// q*Count can round past Count (q=1.0 with the +0.5 rounding, or
+	// float error on large counts); an over-large rank would fall off
+	// the last occupied bucket and misreport the histogram's top bound.
+	if rank > s.Count {
+		rank = s.Count
 	}
 	var cum int64
 	for i, n := range s.Buckets {

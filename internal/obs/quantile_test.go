@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// snapOf builds a snapshot from raw samples through a live histogram,
+// so the tests exercise the same bucketing the hot paths use.
+func snapOf(samples ...time.Duration) HistogramSnapshot {
+	r := NewRegistry(true)
+	h := r.Histogram("t")
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	// A single sample IS every quantile: no interpolation toward the
+	// bucket's upper bound (5ms falls in the (4ms, 8ms] bucket, whose
+	// top would misreport by 60%).
+	s := snapOf(5 * time.Millisecond)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := s.Quantile(q); got != 5*time.Millisecond {
+			t.Errorf("single.Quantile(%v) = %v, want 5ms", q, got)
+		}
+	}
+	// Defensive: a hand-built snapshot with a negative Sum cannot
+	// return a negative duration.
+	bad := HistogramSnapshot{Count: 1, Sum: -time.Second}
+	bad.Buckets[0] = 1
+	if got := bad.Quantile(0.5); got != 0 {
+		t.Errorf("negative-sum single sample = %v, want 0", got)
+	}
+}
+
+func TestQuantileTopRankStaysInOccupiedBucket(t *testing.T) {
+	// Two samples in low buckets: q=1.0's rounded rank (2*1.0+0.5 -> 2)
+	// must resolve inside the last occupied bucket, never fall through
+	// to the global top bound (~33.6s).
+	s := snapOf(2*time.Microsecond, 3*time.Microsecond)
+	got := s.Quantile(1.0)
+	if got > 4*time.Microsecond {
+		t.Fatalf("q=1.0 escaped the occupied buckets: %v", got)
+	}
+	// Out-of-range q clamps to 1.0.
+	if s.Quantile(7.5) != got {
+		t.Fatalf("q>1 not clamped: %v vs %v", s.Quantile(7.5), got)
+	}
+}
+
+func TestQuantileRankOverflowGuard(t *testing.T) {
+	// Hand-built snapshot where q*Count+0.5 rounds past Count: without
+	// the rank clamp the scan falls off the occupied buckets and
+	// reports Bound(histBuckets-2).
+	var s HistogramSnapshot
+	s.Count = 3
+	s.Sum = 3 * time.Microsecond
+	s.Buckets[0] = 3
+	if got := s.Quantile(1.0); got > time.Microsecond {
+		t.Fatalf("q=1.0 rank overflow: got %v, want <= 1µs", got)
+	}
+}
+
+func TestQuantileInterpolationBounds(t *testing.T) {
+	// Samples across buckets: any quantile must land within the bucket
+	// geometry's bounds for its rank.
+	s := snapOf(
+		1*time.Microsecond, 1*time.Microsecond, // bucket 0 (<=1µs)
+		100*time.Microsecond, 120*time.Microsecond, // bucket 7 (<=128µs)
+		20*time.Millisecond, // bucket 15 (<=32.8ms)
+	)
+	if got := s.Quantile(0.2); got > time.Microsecond {
+		t.Errorf("p20 = %v, want <= 1µs", got)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 <= 64*time.Microsecond || p50 > 128*time.Microsecond {
+		t.Errorf("p50 = %v, want in (64µs, 128µs]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 <= 16384*time.Microsecond || p99 > 32768*time.Microsecond {
+		t.Errorf("p99 = %v, want in (~16.4ms, ~32.8ms]", p99)
+	}
+	if s.Quantile(0.5) > s.Quantile(0.9) || s.Quantile(0.9) > s.Quantile(1.0) {
+		t.Error("quantiles not monotone in q")
+	}
+}
+
+func TestQuantileInfBucket(t *testing.T) {
+	// Samples beyond the last finite bound land in +Inf; the histogram
+	// cannot resolve them, so quantiles covering them report the last
+	// finite bound rather than inventing a value.
+	s := snapOf(time.Hour, 2*time.Hour)
+	want := s.Bound(histBuckets - 2)
+	if got := s.Quantile(1.0); got != want {
+		t.Fatalf("+Inf bucket quantile = %v, want %v", got, want)
+	}
+}

@@ -405,3 +405,48 @@ func TestChaosLoadWithLenientHealsCorruptNodeFile(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosCorruptReadDemotesAndCounts pins the demotion accounting on
+// the partial-read fast path: a CRC mismatch detected by getSegmentFast
+// must (a) increment store_checksum_demotions_total, (b) feed the health
+// FSM's corruption streak so a persistently lying node turns Suspect,
+// and (c) never surface wrong bytes — the read escalates and decodes
+// around the bad column. Before the fix, the fast path silently widened
+// the erasure set without recording the demotion anywhere, so a node
+// returning garbage on every partial read stayed Healthy forever.
+func TestChaosCorruptReadDemotesAndCounts(t *testing.T) {
+	out := chaostest.Run(t, chaostest.Scenario{
+		Seed:     33,
+		Schedule: "node=1,op=readat,fault=corrupt,bytes=1",
+	})
+	if got := out.Store.Stats().ChecksumDemotions; got != 0 {
+		t.Fatalf("whole-column phases demoted %d times under a readat-only rule", got)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, want := range out.Segments {
+			got, err := out.Store.GetSegment("video", want.ID)
+			if err != nil {
+				t.Fatalf("pass %d segment %d: %v", pass, want.ID, err)
+			}
+			if !bytes.Equal(got.Data, want.Data) {
+				t.Fatalf("pass %d segment %d: wrong bytes despite demotion", pass, want.ID)
+			}
+		}
+	}
+	st := out.Store.Stats()
+	if st.ChecksumDemotions == 0 {
+		t.Fatal("corrupt partial reads never counted as checksum demotions")
+	}
+	// Every partial read of node 1 fails its CRC, so its corruption
+	// streak can only grow: three passes over all segments must push it
+	// past SuspectAfter. Other nodes read clean and must stay Healthy.
+	health := out.Store.NodeHealth()
+	if health[1] == store.HealthHealthy {
+		t.Fatalf("node 1 still Healthy after %d checksum demotions", st.ChecksumDemotions)
+	}
+	for ni, h := range health {
+		if ni != 1 && h != store.HealthHealthy {
+			t.Fatalf("clean node %d demoted to %v", ni, h)
+		}
+	}
+}

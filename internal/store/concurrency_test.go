@@ -15,6 +15,7 @@ import (
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/store"
+	"approxcode/internal/tier"
 )
 
 // stressSecondsEnv scales the mixed-workload hammer: unset (or short
@@ -97,6 +98,7 @@ func TestConcurrentStressMixed(t *testing.T) {
 	cfg := storeConfig()
 	cfg.MaxInFlight = 64
 	cfg.AdmitWait = 20 * time.Millisecond
+	cfg.CacheBytes = 1 << 20
 	s, err := store.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -306,6 +308,40 @@ func TestConcurrentStressMixed(t *testing.T) {
 		}
 	}()
 
+	// Migrators: cycle static and mutable objects through redundancy
+	// tiers while readers verify them and updaters mutate them. A
+	// migration never changes logical bytes, so every concurrent read
+	// must stay exact whichever side of the atomic tier swap it lands
+	// on. ErrUnavailable is a clean no-op: migration refuses to run
+	// with failed nodes, and the chaos goroutine keeps a failure window
+	// open much of the time.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 400))
+			levels := []tier.Level{tier.Warm, tier.Hot, tier.Cold}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var name string
+				if rng.Intn(2) == 0 {
+					name = fmt.Sprintf("static-%d", rng.Intn(staticObjects))
+				} else {
+					name = fmt.Sprintf("mutable-%d", rng.Intn(mutable))
+				}
+				err := s.MigrateObject(name, levels[rng.Intn(len(levels))])
+				if err != nil && !errors.Is(err, store.ErrUnavailable) {
+					t.Errorf("MigrateObject %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+
 	// Stats monotonicity: cumulative counters never decrease, and the
 	// object count never drops (nothing deletes).
 	wg.Add(1)
@@ -323,7 +359,12 @@ func TestConcurrentStressMixed(t *testing.T) {
 				st.ChecksumFailures < prev.ChecksumFailures ||
 				st.ShardsHealed < prev.ShardsHealed ||
 				st.DegradedSubReads < prev.DegradedSubReads ||
-				st.ReadErrors < prev.ReadErrors {
+				st.ReadErrors < prev.ReadErrors ||
+				st.ChecksumDemotions < prev.ChecksumDemotions ||
+				st.TierPromotions < prev.TierPromotions ||
+				st.TierDemotions < prev.TierDemotions ||
+				st.CacheHits < prev.CacheHits ||
+				st.CacheMisses < prev.CacheMisses {
 				t.Errorf("Stats counters went backwards: %+v then %+v", prev, st)
 				return
 			}

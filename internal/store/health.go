@@ -66,8 +66,15 @@ type nodeHealth struct {
 	mu          sync.Mutex
 	state       HealthState
 	consecFails int
-	probation   int
-	fails, oks  int64
+	// corrupts is the checksum-demotion streak. It is tracked apart
+	// from consecFails because the transport-level ok() recorded by a
+	// successful read would otherwise reset it before the caller's CRC
+	// check could fail: only a read of this node that VERIFIES clears
+	// it (see verified), so a node persistently serving damaged bytes
+	// escalates suspect → failed even though every I/O "succeeds".
+	corrupts  int
+	probation int
+	fails, oks int64
 }
 
 // healthTracker applies a HealthPolicy across the store's nodes.
@@ -121,6 +128,40 @@ func (h *healthTracker) fail(i int) HealthState {
 	return nh.state
 }
 
+// corrupt records a checksum-demoted read: the node's transport
+// answered, but with bytes that failed verification. It feeds the same
+// suspect/failed thresholds as transport errors through its own
+// streak, which only verified (a CRC-clean read of this node) or reset
+// clears — so a demote racing an in-flight update is forgiven by the
+// next verified read, while genuine stored-data damage keeps the
+// streak growing until the node is failed out and repaired.
+func (h *healthTracker) corrupt(i int) HealthState {
+	nh := &h.nodes[i]
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	nh.fails++
+	nh.corrupts++
+	nh.probation = 0
+	switch {
+	case nh.corrupts >= h.policy.FailAfter:
+		nh.state = HealthFailed
+	case nh.corrupts >= h.policy.SuspectAfter && nh.state == HealthHealthy:
+		nh.state = HealthSuspect
+	}
+	return nh.state
+}
+
+// verified records a read of the node that passed checksum
+// verification, clearing the corruption streak (its bytes are
+// demonstrably intact). Probation credit is not granted here — the
+// transport-level ok() for the same read already counted it.
+func (h *healthTracker) verified(i int) {
+	nh := &h.nodes[i]
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	nh.corrupts = 0
+}
+
 // reset returns the node to healthy (a repair provisioned fresh data).
 func (h *healthTracker) reset(i int) {
 	nh := &h.nodes[i]
@@ -128,6 +169,7 @@ func (h *healthTracker) reset(i int) {
 	defer nh.mu.Unlock()
 	nh.state = HealthHealthy
 	nh.consecFails = 0
+	nh.corrupts = 0
 	nh.probation = 0
 }
 

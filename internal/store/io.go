@@ -77,7 +77,10 @@ func (m *memIO) ReadColumn(node int, object string, stripe int) ([]byte, error) 
 		return nil, fmt.Errorf("%w: node %d", ErrNodeUnavailable, node)
 	}
 	cols := nd.columns[object]
-	if cols == nil || stripe < 0 || stripe >= len(cols) || cols[stripe] == nil {
+	// Zero-length counts as missing alongside nil: a tier demotion
+	// deletes a column by storing nil, and a gob round-trip (snapshot
+	// load) may decode that nil as an empty slice.
+	if cols == nil || stripe < 0 || stripe >= len(cols) || len(cols[stripe]) == 0 {
 		return nil, errColumnMissing
 	}
 	// Copy on the boundary: returning the backing slice would let any
@@ -102,7 +105,7 @@ func (m *memIO) ReadColumnAt(node int, object string, stripe, off, n int) ([]byt
 		return nil, fmt.Errorf("%w: node %d", ErrNodeUnavailable, node)
 	}
 	cols := nd.columns[object]
-	if cols == nil || stripe < 0 || stripe >= len(cols) || cols[stripe] == nil {
+	if cols == nil || stripe < 0 || stripe >= len(cols) || len(cols[stripe]) == 0 {
 		return nil, errColumnMissing
 	}
 	col := cols[stripe]

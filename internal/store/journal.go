@@ -50,6 +50,14 @@ const (
 	recRepairStart
 	recRepairStripe
 	recRepairDone
+	// recMigrateBegin / recMigrateCommit bracket a tier migration. The
+	// begin record marks intent (a dangling begin means the process
+	// died mid-build: recovery deletes whatever partial target
+	// redundancy exists and keeps the old tier); the commit record is
+	// the migration's durability point — replay re-derives the target
+	// tier's redundancy from the data columns and swaps the tier.
+	recMigrateBegin
+	recMigrateCommit
 )
 
 // Journal record payloads, gob-encoded.
@@ -98,6 +106,15 @@ type repairStripeRecord struct {
 type repairDoneRecord struct {
 	ID       uint64
 	Unfailed []int
+}
+
+// migrateRecord carries one tier migration (both the begin and the
+// commit record). From lets recovery know which redundancy set a
+// dangling or committed migration was moving between without trusting
+// the in-memory tier, which died with the process.
+type migrateRecord struct {
+	Name     string
+	From, To int // tier.Level values
 }
 
 // journalRecord is one decoded record.
@@ -411,7 +428,7 @@ func readJournal(path string) (recs []journalRecord, validLen int64, torn int64,
 		if colSum(payload) != want {
 			break // corrupt record: discard it and everything after
 		}
-		if seq <= prevSeq || typ < recPut || typ > recRepairDone {
+		if seq <= prevSeq || typ < recPut || typ > recMigrateCommit {
 			break // garbage that happens to checksum — not a valid record
 		}
 		recs = append(recs, journalRecord{Seq: seq, Type: typ, Payload: append([]byte(nil), payload...)})

@@ -22,8 +22,27 @@ type storeMetrics struct {
 	hedgeWins        *obs.Counter
 	readErrors       *obs.Counter
 	checksumFailures *obs.Counter
-	shardsHealed     *obs.Counter
-	degradedSubReads *obs.Counter
+	// checksumDemotions counts columns/sub-blocks demoted to erasures
+	// after a CRC mismatch — incremented at every demote site (whole-
+	// column and partial-read fast path alike), alongside the health
+	// FSM's corruption streak.
+	checksumDemotions *obs.Counter
+	shardsHealed      *obs.Counter
+	degradedSubReads  *obs.Counter
+
+	// Tier migrations (see internal/tier and store tier.go) and the
+	// decoded-segment read cache.
+	tierPromotions *obs.Counter
+	tierDemotions  *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheBytes     *obs.Gauge
+	// migrateSeconds times whole-object migrations; migrateBytes
+	// records redundancy bytes written per migration on the histogram's
+	// microsecond scale (one "µs" = one byte moved).
+	migrateSeconds *obs.Histogram
+	migrateBytes   *obs.Histogram
 
 	// Per-attempt NodeIO accounting.
 	readAttempts  *obs.Counter
@@ -88,8 +107,18 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		hedgeWins:        reg.Counter("store_hedge_wins_total"),
 		readErrors:       reg.Counter("store_read_errors_total"),
 		checksumFailures: reg.Counter("store_checksum_failures_total"),
+		checksumDemotions: reg.Counter("store_checksum_demotions_total"),
 		shardsHealed:     reg.Counter("store_shards_healed_total"),
 		degradedSubReads: reg.Counter("store_degraded_sub_reads_total"),
+
+		tierPromotions: reg.Counter("store_tier_promotions_total"),
+		tierDemotions:  reg.Counter("store_tier_demotions_total"),
+		cacheHits:      reg.Counter("store_cache_hits_total"),
+		cacheMisses:    reg.Counter("store_cache_misses_total"),
+		cacheEvictions: reg.Counter("store_cache_evictions_total"),
+		cacheBytes:     reg.Gauge("store_cache_bytes"),
+		migrateSeconds: reg.Histogram("store_tier_migrate_seconds"),
+		migrateBytes:   reg.Histogram("store_tier_migrate_bytes"),
 		readAttempts:     reg.Counter("store_node_read_attempts_total"),
 		writeAttempts:    reg.Counter("store_node_write_attempts_total"),
 		readBytes:        reg.Counter("store_node_read_bytes_total"),

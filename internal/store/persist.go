@@ -14,6 +14,7 @@ import (
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 	"approxcode/internal/obs"
+	"approxcode/internal/tier"
 )
 
 // Persistence is generation-numbered and atomic: every Save writes a
@@ -52,6 +53,10 @@ type snapObject struct {
 	// snapshots (gob leaves the field nil); partial reads then fall
 	// back to whole-column verification.
 	SubSums [][][]uint32
+	// Tier is the object's redundancy tier (a tier.Level). Pre-tier
+	// snapshots leave it zero, which is Warm — exactly the layout every
+	// object had before tiers existed.
+	Tier int
 }
 
 // extentRecord mirrors extent with exported fields for gob.
@@ -245,7 +250,7 @@ func (s *Store) Save(dir string) error {
 		subSums := obj.subSums
 		obj.sumsMu.RUnlock()
 		so := snapObject{Name: obj.name, Segments: obj.segments, Stripes: obj.stripes,
-			Sums: sums, SubSums: subSums}
+			Sums: sums, SubSums: subSums, Tier: int(obj.tier.Load())}
 		for _, e := range obj.extents {
 			so.Extents = append(so.Extents, extentRecord{
 				Seg: e.seg, Stripe: e.stripe, Node: e.node, Row: e.row, Off: e.off, Length: e.length,
@@ -327,13 +332,15 @@ type LoadOptions struct {
 	// rebuilds them) instead of failing the load. Manifest corruption
 	// is always fatal — without it nothing can be interpreted.
 	Lenient bool
-	// Retry / Health / WrapIO / Obs / Crasher are applied to the
-	// restored store's Config verbatim.
-	Retry   RetryPolicy
-	Health  HealthPolicy
-	WrapIO  func(chaos.NodeIO) chaos.NodeIO
-	Obs     *obs.Registry
-	Crasher *chaos.Crasher
+	// Retry / Health / WrapIO / Obs / Crasher / CacheBytes / Tracker
+	// are applied to the restored store's Config verbatim.
+	Retry      RetryPolicy
+	Health     HealthPolicy
+	WrapIO     func(chaos.NodeIO) chaos.NodeIO
+	Obs        *obs.Registry
+	Crasher    *chaos.Crasher
+	CacheBytes int64
+	Tracker    *tier.Tracker
 }
 
 // RecoverReport describes what recovery found and did.
@@ -410,12 +417,14 @@ func OpenDurable(dir string, cfg Config) (*Store, *RecoverReport, error) {
 	_, legacyErr := os.Stat(filepath.Join(dir, legacyManifestFile))
 	if hasGen || legacyErr == nil {
 		return Recover(dir, LoadOptions{
-			Lenient: true,
-			Retry:   cfg.Retry,
-			Health:  cfg.Health,
-			WrapIO:  cfg.WrapIO,
-			Obs:     cfg.Obs,
-			Crasher: cfg.Crasher,
+			Lenient:    true,
+			Retry:      cfg.Retry,
+			Health:     cfg.Health,
+			WrapIO:     cfg.WrapIO,
+			Obs:        cfg.Obs,
+			Crasher:    cfg.Crasher,
+			CacheBytes: cfg.CacheBytes,
+			Tracker:    cfg.Tracker,
 		})
 	}
 	s, err := Open(cfg)
@@ -486,6 +495,8 @@ func loadAndReplay(dir string, opts LoadOptions) (*Store, *RecoverReport, error)
 		WrapIO:              opts.WrapIO,
 		Obs:                 opts.Obs,
 		Crasher:             opts.Crasher,
+		CacheBytes:          opts.CacheBytes,
+		Tracker:             opts.Tracker,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("store load: %w", err)
@@ -495,6 +506,7 @@ func loadAndReplay(dir string, opts LoadOptions) (*Store, *RecoverReport, error)
 	for _, so := range snap.Objects {
 		obj := &object{name: so.Name, segments: so.Segments, stripes: so.Stripes,
 			sums: so.Sums, subSums: so.SubSums}
+		obj.tier.Store(int32(so.Tier))
 		for _, e := range so.Extents {
 			obj.extents = append(obj.extents, extent{
 				seg: e.Seg, stripe: e.Stripe, node: e.Node, row: e.Row, off: e.Off, length: e.Length,
@@ -580,11 +592,12 @@ func (s *Store) replayJournal(dir string, rep *RecoverReport, opts LoadOptions) 
 	s.replaying = true
 	defer func() { s.replaying = false }()
 	var pending *pendingRepair
+	migrating := make(map[string]migrateRecord)
 	for _, r := range recs {
 		if r.Seq <= s.seq {
 			continue // already covered by the snapshot
 		}
-		applied, err := s.applyRecord(r, &pending)
+		applied, err := s.applyRecord(r, &pending, migrating)
 		if err != nil {
 			return fmt.Errorf("store load: journal replay seq %d: %w", r.Seq, err)
 		}
@@ -594,6 +607,15 @@ func (s *Store) replayJournal(dir string, rep *RecoverReport, opts LoadOptions) 
 			rep.SkippedOps++
 		}
 		s.seq = r.Seq
+	}
+	// A begin with no commit means the process died mid-build: the
+	// migration was never acknowledged, so delete whatever partial
+	// target-tier redundancy landed and keep the old tier — the object
+	// recovers to entirely the old encoding, never a mix.
+	for _, mr := range migrating {
+		if obj, ok := s.objects.get(mr.Name); ok {
+			s.cleanupTierRedundancy(obj, tier.Level(mr.From), tier.Level(mr.To))
+		}
 	}
 	if pending != nil {
 		s.pending = pending
@@ -608,7 +630,7 @@ func (s *Store) replayJournal(dir string, rep *RecoverReport, opts LoadOptions) 
 // applyRecord applies one journal record. It returns false (with nil
 // error) for records whose effect is already visible or no longer
 // applicable — replay must converge, not abort.
-func (s *Store) applyRecord(r journalRecord, pending **pendingRepair) (bool, error) {
+func (s *Store) applyRecord(r journalRecord, pending **pendingRepair, migrating map[string]migrateRecord) (bool, error) {
 	switch r.Type {
 	case recPut:
 		var pr putRecord
@@ -682,6 +704,22 @@ func (s *Store) applyRecord(r journalRecord, pending **pendingRepair) (bool, err
 		}
 		*pending = nil
 		return true, nil
+	case recMigrateBegin:
+		var mr migrateRecord
+		if err := r.decode(&mr); err != nil {
+			return false, err
+		}
+		// Intent only: remember it so a missing commit gets cleaned up
+		// after the loop. A later begin for the same object supersedes.
+		migrating[mr.Name] = mr
+		return true, nil
+	case recMigrateCommit:
+		var mr migrateRecord
+		if err := r.decode(&mr); err != nil {
+			return false, err
+		}
+		delete(migrating, mr.Name)
+		return s.applyMigrate(mr), nil
 	default:
 		return false, fmt.Errorf("%w: unknown journal record type %d", ErrCorrupted, r.Type)
 	}

@@ -92,12 +92,13 @@ func (s *Store) readStripePlanned(obj *object, stripe int, exts []extent) (sr *s
 			}
 			if len(data) != s.cfg.NodeSize ||
 				(sums != nil && ni < len(sums) && sums[ni] != 0 && colSum(data) != sums[ni]) {
-				s.metrics.checksumFailures.Inc()
+				s.demoteColumn(ni)
 				demotes++
 				failed = append(failed, ni)
 				widen = true
 				break
 			}
+			s.health.verified(ni)
 			cols[ni] = data
 			read[ni] = true
 		}
@@ -181,7 +182,11 @@ func (s *Store) getSegmentFast(name string, id int) (seg Segment, done bool, err
 
 	// fetch moves one sub-block via a partial read and verifies it
 	// against its published sub-checksum. errNoSubSum aborts the fast
-	// path (nothing to verify against); any other failure escalates.
+	// path (nothing to verify against); any other failure tries a hot
+	// object's replica column before escalating. A sub-block CRC
+	// mismatch demotes the node exactly like the whole-column path
+	// (accounting + health corruption streak); a verified read clears
+	// the node's streak.
 	fetch := func(stripe int, sb core.SubBlock) ([]byte, error) {
 		k := [3]int{stripe, sb.Node, sb.Row}
 		if b, ok := blocks[k]; ok {
@@ -191,16 +196,25 @@ func (s *Store) getSegmentFast(name string, id int) (seg Segment, done bool, err
 		if sb.Node >= len(ss) || sb.Row >= len(ss[sb.Node]) {
 			return nil, errNoSubSum
 		}
+		want := ss[sb.Node][sb.Row]
 		b, rerr := s.readColumnAt(sb.Node, obj.name, stripe, sb.Row*sub, sub)
+		if rerr == nil && len(b) != sub {
+			rerr = fmt.Errorf("store: partial read returned %d of %d bytes", len(b), sub)
+		}
+		if rerr == nil {
+			if want != 0 && colSum(b) != want {
+				s.demoteColumn(sb.Node)
+				rerr = fmt.Errorf("store: sub-block (%d,%d) checksum mismatch", sb.Node, sb.Row)
+			} else {
+				s.health.verified(sb.Node)
+			}
+		}
 		if rerr != nil {
+			if rb, ok := s.replicaSubBlock(obj, stripe, sb, sub, want); ok {
+				blocks[k] = rb
+				return rb, nil
+			}
 			return nil, rerr
-		}
-		if len(b) != sub {
-			return nil, fmt.Errorf("store: partial read returned %d of %d bytes", len(b), sub)
-		}
-		if want := ss[sb.Node][sb.Row]; want != 0 && colSum(b) != want {
-			s.metrics.checksumFailures.Inc()
-			return nil, fmt.Errorf("store: sub-block (%d,%d) checksum mismatch", sb.Node, sb.Row)
 		}
 		blocks[k] = b
 		return b, nil
@@ -311,12 +325,13 @@ func (r *Repair) plannedRepairRead(j repairJob) (cols [][]byte, demoted []int, r
 			}
 			if len(data) != s.cfg.NodeSize ||
 				(sums != nil && ni < len(sums) && sums[ni] != 0 && colSum(data) != sums[ni]) {
-				s.metrics.checksumFailures.Inc()
+				s.demoteColumn(ni)
 				demoted = append(demoted, ni)
 				targets = append(targets, ni)
 				widen = true
 				break
 			}
+			s.health.verified(ni)
 			cols[ni] = data
 			read[ni] = true
 		}

@@ -577,6 +577,12 @@ func (r *Repair) repairStripe(j repairJob) {
 		if col == nil {
 			continue
 		}
+		if s.tierDropsColumn(j.obj, ni) {
+			// A cold object stores no global parity: the rebuild (or
+			// re-encode) derived it in memory, but writing it back would
+			// resurrect redundancy the tier demotion deleted.
+			continue
+		}
 		writeSet[ni] = col
 		sums[ni] = colSum(col)
 		subs[ni] = subColSums(col, s.cfg.Code.H)
@@ -585,6 +591,10 @@ func (r *Repair) repairStripe(j repairJob) {
 	var lostSegs []int
 	if len(rr.Lost) > 0 {
 		lostSegs = segmentsTouching(j.obj, j.stripe, rr.Lost)
+		// Abandoned bytes are zero-filled: bump the data epoch so no
+		// cached decoded segment keyed before the loss can serve stale
+		// pre-failure bytes (belt-and-braces — FailNodes already purged).
+		j.obj.version.Add(1)
 	}
 	// Bandwidth budget covers the whole repair traffic of the stripe:
 	// survivor bytes read plus rebuilt bytes written back.

@@ -22,6 +22,7 @@ import (
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 	"approxcode/internal/obs"
+	"approxcode/internal/tier"
 )
 
 // Segment is the unit of ingestion: an opaque payload tagged important
@@ -87,6 +88,16 @@ type Config struct {
 	// op pays its own fsync, the pre-group-commit behaviour. Benchmark
 	// baseline (apprbench -exp pr6); leave off in production.
 	NoGroupCommit bool
+	// CacheBytes bounds the decoded-segment read cache (see
+	// tier.Cache): successful GetSegment results of hot-tier objects
+	// are served from memory without touching NodeIO, up to roughly
+	// this many payload bytes. 0 disables the cache.
+	CacheBytes int64
+	// Tracker, when set, receives one Touch per Get/GetSegment — the
+	// popularity signal a tier.Manager samples to drive promotions and
+	// demotions. Nil disables tracking (migrations can still be driven
+	// explicitly via MigrateObject).
+	Tracker *tier.Tracker
 	// Obs is the metrics/tracing registry the store reports into (see
 	// internal/obs); Store.Stats is a view over its counters. Nil gets
 	// the store a private disabled registry: counters still count (they
@@ -140,6 +151,12 @@ type Store struct {
 	admit   *limiter
 	colBufs *colPool
 
+	// cache is the bounded decoded-segment read cache (nil when
+	// disabled); tracker is the per-object popularity counter feeding
+	// the tier policy (nil when disabled). Both are nil-safe.
+	cache   *tier.Cache
+	tracker *tier.Tracker
+
 	// Durability state (nil/zero for a purely in-memory store): the
 	// attached write-ahead journal, its directory, the live snapshot
 	// generation, and the last journal sequence restored by a load
@@ -186,6 +203,21 @@ type object struct {
 	segments []Segment // metadata only: Data stripped after ingest
 	extents  []extent
 	stripes  int
+	// tier is the object's current redundancy tier (tier.Level). Reads
+	// load it locklessly; it is swapped only at a migration's commit
+	// point, so a reader observes entirely the old or entirely the new
+	// encoding, never a mix. The data columns are identical across
+	// tiers — only the redundancy around them changes — so a reader
+	// holding a stale tier for one read still gets exact bytes (it may
+	// just plan a decode where a replica existed, or vice versa find a
+	// replica missing and escalate).
+	tier atomic.Int32
+	// version is the object's data epoch: bumped when stored bytes
+	// change outside Put (entering and leaving UpdateSegment, and when
+	// a repair zero-fills lost segments). Cache keys embed it, so
+	// entries cached against an old epoch can never serve a hit after
+	// the bytes moved — stale entries simply age out of the LRU.
+	version atomic.Int64
 	// updateMu serializes whole-object mutations of stored columns
 	// (UpdateSegment) against scrub's read-repair write-backs. Without
 	// it scrub can sample a stripe mid-update — new bytes, not-yet-
@@ -303,6 +335,13 @@ func Open(cfg Config) (*Store, error) {
 	s.metrics = newStoreMetrics(cfg.Obs)
 	s.admit = newLimiter(cfg.MaxInFlight, cfg.AdmitWait, &s.metrics)
 	s.colBufs = newColPool(cfg.NodeSize)
+	s.tracker = cfg.Tracker
+	s.cache = tier.NewCache(cfg.CacheBytes, tier.CacheMetrics{
+		Hits:      s.metrics.cacheHits,
+		Misses:    s.metrics.cacheMisses,
+		Evictions: s.metrics.cacheEvictions,
+		Bytes:     s.metrics.cacheBytes,
+	})
 	code.Instrument(s.metrics.reg)
 	s.retry = cfg.Retry.withDefaults()
 	seed := s.retry.Seed
@@ -624,6 +663,10 @@ func (s *Store) preparePut(segs []Segment) (*preparedPut, error) {
 		offsets[e.seg] += e.length
 	}
 	if err := s.encodeStripes(cols); err != nil {
+		// The pooled buffers were never published anywhere; recycle
+		// them instead of leaking the whole stripe set on every failed
+		// encode.
+		s.colBufs.putStripes(cols)
 		return nil, err
 	}
 	// Keep segment metadata only; payload bytes live on the nodes and
@@ -717,13 +760,25 @@ func (s *Store) readStripe(obj *object, stripe int) (cols [][]byte, demoted []in
 		}
 		if len(data) != s.cfg.NodeSize ||
 			(sums != nil && ni < len(sums) && sums[ni] != 0 && colSum(data) != sums[ni]) {
-			s.metrics.checksumFailures.Inc()
+			s.demoteColumn(ni)
 			demoted = append(demoted, ni)
 			continue
 		}
+		s.health.verified(ni)
 		cols[ni] = data
 	}
 	return cols, demoted
+}
+
+// demoteColumn records one checksum demotion: the column (or
+// sub-block) read back bytes that failed verification and is being
+// treated as an erasure. Every demote site — whole-column, planned,
+// partial-read fast path, repair — routes through here so the
+// accounting and the health FSM's corruption streak stay uniform.
+func (s *Store) demoteColumn(ni int) {
+	s.metrics.checksumFailures.Inc()
+	s.metrics.checksumDemotions.Inc()
+	s.health.corrupt(ni)
 }
 
 // GetReport describes losses encountered by a Get.
@@ -754,6 +809,7 @@ func (s *Store) Get(name string) ([]Segment, *GetReport, error) {
 		return nil, nil, err
 	}
 	defer s.admit.release()
+	s.tracker.Touch(name)
 	return s.get(name)
 }
 
@@ -855,7 +911,20 @@ func (s *Store) GetSegment(name string, id int) (Segment, error) {
 	}
 	defer s.admit.release()
 	defer s.metrics.opGetSegment.Start().Stop()
+	s.tracker.Touch(name)
+	// Hot-tier objects consult the decoded-segment cache first: a hit
+	// is a map lookup plus one copy, no NodeIO at all. The epoch (data
+	// version) captured here also keys the later insert, so a result
+	// read concurrently with an update can only land under the old
+	// epoch — unreachable once the update bumps it.
+	seg, epoch, ok := s.cacheGet(name, id)
+	if ok {
+		return seg, nil
+	}
 	if seg, done, err := s.getSegmentFast(name, id); done {
+		if err == nil {
+			s.cachePut(name, id, epoch, seg)
+		}
 		return seg, err
 	}
 	s.metrics.planFallbacks.Inc()
@@ -870,6 +939,7 @@ func (s *Store) GetSegment(name string, id int) (Segment, error) {
 	}
 	for _, seg := range segs {
 		if seg.ID == id {
+			s.cachePut(name, id, epoch, seg)
 			return seg, nil
 		}
 	}
@@ -898,6 +968,10 @@ func (s *Store) FailNodes(ids ...int) error {
 
 // applyFailNodes performs the wipe (also the journal replay path).
 func (s *Store) applyFailNodes(ids []int) {
+	// Node loss can end in zero-filled segments after repair; drop the
+	// whole read cache so post-failure reads re-derive every byte from
+	// the surviving columns instead of a pre-failure snapshot.
+	s.cache.Purge()
 	// Exclude in-flight UpdateSegment calls: their healthy-stripe check
 	// must stay valid until their copy-on-write swap has landed.
 	s.failMu.Lock()
@@ -1190,12 +1264,22 @@ type Stats struct {
 	// ChecksumFailures counts columns demoted to erasures because their
 	// bytes did not match the stored CRC-32C.
 	ChecksumFailures int64
+	// ChecksumDemotions counts demotions across every read path
+	// (whole-column and partial-read fast path alike); each also feeds
+	// the health FSM's corruption streak.
+	ChecksumDemotions int64
 	// ShardsHealed counts columns rebuilt and written back by scrub and
 	// repair.
 	ShardsHealed int64
 	// DegradedSubReads counts sub-blocks decoded from survivors instead
 	// of read directly.
 	DegradedSubReads int64
+	// TierPromotions / TierDemotions count completed tier migrations
+	// toward hotter / colder redundancy.
+	TierPromotions, TierDemotions int64
+	// CacheHits / CacheMisses count decoded-segment cache lookups for
+	// hot-tier objects.
+	CacheHits, CacheMisses int64
 }
 
 // Stats returns current store statistics.
@@ -1221,8 +1305,13 @@ func (s *Store) Stats() Stats {
 	st.HedgeWins = s.metrics.hedgeWins.Value()
 	st.ReadErrors = s.metrics.readErrors.Value()
 	st.ChecksumFailures = s.metrics.checksumFailures.Value()
+	st.ChecksumDemotions = s.metrics.checksumDemotions.Value()
 	st.ShardsHealed = s.metrics.shardsHealed.Value()
 	st.DegradedSubReads = s.metrics.degradedSubReads.Value()
+	st.TierPromotions = s.metrics.tierPromotions.Value()
+	st.TierDemotions = s.metrics.tierDemotions.Value()
+	st.CacheHits = s.metrics.cacheHits.Value()
+	st.CacheMisses = s.metrics.cacheMisses.Value()
 	return st
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"approxcode/internal/core"
 	"approxcode/internal/obs"
+	"approxcode/internal/tier"
 )
 
 // UpdateSegment overwrites a stored segment's bytes in place (same
@@ -64,6 +65,12 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 	if len(s.FailedNodes()) > 0 {
 		return fmt.Errorf("%w: cannot update with failed nodes (repair first)", ErrUnavailable)
 	}
+	// Bump the data epoch on entry AND exit: cached decoded segments
+	// keyed by the pre-update epoch stop serving the moment bytes may
+	// start moving, and a read racing the update can only insert under
+	// an epoch this second bump retires (see segKey).
+	obj.version.Add(1)
+	defer obj.version.Add(1)
 	var extents []extent
 	total := 0
 	for _, e := range obj.extents {
@@ -171,6 +178,12 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 			if !mutated[i] {
 				continue
 			}
+			if s.tierDropsColumn(obj, i) {
+				// A cold object stores no global parity; the update ran
+				// against a reconstructed copy, but persisting it would
+				// silently resurrect the redundancy the demotion removed.
+				continue
+			}
 			if err := s.writeColumn(i, name, st, cols[i]); err != nil {
 				return fmt.Errorf("store update: write node %d: %w", i, err)
 			}
@@ -179,6 +192,17 @@ func (s *Store) applyUpdate(name string, id int, newData []byte) error {
 		}
 		obj.setSums(st, len(s.nodes), sums)
 		obj.setSubSums(st, len(s.nodes), subSums)
+		// Hot objects keep their data-column replicas fresh in the same
+		// critical section. Best-effort: a failed replica write degrades
+		// replica reads (which verify by checksum and fall back to the
+		// decode path), never correctness.
+		if obj.tierLevel() == tier.Hot {
+			for i := range cols {
+				if mutated[i] && s.code.Role(i) == core.RoleData {
+					_ = s.writeColumn(s.repNode(i), repKey(name), st, cols[i])
+				}
+			}
+		}
 		s.crash("update.mid-write")
 	}
 	return nil

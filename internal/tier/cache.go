@@ -1,0 +1,182 @@
+package tier
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"approxcode/internal/obs"
+)
+
+// cacheShards spreads the LRU over independent locks so concurrent
+// readers of different segments never serialize on one mutex.
+const cacheShards = 16
+
+// CacheMetrics are the obs handles a Cache reports into. All fields
+// are optional: nil handles are no-ops (obs metrics are nil-safe).
+type CacheMetrics struct {
+	Hits, Misses, Evictions *obs.Counter
+	Bytes                   *obs.Gauge
+}
+
+// Cache is a sharded, byte-capped LRU over decoded segment payloads.
+// Values are copied on both insert and lookup, so a cached entry can
+// never alias a caller's buffer (or a recycled pool buffer) and a
+// returned slice is the caller's to mutate.
+//
+// All methods are safe on a nil *Cache, so a disabled cache costs one
+// branch.
+type Cache struct {
+	metrics  CacheMetrics
+	seed     maphash.Seed
+	capacity int64 // per shard
+	shards   [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	bytes int64
+	lru   *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache returns a cache bounded to roughly capacity bytes of cached
+// payload (split evenly across shards). capacity <= 0 returns nil — a
+// disabled cache.
+func NewCache(capacity int64, m CacheMetrics) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{metrics: m, seed: maphash.MakeSeed(), capacity: per}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+// Get returns a copy of the cached payload for key, if present,
+// promoting it to most-recently-used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.metrics.Misses.Inc()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	out := append([]byte(nil), el.Value.(*cacheEntry).data...)
+	sh.mu.Unlock()
+	c.metrics.Hits.Inc()
+	return out, true
+}
+
+// Put inserts (or refreshes) a payload copy under key, evicting
+// least-recently-used entries until the shard fits its byte budget.
+// Payloads larger than a shard's whole budget are not cached.
+func (c *Cache) Put(key string, data []byte) {
+	if c == nil || int64(len(data)) > c.capacity {
+		return
+	}
+	cp := append([]byte(nil), data...)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		delta := int64(len(cp)) - int64(len(e.data))
+		e.data = cp
+		sh.bytes += delta
+		c.metrics.Bytes.Add(delta)
+		sh.lru.MoveToFront(el)
+	} else {
+		sh.items[key] = sh.lru.PushFront(&cacheEntry{key: key, data: cp})
+		sh.bytes += int64(len(cp))
+		c.metrics.Bytes.Add(int64(len(cp)))
+	}
+	for sh.bytes > c.capacity {
+		c.evictOldest(sh)
+	}
+	sh.mu.Unlock()
+}
+
+// evictOldest removes the shard's LRU entry; the shard lock is held.
+func (c *Cache) evictOldest(sh *cacheShard) {
+	el := sh.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	sh.lru.Remove(el)
+	delete(sh.items, e.key)
+	sh.bytes -= int64(len(e.data))
+	c.metrics.Bytes.Add(-int64(len(e.data)))
+	c.metrics.Evictions.Inc()
+}
+
+// Purge drops every entry — the blunt invalidation hammer for events
+// that may change many objects at once (FailNodes).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := sh.lru.Len()
+		freed := sh.bytes
+		sh.lru.Init()
+		sh.items = make(map[string]*list.Element)
+		sh.bytes = 0
+		sh.mu.Unlock()
+		c.metrics.Bytes.Add(-freed)
+		c.metrics.Evictions.Add(int64(n))
+	}
+}
+
+// Bytes returns the cached payload bytes currently held.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.bytes
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package tier
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"approxcode/internal/obs"
+)
+
+func cacheMetrics(reg *obs.Registry) CacheMetrics {
+	return CacheMetrics{
+		Hits:      reg.Counter("store_cache_hits_total"),
+		Misses:    reg.Counter("store_cache_misses_total"),
+		Evictions: reg.Counter("store_cache_evictions_total"),
+		Bytes:     reg.Gauge("store_cache_bytes"),
+	}
+}
+
+func TestCacheHitMissCopySemantics(t *testing.T) {
+	reg := obs.NewRegistry(true)
+	m := cacheMetrics(reg)
+	c := NewCache(1<<20, m)
+	src := []byte("payload-bytes")
+	c.Put("k", src)
+	src[0] = 'X' // caller keeps mutating its buffer: cache must not see it
+	got, ok := c.Get("k")
+	if !ok || !bytes.Equal(got, []byte("payload-bytes")) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	got[1] = 'Y' // mutating the returned copy must not poison the cache
+	again, _ := c.Get("k")
+	if !bytes.Equal(again, []byte("payload-bytes")) {
+		t.Fatalf("cache entry aliased to returned slice: %q", again)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("phantom hit")
+	}
+	if m.Hits.Value() != 2 || m.Misses.Value() != 1 {
+		t.Fatalf("hits=%d misses=%d", m.Hits.Value(), m.Misses.Value())
+	}
+	if m.Bytes.Value() != int64(len("payload-bytes")) || c.Bytes() != m.Bytes.Value() {
+		t.Fatalf("bytes gauge %d vs %d", m.Bytes.Value(), c.Bytes())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	reg := obs.NewRegistry(true)
+	m := cacheMetrics(reg)
+	// Per-shard budget = 4 KiB/16 = 256 bytes: three 100-byte entries
+	// into one shard must evict the oldest.
+	c := NewCache(4096, m)
+	sh := c.shard("x")
+	keys := make([]string, 0, 3)
+	for i := 0; len(keys) < 3 && i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shard(k) == sh {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		c.Put(k, make([]byte, 100))
+	}
+	if m.Evictions.Value() == 0 {
+		t.Fatal("no evictions at 3x100 bytes into a 256-byte shard")
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if sh.bytes > c.capacity {
+		t.Fatalf("shard over budget: %d > %d", sh.bytes, c.capacity)
+	}
+	// Oversized payloads are refused outright, not cached-then-evicted.
+	c.Put("huge", make([]byte, 10000))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized payload cached")
+	}
+}
+
+func TestCachePurgeAndNil(t *testing.T) {
+	reg := obs.NewRegistry(true)
+	m := cacheMetrics(reg)
+	c := NewCache(1<<20, m)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("data"))
+	}
+	if c.Len() != 32 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 || m.Bytes.Value() != 0 {
+		t.Fatalf("purge left len=%d bytes=%d gauge=%d", c.Len(), c.Bytes(), m.Bytes.Value())
+	}
+
+	var nilC *Cache
+	nilC.Put("k", []byte("v"))
+	if _, ok := nilC.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilC.Purge()
+	if nilC.Bytes() != 0 || nilC.Len() != 0 {
+		t.Fatal("nil cache accounting")
+	}
+	if NewCache(0, m) != nil {
+		t.Fatal("zero-capacity cache must be nil (disabled)")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1<<16, CacheMetrics{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				want := []byte(k)
+				c.Put(k, want)
+				if got, ok := c.Get(k); ok && !bytes.Equal(got, want) {
+					t.Errorf("key %q returned %q", k, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

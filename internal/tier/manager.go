@@ -1,0 +1,98 @@
+package tier
+
+import (
+	"sort"
+	"time"
+)
+
+// Migrator is the store-side surface the manager drives. The store
+// implements it; keeping the interface here lets the policy loop be
+// tested against a fake without importing the store.
+type Migrator interface {
+	// ObjectTier reports an object's current tier (false if unknown).
+	ObjectTier(name string) (Level, bool)
+	// MigrateObject re-encodes the object's redundancy to the target
+	// tier. It must be safe to call concurrently with reads and must
+	// return an error (not block) when migration is temporarily
+	// impossible, e.g. during a node failure.
+	MigrateObject(name string, to Level) error
+}
+
+// Manager is the background re-encoder: each tick it samples the
+// tracker, classifies the active set under the policy, and migrates
+// objects whose current tier disagrees. Migration failures are
+// reported to OnError and retried naturally on the next tick.
+type Manager struct {
+	Tracker *Tracker
+	Policy  Policy
+	Store   Migrator
+	// Interval between ticks for Start (default 1s).
+	Interval time.Duration
+	// OnError, when set, observes migration failures (the manager
+	// itself only skips and retries next tick).
+	OnError func(name string, to Level, err error)
+}
+
+// Tick runs one evaluation pass and returns how many migrations
+// succeeded. Deterministic given the tracker state: objects are
+// visited in sorted-name order.
+func (m *Manager) Tick() int {
+	if m.Store == nil {
+		return 0
+	}
+	want := m.Policy.Classify(m.Tracker.Sample())
+	names := make([]string, 0, len(want))
+	for n := range want {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	migrated := 0
+	for _, name := range names {
+		cur, ok := m.Store.ObjectTier(name)
+		if !ok {
+			m.Tracker.Forget(name)
+			continue
+		}
+		to := want[name]
+		if cur == to {
+			continue
+		}
+		if err := m.Store.MigrateObject(name, to); err != nil {
+			if m.OnError != nil {
+				m.OnError(name, to, err)
+			}
+			continue
+		}
+		migrated++
+	}
+	return migrated
+}
+
+// Start runs Tick on the configured interval in a goroutine and
+// returns a stop function that halts it and waits for the in-flight
+// tick to finish.
+func (m *Manager) Start() (stop func()) {
+	interval := m.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.Tick()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -1,0 +1,192 @@
+// Package tier implements popularity-adaptive redundancy tiering for
+// the store: per-object access tracking with EWMA-decayed rates, a
+// policy engine that classifies objects hot/warm/cold under a
+// Zipf-friendly threshold scheme, a bounded decoded-segment read cache,
+// and a background manager that drives tier migrations through a
+// Migrator (the store). The paper's premise — video popularity should
+// drive redundancy cost — maps to: hot objects carry replicas so reads
+// skip decode entirely, warm objects keep the full APPR layout, and
+// cold objects shed their global parity for a low-overhead locally
+// repairable code.
+//
+// The package depends only on internal/obs, so the store can import it
+// without a cycle.
+package tier
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Level is an object's redundancy tier. The zero value is Warm — the
+// full APPR layout every object starts in — so objects restored from
+// pre-tiering snapshots decode to the correct tier for free.
+type Level int
+
+// Tier levels, ordered by storage cost at rest (Rank orders them by
+// hotness instead).
+const (
+	// Warm keeps the full APPR layout: data + local + global parity.
+	Warm Level = iota
+	// Hot adds full replicas of the data columns on top of the APPR
+	// layout, so healthy and degraded reads alike can skip decode.
+	Hot
+	// Cold drops the global parity columns, keeping only the local
+	// (K+R) protection — the low-overhead approximate tier.
+	Cold
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Warm:
+		return "warm"
+	case Hot:
+		return "hot"
+	case Cold:
+		return "cold"
+	default:
+		return "unknown"
+	}
+}
+
+// Rank orders levels by hotness: Cold < Warm < Hot. A migration to a
+// higher rank is a promotion.
+func (l Level) Rank() int {
+	switch l {
+	case Cold:
+		return 0
+	case Hot:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Valid reports whether l names a known tier.
+func (l Level) Valid() bool { return l == Warm || l == Hot || l == Cold }
+
+// trackEntry is one object's access state: a lock-free touch counter
+// the read paths bump, and the decayed rate only Sample touches.
+type trackEntry struct {
+	touches atomic.Int64
+	// rateBits holds math.Float64bits of the EWMA rate; written only by
+	// Sample (atomically, so concurrent Samples stay race-free).
+	rateBits atomic.Uint64
+}
+
+// Tracker counts per-object accesses without locks on the read path:
+// Touch is a map load plus one atomic add. Sample folds the counts
+// into exponentially decayed rates — popularity with memory, so a
+// briefly idle hot object does not demote instantly, while a spike on
+// a cold one does not promote it forever.
+//
+// All methods are safe on a nil Tracker (no-ops), so callers can wire
+// it unconditionally.
+type Tracker struct {
+	m sync.Map // object name -> *trackEntry
+	// decay is the multiplier applied to the running rate per Sample.
+	decay float64
+}
+
+// NewTracker returns a tracker whose rates decay by the given factor
+// (0 < decay < 1) each Sample; out-of-range values default to 0.5.
+func NewTracker(decay float64) *Tracker {
+	if decay <= 0 || decay >= 1 {
+		decay = 0.5
+	}
+	return &Tracker{decay: decay}
+}
+
+// Touch records one access. Lock-free after the first touch of a name.
+func (t *Tracker) Touch(name string) {
+	if t == nil {
+		return
+	}
+	if e, ok := t.m.Load(name); ok {
+		e.(*trackEntry).touches.Add(1)
+		return
+	}
+	e, _ := t.m.LoadOrStore(name, &trackEntry{})
+	e.(*trackEntry).touches.Add(1)
+}
+
+// Sample drains the touch counters into the decayed rates and returns
+// a snapshot: rate' = rate*decay + touches. Entries whose rate decays
+// below a small floor with no fresh touches are dropped, bounding the
+// tracker to the recently active set.
+func (t *Tracker) Sample() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	t.m.Range(func(k, v any) bool {
+		e := v.(*trackEntry)
+		n := e.touches.Swap(0)
+		rate := math.Float64frombits(e.rateBits.Load())*t.decay + float64(n)
+		if n == 0 && rate < 1e-3 {
+			t.m.Delete(k)
+			return true
+		}
+		e.rateBits.Store(math.Float64bits(rate))
+		out[k.(string)] = rate
+		return true
+	})
+	return out
+}
+
+// Forget drops an object's tracking state (e.g. after deletion).
+func (t *Tracker) Forget(name string) {
+	if t != nil {
+		t.m.Delete(name)
+	}
+}
+
+// Policy classifies objects into tiers from their decayed access
+// rates. The scheme is Zipf-friendly: under a skewed popularity
+// distribution the head is small, so hot membership is a capped
+// top-by-rate set rather than a bare threshold — a global traffic
+// surge cannot promote the whole keyspace to replication.
+type Policy struct {
+	// MaxHot caps the hot set size (0 disables hot promotion).
+	MaxHot int
+	// HotMinRate is the minimum decayed rate to qualify for hot.
+	HotMinRate float64
+	// ColdMaxRate demotes objects at or below this rate to cold.
+	ColdMaxRate float64
+}
+
+// Classify maps each object to its desired tier: the top MaxHot
+// objects by rate (at or above HotMinRate) are hot, objects at or
+// below ColdMaxRate are cold, the rest warm. Ties break by name so
+// the classification is deterministic.
+func (p Policy) Classify(rates map[string]float64) map[string]Level {
+	names := make([]string, 0, len(rates))
+	for n := range rates {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, rj := rates[names[i]], rates[names[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return names[i] < names[j]
+	})
+	out := make(map[string]Level, len(names))
+	hot := 0
+	for _, n := range names {
+		r := rates[n]
+		switch {
+		case hot < p.MaxHot && r >= p.HotMinRate && p.HotMinRate > 0:
+			out[n] = Hot
+			hot++
+		case r <= p.ColdMaxRate:
+			out[n] = Cold
+		default:
+			out[n] = Warm
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package tier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTrackerDecayAndDrop(t *testing.T) {
+	tr := NewTracker(0.5)
+	for i := 0; i < 8; i++ {
+		tr.Touch("a")
+	}
+	tr.Touch("b")
+	rates := tr.Sample()
+	if rates["a"] != 8 || rates["b"] != 1 {
+		t.Fatalf("first sample: %v", rates)
+	}
+	// No fresh touches: rates halve each sample.
+	rates = tr.Sample()
+	if rates["a"] != 4 || rates["b"] != 0.5 {
+		t.Fatalf("decayed sample: %v", rates)
+	}
+	// Touches accumulate on top of the decayed rate.
+	tr.Touch("a")
+	rates = tr.Sample()
+	if rates["a"] != 3 { // 4*0.5 + 1
+		t.Fatalf("decay+touch: %v", rates)
+	}
+	// An idle entry decays below the floor and is dropped.
+	for i := 0; i < 64; i++ {
+		tr.Sample()
+	}
+	if rates := tr.Sample(); len(rates) != 0 {
+		t.Fatalf("idle entries not dropped: %v", rates)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Touch("x")
+	tr.Forget("x")
+	if got := tr.Sample(); got != nil {
+		t.Fatalf("nil tracker sample = %v", got)
+	}
+}
+
+func TestTrackerConcurrentTouch(t *testing.T) {
+	tr := NewTracker(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Touch(fmt.Sprintf("obj-%d", i%10))
+			}
+		}(g)
+	}
+	wg.Wait()
+	rates := tr.Sample()
+	var total float64
+	for _, r := range rates {
+		total += r
+	}
+	if total != 8000 {
+		t.Fatalf("lost touches: total rate %v want 8000", total)
+	}
+}
+
+func TestPolicyClassify(t *testing.T) {
+	p := Policy{MaxHot: 2, HotMinRate: 10, ColdMaxRate: 1}
+	rates := map[string]float64{
+		"a": 100, // hot (top)
+		"b": 50,  // hot (2nd)
+		"c": 40,  // warm: above cold, hot set full
+		"d": 1,   // cold: at threshold
+		"e": 0.2, // cold
+		"f": 5,   // warm
+	}
+	want := map[string]Level{"a": Hot, "b": Hot, "c": Warm, "d": Cold, "e": Cold, "f": Warm}
+	got := p.Classify(rates)
+	for n, lvl := range want {
+		if got[n] != lvl {
+			t.Errorf("classify %q = %v, want %v", n, got[n], lvl)
+		}
+	}
+	// MaxHot caps promotion even when more objects clear HotMinRate.
+	got = Policy{MaxHot: 1, HotMinRate: 10, ColdMaxRate: 1}.Classify(rates)
+	if got["a"] != Hot || got["b"] != Warm {
+		t.Fatalf("hot cap not applied: %v", got)
+	}
+	// HotMinRate floors promotion below the cap.
+	got = Policy{MaxHot: 10, HotMinRate: 60, ColdMaxRate: 1}.Classify(rates)
+	if got["a"] != Hot || got["b"] != Warm {
+		t.Fatalf("hot rate floor not applied: %v", got)
+	}
+}
+
+func TestLevelStringsAndRank(t *testing.T) {
+	if Warm.String() != "warm" || Hot.String() != "hot" || Cold.String() != "cold" {
+		t.Fatal("level strings")
+	}
+	if !(Cold.Rank() < Warm.Rank() && Warm.Rank() < Hot.Rank()) {
+		t.Fatal("rank ordering")
+	}
+	if Level(42).Valid() || !Warm.Valid() {
+		t.Fatal("validity")
+	}
+	var zero Level
+	if zero != Warm {
+		t.Fatal("zero value must be Warm for snapshot compatibility")
+	}
+}
+
+// fakeMigrator tracks tiers in a map.
+type fakeMigrator struct {
+	mu    sync.Mutex
+	tiers map[string]Level
+	fail  map[string]error
+	calls int
+}
+
+func (f *fakeMigrator) ObjectTier(name string) (Level, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.tiers[name]
+	return l, ok
+}
+
+func (f *fakeMigrator) MigrateObject(name string, to Level) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if err := f.fail[name]; err != nil {
+		return err
+	}
+	f.tiers[name] = to
+	return nil
+}
+
+func TestManagerTick(t *testing.T) {
+	tr := NewTracker(0.5)
+	fm := &fakeMigrator{tiers: map[string]Level{"hot1": Warm, "cold1": Warm, "gone": Warm}}
+	m := &Manager{
+		Tracker: tr,
+		Policy:  Policy{MaxHot: 1, HotMinRate: 5, ColdMaxRate: 0.5},
+		Store:   fm,
+	}
+	for i := 0; i < 20; i++ {
+		tr.Touch("hot1")
+	}
+	tr.Touch("cold1") // rate 1 now; decays under 0.5 after two samples
+	tr.Touch("missing")
+	if n := m.Tick(); n != 1 {
+		t.Fatalf("tick migrated %d, want 1 (hot1 promotion)", n)
+	}
+	if l, _ := fm.ObjectTier("hot1"); l != Hot {
+		t.Fatalf("hot1 = %v", l)
+	}
+	// Next ticks decay cold1 to <= 0.5 => demotion to cold.
+	m.Tick()
+	m.Tick()
+	if l, _ := fm.ObjectTier("cold1"); l != Cold {
+		t.Fatalf("cold1 = %v after decay", l)
+	}
+	// Unknown objects are forgotten, not retried forever.
+	if _, ok := tr.m.Load("missing"); ok {
+		t.Fatal("unknown object not forgotten")
+	}
+}
+
+func TestManagerErrorsRetry(t *testing.T) {
+	tr := NewTracker(0.5)
+	fm := &fakeMigrator{
+		tiers: map[string]Level{"a": Warm},
+		fail:  map[string]error{"a": fmt.Errorf("unavailable")},
+	}
+	var reported int
+	m := &Manager{
+		Tracker: tr,
+		Policy:  Policy{MaxHot: 1, HotMinRate: 1},
+		Store:   fm,
+		OnError: func(string, Level, error) { reported++ },
+	}
+	for i := 0; i < 4; i++ {
+		tr.Touch("a")
+	}
+	if n := m.Tick(); n != 0 || reported != 1 {
+		t.Fatalf("tick = %d migrations, %d errors", n, reported)
+	}
+	// Failure clears: the next tick retries the same desired tier.
+	fm.mu.Lock()
+	fm.fail = nil
+	fm.mu.Unlock()
+	if n := m.Tick(); n != 1 {
+		t.Fatalf("retry tick = %d", n)
+	}
+}
