@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos net-chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 bench-pr9 stress metrics-bench ci
+.PHONY: all build vet lint errvet test test-noasm race race-hammer chaos net-chaos topo-chaos crash fuzz bench-pr1 bench-pr2 bench-pr6 bench-pr7 bench-pr9 bench-pr10 stress metrics-bench ci
 
 all: build
 
@@ -22,7 +22,7 @@ vet:
 # deliberate discards). internal/net is in the set because network code
 # is where errors get dropped.
 errvet:
-	$(GO) run ./cmd/errvet ./internal/store ./internal/net ./internal/tier
+	$(GO) run ./cmd/errvet ./internal/store ./internal/net ./internal/tier ./internal/place
 
 # vet plus staticcheck when it is installed (skipped silently offline —
 # the container image does not bundle it).
@@ -58,6 +58,16 @@ chaos:
 # §13.
 net-chaos:
 	$(GO) test -race -run 'TestChaosNet|TestLiveness|TestEndToEnd|TestPartitionHeartbeatPath' ./internal/net/
+
+# Correlated-failure chaos suite: topology-aware placement under whole-
+# rack loss, zone partitions, rolling upgrades and disk-batch faults —
+# in-process (internal/store) and over live TCP through per-rack chaos
+# proxies (internal/net) — plus the placement checker, domain-gated
+# injector and rack-local fabric-simulator tests, all under the race
+# detector. See internal/place and DESIGN.md §15.
+topo-chaos:
+	$(GO) test -race -run 'TestChaos(Net)?(RackLoss|ZonePartition|RollingUpgrade|DiskBatch)|TestPlacementSnapshotRoundTrip' ./internal/store/ ./internal/net/
+	$(GO) test -race -run 'TestDomainRuleMatching|TestForParams|TestCheck|TestScatter|TestSimulateRackLocality|TestSimulateFlatFabricUnchanged|TestRackFailure' ./internal/chaos/ ./internal/place/ ./internal/cluster/ ./internal/hdfssim/
 
 # Crash-consistency matrix: the journaled-store workload is killed at
 # every registered crash point (torn journal appends, mid-write, each
@@ -125,4 +135,11 @@ bench-pr7:
 bench-pr9:
 	$(GO) run ./cmd/apprbench -exp pr9 -iters 3
 
-ci: lint errvet build test test-noasm race race-hammer stress chaos net-chaos crash fuzz metrics-bench bench-pr7 bench-pr9
+# Regenerates BENCH_PR10.json (topology-aware placement: healthy vs
+# whole-rack-loss degraded read latency with the survival invariant
+# held, repair traffic rack-local vs the scatter/flat baselines; all
+# targets deterministic, the latency ratio is report-only).
+bench-pr10:
+	$(GO) run ./cmd/apprbench -exp pr10 -iters 3
+
+ci: lint errvet build test test-noasm race race-hammer stress chaos net-chaos topo-chaos crash fuzz metrics-bench bench-pr7 bench-pr9 bench-pr10

@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6|pr7|pr9")
+	expFlag     = flag.String("exp", "all", "experiment: all|table2|table3|fig7|fig8|fig9|table4|fig10|fig11|fig12|fig13|reliability|video|headline|pr1|pr2|pr6|pr7|pr9|pr10")
 	shardFlag   = flag.Int("shard", 256*1024, "approximate per-node shard bytes for timing experiments")
 	itersFlag   = flag.Int("iters", 3, "timed iterations per measurement")
 	sizeFlag    = flag.Int("size", 256<<20, "simulated node bytes for the recovery experiment")
@@ -36,6 +36,7 @@ var (
 	pr6Flag     = flag.String("pr6", "BENCH_PR6.json", "output path for the pr6 concurrent load-generator report")
 	pr7Flag     = flag.String("pr7", "BENCH_PR7.json", "output path for the pr7 minimal-read repair report")
 	pr9Flag     = flag.String("pr9", "BENCH_PR9.json", "output path for the pr9 popularity-adaptive tiering report")
+	pr10Flag    = flag.String("pr10", "BENCH_PR10.json", "output path for the pr10 topology-aware placement report")
 	metricsFlag = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (e.g. :9090)")
 	traceFlag   = flag.Bool("trace", false, "stream one span line per experiment to stderr")
 )
@@ -89,6 +90,7 @@ func main() {
 		"pr6":         runPR6,
 		"pr7":         runPR7,
 		"pr9":         runPR9,
+		"pr10":        runPR10,
 	}
 	for name, run := range runners {
 		runners[name] = instrumented(name, run)
@@ -508,6 +510,56 @@ func runPR9(tc bench.TimingConfig) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *pr9Flag)
+	return nil
+}
+
+func runPR10(tc bench.TimingConfig) error {
+	section("PR10: topology-aware placement under correlated rack failure")
+	rep, err := bench.RunPR10(tc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s over %d racks, %d objects; lost rack %s\n",
+		rep.Code, rep.Racks, rep.Objects, rep.LostRack)
+	w := newTab()
+	fmt.Fprintln(w, "phase\treads\tp50 µs\tp99 µs\tlost\tdegraded sub-reads")
+	for _, ph := range []bench.PR10ReadPhase{rep.Healthy, rep.RackLoss} {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%d\t%d\n",
+			ph.Phase, ph.Reads, ph.P50Micros, ph.P99Micros, ph.LostSegments, ph.DegradedSubReads)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "placement\tracks\track-safe\tgroups rack-local\tviolations")
+	for _, v := range rep.Verdicts {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%d\n",
+			v.Placement, v.Racks, v.RackSafe, v.GroupsRackLocal, v.Violations)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "repair\tfailed\track-local B\tcross-rack B")
+	for _, r := range rep.Repairs {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\n",
+			r.Placement, r.FailedNodes, r.BytesReadRackLocal, r.BytesReadCrossRack)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("degraded p50 ratio %.2fx; survival target met: %v\n",
+		rep.DegradedP50Ratio, rep.SurvivalTargetMet)
+	fmt.Println(rep.Note)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*pr10Flag, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *pr10Flag)
 	return nil
 }
 

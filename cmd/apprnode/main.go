@@ -2,7 +2,7 @@
 // three roles of the multi-process demo:
 //
 //	apprnode master -listen :7070 -metrics :9090
-//	apprnode data -master host:7070 -dir /tmp/n0 -nodes 0,1,2 -listen :7101
+//	apprnode data -master host:7070 -dir /tmp/n0 -nodes 0,1,2 -rack r0 -zone z0 -listen :7101
 //	apprnode status -master host:7070
 //
 // A data process serves erasure-code columns from a FileBackend over
@@ -113,8 +113,18 @@ func runMaster(args []string) error {
 		Listen:   *listen,
 		Liveness: policy,
 		Obs:      reg,
-		OnDead: func(nodes []int, inc uint64) {
-			log.Printf("DEAD incarnation %d: nodes %v (repair should target these)", inc, nodes)
+		// One coalesced wave per liveness sweep: a whole rack dying is
+		// one repair decision, not one log line per process.
+		OnDeadBatch: func(events []netio.DeadEvent) {
+			var nodes []int
+			for _, ev := range events {
+				nodes = append(nodes, ev.Nodes...)
+			}
+			sort.Ints(nodes)
+			log.Printf("DEAD wave: %d registration(s), nodes %v (one repair wave should target these)", len(events), nodes)
+			for _, ev := range events {
+				log.Printf("  incarnation %d: nodes %v rack=%q zone=%q", ev.Incarnation, ev.Nodes, ev.Rack, ev.Zone)
+			}
 		},
 	})
 	if err != nil {
@@ -153,6 +163,8 @@ func runData(args []string) error {
 	master := fs.String("master", "", "master control-plane address (empty: static deployment, no heartbeats)")
 	dir := fs.String("dir", "", "column storage directory (required)")
 	nodesFlag := fs.String("nodes", "", "comma-separated node indexes to serve, e.g. 0,1,2 (default: whatever -dir already holds)")
+	rack := fs.String("rack", "", "failure-domain rack label registered with the master, e.g. r0")
+	zone := fs.String("zone", "", "failure-domain zone label registered with the master, e.g. z0")
 	hb := fs.Duration("hb", 500*time.Millisecond, "heartbeat period (match the master's -hb)")
 	metrics := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
@@ -189,6 +201,8 @@ func runData(args []string) error {
 		Nodes:     nodes,
 		Master:    *master,
 		Heartbeat: *hb,
+		Rack:      *rack,
+		Zone:      *zone,
 		Obs:       reg,
 	})
 	if err != nil {
@@ -198,7 +212,11 @@ func runData(args []string) error {
 	if err := metricsServer(*metrics, reg); err != nil {
 		return err
 	}
-	log.Printf("datanode on %s serving nodes %v from %s", srv.Addr(), nodes, *dir)
+	where := ""
+	if *rack != "" || *zone != "" {
+		where = fmt.Sprintf(" (rack=%q zone=%q)", *rack, *zone)
+	}
+	log.Printf("datanode on %s serving nodes %v from %s%s", srv.Addr(), nodes, *dir, where)
 	if *master != "" {
 		log.Printf("heartbeating to %s every %v", *master, *hb)
 	}
@@ -232,7 +250,11 @@ func runStatus(args []string) error {
 	fmt.Printf("master %s: %d node(s)\n", *master, len(nodes))
 	for _, n := range nodes {
 		info := nodeMap[n]
-		fmt.Printf("  node %-3d %-8s inc=%-4d %s\n", n, info.State, info.Incarnation, info.Addr)
+		domain := ""
+		if info.Rack != "" || info.Zone != "" {
+			domain = fmt.Sprintf(" rack=%s zone=%s", info.Rack, info.Zone)
+		}
+		fmt.Printf("  node %-3d %-8s inc=%-4d %s%s\n", n, info.State, info.Incarnation, info.Addr, domain)
 	}
 	names := make([]string, 0, len(objects))
 	for name := range objects {

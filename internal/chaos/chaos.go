@@ -22,6 +22,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"approxcode/internal/place"
 )
 
 // Sentinel errors of the fault taxonomy. The storage layer aliases and
@@ -173,6 +175,16 @@ type Rule struct {
 	// restriction.
 	FromStripe int
 
+	// Rack, Zone, and Batch select whole failure domains: the rule
+	// matches any node whose topology label equals the selector
+	// ("rack=r0,fault=crash" is a correlated whole-rack fault). Empty
+	// imposes no restriction. Domain selectors need a topology bound
+	// with Injector.SetTopology; without one they never match, so a
+	// domain rule cannot silently degrade into a match-everything rule.
+	Rack  string
+	Zone  string
+	Batch string
+
 	// Kind is the fault mode to inject.
 	Kind FaultKind
 	// Rate is the per-matching-op firing probability; <= 0 means 1
@@ -197,9 +209,19 @@ type Rule struct {
 // matches reports whether the rule's selectors accept the operation.
 // OpRead rules accept partial reads too — OpReadAt is a refinement of
 // read, not a disjoint kind — while OpReadAt rules accept only partial
-// reads.
-func (r *Rule) matches(op Op) bool {
+// reads. topo resolves domain selectors (rack/zone/batch); it may be
+// nil, in which case domain rules match nothing.
+func (r *Rule) matches(op Op, topo *place.Topology) bool {
 	if r.Node != Any && r.Node != op.Node {
+		return false
+	}
+	if r.Rack != "" && (topo == nil || topo.RackOf(op.Node) != r.Rack) {
+		return false
+	}
+	if r.Zone != "" && (topo == nil || topo.ZoneOf(op.Node) != r.Zone) {
+		return false
+	}
+	if r.Batch != "" && (topo == nil || topo.BatchOf(op.Node) != r.Batch) {
 		return false
 	}
 	if r.Op != OpAny && r.Op != op.Kind &&
@@ -245,7 +267,17 @@ type Injector struct {
 	inner NodeIO
 	rules []*ruleState
 	stats Stats
+	topo  *place.Topology     // resolves rack/zone/batch rule selectors
 	sleep func(time.Duration) // test hook; nil = cancellable timer sleep
+}
+
+// SetTopology binds the failure-domain topology that resolves a rule's
+// rack/zone/batch selectors to node indexes. Without a topology, domain
+// rules match nothing.
+func (in *Injector) SetTopology(t *place.Topology) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.topo = t
 }
 
 // NewInjector creates an injector with the given seed and initial
@@ -337,7 +369,7 @@ func (in *Injector) Decide(op Op) Decision {
 	defer in.mu.Unlock()
 	var d Decision
 	for _, r := range in.rules {
-		if !r.matches(op) {
+		if !r.matches(op, in.topo) {
 			continue
 		}
 		r.matched++

@@ -12,6 +12,7 @@ import (
 
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
+	"approxcode/internal/place"
 	"approxcode/internal/store"
 )
 
@@ -34,6 +35,19 @@ type Scenario struct {
 	// injector's fault schedule.
 	Rules    []chaos.Rule
 	Schedule string
+	// Topology labels the node slots with failure domains. It is bound
+	// to the injector (resolving rack=/zone=/batch= schedule gates) and
+	// threaded into the store's config (survival-invariant checking and
+	// rack-local repair accounting). Nil runs the legacy flat layout.
+	Topology *place.Topology
+	// AllowUnsafePlacement opts the store out of the Put-time survival
+	// assertion — for scenarios that deliberately run a violating
+	// baseline to demonstrate the invariant failing.
+	AllowUnsafePlacement bool
+	// FailRacks crashes every node of the named racks after ingest
+	// (resolved through Topology), modelling whole-rack power loss;
+	// merged with FailNodes.
+	FailRacks []string
 	// Retry / Health configure the store's self-healing I/O.
 	Retry  store.RetryPolicy
 	Health store.HealthPolicy
@@ -146,6 +160,7 @@ func Run(t testing.TB, sc Scenario) *Outcome {
 		rules = append(append([]chaos.Rule(nil), rules...), parsed...)
 	}
 	inj := chaos.NewInjector(sc.Seed, rules...)
+	inj.SetTopology(sc.Topology)
 	var s *store.Store
 	if sc.Setup != nil {
 		s = sc.Setup(t, sc, inj)
@@ -155,11 +170,13 @@ func Run(t testing.TB, sc Scenario) *Outcome {
 	} else {
 		var err error
 		s, err = store.Open(store.Config{
-			Code:     sc.Params,
-			NodeSize: sc.NodeSize,
-			Retry:    sc.Retry,
-			Health:   sc.Health,
-			WrapIO:   inj.Wrap,
+			Code:                 sc.Params,
+			NodeSize:             sc.NodeSize,
+			Retry:                sc.Retry,
+			Health:               sc.Health,
+			WrapIO:               inj.Wrap,
+			Topology:             sc.Topology,
+			AllowUnsafePlacement: sc.AllowUnsafePlacement,
 		})
 		if err != nil {
 			t.Fatalf("chaostest: open: %v", err)
@@ -172,8 +189,19 @@ func Run(t testing.TB, sc Scenario) *Outcome {
 	if err := s.Put("video", segs); err != nil {
 		t.Fatalf("chaostest: put: %v", err)
 	}
-	if len(sc.FailNodes) > 0 {
-		if err := s.FailNodes(sc.FailNodes...); err != nil {
+	fail := append([]int(nil), sc.FailNodes...)
+	for _, rack := range sc.FailRacks {
+		if sc.Topology == nil {
+			t.Fatalf("chaostest: FailRacks needs a Topology")
+		}
+		nodes := sc.Topology.NodesInRack(rack)
+		if len(nodes) == 0 {
+			t.Fatalf("chaostest: rack %q has no nodes", rack)
+		}
+		fail = append(fail, nodes...)
+	}
+	if len(fail) > 0 {
+		if err := s.FailNodes(fail...); err != nil {
 			t.Fatalf("chaostest: fail nodes: %v", err)
 		}
 	}

@@ -41,6 +41,9 @@ func (e *ParseError) Error() string {
 //	object=<name>|*     object name (default *)
 //	stripe=<int>|*      exact global stripe (default *)
 //	stripe>=<int>       stripes at or beyond N
+//	rack=<label>        every node in the rack (needs SetTopology)
+//	zone=<label>        every node in the zone (needs SetTopology)
+//	batch=<label>       every disk in the batch (needs SetTopology)
 //	fault=crash|transient|latency|corrupt|torn|partition   (required)
 //	rate=<float>        firing probability per matching op, in (0, 1]
 //	count=<int>         max firings, >= 1 (default unlimited)
@@ -50,12 +53,14 @@ func (e *ParseError) Error() string {
 //	keep=<float>        fraction persisted by fault=torn (default 0.5)
 //
 // Malformed input — empty clauses, duplicate keys within a rule,
-// out-of-range values — fails with a *ParseError naming the clause and
-// key at fault; no clause is ever silently dropped. A single trailing
-// semicolon is tolerated. Example — "node 3 flips bits after stripe 7,
-// node 1 is 30% flaky":
+// unknown keys (the classic "nodes=" typo), out-of-range values — fails
+// with a *ParseError naming the clause and key at fault; no clause is
+// ever silently dropped. A single trailing semicolon is tolerated.
+// Example — "node 3 flips bits after stripe 7, node 1 is 30% flaky,
+// rack r2 loses power, zone z1 partitions away, disk batch b0 rots":
 //
 //	node=3,fault=corrupt,stripe>=7;node=1,fault=transient,rate=0.3
+//	rack=r2,fault=crash;zone=z1,fault=partition;batch=b0,fault=corrupt
 func ParseSchedule(s string) ([]Rule, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, &ParseError{Schedule: s, Reason: "empty schedule"}
@@ -152,6 +157,21 @@ func parseRule(clause string) (Rule, error) {
 				break
 			}
 			r.Object = val
+		case "rack":
+			if val == "" || val == "*" {
+				return fail(key, "bad rack %q (want a rack label)", val)
+			}
+			r.Rack = val
+		case "zone":
+			if val == "" || val == "*" {
+				return fail(key, "bad zone %q (want a zone label)", val)
+			}
+			r.Zone = val
+		case "batch":
+			if val == "" || val == "*" {
+				return fail(key, "bad batch %q (want a disk-batch label)", val)
+			}
+			r.Batch = val
 		case "stripe":
 			if val == "*" {
 				r.Stripe = Any

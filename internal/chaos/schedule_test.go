@@ -39,6 +39,16 @@ func TestParseScheduleTypedErrors(t *testing.T) {
 		{"fault=crash,latency=zzz", "fault=crash,latency=zzz", "latency", "bad latency"},
 		{"fault=crash,stripe>=-3", "fault=crash,stripe>=-3", "stripe>=", "bad value"},
 		{"fault=crash,wat=1", "fault=crash,wat=1", "wat", "unknown key"},
+		// The classic typo: "nodes=" for "node=". Before unknown keys
+		// were rejected this parsed as a match-nothing no-op rule; it
+		// must stay a typed error naming the misspelled key.
+		{"nodes=1,fault=crash", "nodes=1,fault=crash", "nodes", "unknown key"},
+		{"racks=r0,fault=crash", "racks=r0,fault=crash", "racks", "unknown key"},
+		{"rack=,fault=crash", "rack=,fault=crash", "rack", "bad rack"},
+		{"rack=*,fault=crash", "rack=*,fault=crash", "rack", "bad rack"},
+		{"zone=,fault=partition", "zone=,fault=partition", "zone", "bad zone"},
+		{"batch=*,fault=corrupt", "batch=*,fault=corrupt", "batch", "bad batch"},
+		{"fault=crash,rack=r0,rack=r1", "fault=crash,rack=r0,rack=r1", "rack", "duplicate key"},
 		{"keyless,fault=crash", "keyless,fault=crash", "", "not key=value"},
 	}
 	for _, tc := range cases {
@@ -86,6 +96,15 @@ func TestParseScheduleValuesRoundTrip(t *testing.T) {
 		r.Kind != FaultLatency || r.Latency.Milliseconds() != 3 || r.Rate != 1 || r.Count != 2 || r.After != 5 {
 		t.Fatalf("round trip: %+v", r)
 	}
+	rules, err = ParseSchedule("rack=r2,fault=crash;zone=z1,fault=partition;batch=b0,fault=corrupt,op=read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Rack != "r2" || rules[0].Kind != FaultCrash ||
+		rules[1].Zone != "z1" || rules[1].Kind != FaultPartition ||
+		rules[2].Batch != "b0" || rules[2].Kind != FaultCorrupt || rules[2].Op != OpRead {
+		t.Fatalf("domain gates round trip: %+v", rules)
+	}
 }
 
 // FuzzParseSchedule asserts the parser never panics, never returns
@@ -106,6 +125,10 @@ func FuzzParseSchedule(f *testing.F) {
 		"fault=crash,rate=0",
 		"fault=crash,node=1,node=1",
 		"stripe>=2,fault=corrupt",
+		"rack=r2,fault=crash;zone=z1,fault=partition;batch=b0,fault=corrupt",
+		"rack=*,fault=crash",
+		"nodes=1,fault=crash",
+		"batch=disk,fault=corrupt,rate=0.5,count=4",
 		"=;=,=",
 		"fault=crash,\x00=1",
 		strings.Repeat("fault=crash;", 40),

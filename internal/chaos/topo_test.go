@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"approxcode/internal/place"
+)
+
+// domainTopo labels six nodes across three racks, two zones, two disk
+// batches: 0,1 → r0/z0/b0; 2,3 → r1/z0/b1; 4,5 → r2/z1/b0.
+func domainTopo() *place.Topology {
+	return &place.Topology{Nodes: []place.NodeLocation{
+		{Rack: "r0", Zone: "z0", Batch: "b0"},
+		{Rack: "r0", Zone: "z0", Batch: "b0"},
+		{Rack: "r1", Zone: "z0", Batch: "b1"},
+		{Rack: "r1", Zone: "z0", Batch: "b1"},
+		{Rack: "r2", Zone: "z1", Batch: "b0"},
+		{Rack: "r2", Zone: "z1", Batch: "b0"},
+	}}
+}
+
+// TestDomainRuleMatching: rack/zone/batch selectors hit exactly the
+// nodes carrying the label — correlated whole-domain faults — and
+// domain rules without a bound topology match nothing (never degrading
+// into match-everything rules).
+func TestDomainRuleMatching(t *testing.T) {
+	io := newFakeIO()
+	for n := 0; n < 6; n++ {
+		_ = io.WriteColumn(n, "o", 0, []byte("payload"))
+	}
+	inj := NewInjector(1,
+		Rule{Node: Any, Stripe: Any, Rack: "r0", Op: OpRead, Kind: FaultTransient},
+		Rule{Node: Any, Stripe: Any, Zone: "z1", Kind: FaultCrash},
+		Rule{Node: Any, Stripe: Any, Batch: "b1", Op: OpWrite, Kind: FaultTorn, KeepFraction: 0.5},
+	)
+	wrapped := inj.Wrap(io)
+
+	// No topology bound: every domain rule is inert.
+	for n := 0; n < 6; n++ {
+		if _, err := wrapped.ReadColumn(n, "o", 0); err != nil {
+			t.Fatalf("without topology, node %d read failed: %v", n, err)
+		}
+	}
+	if got := inj.Stats().Total(); got != 0 {
+		t.Fatalf("domain rules fired %d faults without a topology", got)
+	}
+
+	inj.SetTopology(domainTopo())
+	// Rack r0: transient on both nodes, and only there.
+	for _, n := range []int{0, 1} {
+		if _, err := wrapped.ReadColumn(n, "o", 0); !errors.Is(err, ErrTransient) {
+			t.Fatalf("rack rule missed node %d: %v", n, err)
+		}
+	}
+	// Zone z1: crash on both nodes.
+	for _, n := range []int{4, 5} {
+		if _, err := wrapped.ReadColumn(n, "o", 0); !errors.Is(err, ErrNodeUnavailable) {
+			t.Fatalf("zone rule missed node %d: %v", n, err)
+		}
+	}
+	// Rack r1 (zone z0, batch b1): no read rule applies.
+	for _, n := range []int{2, 3} {
+		if _, err := wrapped.ReadColumn(n, "o", 0); err != nil {
+			t.Fatalf("unselected node %d read failed: %v", n, err)
+		}
+	}
+	// Batch b1 tears writes on nodes 2 and 3 only.
+	if err := wrapped.WriteColumn(2, "o", 1, []byte("0123456789")); err != nil {
+		t.Fatalf("torn write errored: %v", err)
+	}
+	if got, _ := io.ReadColumn(2, "o", 1); len(got) >= 10 {
+		t.Fatalf("batch rule did not tear the write: %d bytes stored", len(got))
+	}
+	if err := wrapped.WriteColumn(0, "o", 1, []byte("0123456789")); err != nil {
+		t.Fatalf("write outside batch errored: %v", err)
+	}
+	if got, _ := io.ReadColumn(0, "o", 1); len(got) != 10 {
+		t.Fatalf("write outside the batch was torn: %d bytes stored", len(got))
+	}
+	st := inj.Stats()
+	if st.Transients != 2 || st.Crashes != 2 || st.TornWrites != 1 {
+		t.Fatalf("fault mix wrong: %+v", st)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"approxcode/internal/core"
 	"approxcode/internal/erasure"
+	"approxcode/internal/place"
 )
 
 // Config models the evaluation platform (paper Table 5 defaults).
@@ -38,6 +39,16 @@ type Config struct {
 	// straggler model (degraded disk, congested ToR port). Absent or
 	// non-positive entries mean 1.0 (nominal speed).
 	SlowFactor map[int]float64
+	// Topology labels node indexes with failure domains. When set, every
+	// transfer between nodes of different racks additionally traverses
+	// both racks' shared uplinks, and the result splits moved bytes into
+	// rack-local vs cross-rack. Nil models a single flat switch.
+	Topology *place.Topology
+	// CrossRackBW is the aggregate bandwidth in bytes/s of one rack's
+	// uplink to the core fabric — the oversubscription point real
+	// clusters repair around. Non-positive means the fabric is
+	// non-blocking (uplinks run at NetBW).
+	CrossRackBW float64
 }
 
 // DefaultConfig mirrors the paper's platform: 10 Gbps NIC, enterprise
@@ -175,26 +186,35 @@ type Result struct {
 	Tasks int
 	// UnrecoverableBytes is carried over from the plan.
 	UnrecoverableBytes int64
+	// BytesRackLocal / BytesCrossRack split every transferred byte
+	// (survivor reads and remote writes) by whether source and
+	// destination share a rack. Both stay zero without a topology.
+	BytesRackLocal, BytesCrossRack int64
 }
 
-// nodeClocks tracks per-resource availability (virtual time).
+// nodeClocks tracks per-resource availability (virtual time). Rack
+// uplinks/downlinks are shared per-rack resources: every cross-rack
+// transfer of a rack's nodes serializes on them.
 type nodeClocks struct {
 	diskR, diskW, netIn, netOut, cpu map[int]float64
+	rackUp, rackDown                 map[string]float64
 }
 
 func newClocks() *nodeClocks {
 	return &nodeClocks{
-		diskR:  make(map[int]float64),
-		diskW:  make(map[int]float64),
-		netIn:  make(map[int]float64),
-		netOut: make(map[int]float64),
-		cpu:    make(map[int]float64),
+		diskR:    make(map[int]float64),
+		diskW:    make(map[int]float64),
+		netIn:    make(map[int]float64),
+		netOut:   make(map[int]float64),
+		cpu:      make(map[int]float64),
+		rackUp:   make(map[string]float64),
+		rackDown: make(map[string]float64),
 	}
 }
 
 // acquire serializes a usage of duration d on resource clock[id], not
 // starting before ready. Returns the completion time.
-func acquire(clock map[int]float64, id int, ready, d float64) float64 {
+func acquire[K comparable](clock map[K]float64, id K, ready, d float64) float64 {
 	start := clock[id]
 	if ready > start {
 		start = ready
@@ -217,6 +237,27 @@ func Simulate(cfg Config, plan *Plan, stripes int) (Result, error) {
 	}
 	clocks := newClocks()
 	res := Result{UnrecoverableBytes: plan.UnrecoverableBytes * int64(stripes)}
+	uplinkBW := cfg.CrossRackBW
+	if uplinkBW <= 0 {
+		uplinkBW = cfg.NetBW
+	}
+	// transfer moves bytes src → dst through both NICs; when the nodes
+	// sit in different racks the bytes additionally serialize on the
+	// source rack's uplink and the destination rack's downlink.
+	transfer := func(src, dst int, ready float64, bytes int64) float64 {
+		b := float64(bytes)
+		sent := acquire(clocks.netOut, src, ready, cfg.slow(src)*b/cfg.NetBW)
+		if t := cfg.Topology; t != nil {
+			if sr, dr := t.RackOf(src), t.RackOf(dst); sr != dr {
+				up := acquire(clocks.rackUp, sr, sent, b/uplinkBW)
+				sent = acquire(clocks.rackDown, dr, up, b/uplinkBW)
+				res.BytesCrossRack += bytes
+			} else {
+				res.BytesRackLocal += bytes
+			}
+		}
+		return acquire(clocks.netIn, dst, sent, cfg.slow(dst)*b/cfg.NetBW)
+	}
 	var finish float64
 	for s := 0; s < stripes; s++ {
 		for _, t := range plan.Tasks {
@@ -230,8 +271,7 @@ func Simulate(cfg Config, plan *Plan, stripes int) (Result, error) {
 			var arrived float64
 			for _, src := range t.ReadNodes {
 				readEnd := acquire(clocks.diskR, src, 0, cfg.slow(src)*(cfg.SeekLatency+b/cfg.DiskReadBW))
-				sentEnd := acquire(clocks.netOut, src, readEnd, cfg.slow(src)*b/cfg.NetBW)
-				recvEnd := acquire(clocks.netIn, worker, sentEnd, cfg.slow(worker)*b/cfg.NetBW)
+				recvEnd := transfer(src, worker, readEnd, t.Bytes)
 				if recvEnd > arrived {
 					arrived = recvEnd
 				}
@@ -245,8 +285,7 @@ func Simulate(cfg Config, plan *Plan, stripes int) (Result, error) {
 			for _, dst := range t.WriteNodes {
 				ready := computed
 				if dst != worker {
-					sent := acquire(clocks.netOut, worker, computed, cfg.slow(worker)*b/cfg.NetBW)
-					ready = acquire(clocks.netIn, dst, sent, cfg.slow(dst)*b/cfg.NetBW)
+					ready = transfer(worker, dst, computed, t.Bytes)
 				}
 				wEnd := acquire(clocks.diskW, dst, ready, cfg.slow(dst)*(cfg.SeekLatency+b/cfg.DiskWriteBW))
 				if wEnd > taskEnd {

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"approxcode/internal/core"
+	"approxcode/internal/place"
+)
+
+// TestSimulateRackLocality: the same single-node repair plan, simulated
+// under a rack-aware layout vs the scatter baseline. Rack-aware keeps
+// every transferred byte inside one rack; scatter pushes them through
+// the oversubscribed uplinks, which both shows up in the byte split and
+// costs simulated recovery time.
+func TestSimulateRackLocality(t *testing.T) {
+	p := core.Params{Family: core.FamilyRS, K: 2, R: 1, G: 2, H: 3, Structure: core.Uneven}
+	c, err := core.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodeSize = 3 << 18
+	plan, err := PlanApproximate(c, nodeSize, []int{6}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) == 0 {
+		t.Fatal("empty repair plan")
+	}
+
+	aware, err := place.ForParams(p, place.Spec{Racks: 3, Zones: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CrossRackBW = cfg.NetBW / 50 // heavily oversubscribed fabric
+
+	cfg.Topology = aware
+	local, err := Simulate(cfg, plan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.BytesCrossRack != 0 || local.BytesRackLocal == 0 {
+		t.Fatalf("rack-aware repair moved cross-rack bytes: %+v", local)
+	}
+
+	cfg.Topology = place.Scatter(c.TotalShards(), 3, 3)
+	scatter, err := Simulate(cfg, plan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scatter.BytesCrossRack == 0 {
+		t.Fatalf("scatter repair moved no cross-rack bytes: %+v", scatter)
+	}
+	if scatter.Time <= local.Time {
+		t.Fatalf("oversubscribed uplinks cost nothing: scatter %.4fs <= rack-local %.4fs",
+			scatter.Time, local.Time)
+	}
+	// Locality changes where bytes flow, never how many.
+	if scatter.BytesRead != local.BytesRead || scatter.BytesWritten != local.BytesWritten {
+		t.Fatalf("topology changed byte volumes: %+v vs %+v", scatter, local)
+	}
+}
+
+// TestSimulateFlatFabricUnchanged: without a topology the simulator
+// must reproduce its pre-topology behavior bit for bit — no uplink
+// contention, no byte split.
+func TestSimulateFlatFabricUnchanged(t *testing.T) {
+	c := apprCodeB(t)
+	plan, err := PlanApproximate(c, 3<<18, []int{0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	base, err := Simulate(cfg, plan, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CrossRackBW = cfg.NetBW / 100 // irrelevant without a topology
+	again, err := Simulate(cfg, plan, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatalf("flat simulation drifted: %+v vs %+v", base, again)
+	}
+	if base.BytesCrossRack != 0 || base.BytesRackLocal != 0 {
+		t.Fatalf("flat simulation split bytes by rack: %+v", base)
+	}
+}
+
+func apprCodeB(t *testing.T) *core.Code {
+	t.Helper()
+	c, err := core.New(core.Params{
+		Family: core.FamilyRS, K: 2, R: 1, G: 2, H: 3, Structure: core.Uneven,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

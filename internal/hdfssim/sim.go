@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"approxcode/internal/place"
 )
 
 // Event is a scheduled callback.
@@ -102,6 +104,14 @@ type Config struct {
 	// DiskBW, NetBW are bytes/s; SeekLatency seconds per request;
 	// ComputeBW bytes/s of decode throughput.
 	DiskBW, NetBW, ComputeBW, SeekLatency float64
+	// Topology labels node indexes with failure domains. When set
+	// together with CrossRackBW, recovery reads from survivors outside
+	// the worker's rack additionally pay the oversubscribed uplink.
+	Topology *place.Topology
+	// CrossRackBW is the inter-rack fabric bandwidth in bytes/s
+	// available to one recovery stream. Non-positive disables the
+	// penalty (non-blocking fabric).
+	CrossRackBW float64
 }
 
 // DefaultConfig mirrors the paper's platform with an aggressive
@@ -144,6 +154,16 @@ type Task struct {
 // read in parallel (the slowest gates), then decode, then write.
 func (c Config) duration(t Task) float64 {
 	read := c.SeekLatency + float64(t.Bytes)/c.DiskBW + 2*float64(t.Bytes)/c.NetBW
+	if c.Topology != nil && c.CrossRackBW > 0 {
+		// Each survivor outside the worker's rack streams through the
+		// oversubscribed fabric; rack-local survivors stay at NIC speed.
+		workerRack := c.Topology.RackOf(t.Worker)
+		for _, r := range t.Readers {
+			if c.Topology.RackOf(r) != workerRack {
+				read += float64(t.Bytes) / c.CrossRackBW
+			}
+		}
+	}
 	compute := float64(len(t.Readers)) * float64(t.Bytes) / c.ComputeBW
 	write := c.SeekLatency + float64(t.Bytes)/c.DiskBW
 	return read + compute + write
@@ -345,6 +365,16 @@ func (c *Cluster) dispatch() {
 		}
 	}
 	c.queue = append([]Task(nil), remaining...)
+}
+
+// RunRackFailure crashes every node the topology places in the given
+// rack at failAt — a whole-rack power event — and runs like RunFailure.
+func (c *Cluster) RunRackFailure(failAt float64, topo *place.Topology, rack string, tasks func(failed []int) []Task, horizon float64) (Result, error) {
+	nodes := topo.NodesInRack(rack)
+	if len(nodes) == 0 {
+		return Result{}, fmt.Errorf("hdfssim: rack %q has no nodes", rack)
+	}
+	return c.RunFailure(failAt, nodes, tasks, horizon)
 }
 
 // RunFailure boots the cluster, crashes the given nodes at failAt, and

@@ -51,11 +51,22 @@ func expectResp(resp []byte, want msgType) (*dec, error) {
 // RegisterNodes registers a DataNode serving the given node indexes at
 // advertise with the master and returns the granted incarnation.
 func RegisterNodes(master string, nodes []int, advertise string, timeout time.Duration) (uint64, error) {
+	return RegisterNodesAt(master, nodes, advertise, "", "", timeout)
+}
+
+// RegisterNodesAt registers with failure-domain labels: the master
+// records which rack and zone the DataNode serves from, so the node
+// map, placement decisions, and dead-event coalescing become
+// topology-aware. Empty labels reproduce the label-less RegisterNodes.
+func RegisterNodesAt(master string, nodes []int, advertise, rack, zone string, timeout time.Duration) (uint64, error) {
 	e := newEnc(msgRegisterReq).u32(uint32(len(nodes)))
 	for _, n := range nodes {
 		e.u32(uint32(n))
 	}
 	e.str(advertise)
+	if rack != "" || zone != "" {
+		e.str(rack).str(zone)
+	}
 	resp, err := controlRT(master, e.b, timeout)
 	if err != nil {
 		return 0, err
@@ -104,6 +115,8 @@ func FetchNodeMap(master string, timeout time.Duration) (map[int]NodeInfo, error
 		info := NodeInfo{State: NodeState(d.u8())}
 		info.Incarnation = d.u64()
 		info.Addr = d.str()
+		info.Rack = d.str()
+		info.Zone = d.str()
 		out[node] = info
 	}
 	return out, d.err

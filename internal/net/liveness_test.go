@@ -33,12 +33,12 @@ func (c *fakeClock) Advance(d time.Duration) time.Time {
 // deadRecorder collects OnDead callbacks.
 type deadRecorder struct {
 	mu     sync.Mutex
-	events []deadEvent
+	events []DeadEvent
 }
 
 func (r *deadRecorder) onDead(nodes []int, inc uint64) {
 	r.mu.Lock()
-	r.events = append(r.events, deadEvent{nodes: nodes, inc: inc})
+	r.events = append(r.events, DeadEvent{Nodes: nodes, Incarnation: inc})
 	r.mu.Unlock()
 }
 
@@ -129,7 +129,7 @@ func TestLivenessDetectionBound(t *testing.T) {
 	rec.mu.Lock()
 	ev := rec.events[0]
 	rec.mu.Unlock()
-	if ev.inc != inc || len(ev.nodes) != 2 {
+	if ev.Incarnation != inc || len(ev.Nodes) != 2 {
 		t.Fatalf("OnDead event %+v, want inc=%d nodes=[0 1]", ev, inc)
 	}
 }
@@ -208,7 +208,7 @@ func TestLivenessPartitionNoSplitBrain(t *testing.T) {
 	rec.mu.Lock()
 	ev := rec.events[1]
 	rec.mu.Unlock()
-	if ev.inc != inc2 || len(ev.nodes) != 1 || ev.nodes[0] != 3 {
+	if ev.Incarnation != inc2 || len(ev.Nodes) != 1 || ev.Nodes[0] != 3 {
 		t.Fatalf("second death event %+v, want inc=%d nodes=[3]", ev, inc2)
 	}
 }
@@ -244,7 +244,7 @@ func TestLivenessDeadRegistrationsGC(t *testing.T) {
 		t.Fatalf("node 7 state %v, want dead", st)
 	}
 	rec.mu.Lock()
-	lastInc := rec.events[len(rec.events)-1].inc
+	lastInc := rec.events[len(rec.events)-1].Incarnation
 	rec.mu.Unlock()
 	if known, err := SendHeartbeat(m.Addr(), lastInc, 0); err != nil || known {
 		t.Fatalf("dead incarnation heartbeat: known=%v err=%v, want fenced", known, err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"approxcode/internal/obs"
+	"approxcode/internal/place"
 )
 
 // The master (NameNode role) tracks which DataNode serves which node
@@ -98,6 +99,20 @@ type NodeInfo struct {
 	Addr        string
 	State       NodeState
 	Incarnation uint64
+	// Rack and Zone are the failure-domain labels the serving DataNode
+	// registered with ("" for a label-less legacy registration).
+	Rack string
+	Zone string
+}
+
+// DeadEvent is one dead incarnation reported by a liveness sweep: the
+// node indexes it still owned and the failure-domain labels it
+// registered with.
+type DeadEvent struct {
+	Nodes       []int
+	Incarnation uint64
+	Rack        string
+	Zone        string
 }
 
 // MasterConfig configures a master.
@@ -109,7 +124,20 @@ type MasterConfig struct {
 	// OnDead, if set, is called exactly once per dead incarnation with
 	// the node indexes that incarnation still owned. It runs outside the
 	// master's lock, so it may call back into the master.
+	//
+	// During a correlated failure (a rack losing power) every DataNode
+	// of the rack dies in the same sweep and OnDead fires once per
+	// process — N overlapping repair triggers for one event. Prefer
+	// OnDeadBatch for repair wiring.
 	OnDead func(nodes []int, incarnation uint64)
+	// OnDeadBatch, if set, is called at most once per liveness sweep
+	// with every incarnation that sweep declared dead — the coalesced
+	// form a repair trigger wants: a whole-rack loss arrives as one
+	// callback carrying all the rack's nodes (grouped per incarnation,
+	// with the rack/zone labels each registered under) instead of N
+	// independent ones. Runs outside the master's lock, after the
+	// per-event OnDead calls.
+	OnDeadBatch func(events []DeadEvent)
 	// Obs receives master metrics (nil disables).
 	Obs *obs.Registry
 
@@ -124,6 +152,8 @@ type registration struct {
 	inc   uint64
 	addr  string
 	nodes []int
+	rack  string
+	zone  string
 	last  time.Time
 	state NodeState
 }
@@ -278,6 +308,13 @@ func (m *Master) handleRegister(body []byte) []byte {
 		nodes = append(nodes, int(d.u32()))
 	}
 	addr := d.str()
+	// Rack/zone labels are optional trailing fields: a pre-topology
+	// registration simply ends after the address and gets "" labels.
+	var rack, zone string
+	if d.err == nil && d.remaining() > 0 {
+		rack = d.str()
+		zone = d.str()
+	}
 	if d.err != nil {
 		return encodeErrResp(d.err)
 	}
@@ -285,7 +322,8 @@ func (m *Master) handleRegister(body []byte) []byte {
 	m.nextInc++
 	inc := m.nextInc
 	reg := &registration{
-		inc: inc, addr: addr, nodes: nodes, last: m.now(), state: StateAlive,
+		inc: inc, addr: addr, nodes: nodes, rack: rack, zone: zone,
+		last: m.now(), state: StateAlive,
 	}
 	m.regs[inc] = reg
 	for _, node := range nodes {
@@ -331,7 +369,7 @@ func (m *Master) handleNodeMap() []byte {
 	e := newEnc(msgNodeMapResp).u32(uint32(len(nodes)))
 	for _, node := range nodes {
 		reg := m.byNode[node]
-		e.u32(uint32(node)).u8(uint8(reg.state)).u64(reg.inc).str(reg.addr)
+		e.u32(uint32(node)).u8(uint8(reg.state)).u64(reg.inc).str(reg.addr).str(reg.rack).str(reg.zone)
 	}
 	m.mu.Unlock()
 	return e.b
@@ -379,19 +417,12 @@ func (m *Master) sweepLoop() {
 	}
 }
 
-// deadEvent is a pending OnDead callback collected under the lock and
-// fired outside it.
-type deadEvent struct {
-	nodes []int
-	inc   uint64
-}
-
 // sweep advances the failure detector to `now`. Exported to tests (in
 // package) via the injected clock.
 func (m *Master) sweep(now time.Time) {
 	suspectAfter := time.Duration(m.policy.SuspectMisses) * m.policy.Interval
 	deadAfter := time.Duration(m.policy.DeadMisses) * m.policy.Interval
-	var events []deadEvent
+	var events []DeadEvent
 	m.mu.Lock()
 	for inc, reg := range m.regs {
 		silence := now.Sub(reg.last)
@@ -414,7 +445,9 @@ func (m *Master) sweep(now time.Time) {
 				}
 			}
 			if len(owned) > 0 {
-				events = append(events, deadEvent{nodes: owned, inc: inc})
+				events = append(events, DeadEvent{
+					Nodes: owned, Incarnation: inc, Rack: reg.rack, Zone: reg.zone,
+				})
 			}
 		case silence > suspectAfter:
 			if reg.state == StateAlive {
@@ -424,11 +457,19 @@ func (m *Master) sweep(now time.Time) {
 	}
 	m.updateGaugesLocked()
 	m.mu.Unlock()
+	// Deterministic callback order: regs is a map, so a multi-death
+	// sweep would otherwise report incarnations in random order.
+	sort.Slice(events, func(i, j int) bool { return events[i].Incarnation < events[j].Incarnation })
 	for _, ev := range events {
 		m.m.deadDetections.Inc()
 		if m.cfg.OnDead != nil {
-			m.cfg.OnDead(ev.nodes, ev.inc)
+			m.cfg.OnDead(ev.Nodes, ev.Incarnation)
 		}
+	}
+	// The coalesced form: every death this sweep found, in one call, so
+	// a whole-rack loss triggers one repair wave instead of N.
+	if len(events) > 0 && m.cfg.OnDeadBatch != nil {
+		m.cfg.OnDeadBatch(events)
 	}
 }
 
@@ -459,9 +500,31 @@ func (m *Master) NodeMap() map[int]NodeInfo {
 	defer m.mu.Unlock()
 	out := make(map[int]NodeInfo, len(m.byNode))
 	for node, reg := range m.byNode {
-		out[node] = NodeInfo{Addr: reg.addr, State: reg.state, Incarnation: reg.inc}
+		out[node] = NodeInfo{
+			Addr: reg.addr, State: reg.state, Incarnation: reg.inc,
+			Rack: reg.rack, Zone: reg.zone,
+		}
 	}
 	return out
+}
+
+// Topology assembles the fleet's failure-domain topology from the
+// registrations' rack/zone labels: slot i of the n-node code gets the
+// labels of the DataNode currently serving it. Slots no registration
+// covers (or covered by label-less legacy registrations) get empty
+// labels — place.Check rejects such a topology, which is the correct
+// signal that placement-aware decisions cannot be made yet.
+func (m *Master) Topology(n int) *place.Topology {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &place.Topology{Nodes: make([]place.NodeLocation, n)}
+	for node, reg := range m.byNode {
+		if node < 0 || node >= n {
+			continue
+		}
+		t.Nodes[node] = place.NodeLocation{Rack: reg.rack, Zone: reg.zone}
+	}
+	return t
 }
 
 // BindError is the typed error for a failed listener bind: which role

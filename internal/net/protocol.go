@@ -52,7 +52,7 @@ const (
 	msgPingReq   msgType = 0x04 // empty
 
 	// Control plane (master).
-	msgRegisterReq  msgType = 0x10 // u16 n, n×u32 nodes, str addr
+	msgRegisterReq  msgType = 0x10 // u32 n, n×u32 nodes, str addr [, str rack, str zone]
 	msgHeartbeatReq msgType = 0x11 // u64 incarnation
 	msgNodeMapReq   msgType = 0x12 // empty
 	msgReportObjReq msgType = 0x13 // str name, u32 stripes
@@ -63,7 +63,7 @@ const (
 	msgErrResp       msgType = 0x83 // u8 code, str message
 	msgRegisterResp  msgType = 0x90 // u64 incarnation
 	msgHeartbeatResp msgType = 0x91 // u8 status (0 ok, 1 unknown — re-register)
-	msgNodeMapResp   msgType = 0x92 // u32 n, n×(u32 node, u8 state, u64 inc, str addr)
+	msgNodeMapResp   msgType = 0x92 // u32 n, n×(u32 node, u8 state, u64 inc, str addr, str rack, str zone)
 	msgObjectsResp   msgType = 0x93 // u32 n, n×(str name, u32 stripes)
 )
 
@@ -145,6 +145,11 @@ type dec struct {
 }
 
 func newDec(b []byte) *dec { return &dec{b: b} }
+
+// remaining reports undecoded bytes — the back-compat probe for
+// optional trailing fields (a pre-topology register request simply
+// ends before the rack/zone labels).
+func (d *dec) remaining() int { return len(d.b) - d.off }
 
 func (d *dec) fail() {
 	if d.err == nil {

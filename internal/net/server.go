@@ -46,6 +46,11 @@ type ServerConfig struct {
 	// Heartbeat is the heartbeat period (default 500ms). Keep it equal
 	// to the master's LivenessPolicy.Interval.
 	Heartbeat time.Duration
+	// Rack and Zone are the failure-domain labels this DataNode
+	// registers under (apprnode data -rack/-zone). Empty labels
+	// reproduce the pre-topology registration.
+	Rack string
+	Zone string
 	// Obs receives per-RPC server metrics (nil disables).
 	Obs *obs.Registry
 }
@@ -278,7 +283,7 @@ func (s *Server) heartbeatLoop() {
 	defer t.Stop()
 	for {
 		if !registered {
-			inc, err := RegisterNodes(s.cfg.Master, s.cfg.Nodes, s.cfg.Advertise, s.cfg.Heartbeat)
+			inc, err := RegisterNodesAt(s.cfg.Master, s.cfg.Nodes, s.cfg.Advertise, s.cfg.Rack, s.cfg.Zone, s.cfg.Heartbeat)
 			if err == nil {
 				incarnation = inc
 				registered = true

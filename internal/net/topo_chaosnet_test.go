@@ -1,0 +1,275 @@
+package netio
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"approxcode/internal/chaos"
+	"approxcode/internal/chaos/chaostest"
+	"approxcode/internal/core"
+	"approxcode/internal/place"
+	"approxcode/internal/store"
+)
+
+// The topology-aware socket suite: one live DataNode server per rack
+// (fronted by a chaos proxy sharing the scenario injector), so a
+// correlated rack or zone fault is a real transport-level event hitting
+// every node the rack serves — and a rack "upgrade" is an actual server
+// process dying and rejoining on the same address with its data intact.
+
+func topoNetParams() core.Params {
+	return core.Params{Family: core.FamilyRS, K: 2, R: 1, G: 2, H: 3, Structure: core.Uneven}
+}
+
+func topoNetTopo(t testing.TB) *place.Topology {
+	t.Helper()
+	topo, err := place.ForParams(topoNetParams(), place.Spec{Racks: 3, Zones: 3, Batches: 2})
+	if err != nil {
+		t.Fatalf("ForParams: %v", err)
+	}
+	return topo
+}
+
+// rackDeployment is a live per-rack deployment: servers[rack] serves
+// exactly the node slots the topology places in that rack, behind a
+// proxy sharing the injector. Backends persist across server restarts —
+// a rack upgrade loses no data, only availability.
+type rackDeployment struct {
+	topo     *place.Topology
+	servers  map[string]*Server
+	backends map[string]*MemBackend
+	proxies  map[string]*ChaosProxy
+}
+
+func deployRacks(t testing.TB, topo *place.Topology, inj *chaos.Injector) (*rackDeployment, map[int]string) {
+	t.Helper()
+	d := &rackDeployment{
+		topo:     topo,
+		servers:  make(map[string]*Server),
+		backends: make(map[string]*MemBackend),
+		proxies:  make(map[string]*ChaosProxy),
+	}
+	routes := make(map[int]string, topo.N())
+	for _, rack := range topo.Racks() {
+		rack := rack
+		backend := NewMemBackend()
+		srv, err := NewServer(ServerConfig{Backend: backend, Nodes: topo.NodesInRack(rack)})
+		if err != nil {
+			t.Fatalf("deployRacks: server %s: %v", rack, err)
+		}
+		proxy, err := NewChaosProxy("127.0.0.1:0", srv.Addr(), inj, nil)
+		if err != nil {
+			t.Fatalf("deployRacks: proxy %s: %v", rack, err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		d.servers[rack] = srv
+		d.backends[rack] = backend
+		d.proxies[rack] = proxy
+		for _, node := range topo.NodesInRack(rack) {
+			routes[node] = proxy.Addr()
+		}
+	}
+	t.Cleanup(func() {
+		for _, srv := range d.servers {
+			srv.Close()
+		}
+	})
+	return d, routes
+}
+
+// killRack stops the rack's DataNode server process. Data stays in the
+// backend; the rack is simply off the network.
+func (d *rackDeployment) killRack(t testing.TB, rack string) string {
+	t.Helper()
+	srv := d.servers[rack]
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("killRack %s: %v", rack, err)
+	}
+	return addr
+}
+
+// rejoinRack restarts the rack's server on the same address with the
+// same backend — the upgraded process coming back with its disks.
+func (d *rackDeployment) rejoinRack(t testing.TB, rack, addr string) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Listen:  addr,
+		Backend: d.backends[rack],
+		Nodes:   d.topo.NodesInRack(rack),
+	})
+	if err != nil {
+		t.Fatalf("rejoinRack %s: %v", rack, err)
+	}
+	d.servers[rack] = srv
+}
+
+// topoNetSetup builds the per-rack deployment as a chaostest Setup hook
+// and stashes it for scenario-specific follow-up.
+func topoNetSetup(deploy **rackDeployment) func(t testing.TB, sc chaostest.Scenario, inj *chaos.Injector) *store.Store {
+	return func(t testing.TB, sc chaostest.Scenario, inj *chaos.Injector) *store.Store {
+		t.Helper()
+		d, routes := deployRacks(t, sc.Topology, inj)
+		if deploy != nil {
+			*deploy = d
+		}
+		client, err := Dial(ClientConfig{
+			Nodes: routes,
+			Retry: RetryPolicy{
+				Seed:        sc.Seed,
+				OpDeadline:  250 * time.Millisecond,
+				HedgeDelay:  2 * time.Millisecond,
+				DialTimeout: 100 * time.Millisecond,
+			},
+			Health: HealthPolicy{ProbeAfter: 20 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("topoNetSetup: dial: %v", err)
+		}
+		t.Cleanup(func() { client.Close() })
+		s, err := store.Open(store.Config{
+			Code:                 sc.Params,
+			NodeSize:             sc.NodeSize,
+			Retry:                sc.Retry,
+			Health:               sc.Health,
+			Backend:              client,
+			Topology:             sc.Topology,
+			AllowUnsafePlacement: sc.AllowUnsafePlacement,
+		})
+		if err != nil {
+			t.Fatalf("topoNetSetup: store.Open: %v", err)
+		}
+		return s
+	}
+}
+
+// TestChaosNetRackLoss: the survival invariant over live TCP — a whole
+// rack administratively failed out of a per-rack deployment; every
+// important byte still reads exact through the network client, and the
+// whole-rack rebuild is all cross-rack traffic.
+func TestChaosNetRackLoss(t *testing.T) {
+	topo := topoNetTopo(t)
+	out := chaostest.Run(t, chaostest.Scenario{
+		Seed:      51,
+		Params:    topoNetParams(),
+		Topology:  topo,
+		FailRacks: []string{topo.RackOf(0)},
+		Setup:     topoNetSetup(nil),
+	})
+	if len(out.FirstRead.LostSegments) != 0 {
+		t.Fatalf("rack loss over TCP lost segments: %v", out.FirstRead.LostSegments)
+	}
+	if out.FirstRead.DegradedSubReads == 0 {
+		t.Fatal("rack loss over TCP degraded nothing — fault never took effect")
+	}
+	if out.Repair.BytesReadCrossRack == 0 || out.Repair.BytesReadRackLocal != 0 {
+		t.Fatalf("whole-rack rebuild traffic accounting wrong: %+v", out.Repair)
+	}
+}
+
+// TestChaosNetZonePartition: the zone gate fires at the transport
+// boundary — the proxies black-hole every connection to the zone's
+// servers — and the important tier stays exact while the partition
+// holds, exact everywhere once it heals.
+func TestChaosNetZonePartition(t *testing.T) {
+	topo := topoNetTopo(t)
+	out := chaostest.Run(t, chaostest.Scenario{
+		Seed:              52,
+		Params:            topoNetParams(),
+		Topology:          topo,
+		Schedule:          "zone=" + topo.ZoneOf(0) + ",op=read,fault=partition",
+		ClearBeforeRepair: true,
+		Setup:             topoNetSetup(nil),
+		// A black-holed read burns the client's OpDeadline; keep the
+		// store's deadline above it (same shaping as TestChaosNetPartition).
+		Retry: store.RetryPolicy{OpDeadline: 2 * time.Second},
+	})
+	if out.Injector.Stats().Partitions == 0 {
+		t.Fatal("zone gate matched nothing at the proxies")
+	}
+	if len(out.FirstRead.LostSegments) != 0 {
+		t.Fatalf("important zone partition lost segments over TCP: %v", out.FirstRead.LostSegments)
+	}
+	if len(out.FinalRead.LostSegments) != 0 {
+		t.Fatalf("healed partition still lost segments: %v", out.FinalRead.LostSegments)
+	}
+}
+
+// TestChaosNetRollingUpgrade kills and rejoins one rack's DataNode
+// process at a time over live TCP. While a rack is down its reads
+// dial-fail and the store must plan around it — important data exact in
+// every window — and after each rejoin (same address, same disks) the
+// whole object must read byte-exact again with no repair.
+func TestChaosNetRollingUpgrade(t *testing.T) {
+	topo := topoNetTopo(t)
+	inj := chaos.NewInjector(53)
+	inj.SetTopology(topo)
+	d, routes := deployRacks(t, topo, inj)
+	client, err := Dial(ClientConfig{
+		Nodes: routes,
+		Retry: RetryPolicy{
+			Seed:        53,
+			OpDeadline:  250 * time.Millisecond,
+			HedgeDelay:  2 * time.Millisecond,
+			DialTimeout: 100 * time.Millisecond,
+		},
+		Health: HealthPolicy{ProbeAfter: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	s, err := store.Open(store.Config{
+		Code:     topoNetParams(),
+		NodeSize: 3 * 512,
+		Backend:  client,
+		Topology: topo,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	segs := chaostest.GenSegments(54, 12, 4)
+	if err := s.Put("video", segs); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	check := func(phase string, wantAllExact bool) {
+		t.Helper()
+		got, rep, err := s.Get("video")
+		if err != nil {
+			t.Fatalf("%s: get: %v", phase, err)
+		}
+		lost := make(map[int]bool, len(rep.LostSegments))
+		for _, id := range rep.LostSegments {
+			lost[id] = true
+		}
+		approx := make(map[int]bool, len(rep.Approximate))
+		for _, id := range rep.Approximate {
+			approx[id] = true
+		}
+		for i, g := range got {
+			w := segs[i]
+			if lost[w.ID] {
+				if wantAllExact || w.Important {
+					t.Fatalf("%s: segment %d (important=%v) lost", phase, w.ID, w.Important)
+				}
+				if !approx[w.ID] {
+					t.Fatalf("%s: unimportant loss of %d not flagged", phase, w.ID)
+				}
+				continue
+			}
+			if !bytes.Equal(g.Data, w.Data) {
+				t.Fatalf("%s: segment %d silently corrupted", phase, w.ID)
+			}
+		}
+	}
+
+	check("baseline", true)
+	for _, rack := range topo.Racks() {
+		addr := d.killRack(t, rack)
+		check("during upgrade of "+rack, false)
+		d.rejoinRack(t, rack, addr)
+		check("after upgrade of "+rack, true)
+	}
+}

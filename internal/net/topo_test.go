@@ -1,0 +1,164 @@
+package netio
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// batchRecorder collects OnDeadBatch callbacks and counts how many
+// repair waves the wiring would have launched (one per callback — the
+// coalescing contract).
+type batchRecorder struct {
+	mu      sync.Mutex
+	batches [][]DeadEvent
+}
+
+func (r *batchRecorder) onBatch(events []DeadEvent) {
+	r.mu.Lock()
+	cp := append([]DeadEvent(nil), events...)
+	r.batches = append(r.batches, cp)
+	r.mu.Unlock()
+}
+
+func (r *batchRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.batches)
+}
+
+// TestMasterDeadBatchCoalescing pins the satellite fix: a whole-rack
+// loss kills every DataNode of the rack within one sweep window, and
+// the master must coalesce those deaths into ONE OnDeadBatch callback
+// (one repair wave) instead of the N independent OnDead firings the
+// per-incarnation hook produces.
+func TestMasterDeadBatchCoalescing(t *testing.T) {
+	clock := newFakeClock()
+	rec := &deadRecorder{}
+	batch := &batchRecorder{}
+	policy := LivenessPolicy{
+		Interval:      100 * time.Millisecond,
+		SuspectMisses: 2,
+		DeadMisses:    4,
+		CheckEvery:    50 * time.Millisecond,
+	}
+	m, err := NewMaster(MasterConfig{
+		Liveness:    policy,
+		OnDead:      rec.onDead,
+		OnDeadBatch: batch.onBatch,
+		clock:       clock.Now,
+	})
+	if err != nil {
+		t.Fatalf("NewMaster: %v", err)
+	}
+	defer m.Close()
+
+	// Rack r0 hosts three DataNode processes; rack r1 hosts one that
+	// keeps heartbeating.
+	incs := make([]uint64, 0, 3)
+	for i, nodes := range [][]int{{0, 1}, {2, 3}, {4}} {
+		inc, err := RegisterNodesAt(m.Addr(), nodes, "10.0.0.1:7000", "r0", "z0", 0)
+		if err != nil {
+			t.Fatalf("register r0 #%d: %v", i, err)
+		}
+		incs = append(incs, inc)
+	}
+	survivor, err := RegisterNodesAt(m.Addr(), []int{5, 6}, "10.0.0.2:7000", "r1", "z1", 0)
+	if err != nil {
+		t.Fatalf("register r1: %v", err)
+	}
+
+	// Rack r0 loses power: all three go silent; r1 heartbeats through.
+	deadline := clock.Now().Add(policy.DetectionBound())
+	for clock.Now().Before(deadline) {
+		clock.Advance(policy.CheckEvery)
+		if known, err := SendHeartbeat(m.Addr(), survivor, 0); err != nil || !known {
+			t.Fatalf("survivor heartbeat: known=%v err=%v", known, err)
+		}
+		// Refresh the survivor's timestamp under the fake clock before
+		// sweeping (SendHeartbeat stamped it with the same fake now).
+		m.sweep(clock.Now())
+	}
+
+	// The per-incarnation hook fired once per dead process — the
+	// overlapping-repair shape the batch hook exists to fix...
+	if rec.count() != 3 {
+		t.Fatalf("OnDead fired %d times, want 3 (one per dead process)", rec.count())
+	}
+	// ...while the batch hook coalesced the sweep's deaths into ONE
+	// callback: one repair wave for the whole rack.
+	if batch.count() != 1 {
+		t.Fatalf("OnDeadBatch fired %d times, want exactly 1 (coalesced rack loss)", batch.count())
+	}
+	batch.mu.Lock()
+	events := batch.batches[0]
+	batch.mu.Unlock()
+	if len(events) != 3 {
+		t.Fatalf("batch carries %d events, want 3", len(events))
+	}
+	gotNodes := map[int]bool{}
+	for i, ev := range events {
+		if ev.Rack != "r0" || ev.Zone != "z0" {
+			t.Fatalf("event %d labels %q/%q, want r0/z0", i, ev.Rack, ev.Zone)
+		}
+		if i > 0 && events[i-1].Incarnation > ev.Incarnation {
+			t.Fatalf("batch events out of incarnation order: %+v", events)
+		}
+		for _, n := range ev.Nodes {
+			gotNodes[n] = true
+		}
+	}
+	for n := 0; n <= 4; n++ {
+		if !gotNodes[n] {
+			t.Fatalf("batch missing node %d: %+v", n, events)
+		}
+	}
+	if gotNodes[5] || gotNodes[6] {
+		t.Fatalf("batch includes surviving rack's nodes: %+v", events)
+	}
+	_ = incs
+}
+
+// TestMasterTopologyView: rack/zone labels flow register → node map →
+// Master.Topology, over the wire and in process, and a label-less
+// legacy registration still works (empty labels).
+func TestMasterTopologyView(t *testing.T) {
+	m, err := NewMaster(MasterConfig{})
+	if err != nil {
+		t.Fatalf("NewMaster: %v", err)
+	}
+	defer m.Close()
+
+	if _, err := RegisterNodesAt(m.Addr(), []int{0, 1}, "10.0.0.1:7000", "r0", "z0", 0); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := RegisterNodesAt(m.Addr(), []int{2}, "10.0.0.2:7000", "r1", "z1", 0); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Legacy path: no labels.
+	if _, err := RegisterNodes(m.Addr(), []int{3}, "10.0.0.3:7000", 0); err != nil {
+		t.Fatalf("legacy register: %v", err)
+	}
+
+	nm, err := FetchNodeMap(m.Addr(), 0)
+	if err != nil {
+		t.Fatalf("FetchNodeMap: %v", err)
+	}
+	if nm[0].Rack != "r0" || nm[0].Zone != "z0" || nm[2].Rack != "r1" {
+		t.Fatalf("node map labels wrong: %+v", nm)
+	}
+	if nm[3].Rack != "" || nm[3].Zone != "" {
+		t.Fatalf("legacy registration should have empty labels: %+v", nm[3])
+	}
+
+	topo := m.Topology(4)
+	if topo.RackOf(0) != "r0" || topo.RackOf(1) != "r0" || topo.RackOf(2) != "r1" {
+		t.Fatalf("Topology labels wrong: %+v", topo.Nodes)
+	}
+	if got := topo.NodesInRack("r0"); len(got) != 2 {
+		t.Fatalf("NodesInRack(r0) = %v, want [0 1]", got)
+	}
+	if topo.RackOf(3) != "" {
+		t.Fatalf("legacy slot should be unlabeled, got %q", topo.RackOf(3))
+	}
+}

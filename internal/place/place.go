@@ -1,0 +1,470 @@
+// Package place models failure-domain topology for an APPR node fleet
+// and checks survival invariants of a (code, topology) pair.
+//
+// A Topology labels every erasure-column slot (node index in the store's
+// numbering) with the failure domains it lives in: a disk batch, a rack,
+// and a zone. The store keeps its identity column<->node mapping; what
+// placement decides is which physical domain each slot is served from,
+// so correlated faults (a whole rack losing power, a zone partitioning
+// away, a bad batch of disks) map to sets of column erasures.
+//
+// The survival checker turns the paper's availability claim into a
+// static, decidable predicate. An important sub-stripe is a (K, R+G)
+// codeword — it tolerates R+G erasures — so "important data survives the
+// loss of any single rack" holds exactly when no rack contains more than
+// R+G columns of any important codeword. The same predicate at zone
+// granularity gives "every stripe's important rows remain repairable
+// after any one zone partitions away". Unimportant sub-stripes are
+// (K, R) codewords and go approximate under a whole-domain loss by
+// design (the exact-or-flagged contract); the checker therefore proves
+// the invariant for the important tier, which is the paper's promise.
+//
+// Rack-local repair: LRC local repair of a column reads only the K+R-1
+// survivors of its own local group, so when a group is rack-local the
+// repair moves zero cross-rack bytes. GroupsRackLocal verifies that
+// layout property.
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"approxcode/internal/core"
+)
+
+// NodeLocation labels one node slot with its failure domains. Empty
+// labels mean "unknown"; Flat uses a single shared label per level.
+type NodeLocation struct {
+	Batch string // disk/manufacturing batch (correlated wear-out)
+	Rack  string // power + top-of-rack switch domain
+	Zone  string // datacenter zone / availability domain
+}
+
+// Topology maps each of the code's N node slots to a NodeLocation.
+// Index i describes node slot i of the store.
+type Topology struct {
+	Nodes []NodeLocation
+}
+
+// Flat is the legacy layout: every node in one rack, one zone, one
+// batch. It is what pre-topology snapshots decode to, and it provably
+// violates the rack-survival invariant (the single rack holds every
+// column of every codeword).
+func Flat(n int) *Topology {
+	t := &Topology{Nodes: make([]NodeLocation, n)}
+	for i := range t.Nodes {
+		t.Nodes[i] = NodeLocation{Batch: "b0", Rack: "r0", Zone: "z0"}
+	}
+	return t
+}
+
+// Scatter is the topology-oblivious layout: node i lands in rack
+// i%racks (zones stripe the racks). It is the "flat placement" baseline
+// for repair-traffic measurements — local groups straddle racks, so
+// every local repair moves cross-rack bytes.
+func Scatter(n, racks, zones int) *Topology {
+	if racks < 1 {
+		racks = 1
+	}
+	if zones < 1 {
+		zones = 1
+	}
+	t := &Topology{Nodes: make([]NodeLocation, n)}
+	for i := range t.Nodes {
+		r := i % racks
+		t.Nodes[i] = NodeLocation{
+			Batch: "b0",
+			Rack:  fmt.Sprintf("r%d", r),
+			Zone:  fmt.Sprintf("z%d", r%zones),
+		}
+	}
+	return t
+}
+
+// N returns the number of node slots the topology describes.
+func (t *Topology) N() int { return len(t.Nodes) }
+
+// Validate checks the topology covers exactly n node slots and every
+// slot has a rack label (racks are the primary survival domain).
+func (t *Topology) Validate(n int) error {
+	if t == nil {
+		return fmt.Errorf("place: nil topology")
+	}
+	if len(t.Nodes) != n {
+		return fmt.Errorf("place: topology describes %d nodes, code has %d", len(t.Nodes), n)
+	}
+	for i, loc := range t.Nodes {
+		if loc.Rack == "" {
+			return fmt.Errorf("place: node %d has no rack label", i)
+		}
+	}
+	return nil
+}
+
+// RackOf returns the rack label of node i ("" when out of range).
+func (t *Topology) RackOf(i int) string {
+	if t == nil || i < 0 || i >= len(t.Nodes) {
+		return ""
+	}
+	return t.Nodes[i].Rack
+}
+
+// ZoneOf returns the zone label of node i ("" when out of range).
+func (t *Topology) ZoneOf(i int) string {
+	if t == nil || i < 0 || i >= len(t.Nodes) {
+		return ""
+	}
+	return t.Nodes[i].Zone
+}
+
+// BatchOf returns the disk-batch label of node i ("" when out of range).
+func (t *Topology) BatchOf(i int) string {
+	if t == nil || i < 0 || i >= len(t.Nodes) {
+		return ""
+	}
+	return t.Nodes[i].Batch
+}
+
+func (t *Topology) domains(of func(NodeLocation) string) []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, loc := range t.Nodes {
+		if d := of(loc); d != "" && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Racks returns the sorted distinct rack labels.
+func (t *Topology) Racks() []string {
+	return t.domains(func(l NodeLocation) string { return l.Rack })
+}
+
+// Zones returns the sorted distinct zone labels.
+func (t *Topology) Zones() []string {
+	return t.domains(func(l NodeLocation) string { return l.Zone })
+}
+
+// Batches returns the sorted distinct disk-batch labels.
+func (t *Topology) Batches() []string {
+	return t.domains(func(l NodeLocation) string { return l.Batch })
+}
+
+func (t *Topology) nodesWhere(label string, of func(NodeLocation) string) []int {
+	if t == nil {
+		return nil
+	}
+	var out []int
+	for i, loc := range t.Nodes {
+		if of(loc) == label {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NodesInRack returns the node slots served from the given rack.
+func (t *Topology) NodesInRack(rack string) []int {
+	return t.nodesWhere(rack, func(l NodeLocation) string { return l.Rack })
+}
+
+// NodesInZone returns the node slots served from the given zone.
+func (t *Topology) NodesInZone(zone string) []int {
+	return t.nodesWhere(zone, func(l NodeLocation) string { return l.Zone })
+}
+
+// NodesInBatch returns the node slots whose disks share the given batch.
+func (t *Topology) NodesInBatch(batch string) []int {
+	return t.nodesWhere(batch, func(l NodeLocation) string { return l.Batch })
+}
+
+// Clone returns a deep copy (Topology travels through snapshots and
+// configs; callers must not alias the store's copy).
+func (t *Topology) Clone() *Topology {
+	if t == nil {
+		return nil
+	}
+	c := &Topology{Nodes: make([]NodeLocation, len(t.Nodes))}
+	copy(c.Nodes, t.Nodes)
+	return c
+}
+
+// Spec sizes the domain hierarchy ForParams builds. Zero values default
+// to a single domain at that level.
+type Spec struct {
+	Racks   int // distinct racks; >= 2 required for rack survival
+	Zones   int // distinct zones; racks stripe across zones
+	Batches int // distinct disk batches; node i gets batch i%Batches
+}
+
+// nodeCount mirrors core's layout arithmetic: H local stripes of K data
+// + R local parity columns, then G global parity columns at the end.
+func nodeCount(p core.Params) int { return p.H*(p.K+p.R) + p.G }
+
+// important mirrors core.Code.Important: Even marks row 0 of every
+// stripe, Uneven marks every row of stripe 0.
+func important(p core.Params, l, m int) bool {
+	if p.Structure == core.Even {
+		return m == 0
+	}
+	return l == 0
+}
+
+// importantRow returns the first important sub-block row of stripe l,
+// or -1 when the stripe holds no important data.
+func importantRow(p core.Params, l int) int {
+	for m := 0; m < p.H; m++ {
+		if important(p, l, m) {
+			return m
+		}
+	}
+	return -1
+}
+
+// importantCodeword lists the node slots of the (K, R+G) codeword
+// covering stripe l's important rows: the K+R group columns plus the G
+// global parity columns. (Every important row of a stripe shares this
+// set, so the checker examines it once per stripe.)
+func importantCodeword(p core.Params, l int) []int {
+	nodes := make([]int, 0, p.K+p.R+p.G)
+	base := l * (p.K + p.R)
+	for j := 0; j < p.K+p.R; j++ {
+		nodes = append(nodes, base+j)
+	}
+	for i := 0; i < p.G; i++ {
+		nodes = append(nodes, p.H*(p.K+p.R)+i)
+	}
+	return nodes
+}
+
+// ForParams builds a rack-aware topology for the code: each LRC local
+// group (K data + R local parity of one stripe) is placed wholly in one
+// rack, groups round-robin across racks, and each global parity column
+// is placed greedily in the rack that keeps every important codeword's
+// worst single-rack concentration lowest. Zones stripe the racks;
+// batches stripe the nodes. The result is verified with Check before it
+// is returned — an unsatisfiable request (too few racks, or K > G so an
+// important codeword cannot survive the loss of its own group's rack)
+// returns an error carrying the violations.
+func ForParams(p core.Params, spec Spec) (*Topology, error) {
+	if spec.Racks < 1 {
+		spec.Racks = 1
+	}
+	if spec.Zones < 1 {
+		spec.Zones = 1
+	}
+	if spec.Batches < 1 {
+		spec.Batches = 1
+	}
+	n := nodeCount(p)
+	t := &Topology{Nodes: make([]NodeLocation, n)}
+	rackIdx := make([]int, n)
+	for l := 0; l < p.H; l++ {
+		ri := l % spec.Racks
+		for j := 0; j < p.K+p.R; j++ {
+			rackIdx[l*(p.K+p.R)+j] = ri
+		}
+	}
+	// Global parities: greedy minimization of the worst per-codeword
+	// rack concentration over the racks placed so far.
+	placed := p.H * (p.K + p.R)
+	for g := 0; g < p.G; g++ {
+		node := placed + g
+		best, bestScore := 0, 1<<30
+		for ri := 0; ri < spec.Racks; ri++ {
+			rackIdx[node] = ri
+			score := worstRackConcentration(p, rackIdx, node+1)
+			if score < bestScore {
+				best, bestScore = ri, score
+			}
+		}
+		rackIdx[node] = best
+	}
+	for i := range t.Nodes {
+		t.Nodes[i] = NodeLocation{
+			Batch: fmt.Sprintf("b%d", i%spec.Batches),
+			Rack:  fmt.Sprintf("r%d", rackIdx[i]),
+			Zone:  fmt.Sprintf("z%d", rackIdx[i]%spec.Zones),
+		}
+	}
+	rep, err := Check(p, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, fmt.Errorf("place: no safe layout for %s over %d racks: %w", p.Name(), spec.Racks, err)
+	}
+	return t, nil
+}
+
+// worstRackConcentration returns the maximum, over important codewords,
+// of the number of codeword columns sharing one rack — counting only
+// node slots below limit (later slots are not yet placed).
+func worstRackConcentration(p core.Params, rackIdx []int, limit int) int {
+	worst := 0
+	for l := 0; l < p.H; l++ {
+		if importantRow(p, l) < 0 {
+			continue
+		}
+		count := make(map[int]int)
+		for _, node := range importantCodeword(p, l) {
+			if node >= limit {
+				continue
+			}
+			count[rackIdx[node]]++
+		}
+		for _, c := range count {
+			if c > worst {
+				worst = c
+			}
+		}
+	}
+	return worst
+}
+
+// Violation is one broken invariant: a domain whose loss exceeds an
+// important codeword's tolerance, or a local group straddling racks.
+type Violation struct {
+	// Level is "rack", "zone", or "locality".
+	Level string
+	// Domain is the offending rack/zone label (for locality, the rack a
+	// group column strayed into).
+	Domain string
+	// Stripe is the local stripe whose codeword breaks; Row is its
+	// first important sub-block row (-1 for locality violations).
+	Stripe int
+	Row    int
+	// Have is how many codeword columns the domain holds; Max is the
+	// codeword tolerance R+G (0/0 for locality violations).
+	Have int
+	Max  int
+}
+
+func (v Violation) String() string {
+	if v.Level == "locality" {
+		return fmt.Sprintf("group %d straddles racks (column in %s)", v.Stripe, v.Domain)
+	}
+	return fmt.Sprintf("%s %s holds %d columns of important codeword (stripe %d, row %d), tolerance %d",
+		v.Level, v.Domain, v.Have, v.Stripe, v.Row, v.Max)
+}
+
+// Report is the survival checker's verdict on a (code, topology) pair.
+type Report struct {
+	// RackSafe: every important codeword survives the loss of any one
+	// rack (no rack holds more than R+G of its columns).
+	RackSafe bool
+	// ZoneSafe: the same predicate at zone granularity — important rows
+	// remain repairable after any single zone partitions away.
+	ZoneSafe bool
+	// GroupsRackLocal: every LRC local group (and its local parity)
+	// lives in one rack, so local repair never crosses a rack.
+	GroupsRackLocal bool
+	// Racks and Zones count the distinct domains at each level.
+	Racks int
+	Zones int
+	// Violations details every broken invariant.
+	Violations []Violation
+}
+
+// Err distills the report into an error, enforcing only the levels the
+// topology actually tries to protect: rack (and locality) violations
+// count when the topology spans more than one rack, zone violations
+// when it spans more than one zone. A single-domain level cannot be
+// made safe by placement — it stays reported (RackSafe/ZoneSafe false,
+// Violations populated) but is not an Err, so a legacy flat topology
+// loads and serves while Scrub surfaces the exposure.
+func (r *Report) Err() error {
+	var bad []Violation
+	for _, v := range r.Violations {
+		switch v.Level {
+		case "rack", "locality":
+			if r.Racks > 1 {
+				bad = append(bad, v)
+			}
+		case "zone":
+			if r.Zones > 1 {
+				bad = append(bad, v)
+			}
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("place: %d survival violation(s), first: %s", len(bad), bad[0])
+}
+
+// Check verifies the survival invariants of params p under topology t.
+// It never mutates t and is pure in (p, t): the verdict holds for every
+// object the store encodes with p, so callers cache it per store.
+func Check(p core.Params, t *Topology) (*Report, error) {
+	n := nodeCount(p)
+	if err := t.Validate(n); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		RackSafe:        true,
+		ZoneSafe:        true,
+		GroupsRackLocal: true,
+		Racks:           len(t.Racks()),
+		Zones:           len(t.Zones()),
+	}
+	tol := p.R + p.G
+	for l := 0; l < p.H; l++ {
+		base := l * (p.K + p.R)
+		rack := t.Nodes[base].Rack
+		for j := 1; j < p.K+p.R; j++ {
+			if got := t.Nodes[base+j].Rack; got != rack {
+				rep.GroupsRackLocal = false
+				rep.Violations = append(rep.Violations, Violation{
+					Level: "locality", Domain: got, Stripe: l, Row: -1,
+				})
+				break
+			}
+		}
+	}
+	for l := 0; l < p.H; l++ {
+		row := importantRow(p, l)
+		if row < 0 {
+			continue
+		}
+		nodes := importantCodeword(p, l)
+		racks := make(map[string]int)
+		zones := make(map[string]int)
+		for _, node := range nodes {
+			racks[t.Nodes[node].Rack]++
+			zones[t.Nodes[node].Zone]++
+		}
+		for _, domain := range sortedKeys(racks) {
+			if have := racks[domain]; have > tol {
+				rep.RackSafe = false
+				rep.Violations = append(rep.Violations, Violation{
+					Level: "rack", Domain: domain, Stripe: l, Row: row, Have: have, Max: tol,
+				})
+			}
+		}
+		for _, domain := range sortedKeys(zones) {
+			if have := zones[domain]; have > tol {
+				rep.ZoneSafe = false
+				rep.Violations = append(rep.Violations, Violation{
+					Level: "zone", Domain: domain, Stripe: l, Row: row, Have: have, Max: tol,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

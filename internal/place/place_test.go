@@ -1,0 +1,162 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"approxcode/internal/core"
+)
+
+func params(k, r, g, h int, s core.Structure) core.Params {
+	return core.Params{Family: core.FamilyRS, K: k, R: r, G: g, H: h, Structure: s}
+}
+
+// The canonical rack-survivable geometry for these tests: K <= G, so an
+// important codeword (tolerance R+G = 3) survives losing its whole
+// rack-local group (K+R = 3 columns).
+var safeParams = params(2, 1, 2, 3, core.Uneven)
+
+func TestForParamsRackAware(t *testing.T) {
+	topo, err := ForParams(safeParams, Spec{Racks: 3, Zones: 3})
+	if err != nil {
+		t.Fatalf("ForParams: %v", err)
+	}
+	rep, err := Check(safeParams, topo)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !rep.RackSafe || !rep.ZoneSafe || !rep.GroupsRackLocal {
+		t.Fatalf("rack-aware layout not safe: %+v", rep)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	// Each local group must be rack-local.
+	per := safeParams.K + safeParams.R
+	for l := 0; l < safeParams.H; l++ {
+		rack := topo.RackOf(l * per)
+		for j := 1; j < per; j++ {
+			if got := topo.RackOf(l*per + j); got != rack {
+				t.Fatalf("group %d straddles racks: %s vs %s", l, rack, got)
+			}
+		}
+	}
+}
+
+func TestForParamsEvenNeedsSpareRack(t *testing.T) {
+	even := params(2, 1, 2, 3, core.Even)
+	// With Even structure every rack hosts an important group of K+R =
+	// tolerance columns, so any global parity sharing a group's rack
+	// pushes that codeword past tolerance: 3 racks is unsatisfiable.
+	if _, err := ForParams(even, Spec{Racks: 3}); err == nil {
+		t.Fatal("ForParams(Even, 3 racks) should be unsatisfiable")
+	}
+	// A fourth rack gives the globals a group-free home.
+	topo, err := ForParams(even, Spec{Racks: 4})
+	if err != nil {
+		t.Fatalf("ForParams(Even, 4 racks): %v", err)
+	}
+	rep, err := Check(even, topo)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !rep.RackSafe {
+		t.Fatalf("4-rack Even layout should be rack-safe: %+v", rep)
+	}
+}
+
+func TestForParamsKOverGUnsatisfiable(t *testing.T) {
+	// K > G: a rack-local group is K+R columns but the important
+	// codeword tolerates only R+G < K+R erasures — no number of racks
+	// makes a group-local layout survive its own rack's loss.
+	p := params(3, 1, 2, 3, core.Uneven)
+	_, err := ForParams(p, Spec{Racks: 4})
+	if err == nil {
+		t.Fatal("ForParams with K > G should fail the survival check")
+	}
+	if !strings.Contains(err.Error(), "survival violation") {
+		t.Fatalf("error should carry violations: %v", err)
+	}
+}
+
+func TestFlatProvablyViolates(t *testing.T) {
+	n := safeParams.H*(safeParams.K+safeParams.R) + safeParams.G
+	rep, err := Check(safeParams, Flat(n))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.RackSafe || rep.ZoneSafe {
+		t.Fatalf("flat single-rack layout must violate survival: %+v", rep)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("flat layout should report violations")
+	}
+	// A single-domain level cannot be fixed by placement: the exposure
+	// is reported, not enforced, so legacy flat stores keep serving.
+	if err := rep.Err(); err != nil {
+		t.Fatalf("flat layout Err should be nil (reported, not enforced): %v", err)
+	}
+}
+
+func TestScatterBreaksLocality(t *testing.T) {
+	n := safeParams.H*(safeParams.K+safeParams.R) + safeParams.G
+	rep, err := Check(safeParams, Scatter(n, 3, 3))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.GroupsRackLocal {
+		t.Fatal("scatter placement should straddle racks")
+	}
+	if err := rep.Err(); err == nil {
+		t.Fatal("multi-rack scatter should be an enforced violation")
+	}
+}
+
+func TestCheckRejectsWrongSize(t *testing.T) {
+	if _, err := Check(safeParams, Flat(4)); err == nil {
+		t.Fatal("Check must reject a topology of the wrong size")
+	}
+	if _, err := Check(safeParams, &Topology{Nodes: make([]NodeLocation, 11)}); err == nil {
+		t.Fatal("Check must reject empty rack labels")
+	}
+}
+
+func TestDomainHelpers(t *testing.T) {
+	topo, err := ForParams(safeParams, Spec{Racks: 3, Zones: 3, Batches: 2})
+	if err != nil {
+		t.Fatalf("ForParams: %v", err)
+	}
+	if got := len(topo.Racks()); got != 3 {
+		t.Fatalf("Racks() = %d, want 3", got)
+	}
+	if got := len(topo.Zones()); got != 3 {
+		t.Fatalf("Zones() = %d, want 3", got)
+	}
+	if got := len(topo.Batches()); got != 2 {
+		t.Fatalf("Batches() = %d, want 2", got)
+	}
+	// NodesInRack must partition the slots.
+	seen := make(map[int]bool)
+	for _, rack := range topo.Racks() {
+		for _, node := range topo.NodesInRack(rack) {
+			if seen[node] {
+				t.Fatalf("node %d in two racks", node)
+			}
+			seen[node] = true
+			if topo.RackOf(node) != rack {
+				t.Fatalf("RackOf(%d) != %s", node, rack)
+			}
+		}
+	}
+	if len(seen) != topo.N() {
+		t.Fatalf("racks cover %d of %d nodes", len(seen), topo.N())
+	}
+	if topo.RackOf(-1) != "" || topo.ZoneOf(99) != "" || topo.BatchOf(99) != "" {
+		t.Fatal("out-of-range lookups must return empty labels")
+	}
+	clone := topo.Clone()
+	clone.Nodes[0].Rack = "mutated"
+	if topo.Nodes[0].Rack == "mutated" {
+		t.Fatal("Clone must not alias")
+	}
+}

@@ -35,6 +35,14 @@ var (
 	// and no slot freed within the admit-wait budget. The request was
 	// not started; callers may retry with backoff.
 	ErrOverloaded = errors.New("store: overloaded")
+	// ErrPlacementUnsafe: the store was opened with an explicit
+	// multi-domain topology that violates the survival invariants
+	// (place.Report.Err), so new writes would not survive the domain
+	// losses the topology claims to protect against. Put refuses until
+	// the layout is fixed (or Config.AllowUnsafePlacement opts in for
+	// measured baselines). Legacy/implicit flat topologies are exempt:
+	// their exposure is reported by Scrub, never enforced.
+	ErrPlacementUnsafe = errors.New("store: placement violates survival invariants")
 	// ErrNodeUnavailable: I/O against a crashed or health-failed node.
 	// Alias of chaos.ErrNodeUnavailable.
 	ErrNodeUnavailable = chaos.ErrNodeUnavailable

@@ -68,6 +68,11 @@ type storeMetrics struct {
 	repairReadBytes       *obs.Counter
 	repairCheckpoints     *obs.Counter
 	repairsResumed        *obs.Counter
+	// Topology split of repair survivor reads: a byte is rack-local
+	// when the column read shares a rack with a failed node being
+	// rebuilt (see Repair.accountRead).
+	repairBytesRackLocal *obs.Counter
+	repairBytesCrossRack *obs.Counter
 
 	// Admission control: ops currently admitted / waiting for a slot,
 	// and ops shed with ErrOverloaded.
@@ -136,6 +141,8 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		repairReadBytes:       reg.Counter("store_repair_read_bytes_total"),
 		repairCheckpoints:     reg.Counter("store_repair_checkpoints_total"),
 		repairsResumed:        reg.Counter("store_repairs_resumed_total"),
+		repairBytesRackLocal:  reg.Counter("store_repair_read_bytes_rack_local_total"),
+		repairBytesCrossRack:  reg.Counter("store_repair_read_bytes_cross_rack_total"),
 
 		inflight:     reg.Gauge("store_inflight_ops"),
 		admitWaiting: reg.Gauge("store_admission_waiting"),

@@ -14,6 +14,7 @@ import (
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 	"approxcode/internal/obs"
+	"approxcode/internal/place"
 	"approxcode/internal/tier"
 )
 
@@ -33,6 +34,13 @@ type snapshot struct {
 	ContiguousPlacement bool
 	Objects             []snapObject
 	FailedNodes         []int
+	// Topology is the explicit failure-domain topology the store was
+	// opened with, nil when the store ran on the implicit flat layout.
+	// Pre-topology snapshots leave it nil too (gob skips absent
+	// fields), so legacy directories load exactly as before: a flat
+	// single-rack topology whose survival exposure Scrub reports but
+	// nothing enforces.
+	Topology *place.Topology
 	// Generation is this snapshot's generation number.
 	Generation uint64
 	// LastSeq is the journal sequence this snapshot covers: replay
@@ -243,6 +251,9 @@ func (s *Store) Save(dir string) error {
 		ContiguousPlacement: s.cfg.ContiguousPlacement,
 		Generation:          gen,
 		LastSeq:             s.lastSeq(),
+	}
+	if s.topoExplicit {
+		snap.Topology = s.topo
 	}
 	for _, obj := range s.objects.snapshot() {
 		obj.sumsMu.RLock()
@@ -497,6 +508,7 @@ func loadAndReplay(dir string, opts LoadOptions) (*Store, *RecoverReport, error)
 		Crasher:             opts.Crasher,
 		CacheBytes:          opts.CacheBytes,
 		Tracker:             opts.Tracker,
+		Topology:            snap.Topology,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("store load: %w", err)

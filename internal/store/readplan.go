@@ -317,6 +317,7 @@ func (r *Repair) plannedRepairRead(j repairJob) (cols [][]byte, demoted []int, r
 			data, rerr := s.readColumn(ni, j.obj.name, j.stripe)
 			if rerr == nil {
 				readBytes += int64(len(data))
+				r.accountRead(ni, int64(len(data)))
 			}
 			if rerr != nil {
 				targets = append(targets, ni)

@@ -49,6 +49,15 @@ type RepairReport struct {
 	// exists to shrink this number; the full-stripe fallback reads every
 	// surviving column.
 	BytesRead int64
+	// BytesReadRackLocal / BytesReadCrossRack split BytesRead by the
+	// store's topology: a survivor byte is rack-local when its column
+	// shares a rack with a failed node being rebuilt. Under rack-aware
+	// placement LRC local repair moves only rack-local bytes; under
+	// scatter (topology-oblivious) placement the same repair crosses
+	// racks. On a flat single-rack topology everything is trivially
+	// rack-local.
+	BytesReadRackLocal int64
+	BytesReadCrossRack int64
 	// LostSegments maps object name -> segment IDs with unrecoverable
 	// bytes (zero-filled on the replacement). Checkpointed losses from
 	// a resumed run carry over.
@@ -139,6 +148,32 @@ type Repair struct {
 	err       error
 	failedSet []int
 	writeBad  map[int]bool
+
+	// failedRacks is the rack set of the failed nodes this run rebuilds;
+	// rackLocal/crossRack split survivor read traffic by whether the
+	// column read shares a rack with the failure (atomics: the worker
+	// pool accounts reads concurrently).
+	failedRacks map[string]bool
+	rackLocal   atomic.Int64
+	crossRack   atomic.Int64
+}
+
+// accountRead classifies n survivor bytes read from node ni as
+// rack-local (the column shares a rack with a failure being rebuilt —
+// LRC local repair under rack-aware placement stays entirely here) or
+// cross-rack (global-parity decode traffic, or any survivor read under
+// scatter placement).
+func (r *Repair) accountRead(ni int, n int64) {
+	if n == 0 {
+		return
+	}
+	if r.failedRacks[r.s.topo.RackOf(ni)] {
+		r.rackLocal.Add(n)
+		r.s.metrics.repairBytesRackLocal.Add(n)
+	} else {
+		r.crossRack.Add(n)
+		r.s.metrics.repairBytesCrossRack.Add(n)
+	}
 }
 
 // StartRepair launches an asynchronous repair run (one at a time per
@@ -325,6 +360,8 @@ func (r *Repair) run() {
 		}
 		s.repairMu.Unlock()
 		s.metrics.repairQueueDepth.Set(0)
+		r.report.BytesReadRackLocal = r.rackLocal.Load()
+		r.report.BytesReadCrossRack = r.crossRack.Load()
 		sp.End(obs.A("stripes_repaired", r.report.StripesRepaired),
 			obs.A("stripes_skipped", r.report.StripesSkipped),
 			obs.A("stripes_resumed", r.report.StripesResumed),
@@ -336,6 +373,10 @@ func (r *Repair) run() {
 	r.guard(func() {
 		rep := r.report
 		r.failedSet = s.FailedNodes()
+		r.failedRacks = make(map[string]bool, len(r.failedSet))
+		for _, ni := range r.failedSet {
+			r.failedRacks[s.topo.RackOf(ni)] = true
+		}
 		r.writeBad = make(map[int]bool)
 		jobs := s.repairQueue(r.failedSet, r.doneSet, rep)
 		if len(jobs) == 0 || len(r.failedSet) == 0 {
@@ -516,8 +557,9 @@ func (r *Repair) repairStripe(j repairJob) {
 		// (the pre-planning behaviour, including approximate loss).
 		s.metrics.planFallbacks.Inc()
 		cols, demoted = s.readStripe(j.obj, j.stripe)
-		for _, c := range cols {
+		for ni, c := range cols {
 			readBytes += int64(len(c))
+			r.accountRead(ni, int64(len(c)))
 		}
 		var err error
 		rr, err = s.code.ReconstructReport(cols, core.Options{})

@@ -22,6 +22,7 @@ import (
 	"approxcode/internal/chaos"
 	"approxcode/internal/core"
 	"approxcode/internal/obs"
+	"approxcode/internal/place"
 	"approxcode/internal/tier"
 )
 
@@ -108,6 +109,20 @@ type Config struct {
 	// write and persistence paths (see chaos.Crasher): an armed crasher
 	// simulates a kill -9 at the selected point. Nil disables them.
 	Crasher *chaos.Crasher
+	// Topology labels each node slot with its failure domains (disk
+	// batch, rack, zone) — see internal/place. The store checks the
+	// survival invariants of (Code, Topology) once at Open and caches
+	// the verdict: Put asserts it (an explicit topology that violates
+	// the invariants fails with ErrPlacementUnsafe), Scrub reports it,
+	// and the repair path uses the rack labels to account rack-local
+	// vs cross-rack traffic. Nil defaults to the legacy flat
+	// single-rack layout, which is reported as exposed but never
+	// enforced (pre-topology stores keep working).
+	Topology *place.Topology
+	// AllowUnsafePlacement lets Put proceed even when the explicit
+	// Topology violates the survival invariants — the opt-in for
+	// measured baselines (e.g. the pr10 bench's scatter placement).
+	AllowUnsafePlacement bool
 }
 
 // Store is a concurrent approximate storage layer. All exported methods
@@ -185,6 +200,15 @@ type Store struct {
 	// lookups and publishes stripe over 64 locks so Put/Get on
 	// different objects never serialize on one mutex.
 	objects *objectMap
+
+	// topo is the failure-domain topology (never nil after Open: an
+	// implicit flat layout when none was configured), topoExplicit
+	// whether the caller supplied it, and topoReport the cached
+	// survival-checker verdict — pure in (Code, topo), so computed
+	// once. All three are immutable after Open.
+	topo         *place.Topology
+	topoExplicit bool
+	topoReport   *place.Report
 }
 
 type node struct {
@@ -364,8 +388,38 @@ func Open(cfg Config) (*Store, error) {
 	} else {
 		s.plainIO = true
 	}
+	if cfg.Topology != nil {
+		s.topo = cfg.Topology.Clone()
+		s.topoExplicit = true
+	} else {
+		s.topo = place.Flat(code.TotalShards())
+	}
+	rep, err := place.Check(cfg.Code, s.topo)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.topoReport = rep
 	s.registerGauges()
 	return s, nil
+}
+
+// Topology returns the store's failure-domain topology (a flat
+// single-rack layout when none was configured). Callers must not
+// mutate the result.
+func (s *Store) Topology() *place.Topology { return s.topo }
+
+// PlacementReport returns the cached survival-checker verdict for the
+// store's (code, topology) pair. It is computed once at Open — the
+// predicate is static per code geometry, so it holds for every object
+// the store encodes.
+func (s *Store) PlacementReport() *place.Report { return s.topoReport }
+
+// placementUnsafe reports whether Put must refuse: the caller supplied
+// an explicit topology, it violates an enforceable survival invariant,
+// and the unsafe-baseline opt-in is off. Implicit flat layouts are
+// exempt (legacy stores predate topology; Scrub reports them instead).
+func (s *Store) placementUnsafe() bool {
+	return s.topoExplicit && !s.cfg.AllowUnsafePlacement && s.topoReport.Err() != nil
 }
 
 // crash passes through the named crash point (a no-op unless a
@@ -585,6 +639,9 @@ func (s *Store) Put(name string, segs []Segment) error {
 	defer func() { sp.End(obs.A("object", name), obs.A("segments", len(segs))) }()
 	if name == "" {
 		return fmt.Errorf("store: empty object name")
+	}
+	if s.placementUnsafe() {
+		return fmt.Errorf("%w: %s", ErrPlacementUnsafe, s.topoReport.Err())
 	}
 	ids := make(map[int]bool, len(segs))
 	for _, seg := range segs {
@@ -1071,6 +1128,12 @@ type ScrubReport struct {
 	// Corrupt lists "object/stripe" identifiers the scrub could not
 	// verify or heal.
 	Corrupt []string
+	// PlacementViolations counts broken survival invariants of the
+	// store's (code, topology) pair — see place.Check. Reported, never
+	// failed on: a legacy flat store (or pre-topology objects loaded
+	// under one) scrubs clean but surfaces its correlated-failure
+	// exposure here.
+	PlacementViolations int
 }
 
 // Scrub verifies every stored stripe in parallel: each column is read
@@ -1081,7 +1144,7 @@ type ScrubReport struct {
 // scrub's); stripes that cannot be healed are listed as corrupt.
 func (s *Store) Scrub() (*ScrubReport, error) {
 	defer s.metrics.opScrub.Start().Stop()
-	rep := &ScrubReport{}
+	rep := &ScrubReport{PlacementViolations: len(s.topoReport.Violations)}
 	sp := s.metrics.reg.StartSpan("store.Scrub")
 	defer func() {
 		sp.End(obs.A("stripes_checked", rep.StripesChecked), obs.A("checksum_failures", rep.ChecksumFailures),

@@ -1,0 +1,445 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"approxcode/internal/chaos"
+	"approxcode/internal/chaos/chaostest"
+	"approxcode/internal/core"
+	"approxcode/internal/place"
+	"approxcode/internal/store"
+)
+
+// rackParams is the rack-survivable geometry for the topology suites:
+// K=2 <= G=2, so an important codeword (tolerance R+G=3) survives the
+// loss of its whole K+R=3-column local group — i.e. of the rack the
+// group is placed in.
+func rackParams() core.Params {
+	return core.Params{Family: core.FamilyRS, K: 2, R: 1, G: 2, H: 3, Structure: core.Uneven}
+}
+
+func rackTopo(t testing.TB, spec place.Spec) *place.Topology {
+	t.Helper()
+	topo, err := place.ForParams(rackParams(), spec)
+	if err != nil {
+		t.Fatalf("ForParams: %v", err)
+	}
+	return topo
+}
+
+// unsafeTopo concentrates stripe 0's whole important codeword — its
+// local group AND both global parities — in rack r0, with everything
+// else in r1: a two-rack layout the survival checker must reject, and
+// whose rack loss demonstrably destroys important data.
+func unsafeTopo(t testing.TB) *place.Topology {
+	t.Helper()
+	p := rackParams()
+	n := p.H*(p.K+p.R) + p.G
+	topo := &place.Topology{Nodes: make([]place.NodeLocation, n)}
+	group0 := map[int]bool{0: true, 1: true, 2: true, 9: true, 10: true}
+	for i := range topo.Nodes {
+		rack := "r1"
+		if group0[i] {
+			rack = "r0"
+		}
+		topo.Nodes[i] = place.NodeLocation{Batch: "b0", Rack: rack, Zone: "z" + rack[1:]}
+	}
+	return topo
+}
+
+// TestChaosRackLoss is the headline survival demonstration: with
+// rack-aware placement, every important segment reads back byte-exact
+// after ANY single whole rack crashes — power loss taking out the
+// important group's own rack included — while unimportant losses stay
+// explicitly flagged (the exact-or-flagged contract, enforced by the
+// chaostest harness on every read).
+func TestChaosRackLoss(t *testing.T) {
+	topo := rackTopo(t, place.Spec{Racks: 3, Zones: 3, Batches: 2})
+	importantRack := topo.RackOf(0) // stripe 0 is the important group (Uneven)
+	for _, rack := range topo.Racks() {
+		rack := rack
+		t.Run(rack, func(t *testing.T) {
+			out := chaostest.Run(t, chaostest.Scenario{
+				Seed:      41,
+				Params:    rackParams(),
+				Topology:  topo,
+				FailRacks: []string{rack},
+			})
+			if rack == importantRack {
+				// The lost rack held ONLY important rows (Uneven structure):
+				// globals elsewhere decode everything, nothing is lost at all.
+				if len(out.FirstRead.LostSegments) != 0 {
+					t.Fatalf("rack-aware placement lost segments under loss of %s: %v",
+						rack, out.FirstRead.LostSegments)
+				}
+				if out.FirstRead.DegradedSubReads == 0 {
+					t.Fatal("rack loss read nothing degraded — fault never took effect")
+				}
+			}
+			// Harness already enforced that no important segment was lost
+			// for the other racks; their unimportant groups may legally go
+			// approximate. Either way repair must leave the store exact.
+			if out.Scrub.PlacementViolations != 0 {
+				t.Fatalf("safe topology reported %d placement violations", out.Scrub.PlacementViolations)
+			}
+		})
+	}
+}
+
+// TestChaosRackLossRepairTraffic pins the repair-locality claims:
+// LRC local repair of a single node moves only rack-local bytes under
+// rack-aware placement; a whole-rack rebuild is a global decode and is
+// all cross-rack; and the topology-oblivious scatter baseline pays
+// cross-rack bytes even for a single-node local repair.
+func TestChaosRackLossRepairTraffic(t *testing.T) {
+	t.Run("local-repair-rack-local", func(t *testing.T) {
+		out := chaostest.Run(t, chaostest.Scenario{
+			Seed:      42,
+			Params:    rackParams(),
+			Topology:  rackTopo(t, place.Spec{Racks: 3, Zones: 3}),
+			FailNodes: []int{6}, // one node of stripe 2's group, rack-local repair
+		})
+		rep := out.Repair
+		if rep.BytesReadRackLocal == 0 {
+			t.Fatalf("local repair read no rack-local bytes: %+v", rep)
+		}
+		if rep.BytesReadCrossRack != 0 {
+			t.Fatalf("local repair under rack-aware placement moved %d cross-rack bytes",
+				rep.BytesReadCrossRack)
+		}
+	})
+	t.Run("rack-rebuild-cross-rack", func(t *testing.T) {
+		topo := rackTopo(t, place.Spec{Racks: 3, Zones: 3})
+		out := chaostest.Run(t, chaostest.Scenario{
+			Seed:      43,
+			Params:    rackParams(),
+			Topology:  topo,
+			FailRacks: []string{topo.RackOf(0)},
+		})
+		rep := out.Repair
+		if rep.BytesReadCrossRack == 0 {
+			t.Fatalf("whole-rack rebuild read no cross-rack bytes: %+v", rep)
+		}
+		if rep.BytesReadRackLocal != 0 {
+			t.Fatalf("whole-rack rebuild claims %d rack-local bytes from a dead rack",
+				rep.BytesReadRackLocal)
+		}
+	})
+	t.Run("scatter-baseline-cross-rack", func(t *testing.T) {
+		// Scatter straddles every local group across racks, so the SAME
+		// single-node repair that was fully rack-local above now moves
+		// cross-rack bytes — the traffic cost of topology-oblivious
+		// placement. Scatter fails the locality invariant, so the store
+		// only accepts it with the explicit unsafe override.
+		out := chaostest.Run(t, chaostest.Scenario{
+			Seed:                 42,
+			Params:               rackParams(),
+			Topology:             place.Scatter(11, 3, 3),
+			AllowUnsafePlacement: true,
+			FailNodes:            []int{6},
+		})
+		rep := out.Repair
+		if rep.BytesReadCrossRack == 0 {
+			t.Fatalf("scatter placement repaired without cross-rack traffic: %+v", rep)
+		}
+	})
+}
+
+// TestChaosRackLossUnsafePlacementRefused: the Put-time survival
+// assertion. A topology whose rack loss would destroy important data is
+// detected by the checker, and the store refuses to accept writes under
+// it unless the caller explicitly opts out.
+func TestChaosRackLossUnsafePlacementRefused(t *testing.T) {
+	topo := unsafeTopo(t)
+	s, err := store.Open(store.Config{Code: rackParams(), NodeSize: 3 * 512, Topology: topo})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	rep := s.PlacementReport()
+	if rep.RackSafe || rep.Err() == nil {
+		t.Fatalf("checker passed an unsafe layout: %+v", rep)
+	}
+	segs := chaostest.GenSegments(1, 8, 4)
+	if err := s.Put("video", segs); !errors.Is(err, store.ErrPlacementUnsafe) {
+		t.Fatalf("Put under unsafe placement: %v, want ErrPlacementUnsafe", err)
+	}
+}
+
+// TestChaosRackLossFlatBaselineViolates is the negative control for the
+// tentpole: the same geometry WITHOUT rack-aware placement provably
+// violates the survival invariant — the checker says so statically, and
+// crashing the overloaded rack actually destroys important data.
+func TestChaosRackLossFlatBaselineViolates(t *testing.T) {
+	p := rackParams()
+
+	// The implicit legacy layout (everything in one rack): the checker
+	// reports the exposure but cannot enforce it — placement can't help
+	// inside a single domain — so legacy stores keep serving.
+	flat, err := store.Open(store.Config{Code: p, NodeSize: 3 * 512})
+	if err != nil {
+		t.Fatalf("open flat: %v", err)
+	}
+	frep := flat.PlacementReport()
+	if frep.RackSafe || len(frep.Violations) == 0 {
+		t.Fatalf("flat layout not flagged rack-unsafe: %+v", frep)
+	}
+	if err := flat.Put("video", chaostest.GenSegments(2, 8, 4)); err != nil {
+		t.Fatalf("flat store must still accept writes (reported, not enforced): %v", err)
+	}
+	if sr, err := flat.Scrub(); err != nil || sr.PlacementViolations == 0 {
+		t.Fatalf("scrub did not surface flat placement violations: %+v err=%v", sr, err)
+	}
+
+	// A multi-rack layout that concentrates the important codeword: the
+	// checker rejects it, and with the override forced on, losing the
+	// overloaded rack destroys important segments — the invariant the
+	// rack-aware layout in TestChaosRackLoss upholds is real, not vacuous.
+	topo := unsafeTopo(t)
+	s, err := store.Open(store.Config{
+		Code: p, NodeSize: 3 * 512,
+		Topology: topo, AllowUnsafePlacement: true,
+	})
+	if err != nil {
+		t.Fatalf("open unsafe: %v", err)
+	}
+	segs := chaostest.GenSegments(3, 12, 4)
+	if err := s.Put("video", segs); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := s.FailNodes(topo.NodesInRack("r0")...); err != nil {
+		t.Fatalf("fail rack: %v", err)
+	}
+	_, rep, err := s.Get("video")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	approx := make(map[int]bool, len(rep.Approximate))
+	for _, id := range rep.Approximate {
+		approx[id] = true
+	}
+	importantLost := 0
+	for _, id := range rep.LostSegments {
+		if !approx[id] {
+			importantLost++
+		}
+	}
+	if importantLost == 0 {
+		t.Fatalf("unsafe placement survived its rack loss (lost=%v approx=%v) — violation not demonstrated",
+			rep.LostSegments, rep.Approximate)
+	}
+}
+
+// TestChaosZonePartition: the zone-level invariant. Partitioning away
+// the zone that hosts the important group leaves every byte readable
+// (globals live in other zones); partitioning an unimportant zone may
+// only cost flagged-approximate segments. Data is untouched either way,
+// so once the partition heals everything reads exact again.
+func TestChaosZonePartition(t *testing.T) {
+	topo := rackTopo(t, place.Spec{Racks: 3, Zones: 3, Batches: 2})
+	importantZone := topo.ZoneOf(0)
+	for _, zone := range topo.Zones() {
+		zone := zone
+		t.Run(zone, func(t *testing.T) {
+			out := chaostest.Run(t, chaostest.Scenario{
+				Seed:     44,
+				Params:   rackParams(),
+				Topology: topo,
+				// op=read: the partition starts after ingest (writes land),
+				// models the zone dropping off the network, and heals before
+				// repair via ClearBeforeRepair.
+				Schedule:          "zone=" + zone + ",op=read,fault=partition",
+				ClearBeforeRepair: true,
+			})
+			if out.Injector.Stats().Partitions == 0 {
+				t.Fatal("zone gate matched nothing — partition never injected")
+			}
+			if zone == importantZone {
+				if len(out.FirstRead.LostSegments) != 0 {
+					t.Fatalf("important zone partition lost segments: %v", out.FirstRead.LostSegments)
+				}
+				if out.FirstRead.DegradedSubReads == 0 {
+					t.Fatal("important zone partition read nothing degraded")
+				}
+			}
+			if len(out.FinalRead.LostSegments) != 0 {
+				t.Fatalf("healed partition still lost segments: %v", out.FinalRead.LostSegments)
+			}
+		})
+	}
+}
+
+// TestChaosRollingUpgrade drains one rack at a time — reads black-holed
+// while the rack's processes restart, data intact throughout — and
+// requires important data exact during every window and everything
+// byte-exact after each rack rejoins. No repair runs: an upgrade is not
+// a failure, and the invariant must hold on placement alone.
+func TestChaosRollingUpgrade(t *testing.T) {
+	p := rackParams()
+	topo := rackTopo(t, place.Spec{Racks: 3, Zones: 3})
+	inj := chaos.NewInjector(45)
+	inj.SetTopology(topo)
+	s, err := store.Open(store.Config{
+		Code: p, NodeSize: 3 * 512, Topology: topo, WrapIO: inj.Wrap,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	segs := chaostest.GenSegments(46, 12, 4)
+	if err := s.Put("video", segs); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	check := func(phase string, wantAllExact bool) {
+		t.Helper()
+		got, rep, err := s.Get("video")
+		if err != nil {
+			t.Fatalf("%s: get: %v", phase, err)
+		}
+		lost := make(map[int]bool, len(rep.LostSegments))
+		for _, id := range rep.LostSegments {
+			lost[id] = true
+		}
+		approx := make(map[int]bool, len(rep.Approximate))
+		for _, id := range rep.Approximate {
+			approx[id] = true
+		}
+		for i, g := range got {
+			w := segs[i]
+			if lost[w.ID] {
+				if wantAllExact || w.Important {
+					t.Fatalf("%s: segment %d (important=%v) lost", phase, w.ID, w.Important)
+				}
+				if !approx[w.ID] {
+					t.Fatalf("%s: unimportant loss of %d not flagged", phase, w.ID)
+				}
+				continue
+			}
+			if !bytes.Equal(g.Data, w.Data) {
+				t.Fatalf("%s: segment %d silently corrupted", phase, w.ID)
+			}
+		}
+	}
+
+	check("baseline", true)
+	for _, rack := range topo.Racks() {
+		inj.AddRules(chaos.Rule{
+			Node: chaos.Any, Stripe: chaos.Any, Op: chaos.OpRead,
+			Rack: rack, Kind: chaos.FaultPartition,
+		})
+		check("during upgrade of "+rack, false)
+		inj.ClearAll() // rack rejoined with its data intact
+		check("after upgrade of "+rack, true)
+	}
+	if inj.Stats().Partitions == 0 {
+		t.Fatal("rolling upgrade injected no partitions")
+	}
+}
+
+// TestChaosDiskBatch: a bad manufacturing batch flips bits on reads
+// across every rack at once — a correlated fault no single-domain gate
+// expresses. The batch-aware layout keeps the important codeword's
+// batch overlap within tolerance, so checksum demotions absorb it:
+// exact-or-flagged on every read, exact once the batch is swapped out.
+func TestChaosDiskBatch(t *testing.T) {
+	out := chaostest.Run(t, chaostest.Scenario{
+		Seed:              47,
+		Params:            rackParams(),
+		Topology:          rackTopo(t, place.Spec{Racks: 3, Zones: 3, Batches: 2}),
+		Schedule:          "batch=b1,op=read,fault=corrupt,bytes=2,rate=0.4",
+		ClearBeforeRepair: true, // the batch is replaced before repair
+	})
+	if out.Injector.Stats().CorruptReads == 0 {
+		t.Fatal("batch gate matched nothing — corruption never injected")
+	}
+	if out.FirstRead.ChecksumFailures == 0 {
+		t.Fatal("batch corruption went undetected by checksums")
+	}
+	if len(out.FinalRead.LostSegments) != 0 {
+		t.Fatalf("batch swap + repair left segments lost: %v", out.FinalRead.LostSegments)
+	}
+}
+
+// TestPlacementSnapshotRoundTrip: an explicit topology survives
+// Save/Load (placement checking stays live on the reloaded store),
+// while a topology-less store snapshots and reloads as the implicit
+// flat layout — exactly how pre-topology snapshots, whose gob lacks the
+// field entirely, decode — with the exposure reported, not enforced.
+func TestPlacementSnapshotRoundTrip(t *testing.T) {
+	p := rackParams()
+	topo := rackTopo(t, place.Spec{Racks: 3, Zones: 3, Batches: 2})
+	segs := chaostest.GenSegments(48, 12, 4)
+
+	t.Run("explicit", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := store.Open(store.Config{Code: p, NodeSize: 3 * 512, Topology: topo})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if err := s.Put("video", segs); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if err := s.Save(dir); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		loaded, err := store.Load(dir)
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		got := loaded.Topology()
+		for i := range topo.Nodes {
+			if got.RackOf(i) != topo.RackOf(i) || got.ZoneOf(i) != topo.ZoneOf(i) {
+				t.Fatalf("node %d labels changed across snapshot: %v vs %v",
+					i, got.Nodes[i], topo.Nodes[i])
+			}
+		}
+		rep := loaded.PlacementReport()
+		if !rep.RackSafe || !rep.GroupsRackLocal {
+			t.Fatalf("reloaded store lost its safe-placement verdict: %+v", rep)
+		}
+		if sr, err := loaded.Scrub(); err != nil || sr.PlacementViolations != 0 {
+			t.Fatalf("reloaded scrub: %+v err=%v", sr, err)
+		}
+	})
+
+	t.Run("legacy-flat", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := store.Open(store.Config{Code: p, NodeSize: 3 * 512})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if err := s.Put("video", segs); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if err := s.Save(dir); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		loaded, err := store.Load(dir)
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		got := loaded.Topology()
+		if len(got.Racks()) != 1 {
+			t.Fatalf("legacy snapshot should default to one flat rack, got %v", got.Racks())
+		}
+		// The flat exposure is reported through Scrub but never enforced:
+		// the reloaded store keeps accepting reads and writes.
+		sr, err := loaded.Scrub()
+		if err != nil || sr.PlacementViolations == 0 {
+			t.Fatalf("legacy flat exposure not reported: %+v err=%v", sr, err)
+		}
+		if err := loaded.Put("video2", segs); err != nil {
+			t.Fatalf("legacy store refused writes: %v", err)
+		}
+		gotSegs, rep, err := loaded.Get("video")
+		if err != nil || len(rep.LostSegments) != 0 {
+			t.Fatalf("legacy read degraded: %+v err=%v", rep, err)
+		}
+		for i := range segs {
+			if !bytes.Equal(gotSegs[i].Data, segs[i].Data) {
+				t.Fatalf("legacy segment %d corrupted across snapshot", i)
+			}
+		}
+	})
+}
